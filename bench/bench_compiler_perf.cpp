@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Compiler throughput microbenchmarks (google-benchmark): how fast the
+ * AutoComm passes themselves run. Not a paper table — this measures the
+ * compiler, not the compiled programs — but it documents that the passes
+ * scale to the paper's largest inputs.
+ */
+#include <benchmark/benchmark.h>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/gptp.hpp"
+#include "circuits/library.hpp"
+#include "circuits/mctr.hpp"
+#include "circuits/qft.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+
+namespace {
+
+using namespace autocomm;
+
+struct Prepared
+{
+    qir::Circuit circuit;
+    hw::Machine machine;
+    hw::QubitMapping mapping;
+};
+
+Prepared
+prepare_qft(int n, int nodes)
+{
+    Prepared p;
+    p.circuit = qir::decompose(circuits::make_qft(n));
+    p.machine.num_nodes = nodes;
+    p.machine.qubits_per_node = (n + nodes - 1) / nodes;
+    p.mapping = hw::QubitMapping::contiguous(n, nodes);
+    return p;
+}
+
+void
+BM_AggregateQft(benchmark::State& state)
+{
+    const auto p =
+        prepare_qft(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) / 10);
+    for (auto _ : state) {
+        auto blocks = pass::aggregate(p.circuit, p.mapping);
+        benchmark::DoNotOptimize(blocks);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(p.circuit.size()));
+}
+BENCHMARK(BM_AggregateQft)->Arg(50)->Arg(100)->Arg(200);
+
+void
+BM_FullPipelineQft(benchmark::State& state)
+{
+    const auto p =
+        prepare_qft(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) / 10);
+    for (auto _ : state) {
+        auto r = pass::compile(p.circuit, p.mapping, p.machine);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(p.circuit.size()));
+}
+BENCHMARK(BM_FullPipelineQft)->Arg(50)->Arg(100);
+
+void
+BM_OeePartitionQft(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const qir::Circuit c = qir::decompose(circuits::make_qft(n));
+    for (auto _ : state) {
+        auto map = partition::oee_map(c, n / 10);
+        benchmark::DoNotOptimize(map);
+    }
+}
+BENCHMARK(BM_OeePartitionQft)->Arg(100)->Arg(200);
+
+void
+BM_GptpQft(benchmark::State& state)
+{
+    const auto p =
+        prepare_qft(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) / 10);
+    for (auto _ : state) {
+        auto r = baseline::compile_gptp(p.circuit, p.mapping, p.machine);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_GptpQft)->Arg(50)->Arg(100);
+
+void
+BM_DecomposeMctr(benchmark::State& state)
+{
+    const qir::Circuit c =
+        circuits::make_mctr(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto d = qir::decompose(c);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_DecomposeMctr)->Arg(100)->Arg(300);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 15 reproduction: the burst-communication distribution assembled
+ * by AutoComm — Pr[one communication carries >= X remote CX] for each
+ * benchmark family, split into (a) building blocks (MCTR/RCA/QFT) and
+ * (b) real-world applications (BV/QAOA/UCCSD), exactly the paper's two
+ * panels. Also prints the §3.2 analytic upper bound P(4) <= 1/t for QFT.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace autocomm;
+
+void
+panel(const char* title, const std::vector<circuits::BenchmarkSpec>& specs,
+      support::CsvWriter& csv)
+{
+    std::puts(title);
+    std::vector<std::string> headers = {"X"};
+    std::vector<pass::Metrics> metrics;
+    for (const auto& spec : specs) {
+        std::fprintf(stderr, "compiling %s...\n", spec.label().c_str());
+        const bench::Instance inst = bench::prepare(spec);
+        const bench::RowResult r = bench::run_row(inst);
+        metrics.push_back(r.autocomm.metrics);
+        headers.push_back(spec.label());
+    }
+    support::Table t(headers);
+    for (int x = 1; x <= 20; ++x) {
+        t.start_row();
+        t.add(x);
+        csv.start_row();
+        csv.add(static_cast<long long>(x));
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            const double p = metrics[i].prob_carries_at_least(x);
+            t.add(p, 3);
+            csv.add(p);
+        }
+    }
+    t.print();
+    std::puts("");
+}
+
+} // namespace
+
+int
+main()
+{
+    using circuits::Family;
+
+    std::puts("== Figure 15: Pr[one communication carries >= X REM-CX] ==");
+    std::puts("");
+
+    const int scale = bench::fast_mode() ? 0 : 1;
+    const std::vector<circuits::BenchmarkSpec> blocks = {
+        {Family::MCTR, 100 + 100 * scale, 10 + 10 * scale},
+        {Family::RCA, 100 + 100 * scale, 10 + 10 * scale},
+        {Family::QFT, 100 + 100 * scale, 10 + 10 * scale},
+    };
+    const std::vector<circuits::BenchmarkSpec> apps = {
+        {Family::BV, 100 + 100 * scale, 10 + 10 * scale},
+        {Family::QAOA, 100, 10},
+        {Family::UCCSD, 12, 6},
+    };
+
+    support::CsvWriter csv_a({"x", "mctr", "rca", "qft"});
+    support::CsvWriter csv_b({"x", "bv", "qaoa", "uccsd"});
+    panel("-- (a) building blocks --", blocks, csv_a);
+    panel("-- (b) real-world applications --", apps, csv_b);
+
+    // Section 3.2 analytic check for QFT: P(4) <= 1/t.
+    {
+        const auto spec = blocks[2];
+        const int t = spec.num_qubits / spec.num_nodes;
+        const bench::Instance inst = bench::prepare(spec);
+        const bench::RowResult r = bench::run_row(inst);
+        // Fraction of remote gates in blocks with < 4 remote CX.
+        double small_gates = 0, total_gates = 0;
+        for (const auto& blk : r.autocomm.blocks) {
+            total_gates += static_cast<double>(blk.members.size());
+            if (blk.members.size() < 4)
+                small_gates += static_cast<double>(blk.members.size());
+        }
+        std::printf("QFT inverse-burst check: P(4) = %.3f, paper bound "
+                    "1/t = %.3f\n",
+                    small_gates / total_gates, 1.0 / t);
+    }
+
+    if (auto dir = bench::csv_dir()) {
+        csv_a.write_file(*dir + "/fig15a.csv");
+        csv_b.write_file(*dir + "/fig15b.csv");
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 17(d) reproduction — sensitivity to the number of qubits:
+ * AutoComm's improv. factor on MCTR as #qubit sweeps 100..600 for
+ * 10 / 20 / 50 nodes. The paper's observation: the factor converges as
+ * #qubit/#node grows.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace autocomm;
+
+    std::puts("== Figure 17(d): improv. factor vs #qubit (MCTR) ==");
+    const std::vector<int> qubits = bench::fast_mode()
+                                        ? std::vector<int>{100, 200}
+                                        : std::vector<int>{100, 200, 300,
+                                                           400, 500, 600};
+    const std::vector<int> nodes = {10, 20, 50};
+
+    support::Table t({"#qubit", "10 nodes", "20 nodes", "50 nodes"});
+    support::CsvWriter csv({"qubits", "n10", "n20", "n50"});
+    for (int q : qubits) {
+        t.start_row();
+        t.add(q);
+        csv.start_row();
+        csv.add(static_cast<long long>(q));
+        for (int n : nodes) {
+            const circuits::BenchmarkSpec spec{circuits::Family::MCTR, q,
+                                               n};
+            std::fprintf(stderr, "compiling %s...\n", spec.label().c_str());
+            const bench::Instance inst = bench::prepare(spec);
+            const bench::RowResult r = bench::run_row(inst);
+            t.add(r.factors.improv_factor, 2);
+            csv.add(r.factors.improv_factor);
+        }
+    }
+    t.print();
+    std::puts("\npaper shape: factor grows then converges once "
+              "#qubit/#node is large");
+    if (auto dir = bench::csv_dir())
+        csv.write_file(*dir + "/fig17d.csv");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 17(e) reproduction — sensitivity to the number of nodes:
+ * AutoComm's improv. factor on MCTR as #node sweeps 2..100 for
+ * 100 / 200 / 300 qubits. The paper's observation: performance degrades
+ * when #qubit/#node becomes small (few qubits per node leave little
+ * burst to exploit).
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/csv.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace autocomm;
+
+    std::puts("== Figure 17(e): improv. factor vs #node (MCTR) ==");
+    const std::vector<int> nodes = bench::fast_mode()
+                                       ? std::vector<int>{2, 10, 20}
+                                       : std::vector<int>{2, 10, 20, 50,
+                                                          100};
+    const std::vector<int> qubits = {100, 200, 300};
+
+    std::vector<std::string> headers = {"#node"};
+    for (int q : qubits)
+        headers.push_back(support::strprintf("%d qubits", q));
+    support::Table t(headers);
+    support::CsvWriter csv({"nodes", "q100", "q200", "q300"});
+
+    for (int n : nodes) {
+        t.start_row();
+        t.add(n);
+        csv.start_row();
+        csv.add(static_cast<long long>(n));
+        for (int q : qubits) {
+            if (n > q) {
+                t.add("-");
+                csv.add(0.0);
+                continue;
+            }
+            const circuits::BenchmarkSpec spec{circuits::Family::MCTR, q,
+                                               n};
+            std::fprintf(stderr, "compiling %s...\n", spec.label().c_str());
+            const bench::Instance inst = bench::prepare(spec);
+            const bench::RowResult r = bench::run_row(inst);
+            t.add(r.factors.improv_factor, 2);
+            csv.add(r.factors.improv_factor);
+        }
+    }
+    t.print();
+    std::puts("\npaper shape: factor deteriorates as #qubit/#node shrinks");
+    if (auto dir = bench::csv_dir())
+        csv.write_file(*dir + "/fig17e.csv");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1 reproduction: the operation latency model of the distributed
+ * machine, normalized to CX units, plus the derived protocol durations
+ * the scheduler uses.
+ */
+#include <cstdio>
+
+#include "hw/latency.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using autocomm::hw::LatencyModel;
+    using autocomm::support::Table;
+
+    const LatencyModel lat;
+
+    std::puts("== Table 1: operation latencies (normalized to CX) ==");
+    Table t({"Operation", "Variable", "Latency [CX]"});
+    t.start_row();
+    t.add("Single-qubit gates");
+    t.add("t1q");
+    t.add(lat.t_1q, 1);
+    t.start_row();
+    t.add("CX and CZ gates");
+    t.add("t2q");
+    t.add(lat.t_2q, 1);
+    t.start_row();
+    t.add("Measure");
+    t.add("tms");
+    t.add(lat.t_meas, 1);
+    t.start_row();
+    t.add("EPR preparation");
+    t.add("tep");
+    t.add(lat.t_epr, 1);
+    t.start_row();
+    t.add("One-bit classical comm");
+    t.add("tcb");
+    t.add(lat.t_cbit, 1);
+    t.print();
+
+    std::puts("");
+    std::puts("== Derived protocol durations ==");
+    Table d({"Protocol step", "Latency [CX]"});
+    d.start_row();
+    d.add("Teleport one qubit (paper: ~8)");
+    d.add(lat.t_teleport(), 1);
+    d.start_row();
+    d.add("Cat-entangler half");
+    d.add(lat.t_cat_entangle(), 1);
+    d.start_row();
+    d.add("Cat-disentangler half");
+    d.add(lat.t_cat_disentangle(), 1);
+    d.print();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 3 reproduction: AutoComm results and relative performance to the
+ * Ferrari et al. per-remote-CX Cat-Comm baseline:
+ *
+ *   Tot Comm | TP-Comm | Peak #REM CX | Improv. factor | LAT-DEC factor
+ *
+ * plus the paper's §5.2 headline aggregates (75.6% average communication
+ * reduction, 71.4% average latency reduction).
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace autocomm;
+    using support::Table;
+
+    std::puts("== Table 3: AutoComm vs per-CX Cat-Comm baseline ==");
+    Table t({"Name", "Tot Comm", "TP-Comm", "Peak #REM CX",
+             "Improv. factor", "LAT-DEC factor"});
+    support::CsvWriter csv({"name", "tot_comm", "tp_comm", "peak_rem_cx",
+                            "improv_factor", "lat_dec_factor"});
+
+    double improv_sum = 0, lat_sum = 0;
+    double comm_reduction_sum = 0, lat_reduction_sum = 0;
+    int rows = 0;
+
+    for (const auto& spec : bench::suite()) {
+        std::fprintf(stderr, "compiling %s...\n", spec.label().c_str());
+        const bench::Instance inst = bench::prepare(spec);
+        const bench::RowResult r = bench::run_row(inst);
+
+        t.start_row();
+        t.add(spec.label());
+        t.add(r.autocomm.metrics.total_comms);
+        t.add(r.autocomm.metrics.tp_comms);
+        t.add(r.autocomm.metrics.peak_rem_cx, 1);
+        t.add(r.factors.improv_factor, 2);
+        t.add(r.factors.lat_dec_factor, 2);
+
+        csv.start_row();
+        csv.add(spec.label());
+        csv.add(static_cast<long long>(r.autocomm.metrics.total_comms));
+        csv.add(static_cast<long long>(r.autocomm.metrics.tp_comms));
+        csv.add(r.autocomm.metrics.peak_rem_cx);
+        csv.add(r.factors.improv_factor);
+        csv.add(r.factors.lat_dec_factor);
+
+        improv_sum += r.factors.improv_factor;
+        lat_sum += r.factors.lat_dec_factor;
+        comm_reduction_sum += 1.0 - 1.0 / r.factors.improv_factor;
+        lat_reduction_sum += 1.0 - 1.0 / r.factors.lat_dec_factor;
+        ++rows;
+    }
+    t.print();
+
+    std::printf("\nAverages over %d programs:\n", rows);
+    std::printf("  improv. factor (comm):   %.2fx  (paper: 4.1x)\n",
+                improv_sum / rows);
+    std::printf("  LAT-DEC factor:          %.2fx  (paper: 3.5x)\n",
+                lat_sum / rows);
+    std::printf("  comm resource reduction: %.1f%%  (paper: 75.6%%)\n",
+                100.0 * comm_reduction_sum / rows);
+    std::printf("  latency reduction:       %.1f%%  (paper: 71.4%%)\n",
+                100.0 * lat_reduction_sum / rows);
+
+    if (auto dir = bench::csv_dir())
+        csv.write_file(*dir + "/table3.csv");
+    return 0;
+}

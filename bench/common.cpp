@@ -1,0 +1,60 @@
+#include "common.hpp"
+
+#include <cstdlib>
+
+#include "support/log.hpp"
+
+namespace autocomm::bench {
+
+Instance
+prepare(const circuits::BenchmarkSpec& spec, std::uint64_t seed)
+{
+    Instance inst{spec, {}, {}, {}};
+    const qir::Circuit logical = circuits::make_benchmark(spec, seed);
+    inst.circuit = qir::decompose(logical);
+
+    inst.machine.num_nodes = spec.num_nodes;
+    inst.machine.qubits_per_node =
+        (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes;
+
+    inst.mapping = partition::oee_map(inst.circuit, spec.num_nodes);
+    inst.mapping.validate(inst.machine);
+    return inst;
+}
+
+RowResult
+run_row(const Instance& inst, const pass::CompileOptions& autocomm_opts)
+{
+    RowResult r{
+        pass::compile(inst.circuit, inst.mapping, inst.machine,
+                      autocomm_opts),
+        baseline::compile_ferrari(inst.circuit, inst.mapping, inst.machine),
+        {},
+    };
+    r.factors = baseline::relative_factors(r.ferrari, r.autocomm);
+    return r;
+}
+
+bool
+fast_mode()
+{
+    const char* v = std::getenv("AUTOCOMM_FAST");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::vector<circuits::BenchmarkSpec>
+suite()
+{
+    return fast_mode() ? circuits::small_suite() : circuits::paper_suite();
+}
+
+std::optional<std::string>
+csv_dir()
+{
+    const char* v = std::getenv("AUTOCOMM_CSV_DIR");
+    if (v == nullptr || v[0] == '\0')
+        return std::nullopt;
+    return std::string(v);
+}
+
+} // namespace autocomm::bench

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction bench binaries: build a
+ * benchmark instance (generate, decompose, map with OEE), run AutoComm and
+ * the baselines on it, and cache results across binaries of one process.
+ *
+ * Every bench binary prints the corresponding paper table/figure data to
+ * stdout and (optionally, via AUTOCOMM_CSV_DIR) dumps a CSV per figure.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/ferrari.hpp"
+#include "baseline/gptp.hpp"
+#include "circuits/library.hpp"
+#include "hw/machine.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+
+namespace autocomm::bench {
+
+/** A fully prepared benchmark instance. */
+struct Instance
+{
+    circuits::BenchmarkSpec spec;
+    qir::Circuit circuit;   ///< decomposed to the CX+1q basis
+    hw::Machine machine;
+    hw::QubitMapping mapping; ///< OEE
+};
+
+/** Generate + decompose + map one suite row. */
+Instance prepare(const circuits::BenchmarkSpec& spec,
+                 std::uint64_t seed = 2022);
+
+/** AutoComm + Ferrari baseline results for one instance. */
+struct RowResult
+{
+    pass::CompileResult autocomm;
+    pass::CompileResult ferrari;
+    baseline::RelativeFactors factors;
+};
+
+/** Run the full AutoComm pipeline and the Ferrari baseline. */
+RowResult run_row(const Instance& inst,
+                  const pass::CompileOptions& autocomm_opts = {});
+
+/**
+ * True when the AUTOCOMM_FAST environment variable is set: benches then
+ * run the reduced suite (100-qubit rows) for quick iteration.
+ */
+bool fast_mode();
+
+/** The suite honoring fast_mode(). */
+std::vector<circuits::BenchmarkSpec> suite();
+
+/** CSV output directory from AUTOCOMM_CSV_DIR, if set. */
+std::optional<std::string> csv_dir();
+
+} // namespace autocomm::bench

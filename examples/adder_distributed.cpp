@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Domain example: a distributed ripple-carry adder, end to end — the
+ * workload class the paper's Figure 4 is extracted from. Compiles the
+ * Cuccaro adder across two nodes, lowers it to the physical machine
+ * (EPR pairs, cat-entanglers, teleports, feed-forward corrections), and
+ * simulates the physical circuit to verify it really adds.
+ */
+#include <cstdio>
+
+#include "autocomm/lower.hpp"
+#include "autocomm/pipeline.hpp"
+#include "circuits/rca.hpp"
+#include "comm/protocols.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "qir/unitary.hpp"
+#include "support/rng.hpp"
+
+int
+main()
+{
+    using namespace autocomm;
+
+    // 3-bit adder (8 qubits), distributed over two 4-qubit nodes.
+    const int total = 8;
+    const qir::Circuit adder = qir::decompose(circuits::make_rca(total));
+    hw::Machine machine;
+    machine.num_nodes = 2;
+    machine.qubits_per_node = 4;
+    const hw::QubitMapping mapping = partition::oee_map(adder, 2);
+
+    const pass::CompileResult r = pass::compile(adder, mapping, machine);
+    std::printf("adder: %zu gates, %zu remote CX -> %zu communications "
+                "(%.1f CX-units latency)\n",
+                adder.size(), mapping.count_remote(adder),
+                r.metrics.total_comms, r.schedule.makespan);
+
+    const qir::Circuit phys =
+        pass::lower_to_physical(adder, mapping, machine, r);
+    std::printf("physical circuit: %d qubits (incl. 4 comm), %zu ops\n\n",
+                phys.num_qubits(), phys.size());
+
+    // Verify on the physical machine: a + b for a few operand pairs.
+    // Layout: q0=cin, (b_i, a_i) interleaved, q7=carry-out.
+    const comm::PhysicalLayout layout(machine, mapping);
+    support::Rng rng(1);
+    const int m = circuits::rca_operand_bits(total);
+    int checked = 0, correct = 0;
+    for (int a = 0; a < (1 << m); ++a) {
+        for (int b = 0; b < (1 << m); ++b) {
+            qir::Circuit init(phys.num_qubits(), 0);
+            for (int i = 0; i < m; ++i) {
+                if ((b >> i) & 1)
+                    init.x(layout.data(1 + 2 * i));
+                if ((a >> i) & 1)
+                    init.x(layout.data(2 + 2 * i));
+            }
+            qir::Statevector sv(phys.num_qubits(), 0);
+            sv.run(init, rng);
+            sv.run(phys, rng);
+
+            int sum = 0;
+            for (int i = 0; i < m; ++i)
+                if (sv.prob_one(layout.data(1 + 2 * i)) > 0.5)
+                    sum |= 1 << i;
+            if (sv.prob_one(layout.data(2 * m + 1)) > 0.5)
+                sum |= 1 << m;
+            ++checked;
+            if (sum == a + b)
+                ++correct;
+            else
+                std::printf("MISMATCH: %d + %d gave %d\n", a, b, sum);
+        }
+    }
+    std::printf("verified %d/%d operand pairs on the distributed "
+                "machine\n",
+                correct, checked);
+    return correct == checked ? 0 : 1;
+}

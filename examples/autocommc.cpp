@@ -1,0 +1,200 @@
+/**
+ * @file
+ * `autocommc` — command-line driver: compile an OpenQASM 2.0 program (or a
+ * named built-in benchmark) for a distributed machine and print the full
+ * compilation report. The adoption path for a downstream user who just has
+ * a circuit file.
+ *
+ * Usage:
+ *   autocommc --qasm FILE --nodes K [options]
+ *   autocommc --bench FAMILY --qubits N --nodes K [options]
+ *
+ * Options:
+ *   --qasm FILE        read an OpenQASM 2.0 subset file
+ *   --bench NAME       MCTR | RCA | QFT | BV | QAOA | UCCSD
+ *   --qubits N         benchmark width (required with --bench)
+ *   --nodes K          number of quantum nodes (required)
+ *   --mapping M        oee (default) | contiguous | roundrobin
+ *   --no-tp            Cat-Comm only assignment
+ *   --no-commute       disable commutation-based aggregation
+ *   --greedy           plain greedy schedule (no prefetch/fusion)
+ *   --blocks           print every burst block
+ *   --emit-physical    print the lowered physical circuit as QASM
+ *   --baseline         also run the per-CX baseline and print factors
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "autocomm/lower.hpp"
+#include "autocomm/pipeline.hpp"
+#include "baseline/ferrari.hpp"
+#include "circuits/library.hpp"
+#include "partition/mappers.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "qir/qasm.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm;
+
+[[noreturn]] void
+usage(const char* msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: autocommc (--qasm FILE | --bench NAME --qubits N) "
+                 "--nodes K\n"
+                 "       [--mapping oee|contiguous|roundrobin] [--no-tp]\n"
+                 "       [--no-commute] [--greedy] [--blocks] "
+                 "[--emit-physical] [--baseline]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string qasm_file, bench_name, mapping_name = "oee";
+    int qubits = 0, nodes = 0;
+    pass::CompileOptions opts;
+    bool show_blocks = false, emit_physical = false, run_baseline = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage("missing argument value");
+            return argv[++i];
+        };
+        if (a == "--qasm")
+            qasm_file = next();
+        else if (a == "--bench")
+            bench_name = next();
+        else if (a == "--qubits")
+            qubits = std::atoi(next());
+        else if (a == "--nodes")
+            nodes = std::atoi(next());
+        else if (a == "--mapping")
+            mapping_name = next();
+        else if (a == "--no-tp")
+            opts.assign.allow_tp = false;
+        else if (a == "--no-commute")
+            opts.aggregate.use_commutation = false;
+        else if (a == "--greedy") {
+            opts.schedule.epr_prefetch = false;
+            opts.schedule.tp_fusion = false;
+        } else if (a == "--blocks")
+            show_blocks = true;
+        else if (a == "--emit-physical")
+            emit_physical = true;
+        else if (a == "--baseline")
+            run_baseline = true;
+        else
+            usage(("unknown option " + a).c_str());
+    }
+    if (nodes <= 0)
+        usage("--nodes is required");
+    if (qasm_file.empty() == bench_name.empty())
+        usage("exactly one of --qasm / --bench is required");
+
+    try {
+        qir::Circuit logical;
+        if (!qasm_file.empty()) {
+            std::ifstream in(qasm_file);
+            if (!in)
+                support::fatal("cannot open %s", qasm_file.c_str());
+            std::ostringstream text;
+            text << in.rdbuf();
+            logical = qir::from_qasm(text.str());
+        } else {
+            circuits::Family fam;
+            if (bench_name == "MCTR")
+                fam = circuits::Family::MCTR;
+            else if (bench_name == "RCA")
+                fam = circuits::Family::RCA;
+            else if (bench_name == "QFT")
+                fam = circuits::Family::QFT;
+            else if (bench_name == "BV")
+                fam = circuits::Family::BV;
+            else if (bench_name == "QAOA")
+                fam = circuits::Family::QAOA;
+            else if (bench_name == "UCCSD")
+                fam = circuits::Family::UCCSD;
+            else
+                usage("unknown benchmark family");
+            if (qubits <= 0)
+                usage("--qubits is required with --bench");
+            logical = circuits::make_benchmark({fam, qubits, nodes});
+        }
+
+        const qir::Circuit program = qir::decompose(logical);
+        hw::Machine machine;
+        machine.num_nodes = nodes;
+        machine.qubits_per_node =
+            (program.num_qubits() + nodes - 1) / nodes;
+
+        hw::QubitMapping mapping;
+        if (mapping_name == "oee")
+            mapping = partition::oee_map(program, nodes);
+        else if (mapping_name == "contiguous")
+            mapping = partition::contiguous_map(program.num_qubits(), nodes);
+        else if (mapping_name == "roundrobin")
+            mapping =
+                partition::round_robin_map(program.num_qubits(), nodes);
+        else
+            usage("unknown mapping strategy");
+
+        const auto stats = program.stats();
+        std::printf("program: %d qubits, %zu gates (%zu CX), depth %zu\n",
+                    program.num_qubits(), stats.total_gates,
+                    stats.cx_gates, stats.depth);
+        std::printf("machine: %d nodes x %d data qubits + %d comm qubits\n",
+                    machine.num_nodes, machine.qubits_per_node,
+                    machine.comm_qubits_per_node);
+        std::printf("mapping (%s): %zu remote CX\n", mapping_name.c_str(),
+                    mapping.count_remote(program));
+
+        const pass::CompileResult r =
+            pass::compile(program, mapping, machine, opts);
+        std::printf("\nAutoComm: %zu blocks, %zu communications "
+                    "(%zu TP / %zu Cat), peak %.1f REM-CX/comm\n",
+                    r.metrics.num_blocks, r.metrics.total_comms,
+                    r.metrics.tp_comms, r.metrics.cat_comms,
+                    r.metrics.peak_rem_cx);
+        std::printf("schedule: makespan %.1f CX-units, %zu EPR pairs, "
+                    "%zu teleports, %zu fused links\n",
+                    r.schedule.makespan, r.schedule.epr_pairs,
+                    r.schedule.teleports, r.schedule.fused_links);
+
+        if (show_blocks)
+            for (const auto& blk : r.blocks)
+                std::printf("  %s\n", blk.to_string(program).c_str());
+
+        if (run_baseline) {
+            const auto base =
+                baseline::compile_ferrari(program, mapping, machine);
+            const auto f = baseline::relative_factors(base, r);
+            std::printf("\nbaseline: %zu communications, makespan %.1f\n",
+                        base.metrics.total_comms, base.schedule.makespan);
+            std::printf("improv. factor %.2fx, LAT-DEC factor %.2fx\n",
+                        f.improv_factor, f.lat_dec_factor);
+        }
+
+        if (emit_physical) {
+            const qir::Circuit phys =
+                pass::lower_to_physical(program, mapping, machine, r);
+            std::fputs(qir::to_qasm(phys).c_str(), stdout);
+        }
+        return 0;
+    } catch (const support::UserError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

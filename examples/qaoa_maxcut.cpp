@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Domain example: distributed QAOA for MaxCut (one of the paper's
+ * motivating near-term workloads). Sweeps the number of nodes for a fixed
+ * problem and shows how AutoComm's advantage and the mapping quality
+ * evolve — a miniature of the paper's §5.5 sensitivity study.
+ */
+#include <cstdio>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/ferrari.hpp"
+#include "baseline/gptp.hpp"
+#include "circuits/qaoa.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace autocomm;
+
+    // A 48-vertex random MaxCut instance at the paper's edge density.
+    const circuits::MaxCutInstance inst =
+        circuits::paper_density_maxcut(48, /*seed=*/7);
+    const qir::Circuit program =
+        qir::decompose(circuits::make_qaoa(inst));
+    std::printf("QAOA MaxCut: %d vertices, %zu edges, %zu gates\n\n",
+                inst.num_vertices, inst.edges.size(),
+                program.stats().total_gates);
+
+    support::Table t({"#nodes", "REM CX", "AutoComm comms", "improv",
+                      "GP-TP comms", "vs GP-TP", "latency [CX]"});
+    for (int nodes : {2, 4, 8, 16}) {
+        hw::Machine machine;
+        machine.num_nodes = nodes;
+        machine.qubits_per_node = (48 + nodes - 1) / nodes;
+        const hw::QubitMapping mapping =
+            partition::oee_map(program, nodes);
+
+        const auto ac = pass::compile(program, mapping, machine);
+        const auto fe =
+            baseline::compile_ferrari(program, mapping, machine);
+        const auto gp =
+            baseline::compile_gptp(program, mapping, machine);
+
+        t.start_row();
+        t.add(nodes);
+        t.add(mapping.count_remote(program));
+        t.add(ac.metrics.total_comms);
+        t.add(static_cast<double>(fe.metrics.total_comms) /
+                  static_cast<double>(ac.metrics.total_comms),
+              2);
+        t.add(gp.total_comms);
+        t.add(static_cast<double>(gp.total_comms) /
+                  static_cast<double>(ac.metrics.total_comms),
+              2);
+        t.add(ac.schedule.makespan, 0);
+    }
+    t.print();
+    std::puts("\nmore nodes -> more remote ZZ interactions -> more "
+              "communication; AutoComm's RZZ bursts keep the growth "
+              "sub-linear in remote gates.");
+    return 0;
+}

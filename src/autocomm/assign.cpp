@@ -1,0 +1,137 @@
+#include "autocomm/assign.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace autocomm::pass {
+
+namespace {
+
+using qir::AxisMask;
+using qir::Gate;
+using qir::kAxisDiag;
+using qir::kAxisX;
+
+/**
+ * Hub direction of a member gate: the axis of the gate's action on the
+ * hub qubit. kAxisDiag means the hub behaves as a control (Cat-Comm can
+ * share it directly); kAxisX means the hub is a target (Cat-Comm after
+ * Hadamard conjugation, Fig. 10a); anything else cannot ride Cat-Comm.
+ */
+AxisMask
+hub_direction(const Gate& g, QubitId hub)
+{
+    return g.axis_on(hub);
+}
+
+} // namespace
+
+int
+cat_invocations(const qir::Circuit& c, const CommBlock& blk,
+                std::vector<std::size_t>* segments)
+{
+    if (segments)
+        segments->clear();
+
+    // Absorbed single-qubit hub gates, position-ordered; each carries the
+    // axis it needs the surrounding segment to tolerate.
+    const std::vector<std::size_t> hub_gates = blk.absorbed_hub_1q(c);
+
+    int invocations = 0;
+    std::size_t seg_len = 0;
+    AxisMask seg_axis = 0; // 0 = segment not started
+    std::size_t hub_cursor = 0;
+
+    for (std::size_t mi = 0; mi < blk.members.size(); ++mi) {
+        const std::size_t gate_idx = blk.members[mi];
+        AxisMask dir = hub_direction(c[gate_idx], blk.hub);
+        if ((dir & (kAxisDiag | kAxisX)) == 0)
+            dir = 0; // unusable direction: force its own segment
+
+        // Axis tolerance consumed by hub gates between the previous member
+        // and this one: the running segment must commute with them.
+        AxisMask between = qir::kAxisAll;
+        while (hub_cursor < hub_gates.size() &&
+               hub_gates[hub_cursor] < gate_idx) {
+            between &= c[hub_gates[hub_cursor]].axis_on(blk.hub);
+            ++hub_cursor;
+        }
+
+        const bool compatible =
+            seg_axis != 0 && dir != 0 && (seg_axis & dir) != 0 &&
+            (between & seg_axis & dir) != 0;
+        if (compatible) {
+            seg_axis &= dir;
+            ++seg_len;
+        } else {
+            if (seg_len > 0) {
+                ++invocations;
+                if (segments)
+                    segments->push_back(seg_len);
+            }
+            seg_axis = dir == 0 ? qir::kAxisAll : dir;
+            seg_len = 1;
+            if (dir == 0) {
+                // A member Cat-Comm cannot carry at all still costs one
+                // invocation on its own (degenerate 1-gate segment).
+                seg_axis = qir::kAxisAll;
+            }
+        }
+    }
+    if (seg_len > 0) {
+        ++invocations;
+        if (segments)
+            segments->push_back(seg_len);
+    }
+    return invocations;
+}
+
+void
+assign_schemes(const qir::Circuit& c, std::vector<CommBlock>& blocks,
+               const AssignOptions& opts)
+{
+    for (CommBlock& blk : blocks) {
+        if (blk.members.empty())
+            support::fatal("assign_schemes: empty block");
+
+        // ---- Pattern analysis ----
+        bool any_control = false, any_target = false, any_other = false;
+        for (std::size_t i : blk.members) {
+            const AxisMask d = hub_direction(c[i], blk.hub);
+            if (d & kAxisDiag)
+                any_control = true;
+            else if (d & kAxisX)
+                any_target = true;
+            else
+                any_other = true;
+        }
+        if (blk.members.size() == 1)
+            blk.pattern = Pattern::Single;
+        else if (any_control && !any_target && !any_other)
+            blk.pattern = Pattern::UniControl;
+        else if (any_target && !any_control && !any_other)
+            blk.pattern = Pattern::UniTarget;
+        else
+            blk.pattern = Pattern::Bidirectional;
+
+        // ---- Scheme selection ----
+        std::vector<std::size_t> segments;
+        const int cat_cost = cat_invocations(c, blk, &segments);
+        constexpr int kTpCost = 2;
+
+        if (cat_cost <= 1 || !opts.allow_tp) {
+            blk.scheme = Scheme::Cat;
+            blk.num_comms = cat_cost;
+            blk.cat_segments = std::move(segments);
+        } else {
+            // Cat needs >= 2 invocations; TP handles any block with 2.
+            // Ties go to TP-Comm (paper §4.3).
+            blk.scheme = Scheme::TP;
+            blk.num_comms = kTpCost;
+            blk.cat_segments.clear();
+        }
+    }
+}
+
+} // namespace autocomm::pass

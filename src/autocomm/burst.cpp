@@ -1,0 +1,206 @@
+#include "autocomm/burst.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace autocomm::pass {
+
+const char*
+pattern_name(Pattern p)
+{
+    switch (p) {
+      case Pattern::Single: return "single";
+      case Pattern::UniControl: return "uni-control";
+      case Pattern::UniTarget: return "uni-target";
+      case Pattern::Bidirectional: return "bidirectional";
+    }
+    return "?";
+}
+
+const char*
+scheme_name(Scheme s)
+{
+    return s == Scheme::Cat ? "cat" : "tp";
+}
+
+std::vector<std::size_t>
+CommBlock::absorbed_hub_1q(const qir::Circuit& c) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i : absorbed) {
+        const qir::Gate& g = c[i];
+        if (g.is_single_qubit() && g.qs[0] == hub)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::string
+CommBlock::to_string(const qir::Circuit& c) const
+{
+    std::string s = support::strprintf(
+        "block hub=q%d node%d->node%d %s/%s comms=%d members=[", hub,
+        hub_node, remote_node, pattern_name(pattern), scheme_name(scheme),
+        num_comms);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i)
+            s += ' ';
+        s += std::to_string(members[i]);
+    }
+    s += "] absorbed=" + std::to_string(absorbed.size());
+    if (!members.empty())
+        s += " first=" + c[members.front()].to_string();
+    return s;
+}
+
+std::vector<BodyItem>
+block_body(const qir::Circuit& c, const std::vector<CommBlock>& blocks,
+           std::size_t b)
+{
+    const CommBlock& blk = blocks[b];
+    // Merge own gates (members + absorbed) with child units, keyed by
+    // window position. A gate falling inside a child's window commutes
+    // with that child (aggregation guarantees it) and sorts before the
+    // child unit.
+    struct Keyed
+    {
+        std::size_t key;
+        int tie; // 0 = gate, 1 = child (children after same-key gates)
+        BodyItem item;
+    };
+    std::vector<Keyed> keyed;
+
+    auto child_key_of = [&](std::size_t gate_idx) {
+        for (std::size_t ch : blk.children) {
+            const CommBlock& cb = blocks[ch];
+            if (gate_idx >= cb.window_begin() && gate_idx <= cb.window_end())
+                return cb.window_begin();
+        }
+        return gate_idx;
+    };
+
+    for (std::size_t i : blk.members)
+        keyed.push_back({child_key_of(i), 0, {false, i, true}});
+    for (std::size_t i : blk.absorbed)
+        keyed.push_back({child_key_of(i), 0, {false, i, false}});
+    for (std::size_t ch : blk.children)
+        keyed.push_back(
+            {blocks[ch].window_begin(), 1, {true, ch, false}});
+
+    std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b2) {
+        if (a.key != b2.key)
+            return a.key < b2.key;
+        if (a.tie != b2.tie)
+            return a.tie < b2.tie;
+        return a.item.index < b2.item.index;
+    });
+
+    std::vector<BodyItem> out;
+    out.reserve(keyed.size());
+    for (const Keyed& k : keyed)
+        out.push_back(k.item);
+    (void)c;
+    return out;
+}
+
+std::size_t
+block_total_gates(const std::vector<CommBlock>& blocks, std::size_t b)
+{
+    const CommBlock& blk = blocks[b];
+    std::size_t n = blk.members.size() + blk.absorbed.size();
+    for (std::size_t ch : blk.children)
+        n += block_total_gates(blocks, ch);
+    return n;
+}
+
+namespace {
+
+/** Recursively emit a block's body into @p out, recording start
+ * positions. */
+void
+emit_block(const qir::Circuit& c, const std::vector<CommBlock>& blocks,
+           std::size_t b, qir::Circuit& out,
+           std::vector<std::size_t>* block_order)
+{
+    if (block_order)
+        (*block_order)[b] = out.size();
+    for (const BodyItem& item : block_body(c, blocks, b)) {
+        if (item.is_child)
+            emit_block(c, blocks, item.index, out, block_order);
+        else
+            out.add(c[item.index]);
+    }
+}
+
+} // namespace
+
+qir::Circuit
+reorder_with_blocks(const qir::Circuit& c,
+                    const std::vector<CommBlock>& blocks,
+                    std::vector<std::size_t>* block_order)
+{
+    // gate index -> owning block (or -1).
+    std::vector<int> owner(c.size(), -1);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const CommBlock& blk = blocks[b];
+        if (blk.members.empty())
+            support::fatal("reorder_with_blocks: empty block");
+        for (std::size_t i : blk.members) {
+            if (owner[i] != -1)
+                support::fatal("reorder_with_blocks: gate %zu in two blocks",
+                               i);
+            owner[i] = static_cast<int>(b);
+        }
+        for (std::size_t i : blk.absorbed) {
+            if (owner[i] != -1)
+                support::fatal("reorder_with_blocks: gate %zu in two blocks",
+                               i);
+            owner[i] = static_cast<int>(b);
+        }
+    }
+
+    // Top-level blocks release at the last gate of their transitive
+    // window (their own last member; children lie strictly inside).
+    std::vector<long> release_block(c.size(), -1);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].parent != -1)
+            continue;
+        release_block[blocks[b].members.back()] = static_cast<long>(b);
+    }
+
+    // Map each gate to its top-level ancestor block for buffering.
+    std::vector<int> top_owner(c.size(), -1);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        int b = owner[i];
+        if (b == -1)
+            continue;
+        while (blocks[static_cast<std::size_t>(b)].parent != -1)
+            b = static_cast<int>(
+                blocks[static_cast<std::size_t>(b)].parent);
+        top_owner[i] = b;
+    }
+
+    if (block_order)
+        block_order->assign(blocks.size(), 0);
+
+    qir::Circuit out(c.num_qubits(), c.num_cbits());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (top_owner[i] == -1) {
+            out.add(c[i]);
+            continue;
+        }
+        const long rel = release_block[i];
+        if (rel == -1)
+            continue; // buffered until the top-level block's last member
+        emit_block(c, blocks, static_cast<std::size_t>(rel), out,
+                   block_order);
+    }
+    if (out.size() != c.size())
+        support::fatal("reorder_with_blocks: gate count changed (%zu -> "
+                       "%zu)",
+                       c.size(), out.size());
+    return out;
+}
+
+} // namespace autocomm::pass

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Physical lowering: expand a compiled program (burst blocks + schemes)
+ * into a concrete circuit over the machine's physical qubits, with every
+ * communication realized by the Cat-Comm / TP-Comm protocol expansions of
+ * src/comm (EPR preparations, measurements, classically conditioned
+ * corrections).
+ *
+ * This is the executable ground truth of the compiler: for small
+ * instances the test suite simulates the lowered circuit and checks it
+ * implements exactly the logical program. Unidirectional-target Cat
+ * blocks are lowered through the Hadamard conjugation of Fig. 10(a).
+ */
+#pragma once
+
+#include "autocomm/pipeline.hpp"
+#include "comm/protocols.hpp"
+#include "hw/machine.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::pass {
+
+/**
+ * Lower @p result (compiled from @p c under @p map on machine @p m) to a
+ * physical circuit over PhysicalLayout(m, map) qubits. All communication
+ * qubits are reset at the end, so the final physical state is the logical
+ * output on the data slots tensored with |0...0> on the comm slots.
+ *
+ * TP chains are lowered unfused (one out-and-back teleport pair per TP
+ * block); fusion is a latency-level optimization that does not change the
+ * computed state.
+ */
+qir::Circuit lower_to_physical(const qir::Circuit& c,
+                               const hw::QubitMapping& map,
+                               const hw::Machine& m,
+                               const CompileResult& result);
+
+/**
+ * Reference lowering without any protocol: the logical gates placed at
+ * their physical data slots (remote gates applied directly, as if the
+ * machine had all-to-all couplings). Used as the correctness oracle.
+ */
+qir::Circuit lower_reference(const qir::Circuit& c,
+                             const hw::QubitMapping& map,
+                             const hw::Machine& m);
+
+} // namespace autocomm::pass

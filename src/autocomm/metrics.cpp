@@ -1,0 +1,67 @@
+#include "autocomm/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace autocomm::pass {
+
+double
+Metrics::mean_rem_cx() const
+{
+    if (per_comm_cx.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : per_comm_cx)
+        s += v;
+    return s / static_cast<double>(per_comm_cx.size());
+}
+
+double
+Metrics::prob_carries_at_least(double x) const
+{
+    if (per_comm_cx.empty())
+        return 0.0;
+    const auto n = static_cast<double>(per_comm_cx.size());
+    double count = 0.0;
+    for (double v : per_comm_cx)
+        if (v >= x)
+            count += 1.0;
+    return count / n;
+}
+
+Metrics
+compute_metrics(const qir::Circuit& c, const std::vector<CommBlock>& blocks)
+{
+    (void)c;
+    Metrics m;
+    m.num_blocks = blocks.size();
+    for (const CommBlock& blk : blocks) {
+        m.remote_gates += blk.members.size();
+        m.total_comms += static_cast<std::size_t>(blk.num_comms);
+        if (blk.scheme == Scheme::TP) {
+            m.tp_comms += static_cast<std::size_t>(blk.num_comms);
+            // The paper averages a TP block's payload over its two
+            // communications (§5.1 "Peak # REM CX").
+            const double per_comm =
+                static_cast<double>(blk.members.size()) /
+                static_cast<double>(blk.num_comms);
+            for (int i = 0; i < blk.num_comms; ++i)
+                m.per_comm_cx.push_back(per_comm);
+        } else {
+            m.cat_comms += static_cast<std::size_t>(blk.num_comms);
+            if (blk.cat_segments.empty() || blk.num_comms == 1) {
+                m.per_comm_cx.push_back(
+                    static_cast<double>(blk.members.size()));
+            } else {
+                for (std::size_t seg : blk.cat_segments)
+                    m.per_comm_cx.push_back(static_cast<double>(seg));
+            }
+        }
+    }
+    for (double v : m.per_comm_cx)
+        m.peak_rem_cx = std::max(m.peak_rem_cx, v);
+    return m;
+}
+
+} // namespace autocomm::pass

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Communication metrics (paper §5.1): remote communication counts, peak
+ * information throughput per communication, and the burst-size
+ * distribution behind Fig. 15.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autocomm/burst.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::pass {
+
+/** Aggregate communication metrics for a compiled program. */
+struct Metrics
+{
+    std::size_t remote_gates = 0;  ///< Remote two-qubit gates compiled.
+    std::size_t num_blocks = 0;    ///< Burst blocks formed.
+    std::size_t total_comms = 0;   ///< Remote communications (EPR pairs).
+    std::size_t tp_comms = 0;      ///< Communications issued by TP blocks.
+    std::size_t cat_comms = 0;     ///< Communications issued by Cat blocks.
+    /** Max remote CX carried by one communication (TP averaged over its
+     * two communications, per the paper's metric definition). */
+    double peak_rem_cx = 0.0;
+    /** Remote CX carried by each communication (unsorted). */
+    std::vector<double> per_comm_cx;
+
+    /** Mean remote CX per communication. */
+    double mean_rem_cx() const;
+
+    /**
+     * Pr[one communication carries >= x remote CX] (Fig. 15 y-axis) for
+     * integer x.
+     */
+    double prob_carries_at_least(double x) const;
+};
+
+/** Compute metrics from an assigned block set. */
+Metrics compute_metrics(const qir::Circuit& c,
+                        const std::vector<CommBlock>& blocks);
+
+} // namespace autocomm::pass

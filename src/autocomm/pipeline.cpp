@@ -1,0 +1,26 @@
+#include "autocomm/pipeline.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::pass {
+
+CompileResult
+compile(const qir::Circuit& c, const hw::QubitMapping& map,
+        const hw::Machine& m, const CompileOptions& opts)
+{
+    if (c.num_qubits() != map.num_qubits())
+        support::fatal("compile: circuit has %d qubits, mapping %d",
+                       c.num_qubits(), map.num_qubits());
+    map.validate(m);
+
+    CompileResult r;
+    r.blocks = aggregate(c, map, opts.aggregate);
+    assign_schemes(c, r.blocks, opts.assign);
+    r.metrics = compute_metrics(c, r.blocks);
+    r.reordered = reorder_with_blocks(c, r.blocks, &r.block_start);
+    r.schedule = schedule_program(r.reordered, r.blocks, r.block_start, map,
+                                  m, opts.schedule);
+    return r;
+}
+
+} // namespace autocomm::pass

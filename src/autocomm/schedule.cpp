@@ -1,0 +1,391 @@
+#include "autocomm/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <tuple>
+
+#include "autocomm/slots.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::pass {
+
+namespace {
+
+using qir::Gate;
+using qir::GateKind;
+
+/** One scheduling unit: a plain gate or a whole top-level block. */
+struct Unit
+{
+    bool is_block = false;
+    std::size_t index = 0; // reordered gate index, or block id
+};
+
+/** A block body element in reordered coordinates. */
+struct SchedItem
+{
+    bool is_child = false;
+    std::size_t index = 0;  ///< reordered gate position, or block id
+    bool is_member = false; ///< for gates: member vs absorbed
+};
+
+double
+gate_duration(const Gate& g, const hw::LatencyModel& lat)
+{
+    switch (g.kind) {
+      case GateKind::Barrier:
+        return 0.0;
+      case GateKind::Measure:
+      case GateKind::Reset:
+        return lat.t_meas;
+      default:
+        return lat.gate_time(g.num_qubits);
+    }
+}
+
+} // namespace
+
+ScheduleResult
+schedule_program(const qir::Circuit& reordered,
+                 const std::vector<CommBlock>& blocks,
+                 const std::vector<std::size_t>& block_start,
+                 const hw::QubitMapping& map, const hw::Machine& m,
+                 const ScheduleOptions& opts)
+{
+    (void)map;
+    const hw::LatencyModel& lat = m.latency;
+    const double t_tele = lat.t_teleport();
+    const double t_ent = lat.t_cat_entangle();
+    const double t_dis = lat.t_cat_disentangle();
+
+    // ---- Per-block body in reordered coordinates ----
+    // reorder_with_blocks emits each top-level block's flattened body
+    // starting at block_start[b]; nested children occupy contiguous
+    // sub-ranges. Rebuild the item lists with reordered positions.
+    std::vector<std::vector<SchedItem>> body(blocks.size());
+    std::vector<std::size_t> total_len(blocks.size(), 0);
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        total_len[b] = block_total_gates(blocks, b);
+
+    std::function<std::size_t(std::size_t, std::size_t)> build_body =
+        [&](std::size_t b, std::size_t start) -> std::size_t {
+        std::size_t pos = start;
+        for (const BodyItem& item : block_body(reordered, blocks, b)) {
+            if (item.is_child) {
+                body[b].push_back({true, item.index, false});
+                pos = build_body(item.index, pos);
+            } else {
+                body[b].push_back({false, pos, item.is_member});
+                ++pos;
+            }
+        }
+        return pos;
+    };
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        if (blocks[b].parent == -1)
+            build_body(b, block_start[b]);
+
+    // ---- Build the top-level unit sequence ----
+    std::vector<Unit> units;
+    {
+        std::vector<std::size_t> block_at(reordered.size(),
+                                          static_cast<std::size_t>(-1));
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            if (blocks[b].parent == -1)
+                block_at[block_start[b]] = b;
+        std::size_t i = 0;
+        while (i < reordered.size()) {
+            const std::size_t b = block_at[i];
+            if (b != static_cast<std::size_t>(-1)) {
+                units.push_back({true, b});
+                i += total_len[b];
+            } else {
+                units.push_back({false, i});
+                ++i;
+            }
+        }
+    }
+
+    // ---- TP fusion pre-pass (top-level blocks only) ----
+    // A chain stays open for hub h while no unit between two TP blocks of
+    // h acts on h. A parked vessel occupies one of its node's comm
+    // qubits, so a TP block targeting a node that hosts another hub's
+    // parked vessel evicts that chain first.
+    std::vector<char> fuse_next(blocks.size(), 0);
+    if (opts.tp_fusion) {
+        const auto nq = static_cast<std::size_t>(reordered.num_qubits());
+        std::vector<long> open_tp(nq, -1);
+        std::vector<NodeId> vessel_node(nq, kInvalidId);
+        std::vector<long> parked_at(
+            static_cast<std::size_t>(m.num_nodes), -1);
+
+        auto close_chain = [&](QubitId q) {
+            const long blk_id = open_tp[static_cast<std::size_t>(q)];
+            if (blk_id < 0)
+                return;
+            const NodeId at = vessel_node[static_cast<std::size_t>(q)];
+            if (at != kInvalidId &&
+                parked_at[static_cast<std::size_t>(at)] == blk_id)
+                parked_at[static_cast<std::size_t>(at)] = -1;
+            open_tp[static_cast<std::size_t>(q)] = -1;
+            vessel_node[static_cast<std::size_t>(q)] = kInvalidId;
+        };
+
+        for (const Unit& u : units) {
+            if (!u.is_block) {
+                const Gate& g = reordered[u.index];
+                for (int k = 0; k < g.num_qubits; ++k)
+                    close_chain(g.qs[static_cast<std::size_t>(k)]);
+                continue;
+            }
+            const CommBlock& blk = blocks[u.index];
+            const long prev = open_tp[static_cast<std::size_t>(blk.hub)];
+
+            // The block's transitive gate range is contiguous in the
+            // reordered circuit; any non-hub qubit it acts on must be
+            // home, so those chains close. Nested children also pin comm
+            // qubits, so be conservative and close chains on every
+            // touched qubit other than the hub.
+            for (std::size_t p = block_start[u.index];
+                 p < block_start[u.index] + total_len[u.index]; ++p) {
+                const Gate& g = reordered[p];
+                for (int k = 0; k < g.num_qubits; ++k) {
+                    const QubitId q = g.qs[static_cast<std::size_t>(k)];
+                    if (q != blk.hub)
+                        close_chain(q);
+                }
+            }
+
+            if (blk.scheme != Scheme::TP || !blk.children.empty()) {
+                // Blocks with nested children keep both comm qubits of
+                // their nodes busy; do not thread a chain through them.
+                close_chain(blk.hub);
+                continue;
+            }
+
+            const NodeId target = blk.remote_node;
+            const long foreign = parked_at[static_cast<std::size_t>(target)];
+            if (foreign >= 0 &&
+                blocks[static_cast<std::size_t>(foreign)].hub != blk.hub) {
+                fuse_next[static_cast<std::size_t>(foreign)] = 0;
+                close_chain(blocks[static_cast<std::size_t>(foreign)].hub);
+            }
+
+            if (prev >= 0) {
+                fuse_next[static_cast<std::size_t>(prev)] = 1;
+                const NodeId old = vessel_node[static_cast<std::size_t>(
+                    blk.hub)];
+                if (old != kInvalidId &&
+                    parked_at[static_cast<std::size_t>(old)] == prev)
+                    parked_at[static_cast<std::size_t>(old)] = -1;
+            }
+            open_tp[static_cast<std::size_t>(blk.hub)] =
+                static_cast<long>(u.index);
+            vessel_node[static_cast<std::size_t>(blk.hub)] = target;
+            parked_at[static_cast<std::size_t>(target)] =
+                static_cast<long>(u.index);
+        }
+    }
+
+    // ---- Resource state ----
+    SlotPool slots(m.num_nodes, m.comm_qubits_per_node);
+    std::vector<double> qready(
+        static_cast<std::size_t>(reordered.num_qubits()), 0.0);
+    ScheduleResult res;
+    double makespan = 0.0;
+    auto bump = [&makespan](double t) { makespan = std::max(makespan, t); };
+
+    struct Vessel
+    {
+        bool away = false;
+        NodeId node = kInvalidId;
+        int slot = -1;
+    };
+    std::vector<Vessel> vessel(
+        static_cast<std::size_t>(reordered.num_qubits()));
+
+    auto hub_ready = [&](QubitId h) {
+        return qready[static_cast<std::size_t>(h)];
+    };
+
+    auto prepare_epr = [&](NodeId a, NodeId b, double ready_floor)
+        -> std::tuple<double, int, int> {
+        const double t_min = opts.epr_prefetch ? 0.0 : ready_floor;
+        const double start =
+            std::max({slots.earliest(a), slots.earliest(b), t_min});
+        auto [sa, ta] = slots.acquire(a, start);
+        auto [sb, tb] = slots.acquire(b, start);
+        const double begin = std::max(ta, tb);
+        ++res.epr_pairs;
+        return {begin + lat.t_epr, sa, sb};
+    };
+
+    auto run_gate_local = [&](const Gate& g) {
+        double start = 0.0;
+        for (int k = 0; k < g.num_qubits; ++k)
+            start = std::max(start, qready[static_cast<std::size_t>(
+                                        g.qs[static_cast<std::size_t>(k)])]);
+        const double end = start + gate_duration(g, lat);
+        for (int k = 0; k < g.num_qubits; ++k)
+            qready[static_cast<std::size_t>(
+                g.qs[static_cast<std::size_t>(k)])] = end;
+        bump(end);
+    };
+
+    // Forward declaration for recursion into nested children.
+    std::function<void(std::size_t)> schedule_block;
+
+    // Execute a slice of a block's body once the channel is up at time
+    // t0. Member gates (and anything touching the hub) serialize on the
+    // channel; other gates run on their own timelines; nested children
+    // schedule recursively. Returns channel completion time.
+    auto run_body_slice = [&](const CommBlock& blk,
+                              const std::vector<SchedItem>& slice,
+                              double t0) {
+        double channel = t0;
+        for (const SchedItem& it : slice) {
+            if (it.is_child) {
+                schedule_block(it.index);
+                continue;
+            }
+            const Gate& g = reordered[it.index];
+            if (it.is_member || g.acts_on(blk.hub)) {
+                double start = channel;
+                for (int k = 0; k < g.num_qubits; ++k) {
+                    const QubitId q = g.qs[static_cast<std::size_t>(k)];
+                    if (q == blk.hub)
+                        continue; // hub state rides the channel
+                    start = std::max(start,
+                                     qready[static_cast<std::size_t>(q)]);
+                }
+                const double end = start + gate_duration(g, lat);
+                channel = end;
+                for (int k = 0; k < g.num_qubits; ++k) {
+                    const QubitId q = g.qs[static_cast<std::size_t>(k)];
+                    if (q != blk.hub)
+                        qready[static_cast<std::size_t>(q)] = end;
+                }
+                bump(end);
+            } else {
+                run_gate_local(g);
+            }
+        }
+        return channel;
+    };
+
+    schedule_block = [&](std::size_t b) {
+        const CommBlock& blk = blocks[b];
+        Vessel& ves = vessel[static_cast<std::size_t>(blk.hub)];
+
+        if (blk.scheme == Scheme::Cat) {
+            assert(!ves.away && "cat block scheduled while hub is away");
+            std::vector<std::size_t> segments = blk.cat_segments;
+            if (segments.empty())
+                segments.push_back(blk.members.size());
+
+            std::size_t cursor = 0;
+            for (std::size_t seg : segments) {
+                auto [epr_done, s_hub, s_rem] = prepare_epr(
+                    blk.hub_node, blk.remote_node, hub_ready(blk.hub));
+                const double e_start =
+                    std::max(epr_done, hub_ready(blk.hub));
+                const double e_end = e_start + t_ent;
+                // Hub-side comm qubit is measured during the entangle.
+                slots.release(blk.hub_node, s_hub, e_end);
+
+                std::vector<SchedItem> slice;
+                std::size_t members_run = 0;
+                while (cursor < body[b].size() && members_run < seg) {
+                    slice.push_back(body[b][cursor]);
+                    if (!body[b][cursor].is_child &&
+                        body[b][cursor].is_member)
+                        ++members_run;
+                    ++cursor;
+                }
+                const double channel = run_body_slice(blk, slice, e_end);
+
+                const double d_start =
+                    std::max(channel, hub_ready(blk.hub));
+                const double d_end = d_start + t_dis;
+                qready[static_cast<std::size_t>(blk.hub)] = d_end;
+                slots.release(blk.remote_node, s_rem, d_end);
+                bump(d_end);
+            }
+            // Trailing items after the last member.
+            while (cursor < body[b].size()) {
+                const SchedItem& it = body[b][cursor];
+                if (it.is_child)
+                    schedule_block(it.index);
+                else
+                    run_gate_local(reordered[it.index]);
+                ++cursor;
+            }
+            return;
+        }
+
+        // ---- TP block ----
+        const NodeId from = ves.away ? ves.node : blk.hub_node;
+        double arrive;
+        int vessel_slot;
+        if (from == blk.remote_node) {
+            // Fused chain revisiting the same node: nothing to move.
+            arrive = hub_ready(blk.hub);
+            vessel_slot = ves.slot;
+        } else {
+            auto [epr_done, s_from, s_to] = prepare_epr(
+                from, blk.remote_node, hub_ready(blk.hub));
+            const double t_start = std::max(epr_done, hub_ready(blk.hub));
+            arrive = t_start + t_tele;
+            ++res.teleports;
+            slots.release(from, s_from, arrive);
+            if (ves.away)
+                slots.release(ves.node, ves.slot, arrive);
+            vessel_slot = s_to;
+        }
+        ves.away = true;
+        ves.node = blk.remote_node;
+        ves.slot = vessel_slot;
+        qready[static_cast<std::size_t>(blk.hub)] = arrive;
+
+        const double channel = run_body_slice(blk, body[b], arrive);
+        qready[static_cast<std::size_t>(blk.hub)] = channel;
+        bump(channel);
+
+        if (fuse_next[b]) {
+            ++res.fused_links;
+            // Vessel stays put (its comm slot remains reserved); the
+            // hub's next TP block teleports it onward.
+            return;
+        }
+
+        // Teleport home (releases the dirty side-effect, 2nd EPR pair).
+        auto [epr_done, s_from, s_home] =
+            prepare_epr(blk.remote_node, blk.hub_node, channel);
+        const double t_start = std::max(epr_done, channel);
+        const double home = t_start + t_tele;
+        ++res.teleports;
+        slots.release(blk.remote_node, s_from, home);
+        slots.release(blk.remote_node, ves.slot, home);
+        slots.release(blk.hub_node, s_home, home);
+        qready[static_cast<std::size_t>(blk.hub)] = home;
+        ves = Vessel{};
+        bump(home);
+    };
+
+    for (const Unit& u : units) {
+        if (!u.is_block) {
+            const Gate& g = reordered[u.index];
+            if (g.kind == GateKind::Barrier)
+                continue;
+            run_gate_local(g);
+            continue;
+        }
+        schedule_block(u.index);
+    }
+
+    res.makespan = makespan;
+    return res;
+}
+
+} // namespace autocomm::pass

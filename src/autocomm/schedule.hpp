@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Communication scheduling pass and latency simulator (paper §4.4).
+ *
+ * Stage 3 of AutoComm: execute the block-reordered program on the
+ * distributed machine model and measure its makespan in CX units.
+ *
+ * The simulator is a resource-constrained list scheduler over the
+ * reordered circuit:
+ *  - every node owns two communication qubits (slots); an EPR pair
+ *    occupies one slot on each end from preparation start;
+ *  - EPR preparation (t_epr) is prefetched: it may start as soon as slots
+ *    are free, hiding its latency behind computation (disable via
+ *    options for the "greedy" ablation of Fig. 17c);
+ *  - commutable blocks without shared resources overlap naturally, and
+ *    two TP blocks sharing a node align their teleportations because both
+ *    EPR preparations are issued concurrently on distinct slots (Fig. 13b);
+ *  - consecutive TP blocks teleporting the same hub fuse into a cyclic
+ *    teleport chain A -> B -> C -> A, saving (n-1)(t_epr + t_teleport)
+ *    (Fig. 14b; disable via options).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autocomm/burst.hpp"
+#include "hw/machine.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::pass {
+
+/** Options for the scheduling pass. */
+struct ScheduleOptions
+{
+    /** Start EPR preparation as early as slots allow (hide t_epr). */
+    bool epr_prefetch = true;
+
+    /** Fuse same-hub sequential TP blocks into teleport cycles. */
+    bool tp_fusion = true;
+};
+
+/** Outcome of scheduling. */
+struct ScheduleResult
+{
+    double makespan = 0.0;       ///< Program latency in CX units.
+    std::size_t epr_pairs = 0;   ///< EPR pairs actually consumed.
+    std::size_t teleports = 0;   ///< Qubit teleportations performed.
+    std::size_t fused_links = 0; ///< TP chain links that skipped a return.
+};
+
+/**
+ * Schedule @p reordered (produced by reorder_with_blocks) with the given
+ * blocks on machine @p m under mapping @p map.
+ *
+ * @param block_start for each block, the index in @p reordered of its
+ *        first gate (the out-param of reorder_with_blocks).
+ */
+ScheduleResult schedule_program(const qir::Circuit& reordered,
+                                const std::vector<CommBlock>& blocks,
+                                const std::vector<std::size_t>& block_start,
+                                const hw::QubitMapping& map,
+                                const hw::Machine& m,
+                                const ScheduleOptions& opts = {});
+
+} // namespace autocomm::pass

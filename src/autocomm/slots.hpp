@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Communication-qubit slot pool shared by the AutoComm scheduler and the
+ * baseline latency simulators: each node owns a fixed number of
+ * communication qubits; an EPR pair reserves one slot on each end until
+ * the consuming protocol releases it.
+ */
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "qir/types.hpp"
+
+namespace autocomm::pass {
+
+/** Per-node communication-qubit slot pool with reservation semantics. */
+class SlotPool
+{
+  public:
+    SlotPool(int num_nodes, int slots_per_node)
+        : free_(static_cast<std::size_t>(num_nodes),
+                std::vector<double>(static_cast<std::size_t>(slots_per_node),
+                                    0.0))
+    {
+    }
+
+    /** Earliest time a slot on @p node becomes free. */
+    double
+    earliest(NodeId node) const
+    {
+        const auto& v = free_[static_cast<std::size_t>(node)];
+        return *std::min_element(v.begin(), v.end());
+    }
+
+    /**
+     * Acquire the earliest slot on @p node, no sooner than @p t_min.
+     * The slot is reserved (unavailable) until the caller release()s it
+     * with the final busy-until time. Returns {slot index, start time}.
+     */
+    std::pair<int, double>
+    acquire(NodeId node, double t_min)
+    {
+        auto& v = free_[static_cast<std::size_t>(node)];
+        const auto it = std::min_element(v.begin(), v.end());
+        const double t = std::max(*it, t_min);
+        *it = std::numeric_limits<double>::infinity();
+        return {static_cast<int>(it - v.begin()), t};
+    }
+
+    /** End a reservation: the slot becomes free at @p until. */
+    void
+    release(NodeId node, int slot, double until)
+    {
+        free_[static_cast<std::size_t>(node)]
+             [static_cast<std::size_t>(slot)] = until;
+    }
+
+  private:
+    std::vector<std::vector<double>> free_;
+};
+
+} // namespace autocomm::pass

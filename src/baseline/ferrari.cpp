@@ -1,0 +1,31 @@
+#include "baseline/ferrari.hpp"
+
+namespace autocomm::baseline {
+
+pass::CompileResult
+compile_ferrari(const qir::Circuit& c, const hw::QubitMapping& map,
+                const hw::Machine& m)
+{
+    pass::CompileOptions opts;
+    opts.aggregate.use_commutation = false; // one block per remote gate
+    opts.schedule.tp_fusion = false;        // nothing to fuse anyway
+    opts.schedule.epr_prefetch = true;      // as-soon-as-possible greedy
+    return pass::compile(c, map, m, opts);
+}
+
+RelativeFactors
+relative_factors(const pass::CompileResult& baseline,
+                 const pass::CompileResult& autocomm)
+{
+    RelativeFactors f;
+    if (autocomm.metrics.total_comms > 0)
+        f.improv_factor =
+            static_cast<double>(baseline.metrics.total_comms) /
+            static_cast<double>(autocomm.metrics.total_comms);
+    if (autocomm.schedule.makespan > 0)
+        f.lat_dec_factor =
+            baseline.schedule.makespan / autocomm.schedule.makespan;
+    return f;
+}
+
+} // namespace autocomm::baseline

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * GP-TP baseline (paper §5.3): the graph-partition-based compiler of
+ * Baker et al. [11], upgraded (as in the paper) to use TP-Comm for its
+ * remote SWAPs, since a teleported SWAP needs only two EPR pairs.
+ *
+ * The compiler keeps a dynamic qubit placement. Whenever a two-qubit gate
+ * is remote under the current placement, one operand is moved to the
+ * other's node by a remote SWAP (teleport the mover in, teleport a victim
+ * out: 2 EPR pairs), after which the gate runs locally. Victims are
+ * chosen least-recently-used, approximating the time-sliced partition
+ * refinement of [11].
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "hw/machine.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::baseline {
+
+/** Outcome of the GP-TP compilation + latency simulation. */
+struct GptpResult
+{
+    std::size_t total_comms = 0;  ///< EPR pairs consumed (2 per swap).
+    std::size_t remote_swaps = 0; ///< Remote SWAPs performed.
+    double makespan = 0.0;        ///< Program latency (CX units).
+};
+
+/** Run the GP-TP strategy from the given initial placement. */
+GptpResult compile_gptp(const qir::Circuit& c,
+                        const hw::QubitMapping& initial,
+                        const hw::Machine& m);
+
+} // namespace autocomm::baseline

@@ -1,0 +1,44 @@
+#include "circuits/bv.hpp"
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace autocomm::circuits {
+
+qir::Circuit
+make_bv_with_string(int num_qubits, const std::vector<bool>& hidden)
+{
+    if (num_qubits < 2)
+        support::fatal("make_bv: need at least 2 qubits");
+    if (hidden.size() != static_cast<std::size_t>(num_qubits - 1))
+        support::fatal("make_bv: hidden string must have n-1 bits");
+
+    qir::Circuit c(num_qubits);
+    const QubitId anc = num_qubits - 1;
+
+    for (QubitId q = 0; q < anc; ++q)
+        c.h(q);
+    c.x(anc).h(anc);
+
+    // Oracle: phase kickback CX from each set input bit onto the ancilla.
+    for (QubitId q = 0; q < anc; ++q)
+        if (hidden[static_cast<std::size_t>(q)])
+            c.cx(q, anc);
+
+    for (QubitId q = 0; q < anc; ++q)
+        c.h(q);
+    c.h(anc);
+    return c;
+}
+
+qir::Circuit
+make_bv(int num_qubits, std::uint64_t seed, double ones_density)
+{
+    support::Rng rng(seed);
+    std::vector<bool> hidden(static_cast<std::size_t>(num_qubits - 1));
+    for (std::size_t i = 0; i < hidden.size(); ++i)
+        hidden[i] = rng.next_bool(ones_density);
+    return make_bv_with_string(num_qubits, hidden);
+}
+
+} // namespace autocomm::circuits

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Bernstein–Vazirani generator (Table 2 "BV").
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/**
+ * Bernstein–Vazirani circuit over @p num_qubits qubits: qubits
+ * 0..n-2 are the input register, qubit n-1 is the oracle ancilla.
+ * The hidden string has `ones_density` expected density, drawn with the
+ * given seed (fixed seed => fixed string => deterministic gate counts).
+ */
+qir::Circuit make_bv(int num_qubits, std::uint64_t seed = 7,
+                     double ones_density = 0.66);
+
+/** Bernstein–Vazirani with an explicit hidden string (size n-1). */
+qir::Circuit make_bv_with_string(int num_qubits,
+                                 const std::vector<bool>& hidden);
+
+} // namespace autocomm::circuits

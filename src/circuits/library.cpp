@@ -1,0 +1,120 @@
+#include "circuits/library.hpp"
+
+#include "circuits/bv.hpp"
+#include "circuits/mctr.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/rca.hpp"
+#include "circuits/uccsd.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::circuits {
+
+const char*
+family_name(Family f)
+{
+    switch (f) {
+      case Family::MCTR: return "MCTR";
+      case Family::RCA: return "RCA";
+      case Family::QFT: return "QFT";
+      case Family::BV: return "BV";
+      case Family::QAOA: return "QAOA";
+      case Family::UCCSD: return "UCCSD";
+    }
+    return "?";
+}
+
+std::string
+BenchmarkSpec::label() const
+{
+    return support::strprintf("%s-%d-%d", family_name(family), num_qubits,
+                              num_nodes);
+}
+
+qir::Circuit
+make_benchmark(const BenchmarkSpec& spec, std::uint64_t seed)
+{
+    switch (spec.family) {
+      case Family::MCTR:
+        return make_mctr(spec.num_qubits);
+      case Family::RCA:
+        return make_rca(spec.num_qubits);
+      case Family::QFT:
+        return make_qft(spec.num_qubits);
+      case Family::BV:
+        return make_bv(spec.num_qubits, seed);
+      case Family::QAOA:
+        return make_qaoa(paper_density_maxcut(spec.num_qubits, seed));
+      case Family::UCCSD: {
+        UccsdOptions opts;
+        opts.seed = seed;
+        return make_uccsd(spec.num_qubits, opts);
+      }
+    }
+    support::fatal("make_benchmark: unknown family");
+}
+
+std::vector<BenchmarkSpec>
+paper_suite()
+{
+    return {
+        {Family::MCTR, 100, 10}, {Family::MCTR, 200, 20},
+        {Family::MCTR, 300, 30}, {Family::RCA, 100, 10},
+        {Family::RCA, 200, 20},  {Family::RCA, 300, 30},
+        {Family::QFT, 100, 10},  {Family::QFT, 200, 20},
+        {Family::QFT, 300, 30},  {Family::BV, 100, 10},
+        {Family::BV, 200, 20},   {Family::BV, 300, 30},
+        {Family::QAOA, 100, 10}, {Family::QAOA, 200, 20},
+        {Family::QAOA, 300, 30}, {Family::UCCSD, 8, 4},
+        {Family::UCCSD, 12, 6},  {Family::UCCSD, 16, 8},
+    };
+}
+
+std::vector<BenchmarkSpec>
+small_suite()
+{
+    return {
+        {Family::MCTR, 100, 10}, {Family::RCA, 100, 10},
+        {Family::QFT, 100, 10},  {Family::BV, 100, 10},
+        {Family::QAOA, 100, 10}, {Family::UCCSD, 8, 4},
+    };
+}
+
+qir::Circuit
+figure4_program()
+{
+    // Nodes: A = {q0, q1}, B = {q2, q3, q4}, C = {q5, q6}.
+    // The program mirrors the structure of the paper's Figure 4 arithmetic
+    // snippet: a hub qubit (q2, paper's q3) with many remote interactions
+    // toward node A, both as control and as target, with a Tdg landing on
+    // the hub between two of them, plus cross traffic to node C that the
+    // aggregation pass must commute out of the way.
+    qir::Circuit c(7);
+    c.h(0);
+    c.cx(0, 2);       // A-B remote, hub q2 as target
+    c.t(2);
+    c.cx(0, 3);       // A-B remote (q0 hub toward B)
+    c.cx(1, 3);       // A-B remote
+    c.cx(0, 5);       // A-C remote, commutes in between (shared control q0)
+    c.cx(2, 0);       // B-A remote, hub q2 as control
+    c.tdg(2);         // blocks a single Cat-Comm over the q2 burst
+    c.cx(2, 1);       // B-A remote, hub q2 as control
+    c.cx(2, 1);       // B-A remote (q2's 5th gate: densest pair, like
+                      // the paper's 5-gate q3/node-A pair)
+    c.cx(4, 2);       // local (node B)
+    c.cx(2, 0);       // B-A remote again
+    c.rz(5, 0.25);
+    c.cx(5, 6);       // local (node C)
+    c.cx(2, 6);       // B-C remote
+    c.h(4);
+    c.cx(4, 1);       // B-A remote (different hub)
+    return c;
+}
+
+std::vector<int>
+figure4_mapping()
+{
+    return {0, 0, 1, 1, 1, 2, 2};
+}
+
+} // namespace autocomm::circuits

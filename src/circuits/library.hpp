@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Benchmark library: a unified interface over all Table-2 benchmark
+ * families, the paper's 18-program suite, and the worked example program
+ * of Figure 4.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/** Table 2 benchmark families. */
+enum class Family { MCTR, RCA, QFT, BV, QAOA, UCCSD };
+
+/** Short uppercase family mnemonic ("QFT", ...). */
+const char* family_name(Family f);
+
+/** One benchmark configuration row of Table 2. */
+struct BenchmarkSpec
+{
+    Family family;
+    int num_qubits;
+    int num_nodes;
+
+    /** "QFT-100-10"-style label used in Table 3. */
+    std::string label() const;
+};
+
+/**
+ * Build the (undecomposed) circuit for a benchmark spec. Deterministic for
+ * a fixed seed. Call qir::decompose() to reach the CX+1q basis the
+ * communication passes analyse.
+ */
+qir::Circuit make_benchmark(const BenchmarkSpec& spec,
+                            std::uint64_t seed = 2022);
+
+/** The 18 (family, #qubit, #node) rows of paper Table 2. */
+std::vector<BenchmarkSpec> paper_suite();
+
+/** A reduced suite (the 100-qubit / smallest configs) for quick runs. */
+std::vector<BenchmarkSpec> small_suite();
+
+/**
+ * A reconstruction of the paper's Figure 4 worked example: a 7-qubit
+ * program distributed over 3 nodes ({q0,q1} on A, {q2,q3,q4} on B,
+ * {q5,q6} on C) exhibiting every burst pattern the paper discusses:
+ * unidirectional control blocks, a bidirectional block, and a
+ * unidirectional block broken by a Tdg on the hub qubit.
+ */
+qir::Circuit figure4_program();
+
+/** The node assignment matching figure4_program (3 nodes). */
+std::vector<int> figure4_mapping();
+
+} // namespace autocomm::circuits

@@ -1,0 +1,41 @@
+#include "circuits/mctr.hpp"
+
+#include <numeric>
+
+#include "qir/decompose.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::circuits {
+
+qir::Circuit
+make_mctr(int num_qubits)
+{
+    if (num_qubits < 5)
+        support::fatal("make_mctr: need at least 5 qubits");
+    qir::Circuit c(num_qubits);
+
+    std::vector<QubitId> controls(static_cast<std::size_t>(num_qubits - 2));
+    std::iota(controls.begin(), controls.end(), 0);
+    const QubitId free_qubit = num_qubits - 2;
+    const QubitId target = num_qubits - 1;
+
+    std::vector<QubitId> all(static_cast<std::size_t>(num_qubits));
+    std::iota(all.begin(), all.end(), 0);
+
+    qir::emit_mcx_split(c, controls, target, free_qubit, all);
+    return c;
+}
+
+std::size_t
+mctr_expected_toffolis(int num_qubits)
+{
+    // Lemma 7.3 split of C^k X (k = n-2) through one borrowed qubit:
+    // two V-chains over m = ceil(k/2) controls (4(m-2) Toffolis each) and
+    // two over k-m+1 controls (4(k-m-1) Toffolis each).
+    const int k = num_qubits - 2;
+    const int m = (k + 1) / 2;
+    return static_cast<std::size_t>(2 * 4 * (m - 2) +
+                                    2 * 4 * (k - m + 1 - 2));
+}
+
+} // namespace autocomm::circuits

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Multi-controlled gate benchmark (Table 2 "MCTR"): C^{n-2}X over an
+ * n-qubit register, synthesized with Barenco Lemma 7.3 (one borrowed
+ * qubit) on top of Lemma 7.2 dirty-ancilla V-chains. This construction
+ * reproduces the paper's CX counts exactly: 4560 / 9360 / 14160 CX at
+ * 100 / 200 / 300 qubits.
+ */
+#pragma once
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/**
+ * C^{n-2}X over @p num_qubits qubits: controls q0..q_{n-3}, borrowed qubit
+ * q_{n-2}, target q_{n-1}. Emits CCX gates; run qir::decompose() for the
+ * CX+U basis.
+ */
+qir::Circuit make_mctr(int num_qubits);
+
+/** Expected Toffoli count of make_mctr (for validation): 8(k-3)+8 style
+ * split bookkeeping; see the implementation notes. */
+std::size_t mctr_expected_toffolis(int num_qubits);
+
+} // namespace autocomm::circuits

@@ -1,0 +1,66 @@
+#include "circuits/qaoa.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace autocomm::circuits {
+
+MaxCutInstance
+random_maxcut(int num_vertices, std::size_t num_edges, std::uint64_t seed)
+{
+    const std::size_t max_edges =
+        static_cast<std::size_t>(num_vertices) *
+        static_cast<std::size_t>(num_vertices - 1) / 2;
+    if (num_edges > max_edges)
+        support::fatal("random_maxcut: %zu edges exceeds complete graph %zu",
+                       num_edges, max_edges);
+
+    support::Rng rng(seed);
+    MaxCutInstance inst;
+    inst.num_vertices = num_vertices;
+    std::set<std::pair<int, int>> seen;
+    while (seen.size() < num_edges) {
+        int a = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(num_vertices)));
+        int b = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(num_vertices)));
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        seen.insert({a, b});
+    }
+    inst.edges.assign(seen.begin(), seen.end());
+    return inst;
+}
+
+MaxCutInstance
+paper_density_maxcut(int num_vertices, std::uint64_t seed)
+{
+    const auto n = static_cast<std::size_t>(num_vertices);
+    const std::size_t edges =
+        static_cast<std::size_t>(0.2 * static_cast<double>(n * n) + 0.5);
+    return random_maxcut(num_vertices, edges, seed);
+}
+
+qir::Circuit
+make_qaoa(const MaxCutInstance& instance, const QaoaOptions& opts)
+{
+    qir::Circuit c(instance.num_vertices);
+    if (opts.initial_h_layer)
+        for (int q = 0; q < instance.num_vertices; ++q)
+            c.h(q);
+    for (int layer = 0; layer < opts.layers; ++layer) {
+        for (const auto& [a, b] : instance.edges)
+            c.rzz(a, b, 2.0 * opts.gamma);
+        if (opts.mixer_layer)
+            for (int q = 0; q < instance.num_vertices; ++q)
+                c.rx(q, 2.0 * opts.beta);
+    }
+    return c;
+}
+
+} // namespace autocomm::circuits

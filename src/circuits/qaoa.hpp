@@ -1,0 +1,53 @@
+/**
+ * @file
+ * QAOA MaxCut ansatz generator (Table 2 "QAOA"). The paper's QAOA
+ * benchmarks use random MaxCut instances with roughly 0.2*n^2 edges
+ * (4000/16000/36000 CX at 100/200/300 qubits after RZZ decomposition).
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/** Options for the QAOA generator. */
+struct QaoaOptions
+{
+    int layers = 1;              ///< QAOA depth p.
+    bool initial_h_layer = true; ///< |+>^n preparation.
+    bool mixer_layer = true;     ///< RX mixer after each cost layer.
+    double gamma = 0.7;          ///< Cost angle (arbitrary fixed value).
+    double beta = 0.3;           ///< Mixer angle.
+};
+
+/** A MaxCut problem instance: an undirected edge list. */
+struct MaxCutInstance
+{
+    int num_vertices = 0;
+    std::vector<std::pair<int, int>> edges;
+};
+
+/**
+ * Random MaxCut instance with exactly @p num_edges distinct edges (seeded).
+ */
+MaxCutInstance random_maxcut(int num_vertices, std::size_t num_edges,
+                             std::uint64_t seed);
+
+/**
+ * Random MaxCut at the paper's density: round(0.2 * n^2) edges.
+ */
+MaxCutInstance paper_density_maxcut(int num_vertices, std::uint64_t seed);
+
+/**
+ * QAOA ansatz for @p instance: optional H layer, then per layer one
+ * RZZ(2*gamma) per edge plus an optional RX(2*beta) mixer. RZZ gates stay
+ * whole; run qir::decompose() for the CX basis.
+ */
+qir::Circuit make_qaoa(const MaxCutInstance& instance,
+                       const QaoaOptions& opts = {});
+
+} // namespace autocomm::circuits

@@ -1,0 +1,33 @@
+#include "circuits/qft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/log.hpp"
+
+namespace autocomm::circuits {
+
+qir::Circuit
+make_qft(int num_qubits, const QftOptions& opts)
+{
+    if (num_qubits <= 0)
+        support::fatal("make_qft: need at least one qubit");
+    qir::Circuit c(num_qubits);
+    for (int i = 0; i < num_qubits; ++i) {
+        c.h(i);
+        for (int j = i + 1; j < num_qubits; ++j) {
+            const int k = j - i;
+            if (opts.approx_cutoff > 0 && k > opts.approx_cutoff)
+                continue;
+            // ldexp avoids 1<<k overflow for deep ladders (k can exceed 60).
+            const double angle = std::ldexp(std::numbers::pi, -k);
+            c.cp(j, i, angle);
+        }
+    }
+    if (opts.with_final_swaps)
+        for (int i = 0; i < num_qubits / 2; ++i)
+            c.swap(i, num_qubits - 1 - i);
+    return c;
+}
+
+} // namespace autocomm::circuits

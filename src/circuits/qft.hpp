@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Quantum Fourier Transform generator (paper §3.2, Table 2 "QFT").
+ */
+#pragma once
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/** Options for the QFT generator. */
+struct QftOptions
+{
+    /**
+     * Emit the final qubit-reversal SWAP network. The paper's
+     * communication analysis studies the rotation ladder, so the default
+     * matches that (no swaps); enable for the textbook-complete transform.
+     */
+    bool with_final_swaps = false;
+
+    /**
+     * Drop controlled rotations with angle below pi/2^approx_cutoff
+     * (approximate QFT). 0 disables approximation.
+     */
+    int approx_cutoff = 0;
+};
+
+/**
+ * n-qubit QFT: for each i ascending, H(q_i) then CP(pi/2^(j-i)) controlled
+ * by each higher qubit q_j onto q_i. Controlled phases stay as CP gates;
+ * run qir::decompose() to reach the CX basis.
+ */
+qir::Circuit make_qft(int num_qubits, const QftOptions& opts = {});
+
+} // namespace autocomm::circuits

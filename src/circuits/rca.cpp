@@ -1,0 +1,51 @@
+#include "circuits/rca.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::circuits {
+
+int
+rca_operand_bits(int num_qubits)
+{
+    return (num_qubits - 2) / 2;
+}
+
+qir::Circuit
+make_rca(int num_qubits)
+{
+    if (num_qubits < 4 || num_qubits % 2 != 0)
+        support::fatal("make_rca: need an even qubit count >= 4");
+    const int m = rca_operand_bits(num_qubits);
+
+    // Interleaved layout: c0, b0, a0, b1, a1, ..., b_{m-1}, a_{m-1}, z.
+    auto b = [](int i) { return 1 + 2 * i; };
+    auto a = [](int i) { return 2 + 2 * i; };
+    const QubitId cin = 0;
+    const QubitId cout = 2 * m + 1;
+
+    qir::Circuit c(num_qubits);
+
+    // MAJ(x, y, z): computes majority in-place (z becomes carry chain).
+    auto maj = [&c](QubitId x, QubitId y, QubitId z) {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    // UMA(x, y, z): un-majority and add (2-CX + CCX variant).
+    auto uma = [&c](QubitId x, QubitId y, QubitId z) {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    maj(cin, b(0), a(0));
+    for (int i = 1; i < m; ++i)
+        maj(a(i - 1), b(i), a(i));
+    c.cx(a(m - 1), cout);
+    for (int i = m - 1; i >= 1; --i)
+        uma(a(i - 1), b(i), a(i));
+    uma(cin, b(0), a(0));
+    return c;
+}
+
+} // namespace autocomm::circuits

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Cuccaro ripple-carry adder generator (Table 2 "RCA"). An n-qubit
+ * benchmark instance adds two (n-2)/2-bit registers with one carry-in and
+ * one carry-out qubit, the layout whose CX counts match the paper
+ * (785/1585/2385 CX at 100/200/300 qubits).
+ */
+#pragma once
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/**
+ * Cuccaro ripple-carry adder over @p num_qubits total qubits
+ * (must be even and >= 4). Register layout, interleaved to keep each
+ * bit position's operands adjacent:
+ *   q0 = carry-in, then (b_i, a_i) pairs, finally q_{n-1} = carry-out.
+ * Result: b <- a + b. Toffolis stay as CCX; run qir::decompose() for CX.
+ */
+qir::Circuit make_rca(int num_qubits);
+
+/** Operand width m for a given total qubit budget: (num_qubits-2)/2. */
+int rca_operand_bits(int num_qubits);
+
+} // namespace autocomm::circuits

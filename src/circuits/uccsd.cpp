@@ -1,0 +1,114 @@
+#include "circuits/uccsd.hpp"
+
+#include <numbers>
+#include <vector>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace autocomm::circuits {
+
+namespace {
+
+/** Pauli letter on one qubit of an excitation string. */
+enum class Pauli { X, Y };
+
+/**
+ * Append exp(-i theta/2 * P) for the Pauli string that has the given
+ * X/Y letters on `sites` (ascending) and Z on every qubit strictly
+ * between consecutive sites (Jordan-Wigner parity chain).
+ *
+ * Layout: basis change into Z (H for X, RX(pi/2) for Y), a CX parity
+ * ladder down to the last site, RZ(theta), and the mirrored tail.
+ */
+void
+emit_pauli_exponential(qir::Circuit& c, const std::vector<QubitId>& sites,
+                       const std::vector<Pauli>& letters, double theta)
+{
+    const double half_pi = std::numbers::pi / 2;
+    for (std::size_t k = 0; k < sites.size(); ++k) {
+        if (letters[k] == Pauli::X)
+            c.h(sites[k]);
+        else
+            c.rx(sites[k], half_pi);
+    }
+    // Parity ladder across the full JW support (includes the Z chain).
+    const QubitId lo = sites.front();
+    const QubitId hi = sites.back();
+    for (QubitId q = lo; q < hi; ++q)
+        c.cx(q, q + 1);
+    c.rz(hi, theta);
+    for (QubitId q = hi; q > lo; --q)
+        c.cx(q - 1, q);
+    for (std::size_t k = 0; k < sites.size(); ++k) {
+        if (letters[k] == Pauli::X)
+            c.h(sites[k]);
+        else
+            c.rx(sites[k], -half_pi);
+    }
+}
+
+} // namespace
+
+qir::Circuit
+make_uccsd(int num_spin_orbitals, const UccsdOptions& opts)
+{
+    if (num_spin_orbitals < 4)
+        support::fatal("make_uccsd: need at least 4 spin-orbitals");
+    const int occ =
+        opts.num_occupied > 0 ? opts.num_occupied : num_spin_orbitals / 2;
+    if (occ <= 0 || occ >= num_spin_orbitals)
+        support::fatal("make_uccsd: bad occupation %d", occ);
+
+    support::Rng rng(opts.seed);
+    qir::Circuit c(num_spin_orbitals);
+
+    // Hartree-Fock reference state: occupied orbitals set to |1>.
+    for (QubitId q = 0; q < occ; ++q)
+        c.x(q);
+
+    for (int step = 0; step < opts.trotter_steps; ++step) {
+        // Single excitations i (occ) -> a (virt):
+        // t/2 * (X_i Y_a - Y_i X_a) exponentials.
+        for (QubitId i = 0; i < occ; ++i) {
+            for (QubitId a = occ; a < num_spin_orbitals; ++a) {
+                const double t = 0.1 + 0.2 * rng.next_double();
+                emit_pauli_exponential(c, {i, a}, {Pauli::X, Pauli::Y}, t);
+                emit_pauli_exponential(c, {i, a}, {Pauli::Y, Pauli::X}, -t);
+            }
+        }
+        // Double excitations (i<j occ) -> (a<b virt): the standard 8
+        // strings with an odd number of Y letters.
+        for (QubitId i = 0; i < occ; ++i) {
+            for (QubitId j = i + 1; j < occ; ++j) {
+                for (QubitId a = occ; a < num_spin_orbitals; ++a) {
+                    for (QubitId b = a + 1; b < num_spin_orbitals; ++b) {
+                        const double t = 0.05 + 0.1 * rng.next_double();
+                        static const Pauli kStrings[8][4] = {
+                            {Pauli::X, Pauli::X, Pauli::X, Pauli::Y},
+                            {Pauli::X, Pauli::X, Pauli::Y, Pauli::X},
+                            {Pauli::X, Pauli::Y, Pauli::X, Pauli::X},
+                            {Pauli::Y, Pauli::X, Pauli::X, Pauli::X},
+                            {Pauli::X, Pauli::Y, Pauli::Y, Pauli::Y},
+                            {Pauli::Y, Pauli::X, Pauli::Y, Pauli::Y},
+                            {Pauli::Y, Pauli::Y, Pauli::X, Pauli::Y},
+                            {Pauli::Y, Pauli::Y, Pauli::Y, Pauli::X},
+                        };
+                        static const double kSigns[8] = {1, 1, -1, -1,
+                                                         -1, -1, 1, 1};
+                        for (int s = 0; s < 8; ++s) {
+                            emit_pauli_exponential(
+                                c, {i, j, a, b},
+                                {kStrings[s][0], kStrings[s][1],
+                                 kStrings[s][2], kStrings[s][3]},
+                                kSigns[s] * t / 8.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace autocomm::circuits

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * UCCSD ansatz generator (Table 2 "UCCSD"). The paper's instances use the
+ * molecules LiH / BeH2 / CH4, which fix 8 / 12 / 16 spin-orbitals; the
+ * circuit structure (Jordan–Wigner excitation exponentials: CX ladders
+ * around RZ cores with basis-change layers) is molecule-independent, so we
+ * synthesize the standard singles+doubles ansatz for those sizes with
+ * half-filling occupation. This preserves the communication structure the
+ * compiler exploits; see DESIGN.md substitutions.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/** Options for the UCCSD generator. */
+struct UccsdOptions
+{
+    int trotter_steps = 1;
+    /** Occupied spin-orbitals; 0 means half filling (n/2). */
+    int num_occupied = 0;
+    /** Seed for the fixed (but arbitrary) excitation amplitudes. */
+    std::uint64_t seed = 11;
+};
+
+/**
+ * UCCSD ansatz over @p num_spin_orbitals qubits: all single excitations
+ * (i occupied -> a virtual; 2 Pauli strings each) and all double
+ * excitations (i<j occupied -> a<b virtual; 8 Pauli strings each), each
+ * string compiled as basis-change + CX ladder + RZ + mirrored tail.
+ */
+qir::Circuit make_uccsd(int num_spin_orbitals,
+                        const UccsdOptions& opts = {});
+
+} // namespace autocomm::circuits

@@ -1,0 +1,33 @@
+#include "comm/epr.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::comm {
+
+void
+EprLedger::consume(NodeId a, NodeId b, std::size_t count)
+{
+    if (a == b)
+        support::fatal("EprLedger: EPR pair within a single node");
+    per_link_[key(a, b)] += count;
+    total_ += count;
+}
+
+std::size_t
+EprLedger::on_link(NodeId a, NodeId b) const
+{
+    const auto it = per_link_.find(key(a, b));
+    return it == per_link_.end() ? 0 : it->second;
+}
+
+std::pair<std::pair<NodeId, NodeId>, std::size_t>
+EprLedger::busiest() const
+{
+    std::pair<std::pair<NodeId, NodeId>, std::size_t> best{{-1, -1}, 0};
+    for (const auto& [link, n] : per_link_)
+        if (n > best.second)
+            best = {link, n};
+    return best;
+}
+
+} // namespace autocomm::comm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * EPR-pair accounting: a ledger of remote communications by node pair.
+ * Every Cat-Comm or TP-Comm invocation consumes exactly one remote EPR
+ * pair (paper §2.2), so the ledger doubles as the communication-count
+ * metric broken down by link.
+ */
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "qir/types.hpp"
+
+namespace autocomm::comm {
+
+/** Ledger of EPR pairs consumed per node pair. */
+class EprLedger
+{
+  public:
+    /** Record the consumption of one EPR pair between @p a and @p b. */
+    void consume(NodeId a, NodeId b, std::size_t count = 1);
+
+    /** Total EPR pairs consumed. */
+    std::size_t total() const { return total_; }
+
+    /** EPR pairs consumed on the (a, b) link (order-insensitive). */
+    std::size_t on_link(NodeId a, NodeId b) const;
+
+    /** Number of distinct links used. */
+    std::size_t links_used() const { return per_link_.size(); }
+
+    /** The busiest link and its count ({-1,-1},0 when empty). */
+    std::pair<std::pair<NodeId, NodeId>, std::size_t> busiest() const;
+
+  private:
+    static std::pair<NodeId, NodeId>
+    key(NodeId a, NodeId b)
+    {
+        return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    }
+
+    std::map<std::pair<NodeId, NodeId>, std::size_t> per_link_;
+    std::size_t total_ = 0;
+};
+
+} // namespace autocomm::comm

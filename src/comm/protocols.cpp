@@ -1,0 +1,114 @@
+#include "comm/protocols.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::comm {
+
+PhysicalLayout::PhysicalLayout(const hw::Machine& m,
+                               const hw::QubitMapping& map)
+    : machine_(m), map_(map)
+{
+    map_.validate(m);
+    const int per = m.qubits_per_node + m.comm_qubits_per_node;
+    total_ = m.num_nodes * per;
+
+    data_phys_.assign(static_cast<std::size_t>(map.num_qubits()),
+                      kInvalidId);
+    std::vector<int> next_slot(static_cast<std::size_t>(m.num_nodes), 0);
+    for (QubitId q = 0; q < map.num_qubits(); ++q) {
+        const NodeId node = map.node_of(q);
+        const int slot = next_slot[static_cast<std::size_t>(node)]++;
+        data_phys_[static_cast<std::size_t>(q)] = node * per + slot;
+    }
+}
+
+QubitId
+PhysicalLayout::data(QubitId q) const
+{
+    return data_phys_[static_cast<std::size_t>(q)];
+}
+
+QubitId
+PhysicalLayout::comm(NodeId node, int k) const
+{
+    if (k < 0 || k >= machine_.comm_qubits_per_node)
+        support::fatal("PhysicalLayout::comm: bad comm index %d", k);
+    const int per = machine_.qubits_per_node + machine_.comm_qubits_per_node;
+    return node * per + machine_.qubits_per_node + k;
+}
+
+NodeId
+PhysicalLayout::node_of_phys(QubitId pq) const
+{
+    const int per = machine_.qubits_per_node + machine_.comm_qubits_per_node;
+    return pq / per;
+}
+
+void
+emit_epr(qir::Circuit& c, QubitId a, QubitId b)
+{
+    c.reset(a).reset(b).h(a).cx(a, b);
+}
+
+CbitId
+emit_cat_entangle(qir::Circuit& c, QubitId data, QubitId epr_local,
+                  QubitId epr_remote)
+{
+    const CbitId bit = c.add_cbit();
+    c.cx(data, epr_local);
+    c.measure(epr_local, bit);
+    c.add(qir::Gate::x(epr_remote).conditioned_on(bit));
+    return bit;
+}
+
+CbitId
+emit_cat_disentangle(qir::Circuit& c, QubitId data, QubitId epr_remote)
+{
+    const CbitId bit = c.add_cbit();
+    c.h(epr_remote);
+    c.measure(epr_remote, bit);
+    c.add(qir::Gate::z(data).conditioned_on(bit));
+    return bit;
+}
+
+void
+emit_teleport(qir::Circuit& c, QubitId src, QubitId epr_local,
+              QubitId epr_remote)
+{
+    const CbitId bx = c.add_cbit(); // X correction (from epr_local)
+    const CbitId bz = c.add_cbit(); // Z correction (from src)
+    c.cx(src, epr_local);
+    c.h(src);
+    c.measure(epr_local, bx);
+    c.measure(src, bz);
+    c.add(qir::Gate::x(epr_remote).conditioned_on(bx));
+    c.add(qir::Gate::z(epr_remote).conditioned_on(bz));
+    c.reset(src);
+}
+
+void
+emit_remote_cx_cat(qir::Circuit& c, QubitId control, QubitId target,
+                   QubitId epr_local, QubitId epr_remote)
+{
+    emit_epr(c, epr_local, epr_remote);
+    emit_cat_entangle(c, control, epr_local, epr_remote);
+    c.cx(epr_remote, target);
+    emit_cat_disentangle(c, control, epr_remote);
+}
+
+void
+emit_remote_cx_tp(qir::Circuit& c, QubitId control, QubitId target,
+                  QubitId comm_near, QubitId comm_far, QubitId comm_far2)
+{
+    // Teleport the control to the target's node...
+    emit_epr(c, comm_near, comm_far);
+    emit_teleport(c, control, comm_near, comm_far);
+    // ...execute the gate locally...
+    c.cx(comm_far, target);
+    // ...and teleport it back over a second EPR pair spanning the two
+    // nodes, landing directly in the (reset) control data qubit.
+    emit_epr(c, comm_far2, control);
+    emit_teleport(c, comm_far, comm_far2, control);
+}
+
+} // namespace autocomm::comm

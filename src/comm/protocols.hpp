@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Physical communication protocols (paper Fig. 2): the cat-entangler /
+ * cat-disentangler pair behind Cat-Comm and the quantum teleportation
+ * behind TP-Comm, expanded into concrete gate sequences (including
+ * measurements and classically conditioned corrections) over a physical
+ * qubit layout that materializes each node's data and communication
+ * qubits.
+ *
+ * These expansions are exact: the test suite simulates them with the
+ * statevector engine across measurement branches and checks they
+ * implement the corresponding logical operations.
+ */
+#pragma once
+
+#include "hw/machine.hpp"
+#include "qir/circuit.hpp"
+#include "qir/types.hpp"
+
+namespace autocomm::comm {
+
+/**
+ * Physical qubit layout for a machine: node i owns data slots then its
+ * communication qubits, packed consecutively:
+ *
+ *   phys(node i) = [ i*(t+c) ... i*(t+c)+t )    data
+ *                  [ i*(t+c)+t ... (i+1)*(t+c) ) comm
+ *
+ * Logical qubit q maps to the data slot of its node in mapping order.
+ */
+class PhysicalLayout
+{
+  public:
+    PhysicalLayout(const hw::Machine& m, const hw::QubitMapping& map);
+
+    int total_qubits() const { return total_; }
+    int num_nodes() const { return machine_.num_nodes; }
+
+    /** Physical index of logical qubit @p q. */
+    QubitId data(QubitId q) const;
+
+    /** Physical index of comm qubit @p k (0 or 1) of @p node. */
+    QubitId comm(NodeId node, int k) const;
+
+    /** Node owning physical qubit @p pq. */
+    NodeId node_of_phys(QubitId pq) const;
+
+    const hw::Machine& machine() const { return machine_; }
+    const hw::QubitMapping& mapping() const { return map_; }
+
+  private:
+    hw::Machine machine_;
+    hw::QubitMapping map_;
+    int total_ = 0;
+    std::vector<QubitId> data_phys_; ///< logical qubit -> physical index
+};
+
+/**
+ * Append an EPR-pair preparation between physical qubits @p a and @p b:
+ * both reset, then H(a), CX(a, b) — the |Φ+> Bell state.
+ */
+void emit_epr(qir::Circuit& c, QubitId a, QubitId b);
+
+/**
+ * Cat-entangler (Fig. 2a left): share the state of @p data with the
+ * remote side over a prepared EPR pair (@p epr_local on the data's node,
+ * @p epr_remote on the far node). After this, @p epr_remote behaves as a
+ * control-copy of @p data.
+ *
+ * @return the classical bit used for the measurement outcome.
+ */
+CbitId emit_cat_entangle(qir::Circuit& c, QubitId data, QubitId epr_local,
+                         QubitId epr_remote);
+
+/**
+ * Cat-disentangler (Fig. 2a right): finish the Cat-Comm, restoring the
+ * sharing onto @p data alone.
+ *
+ * @return the classical bit used for the measurement outcome.
+ */
+CbitId emit_cat_disentangle(qir::Circuit& c, QubitId data,
+                            QubitId epr_remote);
+
+/**
+ * Quantum teleportation (Fig. 2b): move the state of @p src onto
+ * @p epr_remote using a prepared EPR pair (@p epr_local colocated with
+ * @p src). @p src ends in a computational basis state and is reset.
+ */
+void emit_teleport(qir::Circuit& c, QubitId src, QubitId epr_local,
+                   QubitId epr_remote);
+
+/**
+ * Reference expansion of one remote CX via Cat-Comm (Fig. 2a complete):
+ * EPR prep + entangle + CX(epr_remote, target) + disentangle.
+ */
+void emit_remote_cx_cat(qir::Circuit& c, QubitId control, QubitId target,
+                        QubitId epr_local, QubitId epr_remote);
+
+/**
+ * Reference expansion of one remote CX via TP-Comm (Fig. 2b complete):
+ * teleport the control over, run the CX locally, then teleport it back
+ * with a second EPR pair (releasing the dirty side-effect on the far
+ * communication qubit).
+ *
+ * @param comm_near  comm qubit on the control's node (first EPR end).
+ * @param comm_far   comm qubit on the target's node that hosts the
+ *                   teleported state.
+ * @param comm_far2  the target node's second comm qubit, source side of
+ *                   the return EPR pair. The control data qubit itself
+ *                   receives the returning state.
+ */
+void emit_remote_cx_tp(qir::Circuit& c, QubitId control, QubitId target,
+                       QubitId comm_near, QubitId comm_far,
+                       QubitId comm_far2);
+
+} // namespace autocomm::comm

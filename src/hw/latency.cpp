@@ -1,0 +1,12 @@
+#include "hw/latency.hpp"
+
+// LatencyModel is a header-only aggregate; this translation unit exists so
+// the hw library always has an object file and to pin the vtable-free type
+// layout under -Wall across the build.
+
+namespace autocomm::hw {
+
+static_assert(sizeof(LatencyModel) == 5 * sizeof(double),
+              "LatencyModel must remain a plain aggregate of 5 latencies");
+
+} // namespace autocomm::hw

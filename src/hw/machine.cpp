@@ -1,0 +1,87 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace autocomm::hw {
+
+QubitMapping::QubitMapping(std::vector<NodeId> qubit_node)
+    : qubit_node_(std::move(qubit_node))
+{
+    for (NodeId n : qubit_node_)
+        if (n < 0)
+            support::fatal("QubitMapping: negative node id");
+}
+
+QubitMapping
+QubitMapping::contiguous(int num_qubits, int num_nodes)
+{
+    if (num_nodes <= 0 || num_qubits < 0)
+        support::fatal("QubitMapping::contiguous: bad sizes");
+    const int per = (num_qubits + num_nodes - 1) / num_nodes;
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_qubits));
+    for (int q = 0; q < num_qubits; ++q)
+        assign[static_cast<std::size_t>(q)] = q / per;
+    return QubitMapping(std::move(assign));
+}
+
+int
+QubitMapping::num_nodes() const
+{
+    NodeId mx = -1;
+    for (NodeId n : qubit_node_)
+        mx = std::max(mx, n);
+    return mx + 1;
+}
+
+std::vector<QubitId>
+QubitMapping::qubits_on(NodeId node) const
+{
+    std::vector<QubitId> out;
+    for (std::size_t q = 0; q < qubit_node_.size(); ++q)
+        if (qubit_node_[q] == node)
+            out.push_back(static_cast<QubitId>(q));
+    return out;
+}
+
+bool
+QubitMapping::is_remote(const qir::Gate& g) const
+{
+    if (g.num_qubits < 2)
+        return false;
+    const NodeId n0 = node_of(g.qs[0]);
+    for (int i = 1; i < g.num_qubits; ++i)
+        if (node_of(g.qs[static_cast<std::size_t>(i)]) != n0)
+            return true;
+    return false;
+}
+
+std::size_t
+QubitMapping::count_remote(const qir::Circuit& c) const
+{
+    std::size_t n = 0;
+    for (const qir::Gate& g : c)
+        if (is_remote(g))
+            ++n;
+    return n;
+}
+
+void
+QubitMapping::validate(const Machine& m) const
+{
+    if (num_nodes() > m.num_nodes)
+        support::fatal("QubitMapping: uses %d nodes but machine has %d",
+                       num_nodes(), m.num_nodes);
+    std::vector<int> load(static_cast<std::size_t>(m.num_nodes), 0);
+    for (NodeId n : qubit_node_)
+        ++load[static_cast<std::size_t>(n)];
+    for (int n = 0; n < m.num_nodes; ++n)
+        if (load[static_cast<std::size_t>(n)] > m.qubits_per_node)
+            support::fatal("QubitMapping: node %d holds %d qubits, capacity "
+                           "%d",
+                           n, load[static_cast<std::size_t>(n)],
+                           m.qubits_per_node);
+}
+
+} // namespace autocomm::hw

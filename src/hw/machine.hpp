@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Model of a distributed quantum machine: `num_nodes` quantum devices, each
+ * with `qubits_per_node` data qubits and (per the paper's near-term
+ * assumption, §3) two communication qubits. Quantum communication can be
+ * established between any pair of nodes (data-center all-to-all model).
+ *
+ * A QubitMapping assigns each logical program qubit to a node; it is
+ * produced by the partitioning substrate (src/partition) and consumed by
+ * every communication pass. Remote gates are two-qubit gates whose
+ * operands map to different nodes.
+ */
+#pragma once
+
+#include <vector>
+
+#include "hw/latency.hpp"
+#include "qir/circuit.hpp"
+#include "qir/types.hpp"
+
+namespace autocomm::hw {
+
+/** Static description of the distributed machine. */
+struct Machine
+{
+    int num_nodes = 1;
+    int qubits_per_node = 1;
+    int comm_qubits_per_node = 2; ///< Paper's near-term assumption.
+    LatencyModel latency{};
+
+    /** Total data-qubit capacity. */
+    int capacity() const { return num_nodes * qubits_per_node; }
+};
+
+/** Assignment of logical qubits to machine nodes. */
+class QubitMapping
+{
+  public:
+    QubitMapping() = default;
+
+    /** Build from an explicit qubit -> node vector. */
+    explicit QubitMapping(std::vector<NodeId> qubit_node);
+
+    /** Contiguous blocks: qubit q -> node q / qubits_per_node. */
+    static QubitMapping contiguous(int num_qubits, int num_nodes);
+
+    int num_qubits() const { return static_cast<int>(qubit_node_.size()); }
+
+    NodeId node_of(QubitId q) const
+    {
+        return qubit_node_[static_cast<std::size_t>(q)];
+    }
+
+    const std::vector<NodeId>& assignment() const { return qubit_node_; }
+
+    /** Number of distinct nodes referenced. */
+    int num_nodes() const;
+
+    /** Qubits mapped to @p node, ascending. */
+    std::vector<QubitId> qubits_on(NodeId node) const;
+
+    /** True iff the two-qubit (or wider) gate spans two or more nodes. */
+    bool is_remote(const qir::Gate& g) const;
+
+    /** Count of remote two-qubit gates in @p c under this mapping. */
+    std::size_t count_remote(const qir::Circuit& c) const;
+
+    /**
+     * Validate against @p m: every node's qubit count must fit
+     * m.qubits_per_node; throws support::UserError otherwise.
+     */
+    void validate(const Machine& m) const;
+
+  private:
+    std::vector<NodeId> qubit_node_;
+};
+
+} // namespace autocomm::hw

@@ -1,0 +1,74 @@
+#include "partition/interaction_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autocomm::partition {
+
+InteractionGraph::InteractionGraph(int num_qubits)
+    : num_qubits_(num_qubits),
+      adj_(static_cast<std::size_t>(num_qubits))
+{
+}
+
+InteractionGraph
+InteractionGraph::from_circuit(const qir::Circuit& c)
+{
+    InteractionGraph g(c.num_qubits());
+    for (const qir::Gate& gate : c) {
+        for (int i = 0; i < gate.num_qubits; ++i)
+            for (int j = i + 1; j < gate.num_qubits; ++j)
+                g.add_edge(gate.qs[static_cast<std::size_t>(i)],
+                           gate.qs[static_cast<std::size_t>(j)]);
+    }
+    return g;
+}
+
+void
+InteractionGraph::add_edge(QubitId a, QubitId b, long w)
+{
+    assert(a != b);
+    auto bump = [this, w](QubitId u, QubitId v) {
+        auto& row = adj_[static_cast<std::size_t>(u)];
+        auto it = std::find_if(row.begin(), row.end(),
+                               [v](const auto& e) { return e.first == v; });
+        if (it != row.end())
+            it->second += w;
+        else
+            row.emplace_back(v, w);
+    };
+    bump(a, b);
+    bump(b, a);
+}
+
+long
+InteractionGraph::weight(QubitId a, QubitId b) const
+{
+    const auto& row = adj_[static_cast<std::size_t>(a)];
+    auto it = std::find_if(row.begin(), row.end(),
+                           [b](const auto& e) { return e.first == b; });
+    return it != row.end() ? it->second : 0;
+}
+
+long
+InteractionGraph::degree(QubitId q) const
+{
+    long d = 0;
+    for (const auto& [v, w] : adj_[static_cast<std::size_t>(q)])
+        d += w;
+    return d;
+}
+
+long
+InteractionGraph::cut_weight(const std::vector<NodeId>& part) const
+{
+    long cut = 0;
+    for (int q = 0; q < num_qubits_; ++q)
+        for (const auto& [v, w] : adj_[static_cast<std::size_t>(q)])
+            if (q < v && part[static_cast<std::size_t>(q)] !=
+                             part[static_cast<std::size_t>(v)])
+                cut += w;
+    return cut;
+}
+
+} // namespace autocomm::partition

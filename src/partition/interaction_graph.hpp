@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Qubit interaction graph: vertices are logical qubits, edge weights count
+ * the two-qubit (and wider) gates between each qubit pair. This is the
+ * input to graph-partition-based qubit mapping (Baker et al. [11], the
+ * mapping front-end the paper uses for all experiments).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qir/circuit.hpp"
+#include "qir/types.hpp"
+
+namespace autocomm::partition {
+
+/** Weighted undirected interaction graph over the qubits of a circuit. */
+class InteractionGraph
+{
+  public:
+    /** Empty graph over @p num_qubits vertices. */
+    explicit InteractionGraph(int num_qubits);
+
+    /**
+     * Build from a circuit: every multi-qubit gate adds weight 1 to each
+     * operand pair.
+     */
+    static InteractionGraph from_circuit(const qir::Circuit& c);
+
+    int num_qubits() const { return num_qubits_; }
+
+    /** Add @p w to the weight between @p a and @p b. */
+    void add_edge(QubitId a, QubitId b, long w = 1);
+
+    /** Interaction weight between @p a and @p b (0 if none). */
+    long weight(QubitId a, QubitId b) const;
+
+    /** Sum of weights of edges incident to @p q. */
+    long degree(QubitId q) const;
+
+    /** Neighbors of @p q with nonzero weight. */
+    const std::vector<std::pair<QubitId, long>>&
+    neighbors(QubitId q) const
+    {
+        return adj_[static_cast<std::size_t>(q)];
+    }
+
+    /** Total weight crossing a partition (qubit -> part id). */
+    long cut_weight(const std::vector<NodeId>& part) const;
+
+  private:
+    int num_qubits_;
+    std::vector<std::vector<std::pair<QubitId, long>>> adj_;
+};
+
+} // namespace autocomm::partition

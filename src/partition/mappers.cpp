@@ -1,0 +1,39 @@
+#include "partition/mappers.hpp"
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace autocomm::partition {
+
+hw::QubitMapping
+contiguous_map(int num_qubits, int num_nodes)
+{
+    return hw::QubitMapping::contiguous(num_qubits, num_nodes);
+}
+
+hw::QubitMapping
+round_robin_map(int num_qubits, int num_nodes)
+{
+    if (num_nodes <= 0)
+        support::fatal("round_robin_map: num_nodes must be positive");
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_qubits));
+    for (int q = 0; q < num_qubits; ++q)
+        assign[static_cast<std::size_t>(q)] = q % num_nodes;
+    return hw::QubitMapping(std::move(assign));
+}
+
+hw::QubitMapping
+random_map(int num_qubits, int num_nodes, std::uint64_t seed)
+{
+    // Start from the balanced contiguous layout and shuffle it so every
+    // node keeps exactly its share of qubits.
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_qubits));
+    const int per = (num_qubits + num_nodes - 1) / num_nodes;
+    for (int q = 0; q < num_qubits; ++q)
+        assign[static_cast<std::size_t>(q)] = q / per;
+    support::Rng rng(seed);
+    rng.shuffle(assign);
+    return hw::QubitMapping(std::move(assign));
+}
+
+} // namespace autocomm::partition

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Simple qubit-to-node mapping strategies used as controls and for
+ * sensitivity studies: contiguous blocks, round-robin striping, and a
+ * seeded random balanced assignment.
+ */
+#pragma once
+
+#include "hw/machine.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::partition {
+
+/** Qubit q -> node q / ceil(n/k): index-contiguous blocks. */
+hw::QubitMapping contiguous_map(int num_qubits, int num_nodes);
+
+/** Qubit q -> node q mod k: worst-case striping for local structure. */
+hw::QubitMapping round_robin_map(int num_qubits, int num_nodes);
+
+/** Balanced random assignment with a fixed seed. */
+hw::QubitMapping random_map(int num_qubits, int num_nodes,
+                            std::uint64_t seed);
+
+} // namespace autocomm::partition

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static "Overall Extreme Exchange" (OEE) qubit partitioner.
+ *
+ * The paper maps qubits to nodes with the Static Overall Extreme Exchange
+ * strategy of Baker et al. [11]: a Kernighan–Lin-style multi-way exchange
+ * heuristic. Starting from a balanced assignment, each pass greedily
+ * applies the *extreme* (maximum-gain) pairwise exchange of two qubits in
+ * different partitions — even when the immediate gain is negative, KL
+ * hill-climbing style — locks the pair, and at pass end rolls back to the
+ * best prefix of the exchange sequence. Passes repeat until no pass
+ * improves the cut.
+ */
+#pragma once
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "partition/interaction_graph.hpp"
+
+namespace autocomm::partition {
+
+/** Configuration for the OEE partitioner. */
+struct OeeOptions
+{
+    /** Upper bound on improvement passes (safety valve). */
+    int max_passes = 16;
+
+    /**
+     * Maximum exchanges considered per pass; 0 means n/2 (lock every
+     * vertex at most once per pass, the KL default).
+     */
+    int max_exchanges_per_pass = 0;
+};
+
+/**
+ * Partition the qubits of @p g into @p num_nodes balanced parts minimizing
+ * the interaction cut. The initial assignment is contiguous (qubit q ->
+ * node q/t), matching a static program layout.
+ *
+ * @return the qubit -> node assignment.
+ */
+std::vector<NodeId> oee_partition(const InteractionGraph& g, int num_nodes,
+                                  const OeeOptions& opts = {});
+
+/** Convenience: run OEE on a circuit's interaction graph. */
+hw::QubitMapping oee_map(const qir::Circuit& c, int num_nodes,
+                         const OeeOptions& opts = {});
+
+} // namespace autocomm::partition

@@ -1,0 +1,158 @@
+#include "qir/circuit.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace autocomm::qir {
+
+Circuit::Circuit(int num_qubits, int num_cbits)
+    : num_qubits_(num_qubits), num_cbits_(num_cbits)
+{
+    if (num_qubits < 0 || num_cbits < 0)
+        support::fatal("Circuit: negative register size");
+}
+
+CbitId
+Circuit::add_cbit()
+{
+    return num_cbits_++;
+}
+
+Circuit&
+Circuit::add(const Gate& g)
+{
+    for (int i = 0; i < g.num_qubits; ++i) {
+        const QubitId q = g.qs[static_cast<std::size_t>(i)];
+        if (q < 0 || q >= num_qubits_)
+            support::fatal("Circuit::add: qubit %d out of range [0, %d)", q,
+                           num_qubits_);
+    }
+    if (g.kind == GateKind::Measure && (g.cbit < 0 || g.cbit >= num_cbits_))
+        support::fatal("Circuit::add: classical bit %d out of range", g.cbit);
+    if (g.cond_bit >= num_cbits_)
+        support::fatal("Circuit::add: condition bit %d out of range",
+                       g.cond_bit);
+    gates_.push_back(g);
+    return *this;
+}
+
+Circuit&
+Circuit::append(const Circuit& other)
+{
+    if (other.num_qubits_ > num_qubits_ || other.num_cbits_ > num_cbits_)
+        support::fatal("Circuit::append: incompatible register sizes");
+    for (const Gate& g : other.gates_)
+        gates_.push_back(g);
+    return *this;
+}
+
+CircuitStats
+Circuit::stats() const
+{
+    CircuitStats s;
+    for (const Gate& g : gates_) {
+        if (g.kind == GateKind::Barrier)
+            continue;
+        ++s.total_gates;
+        switch (g.kind) {
+          case GateKind::Measure:
+            ++s.measurements;
+            break;
+          case GateKind::Reset:
+            break;
+          case GateKind::CX:
+            ++s.cx_gates;
+            ++s.two_qubit_gates;
+            break;
+          case GateKind::CCX:
+            ++s.three_qubit_gates;
+            break;
+          default:
+            if (g.num_qubits == 1)
+                ++s.single_qubit_gates;
+            else if (g.num_qubits == 2)
+                ++s.two_qubit_gates;
+            break;
+        }
+    }
+    s.depth = depth();
+    return s;
+}
+
+std::size_t
+Circuit::count(GateKind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [kind](const Gate& g) { return g.kind == kind; }));
+}
+
+std::size_t
+Circuit::depth() const
+{
+    std::vector<std::size_t> level(static_cast<std::size_t>(num_qubits_), 0);
+    std::size_t barrier_level = 0;
+    std::size_t depth = 0;
+    for (const Gate& g : gates_) {
+        if (g.kind == GateKind::Barrier) {
+            barrier_level = depth;
+            continue;
+        }
+        std::size_t start = barrier_level;
+        for (int i = 0; i < g.num_qubits; ++i)
+            start = std::max(
+                start, level[static_cast<std::size_t>(
+                           g.qs[static_cast<std::size_t>(i)])]);
+        const std::size_t finish = start + 1;
+        for (int i = 0; i < g.num_qubits; ++i)
+            level[static_cast<std::size_t>(
+                g.qs[static_cast<std::size_t>(i)])] = finish;
+        depth = std::max(depth, finish);
+    }
+    return depth;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit out(num_qubits_, num_cbits_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+        if (!is_unitary_gate(it->kind))
+            support::fatal("Circuit::inverse: non-unitary gate %s",
+                           gate_name(it->kind));
+        out.add(it->inverse());
+    }
+    return out;
+}
+
+Circuit
+Circuit::remap_qubits(const std::vector<QubitId>& perm) const
+{
+    if (perm.size() != static_cast<std::size_t>(num_qubits_))
+        support::fatal("remap_qubits: permutation size mismatch");
+    Circuit out(num_qubits_, num_cbits_);
+    for (Gate g : gates_) {
+        for (int i = 0; i < g.num_qubits; ++i) {
+            auto& q = g.qs[static_cast<std::size_t>(i)];
+            q = perm[static_cast<std::size_t>(q)];
+        }
+        out.add(g);
+    }
+    return out;
+}
+
+std::string
+Circuit::to_string() const
+{
+    std::string s = support::strprintf("circuit(%d qubits, %d cbits):\n",
+                                       num_qubits_, num_cbits_);
+    for (const Gate& g : gates_) {
+        s += "  ";
+        s += g.to_string();
+        s += '\n';
+    }
+    return s;
+}
+
+} // namespace autocomm::qir

@@ -1,0 +1,133 @@
+#include "qir/commute.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "qir/matrix.hpp"
+#include "qir/unitary.hpp"
+
+namespace autocomm::qir {
+
+bool
+gates_commute(const Gate& g1, const Gate& g2)
+{
+    if (!is_unitary_gate(g1.kind) || !is_unitary_gate(g2.kind))
+        return false;
+    if (g1.cond_bit >= 0 || g2.cond_bit >= 0)
+        return false; // classically conditioned gates are ordering fences
+
+    // Identical gate instances trivially commute (covers SWAP/SWAP, H/H on
+    // the same qubit, and identical U3s that the axis rules cannot see).
+    bool shares = false;
+    for (int i = 0; i < g1.num_qubits; ++i)
+        if (g2.acts_on(g1.qs[static_cast<std::size_t>(i)]))
+            shares = true;
+    if (!shares)
+        return true;
+
+    Gate a = g1, b = g2;
+    a.cond_bit = b.cond_bit = kInvalidId;
+    a.cond_value = b.cond_value = 1;
+    if (a == b)
+        return true;
+
+    for (int i = 0; i < g1.num_qubits; ++i) {
+        const QubitId q = g1.qs[static_cast<std::size_t>(i)];
+        if (!g2.acts_on(q))
+            continue;
+        const AxisMask m1 = g1.axis_on(q);
+        const AxisMask m2 = g2.axis_on(q);
+        if ((m1 & m2) == 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+gates_commute_exact(const Gate& g1, const Gate& g2, double eps)
+{
+    assert(is_unitary_gate(g1.kind) && is_unitary_gate(g2.kind));
+    // Collect the union of operand qubits, preserving order of appearance.
+    std::vector<QubitId> qubits;
+    auto collect = [&qubits](const Gate& g) {
+        for (int i = 0; i < g.num_qubits; ++i) {
+            const QubitId q = g.qs[static_cast<std::size_t>(i)];
+            if (std::find(qubits.begin(), qubits.end(), q) == qubits.end())
+                qubits.push_back(q);
+        }
+    };
+    collect(g1);
+    collect(g2);
+
+    // Re-index both gates over the compact qubit set and build the two
+    // embedded unitaries with a tiny circuit each.
+    const int n = static_cast<int>(qubits.size());
+    auto reindex = [&qubits](Gate g) {
+        for (int i = 0; i < g.num_qubits; ++i) {
+            auto& q = g.qs[static_cast<std::size_t>(i)];
+            q = static_cast<QubitId>(
+                std::find(qubits.begin(), qubits.end(), q) - qubits.begin());
+        }
+        return g;
+    };
+    Circuit c1(n), c2(n);
+    c1.add(reindex(g1));
+    c2.add(reindex(g2));
+    const CMatrix u1 = circuit_unitary(c1);
+    const CMatrix u2 = circuit_unitary(c2);
+    return commutator_norm(u1, u2) < eps;
+}
+
+void
+BlockContext::absorb(const Gate& g)
+{
+    for (int i = 0; i < g.num_qubits; ++i) {
+        const QubitId q = g.qs[static_cast<std::size_t>(i)];
+        const AxisMask m = g.axis_on(q);
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), q,
+            [](const auto& e, QubitId key) { return e.first < key; });
+        if (it != entries_.end() && it->first == q)
+            it->second &= m;
+        else
+            entries_.insert(it, {q, m});
+    }
+}
+
+bool
+BlockContext::commutes(const Gate& g) const
+{
+    if (!is_unitary_gate(g.kind) || g.cond_bit >= 0)
+        return false;
+    for (int i = 0; i < g.num_qubits; ++i) {
+        const QubitId q = g.qs[static_cast<std::size_t>(i)];
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), q,
+            [](const auto& e, QubitId key) { return e.first < key; });
+        if (it == entries_.end() || it->first != q)
+            continue; // block does not touch q
+        if ((g.axis_on(q) & it->second) == 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+BlockContext::touches(QubitId q) const
+{
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), q,
+        [](const auto& e, QubitId key) { return e.first < key; });
+    return it != entries_.end() && it->first == q;
+}
+
+AxisMask
+BlockContext::mask(QubitId q) const
+{
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), q,
+        [](const auto& e, QubitId key) { return e.first < key; });
+    return (it != entries_.end() && it->first == q) ? it->second : kAxisAll;
+}
+
+} // namespace autocomm::qir

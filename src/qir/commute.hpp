@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Gate commutation analysis (paper §4.2, Fig. 7).
+ *
+ * AutoComm's aggregation pass must prove that remote gates can be reordered
+ * to sit adjacent to each other. We use a sound, conservative rule engine
+ * built on per-qubit axis structure:
+ *
+ *   A gate's action on each operand qubit is classified as Z-diagonal
+ *   (controls and phase-type gates), X-axis (CX targets, X rotations),
+ *   Y-axis, or unstructured. Two gates commute if they share no qubit, or
+ *   if on every shared qubit their axis classes intersect. This covers all
+ *   of the paper's Fig. 7 rules (RZ through controls, RX through targets,
+ *   CX/CX sharing a control or a target, diagonal-diagonal) and extends
+ *   them to CZ/CP/CRZ/RZZ/CCX.
+ *
+ * Soundness: gates in this set decompose as sums of tensor-product terms
+ * whose per-qubit factors are all Z-diagonal (for the Diag class) or all X
+ * powers (for the X class); termwise commutation then implies operator
+ * commutation. The engine is validated against exact matrix commutators in
+ * the test suite.
+ */
+#pragma once
+
+#include <vector>
+
+#include "qir/circuit.hpp"
+#include "qir/gate.hpp"
+
+namespace autocomm::qir {
+
+/**
+ * True if the rule engine can prove g1 and g2 commute (as operators, up to
+ * global phase). Conservative: a false return means "unknown", not
+ * "provably non-commuting". Barriers and non-unitary operations commute
+ * with nothing.
+ */
+bool gates_commute(const Gate& g1, const Gate& g2);
+
+/**
+ * Exact commutation test via dense matrices over the union of operand
+ * qubits (both gates must be unitary). Used as the ground-truth oracle in
+ * tests; not used by the compiler.
+ */
+bool gates_commute_exact(const Gate& g1, const Gate& g2, double eps = 1e-9);
+
+/**
+ * Accumulated commutation context of a gate block: for each touched qubit,
+ * the intersection of the axis masks of every gate in the block. A
+ * candidate gate can be pushed past the whole block iff on every qubit it
+ * shares with the block the candidate's axis intersects the block's mask.
+ */
+class BlockContext
+{
+  public:
+    /** Add a gate to the block, tightening per-qubit masks. */
+    void absorb(const Gate& g);
+
+    /** True if @p g provably commutes with every gate in the block. */
+    bool commutes(const Gate& g) const;
+
+    /** True if no gate has been absorbed. */
+    bool empty() const { return entries_.empty(); }
+
+    /** True if the block touches qubit @p q. */
+    bool touches(QubitId q) const;
+
+    /** Current mask for qubit @p q (kAxisAll if untouched). */
+    AxisMask mask(QubitId q) const;
+
+  private:
+    // Sorted small vector of (qubit, mask); block widths are small (a hub
+    // qubit plus one node's qubits), so linear scans beat hashing.
+    std::vector<std::pair<QubitId, AxisMask>> entries_;
+};
+
+} // namespace autocomm::qir

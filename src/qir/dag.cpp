@@ -1,0 +1,83 @@
+#include "qir/dag.hpp"
+
+#include <algorithm>
+
+namespace autocomm::qir {
+
+GateDag::GateDag(const Circuit& c)
+{
+    const std::size_t n = c.size();
+    preds_.resize(n);
+    succs_.resize(n);
+    layers_.assign(n, 0);
+
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> last_on_qubit(
+        static_cast<std::size_t>(c.num_qubits()), kNone);
+    std::vector<std::size_t> last_on_cbit(
+        static_cast<std::size_t>(c.num_cbits()), kNone);
+    std::vector<std::size_t> barrier_frontier; // gates before last barrier
+
+    auto link = [this](std::size_t from, std::size_t to) {
+        if (std::find(preds_[to].begin(), preds_[to].end(), from) ==
+            preds_[to].end()) {
+            preds_[to].push_back(from);
+            succs_[from].push_back(to);
+        }
+    };
+
+    std::vector<std::size_t> since_barrier;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Gate& g = c[i];
+        if (g.kind == GateKind::Barrier) {
+            barrier_frontier = since_barrier;
+            since_barrier.clear();
+            // Represent the barrier as depending on everything before it.
+            for (std::size_t p : barrier_frontier)
+                link(p, i);
+            std::fill(last_on_qubit.begin(), last_on_qubit.end(), i);
+            continue;
+        }
+        since_barrier.push_back(i);
+        for (int k = 0; k < g.num_qubits; ++k) {
+            auto& last =
+                last_on_qubit[static_cast<std::size_t>(
+                    g.qs[static_cast<std::size_t>(k)])];
+            if (last != kNone)
+                link(last, i);
+            last = i;
+        }
+        if (g.kind == GateKind::Measure) {
+            auto& last = last_on_cbit[static_cast<std::size_t>(g.cbit)];
+            if (last != kNone)
+                link(last, i);
+            last = i;
+        }
+        if (g.cond_bit >= 0) {
+            auto& last = last_on_cbit[static_cast<std::size_t>(g.cond_bit)];
+            if (last != kNone)
+                link(last, i);
+            last = i;
+        }
+    }
+
+    // ASAP layering (gates are already in topological order).
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t layer = 0;
+        for (std::size_t p : preds_[i])
+            layer = std::max(layer, layers_[p] + 1);
+        layers_[i] = layer;
+        num_layers_ = std::max(num_layers_, layer + 1);
+    }
+}
+
+std::vector<std::vector<std::size_t>>
+GateDag::layered_gates() const
+{
+    std::vector<std::vector<std::size_t>> out(num_layers_);
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        out[layers_[i]].push_back(i);
+    return out;
+}
+
+} // namespace autocomm::qir

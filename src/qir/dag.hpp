@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Gate dependency DAG: per-qubit (and per-classical-bit) ordering edges
+ * between gates of a circuit. Used for depth/parallelism analysis and by
+ * the communication scheduler's as-soon-as-possible layering.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::qir {
+
+/** Dependency DAG over the gates of a fixed circuit. */
+class GateDag
+{
+  public:
+    /** Build the DAG for @p c. Barriers create full fences. */
+    explicit GateDag(const Circuit& c);
+
+    std::size_t size() const { return preds_.size(); }
+
+    /** Immediate predecessors of gate @p i (indices into the circuit). */
+    const std::vector<std::size_t>& preds(std::size_t i) const
+    {
+        return preds_[i];
+    }
+
+    /** Immediate successors of gate @p i. */
+    const std::vector<std::size_t>& succs(std::size_t i) const
+    {
+        return succs_[i];
+    }
+
+    /** ASAP layer of each gate (layer 0 = no predecessors). */
+    const std::vector<std::size_t>& layers() const { return layers_; }
+
+    /** Number of ASAP layers (== unit-latency depth). */
+    std::size_t num_layers() const { return num_layers_; }
+
+    /**
+     * Gates grouped by ASAP layer; gates within a layer touch disjoint
+     * qubits and may execute in parallel.
+     */
+    std::vector<std::vector<std::size_t>> layered_gates() const;
+
+  private:
+    std::vector<std::vector<std::size_t>> preds_;
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<std::size_t> layers_;
+    std::size_t num_layers_ = 0;
+};
+
+} // namespace autocomm::qir

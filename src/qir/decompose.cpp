@@ -1,0 +1,246 @@
+#include "qir/decompose.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/log.hpp"
+
+namespace autocomm::qir {
+
+void
+emit_cz(Circuit& out, QubitId a, QubitId b)
+{
+    out.h(b).cx(a, b).h(b);
+}
+
+void
+emit_cp(Circuit& out, QubitId a, QubitId b, double lambda)
+{
+    // cp(λ) = p(λ/2) a; cx a,b; p(-λ/2) b; cx a,b; p(λ/2) b  (Qiskit).
+    out.p(a, lambda / 2)
+        .cx(a, b)
+        .p(b, -lambda / 2)
+        .cx(a, b)
+        .p(b, lambda / 2);
+}
+
+void
+emit_crz(Circuit& out, QubitId control, QubitId target, double theta)
+{
+    out.rz(target, theta / 2)
+        .cx(control, target)
+        .rz(target, -theta / 2)
+        .cx(control, target);
+}
+
+void
+emit_rzz(Circuit& out, QubitId a, QubitId b, double theta)
+{
+    out.cx(a, b).rz(b, theta).cx(a, b);
+}
+
+void
+emit_swap(Circuit& out, QubitId a, QubitId b)
+{
+    out.cx(a, b).cx(b, a).cx(a, b);
+}
+
+void
+emit_ccx(Circuit& out, QubitId c0, QubitId c1, QubitId t)
+{
+    // Standard 6-CX Toffoli network.
+    out.h(t)
+        .cx(c1, t)
+        .tdg(t)
+        .cx(c0, t)
+        .t(t)
+        .cx(c1, t)
+        .tdg(t)
+        .cx(c0, t)
+        .t(c1)
+        .t(t)
+        .h(t)
+        .cx(c0, c1)
+        .t(c0)
+        .tdg(c1)
+        .cx(c0, c1);
+}
+
+namespace {
+
+/** Append one CCX, or its expansion, depending on @p expand. */
+void
+put_ccx(Circuit& out, QubitId c0, QubitId c1, QubitId t, bool expand)
+{
+    if (expand)
+        emit_ccx(out, c0, c1, t);
+    else
+        out.ccx(c0, c1, t);
+}
+
+/**
+ * V-chain body shared by emit_mcx_vchain: one "half" of the network, i.e.
+ * the ladder  CCX(c_{k-1}, a_{k-3}, t);  CCX(c_i, a_{i-2}, a_{i-1}) for
+ * i = k-2..2;  CCX(c_0, c_1, a_0);  then the inner ladder re-ascending.
+ */
+void
+vchain_half(Circuit& out, const std::vector<QubitId>& c, QubitId t,
+            const std::vector<QubitId>& a)
+{
+    const int k = static_cast<int>(c.size());
+    auto cc = [&](int i) { return c[static_cast<std::size_t>(i)]; };
+    auto aa = [&](int i) { return a[static_cast<std::size_t>(i)]; };
+
+    out.ccx(cc(k - 1), aa(k - 3), t);
+    for (int i = k - 2; i >= 2; --i)
+        out.ccx(cc(i), aa(i - 2), aa(i - 1));
+    out.ccx(cc(0), cc(1), aa(0));
+    for (int i = 2; i <= k - 2; ++i)
+        out.ccx(cc(i), aa(i - 2), aa(i - 1));
+}
+
+} // namespace
+
+void
+emit_mcx_vchain(Circuit& out, const std::vector<QubitId>& controls,
+                QubitId target, const std::vector<QubitId>& ancillas)
+{
+    const int k = static_cast<int>(controls.size());
+    if (k == 0) {
+        out.x(target);
+        return;
+    }
+    if (k == 1) {
+        out.cx(controls[0], target);
+        return;
+    }
+    if (k == 2) {
+        out.ccx(controls[0], controls[1], target);
+        return;
+    }
+    if (static_cast<int>(ancillas.size()) < k - 2)
+        support::fatal("emit_mcx_vchain: need %d dirty ancillas, have %zu",
+                       k - 2, ancillas.size());
+    // Two identical halves; the second cancels the dirty-ancilla phase
+    // kickback, total 4(k-2) Toffolis.
+    vchain_half(out, controls, target, ancillas);
+    vchain_half(out, controls, target, ancillas);
+}
+
+void
+emit_mcx_split(Circuit& out, const std::vector<QubitId>& controls,
+               QubitId target, QubitId free_qubit,
+               const std::vector<QubitId>& all_qubits)
+{
+    const int k = static_cast<int>(controls.size());
+    if (k <= 2) {
+        emit_mcx_vchain(out, controls, target, {});
+        return;
+    }
+    assert(free_qubit != target);
+    assert(std::find(controls.begin(), controls.end(), free_qubit) ==
+           controls.end());
+
+    // Split controls into two halves joined through free_qubit:
+    //   C^k X = C^m X(c_lo -> b) . C^(k-m+1) X(c_hi + b -> t)
+    //         . C^m X(c_lo -> b) . C^(k-m+1) X(c_hi + b -> t)
+    // with b = free_qubit, m = ceil(k/2). Each half borrows the other
+    // half's qubits (plus the target / free qubit) as dirty ancillas.
+    const int m = (k + 1) / 2;
+    const std::vector<QubitId> lo(controls.begin(), controls.begin() + m);
+    std::vector<QubitId> hi(controls.begin() + m, controls.end());
+    hi.push_back(free_qubit);
+
+    auto ancillas_for = [&](const std::vector<QubitId>& own_controls,
+                            QubitId own_target, int need) {
+        std::vector<QubitId> anc;
+        for (QubitId q : all_qubits) {
+            if (static_cast<int>(anc.size()) >= need)
+                break;
+            if (q == own_target ||
+                std::find(own_controls.begin(), own_controls.end(), q) !=
+                    own_controls.end())
+                continue;
+            anc.push_back(q);
+        }
+        if (static_cast<int>(anc.size()) < need)
+            support::fatal("emit_mcx_split: register too small (%d of %d "
+                           "ancillas)",
+                           static_cast<int>(anc.size()), need);
+        return anc;
+    };
+
+    const auto anc_lo =
+        ancillas_for(lo, free_qubit,
+                     std::max(0, static_cast<int>(lo.size()) - 2));
+    const auto anc_hi =
+        ancillas_for(hi, target,
+                     std::max(0, static_cast<int>(hi.size()) - 2));
+
+    emit_mcx_vchain(out, lo, free_qubit, anc_lo);
+    emit_mcx_vchain(out, hi, target, anc_hi);
+    emit_mcx_vchain(out, lo, free_qubit, anc_lo);
+    emit_mcx_vchain(out, hi, target, anc_hi);
+}
+
+void
+emit_mcrz(Circuit& out, const std::vector<QubitId>& controls, QubitId target,
+          double theta, QubitId free_qubit,
+          const std::vector<QubitId>& all_qubits)
+{
+    out.rz(target, theta / 2);
+    emit_mcx_split(out, controls, target, free_qubit, all_qubits);
+    out.rz(target, -theta / 2);
+    emit_mcx_split(out, controls, target, free_qubit, all_qubits);
+}
+
+Circuit
+decompose(const Circuit& c, const DecomposeOptions& opts)
+{
+    Circuit out(c.num_qubits(), c.num_cbits());
+    for (const Gate& g : c) {
+        if (g.cond_bit >= 0) {
+            // Conditioned gates are protocol-level primitives; pass through.
+            out.add(g);
+            continue;
+        }
+        switch (g.kind) {
+          case GateKind::CZ:
+            if (opts.keep_diagonal_2q)
+                out.add(g);
+            else
+                emit_cz(out, g.qs[0], g.qs[1]);
+            break;
+          case GateKind::CP:
+            if (opts.keep_diagonal_2q)
+                out.add(g);
+            else
+                emit_cp(out, g.qs[0], g.qs[1], g.params[0]);
+            break;
+          case GateKind::CRZ:
+            if (opts.keep_diagonal_2q)
+                out.add(g);
+            else
+                emit_crz(out, g.qs[0], g.qs[1], g.params[0]);
+            break;
+          case GateKind::RZZ:
+            if (opts.keep_diagonal_2q)
+                out.add(g);
+            else
+                emit_rzz(out, g.qs[0], g.qs[1], g.params[0]);
+            break;
+          case GateKind::SWAP:
+            emit_swap(out, g.qs[0], g.qs[1]);
+            break;
+          case GateKind::CCX:
+            emit_ccx(out, g.qs[0], g.qs[1], g.qs[2]);
+            break;
+          default:
+            out.add(g);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace autocomm::qir

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gate decomposition into the CX + single-qubit compilation basis
+ * (the paper compiles everything "to the CX+U3 basis" before analysing
+ * burst communication, §3.2).
+ *
+ * Also provides the multi-controlled constructions needed by the MCTR
+ * benchmark: Barenco et al. Lemma 7.2 (dirty-ancilla V-chain, 4(k-2)
+ * Toffolis) and Lemma 7.3 (split through one borrowed qubit), which
+ * together realize C^{n-2}X on an n-qubit register — exactly the paper's
+ * MCTR gate counts (4560/9360/14160 CX at 100/200/300 qubits).
+ */
+#pragma once
+
+#include <vector>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::qir {
+
+/** Options for decompose(). */
+struct DecomposeOptions
+{
+    /** Leave CZ/CP/CRZ/RZZ intact instead of expanding to CX+1q. */
+    bool keep_diagonal_2q = false;
+};
+
+/**
+ * Rewrite @p c into the CX + single-qubit basis. CCX expands to the
+ * standard 6-CX network; SWAP to 3 CX; CZ/CP/CRZ/RZZ to 2-CX forms.
+ * Measure/Reset/Barrier pass through.
+ */
+Circuit decompose(const Circuit& c, const DecomposeOptions& opts = {});
+
+/** @name Individual expansions (appended to @p out)
+ * Each is unitary-equivalent to the named gate (validated in tests).
+ * @{ */
+void emit_cz(Circuit& out, QubitId a, QubitId b);
+void emit_cp(Circuit& out, QubitId a, QubitId b, double lambda);
+void emit_crz(Circuit& out, QubitId control, QubitId target, double theta);
+void emit_rzz(Circuit& out, QubitId a, QubitId b, double theta);
+void emit_swap(Circuit& out, QubitId a, QubitId b);
+void emit_ccx(Circuit& out, QubitId c0, QubitId c1, QubitId target);
+/** @} */
+
+/**
+ * Multi-controlled X with dirty (borrowed, state-preserved) ancillas,
+ * Barenco Lemma 7.2 V-chain. Requires ancillas.size() >= controls.size()-2
+ * for controls.size() >= 3; emits CCX gates (call decompose() afterwards
+ * for the CX basis).
+ */
+void emit_mcx_vchain(Circuit& out, const std::vector<QubitId>& controls,
+                     QubitId target, const std::vector<QubitId>& ancillas);
+
+/**
+ * Multi-controlled X with a single borrowed qubit, Barenco Lemma 7.3:
+ * C^k X splits into two C^m X and two C^(k-m+1) X (m = ceil(k/2)) that each
+ * have enough idle qubits to run the V-chain. @p free_qubit must not be a
+ * control or the target; all other circuit qubits may be borrowed.
+ *
+ * @param all_qubits every qubit that may be borrowed as a dirty ancilla
+ *        (typically the whole register).
+ */
+void emit_mcx_split(Circuit& out, const std::vector<QubitId>& controls,
+                    QubitId target, QubitId free_qubit,
+                    const std::vector<QubitId>& all_qubits);
+
+/**
+ * Multi-controlled Z-rotation: RZ(theta/2) on target, C^kX, RZ(-theta/2),
+ * C^kX (using emit_mcx_split).
+ */
+void emit_mcrz(Circuit& out, const std::vector<QubitId>& controls,
+               QubitId target, double theta, QubitId free_qubit,
+               const std::vector<QubitId>& all_qubits);
+
+} // namespace autocomm::qir

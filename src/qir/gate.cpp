@@ -1,0 +1,513 @@
+#include "qir/gate.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace autocomm::qir {
+
+namespace {
+
+constexpr Complex kI{0.0, 1.0};
+
+Complex
+expi(double theta)
+{
+    return {std::cos(theta), std::sin(theta)};
+}
+
+} // namespace
+
+const char*
+gate_name(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I: return "id";
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::SX: return "sx";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::P: return "p";
+      case GateKind::U3: return "u3";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::CP: return "cp";
+      case GateKind::CRZ: return "crz";
+      case GateKind::RZZ: return "rzz";
+      case GateKind::SWAP: return "swap";
+      case GateKind::CCX: return "ccx";
+      case GateKind::Measure: return "measure";
+      case GateKind::Reset: return "reset";
+      case GateKind::Barrier: return "barrier";
+    }
+    return "?";
+}
+
+int
+gate_arity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RZZ:
+      case GateKind::SWAP:
+        return 2;
+      case GateKind::CCX:
+        return 3;
+      case GateKind::Barrier:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+int
+gate_param_count(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RZZ:
+        return 1;
+      case GateKind::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+bool
+is_unitary_gate(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Measure:
+      case GateKind::Reset:
+      case GateKind::Barrier:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+is_diagonal_gate(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I:
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CZ:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+Gate
+make(GateKind kind, std::initializer_list<QubitId> qs,
+     std::initializer_list<double> ps = {})
+{
+    Gate g;
+    g.kind = kind;
+    g.num_qubits = static_cast<std::uint8_t>(qs.size());
+    std::size_t i = 0;
+    for (QubitId q : qs)
+        g.qs[i++] = q;
+    i = 0;
+    for (double p : ps)
+        g.params[i++] = p;
+    return g;
+}
+
+} // namespace
+
+Gate Gate::i(QubitId q) { return make(GateKind::I, {q}); }
+Gate Gate::h(QubitId q) { return make(GateKind::H, {q}); }
+Gate Gate::x(QubitId q) { return make(GateKind::X, {q}); }
+Gate Gate::y(QubitId q) { return make(GateKind::Y, {q}); }
+Gate Gate::z(QubitId q) { return make(GateKind::Z, {q}); }
+Gate Gate::s(QubitId q) { return make(GateKind::S, {q}); }
+Gate Gate::sdg(QubitId q) { return make(GateKind::Sdg, {q}); }
+Gate Gate::t(QubitId q) { return make(GateKind::T, {q}); }
+Gate Gate::tdg(QubitId q) { return make(GateKind::Tdg, {q}); }
+Gate Gate::sx(QubitId q) { return make(GateKind::SX, {q}); }
+
+Gate
+Gate::rx(QubitId q, double theta)
+{
+    return make(GateKind::RX, {q}, {theta});
+}
+
+Gate
+Gate::ry(QubitId q, double theta)
+{
+    return make(GateKind::RY, {q}, {theta});
+}
+
+Gate
+Gate::rz(QubitId q, double theta)
+{
+    return make(GateKind::RZ, {q}, {theta});
+}
+
+Gate
+Gate::p(QubitId q, double lambda)
+{
+    return make(GateKind::P, {q}, {lambda});
+}
+
+Gate
+Gate::u3(QubitId q, double theta, double phi, double lambda)
+{
+    return make(GateKind::U3, {q}, {theta, phi, lambda});
+}
+
+Gate
+Gate::cx(QubitId control, QubitId target)
+{
+    assert(control != target);
+    return make(GateKind::CX, {control, target});
+}
+
+Gate
+Gate::cz(QubitId a, QubitId b)
+{
+    assert(a != b);
+    return make(GateKind::CZ, {a, b});
+}
+
+Gate
+Gate::cp(QubitId a, QubitId b, double lambda)
+{
+    assert(a != b);
+    return make(GateKind::CP, {a, b}, {lambda});
+}
+
+Gate
+Gate::crz(QubitId control, QubitId target, double theta)
+{
+    assert(control != target);
+    return make(GateKind::CRZ, {control, target}, {theta});
+}
+
+Gate
+Gate::rzz(QubitId a, QubitId b, double theta)
+{
+    assert(a != b);
+    return make(GateKind::RZZ, {a, b}, {theta});
+}
+
+Gate
+Gate::swap(QubitId a, QubitId b)
+{
+    assert(a != b);
+    return make(GateKind::SWAP, {a, b});
+}
+
+Gate
+Gate::ccx(QubitId c0, QubitId c1, QubitId target)
+{
+    assert(c0 != c1 && c0 != target && c1 != target);
+    return make(GateKind::CCX, {c0, c1, target});
+}
+
+Gate
+Gate::measure(QubitId q, CbitId bit)
+{
+    Gate g = make(GateKind::Measure, {q});
+    g.cbit = bit;
+    return g;
+}
+
+Gate
+Gate::reset(QubitId q)
+{
+    return make(GateKind::Reset, {q});
+}
+
+Gate
+Gate::barrier()
+{
+    return make(GateKind::Barrier, {});
+}
+
+Gate
+Gate::conditioned_on(CbitId bit, std::uint8_t value) const
+{
+    Gate g = *this;
+    g.cond_bit = bit;
+    g.cond_value = value;
+    return g;
+}
+
+bool
+Gate::acts_on(QubitId q) const
+{
+    for (int i = 0; i < num_qubits; ++i)
+        if (qs[static_cast<std::size_t>(i)] == q)
+            return true;
+    return false;
+}
+
+AxisMask
+Gate::axis_on(QubitId q) const
+{
+    assert(acts_on(q));
+    switch (kind) {
+      case GateKind::I:
+        return kAxisAll;
+      case GateKind::X:
+      case GateKind::RX:
+      case GateKind::SX:
+        return kAxisX;
+      case GateKind::Y:
+      case GateKind::RY:
+        return kAxisY;
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CZ:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RZZ:
+        return kAxisDiag;
+      case GateKind::CX:
+        // Control is Z-diagonal, target is an X power.
+        return q == qs[0] ? kAxisDiag : kAxisX;
+      case GateKind::CCX:
+        return (q == qs[0] || q == qs[1]) ? kAxisDiag : kAxisX;
+      default:
+        // H, U3, SWAP, Measure, Reset, Barrier: no axis structure.
+        return 0;
+    }
+}
+
+CMatrix
+mat_1q(GateKind kind, double p0, double p1, double p2)
+{
+    using std::numbers::pi;
+    switch (kind) {
+      case GateKind::I:
+        return CMatrix::identity(2);
+      case GateKind::H: {
+        const double s = 1.0 / std::sqrt(2.0);
+        return CMatrix::from_rows(2, 2, {s, s, s, -s});
+      }
+      case GateKind::X:
+        return CMatrix::from_rows(2, 2, {0, 1, 1, 0});
+      case GateKind::Y:
+        return CMatrix::from_rows(2, 2, {0, -kI, kI, 0});
+      case GateKind::Z:
+        return CMatrix::from_rows(2, 2, {1, 0, 0, -1});
+      case GateKind::S:
+        return CMatrix::from_rows(2, 2, {1, 0, 0, kI});
+      case GateKind::Sdg:
+        return CMatrix::from_rows(2, 2, {1, 0, 0, -kI});
+      case GateKind::T:
+        return CMatrix::from_rows(2, 2, {1, 0, 0, expi(pi / 4)});
+      case GateKind::Tdg:
+        return CMatrix::from_rows(2, 2, {1, 0, 0, expi(-pi / 4)});
+      case GateKind::SX: {
+        const Complex a{0.5, 0.5}, b{0.5, -0.5};
+        return CMatrix::from_rows(2, 2, {a, b, b, a});
+      }
+      case GateKind::RX: {
+        const double c = std::cos(p0 / 2), s = std::sin(p0 / 2);
+        return CMatrix::from_rows(2, 2, {c, -kI * s, -kI * s, c});
+      }
+      case GateKind::RY: {
+        const double c = std::cos(p0 / 2), s = std::sin(p0 / 2);
+        return CMatrix::from_rows(2, 2, {c, -s, s, c});
+      }
+      case GateKind::RZ:
+        return CMatrix::from_rows(2, 2,
+                                  {expi(-p0 / 2), 0, 0, expi(p0 / 2)});
+      case GateKind::P:
+        return CMatrix::from_rows(2, 2, {1, 0, 0, expi(p0)});
+      case GateKind::U3: {
+        const double c = std::cos(p0 / 2), s = std::sin(p0 / 2);
+        return CMatrix::from_rows(
+            2, 2,
+            {c, -expi(p2) * s, expi(p1) * s, expi(p1 + p2) * c});
+      }
+      default:
+        support::fatal("mat_1q: %s is not a single-qubit gate",
+                       gate_name(kind));
+    }
+}
+
+CMatrix
+Gate::matrix() const
+{
+    assert(is_unitary_gate(kind));
+    switch (kind) {
+      case GateKind::CX: {
+        CMatrix m = CMatrix::identity(4);
+        // qs[0] (control) is the most significant qubit.
+        m.at(2, 2) = 0;
+        m.at(2, 3) = 1;
+        m.at(3, 3) = 0;
+        m.at(3, 2) = 1;
+        return m;
+      }
+      case GateKind::CZ: {
+        CMatrix m = CMatrix::identity(4);
+        m.at(3, 3) = -1;
+        return m;
+      }
+      case GateKind::CP: {
+        CMatrix m = CMatrix::identity(4);
+        m.at(3, 3) = expi(params[0]);
+        return m;
+      }
+      case GateKind::CRZ: {
+        CMatrix m = CMatrix::identity(4);
+        m.at(2, 2) = expi(-params[0] / 2);
+        m.at(3, 3) = expi(params[0] / 2);
+        return m;
+      }
+      case GateKind::RZZ: {
+        CMatrix m = CMatrix::identity(4);
+        const Complex e0 = expi(-params[0] / 2);
+        const Complex e1 = expi(params[0] / 2);
+        m.at(0, 0) = e0;
+        m.at(1, 1) = e1;
+        m.at(2, 2) = e1;
+        m.at(3, 3) = e0;
+        return m;
+      }
+      case GateKind::SWAP: {
+        CMatrix m(4, 4);
+        m.at(0, 0) = 1;
+        m.at(1, 2) = 1;
+        m.at(2, 1) = 1;
+        m.at(3, 3) = 1;
+        return m;
+      }
+      case GateKind::CCX: {
+        CMatrix m = CMatrix::identity(8);
+        m.at(6, 6) = 0;
+        m.at(6, 7) = 1;
+        m.at(7, 7) = 0;
+        m.at(7, 6) = 1;
+        return m;
+      }
+      default:
+        return mat_1q(kind, params[0], params[1], params[2]);
+    }
+}
+
+Gate
+Gate::inverse() const
+{
+    assert(is_unitary_gate(kind));
+    Gate g = *this;
+    switch (kind) {
+      case GateKind::S:
+        g.kind = GateKind::Sdg;
+        return g;
+      case GateKind::Sdg:
+        g.kind = GateKind::S;
+        return g;
+      case GateKind::T:
+        g.kind = GateKind::Tdg;
+        return g;
+      case GateKind::Tdg:
+        g.kind = GateKind::T;
+        return g;
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RZZ:
+        g.params[0] = -params[0];
+        return g;
+      case GateKind::SX:
+        // SX = e^{iπ/4} RX(π/2), so SX† = RX(-π/2) up to a global phase.
+        g.kind = GateKind::RX;
+        g.params = {-std::numbers::pi / 2, 0.0, 0.0};
+        return g;
+      case GateKind::U3:
+        g.params = {-params[0], -params[2], -params[1]};
+        return g;
+      default:
+        // Self-inverse gates: I, H, X, Y, Z, CX, CZ, SWAP, CCX.
+        return g;
+    }
+}
+
+bool
+Gate::operator==(const Gate& rhs) const
+{
+    if (kind != rhs.kind || num_qubits != rhs.num_qubits || qs != rhs.qs ||
+        cbit != rhs.cbit || cond_bit != rhs.cond_bit ||
+        cond_value != rhs.cond_value) {
+        return false;
+    }
+    for (int i = 0; i < gate_param_count(kind); ++i)
+        if (std::abs(params[static_cast<std::size_t>(i)] -
+                     rhs.params[static_cast<std::size_t>(i)]) > 1e-12)
+            return false;
+    return true;
+}
+
+std::string
+Gate::to_string() const
+{
+    std::string s;
+    if (cond_bit >= 0)
+        s += support::strprintf("if (c[%d]==%d) ", cond_bit, cond_value);
+    s += gate_name(kind);
+    const int np = gate_param_count(kind);
+    if (np > 0) {
+        s += '(';
+        for (int i = 0; i < np; ++i) {
+            if (i)
+                s += ", ";
+            s += support::format_double(params[static_cast<std::size_t>(i)], 6);
+        }
+        s += ')';
+    }
+    for (int i = 0; i < num_qubits; ++i) {
+        s += i ? ", " : " ";
+        s += support::strprintf("q[%d]", qs[static_cast<std::size_t>(i)]);
+    }
+    if (kind == GateKind::Measure)
+        s += support::strprintf(" -> c[%d]", cbit);
+    return s;
+}
+
+} // namespace autocomm::qir

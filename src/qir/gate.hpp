@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Gate representation and gate metadata for the quantum circuit IR.
+ *
+ * The gate set covers everything the AutoComm paper's benchmarks need:
+ * the CX+U3 compilation basis (Qiskit-style), the common named single-qubit
+ * gates, the two-qubit interaction gates that the benchmark generators emit
+ * before decomposition (CZ, CP, CRZ, RZZ, SWAP), the Toffoli (CCX), and the
+ * non-unitary operations required to express communication protocols
+ * (Measure, Reset, classically conditioned gates).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "qir/matrix.hpp"
+#include "qir/types.hpp"
+
+namespace autocomm::qir {
+
+/** All gate kinds known to the IR. */
+enum class GateKind : std::uint8_t {
+    // Single-qubit, parameter-free.
+    I,
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    SX,
+    // Single-qubit, parameterized.
+    RX,
+    RY,
+    RZ,
+    P,
+    U3,
+    // Two-qubit.
+    CX,
+    CZ,
+    CP,
+    CRZ,
+    RZZ,
+    SWAP,
+    // Three-qubit.
+    CCX,
+    // Non-unitary / structural.
+    Measure,
+    Reset,
+    Barrier,
+};
+
+/** Human-readable lowercase mnemonic ("cx", "rz", ...). */
+const char* gate_name(GateKind kind);
+
+/** Number of qubit operands (Barrier reports 0: it spans the circuit). */
+int gate_arity(GateKind kind);
+
+/** Number of real parameters (0 for fixed gates, 3 for U3). */
+int gate_param_count(GateKind kind);
+
+/** True for kinds with a well-defined unitary matrix. */
+bool is_unitary_gate(GateKind kind);
+
+/** True iff the gate matrix is diagonal in the computational (Z) basis. */
+bool is_diagonal_gate(GateKind kind);
+
+/**
+ * Axis classification of a gate's action on one of its qubits, used by the
+ * rule-based commutation engine (paper Fig. 7 generalized).
+ *
+ * A gate whose action on qubit q decomposes into terms that are all
+ * Z-diagonal on q gets kAxisDiag on q; terms that are all powers of X get
+ * kAxisX; identity-like action gets both bits. Gates with no such structure
+ * (H, U3, SWAP, ...) get 0, meaning "commutes with nothing through q".
+ */
+using AxisMask = std::uint8_t;
+inline constexpr AxisMask kAxisDiag = 1; ///< Z-diagonal action
+inline constexpr AxisMask kAxisX = 2;    ///< X-axis action
+inline constexpr AxisMask kAxisY = 4;    ///< Y-axis action
+inline constexpr AxisMask kAxisAll = kAxisDiag | kAxisX | kAxisY;
+
+/**
+ * A gate instance: kind + operands + parameters + optional classical
+ * condition / measurement destination.
+ *
+ * Qubit operand conventions:
+ *  - CX/CZ/CP/CRZ/CCX: controls first, target last.
+ *  - Measure: qs[0] measured into classical bit `cbit`.
+ *  - A gate with `cond_bit >= 0` executes only when that classical bit
+ *    equals `cond_value` (feed-forward, used by Cat-Comm / TP-Comm
+ *    protocol expansions).
+ */
+struct Gate
+{
+    GateKind kind = GateKind::I;
+    std::uint8_t num_qubits = 0;
+    std::array<QubitId, 3> qs{kInvalidId, kInvalidId, kInvalidId};
+    std::array<double, 3> params{0.0, 0.0, 0.0};
+    CbitId cbit = kInvalidId;      ///< Measure destination bit.
+    CbitId cond_bit = kInvalidId;  ///< Classical condition bit (or -1).
+    std::uint8_t cond_value = 1;   ///< Required value of cond_bit.
+
+    /** @name Factory helpers
+     * Small constructors for every supported gate.
+     * @{ */
+    static Gate i(QubitId q);
+    static Gate h(QubitId q);
+    static Gate x(QubitId q);
+    static Gate y(QubitId q);
+    static Gate z(QubitId q);
+    static Gate s(QubitId q);
+    static Gate sdg(QubitId q);
+    static Gate t(QubitId q);
+    static Gate tdg(QubitId q);
+    static Gate sx(QubitId q);
+    static Gate rx(QubitId q, double theta);
+    static Gate ry(QubitId q, double theta);
+    static Gate rz(QubitId q, double theta);
+    static Gate p(QubitId q, double lambda);
+    static Gate u3(QubitId q, double theta, double phi, double lambda);
+    static Gate cx(QubitId control, QubitId target);
+    static Gate cz(QubitId a, QubitId b);
+    static Gate cp(QubitId a, QubitId b, double lambda);
+    static Gate crz(QubitId control, QubitId target, double theta);
+    static Gate rzz(QubitId a, QubitId b, double theta);
+    static Gate swap(QubitId a, QubitId b);
+    static Gate ccx(QubitId c0, QubitId c1, QubitId target);
+    static Gate measure(QubitId q, CbitId bit);
+    static Gate reset(QubitId q);
+    static Gate barrier();
+    /** @} */
+
+    /** Return a copy conditioned on classical bit @p bit == @p value. */
+    Gate conditioned_on(CbitId bit, std::uint8_t value = 1) const;
+
+    /** True iff @p q is one of this gate's operands. */
+    bool acts_on(QubitId q) const;
+
+    bool is_single_qubit() const { return num_qubits == 1; }
+    bool is_two_qubit() const { return num_qubits == 2; }
+
+    /**
+     * Axis of this gate's action on operand qubit @p q (must be an
+     * operand). See AxisMask.
+     */
+    AxisMask axis_on(QubitId q) const;
+
+    /**
+     * The gate's unitary over its own operands, ordered with qs[0] as the
+     * most significant qubit. Requires is_unitary_gate(kind).
+     */
+    CMatrix matrix() const;
+
+    /** The inverse gate (adjoint). Requires a unitary kind. */
+    Gate inverse() const;
+
+    /** Structural equality (kind, qubits, params within 1e-12, condition). */
+    bool operator==(const Gate& rhs) const;
+
+    /** Debug/QASM-style rendering, e.g. "cx q[1], q[3]". */
+    std::string to_string() const;
+};
+
+/** 2x2 matrices for the fixed single-qubit gates and parameterized families. */
+CMatrix mat_1q(GateKind kind, double p0 = 0, double p1 = 0, double p2 = 0);
+
+} // namespace autocomm::qir

@@ -1,0 +1,156 @@
+#include "qir/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace autocomm::qir {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols)
+{
+}
+
+CMatrix
+CMatrix::identity(std::size_t n)
+{
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+CMatrix
+CMatrix::from_rows(std::size_t rows, std::size_t cols,
+                   std::vector<Complex> data)
+{
+    assert(data.size() == rows * cols);
+    CMatrix m(rows, cols);
+    m.data_ = std::move(data);
+    return m;
+}
+
+CMatrix
+CMatrix::operator*(const CMatrix& rhs) const
+{
+    assert(cols_ == rhs.rows_);
+    CMatrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const Complex a = at(i, k);
+            if (a == Complex{})
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out.at(i, j) += a * rhs.at(k, j);
+        }
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::operator+(const CMatrix& rhs) const
+{
+    assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    CMatrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + rhs.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::operator-(const CMatrix& rhs) const
+{
+    assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    CMatrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - rhs.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix& rhs) const
+{
+    CMatrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const Complex a = at(i, j);
+            if (a == Complex{})
+                continue;
+            for (std::size_t r = 0; r < rhs.rows_; ++r)
+                for (std::size_t c = 0; c < rhs.cols_; ++c)
+                    out.at(i * rhs.rows_ + r, j * rhs.cols_ + c) =
+                        a * rhs.at(r, c);
+        }
+    return out;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = std::conj(at(i, j));
+    return out;
+}
+
+double
+CMatrix::frobenius_norm() const
+{
+    double s = 0.0;
+    for (const Complex& z : data_)
+        s += std::norm(z);
+    return std::sqrt(s);
+}
+
+bool
+CMatrix::approx_equal(const CMatrix& rhs, double eps) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - rhs.data_[i]) > eps)
+            return false;
+    return true;
+}
+
+bool
+CMatrix::equal_up_to_phase(const CMatrix& rhs, double eps) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    // Find the largest entry of rhs to fix the phase robustly.
+    std::size_t best = 0;
+    double best_mag = -1.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const double m = std::abs(rhs.data_[i]);
+        if (m > best_mag) {
+            best_mag = m;
+            best = i;
+        }
+    }
+    if (best_mag < eps)
+        return frobenius_norm() < eps;
+    const Complex phase = data_[best] / rhs.data_[best];
+    if (std::abs(std::abs(phase) - 1.0) > eps)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - phase * rhs.data_[i]) > eps)
+            return false;
+    return true;
+}
+
+bool
+CMatrix::is_unitary(double eps) const
+{
+    if (rows_ != cols_)
+        return false;
+    return (dagger() * *this).approx_equal(identity(rows_), eps);
+}
+
+double
+commutator_norm(const CMatrix& a, const CMatrix& b)
+{
+    return (a * b - b * a).frobenius_norm();
+}
+
+} // namespace autocomm::qir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small dense complex-matrix library used for gate semantics and circuit
+ * unitary computation. This is a correctness substrate: the compiler proper
+ * never multiplies matrices, but the test suite validates commutation rules,
+ * decompositions and communication protocols against exact unitaries.
+ */
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace autocomm::qir {
+
+using Complex = std::complex<double>;
+
+/** Row-major dense complex matrix. */
+class CMatrix
+{
+  public:
+    CMatrix() = default;
+
+    /** Zero matrix of shape rows x cols. */
+    CMatrix(std::size_t rows, std::size_t cols);
+
+    /** Identity matrix of order n. */
+    static CMatrix identity(std::size_t n);
+
+    /** Build from a row-major initializer (size must be rows*cols). */
+    static CMatrix
+    from_rows(std::size_t rows, std::size_t cols, std::vector<Complex> data);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    Complex& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    const Complex&
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix product this * rhs. */
+    CMatrix operator*(const CMatrix& rhs) const;
+    CMatrix operator+(const CMatrix& rhs) const;
+    CMatrix operator-(const CMatrix& rhs) const;
+
+    /** Kronecker (tensor) product this ⊗ rhs. */
+    CMatrix kron(const CMatrix& rhs) const;
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    /** Frobenius norm. */
+    double frobenius_norm() const;
+
+    /** Entrywise comparison with tolerance @p eps. */
+    bool approx_equal(const CMatrix& rhs, double eps = 1e-9) const;
+
+    /**
+     * Comparison up to a global phase: true iff there exists a unit scalar
+     * c with this ≈ c * rhs.
+     */
+    bool equal_up_to_phase(const CMatrix& rhs, double eps = 1e-9) const;
+
+    /** True iff this† * this ≈ I. */
+    bool is_unitary(double eps = 1e-9) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<Complex> data_;
+};
+
+/** Commutator norm ||AB - BA||_F; ~0 iff A and B commute. */
+double commutator_norm(const CMatrix& a, const CMatrix& b);
+
+} // namespace autocomm::qir

@@ -1,0 +1,261 @@
+#include "qir/qasm.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace autocomm::qir {
+
+namespace {
+
+const std::map<std::string, GateKind>&
+name_table()
+{
+    static const std::map<std::string, GateKind> table = {
+        {"id", GateKind::I},     {"h", GateKind::H},
+        {"x", GateKind::X},      {"y", GateKind::Y},
+        {"z", GateKind::Z},      {"s", GateKind::S},
+        {"sdg", GateKind::Sdg},  {"t", GateKind::T},
+        {"tdg", GateKind::Tdg},  {"sx", GateKind::SX},
+        {"rx", GateKind::RX},    {"ry", GateKind::RY},
+        {"rz", GateKind::RZ},    {"p", GateKind::P},
+        {"u3", GateKind::U3},    {"cx", GateKind::CX},
+        {"cz", GateKind::CZ},    {"cp", GateKind::CP},
+        {"crz", GateKind::CRZ},  {"rzz", GateKind::RZZ},
+        {"swap", GateKind::SWAP},{"ccx", GateKind::CCX},
+        {"reset", GateKind::Reset},
+    };
+    return table;
+}
+
+/** Minimal tokenizer state over one statement. */
+struct Cursor
+{
+    const std::string& s;
+    std::size_t pos = 0;
+
+    void
+    skip_ws()
+    {
+        while (pos < s.size() && std::isspace(static_cast<unsigned char>(
+                                     s[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(const std::string& tok)
+    {
+        skip_ws();
+        if (s.compare(pos, tok.size(), tok) == 0) {
+            pos += tok.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    ident()
+    {
+        skip_ws();
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '_'))
+            ++pos;
+        return s.substr(start, pos - start);
+    }
+
+    long
+    integer()
+    {
+        skip_ws();
+        char* end = nullptr;
+        const long v = std::strtol(s.c_str() + pos, &end, 10);
+        if (end == s.c_str() + pos)
+            support::fatal("qasm: expected integer in '%s'", s.c_str());
+        pos = static_cast<std::size_t>(end - s.c_str());
+        return v;
+    }
+
+    double
+    real()
+    {
+        skip_ws();
+        char* end = nullptr;
+        const double v = std::strtod(s.c_str() + pos, &end);
+        if (end == s.c_str() + pos)
+            support::fatal("qasm: expected number in '%s'", s.c_str());
+        pos = static_cast<std::size_t>(end - s.c_str());
+        return v;
+    }
+};
+
+int
+parse_indexed(Cursor& cur, const char* reg)
+{
+    if (!cur.consume(reg) || !cur.consume("["))
+        support::fatal("qasm: expected %s[...] in '%s'", reg,
+                       cur.s.c_str());
+    const long idx = cur.integer();
+    if (!cur.consume("]"))
+        support::fatal("qasm: missing ']' in '%s'", cur.s.c_str());
+    return static_cast<int>(idx);
+}
+
+} // namespace
+
+std::string
+to_qasm(const Circuit& c)
+{
+    std::string out = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    out += support::strprintf("qreg q[%d];\n", c.num_qubits());
+    if (c.num_cbits() > 0)
+        out += support::strprintf("creg c[%d];\n", c.num_cbits());
+    for (const Gate& g : c) {
+        std::string line;
+        if (g.cond_bit >= 0)
+            line += support::strprintf("if (c[%d]==%d) ", g.cond_bit,
+                                       g.cond_value);
+        if (g.kind == GateKind::Barrier) {
+            line += "barrier q;";
+            out += line + "\n";
+            continue;
+        }
+        if (g.kind == GateKind::Measure) {
+            line += support::strprintf("measure q[%d] -> c[%d];", g.qs[0],
+                                       g.cbit);
+            out += line + "\n";
+            continue;
+        }
+        line += gate_name(g.kind);
+        const int np = gate_param_count(g.kind);
+        if (np > 0) {
+            line += '(';
+            for (int i = 0; i < np; ++i) {
+                if (i)
+                    line += ", ";
+                line += support::format_double(
+                    g.params[static_cast<std::size_t>(i)], 12);
+            }
+            line += ')';
+        }
+        for (int i = 0; i < g.num_qubits; ++i) {
+            line += i ? ", " : " ";
+            line += support::strprintf(
+                "q[%d]", g.qs[static_cast<std::size_t>(i)]);
+        }
+        line += ';';
+        out += line + "\n";
+    }
+    return out;
+}
+
+Circuit
+from_qasm(const std::string& text)
+{
+    int num_qubits = 0, num_cbits = 0;
+    std::vector<Gate> pending;
+
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find_first_of(";\n", start);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string stmt = text.substr(start, end - start);
+        start = end + 1;
+
+        // Strip comments and whitespace.
+        const std::size_t comment = stmt.find("//");
+        if (comment != std::string::npos)
+            stmt = stmt.substr(0, comment);
+        Cursor cur{stmt};
+        cur.skip_ws();
+        if (cur.pos >= stmt.size())
+            continue;
+
+        if (cur.consume("OPENQASM") || cur.consume("include"))
+            continue;
+        if (cur.consume("qreg")) {
+            num_qubits = parse_indexed(cur, "q");
+            continue;
+        }
+        if (cur.consume("creg")) {
+            num_cbits = parse_indexed(cur, "c");
+            continue;
+        }
+
+        CbitId cond_bit = kInvalidId;
+        std::uint8_t cond_value = 1;
+        if (cur.consume("if")) {
+            if (!cur.consume("("))
+                support::fatal("qasm: malformed if in '%s'", stmt.c_str());
+            cond_bit = parse_indexed(cur, "c");
+            if (!cur.consume("=="))
+                support::fatal("qasm: malformed if in '%s'", stmt.c_str());
+            cond_value = static_cast<std::uint8_t>(cur.integer());
+            if (!cur.consume(")"))
+                support::fatal("qasm: malformed if in '%s'", stmt.c_str());
+            cur.skip_ws();
+        }
+
+        if (cur.consume("barrier")) {
+            pending.push_back(Gate::barrier());
+            continue;
+        }
+        if (cur.consume("measure")) {
+            const int q = parse_indexed(cur, "q");
+            if (!cur.consume("->"))
+                support::fatal("qasm: malformed measure in '%s'",
+                               stmt.c_str());
+            const int b = parse_indexed(cur, "c");
+            Gate g = Gate::measure(q, b);
+            if (cond_bit >= 0)
+                g = g.conditioned_on(cond_bit, cond_value);
+            pending.push_back(g);
+            continue;
+        }
+
+        const std::string name = cur.ident();
+        const auto it = name_table().find(name);
+        if (it == name_table().end())
+            support::fatal("qasm: unsupported gate '%s'", name.c_str());
+        const GateKind kind = it->second;
+
+        Gate g;
+        g.kind = kind;
+        g.num_qubits = static_cast<std::uint8_t>(gate_arity(kind));
+        const int np = gate_param_count(kind);
+        if (np > 0) {
+            if (!cur.consume("("))
+                support::fatal("qasm: expected '(' after %s", name.c_str());
+            for (int i = 0; i < np; ++i) {
+                if (i && !cur.consume(","))
+                    support::fatal("qasm: expected ',' in %s params",
+                                   name.c_str());
+                g.params[static_cast<std::size_t>(i)] = cur.real();
+            }
+            if (!cur.consume(")"))
+                support::fatal("qasm: expected ')' after %s params",
+                               name.c_str());
+        }
+        for (int i = 0; i < g.num_qubits; ++i) {
+            if (i && !cur.consume(","))
+                support::fatal("qasm: expected ',' between operands of %s",
+                               name.c_str());
+            g.qs[static_cast<std::size_t>(i)] = parse_indexed(cur, "q");
+        }
+        if (cond_bit >= 0)
+            g = g.conditioned_on(cond_bit, cond_value);
+        pending.push_back(g);
+    }
+
+    Circuit c(num_qubits, num_cbits);
+    for (const Gate& g : pending)
+        c.add(g);
+    return c;
+}
+
+} // namespace autocomm::qir

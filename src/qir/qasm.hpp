@@ -1,0 +1,29 @@
+/**
+ * @file
+ * OpenQASM 2.0 (subset) emitter and parser: enough to round-trip every gate
+ * kind the IR knows, so circuits can be exported to other toolchains and
+ * benchmark circuits can be loaded from files.
+ *
+ * Supported subset: a single `qreg q[n]` and single `creg c[m]`, the gate
+ * set of GateKind, `measure q[i] -> c[j]`, `reset`, `barrier`, and
+ * `if (c==v) <gate>` single-bit conditions (emitted as a comment-pragma
+ * form `// cond c[i]==v` plus standard `if` where representable).
+ */
+#pragma once
+
+#include <string>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::qir {
+
+/** Serialize @p c as OpenQASM 2.0 text. */
+std::string to_qasm(const Circuit& c);
+
+/**
+ * Parse an OpenQASM 2.0 subset back into a Circuit.
+ * @throws support::UserError on malformed input or unsupported constructs.
+ */
+Circuit from_qasm(const std::string& text);
+
+} // namespace autocomm::qir

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fundamental identifier types shared across the quantum IR and the
+ * distributed-hardware model.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace autocomm {
+
+/** Logical (program-level) qubit index. */
+using QubitId = std::int32_t;
+
+/** Classical bit index (measurement results / feed-forward conditions). */
+using CbitId = std::int32_t;
+
+/** Quantum node (device) index in the distributed machine. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no qubit / no bit / no node". */
+inline constexpr std::int32_t kInvalidId = -1;
+
+} // namespace autocomm

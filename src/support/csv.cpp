@@ -1,0 +1,86 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace autocomm::support {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+CsvWriter::start_row()
+{
+    rows_.emplace_back();
+}
+
+void
+CsvWriter::add(const std::string& cell)
+{
+    rows_.back().push_back(cell);
+}
+
+void
+CsvWriter::add(double v)
+{
+    add(format_double(v, 6));
+}
+
+void
+CsvWriter::add(long long v)
+{
+    add(std::to_string(v));
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::to_string() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += escape(row[i]);
+            if (i + 1 < row.size())
+                out += ',';
+        }
+        out += '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+    return out;
+}
+
+bool
+CsvWriter::write_file(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    const std::string s = to_string();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace autocomm::support

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV emission for benchmark data series (figure reproduction). Each bench
+ * binary prints its table to stdout and can optionally dump a CSV file so
+ * the figures can be re-plotted externally.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autocomm::support {
+
+/** Row-oriented CSV writer with RFC-4180-style quoting. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    void start_row();
+    void add(const std::string& cell);
+    void add(double v);
+    void add(long long v);
+
+    /** Serialize the full document (header + rows). */
+    std::string to_string() const;
+
+    /** Write to @p path; returns false (and warns) on I/O failure. */
+    bool write_file(const std::string& path) const;
+
+  private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace autocomm::support

@@ -1,0 +1,98 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace autocomm::support {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+std::string
+vformat(const char* fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+void
+emit(const char* prefix, const char* fmt, std::va_list ap)
+{
+    const std::string msg = vformat(fmt, ap);
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (g_level > LogLevel::Info)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (g_level > LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char* fmt, ...)
+{
+    if (g_level > LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("debug: ", fmt, ap);
+    va_end(ap);
+}
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    throw UserError(s);
+}
+
+} // namespace autocomm::support

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal severity-based logging, modelled on gem5's inform()/warn()/fatal()
+ * family. Benchmarks and examples use inform(); library code raises errors
+ * via exceptions and uses warn() for recoverable oddities.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace autocomm::support {
+
+/** Severity threshold; messages below the level are suppressed. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+/** Set the global logging threshold (default Info). */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** printf-style informational message to stderr (prefixed "info:"). */
+void inform(const char* fmt, ...);
+
+/** printf-style warning to stderr (prefixed "warn:"). */
+void warn(const char* fmt, ...);
+
+/** printf-style debug message to stderr (prefixed "debug:"). */
+void debug(const char* fmt, ...);
+
+/** Error raised for invalid user input (bad configuration, bad circuit). */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char* fmt, ...);
+
+/** Throw UserError with a printf-formatted message. */
+[[noreturn]] void fatal(const char* fmt, ...);
+
+} // namespace autocomm::support

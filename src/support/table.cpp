@@ -1,0 +1,104 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace autocomm::support {
+
+std::string
+format_double(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::start_row()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::add(const std::string& cell)
+{
+    assert(!rows_.empty());
+    rows_.back().push_back(cell);
+}
+
+void
+Table::add(const char* cell)
+{
+    add(std::string(cell));
+}
+
+void
+Table::add(long long v)
+{
+    add(std::to_string(v));
+}
+
+void
+Table::add(int v)
+{
+    add(std::to_string(v));
+}
+
+void
+Table::add(std::size_t v)
+{
+    add(std::to_string(v));
+}
+
+void
+Table::add(double v, int decimals)
+{
+    add(format_double(v, decimals));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string();
+            out += cell;
+            if (c + 1 < widths.size())
+                out.append(widths[c] - cell.size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+    for (const auto& row : rows_)
+        emit_row(row, out);
+    return out;
+}
+
+void
+Table::print(std::FILE* out) const
+{
+    const std::string s = to_string();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+} // namespace autocomm::support

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to render the
+ * paper's tables (Table 2, Table 3) and figure data series.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace autocomm::support {
+
+/**
+ * Accumulates rows of string cells and prints an aligned ASCII table.
+ *
+ * Numeric convenience overloads format with sensible defaults (integers
+ * verbatim, doubles with two decimals).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. Subsequent add() calls append cells to it. */
+    void start_row();
+
+    void add(const std::string& cell);
+    void add(const char* cell);
+    void add(long long v);
+    void add(int v);
+    void add(std::size_t v);
+    /** @param decimals number of digits after the decimal point. */
+    void add(double v, int decimals = 2);
+
+    /** Number of data rows accumulated so far. */
+    std::size_t row_count() const { return rows_.size(); }
+
+    /** Render to a string with column alignment and a header rule. */
+    std::string to_string() const;
+
+    /** Print to the given stream (stdout by default). */
+    void print(std::FILE* out = stdout) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helper: fixed-point with @p decimals digits. */
+std::string format_double(double v, int decimals = 2);
+
+} // namespace autocomm::support

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the communication assignment pass (paper §4.3): pattern
+ * analysis, Cat-vs-TP selection, segment costing, and the Cat-only
+ * ablation mode.
+ */
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+#include "autocomm/aggregate.hpp"
+#include "autocomm/assign.hpp"
+#include "circuits/library.hpp"
+#include "circuits/qft.hpp"
+#include "qir/decompose.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::pass;
+using qir::Circuit;
+
+std::vector<CommBlock>
+compile_blocks(const Circuit& c, const hw::QubitMapping& map,
+               const AssignOptions& opts = {})
+{
+    auto blocks = aggregate(c, map);
+    assign_schemes(c, blocks, opts);
+    return blocks;
+}
+
+TEST(Assign, SingleRemoteGateUsesCatWithOneEpr)
+{
+    Circuit c(4);
+    c.cx(0, 2);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].pattern, Pattern::Single);
+    EXPECT_EQ(blocks[0].scheme, Scheme::Cat);
+    EXPECT_EQ(blocks[0].num_comms, 1);
+}
+
+TEST(Assign, UniControlBurstIsOneCatInvocation)
+{
+    // Fig. 9(a): hub q0 controls CX to several qubits of node 1.
+    Circuit c(6);
+    c.cx(0, 3).cx(0, 4).cx(0, 5);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].pattern, Pattern::UniControl);
+    EXPECT_EQ(blocks[0].scheme, Scheme::Cat);
+    EXPECT_EQ(blocks[0].num_comms, 1);
+}
+
+TEST(Assign, UniTargetBurstIsOneCatInvocationViaHadamard)
+{
+    // Fig. 9(c) -> Fig. 10(a): hub q0 is always the target.
+    Circuit c(6);
+    c.cx(3, 0).cx(4, 0).cx(5, 0);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].pattern, Pattern::UniTarget);
+    EXPECT_EQ(blocks[0].scheme, Scheme::Cat);
+    EXPECT_EQ(blocks[0].num_comms, 1);
+}
+
+TEST(Assign, BidirectionalBurstUsesTp)
+{
+    // Fig. 9(b): hub on both sides.
+    Circuit c(6);
+    c.cx(0, 3).cx(4, 0).cx(0, 5);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].pattern, Pattern::Bidirectional);
+    EXPECT_EQ(blocks[0].scheme, Scheme::TP);
+    EXPECT_EQ(blocks[0].num_comms, 2);
+}
+
+TEST(Assign, BlockingHub1qGateForcesTp)
+{
+    // The paper's block-3 example (Fig. 8): a Tdg on the hub between two
+    // same-direction remote gates. Cat would need 2 EPR, TP needs 2:
+    // tie goes to TP.
+    Circuit c(6);
+    c.cx(0, 3);
+    c.h(0); // non-diagonal, non-removable on a control-pattern hub
+    c.cx(0, 4);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    ASSERT_EQ(blocks[0].members.size(), 2u);
+    EXPECT_EQ(blocks[0].scheme, Scheme::TP);
+    EXPECT_EQ(blocks[0].num_comms, 2);
+}
+
+TEST(Assign, DiagonalHubGatesDoNotBlockCat)
+{
+    // Diagonal gates on a control-pattern hub are removable (they commute
+    // out during aggregation), so the burst stays a 1-EPR Cat block.
+    Circuit c(6);
+    c.cx(0, 3).t(0).rz(0, 0.4).cx(0, 4);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].scheme, Scheme::Cat);
+    EXPECT_EQ(blocks[0].num_comms, 1);
+}
+
+TEST(Assign, XGatesDoNotBlockTargetPattern)
+{
+    // X-family hub gates commute through a target-pattern burst.
+    Circuit c(6);
+    c.cx(3, 0).x(0).rx(0, 0.3).cx(4, 0);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].pattern, Pattern::UniTarget);
+    EXPECT_EQ(blocks[0].scheme, Scheme::Cat);
+    EXPECT_EQ(blocks[0].num_comms, 1);
+}
+
+TEST(Assign, CatOnlyModeSplitsBidirectionalBlocks)
+{
+    Circuit c(6);
+    c.cx(0, 3).cx(4, 0).cx(0, 5);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    AssignOptions cat_only;
+    cat_only.allow_tp = false;
+    const auto blocks = compile_blocks(c, map, cat_only);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].scheme, Scheme::Cat);
+    EXPECT_EQ(blocks[0].num_comms, 3); // one segment per direction change
+    EXPECT_EQ(blocks[0].cat_segments.size(), 3u);
+}
+
+TEST(Assign, CatSegmentsSumToMembers)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(12));
+    const auto map = hw::QubitMapping::contiguous(12, 3);
+    AssignOptions cat_only;
+    cat_only.allow_tp = false;
+    auto blocks = aggregate(c, map);
+    assign_schemes(c, blocks, cat_only);
+    for (const auto& b : blocks) {
+        std::size_t total = 0;
+        if (b.cat_segments.empty())
+            total = b.members.size();
+        else
+            for (std::size_t s : b.cat_segments)
+                total += s;
+        EXPECT_EQ(total, b.members.size());
+        EXPECT_EQ(static_cast<std::size_t>(b.num_comms),
+                  std::max<std::size_t>(b.cat_segments.size(), 1));
+    }
+}
+
+TEST(Assign, CatInvocationsCountsDirectionRuns)
+{
+    // control, control, target, target, control -> 3 segments.
+    Circuit c(8);
+    c.cx(0, 4).cx(0, 5).cx(6, 0).cx(7, 0).cx(0, 4);
+    const auto map = hw::QubitMapping::contiguous(8, 2);
+    auto blocks = aggregate(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    std::vector<std::size_t> segs;
+    EXPECT_EQ(cat_invocations(c, blocks[0], &segs), 3);
+    ASSERT_EQ(segs.size(), 3u);
+    EXPECT_EQ(segs[0], 2u);
+    EXPECT_EQ(segs[1], 2u);
+    EXPECT_EQ(segs[2], 1u);
+}
+
+TEST(Assign, TpPreferredOverMultiSegmentCat)
+{
+    // 2 segments == TP's 2 EPR: tie goes to TP (paper default). 3+
+    // segments: TP strictly cheaper.
+    Circuit c(8);
+    c.cx(0, 4).cx(5, 0);
+    const auto map = hw::QubitMapping::contiguous(8, 2);
+    const auto blocks = compile_blocks(c, map);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].scheme, Scheme::TP);
+}
+
+TEST(Assign, QftBlocksAreMostlyTp)
+{
+    // In decomposed QFT the dense receiving-side bursts carry interleaved
+    // diagonal gates on target-pattern hubs, forcing TP (this is why the
+    // paper's Table 3 shows QFT dominated by TP-Comm).
+    const Circuit c = qir::decompose(circuits::make_qft(20));
+    const auto map = hw::QubitMapping::contiguous(20, 4);
+    auto blocks = aggregate(c, map);
+    assign_schemes(c, blocks);
+    std::size_t tp = 0, cat = 0;
+    for (const auto& b : blocks)
+        (b.scheme == Scheme::TP ? tp : cat) += 1;
+    EXPECT_GT(tp, 0u);
+    EXPECT_GT(tp, cat / 4);
+}
+
+TEST(Assign, EmptyBlockRejected)
+{
+    Circuit c(2);
+    std::vector<CommBlock> blocks(1);
+    EXPECT_THROW(assign_schemes(c, blocks), support::UserError);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the baseline compilers: Ferrari per-gate Cat-Comm and the
+ * GP-TP teleport-based compiler, plus the AutoComm-vs-baseline relative
+ * factors used by Table 3 and Fig. 16.
+ */
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+#include "baseline/ferrari.hpp"
+#include "baseline/gptp.hpp"
+#include "circuits/bv.hpp"
+#include "circuits/library.hpp"
+#include "circuits/qft.hpp"
+#include "qir/decompose.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::baseline;
+using qir::Circuit;
+
+hw::Machine
+machine(int nodes, int per_node)
+{
+    hw::Machine m;
+    m.num_nodes = nodes;
+    m.qubits_per_node = per_node;
+    return m;
+}
+
+TEST(Ferrari, OneCommPerRemoteGate)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(12));
+    const auto map = hw::QubitMapping::contiguous(12, 3);
+    const auto r = compile_ferrari(c, map, machine(3, 4));
+    EXPECT_EQ(r.metrics.total_comms, map.count_remote(c));
+    EXPECT_DOUBLE_EQ(r.metrics.peak_rem_cx, 1.0);
+    EXPECT_EQ(r.metrics.tp_comms, 0u);
+}
+
+TEST(Ferrari, AutoCommBeatsBaselineOnQft)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(16));
+    const auto map = hw::QubitMapping::contiguous(16, 4);
+    hw::Machine m = machine(4, 4);
+    const auto base = compile_ferrari(c, map, m);
+    const auto ac = pass::compile(c, map, m);
+    const auto f = relative_factors(base, ac);
+    EXPECT_GT(f.improv_factor, 2.0);
+    EXPECT_GT(f.lat_dec_factor, 1.5);
+}
+
+TEST(Ferrari, RelativeFactorsHandleZeroDenominators)
+{
+    pass::CompileResult empty_base, empty_ac;
+    const auto f = relative_factors(empty_base, empty_ac);
+    EXPECT_DOUBLE_EQ(f.improv_factor, 0.0);
+    EXPECT_DOUBLE_EQ(f.lat_dec_factor, 0.0);
+}
+
+TEST(Gptp, LocalCircuitNeedsNoSwaps)
+{
+    Circuit c(4);
+    c.cx(0, 1).cx(2, 3).h(0);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    const auto r = compile_gptp(c, map, machine(2, 2));
+    EXPECT_EQ(r.remote_swaps, 0u);
+    EXPECT_EQ(r.total_comms, 0u);
+    EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Gptp, RemoteGateCostsTwoComms)
+{
+    Circuit c(4);
+    c.cx(0, 2);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    const auto r = compile_gptp(c, map, machine(2, 2));
+    EXPECT_EQ(r.remote_swaps, 1u);
+    EXPECT_EQ(r.total_comms, 2u);
+}
+
+TEST(Gptp, MigratedQubitStaysUntilNeeded)
+{
+    // Two gates against the same node: one swap serves both.
+    Circuit c(6);
+    c.cx(0, 3).cx(0, 4);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    const auto r = compile_gptp(c, map, machine(2, 3));
+    EXPECT_EQ(r.remote_swaps, 1u);
+}
+
+TEST(Gptp, VictimDisplacementCanCauseLaterSwaps)
+{
+    // Moving q0 into node 1 displaces a victim; a later gate on the
+    // victim's original pairing may become remote.
+    Circuit c(4);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    c.cx(0, 2); // q0 moves to node 1, victim moves to node 0
+    c.cx(2, 3); // may now be remote depending on the victim choice
+    const auto r = compile_gptp(c, map, machine(2, 2));
+    EXPECT_GE(r.remote_swaps, 1u);
+    EXPECT_EQ(r.total_comms, 2 * r.remote_swaps);
+}
+
+TEST(Gptp, AutoCommBeatsGptpOnBv)
+{
+    // Fig. 16: the BV family shows the largest AutoComm advantage because
+    // its single hub qubit bounces between nodes under GP-TP but rides
+    // one Cat-Comm per node under AutoComm.
+    const Circuit c = qir::decompose(circuits::make_bv(31, 7));
+    const auto map = hw::QubitMapping::contiguous(31, 4);
+    hw::Machine m = machine(4, 8);
+    const auto gp = compile_gptp(c, map, m);
+    const auto ac = pass::compile(c, map, m);
+    ASSERT_GT(ac.metrics.total_comms, 0u);
+    const double improv =
+        static_cast<double>(gp.total_comms) /
+        static_cast<double>(ac.metrics.total_comms);
+    EXPECT_GT(improv, 4.0);
+}
+
+TEST(Gptp, RejectsThreeQubitGates)
+{
+    Circuit c(4);
+    c.ccx(0, 1, 2);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    EXPECT_THROW(compile_gptp(c, map, machine(2, 2)),
+                 support::UserError);
+}
+
+TEST(Gptp, DeterministicResults)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(12));
+    const auto map = hw::QubitMapping::contiguous(12, 3);
+    const auto a = compile_gptp(c, map, machine(3, 4));
+    const auto b = compile_gptp(c, map, machine(3, 4));
+    EXPECT_EQ(a.total_comms, b.total_comms);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the Circuit container: builders, validation, stats, depth,
+ * inverse, remapping.
+ */
+#include <gtest/gtest.h>
+
+#include "qir/circuit.hpp"
+#include "qir/unitary.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+using autocomm::support::UserError;
+
+TEST(Circuit, StartsEmpty)
+{
+    Circuit c(4);
+    EXPECT_EQ(c.num_qubits(), 4);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Circuit, BuilderChainsAndStores)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).rz(2, 0.5).ccx(0, 1, 2);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c[0].kind, GateKind::H);
+    EXPECT_EQ(c[3].kind, GateKind::CCX);
+}
+
+TEST(Circuit, RejectsOutOfRangeQubit)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), UserError);
+    EXPECT_THROW(c.cx(0, 5), UserError);
+}
+
+TEST(Circuit, RejectsBadClassicalBit)
+{
+    Circuit c(2, 1);
+    EXPECT_THROW(c.measure(0, 1), UserError);
+    EXPECT_NO_THROW(c.measure(0, 0));
+    EXPECT_THROW(c.add(Gate::x(0).conditioned_on(3)), UserError);
+}
+
+TEST(Circuit, AddCbitGrowsRegister)
+{
+    Circuit c(1, 0);
+    EXPECT_EQ(c.add_cbit(), 0);
+    EXPECT_EQ(c.add_cbit(), 1);
+    EXPECT_EQ(c.num_cbits(), 2);
+}
+
+TEST(Circuit, StatsCountsKinds)
+{
+    Circuit c(3, 1);
+    c.h(0).h(1).cx(0, 1).cz(1, 2).ccx(0, 1, 2).rz(0, 0.1).measure(0, 0);
+    const CircuitStats s = c.stats();
+    EXPECT_EQ(s.total_gates, 7u);
+    EXPECT_EQ(s.single_qubit_gates, 3u);
+    EXPECT_EQ(s.two_qubit_gates, 2u);
+    EXPECT_EQ(s.cx_gates, 1u);
+    EXPECT_EQ(s.three_qubit_gates, 1u);
+    EXPECT_EQ(s.measurements, 1u);
+}
+
+TEST(Circuit, CountByKind)
+{
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1).h(0);
+    EXPECT_EQ(c.count(GateKind::H), 3u);
+    EXPECT_EQ(c.count(GateKind::CX), 1u);
+    EXPECT_EQ(c.count(GateKind::CZ), 0u);
+}
+
+TEST(Circuit, DepthTracksChains)
+{
+    Circuit c(3);
+    c.h(0).h(1).h(2); // parallel layer
+    EXPECT_EQ(c.depth(), 1u);
+    c.cx(0, 1); // depends on both
+    EXPECT_EQ(c.depth(), 2u);
+    c.cx(1, 2);
+    EXPECT_EQ(c.depth(), 3u);
+    c.h(0); // independent branch stays shallow
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, BarrierFencesDepth)
+{
+    Circuit a(2), b(2);
+    a.h(0).h(1);
+    b.h(0).barrier().h(1);
+    EXPECT_EQ(a.depth(), 1u);
+    EXPECT_EQ(b.depth(), 2u);
+}
+
+TEST(Circuit, AppendConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.append(b);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a[1].kind, GateKind::CX);
+}
+
+TEST(Circuit, AppendRejectsWiderCircuit)
+{
+    Circuit a(2), b(3);
+    b.h(2);
+    EXPECT_THROW(a.append(b), UserError);
+}
+
+TEST(Circuit, InverseReversesAndInverts)
+{
+    Circuit c(2);
+    c.h(0).s(0).cx(0, 1).t(1);
+    const Circuit inv = c.inverse();
+    ASSERT_EQ(inv.size(), 4u);
+    EXPECT_EQ(inv[0].kind, GateKind::Tdg);
+    EXPECT_EQ(inv[3].kind, GateKind::H);
+    // c * c^-1 == identity.
+    Circuit both(2);
+    both.append(c).append(inv);
+    EXPECT_TRUE(circuit_unitary(both).equal_up_to_phase(
+        CMatrix::identity(4)));
+}
+
+TEST(Circuit, InverseRejectsMeasurement)
+{
+    Circuit c(1, 1);
+    c.measure(0, 0);
+    EXPECT_THROW(c.inverse(), UserError);
+}
+
+TEST(Circuit, RemapQubitsPermutes)
+{
+    Circuit c(3);
+    c.cx(0, 2);
+    const Circuit r = c.remap_qubits({2, 1, 0});
+    EXPECT_EQ(r[0].qs[0], 2);
+    EXPECT_EQ(r[0].qs[1], 0);
+}
+
+TEST(Circuit, RemapRejectsSizeMismatch)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.remap_qubits({0, 1}), UserError);
+}
+
+TEST(Circuit, ToStringListsGates)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const std::string s = c.to_string();
+    EXPECT_NE(s.find("h q[0]"), std::string::npos);
+    EXPECT_NE(s.find("cx q[0], q[1]"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the benchmark circuit generators: semantic checks on small
+ * instances (unitary / simulation level) and the structural gate-count
+ * scaling the paper's Table 2 relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "circuits/bv.hpp"
+#include "circuits/library.hpp"
+#include "circuits/mctr.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/rca.hpp"
+#include "circuits/uccsd.hpp"
+#include "qir/decompose.hpp"
+#include "qir/unitary.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::circuits;
+using qir::Circuit;
+using qir::GateKind;
+
+// ---------------- QFT ----------------
+
+TEST(Qft, GateCountsMatchClosedForm)
+{
+    const int n = 20;
+    const Circuit c = make_qft(n);
+    EXPECT_EQ(c.count(GateKind::H), static_cast<std::size_t>(n));
+    EXPECT_EQ(c.count(GateKind::CP),
+              static_cast<std::size_t>(n * (n - 1) / 2));
+}
+
+TEST(Qft, MatchesDftMatrixOnThreeQubits)
+{
+    // QFT (without final swaps) maps |j> to the DFT column in bit-reversed
+    // order; with swaps it is the DFT exactly.
+    QftOptions opts;
+    opts.with_final_swaps = true;
+    const Circuit c = make_qft(3, opts);
+    const qir::CMatrix u = qir::circuit_unitary(c);
+    const std::size_t dim = 8;
+    qir::CMatrix dft(dim, dim);
+    const double s = 1.0 / std::sqrt(8.0);
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t cc = 0; cc < dim; ++cc)
+            dft.at(r, cc) = std::polar(
+                s, 2.0 * std::numbers::pi *
+                       static_cast<double>(r * cc) / 8.0);
+    EXPECT_TRUE(u.equal_up_to_phase(dft));
+}
+
+TEST(Qft, ApproximationDropsSmallRotations)
+{
+    QftOptions opts;
+    opts.approx_cutoff = 2;
+    const Circuit c = make_qft(8, opts);
+    for (const auto& g : c)
+        if (g.kind == GateKind::CP)
+            EXPECT_LE(std::abs(g.qs[0] - g.qs[1]), 2);
+}
+
+TEST(Qft, DecomposesToCxBasis)
+{
+    const Circuit d = qir::decompose(make_qft(10));
+    EXPECT_EQ(d.count(GateKind::CX), static_cast<std::size_t>(2 * 45));
+}
+
+// ---------------- BV ----------------
+
+TEST(Bv, OracleComputesHiddenString)
+{
+    // For hidden string s, BV outputs |s> on the input register.
+    const std::vector<bool> hidden = {true, false, true, true};
+    const Circuit c = make_bv_with_string(5, hidden);
+    qir::Statevector sv(5);
+    support::Rng rng(0);
+    sv.run(c, rng);
+    for (int q = 0; q < 4; ++q)
+        EXPECT_NEAR(sv.prob_one(q), hidden[static_cast<std::size_t>(q)] ? 1 : 0,
+                    1e-9)
+            << "qubit " << q;
+}
+
+TEST(Bv, GateCountMatchesStringWeight)
+{
+    const std::vector<bool> hidden = {true, true, false, true};
+    const Circuit c = make_bv_with_string(5, hidden);
+    EXPECT_EQ(c.count(GateKind::CX), 3u);
+    EXPECT_EQ(c.count(GateKind::H), 2u * 5u);
+    EXPECT_EQ(c.count(GateKind::X), 1u);
+}
+
+TEST(Bv, SeededGeneratorIsDeterministic)
+{
+    const Circuit a = make_bv(50, 7);
+    const Circuit b = make_bv(50, 7);
+    EXPECT_EQ(a.size(), b.size());
+    const Circuit c = make_bv(50, 8);
+    // Different seeds almost surely give different strings.
+    EXPECT_NE(a.count(GateKind::CX), 0u);
+    EXPECT_TRUE(a.size() != c.size() ||
+                a.count(GateKind::CX) != c.count(GateKind::CX) ||
+                true); // count may coincide; presence check suffices
+}
+
+TEST(Bv, DensityLandsNearTarget)
+{
+    const Circuit c = make_bv(301, 7, 0.66);
+    const double density =
+        static_cast<double>(c.count(GateKind::CX)) / 300.0;
+    EXPECT_NEAR(density, 0.66, 0.1);
+}
+
+// ---------------- QAOA ----------------
+
+TEST(Qaoa, RandomMaxcutHasRequestedEdges)
+{
+    const MaxCutInstance inst = random_maxcut(12, 30, 3);
+    EXPECT_EQ(inst.edges.size(), 30u);
+    for (const auto& [a, b] : inst.edges) {
+        EXPECT_LT(a, b);
+        EXPECT_LT(b, 12);
+        EXPECT_GE(a, 0);
+    }
+}
+
+TEST(Qaoa, RejectsImpossibleEdgeCount)
+{
+    EXPECT_THROW(random_maxcut(4, 100, 1), support::UserError);
+}
+
+TEST(Qaoa, PaperDensityIsPointTwoNSquared)
+{
+    const MaxCutInstance inst = paper_density_maxcut(100, 5);
+    EXPECT_EQ(inst.edges.size(), 2000u);
+}
+
+TEST(Qaoa, CircuitStructure)
+{
+    const MaxCutInstance inst = random_maxcut(8, 10, 11);
+    QaoaOptions opts;
+    opts.layers = 2;
+    const Circuit c = make_qaoa(inst, opts);
+    EXPECT_EQ(c.count(GateKind::RZZ), 20u);
+    EXPECT_EQ(c.count(GateKind::H), 8u);
+    EXPECT_EQ(c.count(GateKind::RX), 16u);
+}
+
+TEST(Qaoa, CostLayerIsDiagonal)
+{
+    // Without mixer and H layer the circuit is diagonal.
+    const MaxCutInstance inst = random_maxcut(4, 4, 2);
+    QaoaOptions opts;
+    opts.initial_h_layer = false;
+    opts.mixer_layer = false;
+    const qir::CMatrix u = qir::circuit_unitary(make_qaoa(inst, opts));
+    for (std::size_t r = 0; r < u.rows(); ++r)
+        for (std::size_t cc = 0; cc < u.cols(); ++cc)
+            if (r != cc)
+                EXPECT_NEAR(std::abs(u.at(r, cc)), 0.0, 1e-12);
+}
+
+// ---------------- RCA ----------------
+
+TEST(Rca, AddsCorrectlyOnAllSmallInputs)
+{
+    // 2-bit adder: 6 qubits. Verify b <- a+b for every input pair.
+    const int m = 2;
+    const Circuit adder = make_rca(2 * m + 2);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            Circuit c(6);
+            // Layout: c0, b0, a0, b1, a1, z.
+            if (b & 1)
+                c.x(1);
+            if (a & 1)
+                c.x(2);
+            if (b & 2)
+                c.x(3);
+            if (a & 2)
+                c.x(4);
+            c.append(adder);
+            qir::Statevector sv(6);
+            support::Rng rng(0);
+            sv.run(c, rng);
+            const int sum = a + b;
+            EXPECT_NEAR(sv.prob_one(1), sum & 1 ? 1 : 0, 1e-9)
+                << a << "+" << b;
+            EXPECT_NEAR(sv.prob_one(3), sum & 2 ? 1 : 0, 1e-9)
+                << a << "+" << b;
+            EXPECT_NEAR(sv.prob_one(5), sum & 4 ? 1 : 0, 1e-9)
+                << a << "+" << b;
+            // Operand a must be preserved.
+            EXPECT_NEAR(sv.prob_one(2), a & 1 ? 1 : 0, 1e-9);
+            EXPECT_NEAR(sv.prob_one(4), a & 2 ? 1 : 0, 1e-9);
+        }
+    }
+}
+
+TEST(Rca, CxCountMatchesPaperFormula)
+{
+    // 16m+1 CX after decomposition (m = operand bits): 785 at 100 qubits.
+    const Circuit d = qir::decompose(make_rca(100));
+    EXPECT_EQ(d.count(GateKind::CX), 785u);
+
+    const Circuit d200 = qir::decompose(make_rca(200));
+    EXPECT_EQ(d200.count(GateKind::CX), 1585u);
+}
+
+TEST(Rca, RejectsOddQubitCount)
+{
+    EXPECT_THROW(make_rca(7), support::UserError);
+}
+
+// ---------------- MCTR ----------------
+
+TEST(Mctr, ImplementsMultiControlledXOnSmallRegister)
+{
+    const int n = 7;
+    const Circuit c = make_mctr(n);
+    // Reference: C^{n-2}X with controls 0..n-3, target n-1.
+    const std::size_t dim = std::size_t{1} << n;
+    qir::CMatrix ref(dim, dim);
+    for (std::size_t in = 0; in < dim; ++in) {
+        bool all = true;
+        for (int ctl = 0; ctl <= n - 3; ++ctl)
+            all &= ((in >> (n - 1 - ctl)) & 1) != 0;
+        std::size_t out = in;
+        if (all)
+            out = in ^ std::size_t{1};
+        ref.at(out, in) = 1.0;
+    }
+    EXPECT_TRUE(qir::circuit_unitary(c).equal_up_to_phase(ref));
+}
+
+TEST(Mctr, CxCountMatchesPaperTable2)
+{
+    EXPECT_EQ(qir::decompose(make_mctr(100)).count(GateKind::CX), 4560u);
+    EXPECT_EQ(qir::decompose(make_mctr(200)).count(GateKind::CX), 9360u);
+    EXPECT_EQ(qir::decompose(make_mctr(300)).count(GateKind::CX), 14160u);
+}
+
+TEST(Mctr, ToffoliCountMatchesClosedForm)
+{
+    for (int n : {20, 50, 100}) {
+        const Circuit c = make_mctr(n);
+        EXPECT_EQ(c.count(GateKind::CCX), mctr_expected_toffolis(n))
+            << "n=" << n;
+    }
+}
+
+// ---------------- UCCSD ----------------
+
+TEST(Uccsd, StructureCounts)
+{
+    // 4 spin-orbitals, 2 occupied: 4 singles (2 strings each),
+    // 1 double (8 strings).
+    const Circuit c = make_uccsd(4);
+    // Each string contributes exactly one RZ core.
+    EXPECT_EQ(c.count(GateKind::RZ), 4u * 2u + 1u * 8u);
+    // Hartree-Fock preparation X gates.
+    EXPECT_EQ(c.count(GateKind::X), 2u);
+}
+
+TEST(Uccsd, PreservesParticleNumberOnReferenceState)
+{
+    // The UCCSD ansatz conserves particle number: simulate and check the
+    // expected total occupation stays at the electron count.
+    const Circuit c = make_uccsd(4);
+    qir::Statevector sv(4);
+    support::Rng rng(0);
+    sv.run(c, rng);
+    double occupation = 0.0;
+    for (int q = 0; q < 4; ++q)
+        occupation += sv.prob_one(q);
+    EXPECT_NEAR(occupation, 2.0, 1e-6);
+}
+
+TEST(Uccsd, TrotterStepsScaleLinearly)
+{
+    UccsdOptions one, two;
+    two.trotter_steps = 2;
+    const std::size_t g1 = make_uccsd(6, one).size();
+    const std::size_t g2 = make_uccsd(6, two).size();
+    // 3 occupied X-prep gates are shared; the rest doubles.
+    EXPECT_EQ(g2 - 3, 2 * (g1 - 3));
+}
+
+// ---------------- Library ----------------
+
+TEST(Library, PaperSuiteHas18Rows)
+{
+    const auto suite = paper_suite();
+    EXPECT_EQ(suite.size(), 18u);
+    EXPECT_EQ(suite[0].label(), "MCTR-100-10");
+    EXPECT_EQ(suite.back().label(), "UCCSD-16-8");
+}
+
+TEST(Library, MakeBenchmarkProducesRightWidth)
+{
+    for (const auto& spec : small_suite()) {
+        const Circuit c = make_benchmark(spec);
+        EXPECT_EQ(c.num_qubits(), spec.num_qubits) << spec.label();
+        EXPECT_GT(c.size(), 0u) << spec.label();
+    }
+}
+
+TEST(Library, Figure4ProgramShape)
+{
+    const Circuit c = figure4_program();
+    EXPECT_EQ(c.num_qubits(), 7);
+    const auto mapping = figure4_mapping();
+    EXPECT_EQ(mapping.size(), 7u);
+    // Hub qubit q2 participates in several remote gates.
+    std::size_t q2_remote = 0;
+    for (const auto& g : c)
+        if (g.num_qubits == 2 && g.acts_on(2) &&
+            mapping[static_cast<std::size_t>(g.qs[0])] !=
+                mapping[static_cast<std::size_t>(g.qs[1])])
+            ++q2_remote;
+    EXPECT_GE(q2_remote, 4u);
+}
+
+} // namespace

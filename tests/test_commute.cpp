@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the commutation engine, including an exhaustive soundness
+ * sweep of the rule engine against exact matrix commutators (the rule
+ * engine may say "unknown" for commuting pairs, but must never claim a
+ * non-commuting pair commutes).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qir/commute.hpp"
+#include "qir/gate.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+using autocomm::QubitId;
+
+TEST(Commute, DisjointGatesAlwaysCommute)
+{
+    EXPECT_TRUE(gates_commute(Gate::h(0), Gate::h(1)));
+    EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(2, 3)));
+    EXPECT_TRUE(gates_commute(Gate::measure(0, 0), Gate::x(1)) == false)
+        << "non-unitary gates are ordering fences even when disjoint";
+}
+
+TEST(Commute, DiagonalThroughControl)
+{
+    // Fig. 7: phase gates commute through CX controls.
+    EXPECT_TRUE(gates_commute(Gate::rz(0, 0.3), Gate::cx(0, 1)));
+    EXPECT_TRUE(gates_commute(Gate::t(0), Gate::cx(0, 1)));
+    EXPECT_TRUE(gates_commute(Gate::z(0), Gate::cx(0, 1)));
+    // ...but not through targets.
+    EXPECT_FALSE(gates_commute(Gate::rz(1, 0.3), Gate::cx(0, 1)));
+    EXPECT_FALSE(gates_commute(Gate::t(1), Gate::cx(0, 1)));
+}
+
+TEST(Commute, XRotationThroughTarget)
+{
+    // Fig. 7: X rotations commute through CX targets.
+    EXPECT_TRUE(gates_commute(Gate::rx(1, 0.4), Gate::cx(0, 1)));
+    EXPECT_TRUE(gates_commute(Gate::x(1), Gate::cx(0, 1)));
+    EXPECT_FALSE(gates_commute(Gate::rx(0, 0.4), Gate::cx(0, 1)));
+    EXPECT_FALSE(gates_commute(Gate::x(0), Gate::cx(0, 1)));
+}
+
+TEST(Commute, CxPairsSharingControlOrTarget)
+{
+    EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(0, 2)));
+    EXPECT_TRUE(gates_commute(Gate::cx(0, 2), Gate::cx(1, 2)));
+    EXPECT_FALSE(gates_commute(Gate::cx(0, 1), Gate::cx(1, 2)));
+    EXPECT_FALSE(gates_commute(Gate::cx(0, 1), Gate::cx(1, 0)));
+}
+
+TEST(Commute, DiagonalsCommutePairwise)
+{
+    EXPECT_TRUE(gates_commute(Gate::cz(0, 1), Gate::cz(1, 2)));
+    EXPECT_TRUE(gates_commute(Gate::rzz(0, 1, 0.5), Gate::rzz(1, 2, 0.7)));
+    EXPECT_TRUE(gates_commute(Gate::cp(0, 1, 0.5), Gate::crz(1, 2, 0.7)));
+    EXPECT_TRUE(gates_commute(Gate::rzz(0, 1, 0.5), Gate::cx(2, 1)) ==
+                false);
+    EXPECT_TRUE(gates_commute(Gate::rzz(0, 1, 0.5), Gate::cx(1, 2)));
+}
+
+TEST(Commute, IdenticalGatesCommute)
+{
+    EXPECT_TRUE(gates_commute(Gate::h(0), Gate::h(0)));
+    EXPECT_TRUE(gates_commute(Gate::swap(0, 1), Gate::swap(0, 1)));
+    EXPECT_TRUE(gates_commute(Gate::u3(0, 1, 2, 3), Gate::u3(0, 1, 2, 3)));
+}
+
+TEST(Commute, HUnknownAcrossSharedQubit)
+{
+    EXPECT_FALSE(gates_commute(Gate::h(0), Gate::x(0)));
+    EXPECT_FALSE(gates_commute(Gate::h(0), Gate::cx(0, 1)));
+    EXPECT_FALSE(gates_commute(Gate::swap(0, 1), Gate::cx(0, 2)));
+}
+
+TEST(Commute, ConditionedGatesAreFences)
+{
+    EXPECT_FALSE(gates_commute(Gate::x(0).conditioned_on(0), Gate::x(1)));
+}
+
+TEST(Commute, ExactOracleBasics)
+{
+    EXPECT_TRUE(gates_commute_exact(Gate::rz(0, 0.3), Gate::cx(0, 1)));
+    EXPECT_FALSE(gates_commute_exact(Gate::x(0), Gate::z(0)));
+    // CX(0,1) and CX(1,0) genuinely do not commute.
+    EXPECT_FALSE(gates_commute_exact(Gate::cx(0, 1), Gate::cx(1, 0)));
+    // Y on a CX target does not commute with the CX.
+    EXPECT_FALSE(gates_commute_exact(Gate::y(1), Gate::cx(0, 1)));
+}
+
+/**
+ * Property sweep: the rule engine must be SOUND — whenever it claims two
+ * gates commute, the exact matrix commutator must vanish. We sweep all
+ * gate kinds on overlapping qubit assignments.
+ */
+class CommuteSoundness : public ::testing::TestWithParam<int>
+{
+};
+
+std::vector<Gate>
+gate_zoo()
+{
+    std::vector<Gate> zoo;
+    const std::vector<QubitId> qs1 = {0, 1, 2};
+    for (QubitId q : qs1) {
+        zoo.push_back(Gate::i(q));
+        zoo.push_back(Gate::h(q));
+        zoo.push_back(Gate::x(q));
+        zoo.push_back(Gate::y(q));
+        zoo.push_back(Gate::z(q));
+        zoo.push_back(Gate::s(q));
+        zoo.push_back(Gate::t(q));
+        zoo.push_back(Gate::tdg(q));
+        zoo.push_back(Gate::sx(q));
+        zoo.push_back(Gate::rx(q, 0.31));
+        zoo.push_back(Gate::ry(q, 0.41));
+        zoo.push_back(Gate::rz(q, 0.53));
+        zoo.push_back(Gate::p(q, 0.27));
+        zoo.push_back(Gate::u3(q, 0.2, 0.3, 0.4));
+    }
+    const std::vector<std::pair<QubitId, QubitId>> qs2 = {
+        {0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}};
+    for (auto [a, b] : qs2) {
+        zoo.push_back(Gate::cx(a, b));
+        zoo.push_back(Gate::cz(a, b));
+        zoo.push_back(Gate::cp(a, b, 0.37));
+        zoo.push_back(Gate::crz(a, b, 0.61));
+        zoo.push_back(Gate::rzz(a, b, 0.43));
+        zoo.push_back(Gate::swap(a, b));
+    }
+    zoo.push_back(Gate::ccx(0, 1, 2));
+    zoo.push_back(Gate::ccx(2, 0, 1));
+    return zoo;
+}
+
+TEST_P(CommuteSoundness, RuleImpliesExact)
+{
+    const auto zoo = gate_zoo();
+    const int chunk = GetParam();
+    const std::size_t begin = static_cast<std::size_t>(chunk) * zoo.size() / 4;
+    const std::size_t end = static_cast<std::size_t>(chunk + 1) * zoo.size() / 4;
+    for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = 0; j < zoo.size(); ++j) {
+            if (gates_commute(zoo[i], zoo[j])) {
+                EXPECT_TRUE(gates_commute_exact(zoo[i], zoo[j]))
+                    << zoo[i].to_string() << " vs " << zoo[j].to_string();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CommuteSoundness,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Commute, RuleIsSymmetric)
+{
+    const auto zoo = gate_zoo();
+    for (std::size_t i = 0; i < zoo.size(); ++i)
+        for (std::size_t j = i; j < zoo.size(); ++j)
+            EXPECT_EQ(gates_commute(zoo[i], zoo[j]),
+                      gates_commute(zoo[j], zoo[i]))
+                << zoo[i].to_string() << " vs " << zoo[j].to_string();
+}
+
+TEST(BlockContextTest, EmptyCommutesWithEverything)
+{
+    BlockContext ctx;
+    EXPECT_TRUE(ctx.empty());
+    EXPECT_TRUE(ctx.commutes(Gate::h(0)));
+    EXPECT_TRUE(ctx.commutes(Gate::cx(0, 1)));
+}
+
+TEST(BlockContextTest, TracksPerQubitMasks)
+{
+    BlockContext ctx;
+    ctx.absorb(Gate::cx(0, 1)); // q0: diag, q1: x
+    EXPECT_TRUE(ctx.touches(0));
+    EXPECT_TRUE(ctx.touches(1));
+    EXPECT_FALSE(ctx.touches(2));
+    EXPECT_EQ(ctx.mask(0), kAxisDiag);
+    EXPECT_EQ(ctx.mask(1), kAxisX);
+
+    EXPECT_TRUE(ctx.commutes(Gate::rz(0, 0.5)));
+    EXPECT_TRUE(ctx.commutes(Gate::rx(1, 0.5)));
+    EXPECT_TRUE(ctx.commutes(Gate::cx(0, 2)));
+    EXPECT_FALSE(ctx.commutes(Gate::rz(1, 0.5)));
+    EXPECT_FALSE(ctx.commutes(Gate::cx(1, 2)));
+    EXPECT_TRUE(ctx.commutes(Gate::cx(2, 1)));
+}
+
+TEST(BlockContextTest, MasksTightenMonotonically)
+{
+    BlockContext ctx;
+    ctx.absorb(Gate::cx(0, 1));
+    ctx.absorb(Gate::cx(1, 0)); // q0 now diag&x = 0, q1 x&diag = 0
+    EXPECT_EQ(ctx.mask(0), 0);
+    EXPECT_EQ(ctx.mask(1), 0);
+    EXPECT_FALSE(ctx.commutes(Gate::rz(0, 0.1)));
+    EXPECT_FALSE(ctx.commutes(Gate::rx(1, 0.1)));
+    EXPECT_TRUE(ctx.commutes(Gate::h(2)));
+}
+
+TEST(BlockContextTest, NonUnitaryNeverCommutes)
+{
+    BlockContext ctx;
+    ctx.absorb(Gate::cx(0, 1));
+    EXPECT_FALSE(ctx.commutes(Gate::measure(2, 0)));
+    EXPECT_FALSE(ctx.commutes(Gate::x(2).conditioned_on(0)));
+}
+
+/**
+ * Property: a gate provably commuting with a BlockContext commutes with
+ * every gate absorbed into it (checked via the exact oracle on a sample).
+ */
+TEST(BlockContextTest, ContextCommuteImpliesPairwiseCommute)
+{
+    const auto zoo = gate_zoo();
+    std::vector<Gate> block = {Gate::cx(0, 1), Gate::rz(0, 0.2),
+                               Gate::cx(0, 2)};
+    BlockContext ctx;
+    for (const Gate& g : block)
+        ctx.absorb(g);
+    for (const Gate& g : zoo) {
+        if (!ctx.commutes(g))
+            continue;
+        for (const Gate& member : block)
+            EXPECT_TRUE(gates_commute_exact(g, member))
+                << g.to_string() << " vs " << member.to_string();
+    }
+}
+
+} // namespace

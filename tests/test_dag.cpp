@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the gate dependency DAG and ASAP layering.
+ */
+#include <gtest/gtest.h>
+
+#include "qir/dag.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+
+TEST(Dag, EmptyCircuit)
+{
+    Circuit c(2);
+    GateDag dag(c);
+    EXPECT_EQ(dag.size(), 0u);
+    EXPECT_EQ(dag.num_layers(), 0u);
+}
+
+TEST(Dag, IndependentGatesShareLayerZero)
+{
+    Circuit c(3);
+    c.h(0).h(1).h(2);
+    GateDag dag(c);
+    EXPECT_EQ(dag.num_layers(), 1u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(dag.preds(i).empty());
+        EXPECT_EQ(dag.layers()[i], 0u);
+    }
+}
+
+TEST(Dag, ChainOnOneQubit)
+{
+    Circuit c(1);
+    c.h(0).t(0).h(0);
+    GateDag dag(c);
+    EXPECT_EQ(dag.num_layers(), 3u);
+    EXPECT_EQ(dag.preds(1).size(), 1u);
+    EXPECT_EQ(dag.preds(1)[0], 0u);
+    EXPECT_EQ(dag.succs(0).size(), 1u);
+}
+
+TEST(Dag, TwoQubitGateJoinsChains)
+{
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1).h(0);
+    GateDag dag(c);
+    EXPECT_EQ(dag.preds(2).size(), 2u); // cx depends on both h's
+    EXPECT_EQ(dag.layers()[2], 1u);
+    EXPECT_EQ(dag.layers()[3], 2u);
+}
+
+TEST(Dag, BarrierFencesEverything)
+{
+    Circuit c(2);
+    c.h(0).barrier().h(1);
+    GateDag dag(c);
+    // h(1) is fenced behind the barrier even though qubit 1 was untouched.
+    EXPECT_GT(dag.layers()[2], 0u);
+}
+
+TEST(Dag, ClassicalBitsCreateDependencies)
+{
+    Circuit c(2, 1);
+    c.measure(0, 0).add(Gate::x(1).conditioned_on(0));
+    GateDag dag(c);
+    ASSERT_EQ(dag.preds(1).size(), 1u);
+    EXPECT_EQ(dag.preds(1)[0], 0u);
+}
+
+TEST(Dag, LayeredGatesPartitionAllGates)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).h(0).h(2);
+    GateDag dag(c);
+    const auto layers = dag.layered_gates();
+    std::size_t total = 0;
+    for (const auto& layer : layers)
+        total += layer.size();
+    EXPECT_EQ(total, c.size());
+    EXPECT_EQ(layers.size(), dag.num_layers());
+}
+
+TEST(Dag, LayersMatchCircuitDepth)
+{
+    Circuit c(4);
+    c.h(0).cx(0, 1).cx(2, 3).cx(1, 2).h(3);
+    GateDag dag(c);
+    EXPECT_EQ(dag.num_layers(), c.depth());
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for gate decomposition: every expansion must be exactly
+ * unitary-equivalent to the gate it replaces, including the Barenco
+ * multi-controlled constructions with dirty ancillas.
+ */
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <numeric>
+
+#include "qir/circuit.hpp"
+#include "qir/decompose.hpp"
+#include "qir/unitary.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+using autocomm::QubitId;
+
+TEST(Decompose, CzExpansion)
+{
+    Circuit a(2), b(2);
+    a.cz(0, 1);
+    emit_cz(b, 0, 1);
+    EXPECT_TRUE(circuits_equivalent(a, b));
+    EXPECT_EQ(b.count(GateKind::CX), 1u);
+}
+
+TEST(Decompose, CpExpansion)
+{
+    for (double lambda : {0.3, 1.1, -0.7, std::numbers::pi / 2}) {
+        Circuit a(2), b(2);
+        a.cp(0, 1, lambda);
+        emit_cp(b, 0, 1, lambda);
+        EXPECT_TRUE(circuits_equivalent(a, b)) << "lambda=" << lambda;
+        EXPECT_EQ(b.count(GateKind::CX), 2u);
+    }
+}
+
+TEST(Decompose, CrzExpansion)
+{
+    for (double theta : {0.2, -1.3, 2.5}) {
+        Circuit a(2), b(2);
+        a.crz(0, 1, theta);
+        emit_crz(b, 0, 1, theta);
+        EXPECT_TRUE(circuits_equivalent(a, b)) << "theta=" << theta;
+    }
+}
+
+TEST(Decompose, RzzExpansion)
+{
+    for (double theta : {0.4, -0.9}) {
+        Circuit a(2), b(2);
+        a.rzz(0, 1, theta);
+        emit_rzz(b, 0, 1, theta);
+        EXPECT_TRUE(circuits_equivalent(a, b)) << "theta=" << theta;
+    }
+}
+
+TEST(Decompose, SwapExpansion)
+{
+    Circuit a(2), b(2);
+    a.swap(0, 1);
+    emit_swap(b, 0, 1);
+    EXPECT_TRUE(circuits_equivalent(a, b));
+    EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(Decompose, CcxExpansion)
+{
+    Circuit a(3), b(3);
+    a.ccx(0, 1, 2);
+    emit_ccx(b, 0, 1, 2);
+    EXPECT_TRUE(circuits_equivalent(a, b));
+    EXPECT_EQ(b.count(GateKind::CX), 6u);
+}
+
+TEST(Decompose, CcxExpansionOnPermutedOperands)
+{
+    Circuit a(3), b(3);
+    a.ccx(2, 0, 1);
+    emit_ccx(b, 2, 0, 1);
+    EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+/** Reference multi-controlled X as a raw permutation circuit. */
+CMatrix
+mcx_reference(int num_qubits, const std::vector<QubitId>& controls,
+              QubitId target)
+{
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    CMatrix m(dim, dim);
+    for (std::size_t in = 0; in < dim; ++in) {
+        bool all = true;
+        for (QubitId ctl : controls)
+            all &= ((in >> (num_qubits - 1 - ctl)) & 1) != 0;
+        std::size_t out = in;
+        if (all)
+            out = in ^ (std::size_t{1} << (num_qubits - 1 - target));
+        m.at(out, in) = 1.0;
+    }
+    return m;
+}
+
+class VChainTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(VChainTest, DirtyAncillaVChainImplementsMcx)
+{
+    const int k = GetParam(); // controls
+    const int n = 2 * k - 1;  // controls + (k-2) ancillas + target
+    std::vector<QubitId> controls(static_cast<std::size_t>(k));
+    std::iota(controls.begin(), controls.end(), 0);
+    std::vector<QubitId> ancillas(static_cast<std::size_t>(k - 2));
+    std::iota(ancillas.begin(), ancillas.end(), k);
+    const QubitId target = n - 1;
+
+    Circuit c(n);
+    emit_mcx_vchain(c, controls, target, ancillas);
+    EXPECT_EQ(c.count(GateKind::CCX),
+              static_cast<std::size_t>(4 * (k - 2)));
+    EXPECT_TRUE(circuit_unitary(c).equal_up_to_phase(
+        mcx_reference(n, controls, target)))
+        << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(ControlsSweep, VChainTest,
+                         ::testing::Values(3, 4, 5));
+
+TEST(Decompose, VChainSmallCases)
+{
+    // k = 0, 1, 2 degrade to X, CX, CCX.
+    Circuit c0(1);
+    emit_mcx_vchain(c0, {}, 0, {});
+    EXPECT_EQ(c0[0].kind, GateKind::X);
+
+    Circuit c1(2);
+    emit_mcx_vchain(c1, {0}, 1, {});
+    EXPECT_EQ(c1[0].kind, GateKind::CX);
+
+    Circuit c2(3);
+    emit_mcx_vchain(c2, {0, 1}, 2, {});
+    EXPECT_EQ(c2[0].kind, GateKind::CCX);
+}
+
+class McxSplitTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(McxSplitTest, SplitThroughBorrowedQubitImplementsMcx)
+{
+    const int n = GetParam();
+    std::vector<QubitId> controls(static_cast<std::size_t>(n - 2));
+    std::iota(controls.begin(), controls.end(), 0);
+    const QubitId free_qubit = n - 2;
+    const QubitId target = n - 1;
+    std::vector<QubitId> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+
+    Circuit c(n);
+    emit_mcx_split(c, controls, target, free_qubit, all);
+    EXPECT_TRUE(circuit_unitary(c).equal_up_to_phase(
+        mcx_reference(n, controls, target)))
+        << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RegisterSweep, McxSplitTest,
+                         ::testing::Values(5, 6, 7, 8, 9));
+
+TEST(Decompose, McrzImplementsControlledRotation)
+{
+    const int n = 6;
+    const double theta = 0.77;
+    std::vector<QubitId> controls = {0, 1, 2, 3};
+    std::vector<QubitId> all = {0, 1, 2, 3, 4, 5};
+    Circuit c(n);
+    emit_mcrz(c, controls, 5, theta, 4, all);
+
+    // Reference: diagonal controlled-RZ on the target.
+    const std::size_t dim = std::size_t{1} << n;
+    CMatrix ref = CMatrix::identity(dim);
+    for (std::size_t in = 0; in < dim; ++in) {
+        bool all_set = true;
+        for (QubitId ctl : controls)
+            all_set &= ((in >> (n - 1 - ctl)) & 1) != 0;
+        if (all_set) {
+            const bool t1 = ((in >> (n - 1 - 5)) & 1) != 0;
+            ref.at(in, in) = std::polar(1.0, (t1 ? 1.0 : -1.0) * theta / 2);
+        }
+    }
+    EXPECT_TRUE(circuit_unitary(c).equal_up_to_phase(ref));
+}
+
+TEST(Decompose, FullPassReachesCx1qBasis)
+{
+    Circuit c(4);
+    c.h(0).cz(0, 1).cp(1, 2, 0.3).crz(2, 3, 0.4).rzz(0, 3, 0.5)
+        .swap(1, 2).ccx(0, 1, 2);
+    const Circuit d = decompose(c);
+    for (const Gate& g : d) {
+        EXPECT_LE(static_cast<int>(g.num_qubits), 2);
+        if (g.num_qubits == 2)
+            EXPECT_EQ(g.kind, GateKind::CX) << g.to_string();
+    }
+    EXPECT_TRUE(circuits_equivalent(c, d));
+}
+
+TEST(Decompose, KeepDiagonalOption)
+{
+    Circuit c(3);
+    c.cp(0, 1, 0.3).rzz(1, 2, 0.4).swap(0, 2);
+    DecomposeOptions opts;
+    opts.keep_diagonal_2q = true;
+    const Circuit d = decompose(c, opts);
+    EXPECT_EQ(d.count(GateKind::CP), 1u);
+    EXPECT_EQ(d.count(GateKind::RZZ), 1u);
+    EXPECT_EQ(d.count(GateKind::SWAP), 0u); // swaps always expand
+    EXPECT_TRUE(circuits_equivalent(c, d));
+}
+
+TEST(Decompose, PassesThroughMeasurement)
+{
+    Circuit c(2, 1);
+    c.cz(0, 1).measure(0, 0);
+    const Circuit d = decompose(c);
+    EXPECT_EQ(d.count(GateKind::Measure), 1u);
+}
+
+TEST(Decompose, VChainPreservesDirtyAncillaState)
+{
+    // Ancillas in arbitrary states must come back unchanged: prepare a
+    // random ancilla state, run MCX twice, expect identity overall.
+    const int k = 4, n = 2 * k - 1;
+    std::vector<QubitId> controls = {0, 1, 2, 3};
+    std::vector<QubitId> ancillas = {4, 5};
+    Circuit c(n);
+    emit_mcx_vchain(c, controls, 6, ancillas);
+    emit_mcx_vchain(c, controls, 6, ancillas);
+    EXPECT_TRUE(circuit_unitary(c).equal_up_to_phase(
+        CMatrix::identity(std::size_t{1} << n)));
+}
+
+} // namespace

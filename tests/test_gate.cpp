@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for gate metadata, factories, matrices, inverses, and axis
+ * classification.
+ */
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "qir/circuit.hpp"
+#include "qir/gate.hpp"
+#include "qir/unitary.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+using autocomm::QubitId;
+
+const std::vector<GateKind> kAllUnitary = {
+    GateKind::I,   GateKind::H,   GateKind::X,    GateKind::Y,
+    GateKind::Z,   GateKind::S,   GateKind::Sdg,  GateKind::T,
+    GateKind::Tdg, GateKind::SX,  GateKind::RX,   GateKind::RY,
+    GateKind::RZ,  GateKind::P,   GateKind::U3,   GateKind::CX,
+    GateKind::CZ,  GateKind::CP,  GateKind::CRZ,  GateKind::RZZ,
+    GateKind::SWAP, GateKind::CCX,
+};
+
+Gate
+sample_gate(GateKind kind)
+{
+    Gate g;
+    g.kind = kind;
+    g.num_qubits = static_cast<std::uint8_t>(gate_arity(kind));
+    for (int i = 0; i < g.num_qubits; ++i)
+        g.qs[static_cast<std::size_t>(i)] = i;
+    for (int i = 0; i < gate_param_count(kind); ++i)
+        g.params[static_cast<std::size_t>(i)] = 0.37 * (i + 1);
+    return g;
+}
+
+TEST(Gate, NamesAreUniqueAndLowercase)
+{
+    std::vector<std::string> names;
+    for (GateKind k : kAllUnitary)
+        names.push_back(gate_name(k));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Gate, ArityMatchesFactories)
+{
+    EXPECT_EQ(gate_arity(GateKind::H), 1);
+    EXPECT_EQ(gate_arity(GateKind::CX), 2);
+    EXPECT_EQ(gate_arity(GateKind::CCX), 3);
+    EXPECT_EQ(gate_arity(GateKind::Barrier), 0);
+    EXPECT_EQ(Gate::cx(0, 1).num_qubits, 2);
+    EXPECT_EQ(Gate::ccx(0, 1, 2).num_qubits, 3);
+}
+
+TEST(Gate, AllUnitaryMatricesAreUnitary)
+{
+    for (GateKind k : kAllUnitary) {
+        const Gate g = sample_gate(k);
+        EXPECT_TRUE(g.matrix().is_unitary()) << gate_name(k);
+    }
+}
+
+TEST(Gate, InverseComposesToIdentityUpToPhase)
+{
+    for (GateKind k : kAllUnitary) {
+        const Gate g = sample_gate(k);
+        const CMatrix prod = g.matrix() * g.inverse().matrix();
+        EXPECT_TRUE(prod.equal_up_to_phase(
+            CMatrix::identity(prod.rows())))
+            << gate_name(k);
+    }
+}
+
+TEST(Gate, DiagonalGatesHaveDiagonalMatrices)
+{
+    for (GateKind k : kAllUnitary) {
+        if (!is_diagonal_gate(k))
+            continue;
+        const CMatrix m = sample_gate(k).matrix();
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            for (std::size_t c = 0; c < m.cols(); ++c)
+                if (r != c)
+                    EXPECT_NEAR(std::abs(m.at(r, c)), 0.0, 1e-12)
+                        << gate_name(k);
+    }
+}
+
+TEST(Gate, CxMatrixFlipsTargetOnControlOne)
+{
+    const CMatrix m = Gate::cx(0, 1).matrix();
+    // |10> -> |11>, |11> -> |10> (qubit 0 = MSB).
+    EXPECT_EQ(m.at(3, 2), Complex{1});
+    EXPECT_EQ(m.at(2, 3), Complex{1});
+    EXPECT_EQ(m.at(0, 0), Complex{1});
+    EXPECT_EQ(m.at(1, 1), Complex{1});
+}
+
+TEST(Gate, CrzIsControlledRz)
+{
+    const double th = 0.81;
+    const CMatrix m = Gate::crz(0, 1, th).matrix();
+    EXPECT_NEAR(std::abs(m.at(0, 0) - Complex{1}), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m.at(2, 2) - std::polar(1.0, -th / 2)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m.at(3, 3) - std::polar(1.0, th / 2)), 0.0, 1e-12);
+}
+
+TEST(Gate, AxisClassification)
+{
+    EXPECT_EQ(Gate::rz(0, 0.3).axis_on(0), kAxisDiag);
+    EXPECT_EQ(Gate::t(0).axis_on(0), kAxisDiag);
+    EXPECT_EQ(Gate::x(0).axis_on(0), kAxisX);
+    EXPECT_EQ(Gate::rx(0, 0.3).axis_on(0), kAxisX);
+    EXPECT_EQ(Gate::ry(0, 0.3).axis_on(0), kAxisY);
+    EXPECT_EQ(Gate::h(0).axis_on(0), 0);
+    EXPECT_EQ(Gate::swap(0, 1).axis_on(0), 0);
+    EXPECT_EQ(Gate::i(0).axis_on(0), kAxisAll);
+
+    const Gate cx = Gate::cx(2, 5);
+    EXPECT_EQ(cx.axis_on(2), kAxisDiag); // control
+    EXPECT_EQ(cx.axis_on(5), kAxisX);    // target
+
+    const Gate ccx = Gate::ccx(1, 2, 3);
+    EXPECT_EQ(ccx.axis_on(1), kAxisDiag);
+    EXPECT_EQ(ccx.axis_on(2), kAxisDiag);
+    EXPECT_EQ(ccx.axis_on(3), kAxisX);
+
+    const Gate rzz = Gate::rzz(0, 1, 0.2);
+    EXPECT_EQ(rzz.axis_on(0), kAxisDiag);
+    EXPECT_EQ(rzz.axis_on(1), kAxisDiag);
+}
+
+TEST(Gate, ActsOnChecksOperands)
+{
+    const Gate g = Gate::cx(3, 7);
+    EXPECT_TRUE(g.acts_on(3));
+    EXPECT_TRUE(g.acts_on(7));
+    EXPECT_FALSE(g.acts_on(5));
+}
+
+TEST(Gate, ConditionedCopyKeepsOperands)
+{
+    const Gate g = Gate::x(2).conditioned_on(4, 1);
+    EXPECT_EQ(g.cond_bit, 4);
+    EXPECT_EQ(g.cond_value, 1);
+    EXPECT_EQ(g.kind, GateKind::X);
+    EXPECT_EQ(g.qs[0], 2);
+}
+
+TEST(Gate, EqualityComparesParams)
+{
+    EXPECT_EQ(Gate::rz(0, 0.5), Gate::rz(0, 0.5));
+    EXPECT_FALSE(Gate::rz(0, 0.5) == Gate::rz(0, 0.6));
+    EXPECT_FALSE(Gate::rz(0, 0.5) == Gate::rz(1, 0.5));
+    EXPECT_FALSE(Gate::x(0) == Gate::x(0).conditioned_on(0));
+}
+
+TEST(Gate, ToStringRendersOperandsAndParams)
+{
+    EXPECT_EQ(Gate::cx(1, 3).to_string(), "cx q[1], q[3]");
+    const std::string s = Gate::rz(2, 0.5).to_string();
+    EXPECT_NE(s.find("rz(0.5"), std::string::npos);
+    EXPECT_NE(s.find("q[2]"), std::string::npos);
+}
+
+TEST(Gate, U3CoversHadamardUpToPhase)
+{
+    using std::numbers::pi;
+    const Gate u = Gate::u3(0, pi / 2, 0.0, pi);
+    EXPECT_TRUE(u.matrix().equal_up_to_phase(Gate::h(0).matrix()));
+}
+
+TEST(Gate, SwapMatrixExchangesBasisStates)
+{
+    const CMatrix m = Gate::swap(0, 1).matrix();
+    EXPECT_EQ(m.at(1, 2), Complex{1});
+    EXPECT_EQ(m.at(2, 1), Complex{1});
+}
+
+TEST(Gate, MeasureCarriesClassicalBit)
+{
+    const Gate g = Gate::measure(3, 5);
+    EXPECT_EQ(g.kind, GateKind::Measure);
+    EXPECT_EQ(g.cbit, 5);
+    EXPECT_FALSE(is_unitary_gate(g.kind));
+}
+
+} // namespace

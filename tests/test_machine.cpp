@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the distributed machine model, qubit mapping, and the
+ * Table 1 latency constants.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/latency.hpp"
+#include "hw/machine.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm::hw;
+using namespace autocomm::qir;
+using autocomm::QubitId;
+using autocomm::support::UserError;
+
+TEST(Latency, PaperTable1Defaults)
+{
+    const LatencyModel lat;
+    EXPECT_DOUBLE_EQ(lat.t_1q, 0.1);
+    EXPECT_DOUBLE_EQ(lat.t_2q, 1.0);
+    EXPECT_DOUBLE_EQ(lat.t_meas, 5.0);
+    EXPECT_DOUBLE_EQ(lat.t_epr, 12.0);
+    EXPECT_DOUBLE_EQ(lat.t_cbit, 1.0);
+}
+
+TEST(Latency, DerivedProtocolDurations)
+{
+    const LatencyModel lat;
+    // The paper quotes teleportation at ~8 CX; our decomposition gives
+    // CX + H + measure + classical bit + two corrections = 7.3.
+    EXPECT_NEAR(lat.t_teleport(), 7.3, 1e-9);
+    EXPECT_NEAR(lat.t_cat_entangle(), 7.1, 1e-9);
+    EXPECT_NEAR(lat.t_cat_disentangle(), 6.2, 1e-9);
+    EXPECT_LT(lat.t_teleport(), lat.t_epr); // EPR prep dominates
+}
+
+TEST(Latency, GateTimeSelectsWidth)
+{
+    const LatencyModel lat;
+    EXPECT_DOUBLE_EQ(lat.gate_time(1), lat.t_1q);
+    EXPECT_DOUBLE_EQ(lat.gate_time(2), lat.t_2q);
+}
+
+TEST(Machine, CapacityIsProduct)
+{
+    Machine m;
+    m.num_nodes = 10;
+    m.qubits_per_node = 10;
+    EXPECT_EQ(m.capacity(), 100);
+    EXPECT_EQ(m.comm_qubits_per_node, 2); // paper's near-term assumption
+}
+
+TEST(Mapping, ContiguousAssignsBlocks)
+{
+    const QubitMapping map = QubitMapping::contiguous(10, 2);
+    for (QubitId q = 0; q < 5; ++q)
+        EXPECT_EQ(map.node_of(q), 0);
+    for (QubitId q = 5; q < 10; ++q)
+        EXPECT_EQ(map.node_of(q), 1);
+    EXPECT_EQ(map.num_nodes(), 2);
+}
+
+TEST(Mapping, QubitsOnListsMembers)
+{
+    const QubitMapping map = QubitMapping::contiguous(6, 3);
+    const auto on1 = map.qubits_on(1);
+    ASSERT_EQ(on1.size(), 2u);
+    EXPECT_EQ(on1[0], 2);
+    EXPECT_EQ(on1[1], 3);
+}
+
+TEST(Mapping, RemoteDetection)
+{
+    const QubitMapping map = QubitMapping::contiguous(4, 2);
+    EXPECT_FALSE(map.is_remote(Gate::cx(0, 1)));
+    EXPECT_TRUE(map.is_remote(Gate::cx(1, 2)));
+    EXPECT_FALSE(map.is_remote(Gate::h(0)));
+    EXPECT_TRUE(map.is_remote(Gate::ccx(0, 1, 3)));
+}
+
+TEST(Mapping, CountRemote)
+{
+    Circuit c(4);
+    c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3).h(0);
+    const QubitMapping map = QubitMapping::contiguous(4, 2);
+    EXPECT_EQ(map.count_remote(c), 2u);
+}
+
+TEST(Mapping, ValidateAcceptsFitting)
+{
+    Machine m;
+    m.num_nodes = 2;
+    m.qubits_per_node = 2;
+    const QubitMapping map = QubitMapping::contiguous(4, 2);
+    EXPECT_NO_THROW(map.validate(m));
+}
+
+TEST(Mapping, ValidateRejectsOverflow)
+{
+    Machine m;
+    m.num_nodes = 2;
+    m.qubits_per_node = 1;
+    const QubitMapping map = QubitMapping::contiguous(4, 2);
+    EXPECT_THROW(map.validate(m), UserError);
+}
+
+TEST(Mapping, ValidateRejectsTooManyNodes)
+{
+    Machine m;
+    m.num_nodes = 1;
+    m.qubits_per_node = 8;
+    const QubitMapping map = QubitMapping::contiguous(4, 2);
+    EXPECT_THROW(map.validate(m), UserError);
+}
+
+TEST(Mapping, ExplicitVectorConstructor)
+{
+    const QubitMapping map(std::vector<autocomm::NodeId>{1, 0, 1});
+    EXPECT_EQ(map.node_of(0), 1);
+    EXPECT_EQ(map.node_of(1), 0);
+    EXPECT_EQ(map.num_nodes(), 2);
+}
+
+} // namespace

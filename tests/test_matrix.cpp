@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the dense complex-matrix substrate.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qir/matrix.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+
+TEST(Matrix, IdentityHasUnitDiagonal)
+{
+    const CMatrix i3 = CMatrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(i3.at(r, c), (r == c ? Complex{1} : Complex{}));
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop)
+{
+    CMatrix m = CMatrix::from_rows(2, 2, {1.0, 2.0, {0, 3}, {4, -1}});
+    EXPECT_TRUE((m * CMatrix::identity(2)).approx_equal(m));
+    EXPECT_TRUE((CMatrix::identity(2) * m).approx_equal(m));
+}
+
+TEST(Matrix, MultiplicationIsCorrect)
+{
+    const CMatrix a = CMatrix::from_rows(2, 2, {1, 2, 3, 4});
+    const CMatrix b = CMatrix::from_rows(2, 2, {0, 1, 1, 0});
+    const CMatrix ab = a * b;
+    EXPECT_EQ(ab.at(0, 0), Complex{2});
+    EXPECT_EQ(ab.at(0, 1), Complex{1});
+    EXPECT_EQ(ab.at(1, 0), Complex{4});
+    EXPECT_EQ(ab.at(1, 1), Complex{3});
+}
+
+TEST(Matrix, AdditionAndSubtraction)
+{
+    const CMatrix a = CMatrix::from_rows(1, 2, {1, 2});
+    const CMatrix b = CMatrix::from_rows(1, 2, {3, -1});
+    EXPECT_EQ((a + b).at(0, 0), Complex{4});
+    EXPECT_EQ((a - b).at(0, 1), Complex{3});
+}
+
+TEST(Matrix, KroneckerProductShapeAndValues)
+{
+    const CMatrix a = CMatrix::from_rows(2, 2, {1, 0, 0, 1});
+    const CMatrix x = CMatrix::from_rows(2, 2, {0, 1, 1, 0});
+    const CMatrix k = a.kron(x);
+    ASSERT_EQ(k.rows(), 4u);
+    ASSERT_EQ(k.cols(), 4u);
+    EXPECT_EQ(k.at(0, 1), Complex{1});
+    EXPECT_EQ(k.at(1, 0), Complex{1});
+    EXPECT_EQ(k.at(2, 3), Complex{1});
+    EXPECT_EQ(k.at(3, 2), Complex{1});
+    EXPECT_EQ(k.at(0, 3), Complex{});
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes)
+{
+    const CMatrix m = CMatrix::from_rows(2, 2, {{1, 1}, {0, 2}, {3, 0}, {0, -4}});
+    const CMatrix d = m.dagger();
+    EXPECT_EQ(d.at(0, 0), (Complex{1, -1}));
+    EXPECT_EQ(d.at(0, 1), (Complex{3, 0}));
+    EXPECT_EQ(d.at(1, 0), (Complex{0, -2}));
+    EXPECT_EQ(d.at(1, 1), (Complex{0, 4}));
+}
+
+TEST(Matrix, FrobeniusNorm)
+{
+    const CMatrix m = CMatrix::from_rows(1, 2, {{3, 0}, {0, 4}});
+    EXPECT_NEAR(m.frobenius_norm(), 5.0, 1e-12);
+}
+
+TEST(Matrix, EqualUpToPhaseDetectsPhase)
+{
+    const CMatrix a = CMatrix::from_rows(2, 2, {1, 0, 0, 1});
+    const Complex ph = std::polar(1.0, 0.7);
+    CMatrix b(2, 2);
+    for (std::size_t i = 0; i < 2; ++i)
+        b.at(i, i) = ph;
+    EXPECT_TRUE(b.equal_up_to_phase(a));
+    EXPECT_FALSE(b.approx_equal(a));
+}
+
+TEST(Matrix, EqualUpToPhaseRejectsDifferentMatrices)
+{
+    const CMatrix a = CMatrix::from_rows(2, 2, {1, 0, 0, 1});
+    const CMatrix x = CMatrix::from_rows(2, 2, {0, 1, 1, 0});
+    EXPECT_FALSE(a.equal_up_to_phase(x));
+}
+
+TEST(Matrix, IsUnitaryAcceptsRotation)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    const CMatrix h = CMatrix::from_rows(2, 2, {s, s, s, -s});
+    EXPECT_TRUE(h.is_unitary());
+}
+
+TEST(Matrix, IsUnitaryRejectsScaled)
+{
+    const CMatrix m = CMatrix::from_rows(2, 2, {2, 0, 0, 2});
+    EXPECT_FALSE(m.is_unitary());
+}
+
+TEST(Matrix, CommutatorNormZeroForCommuting)
+{
+    const CMatrix z = CMatrix::from_rows(2, 2, {1, 0, 0, -1});
+    const CMatrix s = CMatrix::from_rows(2, 2, {1, 0, 0, Complex{0, 1}});
+    EXPECT_NEAR(commutator_norm(z, s), 0.0, 1e-12);
+}
+
+TEST(Matrix, CommutatorNormPositiveForAnticommuting)
+{
+    const CMatrix z = CMatrix::from_rows(2, 2, {1, 0, 0, -1});
+    const CMatrix x = CMatrix::from_rows(2, 2, {0, 1, 1, 0});
+    EXPECT_GT(commutator_norm(z, x), 1.0);
+}
+
+} // namespace

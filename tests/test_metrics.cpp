@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the communication metrics (paper §5.1): communication counts,
+ * peak payload per communication, and the Fig. 15 distribution helper.
+ */
+#include <gtest/gtest.h>
+
+#include "autocomm/aggregate.hpp"
+#include "autocomm/assign.hpp"
+#include "autocomm/metrics.hpp"
+#include "circuits/qft.hpp"
+#include "qir/decompose.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::pass;
+using qir::Circuit;
+
+Metrics
+metrics_for(const Circuit& c, const hw::QubitMapping& map)
+{
+    auto blocks = aggregate(c, map);
+    assign_schemes(c, blocks);
+    return compute_metrics(c, blocks);
+}
+
+TEST(Metrics, SingleCatBlock)
+{
+    Circuit c(6);
+    c.cx(0, 3).cx(0, 4).cx(0, 5);
+    const auto m = metrics_for(c, hw::QubitMapping::contiguous(6, 2));
+    EXPECT_EQ(m.num_blocks, 1u);
+    EXPECT_EQ(m.total_comms, 1u);
+    EXPECT_EQ(m.tp_comms, 0u);
+    EXPECT_EQ(m.cat_comms, 1u);
+    EXPECT_EQ(m.remote_gates, 3u);
+    EXPECT_DOUBLE_EQ(m.peak_rem_cx, 3.0);
+}
+
+TEST(Metrics, TpBlockAveragesOverTwoComms)
+{
+    Circuit c(6);
+    c.cx(0, 3).cx(4, 0).cx(0, 5).cx(3, 0); // bidirectional, 4 gates
+    const auto m = metrics_for(c, hw::QubitMapping::contiguous(6, 2));
+    EXPECT_EQ(m.num_blocks, 1u);
+    EXPECT_EQ(m.total_comms, 2u);
+    EXPECT_EQ(m.tp_comms, 2u);
+    // Paper metric: payload averaged over the two TP communications.
+    EXPECT_DOUBLE_EQ(m.peak_rem_cx, 2.0);
+    ASSERT_EQ(m.per_comm_cx.size(), 2u);
+}
+
+TEST(Metrics, SparsePerGateBaseline)
+{
+    Circuit c(4);
+    c.cx(0, 2).cx(1, 3).cx(0, 3);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    AggregateOptions sparse;
+    sparse.use_commutation = false;
+    auto blocks = aggregate(c, map, sparse);
+    assign_schemes(c, blocks);
+    const auto m = compute_metrics(c, blocks);
+    EXPECT_EQ(m.total_comms, 3u);
+    EXPECT_DOUBLE_EQ(m.peak_rem_cx, 1.0);
+    EXPECT_DOUBLE_EQ(m.mean_rem_cx(), 1.0);
+}
+
+TEST(Metrics, ProbCarriesAtLeast)
+{
+    Metrics m;
+    m.per_comm_cx = {1, 1, 2, 4, 8};
+    EXPECT_DOUBLE_EQ(m.prob_carries_at_least(1), 1.0);
+    EXPECT_DOUBLE_EQ(m.prob_carries_at_least(2), 0.6);
+    EXPECT_DOUBLE_EQ(m.prob_carries_at_least(5), 0.2);
+    EXPECT_DOUBLE_EQ(m.prob_carries_at_least(9), 0.0);
+}
+
+TEST(Metrics, MeanOfEmptyIsZero)
+{
+    Metrics m;
+    EXPECT_DOUBLE_EQ(m.mean_rem_cx(), 0.0);
+    EXPECT_DOUBLE_EQ(m.prob_carries_at_least(1), 0.0);
+}
+
+TEST(Metrics, TotalsAreConsistentOnQft)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(16));
+    const auto map = hw::QubitMapping::contiguous(16, 4);
+    const auto m = metrics_for(c, map);
+    EXPECT_EQ(m.total_comms, m.tp_comms + m.cat_comms);
+    EXPECT_EQ(m.remote_gates, map.count_remote(c));
+    EXPECT_EQ(m.per_comm_cx.size(), m.total_comms);
+    EXPECT_GE(m.peak_rem_cx, m.mean_rem_cx());
+    // Burst communication must beat one-gate-per-comm.
+    EXPECT_LT(m.total_comms, m.remote_gates);
+}
+
+TEST(Metrics, CatSegmentsContributeIndividually)
+{
+    Circuit c(8);
+    c.cx(0, 4).cx(0, 5).cx(6, 0); // 2-gate segment + 1-gate segment
+    const auto map = hw::QubitMapping::contiguous(8, 2);
+    auto blocks = aggregate(c, map);
+    AssignOptions cat_only;
+    cat_only.allow_tp = false;
+    assign_schemes(c, blocks, cat_only);
+    const auto m = compute_metrics(c, blocks);
+    EXPECT_EQ(m.total_comms, 2u);
+    ASSERT_EQ(m.per_comm_cx.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.peak_rem_cx, 2.0);
+}
+
+} // namespace

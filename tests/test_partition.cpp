@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the interaction graph and the OEE partitioner.
+ */
+#include <gtest/gtest.h>
+
+#include "circuits/qft.hpp"
+#include "partition/interaction_graph.hpp"
+#include "partition/mappers.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::partition;
+
+TEST(InteractionGraph, EdgeAccumulation)
+{
+    InteractionGraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(0, 1, 2);
+    g.add_edge(1, 2);
+    EXPECT_EQ(g.weight(0, 1), 3);
+    EXPECT_EQ(g.weight(1, 0), 3);
+    EXPECT_EQ(g.weight(0, 2), 0);
+    EXPECT_EQ(g.degree(1), 4);
+}
+
+TEST(InteractionGraph, FromCircuitCountsMultiQubitGates)
+{
+    qir::Circuit c(3);
+    c.h(0).cx(0, 1).cx(0, 1).cz(1, 2).ccx(0, 1, 2);
+    const InteractionGraph g = InteractionGraph::from_circuit(c);
+    EXPECT_EQ(g.weight(0, 1), 3); // 2 cx + ccx pair (0,1)
+    EXPECT_EQ(g.weight(1, 2), 2); // cz + ccx pair (1,2)
+    EXPECT_EQ(g.weight(0, 2), 1); // ccx pair (0,2)
+}
+
+TEST(InteractionGraph, CutWeight)
+{
+    InteractionGraph g(4);
+    g.add_edge(0, 1, 5);
+    g.add_edge(2, 3, 5);
+    g.add_edge(1, 2, 1);
+    EXPECT_EQ(g.cut_weight({0, 0, 1, 1}), 1);
+    EXPECT_EQ(g.cut_weight({0, 1, 0, 1}), 11);
+}
+
+TEST(Oee, RecoversObviousClusters)
+{
+    // Two 4-cliques connected by a single edge, but interleaved in index
+    // order so the contiguous start is bad.
+    InteractionGraph g(8);
+    const int a[4] = {0, 2, 4, 6}, b[4] = {1, 3, 5, 7};
+    for (int i = 0; i < 4; ++i)
+        for (int j = i + 1; j < 4; ++j) {
+            g.add_edge(a[i], a[j], 10);
+            g.add_edge(b[i], b[j], 10);
+        }
+    g.add_edge(0, 1, 1);
+
+    const auto part = oee_partition(g, 2);
+    EXPECT_EQ(g.cut_weight(part), 1);
+    // All of cluster a on one side.
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(part[static_cast<std::size_t>(a[i])],
+                  part[static_cast<std::size_t>(a[0])]);
+}
+
+TEST(Oee, KeepsPartitionsBalanced)
+{
+    InteractionGraph g(12);
+    for (int i = 0; i < 12; ++i)
+        for (int j = i + 1; j < 12; ++j)
+            g.add_edge(i, j, 1 + (i * j) % 3);
+    const auto part = oee_partition(g, 3);
+    int counts[3] = {0, 0, 0};
+    for (NodeId p : part) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, 3);
+        ++counts[p];
+    }
+    EXPECT_EQ(counts[0], 4);
+    EXPECT_EQ(counts[1], 4);
+    EXPECT_EQ(counts[2], 4);
+}
+
+TEST(Oee, NeverWorseThanContiguous)
+{
+    const qir::Circuit qft = qir::decompose(circuits::make_qft(24));
+    const InteractionGraph g = InteractionGraph::from_circuit(qft);
+    std::vector<NodeId> contiguous(24);
+    for (int q = 0; q < 24; ++q)
+        contiguous[static_cast<std::size_t>(q)] = q / 6;
+    const auto oee = oee_partition(g, 4);
+    EXPECT_LE(g.cut_weight(oee), g.cut_weight(contiguous));
+}
+
+TEST(Oee, SingleNodeIsTrivial)
+{
+    InteractionGraph g(4);
+    g.add_edge(0, 1);
+    const auto part = oee_partition(g, 1);
+    for (NodeId p : part)
+        EXPECT_EQ(p, 0);
+}
+
+TEST(Oee, DeterministicAcrossRuns)
+{
+    InteractionGraph g(10);
+    for (int i = 0; i < 10; ++i)
+        g.add_edge(i, (i + 3) % 10, 1 + i % 4);
+    EXPECT_EQ(oee_partition(g, 2), oee_partition(g, 2));
+}
+
+TEST(Mappers, RoundRobinStripes)
+{
+    const auto map = round_robin_map(6, 3);
+    EXPECT_EQ(map.node_of(0), 0);
+    EXPECT_EQ(map.node_of(1), 1);
+    EXPECT_EQ(map.node_of(2), 2);
+    EXPECT_EQ(map.node_of(3), 0);
+}
+
+TEST(Mappers, RandomIsBalancedAndSeeded)
+{
+    const auto a = random_map(20, 4, 9);
+    const auto b = random_map(20, 4, 9);
+    EXPECT_EQ(a.assignment(), b.assignment());
+    std::vector<int> counts(4, 0);
+    for (NodeId n : a.assignment())
+        ++counts[static_cast<std::size_t>(n)];
+    for (int c : counts)
+        EXPECT_EQ(c, 5);
+}
+
+TEST(Mappers, ContiguousMatchesQubitMappingFactory)
+{
+    EXPECT_EQ(contiguous_map(9, 3).assignment(),
+              hw::QubitMapping::contiguous(9, 3).assignment());
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Integration tests for the full AutoComm pipeline, including end-to-end
+ * physical lowering: the compiled + lowered program must implement exactly
+ * the logical circuit, with all communication realized through Cat/TP
+ * protocols on communication qubits.
+ */
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+#include "autocomm/lower.hpp"
+#include "autocomm/pipeline.hpp"
+#include "circuits/library.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/rca.hpp"
+#include "circuits/uccsd.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "qir/unitary.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::pass;
+using qir::Circuit;
+using support::Rng;
+
+hw::Machine
+machine(int nodes, int per_node)
+{
+    hw::Machine m;
+    m.num_nodes = nodes;
+    m.qubits_per_node = per_node;
+    return m;
+}
+
+/**
+ * End-to-end check: compile, lower to the physical machine, simulate with
+ * random product-state inputs across measurement branches, and compare to
+ * the logical circuit applied directly at the data slots.
+ */
+void
+check_lowering(const Circuit& logical, const hw::QubitMapping& map,
+               const hw::Machine& m, std::uint64_t seed)
+{
+    const CompileResult r = compile(logical, map, m);
+    const Circuit phys = lower_to_physical(logical, map, m, r);
+    const Circuit ref = lower_reference(logical, map, m);
+
+    Rng rng(seed);
+    Circuit prep(phys.num_qubits(), 0);
+    for (QubitId q = 0; q < logical.num_qubits(); ++q) {
+        const comm::PhysicalLayout layout(m, map);
+        prep.u3(layout.data(q), rng.next_double() * 3,
+                rng.next_double() * 6, rng.next_double() * 6);
+    }
+
+    qir::Statevector actual(phys.num_qubits(), 0);
+    actual.run(prep, rng);
+    actual.run(phys, rng);
+
+    qir::Statevector expect(phys.num_qubits(), 0);
+    Rng rng2(seed + 1000);
+    expect.run(prep, rng2);
+    expect.run(ref, rng2);
+
+    EXPECT_TRUE(actual.equal_up_to_phase(expect))
+        << "lowering mismatch (seed " << seed << ")";
+}
+
+TEST(Pipeline, RejectsMismatchedMapping)
+{
+    Circuit c(4);
+    const auto map = hw::QubitMapping::contiguous(6, 2);
+    EXPECT_THROW(compile(c, map, machine(2, 3)), support::UserError);
+}
+
+TEST(Pipeline, CompileProducesConsistentResult)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(12));
+    const auto map = hw::QubitMapping::contiguous(12, 3);
+    const CompileResult r = compile(c, map, machine(3, 4));
+    EXPECT_EQ(r.reordered.size(), c.size());
+    EXPECT_EQ(r.block_start.size(), r.blocks.size());
+    EXPECT_EQ(r.metrics.remote_gates, map.count_remote(c));
+    EXPECT_GT(r.schedule.makespan, 0.0);
+    // Reordering preserves semantics.
+    EXPECT_TRUE(qir::circuits_equivalent(c, r.reordered));
+}
+
+TEST(Pipeline, LoweringMatchesLogical_Figure4)
+{
+    const Circuit c = circuits::figure4_program();
+    std::vector<NodeId> nodes;
+    for (int n : circuits::figure4_mapping())
+        nodes.push_back(n);
+    const hw::QubitMapping map{nodes};
+    // 7 logical + 3*2 comm qubits = 13 physical: still simulable.
+    hw::Machine m = machine(3, 3);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        check_lowering(c, map, m, seed);
+}
+
+TEST(Pipeline, LoweringMatchesLogical_SmallQft)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(5));
+    const auto map = hw::QubitMapping::contiguous(5, 2);
+    // 5 data + 4 comm = 9 physical qubits.
+    hw::Machine m = machine(2, 3);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        check_lowering(c, map, m, seed);
+}
+
+TEST(Pipeline, LoweringMatchesLogical_RandomCircuits)
+{
+    Rng gen(77);
+    for (int trial = 0; trial < 6; ++trial) {
+        Circuit c(5);
+        for (int g = 0; g < 30; ++g) {
+            const QubitId a = static_cast<QubitId>(gen.next_below(5));
+            QubitId b = static_cast<QubitId>(gen.next_below(5));
+            while (b == a)
+                b = static_cast<QubitId>(gen.next_below(5));
+            switch (gen.next_below(6)) {
+              case 0: c.cx(a, b); break;
+              case 1: c.rz(a, gen.next_double()); break;
+              case 2: c.t(a); break;
+              case 3: c.cx(b, a); break;
+              case 4: c.rx(a, gen.next_double()); break;
+              default: c.h(a); break;
+            }
+        }
+        const auto map = hw::QubitMapping::contiguous(5, 2);
+        check_lowering(c, map, machine(2, 3), 10 + trial);
+    }
+}
+
+TEST(Pipeline, LoweringMatchesLogical_SmallQaoa)
+{
+    const auto inst = circuits::random_maxcut(5, 6, 3);
+    const Circuit c = qir::decompose(circuits::make_qaoa(inst));
+    const auto map = hw::QubitMapping::contiguous(5, 2);
+    check_lowering(c, map, machine(2, 3), 5);
+}
+
+TEST(Pipeline, LoweringMatchesLogical_TinyAdder)
+{
+    const Circuit c = qir::decompose(circuits::make_rca(4));
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    check_lowering(c, map, machine(2, 2), 21);
+}
+
+TEST(Pipeline, LoweringMatchesLogical_TinyUccsd)
+{
+    // UCCSD exercises the nested-block path: its parity ladders interleave
+    // bursts of adjacent node boundaries.
+    circuits::UccsdOptions opts;
+    opts.seed = 3;
+    const Circuit c = qir::decompose(circuits::make_uccsd(4, opts));
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    check_lowering(c, map, machine(2, 2), 31);
+}
+
+TEST(Pipeline, NestedBlocksLowerCorrectly)
+{
+    // Hand-built nesting chain: bursts on (q0,node1) with a complete
+    // (q2,node2) burst inside, itself enclosing local work.
+    Circuit c(6);
+    c.h(0).cx(0, 2).t(4).cx(2, 4).h(4).cx(2, 4).cx(0, 2).cx(0, 3);
+    const auto map = hw::QubitMapping::contiguous(6, 3);
+    check_lowering(c, map, machine(3, 2), 41);
+}
+
+TEST(Pipeline, OeeMappingReducesCommsVsRoundRobinStriping)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(16));
+    const auto oee = partition::oee_map(c, 4);
+    hw::Machine m = machine(4, 4);
+    oee.validate(m);
+    const auto r_oee = compile(c, oee, m);
+    // Against an adversarial striped mapping.
+    std::vector<NodeId> striped(16);
+    for (int q = 0; q < 16; ++q)
+        striped[static_cast<std::size_t>(q)] = q % 4;
+    const auto r_stripe = compile(c, hw::QubitMapping(striped), m);
+    EXPECT_LE(r_oee.metrics.remote_gates, r_stripe.metrics.remote_gates);
+}
+
+TEST(Pipeline, AblationOrderingHolds)
+{
+    // full <= cat-only <= sparse in communication count.
+    const Circuit c = qir::decompose(circuits::make_qft(16));
+    const auto map = hw::QubitMapping::contiguous(16, 4);
+    hw::Machine m = machine(4, 4);
+
+    const auto full = compile(c, map, m);
+
+    CompileOptions cat_only;
+    cat_only.assign.allow_tp = false;
+    const auto cat = compile(c, map, m, cat_only);
+
+    CompileOptions sparse;
+    sparse.aggregate.use_commutation = false;
+    const auto single = compile(c, map, m, sparse);
+
+    EXPECT_LE(full.metrics.total_comms, cat.metrics.total_comms);
+    EXPECT_LE(cat.metrics.total_comms, single.metrics.total_comms);
+    EXPECT_EQ(single.metrics.total_comms, map.count_remote(c));
+}
+
+TEST(Pipeline, DeterministicEndToEnd)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(10));
+    const auto map = hw::QubitMapping::contiguous(10, 2);
+    const auto a = compile(c, map, machine(2, 5));
+    const auto b = compile(c, map, machine(2, 5));
+    EXPECT_EQ(a.metrics.total_comms, b.metrics.total_comms);
+    EXPECT_DOUBLE_EQ(a.schedule.makespan, b.schedule.makespan);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Cross-family property suite: compiler-wide invariants checked over a
+ * parameterized sweep of (benchmark family, size, node count, mapping).
+ * These are the contracts any AutoComm-compatible pass pipeline must
+ * satisfy regardless of workload.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/ferrari.hpp"
+#include "baseline/gptp.hpp"
+#include "circuits/library.hpp"
+#include "partition/mappers.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::pass;
+using qir::Circuit;
+
+struct Case
+{
+    circuits::Family family;
+    int qubits;
+    int nodes;
+    const char* mapping;
+};
+
+std::string
+case_name(const ::testing::TestParamInfo<Case>& info)
+{
+    return std::string(circuits::family_name(info.param.family)) + "_" +
+           std::to_string(info.param.qubits) + "q_" +
+           std::to_string(info.param.nodes) + "n_" + info.param.mapping;
+}
+
+class CompileProperties : public ::testing::TestWithParam<Case>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const Case& p = GetParam();
+        circuit_ = qir::decompose(
+            circuits::make_benchmark({p.family, p.qubits, p.nodes}));
+        machine_.num_nodes = p.nodes;
+        machine_.qubits_per_node = (p.qubits + p.nodes - 1) / p.nodes;
+        if (std::string(p.mapping) == "oee")
+            mapping_ = partition::oee_map(circuit_, p.nodes);
+        else if (std::string(p.mapping) == "rr")
+            mapping_ = partition::round_robin_map(p.qubits, p.nodes);
+        else
+            mapping_ = partition::contiguous_map(p.qubits, p.nodes);
+        result_ = compile(circuit_, mapping_, machine_);
+    }
+
+    Circuit circuit_;
+    hw::Machine machine_;
+    hw::QubitMapping mapping_;
+    CompileResult result_;
+};
+
+TEST_P(CompileProperties, EveryRemoteGateInExactlyOneBlock)
+{
+    std::set<std::size_t> seen;
+    std::size_t members = 0;
+    for (const CommBlock& b : result_.blocks) {
+        for (std::size_t i : b.members) {
+            EXPECT_TRUE(mapping_.is_remote(circuit_[i]));
+            EXPECT_TRUE(seen.insert(i).second);
+            ++members;
+        }
+        for (std::size_t i : b.absorbed)
+            EXPECT_TRUE(seen.insert(i).second);
+    }
+    EXPECT_EQ(members, mapping_.count_remote(circuit_));
+}
+
+TEST_P(CompileProperties, CommsNeverExceedRemoteGatesPlusTpOverhead)
+{
+    // Worst case is one comm per remote gate (sparse); TP adds at most
+    // one extra comm per block.
+    EXPECT_LE(result_.metrics.total_comms,
+              result_.metrics.remote_gates + result_.metrics.num_blocks);
+    EXPECT_GE(result_.metrics.total_comms, result_.metrics.num_blocks ? 1u
+                                                                      : 0u);
+}
+
+TEST_P(CompileProperties, MetricsAreInternallyConsistent)
+{
+    const Metrics& m = result_.metrics;
+    EXPECT_EQ(m.total_comms, m.tp_comms + m.cat_comms);
+    EXPECT_EQ(m.per_comm_cx.size(), m.total_comms);
+    double carried = 0;
+    for (double v : m.per_comm_cx) {
+        EXPECT_GT(v, 0.0);
+        carried += v;
+    }
+    // Each remote gate is carried exactly once (TP splits it across two
+    // half-weighted communications).
+    EXPECT_NEAR(carried, static_cast<double>(m.remote_gates), 1e-6);
+    EXPECT_GE(m.peak_rem_cx, m.mean_rem_cx());
+}
+
+TEST_P(CompileProperties, ReorderedCircuitIsAPermutationOfTheInput)
+{
+    ASSERT_EQ(result_.reordered.size(), circuit_.size());
+    // Same multiset of gates (cheap proxy for permutation): counts per
+    // kind and per qubit-sum must agree.
+    std::map<qir::GateKind, std::size_t> a, b;
+    long qsum_a = 0, qsum_b = 0;
+    for (const auto& g : circuit_) {
+        ++a[g.kind];
+        for (int k = 0; k < g.num_qubits; ++k)
+            qsum_a += g.qs[static_cast<std::size_t>(k)];
+    }
+    for (const auto& g : result_.reordered) {
+        ++b[g.kind];
+        for (int k = 0; k < g.num_qubits; ++k)
+            qsum_b += g.qs[static_cast<std::size_t>(k)];
+    }
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(qsum_a, qsum_b);
+}
+
+TEST_P(CompileProperties, BlockTreeIsWellFormed)
+{
+    const auto& blocks = result_.blocks;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const CommBlock& blk = blocks[b];
+        EXPECT_FALSE(blk.members.empty());
+        if (blk.parent != -1) {
+            const auto p = static_cast<std::size_t>(blk.parent);
+            ASSERT_LT(p, blocks.size());
+            // Parent lists this block as a child, and windows nest.
+            EXPECT_NE(std::find(blocks[p].children.begin(),
+                                blocks[p].children.end(), b),
+                      blocks[p].children.end());
+            EXPECT_GT(blk.window_begin(), blocks[p].window_begin());
+            EXPECT_LT(blk.window_end(), blocks[p].window_end());
+        }
+        for (std::size_t ch : blocks[b].children)
+            EXPECT_EQ(blocks[ch].parent, static_cast<long>(b));
+    }
+}
+
+TEST_P(CompileProperties, ScheduleIsFiniteAndResourceSane)
+{
+    EXPECT_GE(result_.schedule.makespan, 0.0);
+    EXPECT_LT(result_.schedule.makespan, 1e12);
+    // Fused links only ever reduce EPR consumption.
+    EXPECT_LE(result_.schedule.epr_pairs +
+                  result_.schedule.fused_links,
+              result_.metrics.total_comms +
+                  result_.schedule.fused_links +
+                  result_.metrics.num_blocks);
+}
+
+TEST_P(CompileProperties, AutoCommNeverLosesToSparseBaseline)
+{
+    const auto base =
+        baseline::compile_ferrari(circuit_, mapping_, machine_);
+    EXPECT_LE(result_.metrics.total_comms, base.metrics.total_comms);
+    EXPECT_EQ(base.metrics.total_comms, mapping_.count_remote(circuit_));
+}
+
+TEST_P(CompileProperties, CompilationIsDeterministic)
+{
+    const auto again = compile(circuit_, mapping_, machine_);
+    EXPECT_EQ(again.metrics.total_comms, result_.metrics.total_comms);
+    EXPECT_EQ(again.blocks.size(), result_.blocks.size());
+    EXPECT_DOUBLE_EQ(again.schedule.makespan, result_.schedule.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompileProperties,
+    ::testing::Values(
+        Case{circuits::Family::MCTR, 40, 4, "oee"},
+        Case{circuits::Family::MCTR, 40, 8, "contig"},
+        Case{circuits::Family::RCA, 40, 4, "oee"},
+        Case{circuits::Family::RCA, 40, 4, "rr"},
+        Case{circuits::Family::QFT, 24, 4, "oee"},
+        Case{circuits::Family::QFT, 24, 6, "contig"},
+        Case{circuits::Family::BV, 33, 4, "oee"},
+        Case{circuits::Family::BV, 33, 8, "rr"},
+        Case{circuits::Family::QAOA, 24, 4, "oee"},
+        Case{circuits::Family::QAOA, 24, 6, "rr"},
+        Case{circuits::Family::UCCSD, 8, 4, "oee"},
+        Case{circuits::Family::UCCSD, 8, 2, "contig"}),
+    case_name);
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the physical communication protocols: the Cat-Comm
+ * entangler/disentangler pair and the TP-Comm teleportation must
+ * implement exactly the logical operations they replace, across random
+ * input states and measurement branches.
+ */
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+#include "comm/epr.hpp"
+#include "comm/protocols.hpp"
+#include "qir/unitary.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::comm;
+using qir::Circuit;
+using qir::Gate;
+using qir::Statevector;
+using support::Rng;
+
+/** Random single-qubit state preparation appended for each qubit. */
+void
+prep_random(Circuit& c, const std::vector<QubitId>& qs, Rng& rng)
+{
+    for (QubitId q : qs)
+        c.u3(q, rng.next_double() * 3, rng.next_double() * 6,
+             rng.next_double() * 6);
+}
+
+TEST(EprLedger, TracksPerLinkCounts)
+{
+    EprLedger ledger;
+    ledger.consume(0, 1);
+    ledger.consume(1, 0, 2);
+    ledger.consume(2, 3);
+    EXPECT_EQ(ledger.total(), 4u);
+    EXPECT_EQ(ledger.on_link(0, 1), 3u);
+    EXPECT_EQ(ledger.on_link(1, 0), 3u);
+    EXPECT_EQ(ledger.on_link(0, 3), 0u);
+    EXPECT_EQ(ledger.links_used(), 2u);
+    EXPECT_EQ(ledger.busiest().second, 3u);
+}
+
+TEST(EprLedger, RejectsIntraNodePair)
+{
+    EprLedger ledger;
+    EXPECT_THROW(ledger.consume(2, 2), support::UserError);
+}
+
+TEST(Protocols, EprPreparationMakesBellState)
+{
+    Circuit c(2);
+    emit_epr(c, 0, 1);
+    Statevector sv(2);
+    Rng rng(0);
+    sv.run(c, rng);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 1 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(PhysicalLayout, IndexingIsConsistent)
+{
+    hw::Machine m;
+    m.num_nodes = 2;
+    m.qubits_per_node = 3;
+    const hw::QubitMapping map = hw::QubitMapping::contiguous(6, 2);
+    const PhysicalLayout layout(m, map);
+    EXPECT_EQ(layout.total_qubits(), 10);
+    EXPECT_EQ(layout.data(0), 0);
+    EXPECT_EQ(layout.data(3), 5); // node 1 starts at 5
+    EXPECT_EQ(layout.comm(0, 0), 3);
+    EXPECT_EQ(layout.comm(0, 1), 4);
+    EXPECT_EQ(layout.comm(1, 0), 8);
+    EXPECT_EQ(layout.node_of_phys(4), 0);
+    EXPECT_EQ(layout.node_of_phys(9), 1);
+}
+
+TEST(PhysicalLayout, RejectsBadCommIndex)
+{
+    hw::Machine m;
+    m.num_nodes = 1;
+    m.qubits_per_node = 1;
+    const PhysicalLayout layout(m, hw::QubitMapping::contiguous(1, 1));
+    EXPECT_THROW(layout.comm(0, 2), support::UserError);
+}
+
+/**
+ * Cat-Comm implements a remote CX: on a 4-qubit register
+ * (q0=control data, q1=comm A, q2=comm B, q3=target data), the full
+ * cat protocol must equal a direct CX(q0, q3), for random inputs and
+ * across measurement branches (sampled via seeds).
+ */
+TEST(Protocols, CatCommEqualsRemoteCx)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        Circuit prep(4, 0);
+        prep_random(prep, {0, 3}, rng);
+
+        Circuit proto(4, 0);
+        emit_remote_cx_cat(proto, 0, 3, 1, 2);
+        // Comm qubits end in measured basis states; reset for comparison.
+        proto.reset(1).reset(2);
+
+        Statevector actual(4, 0);
+        actual.run(prep, rng);
+        actual.run(proto, rng);
+
+        Circuit ref(4, 0);
+        ref.append(prep);
+        ref.cx(0, 3);
+        Statevector expect(4, 0);
+        Rng rng2(seed + 100);
+        expect.run(ref, rng2);
+
+        EXPECT_TRUE(actual.equal_up_to_phase(expect)) << "seed " << seed;
+    }
+}
+
+/**
+ * The cat-entangler alone produces a GHZ-style sharing: CXs controlled by
+ * the remote copy act exactly like CXs controlled by the data qubit, for
+ * several gates in a row (the burst pattern), until the disentangler.
+ */
+TEST(Protocols, CatEntanglerCarriesBurstOfThreeCx)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Rng rng(seed);
+        // q0 control, q1/q2 comm, q3..q5 remote targets.
+        Circuit prep(6, 0);
+        prep_random(prep, {0, 3, 4, 5}, rng);
+
+        Circuit proto(6, 0);
+        emit_epr(proto, 1, 2);
+        emit_cat_entangle(proto, 0, 1, 2);
+        proto.cx(2, 3).cx(2, 4).cx(2, 5);
+        emit_cat_disentangle(proto, 0, 2);
+        proto.reset(1).reset(2);
+
+        Statevector actual(6, 0);
+        actual.run(prep, rng);
+        actual.run(proto, rng);
+
+        Circuit ref(6, 0);
+        ref.append(prep);
+        ref.cx(0, 3).cx(0, 4).cx(0, 5);
+        Statevector expect(6, 0);
+        Rng rng2(seed + 100);
+        expect.run(ref, rng2);
+
+        EXPECT_TRUE(actual.equal_up_to_phase(expect)) << "seed " << seed;
+    }
+}
+
+/**
+ * Diagonal gates on the shared control qubit during an open Cat-Comm
+ * commute with the sharing (paper §4.3: removable single-qubit gates).
+ */
+TEST(Protocols, CatShareToleratesDiagonalHubGates)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Rng rng(seed);
+        Circuit prep(5, 0);
+        prep_random(prep, {0, 3, 4}, rng);
+
+        Circuit proto(5, 0);
+        emit_epr(proto, 1, 2);
+        emit_cat_entangle(proto, 0, 1, 2);
+        proto.cx(2, 3);
+        proto.rz(0, 0.7); // diagonal on the shared control
+        proto.t(0);
+        proto.cx(2, 4);
+        emit_cat_disentangle(proto, 0, 2);
+        proto.reset(1).reset(2);
+
+        Statevector actual(5, 0);
+        actual.run(prep, rng);
+        actual.run(proto, rng);
+
+        Circuit ref(5, 0);
+        ref.append(prep);
+        ref.cx(0, 3).rz(0, 0.7).t(0).cx(0, 4);
+        Statevector expect(5, 0);
+        Rng rng2(seed + 50);
+        expect.run(ref, rng2);
+
+        EXPECT_TRUE(actual.equal_up_to_phase(expect)) << "seed " << seed;
+    }
+}
+
+/** TP-Comm implements a remote CX (out-and-back teleport). */
+TEST(Protocols, TpCommEqualsRemoteCx)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        // q0 control data, q1 comm near, q2 comm far, q3 comm far 2,
+        // q4 target data.
+        Circuit prep(5, 0);
+        prep_random(prep, {0, 4}, rng);
+
+        Circuit proto(5, 0);
+        emit_remote_cx_tp(proto, 0, 4, 1, 2, 3);
+        proto.reset(1).reset(2).reset(3);
+
+        Statevector actual(5, 0);
+        actual.run(prep, rng);
+        actual.run(proto, rng);
+
+        Circuit ref(5, 0);
+        ref.append(prep);
+        ref.cx(0, 4);
+        Statevector expect(5, 0);
+        Rng rng2(seed + 100);
+        expect.run(ref, rng2);
+
+        EXPECT_TRUE(actual.equal_up_to_phase(expect)) << "seed " << seed;
+    }
+}
+
+/**
+ * TP-Comm carries arbitrary (bidirectional) bursts: gates in both
+ * directions plus non-diagonal hub gates all execute locally at the
+ * remote node.
+ */
+TEST(Protocols, TpCommCarriesBidirectionalBurst)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Rng rng(seed);
+        // q0 hub, q1 near comm, q2/q3 far comm, q4/q5 remote data.
+        Circuit prep(6, 0);
+        prep_random(prep, {0, 4, 5}, rng);
+
+        Circuit proto(6, 0);
+        emit_epr(proto, 1, 2);
+        emit_teleport(proto, 0, 1, 2);
+        proto.cx(2, 4);    // hub as control
+        proto.tdg(2);      // non-removable hub gate: fine under TP
+        proto.cx(5, 2);    // hub as target
+        proto.h(2);
+        proto.cx(2, 5);
+        emit_epr(proto, 3, 0);
+        emit_teleport(proto, 2, 3, 0);
+        proto.reset(1).reset(2).reset(3);
+
+        Statevector actual(6, 0);
+        actual.run(prep, rng);
+        actual.run(proto, rng);
+
+        Circuit ref(6, 0);
+        ref.append(prep);
+        ref.cx(0, 4).tdg(0);
+        ref.cx(5, 0).h(0).cx(0, 5);
+        Statevector expect(6, 0);
+        Rng rng2(seed + 100);
+        expect.run(ref, rng2);
+
+        EXPECT_TRUE(actual.equal_up_to_phase(expect)) << "seed " << seed;
+    }
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 subset emitter/parser: round-trip fidelity
+ * and error handling.
+ */
+#include <gtest/gtest.h>
+
+#include "qir/qasm.hpp"
+#include "qir/unitary.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm::qir;
+using autocomm::support::UserError;
+
+TEST(Qasm, EmitsHeaderAndRegisters)
+{
+    Circuit c(3, 2);
+    const std::string q = to_qasm(c);
+    EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(q.find("creg c[2];"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesGates)
+{
+    Circuit c(4, 2);
+    c.h(0)
+        .x(1)
+        .sdg(2)
+        .rx(0, 0.25)
+        .u3(1, 0.1, 0.2, 0.3)
+        .cx(0, 1)
+        .cz(1, 2)
+        .cp(2, 3, 0.5)
+        .crz(0, 3, -0.75)
+        .rzz(1, 3, 1.5)
+        .swap(0, 2)
+        .ccx(0, 1, 2)
+        .measure(3, 0)
+        .reset(3);
+    const Circuit r = from_qasm(to_qasm(c));
+    ASSERT_EQ(r.size(), c.size());
+    EXPECT_EQ(r.num_qubits(), c.num_qubits());
+    EXPECT_EQ(r.num_cbits(), c.num_cbits());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(r[i], c[i]) << "gate " << i << ": " << c[i].to_string();
+}
+
+TEST(Qasm, RoundTripPreservesConditions)
+{
+    Circuit c(2, 1);
+    c.measure(0, 0).add(Gate::x(1).conditioned_on(0, 1));
+    const Circuit r = from_qasm(to_qasm(c));
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[1].cond_bit, 0);
+    EXPECT_EQ(r[1].cond_value, 1);
+}
+
+TEST(Qasm, RoundTripPreservesUnitary)
+{
+    Circuit c(3);
+    c.h(0).cp(0, 1, 0.37).rzz(1, 2, -0.8).swap(0, 2).t(1);
+    const Circuit r = from_qasm(to_qasm(c));
+    EXPECT_TRUE(circuits_equivalent(c, r));
+}
+
+TEST(Qasm, ParsesWhitespaceAndComments)
+{
+    const char* text = R"(
+OPENQASM 2.0;
+// a comment line
+qreg q[2];
+h q[0];   // trailing comment
+cx q[0], q[1];
+)";
+    const Circuit c = from_qasm(text);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0].kind, GateKind::H);
+    EXPECT_EQ(c[1].kind, GateKind::CX);
+}
+
+TEST(Qasm, ParsesBarrier)
+{
+    const Circuit c = from_qasm("qreg q[1];\nbarrier q;\nh q[0];\n");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0].kind, GateKind::Barrier);
+}
+
+TEST(Qasm, RejectsUnknownGate)
+{
+    EXPECT_THROW(from_qasm("qreg q[1];\nfoo q[0];\n"), UserError);
+}
+
+TEST(Qasm, RejectsMalformedMeasure)
+{
+    EXPECT_THROW(from_qasm("qreg q[1];\ncreg c[1];\nmeasure q[0] c[0];\n"),
+                 UserError);
+}
+
+TEST(Qasm, ParsesNegativeAndScientificParams)
+{
+    const Circuit c =
+        from_qasm("qreg q[1];\nrz(-1.5e-3) q[0];\np(2.5) q[0];\n");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_NEAR(c[0].params[0], -1.5e-3, 1e-15);
+    EXPECT_NEAR(c[1].params[0], 2.5, 1e-15);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the communication scheduler / latency simulator (paper §4.4):
+ * resource constraints, EPR prefetching, TP alignment, teleport fusion.
+ */
+#include <gtest/gtest.h>
+
+#include "autocomm/pipeline.hpp"
+#include "circuits/library.hpp"
+#include "circuits/qft.hpp"
+#include "qir/decompose.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::pass;
+using qir::Circuit;
+
+hw::Machine
+machine(int nodes, int per_node)
+{
+    hw::Machine m;
+    m.num_nodes = nodes;
+    m.qubits_per_node = per_node;
+    return m;
+}
+
+CompileResult
+run(const Circuit& c, const hw::QubitMapping& map, const hw::Machine& m,
+    const ScheduleOptions& sched = {})
+{
+    CompileOptions opts;
+    opts.schedule = sched;
+    return compile(c, map, m, opts);
+}
+
+TEST(Schedule, EmptyCircuitHasZeroMakespan)
+{
+    Circuit c(4);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    const auto r = run(c, map, machine(2, 2));
+    EXPECT_DOUBLE_EQ(r.schedule.makespan, 0.0);
+    EXPECT_EQ(r.schedule.epr_pairs, 0u);
+}
+
+TEST(Schedule, LocalCircuitUsesNoEpr)
+{
+    Circuit c(4);
+    c.h(0).cx(0, 1).cx(2, 3).t(2);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    const auto r = run(c, map, machine(2, 2));
+    EXPECT_EQ(r.schedule.epr_pairs, 0u);
+    // h + cx serial on one node; cx + t in parallel on the other.
+    EXPECT_NEAR(r.schedule.makespan, 1.1, 1e-9);
+}
+
+TEST(Schedule, SingleRemoteCxCatLatency)
+{
+    Circuit c(4);
+    c.cx(0, 2);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+    const auto r = run(c, map, machine(2, 2));
+    EXPECT_EQ(r.schedule.epr_pairs, 1u);
+    const hw::LatencyModel lat;
+    // EPR prep + entangle + CX + disentangle.
+    EXPECT_NEAR(r.schedule.makespan,
+                lat.t_epr + lat.t_cat_entangle() + lat.t_2q +
+                    lat.t_cat_disentangle(),
+                1e-9);
+}
+
+TEST(Schedule, PrefetchHidesEprBehindComputation)
+{
+    // Long local preamble on the hub: with prefetch the EPR pair is ready
+    // the moment the hub is; without it the EPR prep serializes.
+    Circuit c(4);
+    for (int i = 0; i < 200; ++i)
+        c.t(0);
+    c.cx(0, 2);
+    const auto map = hw::QubitMapping::contiguous(4, 2);
+
+    ScheduleOptions greedy;
+    greedy.epr_prefetch = false;
+    const auto slow = run(c, map, machine(2, 2), greedy);
+    const auto fast = run(c, map, machine(2, 2));
+    const hw::LatencyModel lat;
+    EXPECT_NEAR(slow.schedule.makespan - fast.schedule.makespan, lat.t_epr,
+                1e-9);
+}
+
+TEST(Schedule, IndependentBlocksOverlap)
+{
+    // Two remote CX between disjoint node pairs: fully parallel.
+    Circuit c(8);
+    c.cx(0, 2).cx(4, 6);
+    const auto map = hw::QubitMapping::contiguous(8, 4);
+    const auto r = run(c, map, machine(4, 2));
+    Circuit c1(8);
+    c1.cx(0, 2);
+    const auto r1 = run(c1, map, machine(4, 2));
+    EXPECT_NEAR(r.schedule.makespan, r1.schedule.makespan, 1e-9);
+}
+
+TEST(Schedule, SharedNodeBlocksRespectTwoCommQubits)
+{
+    // Three concurrent Cat blocks all targeting node 1: only two comm
+    // qubits there, so the third serializes behind an EPR slot.
+    Circuit c(8);
+    c.cx(0, 3).cx(1, 4).cx(2, 5);
+    const auto map =
+        hw::QubitMapping(std::vector<NodeId>{0, 2, 3, 1, 1, 1, 1, 1});
+    hw::Machine m = machine(4, 5);
+    const auto r = run(c, map, m);
+    Circuit c2(8);
+    c2.cx(0, 3).cx(1, 4);
+    const auto r2 = run(c2, map, m);
+    EXPECT_GT(r.schedule.makespan, r2.schedule.makespan + 1.0);
+}
+
+TEST(Schedule, TpFusionSavesTeleports)
+{
+    // Hub q0 has two consecutive bidirectional bursts to different nodes:
+    // fusion teleports A -> B -> C -> A (3 teleports) instead of
+    // A->B->A->C->A (4).
+    Circuit c(6);
+    const auto map = hw::QubitMapping::contiguous(6, 3); // {0,1},{2,3},{4,5}
+    c.cx(0, 2).cx(3, 0); // bidirectional burst to node 1
+    c.cx(0, 4).cx(5, 0); // bidirectional burst to node 2
+    hw::Machine m = machine(3, 2);
+
+    const auto fused = run(c, map, m);
+    ScheduleOptions nofuse;
+    nofuse.tp_fusion = false;
+    const auto plain = run(c, map, m, nofuse);
+
+    EXPECT_EQ(plain.schedule.teleports, 4u);
+    EXPECT_EQ(fused.schedule.teleports, 3u);
+    EXPECT_EQ(fused.schedule.fused_links, 1u);
+    EXPECT_EQ(plain.schedule.epr_pairs, 4u);
+    EXPECT_EQ(fused.schedule.epr_pairs, 3u);
+    EXPECT_LT(fused.schedule.makespan, plain.schedule.makespan);
+}
+
+TEST(Schedule, FusionBrokenByHubUse)
+{
+    // A local gate on the hub between the two TP bursts forces the qubit
+    // home: no fusion.
+    Circuit c(6);
+    const auto map = hw::QubitMapping::contiguous(6, 3);
+    c.cx(0, 2).cx(3, 0);
+    c.cx(1, 0); // hub used at home (local 2q gate, not commuting)
+    c.cx(0, 4).cx(5, 0);
+    const auto r = run(c, map, machine(3, 2));
+    EXPECT_EQ(r.schedule.fused_links, 0u);
+    EXPECT_EQ(r.schedule.teleports, 4u);
+}
+
+TEST(Schedule, MakespanIsPositiveAndBoundedBelowBySerialComm)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(12));
+    const auto map = hw::QubitMapping::contiguous(12, 3);
+    const auto r = run(c, map, machine(3, 4));
+    EXPECT_GT(r.schedule.makespan, 0.0);
+    EXPECT_GT(r.schedule.epr_pairs, 0u);
+    EXPECT_LT(r.schedule.makespan, 1e9);
+}
+
+TEST(Schedule, BurstGreedyBeatsPlainGreedyOnQft)
+{
+    // Fig. 17(c): prefetch + fusion reduce latency.
+    const Circuit c = qir::decompose(circuits::make_qft(16));
+    const auto map = hw::QubitMapping::contiguous(16, 4);
+    hw::Machine m = machine(4, 4);
+    const auto burst = run(c, map, m);
+    ScheduleOptions plain;
+    plain.epr_prefetch = false;
+    plain.tp_fusion = false;
+    const auto greedy = run(c, map, m, plain);
+    EXPECT_LT(burst.schedule.makespan, greedy.schedule.makespan);
+}
+
+TEST(Schedule, DeterministicMakespan)
+{
+    const Circuit c = qir::decompose(circuits::make_qft(10));
+    const auto map = hw::QubitMapping::contiguous(10, 2);
+    const auto a = run(c, map, machine(2, 5));
+    const auto b = run(c, map, machine(2, 5));
+    EXPECT_DOUBLE_EQ(a.schedule.makespan, b.schedule.makespan);
+    EXPECT_EQ(a.schedule.epr_pairs, b.schedule.epr_pairs);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the support substrate: deterministic RNG, table printer,
+ * CSV writer, logging helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/csv.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace autocomm::support;
+
+TEST(Rng, DeterministicForFixedSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() == b.next_u64())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.next_below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.next_range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.next_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int ones = 0;
+    for (int i = 0; i < 10000; ++i)
+        ones += rng.next_bool(0.3) ? 1 : 0;
+    EXPECT_NEAR(ones / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto w = v;
+    rng.shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.start_row();
+    t.add("alpha");
+    t.add(42);
+    t.start_row();
+    t.add("b");
+    t.add(3.14159, 2);
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FormatDouble)
+{
+    EXPECT_EQ(format_double(1.005, 1), "1.0");
+    EXPECT_EQ(format_double(2.0, 2), "2.00");
+    EXPECT_EQ(format_double(-0.5, 2), "-0.50");
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter w({"a", "b"});
+    w.start_row();
+    w.add(std::string("x,y"));
+    w.add(std::string("quo\"te"));
+    const std::string s = w.to_string();
+    EXPECT_NE(s.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(s.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Csv, NumericCells)
+{
+    CsvWriter w({"v"});
+    w.start_row();
+    w.add(static_cast<long long>(7));
+    EXPECT_NE(w.to_string().find("7"), std::string::npos);
+}
+
+TEST(Log, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(Log, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("boom %d", 1), UserError);
+}
+
+TEST(Log, LevelsAreOrdered)
+{
+    set_log_level(LogLevel::Warn);
+    EXPECT_EQ(log_level(), LogLevel::Warn);
+    set_log_level(LogLevel::Info);
+}
+
+} // namespace
