@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Multi-threaded compilation sweep CLI: compile a declarative grid of
+ * (family x qubits x nodes x option set) cells on a thread pool and print
+ * one metrics row per cell, optionally dumping the rows as CSV.
+ *
+ *   bench_sweep                                # default 16-cell grid
+ *   bench_sweep --families QFT,BV --qubits 16,32 --nodes 2,4 --threads 8
+ *   bench_sweep --opts default,sparse --baseline --csv sweep.csv
+ *   bench_sweep --verify                       # assert 1-thread == N-thread
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "driver/sweep.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/threadpool.hpp"
+
+namespace {
+
+using namespace autocomm;
+
+std::vector<std::string>
+split_commas(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::vector<int>
+parse_int_list(const std::string& arg, const char* flag)
+{
+    std::vector<int> out;
+    for (const std::string& tok : split_commas(arg)) {
+        char* end = nullptr;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || v <= 0 || v > 1'000'000)
+            support::fatal("%s: \"%s\" is not a positive integer",
+                           flag, tok.c_str());
+        out.push_back(static_cast<int>(v));
+    }
+    return out;
+}
+
+int
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --families LIST  comma list of MCTR,RCA,QFT,BV,QAOA,UCCSD "
+        "(default QFT,BV)\n"
+        "  --qubits LIST    qubit counts (default 16,24,32,40)\n"
+        "  --nodes LIST     node counts (default 2,4)\n"
+        "  --opts LIST      option sets (default \"default\"; see "
+        "--list-opts)\n"
+        "  --threads N      worker threads (default AUTOCOMM_THREADS or "
+        "hardware)\n"
+        "  --seed S         circuit-generation seed (default 2022)\n"
+        "  --baseline       also run the Ferrari baseline per cell\n"
+        "  --csv PATH       write the sweep rows as CSV\n"
+        "  --verify         run single- and multi-threaded, require "
+        "identical CSV\n"
+        "  --list-opts      print the built-in option sets and exit\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::BV};
+    grid.qubit_counts = {16, 24, 32, 40};
+    grid.node_counts = {2, 4};
+
+    driver::SweepOptions sweep_opts;
+    sweep_opts.num_threads = support::default_thread_count();
+    std::string csv_path;
+    bool verify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                support::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        try {
+            if (arg == "--families") {
+                grid.families.clear();
+                for (const std::string& tok : split_commas(value())) {
+                    auto f = circuits::parse_family(tok);
+                    if (!f)
+                        support::fatal("unknown family \"%s\"", tok.c_str());
+                    grid.families.push_back(*f);
+                }
+            } else if (arg == "--qubits") {
+                grid.qubit_counts = parse_int_list(value(), "--qubits");
+            } else if (arg == "--nodes") {
+                grid.node_counts = parse_int_list(value(), "--nodes");
+            } else if (arg == "--opts") {
+                grid.option_sets.clear();
+                for (const std::string& tok : split_commas(value())) {
+                    auto o = driver::find_option_set(tok);
+                    if (!o)
+                        support::fatal("unknown option set \"%s\" "
+                                       "(see --list-opts)", tok.c_str());
+                    grid.option_sets.push_back(*o);
+                }
+            } else if (arg == "--threads") {
+                sweep_opts.num_threads = static_cast<std::size_t>(
+                    parse_int_list(value(), "--threads").at(0));
+            } else if (arg == "--seed") {
+                const std::string s = value();
+                char* end = nullptr;
+                grid.seed = std::strtoull(s.c_str(), &end, 10);
+                if (end == s.c_str() || *end != '\0')
+                    support::fatal("--seed: \"%s\" is not an unsigned "
+                                   "integer", s.c_str());
+            } else if (arg == "--baseline") {
+                grid.with_baseline = true;
+            } else if (arg == "--csv") {
+                csv_path = value();
+            } else if (arg == "--verify") {
+                verify = true;
+            } else if (arg == "--list-opts") {
+                for (const driver::OptionSet& o :
+                     driver::builtin_option_sets())
+                    std::printf("%s\n", o.name.c_str());
+                return 0;
+            } else {
+                return usage(argv[0]);
+            }
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    const std::vector<driver::SweepCell> cells = grid.cells();
+    std::printf("== Compilation sweep: %zu cells on %zu threads ==\n",
+                cells.size(), sweep_opts.num_threads);
+
+    const std::vector<driver::SweepRow> rows =
+        driver::run_sweep(cells, sweep_opts);
+
+    if (verify) {
+        driver::SweepOptions single = sweep_opts;
+        single.num_threads = 1;
+        const std::vector<driver::SweepRow> serial =
+            driver::run_sweep(cells, single);
+        if (driver::sweep_csv(rows).to_string() !=
+            driver::sweep_csv(serial).to_string()) {
+            std::fprintf(stderr, "error: --verify FAILED: %zu-thread and "
+                         "1-thread sweeps disagree\n",
+                         sweep_opts.num_threads);
+            return 1;
+        }
+        std::printf("--verify OK: %zu-thread CSV identical to "
+                    "1-thread CSV\n", sweep_opts.num_threads);
+    }
+
+    support::Table t(grid.with_baseline
+        ? std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",
+            "TP-Comm", "Peak #REM CX", "Makespan", "Improv.", "LAT-DEC",
+            "Time (s)"}
+        : std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",
+            "TP-Comm", "Peak #REM CX", "Makespan", "Time (s)"});
+    double total_seconds = 0;
+    std::size_t failures = 0;
+    for (const driver::SweepRow& r : rows) {
+        t.start_row();
+        t.add(r.cell.label());
+        if (!r.ok) {
+            ++failures;
+            std::fprintf(stderr, "error: %s: %s\n", r.cell.label().c_str(),
+                         r.error.c_str());
+            continue;
+        }
+        t.add(r.stats.total_gates);
+        t.add(r.remote_cx);
+        t.add(r.metrics.total_comms);
+        t.add(r.metrics.tp_comms);
+        t.add(r.metrics.peak_rem_cx, 1);
+        t.add(r.schedule.makespan, 1);
+        if (r.factors) {
+            t.add(r.factors->improv_factor, 2);
+            t.add(r.factors->lat_dec_factor, 2);
+        } else if (grid.with_baseline) {
+            t.add("-");
+            t.add("-");
+        }
+        t.add(r.compile_seconds, 3);
+        total_seconds += r.compile_seconds;
+    }
+    t.print();
+    std::printf("\n%zu cells, %zu failed, %.3f s total compile time "
+                "(%zu threads)\n", rows.size(), failures, total_seconds,
+                sweep_opts.num_threads);
+
+    if (!csv_path.empty()) {
+        driver::sweep_csv(rows).write_file(csv_path);
+    } else if (auto dir = bench::csv_dir()) {
+        driver::sweep_csv(rows).write_file(*dir + "/sweep.csv");
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <utility>
 
+#include "driver/sweep.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::bench {
@@ -9,17 +11,9 @@ namespace autocomm::bench {
 Instance
 prepare(const circuits::BenchmarkSpec& spec, std::uint64_t seed)
 {
-    Instance inst{spec, {}, {}, {}};
-    const qir::Circuit logical = circuits::make_benchmark(spec, seed);
-    inst.circuit = qir::decompose(logical);
-
-    inst.machine.num_nodes = spec.num_nodes;
-    inst.machine.qubits_per_node =
-        (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes;
-
-    inst.mapping = partition::oee_map(inst.circuit, spec.num_nodes);
-    inst.mapping.validate(inst.machine);
-    return inst;
+    driver::PreparedCell p = driver::prepare_cell(spec, seed);
+    return Instance{spec, std::move(p.circuit), p.machine,
+                    std::move(p.mapping)};
 }
 
 RowResult

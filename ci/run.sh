@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the test suite.
+# Mirrors .github/workflows/ci.yml so the same command works locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

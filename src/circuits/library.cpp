@@ -24,6 +24,23 @@ family_name(Family f)
     return "?";
 }
 
+std::optional<Family>
+parse_family(const std::string& name)
+{
+    const std::string lower = support::to_lower(name);
+    for (Family f : all_families())
+        if (lower == support::to_lower(family_name(f)))
+            return f;
+    return std::nullopt;
+}
+
+std::vector<Family>
+all_families()
+{
+    return {Family::MCTR, Family::RCA, Family::QFT,
+            Family::BV, Family::QAOA, Family::UCCSD};
+}
+
 std::string
 BenchmarkSpec::label() const
 {

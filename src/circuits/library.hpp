@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,12 @@ enum class Family { MCTR, RCA, QFT, BV, QAOA, UCCSD };
 
 /** Short uppercase family mnemonic ("QFT", ...). */
 const char* family_name(Family f);
+
+/** Inverse of family_name (case-insensitive); nullopt for unknown names. */
+std::optional<Family> parse_family(const std::string& name);
+
+/** All families, in Table 2 order. */
+std::vector<Family> all_families();
 
 /** One benchmark configuration row of Table 2. */
 struct BenchmarkSpec

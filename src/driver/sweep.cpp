@@ -1,0 +1,191 @@
+#include "driver/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "support/log.hpp"
+#include "support/threadpool.hpp"
+
+namespace autocomm::driver {
+
+std::vector<OptionSet>
+builtin_option_sets()
+{
+    std::vector<OptionSet> sets;
+    sets.push_back({"default", {}});
+
+    OptionSet sparse{"sparse", {}};
+    sparse.opts.aggregate.use_commutation = false;
+    sets.push_back(sparse);
+
+    OptionSet catonly{"catonly", {}};
+    catonly.opts.assign.allow_tp = false;
+    sets.push_back(catonly);
+
+    OptionSet noprefetch{"noprefetch", {}};
+    noprefetch.opts.schedule.epr_prefetch = false;
+    sets.push_back(noprefetch);
+
+    OptionSet nofusion{"nofusion", {}};
+    nofusion.opts.schedule.tp_fusion = false;
+    sets.push_back(nofusion);
+    return sets;
+}
+
+std::optional<OptionSet>
+find_option_set(const std::string& name)
+{
+    for (OptionSet& s : builtin_option_sets())
+        if (s.name == name)
+            return std::move(s);
+    return std::nullopt;
+}
+
+std::string
+SweepCell::label() const
+{
+    return spec.label() + "/" + options.name;
+}
+
+std::vector<SweepCell>
+SweepGrid::cells() const
+{
+    std::vector<SweepCell> out;
+    out.reserve(families.size() * qubit_counts.size() * node_counts.size() *
+                option_sets.size());
+    for (circuits::Family f : families)
+        for (int q : qubit_counts)
+            for (int n : node_counts)
+                for (const OptionSet& o : option_sets)
+                    out.push_back(
+                        {{f, q, n}, o, seed, with_baseline, false});
+    return out;
+}
+
+std::vector<SweepCell>
+cells_from_specs(const std::vector<circuits::BenchmarkSpec>& specs,
+                 const OptionSet& options, std::uint64_t seed,
+                 bool with_baseline, bool stats_only)
+{
+    std::vector<SweepCell> out;
+    out.reserve(specs.size());
+    for (const circuits::BenchmarkSpec& spec : specs)
+        out.push_back({spec, options, seed, with_baseline, stats_only});
+    return out;
+}
+
+PreparedCell
+prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed)
+{
+    if (spec.num_qubits <= 0 || spec.num_nodes <= 0)
+        support::fatal("sweep cell %s: qubit and node counts must be "
+                       "positive", spec.label().c_str());
+
+    PreparedCell p;
+    p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
+    p.machine.num_nodes = spec.num_nodes;
+    p.machine.qubits_per_node =
+        (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes;
+    p.mapping = partition::oee_map(p.circuit, spec.num_nodes);
+    p.mapping.validate(p.machine);
+    return p;
+}
+
+SweepRow
+run_cell(const SweepCell& cell)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+
+    SweepRow row;
+    row.cell = cell;
+
+    support::inform("compiling %s...", cell.label().c_str());
+    const PreparedCell p = prepare_cell(cell.spec, cell.seed);
+
+    row.stats = p.circuit.stats();
+    row.remote_cx = p.mapping.count_remote(p.circuit);
+
+    if (cell.stats_only) {
+        row.ok = true;
+        row.compile_seconds =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        return row;
+    }
+
+    const pass::CompileResult compiled =
+        pass::compile(p.circuit, p.mapping, p.machine, cell.options.opts);
+    row.metrics = compiled.metrics;
+    row.schedule = compiled.schedule;
+
+    if (cell.with_baseline) {
+        const pass::CompileResult ferrari =
+            baseline::compile_ferrari(p.circuit, p.mapping, p.machine);
+        row.factors = baseline::relative_factors(ferrari, compiled);
+    }
+
+    row.ok = true;
+    row.compile_seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    return row;
+}
+
+std::vector<SweepRow>
+run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
+{
+    std::vector<SweepRow> rows(cells.size());
+    if (cells.empty())
+        return rows;
+
+    support::ThreadPool pool(opts.num_threads);
+    // Rows are written by index, so the output order is the cell order no
+    // matter which worker finishes first.
+    support::parallel_for(pool, cells.size(), [&](std::size_t i) {
+        try {
+            rows[i] = run_cell(cells[i]);
+        } catch (const std::exception& e) {
+            if (opts.rethrow_errors)
+                throw;
+            rows[i].cell = cells[i];
+            rows[i].ok = false;
+            rows[i].error = e.what();
+        }
+    });
+    return rows;
+}
+
+support::CsvWriter
+sweep_csv(const std::vector<SweepRow>& rows)
+{
+    support::CsvWriter csv(
+        {"name", "options", "qubits", "nodes", "ok", "error", "gates", "cx",
+         "rem_cx", "blocks", "tot_comm", "tp_comm", "cat_comm",
+         "peak_rem_cx", "makespan", "epr_pairs", "improv_factor",
+         "lat_dec_factor"});
+    for (const SweepRow& r : rows) {
+        csv.start_row();
+        csv.add(r.cell.spec.label());
+        csv.add(r.cell.options.name);
+        csv.add(static_cast<long long>(r.cell.spec.num_qubits));
+        csv.add(static_cast<long long>(r.cell.spec.num_nodes));
+        csv.add(static_cast<long long>(r.ok ? 1 : 0));
+        csv.add(r.error);
+        csv.add(static_cast<long long>(r.stats.total_gates));
+        csv.add(static_cast<long long>(r.stats.cx_gates));
+        csv.add(static_cast<long long>(r.remote_cx));
+        csv.add(static_cast<long long>(r.metrics.num_blocks));
+        csv.add(static_cast<long long>(r.metrics.total_comms));
+        csv.add(static_cast<long long>(r.metrics.tp_comms));
+        csv.add(static_cast<long long>(r.metrics.cat_comms));
+        csv.add(r.metrics.peak_rem_cx);
+        csv.add(r.schedule.makespan);
+        csv.add(static_cast<long long>(r.schedule.epr_pairs));
+        csv.add(r.factors ? r.factors->improv_factor : 0.0);
+        csv.add(r.factors ? r.factors->lat_dec_factor : 0.0);
+    }
+    return csv;
+}
+
+} // namespace autocomm::driver

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The compilation sweep driver: run pass::compile over a declarative grid
+ * of (circuit family x qubit count x node count x compile options) cells
+ * on a thread pool, collecting one deterministic metrics row per cell.
+ *
+ * Rows come back in cell order regardless of thread count, so a sweep's
+ * CSV is byte-identical between single-threaded and parallel runs — the
+ * property tests and `bench_sweep --verify` rely on this.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/ferrari.hpp"
+#include "circuits/library.hpp"
+#include "support/csv.hpp"
+
+namespace autocomm::driver {
+
+/** A named pass::CompileOptions configuration (one ablation arm). */
+struct OptionSet
+{
+    std::string name = "default";
+    pass::CompileOptions opts{};
+};
+
+/**
+ * The built-in named option sets: "default" plus the paper's Fig. 17
+ * ablation arms ("sparse", "catonly", "noprefetch", "nofusion").
+ */
+std::vector<OptionSet> builtin_option_sets();
+
+/** Look up one built-in option set by name. */
+std::optional<OptionSet> find_option_set(const std::string& name);
+
+/** One (circuit, machine, options) point of a sweep. */
+struct SweepCell
+{
+    circuits::BenchmarkSpec spec{};
+    OptionSet options{};
+    std::uint64_t seed = 2022;
+    /** Also run the Ferrari per-CX baseline and record relative factors. */
+    bool with_baseline = false;
+    /** Only prepare and count (Table 2 columns); skip pass::compile. */
+    bool stats_only = false;
+
+    /** "QFT-100-10/default"-style row label. */
+    std::string label() const;
+};
+
+/** Declarative cartesian sweep grid. */
+struct SweepGrid
+{
+    std::vector<circuits::Family> families;
+    std::vector<int> qubit_counts;
+    std::vector<int> node_counts;
+    std::vector<OptionSet> option_sets{OptionSet{}};
+    std::uint64_t seed = 2022;
+    bool with_baseline = false;
+
+    /** Expand to the cartesian product, in deterministic row-major order
+     * (family outermost, option set innermost). */
+    std::vector<SweepCell> cells() const;
+};
+
+/** Wrap explicit benchmark specs (e.g. the paper suite) as sweep cells. */
+std::vector<SweepCell> cells_from_specs(
+    const std::vector<circuits::BenchmarkSpec>& specs,
+    const OptionSet& options = {}, std::uint64_t seed = 2022,
+    bool with_baseline = false, bool stats_only = false);
+
+/** A prepared instance: decomposed circuit, derived machine, OEE map. */
+struct PreparedCell
+{
+    qir::Circuit circuit;
+    hw::Machine machine{};
+    hw::QubitMapping mapping;
+};
+
+/**
+ * The shared preparation recipe (also used by the bench harness):
+ * generate + decompose the circuit, derive the machine (ceil-divided
+ * qubits per node), map with OEE, validate.
+ */
+PreparedCell prepare_cell(const circuits::BenchmarkSpec& spec,
+                          std::uint64_t seed = 2022);
+
+/** Metrics row for one compiled cell (Table 2 + Table 3 columns). */
+struct SweepRow
+{
+    SweepCell cell{};
+    bool ok = false;
+    std::string error; ///< exception text when !ok
+
+    qir::CircuitStats stats{};      ///< decomposed-circuit statistics
+    std::size_t remote_cx = 0;      ///< remote CX under the OEE mapping
+    pass::Metrics metrics{};        ///< AutoComm communication metrics
+    pass::ScheduleResult schedule{};///< latency simulation outcome
+    /** Ferrari-relative factors, when cell.with_baseline. */
+    std::optional<baseline::RelativeFactors> factors;
+
+    /** Wall-clock compile time. Timing is reported by the CLI but kept
+     * out of sweep_csv() so CSV output stays run-to-run deterministic. */
+    double compile_seconds = 0.0;
+};
+
+/** Knobs for run_sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 selects support::default_thread_count(). */
+    std::size_t num_threads = 0;
+    /** Rethrow the first cell failure instead of recording it in-row. */
+    bool rethrow_errors = false;
+};
+
+/**
+ * Compile one cell: generate + decompose the circuit, derive the machine,
+ * map with OEE, run the pipeline (and optionally the baseline).
+ */
+SweepRow run_cell(const SweepCell& cell);
+
+/**
+ * Compile every cell on a thread pool. Rows are returned in cell order
+ * and are independent of opts.num_threads. A cell whose compilation
+ * throws yields a row with ok == false and the exception text in
+ * `error` (unless opts.rethrow_errors).
+ */
+std::vector<SweepRow> run_sweep(const std::vector<SweepCell>& cells,
+                                const SweepOptions& opts = {});
+
+/** Serialize rows as a CSV document (deterministic columns only). */
+support::CsvWriter sweep_csv(const std::vector<SweepRow>& rows);
+
+} // namespace autocomm::driver

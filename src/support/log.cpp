@@ -1,6 +1,9 @@
 #include "support/log.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace autocomm::support {
@@ -8,6 +11,10 @@ namespace autocomm::support {
 namespace {
 
 LogLevel g_level = LogLevel::Info;
+
+// Apply AUTOCOMM_LOG_LEVEL once at startup (after g_level's initializer,
+// which precedes it in this translation unit).
+[[maybe_unused]] const LogLevel g_env_level = init_log_level_from_env();
 
 std::string
 vformat(const char* fmt, std::va_list ap)
@@ -39,6 +46,46 @@ set_log_level(LogLevel level)
 LogLevel
 log_level()
 {
+    return g_level;
+}
+
+std::string
+to_lower(const std::string& s)
+{
+    std::string lower(s.size(), '\0');
+    std::transform(s.begin(), s.end(), lower.begin(), [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    });
+    return lower;
+}
+
+std::optional<LogLevel>
+parse_log_level(const std::string& name)
+{
+    const std::string lower = to_lower(name);
+    if (lower == "debug")
+        return LogLevel::Debug;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "warn" || lower == "warning")
+        return LogLevel::Warn;
+    if (lower == "quiet" || lower == "none")
+        return LogLevel::Quiet;
+    return std::nullopt;
+}
+
+LogLevel
+init_log_level_from_env()
+{
+    const char* v = std::getenv("AUTOCOMM_LOG_LEVEL");
+    if (v != nullptr && v[0] != '\0') {
+        if (std::optional<LogLevel> parsed = parse_log_level(v))
+            g_level = *parsed;
+        else
+            std::fprintf(stderr,
+                         "warn: ignoring invalid AUTOCOMM_LOG_LEVEL=\"%s\" "
+                         "(expected debug|info|warn|quiet)\n", v);
+    }
     return g_level;
 }
 

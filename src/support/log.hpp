@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -15,9 +16,22 @@ namespace autocomm::support {
 /** Severity threshold; messages below the level are suppressed. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
 
-/** Set the global logging threshold (default Info). */
+/**
+ * Set the global logging threshold. The default is Info, unless the
+ * AUTOCOMM_LOG_LEVEL environment variable overrides it at startup.
+ */
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/** Parse "debug" / "info" / "warn" / "quiet" (case-insensitive). */
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/**
+ * Re-read AUTOCOMM_LOG_LEVEL and apply it; returns the resulting level.
+ * Called automatically before the first message; unset or unparsable
+ * values leave the current level untouched (warning on garbage).
+ */
+LogLevel init_log_level_from_env();
 
 /** printf-style informational message to stderr (prefixed "info:"). */
 void inform(const char* fmt, ...);
@@ -37,6 +51,9 @@ class UserError : public std::runtime_error
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char* fmt, ...);
+
+/** ASCII-lowercase a string (for case-insensitive name parsing). */
+std::string to_lower(const std::string& s);
 
 /** Throw UserError with a printf-formatted message. */
 [[noreturn]] void fatal(const char* fmt, ...);

@@ -1,0 +1,119 @@
+#include "support/threadpool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/log.hpp"
+
+namespace autocomm::support {
+
+std::size_t
+default_thread_count()
+{
+    // Capped so a fat-fingered value degrades to "a lot of threads"
+    // instead of thread-creation failure mid-constructor.
+    constexpr long max_threads = 1024;
+    if (const char* v = std::getenv("AUTOCOMM_THREADS")) {
+        char* end = nullptr;
+        const long n = std::strtol(v, &end, 10);
+        if (end != v && *end == '\0' && n > 0) {
+            if (n > max_threads) {
+                warn("capping AUTOCOMM_THREADS=%ld to %ld", n, max_threads);
+                return static_cast<std::size_t>(max_threads);
+            }
+            return static_cast<std::size_t>(n);
+        }
+        if (v[0] != '\0')
+            warn("ignoring invalid AUTOCOMM_THREADS=\"%s\"", v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = default_thread_count();
+    workers_.reserve(num_threads);
+    try {
+        for (std::size_t i = 0; i < num_threads; ++i)
+            workers_.emplace_back([this]() { worker_loop(); });
+    } catch (...) {
+        // Join the threads that did start; leaving them joinable would
+        // make workers_'s destructor call std::terminate.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& w : workers_)
+            w.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            fatal("ThreadPool::submit on a stopped pool");
+        jobs_.push(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this]() { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // stopping_ and drained
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job(); // packaged_task: exceptions land in the job's future
+    }
+}
+
+void
+parallel_for(ThreadPool& pool, std::size_t n,
+             const std::function<void(std::size_t)>& fn)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i]() { fn(i); }));
+
+    // Wait for everything before rethrowing: fn is borrowed by reference,
+    // so no task may outlive this frame.
+    std::exception_ptr first;
+    for (std::future<void>& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace autocomm::support

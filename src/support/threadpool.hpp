@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A fixed-size worker pool for CPU-bound compilation jobs. Jobs are
+ * submitted as callables and their results (or exceptions) come back
+ * through std::future, so a worker throwing never takes down the pool.
+ *
+ * This is deliberately a plain FIFO pool (no work stealing): sweep cells
+ * are coarse-grained — one full pass::compile each — so a single shared
+ * queue is never the bottleneck.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace autocomm::support {
+
+/**
+ * Thread count from the AUTOCOMM_THREADS environment variable, falling
+ * back to std::thread::hardware_concurrency() (at least 1).
+ */
+std::size_t default_thread_count();
+
+/** Fixed-size FIFO thread pool. Destruction drains pending jobs. */
+class ThreadPool
+{
+  public:
+    /** @p num_threads == 0 selects default_thread_count(). */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p f for execution. The returned future yields f's result;
+     * an exception thrown by f is rethrown from future::get().
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>> submit(F&& f)
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+  private:
+    void enqueue(std::function<void()> job);
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) on @p pool and block until all complete. Iterations
+ * run concurrently; if any throw, every iteration still finishes and then
+ * the exception of the lowest-index failing iteration is rethrown.
+ */
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+} // namespace autocomm::support

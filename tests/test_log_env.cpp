@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the AUTOCOMM_LOG_LEVEL environment toggle: name parsing,
+ * re-initialization from the environment, and robustness to garbage
+ * values. (The ctest harness itself relies on this toggle — CMake sets
+ * AUTOCOMM_LOG_LEVEL=warn on every registered test.)
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm::support;
+
+/** Restore the ambient level and env var around each test. */
+class LogEnvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        saved_level_ = log_level();
+        const char* v = std::getenv("AUTOCOMM_LOG_LEVEL");
+        saved_env_ = v != nullptr ? std::optional<std::string>(v)
+                                  : std::nullopt;
+    }
+
+    void TearDown() override
+    {
+        if (saved_env_)
+            ::setenv("AUTOCOMM_LOG_LEVEL", saved_env_->c_str(), 1);
+        else
+            ::unsetenv("AUTOCOMM_LOG_LEVEL");
+        set_log_level(saved_level_);
+    }
+
+  private:
+    LogLevel saved_level_ = LogLevel::Info;
+    std::optional<std::string> saved_env_;
+};
+
+TEST_F(LogEnvTest, ParseAcceptsAllLevelsCaseInsensitively)
+{
+    EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+    EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+    EXPECT_EQ(parse_log_level("WARN"), LogLevel::Warn);
+    EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+    EXPECT_EQ(parse_log_level("quiet"), LogLevel::Quiet);
+    EXPECT_EQ(parse_log_level("none"), LogLevel::Quiet);
+    EXPECT_EQ(parse_log_level("loud"), std::nullopt);
+    EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST_F(LogEnvTest, EnvVariableOverridesLevel)
+{
+    ::setenv("AUTOCOMM_LOG_LEVEL", "quiet", 1);
+    EXPECT_EQ(init_log_level_from_env(), LogLevel::Quiet);
+    EXPECT_EQ(log_level(), LogLevel::Quiet);
+
+    ::setenv("AUTOCOMM_LOG_LEVEL", "DEBUG", 1);
+    EXPECT_EQ(init_log_level_from_env(), LogLevel::Debug);
+    EXPECT_EQ(log_level(), LogLevel::Debug);
+}
+
+TEST_F(LogEnvTest, UnsetOrInvalidEnvKeepsCurrentLevel)
+{
+    set_log_level(LogLevel::Warn);
+    ::unsetenv("AUTOCOMM_LOG_LEVEL");
+    EXPECT_EQ(init_log_level_from_env(), LogLevel::Warn);
+
+    ::setenv("AUTOCOMM_LOG_LEVEL", "garbage", 1);
+    EXPECT_EQ(init_log_level_from_env(), LogLevel::Warn);
+    EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST_F(LogEnvTest, CtestHarnessExportsWarnLevel)
+{
+    // The CMake test registration sets AUTOCOMM_LOG_LEVEL=warn, and the
+    // static initializer in log.cpp must have applied it before main().
+    const char* v = std::getenv("AUTOCOMM_LOG_LEVEL");
+    if (v != nullptr && std::string(v) == "warn")
+        EXPECT_EQ(log_level(), LogLevel::Warn);
+    else
+        GTEST_SKIP() << "not running under the ctest environment";
+}
+
+} // namespace

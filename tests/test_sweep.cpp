@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property tests for the driver::run_sweep compilation sweep: grid
+ * expansion, metric determinism under 1 vs N threads, edge cases (empty
+ * grid, single cell), and worker-exception handling.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm;
+using driver::SweepCell;
+using driver::SweepGrid;
+using driver::SweepOptions;
+using driver::SweepRow;
+
+SweepGrid
+small_grid()
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::BV};
+    grid.qubit_counts = {8, 12};
+    grid.node_counts = {2, 4};
+    grid.option_sets = {driver::OptionSet{},
+                        *driver::find_option_set("sparse")};
+    return grid;
+}
+
+TEST(SweepGrid, CellsIsTheCartesianProductInRowMajorOrder)
+{
+    const SweepGrid grid = small_grid();
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);
+    EXPECT_EQ(cells.front().label(), "QFT-8-2/default");
+    EXPECT_EQ(cells[1].label(), "QFT-8-2/sparse");
+    EXPECT_EQ(cells[2].label(), "QFT-8-4/default");
+    EXPECT_EQ(cells.back().label(), "BV-12-4/sparse");
+}
+
+TEST(SweepGrid, EmptyDimensionYieldsNoCells)
+{
+    SweepGrid grid = small_grid();
+    grid.qubit_counts.clear();
+    EXPECT_TRUE(grid.cells().empty());
+}
+
+TEST(Sweep, EmptyCellListYieldsEmptyRows)
+{
+    EXPECT_TRUE(driver::run_sweep({}, {}).empty());
+}
+
+TEST(Sweep, SingleCellMatchesDirectRunCell)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 10, 2};
+    const SweepRow direct = driver::run_cell(cell);
+    ASSERT_TRUE(direct.ok);
+
+    const std::vector<SweepRow> rows = driver::run_sweep({cell}, {});
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_TRUE(rows[0].ok);
+    EXPECT_EQ(rows[0].metrics.total_comms, direct.metrics.total_comms);
+    EXPECT_EQ(rows[0].metrics.tp_comms, direct.metrics.tp_comms);
+    EXPECT_DOUBLE_EQ(rows[0].schedule.makespan, direct.schedule.makespan);
+    EXPECT_GT(rows[0].stats.total_gates, 0u);
+    EXPECT_GT(rows[0].remote_cx, 0u);
+}
+
+TEST(Sweep, MetricsAreIdenticalUnderOneVsManyThreads)
+{
+    SweepGrid grid = small_grid();
+    grid.with_baseline = true;
+    const std::vector<SweepCell> cells = grid.cells();
+
+    SweepOptions serial;
+    serial.num_threads = 1;
+    SweepOptions parallel;
+    parallel.num_threads = 4;
+
+    const std::string csv1 =
+        driver::sweep_csv(driver::run_sweep(cells, serial)).to_string();
+    const std::string csv4 =
+        driver::sweep_csv(driver::run_sweep(cells, parallel)).to_string();
+    EXPECT_EQ(csv1, csv4);
+}
+
+TEST(Sweep, RepeatedRunsAreDeterministic)
+{
+    const std::vector<SweepCell> cells = small_grid().cells();
+    const std::string a =
+        driver::sweep_csv(driver::run_sweep(cells, {})).to_string();
+    const std::string b =
+        driver::sweep_csv(driver::run_sweep(cells, {})).to_string();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Sweep, InvalidCellIsRecordedAsErrorRow)
+{
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, -5, 2};
+    SweepCell good;
+    good.spec = {circuits::Family::BV, 8, 2};
+
+    const std::vector<SweepRow> rows = driver::run_sweep({bad, good}, {});
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_FALSE(rows[0].ok);
+    EXPECT_NE(rows[0].error.find("positive"), std::string::npos);
+    EXPECT_TRUE(rows[1].ok);
+}
+
+TEST(Sweep, RethrowErrorsPropagatesWorkerExceptionToCaller)
+{
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, -5, 2};
+    SweepOptions opts;
+    opts.num_threads = 2;
+    opts.rethrow_errors = true;
+    EXPECT_THROW(driver::run_sweep({bad}, opts), support::UserError);
+}
+
+TEST(Sweep, OptionSetsChangeTheCompilation)
+{
+    SweepCell def;
+    def.spec = {circuits::Family::QFT, 12, 2};
+    SweepCell sparse = def;
+    sparse.options = *driver::find_option_set("sparse");
+
+    const SweepRow r_def = driver::run_cell(def);
+    const SweepRow r_sparse = driver::run_cell(sparse);
+    ASSERT_TRUE(r_def.ok);
+    ASSERT_TRUE(r_sparse.ok);
+    // Disabling commutation-based aggregation degenerates to sparse
+    // communication: strictly more communications for a QFT.
+    EXPECT_GT(r_sparse.metrics.total_comms, r_def.metrics.total_comms);
+}
+
+TEST(Sweep, BuiltinOptionSetsAreFindableByName)
+{
+    for (const driver::OptionSet& s : driver::builtin_option_sets()) {
+        auto found = driver::find_option_set(s.name);
+        ASSERT_TRUE(found.has_value()) << s.name;
+        EXPECT_EQ(found->name, s.name);
+    }
+    EXPECT_FALSE(driver::find_option_set("no-such-set").has_value());
+}
+
+TEST(Sweep, CsvHasOneLinePerCellPlusHeader)
+{
+    const std::vector<SweepCell> cells = small_grid().cells();
+    const std::string csv =
+        driver::sweep_csv(driver::run_sweep(cells, {})).to_string();
+    const std::size_t lines =
+        static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, cells.size() + 1);
+}
+
+} // namespace
