@@ -5,10 +5,15 @@
  * benchmark family, split into (a) building blocks (MCTR/RCA/QFT) and
  * (b) real-world applications (BV/QAOA/UCCSD), exactly the paper's two
  * panels. Also prints the §3.2 analytic upper bound P(4) <= 1/t for QFT.
+ *
+ * Rows are compiled through the driver::run_sweep thread pool (thread
+ * count from AUTOCOMM_THREADS), sharing the grid machinery with
+ * bench_sweep.
  */
 #include <cstdio>
 
 #include "common.hpp"
+#include "driver/sweep.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
 
@@ -17,27 +22,21 @@ namespace {
 using namespace autocomm;
 
 void
-panel(const char* title, const std::vector<circuits::BenchmarkSpec>& specs,
+panel(const char* title, const std::vector<driver::SweepRow>& rows,
       support::CsvWriter& csv)
 {
     std::puts(title);
     std::vector<std::string> headers = {"X"};
-    std::vector<pass::Metrics> metrics;
-    for (const auto& spec : specs) {
-        std::fprintf(stderr, "compiling %s...\n", spec.label().c_str());
-        const bench::Instance inst = bench::prepare(spec);
-        const bench::RowResult r = bench::run_row(inst);
-        metrics.push_back(r.autocomm.metrics);
-        headers.push_back(spec.label());
-    }
+    for (const driver::SweepRow& r : rows)
+        headers.push_back(r.cell.spec.label());
     support::Table t(headers);
     for (int x = 1; x <= 20; ++x) {
         t.start_row();
         t.add(x);
         csv.start_row();
         csv.add(static_cast<long long>(x));
-        for (std::size_t i = 0; i < metrics.size(); ++i) {
-            const double p = metrics[i].prob_carries_at_least(x);
+        for (const driver::SweepRow& r : rows) {
+            const double p = r.metrics.prob_carries_at_least(x);
             t.add(p, 3);
             csv.add(p);
         }
@@ -68,23 +67,36 @@ main()
         {Family::UCCSD, 12, 6},
     };
 
+    const std::vector<driver::SweepRow> block_rows =
+        driver::run_sweep(driver::cells_from_specs(blocks), {});
+    const std::vector<driver::SweepRow> app_rows =
+        driver::run_sweep(driver::cells_from_specs(apps), {});
+    std::size_t failures = 0;
+    for (const auto* rows : {&block_rows, &app_rows})
+        for (const driver::SweepRow& r : *rows)
+            if (!r.ok) {
+                ++failures;
+                std::fprintf(stderr, "error: %s: %s\n",
+                             r.cell.spec.label().c_str(), r.error.c_str());
+            }
+    if (failures > 0)
+        return 1;
+
     support::CsvWriter csv_a({"x", "mctr", "rca", "qft"});
     support::CsvWriter csv_b({"x", "bv", "qaoa", "uccsd"});
-    panel("-- (a) building blocks --", blocks, csv_a);
-    panel("-- (b) real-world applications --", apps, csv_b);
+    panel("-- (a) building blocks --", block_rows, csv_a);
+    panel("-- (b) real-world applications --", app_rows, csv_b);
 
-    // Section 3.2 analytic check for QFT: P(4) <= 1/t.
+    // Section 3.2 analytic check for QFT: P(4) <= 1/t, where P(4) is the
+    // fraction of remote gates carried by blocks of fewer than 4 REM CX.
     {
-        const auto spec = blocks[2];
-        const int t = spec.num_qubits / spec.num_nodes;
-        const bench::Instance inst = bench::prepare(spec);
-        const bench::RowResult r = bench::run_row(inst);
-        // Fraction of remote gates in blocks with < 4 remote CX.
+        const driver::SweepRow& qft = block_rows[2];
+        const int t = qft.cell.spec.num_qubits / qft.cell.spec.num_nodes;
         double small_gates = 0, total_gates = 0;
-        for (const auto& blk : r.autocomm.blocks) {
-            total_gates += static_cast<double>(blk.members.size());
-            if (blk.members.size() < 4)
-                small_gates += static_cast<double>(blk.members.size());
+        for (std::size_t sz : qft.metrics.block_sizes) {
+            total_gates += static_cast<double>(sz);
+            if (sz < 4)
+                small_gates += static_cast<double>(sz);
         }
         std::printf("QFT inverse-burst check: P(4) = %.3f, paper bound "
                     "1/t = %.3f\n",

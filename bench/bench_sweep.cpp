@@ -66,6 +66,12 @@ usage(const char* argv0)
         "(default QFT,BV)\n"
         "  --qubits LIST    qubit counts (default 16,24,32,40)\n"
         "  --nodes LIST     node counts (default 2,4)\n"
+        "  --shape LIST     machine shapes, ';'-separated (e.g. "
+        "\"4x10,2x30;8x10\");\n"
+        "                   replaces --nodes (a shape fixes its node "
+        "count)\n"
+        "  --topology LIST  link topologies: all_to_all,ring,grid,star "
+        "(default all_to_all)\n"
         "  --opts LIST      option sets (default \"default\"; see "
         "--list-opts)\n"
         "  --threads N      worker threads (default AUTOCOMM_THREADS or "
@@ -115,6 +121,36 @@ main(int argc, char** argv)
                 grid.qubit_counts = parse_int_list(value(), "--qubits");
             } else if (arg == "--nodes") {
                 grid.node_counts = parse_int_list(value(), "--nodes");
+            } else if (arg == "--shape") {
+                grid.shapes.clear();
+                const std::string list = value();
+                std::size_t start = 0;
+                while (start <= list.size()) {
+                    const std::size_t semi = list.find(';', start);
+                    const std::size_t end =
+                        semi == std::string::npos ? list.size() : semi;
+                    if (end > start) {
+                        const std::string spec =
+                            list.substr(start, end - start);
+                        hw::parse_shape(spec); // validate eagerly
+                        grid.shapes.push_back(spec);
+                    }
+                    if (semi == std::string::npos)
+                        break;
+                    start = semi + 1;
+                }
+                if (grid.shapes.empty())
+                    support::fatal("--shape: empty shape list");
+            } else if (arg == "--topology") {
+                grid.topologies.clear();
+                for (const std::string& tok : split_commas(value())) {
+                    auto t = hw::parse_topology(tok);
+                    if (!t)
+                        support::fatal("unknown topology \"%s\" (expected "
+                                       "all_to_all, ring, grid, or star)",
+                                       tok.c_str());
+                    grid.topologies.push_back(*t);
+                }
             } else if (arg == "--opts") {
                 grid.option_sets.clear();
                 for (const std::string& tok : split_commas(value())) {
@@ -179,10 +215,10 @@ main(int argc, char** argv)
 
     support::Table t(grid.with_baseline
         ? std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",
-            "TP-Comm", "Peak #REM CX", "Makespan", "Improv.", "LAT-DEC",
-            "Time (s)"}
+            "TP-Comm", "Peak #REM CX", "Makespan", "Hops", "Improv.",
+            "LAT-DEC", "Time (s)"}
         : std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",
-            "TP-Comm", "Peak #REM CX", "Makespan", "Time (s)"});
+            "TP-Comm", "Peak #REM CX", "Makespan", "Hops", "Time (s)"});
     double total_seconds = 0;
     std::size_t failures = 0;
     for (const driver::SweepRow& r : rows) {
@@ -200,6 +236,7 @@ main(int argc, char** argv)
         t.add(r.metrics.tp_comms);
         t.add(r.metrics.peak_rem_cx, 1);
         t.add(r.schedule.makespan, 1);
+        t.add(r.schedule.hops_total);
         if (r.factors) {
             t.add(r.factors->improv_factor, 2);
             t.add(r.factors->lat_dec_factor, 2);

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build everything, run the test suite.
 # Mirrors .github/workflows/ci.yml so the same command works locally.
+#
+# Extra cmake args pass through, e.g. the sanitizer job:
+#   ci/run.sh -DCMAKE_BUILD_TYPE=Debug -DAUTOCOMM_SANITIZE=ON
+# or equivalently: AUTOCOMM_SANITIZE=1 ci/run.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . "$@"
+extra=()
+if [[ "${AUTOCOMM_SANITIZE:-0}" != 0 ]]; then
+    extra+=(-DCMAKE_BUILD_TYPE=Debug -DAUTOCOMM_SANITIZE=ON)
+fi
+
+cmake -B build -S . "${extra[@]}" "$@"
 cmake --build build -j "$(nproc)"
 cd build
 ctest --output-on-failure -j "$(nproc)"

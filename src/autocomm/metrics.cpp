@@ -38,6 +38,7 @@ compute_metrics(const qir::Circuit& c, const std::vector<CommBlock>& blocks)
     m.num_blocks = blocks.size();
     for (const CommBlock& blk : blocks) {
         m.remote_gates += blk.members.size();
+        m.block_sizes.push_back(blk.members.size());
         m.total_comms += static_cast<std::size_t>(blk.num_comms);
         if (blk.scheme == Scheme::TP) {
             m.tp_comms += static_cast<std::size_t>(blk.num_comms);

@@ -27,6 +27,9 @@ struct Metrics
     double peak_rem_cx = 0.0;
     /** Remote CX carried by each communication (unsorted). */
     std::vector<double> per_comm_cx;
+    /** Member remote-gate count of each block, in block order (the §3.2
+     * burst-size distribution; Fig. 15's analytic P(x) check). */
+    std::vector<std::size_t> block_sizes;
 
     /** Mean remote CX per communication. */
     double mean_rem_cx() const;

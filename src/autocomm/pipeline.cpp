@@ -11,6 +11,8 @@ compile(const qir::Circuit& c, const hw::QubitMapping& map,
     if (c.num_qubits() != map.num_qubits())
         support::fatal("compile: circuit has %d qubits, mapping %d",
                        c.num_qubits(), map.num_qubits());
+    m.validate_shape();
+    m.validate_routing();
     map.validate(m);
 
     CompileResult r;

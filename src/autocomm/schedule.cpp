@@ -217,8 +217,10 @@ schedule_program(const qir::Circuit& reordered,
         auto [sa, ta] = slots.acquire(a, start);
         auto [sb, tb] = slots.acquire(b, start);
         const double begin = std::max(ta, tb);
+        const int hops = m.hops(a, b);
         ++res.epr_pairs;
-        return {begin + lat.t_epr, sa, sb};
+        res.hops_total += static_cast<std::size_t>(hops);
+        return {begin + lat.t_epr_hops(hops), sa, sb};
     };
 
     auto run_gate_local = [&](const Gate& g) {

@@ -47,6 +47,10 @@ struct ScheduleResult
     std::size_t epr_pairs = 0;   ///< EPR pairs actually consumed.
     std::size_t teleports = 0;   ///< Qubit teleportations performed.
     std::size_t fused_links = 0; ///< TP chain links that skipped a return.
+    /** Total link hops crossed by the consumed EPR pairs (equals
+     * epr_pairs on an all-to-all machine; larger under ring/grid/star
+     * where pairs are routed by entanglement swapping). */
+    std::size_t hops_total = 0;
 };
 
 /**

@@ -17,14 +17,21 @@ RelativeFactors
 relative_factors(const pass::CompileResult& baseline,
                  const pass::CompileResult& autocomm)
 {
+    return relative_factors(baseline.metrics.total_comms,
+                            baseline.schedule.makespan, autocomm);
+}
+
+RelativeFactors
+relative_factors(std::size_t baseline_comms, double baseline_makespan,
+                 const pass::CompileResult& autocomm)
+{
     RelativeFactors f;
     if (autocomm.metrics.total_comms > 0)
         f.improv_factor =
-            static_cast<double>(baseline.metrics.total_comms) /
+            static_cast<double>(baseline_comms) /
             static_cast<double>(autocomm.metrics.total_comms);
     if (autocomm.schedule.makespan > 0)
-        f.lat_dec_factor =
-            baseline.schedule.makespan / autocomm.schedule.makespan;
+        f.lat_dec_factor = baseline_makespan / autocomm.schedule.makespan;
     return f;
 }
 

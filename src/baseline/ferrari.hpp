@@ -30,4 +30,9 @@ struct RelativeFactors
 RelativeFactors relative_factors(const pass::CompileResult& baseline,
                                  const pass::CompileResult& autocomm);
 
+/** Same, from a baseline's raw comm count and makespan (e.g. GP-TP). */
+RelativeFactors relative_factors(std::size_t baseline_comms,
+                                 double baseline_makespan,
+                                 const pass::CompileResult& autocomm);
+
 } // namespace autocomm::baseline

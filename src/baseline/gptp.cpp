@@ -19,6 +19,8 @@ GptpResult
 compile_gptp(const qir::Circuit& c, const hw::QubitMapping& initial,
              const hw::Machine& m)
 {
+    m.validate_shape();
+    m.validate_routing();
     initial.validate(m);
     const hw::LatencyModel& lat = m.latency;
     const double t_tele = lat.t_teleport();
@@ -87,7 +89,7 @@ compile_gptp(const qir::Circuit& c, const hw::QubitMapping& initial,
         auto [s3, t3] = slots.acquire(src, prep_start);
         auto [s4, t4] = slots.acquire(dest, prep_start);
         const double epr_done =
-            std::max({t1, t2, t3, t4}) + lat.t_epr;
+            std::max({t1, t2, t3, t4}) + lat.t_epr_hops(m.hops(src, dest));
         const double go = std::max(epr_done, floor);
         const double done = go + t_tele; // the two teleports overlap
         slots.release(src, s1, done);

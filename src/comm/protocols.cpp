@@ -9,8 +9,12 @@ PhysicalLayout::PhysicalLayout(const hw::Machine& m,
     : machine_(m), map_(map)
 {
     map_.validate(m);
-    const int per = m.qubits_per_node + m.comm_qubits_per_node;
-    total_ = m.num_nodes * per;
+    node_offset_.reserve(static_cast<std::size_t>(m.num_nodes) + 1);
+    node_offset_.push_back(0);
+    for (NodeId node = 0; node < m.num_nodes; ++node)
+        node_offset_.push_back(node_offset_.back() + m.capacity_of(node) +
+                               m.comm_qubits_per_node);
+    total_ = node_offset_.back();
 
     data_phys_.assign(static_cast<std::size_t>(map.num_qubits()),
                       kInvalidId);
@@ -18,7 +22,8 @@ PhysicalLayout::PhysicalLayout(const hw::Machine& m,
     for (QubitId q = 0; q < map.num_qubits(); ++q) {
         const NodeId node = map.node_of(q);
         const int slot = next_slot[static_cast<std::size_t>(node)]++;
-        data_phys_[static_cast<std::size_t>(q)] = node * per + slot;
+        data_phys_[static_cast<std::size_t>(q)] =
+            node_offset_[static_cast<std::size_t>(node)] + slot;
     }
 }
 
@@ -33,15 +38,19 @@ PhysicalLayout::comm(NodeId node, int k) const
 {
     if (k < 0 || k >= machine_.comm_qubits_per_node)
         support::fatal("PhysicalLayout::comm: bad comm index %d", k);
-    const int per = machine_.qubits_per_node + machine_.comm_qubits_per_node;
-    return node * per + machine_.qubits_per_node + k;
+    return node_offset_[static_cast<std::size_t>(node)] +
+           machine_.capacity_of(node) + k;
 }
 
 NodeId
 PhysicalLayout::node_of_phys(QubitId pq) const
 {
-    const int per = machine_.qubits_per_node + machine_.comm_qubits_per_node;
-    return pq / per;
+    if (pq < 0 || pq >= total_)
+        support::fatal("PhysicalLayout::node_of_phys: %d out of range", pq);
+    NodeId node = 0;
+    while (node_offset_[static_cast<std::size_t>(node) + 1] <= pq)
+        ++node;
+    return node;
 }
 
 void

@@ -21,10 +21,11 @@ namespace autocomm::comm {
 
 /**
  * Physical qubit layout for a machine: node i owns data slots then its
- * communication qubits, packed consecutively:
+ * communication qubits, packed consecutively. With per-node capacity t_i
+ * and c comm qubits, node i starts at offset_i = sum_{j<i} (t_j + c):
  *
- *   phys(node i) = [ i*(t+c) ... i*(t+c)+t )    data
- *                  [ i*(t+c)+t ... (i+1)*(t+c) ) comm
+ *   phys(node i) = [ offset_i ... offset_i+t_i )       data
+ *                  [ offset_i+t_i ... offset_i+t_i+c ) comm
  *
  * Logical qubit q maps to the data slot of its node in mapping order.
  */
@@ -52,6 +53,7 @@ class PhysicalLayout
     hw::Machine machine_;
     hw::QubitMapping map_;
     int total_ = 0;
+    std::vector<int> node_offset_;   ///< node -> first physical index
     std::vector<QubitId> data_phys_; ///< logical qubit -> physical index
 };
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 
+#include "baseline/gptp.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
 #include "support/log.hpp"
@@ -46,38 +47,72 @@ find_option_set(const std::string& name)
 std::string
 SweepCell::label() const
 {
-    return spec.label() + "/" + options.name;
+    std::string out = spec.label();
+    if (!shape.empty())
+        out += "@" + shape;
+    if (topology != hw::Topology::AllToAll)
+        out += std::string("+") + hw::topology_name(topology);
+    return out + "/" + options.name;
 }
 
 std::vector<SweepCell>
 SweepGrid::cells() const
 {
+    // The shape axis replaces the node-count axis when present; a shape
+    // fixes its own node count.
+    std::vector<std::pair<int, std::string>> machines;
+    if (shapes.empty()) {
+        for (int n : node_counts)
+            machines.emplace_back(n, std::string{});
+    } else {
+        for (const std::string& s : shapes)
+            machines.emplace_back(static_cast<int>(hw::parse_shape(s).size()),
+                                  s);
+    }
+
     std::vector<SweepCell> out;
-    out.reserve(families.size() * qubit_counts.size() * node_counts.size() *
-                option_sets.size());
+    out.reserve(families.size() * qubit_counts.size() * machines.size() *
+                topologies.size() * option_sets.size());
     for (circuits::Family f : families)
         for (int q : qubit_counts)
-            for (int n : node_counts)
-                for (const OptionSet& o : option_sets)
-                    out.push_back(
-                        {{f, q, n}, o, seed, with_baseline, false});
+            for (const auto& [n, shape] : machines)
+                for (hw::Topology t : topologies)
+                    for (const OptionSet& o : option_sets) {
+                        SweepCell cell;
+                        cell.spec = {f, q, n};
+                        cell.options = o;
+                        cell.seed = seed;
+                        cell.shape = shape;
+                        cell.topology = t;
+                        cell.with_baseline = with_baseline;
+                        out.push_back(std::move(cell));
+                    }
     return out;
 }
 
 std::vector<SweepCell>
 cells_from_specs(const std::vector<circuits::BenchmarkSpec>& specs,
                  const OptionSet& options, std::uint64_t seed,
-                 bool with_baseline, bool stats_only)
+                 bool with_baseline, bool stats_only, bool with_gptp)
 {
     std::vector<SweepCell> out;
     out.reserve(specs.size());
-    for (const circuits::BenchmarkSpec& spec : specs)
-        out.push_back({spec, options, seed, with_baseline, stats_only});
+    for (const circuits::BenchmarkSpec& spec : specs) {
+        SweepCell cell;
+        cell.spec = spec;
+        cell.options = options;
+        cell.seed = seed;
+        cell.with_baseline = with_baseline;
+        cell.with_gptp = with_gptp;
+        cell.stats_only = stats_only;
+        out.push_back(std::move(cell));
+    }
     return out;
 }
 
 PreparedCell
-prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed)
+prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
+             const std::string& shape, hw::Topology topology)
 {
     if (spec.num_qubits <= 0 || spec.num_nodes <= 0)
         support::fatal("sweep cell %s: qubit and node counts must be "
@@ -85,10 +120,20 @@ prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed)
 
     PreparedCell p;
     p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
-    p.machine.num_nodes = spec.num_nodes;
-    p.machine.qubits_per_node =
-        (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes;
-    p.mapping = partition::oee_map(p.circuit, spec.num_nodes);
+    if (shape.empty()) {
+        p.machine = hw::Machine::homogeneous(
+            spec.num_nodes,
+            (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes,
+            topology);
+    } else {
+        std::vector<int> caps = hw::parse_shape(shape);
+        if (static_cast<int>(caps.size()) != spec.num_nodes)
+            support::fatal("sweep cell %s: shape \"%s\" has %zu nodes, "
+                           "spec says %d", spec.label().c_str(),
+                           shape.c_str(), caps.size(), spec.num_nodes);
+        p.machine = hw::Machine::from_capacities(std::move(caps), topology);
+    }
+    p.mapping = partition::oee_map(p.circuit, p.machine);
     p.mapping.validate(p.machine);
     return p;
 }
@@ -103,7 +148,8 @@ run_cell(const SweepCell& cell)
     row.cell = cell;
 
     support::inform("compiling %s...", cell.label().c_str());
-    const PreparedCell p = prepare_cell(cell.spec, cell.seed);
+    const PreparedCell p =
+        prepare_cell(cell.spec, cell.seed, cell.shape, cell.topology);
 
     row.stats = p.circuit.stats();
     row.remote_cx = p.mapping.count_remote(p.circuit);
@@ -124,6 +170,13 @@ run_cell(const SweepCell& cell)
         const pass::CompileResult ferrari =
             baseline::compile_ferrari(p.circuit, p.mapping, p.machine);
         row.factors = baseline::relative_factors(ferrari, compiled);
+    }
+
+    if (cell.with_gptp) {
+        const baseline::GptpResult gp =
+            baseline::compile_gptp(p.circuit, p.mapping, p.machine);
+        row.gptp_factors = baseline::relative_factors(
+            gp.total_comms, gp.makespan, compiled);
     }
 
     row.ok = true;
@@ -160,16 +213,18 @@ support::CsvWriter
 sweep_csv(const std::vector<SweepRow>& rows)
 {
     support::CsvWriter csv(
-        {"name", "options", "qubits", "nodes", "ok", "error", "gates", "cx",
-         "rem_cx", "blocks", "tot_comm", "tp_comm", "cat_comm",
-         "peak_rem_cx", "makespan", "epr_pairs", "improv_factor",
-         "lat_dec_factor"});
+        {"name", "options", "qubits", "nodes", "topology", "shape", "ok",
+         "error", "gates", "cx", "rem_cx", "blocks", "tot_comm", "tp_comm",
+         "cat_comm", "peak_rem_cx", "makespan", "epr_pairs", "hops_total",
+         "improv_factor", "lat_dec_factor"});
     for (const SweepRow& r : rows) {
         csv.start_row();
         csv.add(r.cell.spec.label());
         csv.add(r.cell.options.name);
         csv.add(static_cast<long long>(r.cell.spec.num_qubits));
         csv.add(static_cast<long long>(r.cell.spec.num_nodes));
+        csv.add(std::string(hw::topology_name(r.cell.topology)));
+        csv.add(r.cell.shape);
         csv.add(static_cast<long long>(r.ok ? 1 : 0));
         csv.add(r.error);
         csv.add(static_cast<long long>(r.stats.total_gates));
@@ -182,6 +237,7 @@ sweep_csv(const std::vector<SweepRow>& rows)
         csv.add(r.metrics.peak_rem_cx);
         csv.add(r.schedule.makespan);
         csv.add(static_cast<long long>(r.schedule.epr_pairs));
+        csv.add(static_cast<long long>(r.schedule.hops_total));
         csv.add(r.factors ? r.factors->improv_factor : 0.0);
         csv.add(r.factors ? r.factors->lat_dec_factor : 0.0);
     }

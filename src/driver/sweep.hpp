@@ -44,12 +44,24 @@ struct SweepCell
     circuits::BenchmarkSpec spec{};
     OptionSet options{};
     std::uint64_t seed = 2022;
+    /**
+     * Machine-shape spec ("4x10,2x30", see hw::parse_shape); empty means
+     * the classic homogeneous machine with spec.num_nodes nodes of
+     * ceil(qubits/nodes) data qubits each. When set, its node count must
+     * equal spec.num_nodes.
+     */
+    std::string shape;
+    /** Quantum-link topology of the machine. */
+    hw::Topology topology = hw::Topology::AllToAll;
     /** Also run the Ferrari per-CX baseline and record relative factors. */
     bool with_baseline = false;
+    /** Also run the GP-TP baseline (Fig. 16) and record its factors. */
+    bool with_gptp = false;
     /** Only prepare and count (Table 2 columns); skip pass::compile. */
     bool stats_only = false;
 
-    /** "QFT-100-10/default"-style row label. */
+    /** "QFT-100-10/default"-style row label; non-default shapes and
+     * topologies append "@shape" / "+topology". */
     std::string label() const;
 };
 
@@ -59,6 +71,14 @@ struct SweepGrid
     std::vector<circuits::Family> families;
     std::vector<int> qubit_counts;
     std::vector<int> node_counts;
+    /**
+     * Machine-shape axis. When non-empty it replaces node_counts: each
+     * entry is a hw::parse_shape spec and the cell's node count is the
+     * shape's node count.
+     */
+    std::vector<std::string> shapes;
+    /** Link-topology axis (between the machine and option-set axes). */
+    std::vector<hw::Topology> topologies{hw::Topology::AllToAll};
     std::vector<OptionSet> option_sets{OptionSet{}};
     std::uint64_t seed = 2022;
     bool with_baseline = false;
@@ -72,7 +92,8 @@ struct SweepGrid
 std::vector<SweepCell> cells_from_specs(
     const std::vector<circuits::BenchmarkSpec>& specs,
     const OptionSet& options = {}, std::uint64_t seed = 2022,
-    bool with_baseline = false, bool stats_only = false);
+    bool with_baseline = false, bool stats_only = false,
+    bool with_gptp = false);
 
 /** A prepared instance: decomposed circuit, derived machine, OEE map. */
 struct PreparedCell
@@ -85,10 +106,14 @@ struct PreparedCell
 /**
  * The shared preparation recipe (also used by the bench harness):
  * generate + decompose the circuit, derive the machine (ceil-divided
- * qubits per node), map with OEE, validate.
+ * qubits per node, or the explicit @p shape with per-node capacities),
+ * build the topology's routing table, map with capacity-aware OEE,
+ * validate.
  */
 PreparedCell prepare_cell(const circuits::BenchmarkSpec& spec,
-                          std::uint64_t seed = 2022);
+                          std::uint64_t seed = 2022,
+                          const std::string& shape = {},
+                          hw::Topology topology = hw::Topology::AllToAll);
 
 /** Metrics row for one compiled cell (Table 2 + Table 3 columns). */
 struct SweepRow
@@ -103,6 +128,8 @@ struct SweepRow
     pass::ScheduleResult schedule{};///< latency simulation outcome
     /** Ferrari-relative factors, when cell.with_baseline. */
     std::optional<baseline::RelativeFactors> factors;
+    /** GP-TP-relative factors, when cell.with_gptp (Fig. 16). */
+    std::optional<baseline::RelativeFactors> gptp_factors;
 
     /** Wall-clock compile time. Timing is reported by the CLI but kept
      * out of sweep_csv() so CSV output stays run-to-run deterministic. */

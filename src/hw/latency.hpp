@@ -54,6 +54,31 @@ struct LatencyModel
         return t_1q + t_meas + t_cbit + t_1q;
     }
 
+    /**
+     * One entanglement-swap step at an intermediate router node: Bell
+     * measurement outcome relayed classically, then a Pauli correction.
+     */
+    double
+    t_swap_correct() const
+    {
+        return t_meas + t_cbit + t_1q;
+    }
+
+    /**
+     * EPR preparation between nodes @p hops links apart, via entanglement
+     * swapping: k elementary pair preparations plus a swap correction at
+     * each of the k-1 intermediate nodes. Exactly t_epr at one hop, so
+     * all-to-all machines reproduce the paper's Table 1 numbers; strictly
+     * increasing in the hop count.
+     */
+    double
+    t_epr_hops(int hops) const
+    {
+        if (hops <= 1)
+            return t_epr;
+        return hops * t_epr + (hops - 1) * t_swap_correct();
+    }
+
     /** Duration of a gate acting through the comm fabric or locally. */
     double gate_time(int num_qubits) const
     {

@@ -1,10 +1,102 @@
 #include "hw/machine.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "support/log.hpp"
 
 namespace autocomm::hw {
+
+Machine
+Machine::homogeneous(int nodes, int per, Topology t)
+{
+    Machine m;
+    m.num_nodes = nodes;
+    m.qubits_per_node = per;
+    m.topology = t;
+    m.validate_shape();
+    m.build_routing();
+    return m;
+}
+
+Machine
+Machine::from_capacities(std::vector<int> caps, Topology t)
+{
+    Machine m;
+    m.num_nodes = static_cast<int>(caps.size());
+    m.qubits_per_node =
+        caps.empty() ? 0 : *std::max_element(caps.begin(), caps.end());
+    m.node_capacities = std::move(caps);
+    m.topology = t;
+    m.validate_shape();
+    m.build_routing();
+    return m;
+}
+
+int
+Machine::capacity() const
+{
+    if (node_capacities.empty())
+        return num_nodes * qubits_per_node;
+    return std::accumulate(node_capacities.begin(), node_capacities.end(),
+                           0);
+}
+
+std::vector<int>
+Machine::capacities() const
+{
+    if (!node_capacities.empty())
+        return node_capacities;
+    return std::vector<int>(static_cast<std::size_t>(num_nodes),
+                            qubits_per_node);
+}
+
+void
+Machine::build_routing(int grid_rows)
+{
+    // Drop any stale table first so validate_shape judges the new shape,
+    // not a leftover from a previous node count.
+    routing = RoutingTable{};
+    validate_shape();
+    if (topology != Topology::AllToAll)
+        routing = RoutingTable::build(topology, num_nodes, grid_rows);
+    // All-to-all keeps the empty table: the fallback is exact and keeps
+    // default-shaped machines cheap to copy.
+}
+
+void
+Machine::validate_shape() const
+{
+    if (num_nodes <= 0)
+        support::fatal("Machine: num_nodes must be positive");
+    if (node_capacities.empty()) {
+        if (qubits_per_node <= 0)
+            support::fatal("Machine: qubits_per_node must be positive");
+    } else {
+        if (static_cast<int>(node_capacities.size()) != num_nodes)
+            support::fatal("Machine: %zu node capacities for %d nodes",
+                           node_capacities.size(), num_nodes);
+        for (int cap : node_capacities)
+            if (cap <= 0)
+                support::fatal("Machine: node capacities must be positive");
+    }
+    if (!routing.empty() && routing.num_nodes() != num_nodes)
+        support::fatal("Machine: routing table covers %d nodes, machine "
+                       "has %d", routing.num_nodes(), num_nodes);
+}
+
+void
+Machine::validate_routing() const
+{
+    if (topology == Topology::AllToAll)
+        return; // the empty-table fallback is exact here
+    if (routing.empty() || routing.num_nodes() != num_nodes)
+        support::fatal("Machine: topology %s declared but its routing "
+                       "table was not built for %d nodes; use "
+                       "Machine::homogeneous/from_capacities or call "
+                       "build_routing()",
+                       topology_name(topology), num_nodes);
+}
 
 QubitMapping::QubitMapping(std::vector<NodeId> qubit_node)
     : qubit_node_(std::move(qubit_node))
@@ -77,11 +169,11 @@ QubitMapping::validate(const Machine& m) const
     for (NodeId n : qubit_node_)
         ++load[static_cast<std::size_t>(n)];
     for (int n = 0; n < m.num_nodes; ++n)
-        if (load[static_cast<std::size_t>(n)] > m.qubits_per_node)
+        if (load[static_cast<std::size_t>(n)] > m.capacity_of(n))
             support::fatal("QubitMapping: node %d holds %d qubits, capacity "
                            "%d",
                            n, load[static_cast<std::size_t>(n)],
-                           m.qubits_per_node);
+                           m.capacity_of(n));
 }
 
 } // namespace autocomm::hw

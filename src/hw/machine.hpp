@@ -1,9 +1,15 @@
 /**
  * @file
- * Model of a distributed quantum machine: `num_nodes` quantum devices, each
- * with `qubits_per_node` data qubits and (per the paper's near-term
- * assumption, §3) two communication qubits. Quantum communication can be
- * established between any pair of nodes (data-center all-to-all model).
+ * Model of a distributed quantum machine: `num_nodes` quantum devices,
+ * each with a data-qubit capacity and (per the paper's near-term
+ * assumption, §3) two communication qubits.
+ *
+ * The paper's machine is homogeneous (every node holds `qubits_per_node`
+ * data qubits) with all-to-all quantum links; that remains the default
+ * shape. A machine may instead declare per-node capacities
+ * (`node_capacities`) and a link topology whose precomputed routing table
+ * scales EPR-preparation latency with hop distance (entanglement
+ * swapping; see LatencyModel::t_epr_hops).
  *
  * A QubitMapping assigns each logical program qubit to a node; it is
  * produced by the partitioning substrate (src/partition) and consumed by
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "hw/latency.hpp"
+#include "hw/topology.hpp"
 #include "qir/circuit.hpp"
 #include "qir/types.hpp"
 
@@ -24,12 +31,78 @@ namespace autocomm::hw {
 struct Machine
 {
     int num_nodes = 1;
+    /** Data-qubit capacity of every node when node_capacities is empty. */
     int qubits_per_node = 1;
     int comm_qubits_per_node = 2; ///< Paper's near-term assumption.
     LatencyModel latency{};
 
+    /** Link topology between nodes (informational; hops() consults the
+     * routing table, which build_routing() derives from this). */
+    Topology topology = Topology::AllToAll;
+
+    /**
+     * Per-node data-qubit capacities; empty means homogeneous
+     * (qubits_per_node everywhere). When non-empty its size must equal
+     * num_nodes.
+     */
+    std::vector<int> node_capacities;
+
+    /**
+     * All-pairs hop distances; empty means all-to-all (every remote pair
+     * one hop), the paper's model and the aggregate-init default.
+     */
+    RoutingTable routing;
+
+    /** Homogeneous machine of @p nodes x @p per data qubits. */
+    static Machine homogeneous(int nodes, int per,
+                               Topology t = Topology::AllToAll);
+
+    /** Heterogeneous machine from explicit per-node capacities. */
+    static Machine from_capacities(std::vector<int> caps,
+                                   Topology t = Topology::AllToAll);
+
+    /** Data-qubit capacity of @p node. */
+    int capacity_of(NodeId node) const
+    {
+        return node_capacities.empty()
+                   ? qubits_per_node
+                   : node_capacities[static_cast<std::size_t>(node)];
+    }
+
     /** Total data-qubit capacity. */
-    int capacity() const { return num_nodes * qubits_per_node; }
+    int capacity() const;
+
+    /** Materialized per-node capacities (size num_nodes). */
+    std::vector<int> capacities() const;
+
+    /** Hop distance between nodes (0 on the diagonal, 1 when routing is
+     * the all-to-all fallback). */
+    int hops(NodeId a, NodeId b) const { return routing.hops(a, b); }
+
+    /** EPR-preparation latency between two nodes, hop-scaled. */
+    double epr_latency(NodeId a, NodeId b) const
+    {
+        return latency.t_epr_hops(hops(a, b));
+    }
+
+    /**
+     * (Re)build the routing table from `topology` and `num_nodes`. The
+     * all-to-all table is left empty (the fallback is exact and keeps
+     * default-shaped machines trivially copyable-cheap).
+     */
+    void build_routing(int grid_rows = 0);
+
+    /** Throw support::UserError unless the shape is self-consistent. */
+    void validate_shape() const;
+
+    /**
+     * Throw support::UserError when a non-all-to-all topology is declared
+     * but the routing table was never built (or covers the wrong node
+     * count) — the empty-table fallback would silently charge all-to-all
+     * hop counts. Use the factories or call build_routing() after
+     * aggregate-initializing `topology`.
+     */
+    void validate_routing() const;
 };
 
 /** Assignment of logical qubits to machine nodes. */
@@ -66,8 +139,9 @@ class QubitMapping
     std::size_t count_remote(const qir::Circuit& c) const;
 
     /**
-     * Validate against @p m: every node's qubit count must fit
-     * m.qubits_per_node; throws support::UserError otherwise.
+     * Validate against @p m: every node's qubit count must fit that
+     * node's declared capacity (m.capacity_of); throws support::UserError
+     * otherwise.
      */
     void validate(const Machine& m) const;
 

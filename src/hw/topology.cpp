@@ -1,0 +1,214 @@
+#include "hw/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+
+#include "support/log.hpp"
+
+namespace autocomm::hw {
+
+const char*
+topology_name(Topology t)
+{
+    switch (t) {
+      case Topology::AllToAll: return "all_to_all";
+      case Topology::Ring: return "ring";
+      case Topology::Grid: return "grid";
+      case Topology::Star: return "star";
+    }
+    return "?";
+}
+
+std::optional<Topology>
+parse_topology(const std::string& name)
+{
+    const std::string lower = support::to_lower(name);
+    for (Topology t : all_topologies())
+        if (lower == topology_name(t))
+            return t;
+    // Common aliases.
+    if (lower == "alltoall" || lower == "all-to-all" || lower == "full")
+        return Topology::AllToAll;
+    if (lower == "mesh")
+        return Topology::Grid;
+    return std::nullopt;
+}
+
+std::vector<Topology>
+all_topologies()
+{
+    return {Topology::AllToAll, Topology::Ring, Topology::Grid,
+            Topology::Star};
+}
+
+int
+grid_rows_for(int num_nodes)
+{
+    if (num_nodes <= 0)
+        support::fatal("grid_rows_for: num_nodes must be positive");
+    return std::max(1, static_cast<int>(
+                           std::sqrt(static_cast<double>(num_nodes))));
+}
+
+namespace {
+
+std::vector<std::vector<NodeId>>
+adjacency(Topology t, int n, int grid_rows)
+{
+    std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+    auto link = [&](int a, int b) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[static_cast<std::size_t>(b)].push_back(a);
+    };
+    switch (t) {
+      case Topology::AllToAll:
+        for (int a = 0; a < n; ++a)
+            for (int b = a + 1; b < n; ++b)
+                link(a, b);
+        break;
+      case Topology::Ring:
+        // n == 2 is a single link, not a double edge.
+        for (int a = 0; a + 1 < n; ++a)
+            link(a, a + 1);
+        if (n > 2)
+            link(n - 1, 0);
+        break;
+      case Topology::Grid: {
+        const int rows = grid_rows > 0 ? grid_rows : grid_rows_for(n);
+        const int cols = (n + rows - 1) / rows;
+        for (int a = 0; a < n; ++a) {
+            if ((a % cols) + 1 < cols && a + 1 < n)
+                link(a, a + 1); // right neighbor, same row
+            if (a + cols < n)
+                link(a, a + cols); // down neighbor
+        }
+        break;
+      }
+      case Topology::Star:
+        for (int leaf = 1; leaf < n; ++leaf)
+            link(0, leaf);
+        break;
+    }
+    return adj;
+}
+
+} // namespace
+
+RoutingTable
+RoutingTable::build(Topology t, int num_nodes, int grid_rows)
+{
+    if (num_nodes <= 0)
+        support::fatal("RoutingTable: num_nodes must be positive");
+
+    RoutingTable table;
+    table.num_nodes_ = num_nodes;
+    table.hops_.assign(static_cast<std::size_t>(num_nodes) *
+                           static_cast<std::size_t>(num_nodes),
+                       -1);
+
+    const auto adj = adjacency(t, num_nodes, grid_rows);
+    const auto at = [&](NodeId a, NodeId b) -> int& {
+        return table.hops_[static_cast<std::size_t>(a) *
+                               static_cast<std::size_t>(num_nodes) +
+                           static_cast<std::size_t>(b)];
+    };
+
+    // BFS from every source: node counts are machine sizes (tens), so the
+    // O(n * (n + edges)) all-pairs sweep is negligible.
+    for (NodeId src = 0; src < num_nodes; ++src) {
+        at(src, src) = 0;
+        std::deque<NodeId> frontier{src};
+        while (!frontier.empty()) {
+            const NodeId u = frontier.front();
+            frontier.pop_front();
+            for (NodeId v : adj[static_cast<std::size_t>(u)]) {
+                if (at(src, v) >= 0)
+                    continue;
+                at(src, v) = at(src, u) + 1;
+                frontier.push_back(v);
+            }
+        }
+        for (NodeId dst = 0; dst < num_nodes; ++dst)
+            if (at(src, dst) < 0)
+                support::fatal("RoutingTable: %s over %d nodes is "
+                               "disconnected (node %d unreachable from %d)",
+                               topology_name(t), num_nodes, dst, src);
+    }
+    return table;
+}
+
+int
+RoutingTable::max_hops() const
+{
+    if (empty())
+        return 1;
+    return *std::max_element(hops_.begin(), hops_.end());
+}
+
+std::vector<int>
+parse_shape(const std::string& spec)
+{
+    std::vector<int> caps;
+    std::size_t start = 0;
+    while (start < spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string group = spec.substr(start, comma - start);
+        if (group.empty())
+            support::fatal("parse_shape: empty group in \"%s\"",
+                           spec.c_str());
+
+        const std::size_t x = group.find('x');
+        long count = 1, cap = 0;
+        char* end = nullptr;
+        if (x == std::string::npos) {
+            cap = std::strtol(group.c_str(), &end, 10);
+            if (end == group.c_str() || *end != '\0')
+                support::fatal("parse_shape: \"%s\" is not a capacity",
+                               group.c_str());
+        } else {
+            const std::string c_str = group.substr(0, x);
+            const std::string q_str = group.substr(x + 1);
+            count = std::strtol(c_str.c_str(), &end, 10);
+            if (c_str.empty() || end == c_str.c_str() || *end != '\0')
+                support::fatal("parse_shape: \"%s\" has a bad node count",
+                               group.c_str());
+            cap = std::strtol(q_str.c_str(), &end, 10);
+            if (q_str.empty() || end == q_str.c_str() || *end != '\0')
+                support::fatal("parse_shape: \"%s\" has a bad capacity",
+                               group.c_str());
+        }
+        if (count <= 0 || cap <= 0 || count > 1'000'000 || cap > 1'000'000)
+            support::fatal("parse_shape: \"%s\": counts and capacities "
+                           "must be positive", group.c_str());
+        caps.insert(caps.end(), static_cast<std::size_t>(count),
+                    static_cast<int>(cap));
+        start = comma + 1;
+    }
+    if (caps.empty())
+        support::fatal("parse_shape: empty shape spec");
+    return caps;
+}
+
+std::string
+shape_label(const std::vector<int>& capacities)
+{
+    std::string out;
+    std::size_t i = 0;
+    while (i < capacities.size()) {
+        std::size_t run = 1;
+        while (i + run < capacities.size() &&
+               capacities[i + run] == capacities[i])
+            ++run;
+        if (!out.empty())
+            out += ',';
+        out += support::strprintf("%zux%d", run, capacities[i]);
+        i += run;
+    }
+    return out;
+}
+
+} // namespace autocomm::hw

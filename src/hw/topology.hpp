@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quantum-link topologies between machine nodes and the routing table the
+ * latency model consumes.
+ *
+ * The paper's machine model (§3) assumes all-to-all quantum links between
+ * nodes. This module generalizes that to a family of link topologies —
+ * all-to-all, ring, grid, star — and precomputes, per machine, the
+ * all-pairs hop-distance table (BFS shortest paths over the link graph).
+ * A k-hop EPR pair is established by entanglement swapping along the
+ * route: k elementary pair preparations plus a Bell measurement and
+ * Pauli correction at each of the k-1 intermediate nodes (see
+ * LatencyModel::t_epr_hops).
+ *
+ * Node shapes ("4x10,2x30": four nodes of 10 data qubits, then two of 30)
+ * are parsed here too, keeping every machine-geometry string format in
+ * one place.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qir/types.hpp"
+
+namespace autocomm::hw {
+
+/** Link topology between the nodes of a machine. */
+enum class Topology : std::uint8_t {
+    AllToAll, ///< Paper's data-center model: every pair is one hop.
+    Ring,     ///< Node i links to (i±1) mod n.
+    Grid,     ///< Near-square 2D mesh, row-major; ragged last row allowed.
+    Star,     ///< Node 0 is the switch hub; leaves are two hops apart.
+};
+
+/** Lowercase topology mnemonic ("all_to_all", "ring", "grid", "star"). */
+const char* topology_name(Topology t);
+
+/** Inverse of topology_name (case-insensitive); nullopt when unknown. */
+std::optional<Topology> parse_topology(const std::string& name);
+
+/** All topologies, all-to-all first. */
+std::vector<Topology> all_topologies();
+
+/**
+ * Rows of the near-square grid used for Topology::Grid with @p num_nodes
+ * nodes: floor(sqrt(n)), with ceil(n/rows) columns and a ragged last row.
+ */
+int grid_rows_for(int num_nodes);
+
+/**
+ * Precomputed all-pairs hop-distance table over a link topology.
+ *
+ * A default-constructed (empty) table is the all-to-all fallback: hop 0
+ * on the diagonal, hop 1 everywhere else, for any node count. This keeps
+ * `hw::Machine` aggregate-initializable with unchanged semantics.
+ */
+class RoutingTable
+{
+  public:
+    RoutingTable() = default;
+
+    /**
+     * Build the table for @p t over @p num_nodes nodes via BFS on the
+     * link graph. @p grid_rows overrides the grid row count (0 selects
+     * grid_rows_for); ignored by the other topologies.
+     */
+    static RoutingTable build(Topology t, int num_nodes, int grid_rows = 0);
+
+    bool empty() const { return num_nodes_ == 0; }
+    int num_nodes() const { return num_nodes_; }
+
+    /** Shortest-path hop count between @p a and @p b (symmetric). */
+    int hops(NodeId a, NodeId b) const
+    {
+        if (empty())
+            return a == b ? 0 : 1;
+        return hops_[static_cast<std::size_t>(a) *
+                         static_cast<std::size_t>(num_nodes_) +
+                     static_cast<std::size_t>(b)];
+    }
+
+    /** Largest entry of the table (diameter); 1 when empty. */
+    int max_hops() const;
+
+  private:
+    int num_nodes_ = 0;
+    std::vector<int> hops_;
+};
+
+/**
+ * Parse a machine-shape spec "4x10,2x30" (count x capacity groups, or
+ * bare capacities like "10,30,30") into the per-node data-qubit capacity
+ * vector {10,10,10,10,30,30}. Throws support::UserError on malformed
+ * specs or non-positive entries.
+ */
+std::vector<int> parse_shape(const std::string& spec);
+
+/** Re-compress a capacity vector into the canonical "4x10,2x30" form. */
+std::string shape_label(const std::vector<int>& capacities);
+
+} // namespace autocomm::hw

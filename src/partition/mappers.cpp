@@ -1,14 +1,61 @@
 #include "partition/mappers.hpp"
 
+#include <numeric>
+
 #include "support/log.hpp"
 #include "support/rng.hpp"
 
 namespace autocomm::partition {
 
+namespace {
+
+/** Shared guard: the shape must be non-empty and hold @p num_qubits. */
+void
+check_capacity(int num_qubits, const std::vector<int>& capacities)
+{
+    if (num_qubits < 0)
+        support::fatal("mapper: negative qubit count");
+    if (capacities.empty())
+        support::fatal("mapper: machine shape has no nodes");
+    const long total = std::accumulate(capacities.begin(), capacities.end(),
+                                       0L);
+    if (total < num_qubits)
+        support::fatal("machine capacity %ld cannot hold %d qubits "
+                       "(shape has %zu nodes); add nodes or enlarge them",
+                       total, num_qubits, capacities.size());
+}
+
+} // namespace
+
+std::vector<NodeId>
+capacity_fill(int num_qubits, const std::vector<int>& capacities)
+{
+    check_capacity(num_qubits, capacities);
+
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_qubits));
+    NodeId node = 0;
+    int used = 0;
+    for (int q = 0; q < num_qubits; ++q) {
+        while (used >= capacities[static_cast<std::size_t>(node)]) {
+            ++node;
+            used = 0;
+        }
+        assign[static_cast<std::size_t>(q)] = node;
+        ++used;
+    }
+    return assign;
+}
+
 hw::QubitMapping
 contiguous_map(int num_qubits, int num_nodes)
 {
     return hw::QubitMapping::contiguous(num_qubits, num_nodes);
+}
+
+hw::QubitMapping
+contiguous_map(int num_qubits, const hw::Machine& m)
+{
+    return hw::QubitMapping(capacity_fill(num_qubits, m.capacities()));
 }
 
 hw::QubitMapping
@@ -23,6 +70,26 @@ round_robin_map(int num_qubits, int num_nodes)
 }
 
 hw::QubitMapping
+round_robin_map(int num_qubits, const hw::Machine& m)
+{
+    const std::vector<int> caps = m.capacities();
+    check_capacity(num_qubits, caps);
+
+    std::vector<NodeId> assign(static_cast<std::size_t>(num_qubits));
+    std::vector<int> load(caps.size(), 0);
+    NodeId node = 0;
+    for (int q = 0; q < num_qubits; ++q) {
+        while (load[static_cast<std::size_t>(node)] >=
+               caps[static_cast<std::size_t>(node)])
+            node = (node + 1) % static_cast<NodeId>(caps.size());
+        assign[static_cast<std::size_t>(q)] = node;
+        ++load[static_cast<std::size_t>(node)];
+        node = (node + 1) % static_cast<NodeId>(caps.size());
+    }
+    return hw::QubitMapping(std::move(assign));
+}
+
+hw::QubitMapping
 random_map(int num_qubits, int num_nodes, std::uint64_t seed)
 {
     // Start from the balanced contiguous layout and shuffle it so every
@@ -31,6 +98,17 @@ random_map(int num_qubits, int num_nodes, std::uint64_t seed)
     const int per = (num_qubits + num_nodes - 1) / num_nodes;
     for (int q = 0; q < num_qubits; ++q)
         assign[static_cast<std::size_t>(q)] = q / per;
+    support::Rng rng(seed);
+    rng.shuffle(assign);
+    return hw::QubitMapping(std::move(assign));
+}
+
+hw::QubitMapping
+random_map(int num_qubits, const hw::Machine& m, std::uint64_t seed)
+{
+    // Capacity-contiguous fill, then shuffle: node loads are preserved,
+    // so no node can exceed its capacity.
+    std::vector<NodeId> assign = capacity_fill(num_qubits, m.capacities());
     support::Rng rng(seed);
     rng.shuffle(assign);
     return hw::QubitMapping(std::move(assign));

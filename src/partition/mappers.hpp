@@ -3,6 +3,12 @@
  * Simple qubit-to-node mapping strategies used as controls and for
  * sensitivity studies: contiguous blocks, round-robin striping, and a
  * seeded random balanced assignment.
+ *
+ * Each strategy has two forms: the classic homogeneous form over
+ * `num_nodes` equal nodes (qubits spread by ceil-division, matching the
+ * paper's machine) and a machine-shape form that honors per-node
+ * data-qubit capacities. The shape forms throw support::UserError when
+ * the machine's total capacity cannot hold the register.
  */
 #pragma once
 
@@ -14,11 +20,30 @@ namespace autocomm::partition {
 /** Qubit q -> node q / ceil(n/k): index-contiguous blocks. */
 hw::QubitMapping contiguous_map(int num_qubits, int num_nodes);
 
+/** Fill nodes in index order, each up to its declared capacity. */
+hw::QubitMapping contiguous_map(int num_qubits, const hw::Machine& m);
+
 /** Qubit q -> node q mod k: worst-case striping for local structure. */
 hw::QubitMapping round_robin_map(int num_qubits, int num_nodes);
+
+/** Cycle through the nodes, skipping nodes already at capacity. */
+hw::QubitMapping round_robin_map(int num_qubits, const hw::Machine& m);
 
 /** Balanced random assignment with a fixed seed. */
 hw::QubitMapping random_map(int num_qubits, int num_nodes,
                             std::uint64_t seed);
+
+/** Capacity-respecting random assignment with a fixed seed. */
+hw::QubitMapping random_map(int num_qubits, const hw::Machine& m,
+                            std::uint64_t seed);
+
+/**
+ * Shared helper: the capacity-contiguous fill (node 0 up to its capacity,
+ * then node 1, ...). Throws support::UserError when sum(capacities) <
+ * num_qubits. With equal capacities ceil(n/k) this reproduces the classic
+ * contiguous q / ceil(n/k) layout exactly.
+ */
+std::vector<NodeId> capacity_fill(int num_qubits,
+                                  const std::vector<int>& capacities);
 
 } // namespace autocomm::partition

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "partition/mappers.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::partition {
@@ -71,6 +72,15 @@ class ConnTable
     std::vector<long> conn_;
 };
 
+/**
+ * The KL-style exchange loop shared by the homogeneous and
+ * capacity-aware entry points. Exchanges swap two qubits' partitions, so
+ * whatever per-node loads @p part starts with are invariant.
+ */
+std::vector<NodeId>
+oee_refine(const InteractionGraph& g, std::vector<NodeId> part,
+           int num_nodes, const OeeOptions& opts);
+
 } // namespace
 
 std::vector<NodeId>
@@ -85,7 +95,24 @@ oee_partition(const InteractionGraph& g, int num_nodes,
     std::vector<NodeId> part(static_cast<std::size_t>(n));
     for (int q = 0; q < n; ++q)
         part[static_cast<std::size_t>(q)] = q / per;
+    return oee_refine(g, std::move(part), num_nodes, opts);
+}
 
+std::vector<NodeId>
+oee_partition(const InteractionGraph& g, const std::vector<int>& capacities,
+              const OeeOptions& opts)
+{
+    return oee_refine(g, capacity_fill(g.num_qubits(), capacities),
+                      static_cast<int>(capacities.size()), opts);
+}
+
+namespace {
+
+std::vector<NodeId>
+oee_refine(const InteractionGraph& g, std::vector<NodeId> part,
+           int num_nodes, const OeeOptions& opts)
+{
+    const int n = g.num_qubits();
     if (num_nodes == 1 || n <= 1)
         return part;
 
@@ -159,11 +186,20 @@ oee_partition(const InteractionGraph& g, int num_nodes,
     return part;
 }
 
+} // namespace
+
 hw::QubitMapping
 oee_map(const qir::Circuit& c, int num_nodes, const OeeOptions& opts)
 {
     const InteractionGraph g = InteractionGraph::from_circuit(c);
     return hw::QubitMapping(oee_partition(g, num_nodes, opts));
+}
+
+hw::QubitMapping
+oee_map(const qir::Circuit& c, const hw::Machine& m, const OeeOptions& opts)
+{
+    const InteractionGraph g = InteractionGraph::from_circuit(c);
+    return hw::QubitMapping(oee_partition(g, m.capacities(), opts));
 }
 
 } // namespace autocomm::partition

@@ -43,8 +43,24 @@ struct OeeOptions
 std::vector<NodeId> oee_partition(const InteractionGraph& g, int num_nodes,
                                   const OeeOptions& opts = {});
 
+/**
+ * Capacity-aware OEE: partition into parts sized by the per-node
+ * capacities. The initial assignment is the capacity-contiguous fill and
+ * the pairwise exchanges preserve every node's load, so no node ever
+ * exceeds its declared capacity. Throws support::UserError when
+ * sum(capacities) < |qubits|. With equal capacities ceil(n/k) this is
+ * exactly the homogeneous oee_partition above.
+ */
+std::vector<NodeId> oee_partition(const InteractionGraph& g,
+                                  const std::vector<int>& capacities,
+                                  const OeeOptions& opts = {});
+
 /** Convenience: run OEE on a circuit's interaction graph. */
 hw::QubitMapping oee_map(const qir::Circuit& c, int num_nodes,
+                         const OeeOptions& opts = {});
+
+/** Capacity-aware convenience over a machine shape. */
+hw::QubitMapping oee_map(const qir::Circuit& c, const hw::Machine& m,
                          const OeeOptions& opts = {});
 
 } // namespace autocomm::partition

@@ -68,16 +68,6 @@ emit_ccx(Circuit& out, QubitId c0, QubitId c1, QubitId t)
 
 namespace {
 
-/** Append one CCX, or its expansion, depending on @p expand. */
-void
-put_ccx(Circuit& out, QubitId c0, QubitId c1, QubitId t, bool expand)
-{
-    if (expand)
-        emit_ccx(out, c0, c1, t);
-    else
-        out.ccx(c0, c1, t);
-}
-
 /**
  * V-chain body shared by emit_mcx_vchain: one "half" of the network, i.e.
  * the ladder  CCX(c_{k-1}, a_{k-3}, t);  CCX(c_i, a_{i-2}, a_{i-1}) for

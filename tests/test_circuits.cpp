@@ -65,8 +65,9 @@ TEST(Qft, ApproximationDropsSmallRotations)
     opts.approx_cutoff = 2;
     const Circuit c = make_qft(8, opts);
     for (const auto& g : c)
-        if (g.kind == GateKind::CP)
+        if (g.kind == GateKind::CP) {
             EXPECT_LE(std::abs(g.qs[0] - g.qs[1]), 2);
+        }
 }
 
 TEST(Qft, DecomposesToCxBasis)
@@ -166,8 +167,9 @@ TEST(Qaoa, CostLayerIsDiagonal)
     const qir::CMatrix u = qir::circuit_unitary(make_qaoa(inst, opts));
     for (std::size_t r = 0; r < u.rows(); ++r)
         for (std::size_t cc = 0; cc < u.cols(); ++cc)
-            if (r != cc)
+            if (r != cc) {
                 EXPECT_NEAR(std::abs(u.at(r, cc)), 0.0, 1e-12);
+            }
 }
 
 // ---------------- RCA ----------------

@@ -201,8 +201,9 @@ TEST(Decompose, FullPassReachesCx1qBasis)
     const Circuit d = decompose(c);
     for (const Gate& g : d) {
         EXPECT_LE(static_cast<int>(g.num_qubits), 2);
-        if (g.num_qubits == 2)
+        if (g.num_qubits == 2) {
             EXPECT_EQ(g.kind, GateKind::CX) << g.to_string();
+        }
     }
     EXPECT_TRUE(circuits_equivalent(c, d));
 }

@@ -85,9 +85,10 @@ TEST(Gate, DiagonalGatesHaveDiagonalMatrices)
         const CMatrix m = sample_gate(k).matrix();
         for (std::size_t r = 0; r < m.rows(); ++r)
             for (std::size_t c = 0; c < m.cols(); ++c)
-                if (r != c)
+                if (r != c) {
                     EXPECT_NEAR(std::abs(m.at(r, c)), 0.0, 1e-12)
                         << gate_name(k);
+                }
     }
 }
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-metric regression suite: pins the exact communication counts,
+ * EPR consumption, and latency of the paper-suite families at the
+ * Table 2/3 grid points on the homogeneous all-to-all machine.
+ *
+ * The values were captured from the pipeline before the machine-shape
+ * generalization (per-node capacities + link topologies) landed, so this
+ * suite proves that refactor — and every future one — is metric-neutral
+ * on the paper's configuration. If a change legitimately alters the
+ * compiler's output, re-capture deliberately; never loosen a tolerance
+ * to make a diff pass.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/sweep.hpp"
+
+namespace {
+
+using namespace autocomm;
+using circuits::Family;
+
+struct GoldenRow
+{
+    Family family;
+    int num_qubits;
+    int num_nodes;
+    std::size_t total_gates;
+    std::size_t cx_gates;
+    std::size_t remote_cx;
+    std::size_t num_blocks;
+    std::size_t total_comms;
+    std::size_t tp_comms;
+    double peak_rem_cx;
+    std::size_t epr_pairs;
+    std::size_t teleports;
+    std::size_t fused_links;
+    double makespan;
+    double improv_factor; ///< vs the Ferrari per-CX Cat-Comm baseline
+};
+
+/** Captured at PR 2 from the pre-shape-refactor pipeline (seed 2022,
+ * default CompileOptions). */
+const GoldenRow kGolden[] = {
+    {Family::MCTR, 100, 10, 11400u, 4560u, 1216u, 556u, 708u, 304u, 8.0,
+     708u, 304u, 0u, 11665.0, 1.717514},
+    {Family::RCA, 100, 10, 1667u, 785u, 99u, 18u, 36u, 36u, 3.0,
+     36u, 36u, 0u, 825.1, 2.750000},
+    {Family::QFT, 100, 10, 24850u, 9900u, 9000u, 450u, 900u, 900u, 10.0,
+     900u, 900u, 0u, 14434.3, 10.000000},
+    {Family::BV, 100, 10, 267u, 66u, 57u, 9u, 9u, 0u, 8.0,
+     9u, 0u, 0u, 188.8, 6.333333},
+    {Family::QAOA, 100, 10, 6200u, 4000u, 3312u, 1035u, 1626u, 1182u, 14.0,
+     1598u, 1154u, 28u, 20460.9, 2.036900},
+    {Family::UCCSD, 8, 4, 6276u, 3520u, 1664u, 889u, 892u, 6u, 96.0,
+     892u, 6u, 0u, 14547.3, 1.865471},
+    {Family::UCCSD, 12, 6, 47430u, 30864u, 15072u, 9658u, 9664u, 12u, 447.5,
+     9664u, 12u, 0u, 129586.5, 1.559603},
+    {Family::UCCSD, 16, 8, 197128u, 140032u, 69120u, 48530u, 48542u, 24u,
+     591.5, 48542u, 24u, 0u, 592025.8, 1.423922},
+};
+
+TEST(MetricsGolden, PaperSuiteGridPointsAreMetricIdentical)
+{
+    std::vector<circuits::BenchmarkSpec> specs;
+    for (const GoldenRow& g : kGolden)
+        specs.push_back({g.family, g.num_qubits, g.num_nodes});
+
+    const std::vector<driver::SweepRow> rows = driver::run_sweep(
+        driver::cells_from_specs(specs, {}, 2022, /*with_baseline=*/true),
+        {});
+    ASSERT_EQ(rows.size(), std::size(kGolden));
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const GoldenRow& g = kGolden[i];
+        const driver::SweepRow& r = rows[i];
+        SCOPED_TRACE(r.cell.label());
+        ASSERT_TRUE(r.ok) << r.error;
+
+        EXPECT_EQ(r.stats.total_gates, g.total_gates);
+        EXPECT_EQ(r.stats.cx_gates, g.cx_gates);
+        EXPECT_EQ(r.remote_cx, g.remote_cx);
+        EXPECT_EQ(r.metrics.num_blocks, g.num_blocks);
+        EXPECT_EQ(r.metrics.total_comms, g.total_comms);
+        EXPECT_EQ(r.metrics.tp_comms, g.tp_comms);
+        EXPECT_EQ(r.metrics.cat_comms, g.total_comms - g.tp_comms);
+        EXPECT_NEAR(r.metrics.peak_rem_cx, g.peak_rem_cx, 1e-9);
+        EXPECT_EQ(r.schedule.epr_pairs, g.epr_pairs);
+        EXPECT_EQ(r.schedule.teleports, g.teleports);
+        EXPECT_EQ(r.schedule.fused_links, g.fused_links);
+        EXPECT_NEAR(r.schedule.makespan, g.makespan, 1e-5);
+        ASSERT_TRUE(r.factors.has_value());
+        EXPECT_NEAR(r.factors->improv_factor, g.improv_factor, 1e-5);
+
+        // All-to-all invariant: every EPR pair crosses exactly one hop.
+        EXPECT_EQ(r.schedule.hops_total, r.schedule.epr_pairs);
+    }
+}
+
+TEST(MetricsGolden, ExplicitHomogeneousShapeIsMetricIdentical)
+{
+    // "10x10" ring through the shape path must equal the implicit
+    // homogeneous QFT-100-10 gold on everything but topology effects —
+    // and with all_to_all it must be byte-for-byte the same.
+    driver::SweepCell implicit_cell;
+    implicit_cell.spec = {Family::QFT, 100, 10};
+    driver::SweepCell shaped = implicit_cell;
+    shaped.shape = "10x10";
+
+    const driver::SweepRow a = driver::run_cell(implicit_cell);
+    const driver::SweepRow b = driver::run_cell(shaped);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.metrics.total_comms, b.metrics.total_comms);
+    EXPECT_EQ(a.metrics.tp_comms, b.metrics.tp_comms);
+    EXPECT_EQ(a.schedule.epr_pairs, b.schedule.epr_pairs);
+    EXPECT_DOUBLE_EQ(a.schedule.makespan, b.schedule.makespan);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property tests for heterogeneous machine shapes: every mapper
+ * (contiguous / round-robin / random) and the OEE partitioner must
+ * produce mappings that validate against randomized per-node capacities,
+ * no node may exceed its declared capacity, and insufficient total
+ * capacity must raise support::UserError with an actionable message.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "circuits/qft.hpp"
+#include "partition/mappers.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace autocomm;
+using namespace autocomm::partition;
+using autocomm::support::UserError;
+
+/** A seeded random shape: 2..6 nodes with capacities 1..12. */
+std::vector<int>
+random_shape(support::Rng& rng)
+{
+    const int nodes = static_cast<int>(rng.next_range(2, 6));
+    std::vector<int> caps(static_cast<std::size_t>(nodes));
+    for (int& c : caps)
+        c = static_cast<int>(rng.next_range(1, 12));
+    return caps;
+}
+
+/** Per-node qubit loads of a mapping over @p num_nodes nodes. */
+std::vector<int>
+loads_of(const hw::QubitMapping& map, int num_nodes)
+{
+    std::vector<int> loads(static_cast<std::size_t>(num_nodes), 0);
+    for (NodeId n : map.assignment())
+        ++loads[static_cast<std::size_t>(n)];
+    return loads;
+}
+
+/** A random 2-qubit-gate circuit for interaction-graph variety. */
+qir::Circuit
+random_circuit(int num_qubits, support::Rng& rng)
+{
+    qir::Circuit c(num_qubits);
+    const int gates = 4 * num_qubits;
+    for (int i = 0; i < gates; ++i) {
+        const auto a = static_cast<QubitId>(
+            rng.next_below(static_cast<std::uint64_t>(num_qubits)));
+        auto b = static_cast<QubitId>(
+            rng.next_below(static_cast<std::uint64_t>(num_qubits)));
+        if (a == b)
+            b = (b + 1) % num_qubits;
+        c.cx(a, b);
+    }
+    return c;
+}
+
+TEST(ShapeProperties, MappersRespectRandomizedCapacities)
+{
+    support::Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::vector<int> caps = random_shape(rng);
+        const int total = std::accumulate(caps.begin(), caps.end(), 0);
+        const int qubits = static_cast<int>(rng.next_range(1, total));
+        const hw::Machine m = hw::Machine::from_capacities(caps);
+        SCOPED_TRACE(hw::shape_label(caps) + " qubits=" +
+                     std::to_string(qubits));
+
+        const hw::QubitMapping maps[] = {
+            contiguous_map(qubits, m),
+            round_robin_map(qubits, m),
+            random_map(qubits, m, 1000 + static_cast<std::uint64_t>(trial)),
+        };
+        for (const hw::QubitMapping& map : maps) {
+            EXPECT_NO_THROW(map.validate(m));
+            EXPECT_EQ(map.num_qubits(), qubits);
+            const std::vector<int> loads = loads_of(map, m.num_nodes);
+            for (int n = 0; n < m.num_nodes; ++n)
+                EXPECT_LE(loads[static_cast<std::size_t>(n)],
+                          m.capacity_of(n));
+        }
+    }
+}
+
+TEST(ShapeProperties, OeeRespectsRandomizedCapacities)
+{
+    support::Rng rng(11);
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::vector<int> caps = random_shape(rng);
+        const int total = std::accumulate(caps.begin(), caps.end(), 0);
+        const int qubits =
+            static_cast<int>(rng.next_range(2, std::max(2, total)));
+        const hw::Machine m = hw::Machine::from_capacities(caps);
+        SCOPED_TRACE(hw::shape_label(caps) + " qubits=" +
+                     std::to_string(qubits));
+
+        const qir::Circuit c = random_circuit(qubits, rng);
+        const hw::QubitMapping map = oee_map(c, m);
+        EXPECT_NO_THROW(map.validate(m));
+        const std::vector<int> loads = loads_of(map, m.num_nodes);
+        for (int n = 0; n < m.num_nodes; ++n)
+            EXPECT_LE(loads[static_cast<std::size_t>(n)], m.capacity_of(n));
+
+        // OEE only exchanges pairs, so per-node loads must equal the
+        // capacity-contiguous fill it starts from.
+        const std::vector<NodeId> fill = capacity_fill(qubits, caps);
+        std::vector<int> fill_loads(caps.size(), 0);
+        for (NodeId n : fill)
+            ++fill_loads[static_cast<std::size_t>(n)];
+        EXPECT_EQ(loads, fill_loads);
+    }
+}
+
+TEST(ShapeProperties, OeeOnHomogeneousShapeMatchesClassicOee)
+{
+    const qir::Circuit qft = qir::decompose(circuits::make_qft(24));
+    const hw::Machine m = hw::Machine::homogeneous(4, 6);
+    EXPECT_EQ(oee_map(qft, m).assignment(),
+              oee_map(qft, 4).assignment());
+}
+
+TEST(ShapeProperties, InsufficientCapacityThrowsUserError)
+{
+    const hw::Machine tiny = hw::Machine::from_capacities({2, 3});
+    const qir::Circuit c = qir::decompose(circuits::make_qft(8));
+
+    EXPECT_THROW(oee_map(c, tiny), UserError);
+    EXPECT_THROW(contiguous_map(8, tiny), UserError);
+    EXPECT_THROW(round_robin_map(8, tiny), UserError);
+    EXPECT_THROW(random_map(8, tiny, 1), UserError);
+
+    try {
+        oee_map(c, tiny);
+        FAIL() << "expected UserError";
+    } catch (const UserError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("capacity"), std::string::npos) << what;
+        EXPECT_NE(what.find("8 qubits"), std::string::npos) << what;
+    }
+}
+
+TEST(ShapeProperties, CapacityFillMatchesCeilDivisionWhenHomogeneous)
+{
+    // caps = ceil(10/4) = 3 each: fill must reproduce q / 3 exactly, the
+    // invariant the metric-neutrality of the shape refactor rests on.
+    const std::vector<NodeId> fill = capacity_fill(10, {3, 3, 3, 3});
+    for (int q = 0; q < 10; ++q)
+        EXPECT_EQ(fill[static_cast<std::size_t>(q)], q / 3);
+}
+
+TEST(ShapeProperties, ValidateRejectsPerNodeOverflow)
+{
+    // Node 1 only holds 1 qubit; a mapping placing 2 there must throw,
+    // even though total capacity (5) fits all 4 qubits.
+    const hw::Machine m = hw::Machine::from_capacities({4, 1});
+    const hw::QubitMapping bad(std::vector<NodeId>{0, 0, 1, 1});
+    EXPECT_THROW(bad.validate(m), UserError);
+    const hw::QubitMapping good(std::vector<NodeId>{0, 0, 0, 1});
+    EXPECT_NO_THROW(good.validate(m));
+}
+
+} // namespace

@@ -161,4 +161,145 @@ TEST(Sweep, CsvHasOneLinePerCellPlusHeader)
     EXPECT_EQ(lines, cells.size() + 1);
 }
 
+TEST(SweepGrid, TopologyAxisExpandsBetweenNodesAndOptions)
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {8};
+    grid.node_counts = {2, 4};
+    grid.topologies = {hw::Topology::AllToAll, hw::Topology::Ring};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].label(), "QFT-8-2/default");
+    EXPECT_EQ(cells[1].label(), "QFT-8-2+ring/default");
+    EXPECT_EQ(cells[2].label(), "QFT-8-4/default");
+    EXPECT_EQ(cells[3].label(), "QFT-8-4+ring/default");
+}
+
+TEST(SweepGrid, ShapeAxisReplacesNodeCountsAndFixesNodeCount)
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::BV};
+    grid.qubit_counts = {16};
+    grid.node_counts = {999}; // must be ignored in favor of shapes
+    grid.shapes = {"2x8", "1x4,2x8"};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].spec.num_nodes, 2);
+    EXPECT_EQ(cells[0].label(), "BV-16-2@2x8/default");
+    EXPECT_EQ(cells[1].spec.num_nodes, 3);
+    EXPECT_EQ(cells[1].label(), "BV-16-3@1x4,2x8/default");
+}
+
+TEST(Sweep, HopsTotalEqualsEprPairsOnAllToAll)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 16, 4};
+    const SweepRow r = driver::run_cell(cell);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GT(r.schedule.epr_pairs, 0u);
+    EXPECT_EQ(r.schedule.hops_total, r.schedule.epr_pairs);
+}
+
+TEST(Sweep, RoutedTopologiesAreStrictlySlowerThanAllToAll)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 16, 4};
+    const SweepRow flat = driver::run_cell(cell);
+    ASSERT_TRUE(flat.ok);
+
+    for (hw::Topology topo : {hw::Topology::Ring, hw::Topology::Grid,
+                              hw::Topology::Star}) {
+        SweepCell routed = cell;
+        routed.topology = topo;
+        const SweepRow r = driver::run_cell(routed);
+        SCOPED_TRACE(hw::topology_name(topo));
+        ASSERT_TRUE(r.ok) << r.error;
+        // Same compilation (aggregation is topology-blind today)...
+        EXPECT_EQ(r.metrics.total_comms, flat.metrics.total_comms);
+        EXPECT_EQ(r.schedule.epr_pairs, flat.schedule.epr_pairs);
+        // ...but multi-hop EPR routing strictly lengthens the schedule.
+        EXPECT_GT(r.schedule.hops_total, r.schedule.epr_pairs);
+        EXPECT_GT(r.schedule.makespan, flat.schedule.makespan);
+    }
+}
+
+TEST(Sweep, HeterogeneousShapeCellCompilesAndValidates)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::BV, 40, 4};
+    cell.shape = "2x8,2x30";
+    cell.topology = hw::Topology::Ring;
+    const SweepRow r = driver::run_cell(cell);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.stats.total_gates, 0u);
+    EXPECT_EQ(r.cell.label(), "BV-40-4@2x8,2x30+ring/default");
+}
+
+TEST(Sweep, InsufficientShapeCapacityIsRecordedAsErrorRow)
+{
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, 16, 2};
+    bad.shape = "2x4"; // 8 < 16 qubits
+    const std::vector<SweepRow> rows = driver::run_sweep({bad}, {});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].ok);
+    EXPECT_NE(rows[0].error.find("capacity"), std::string::npos)
+        << rows[0].error;
+}
+
+TEST(Sweep, CsvReportsTopologyShapeAndHops)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 12, 3};
+    cell.shape = "3x4";
+    cell.topology = hw::Topology::Ring;
+    const std::string csv =
+        driver::sweep_csv(driver::run_sweep({cell}, {})).to_string();
+    EXPECT_NE(csv.find("topology"), std::string::npos);
+    EXPECT_NE(csv.find("shape"), std::string::npos);
+    EXPECT_NE(csv.find("hops_total"), std::string::npos);
+    EXPECT_NE(csv.find("ring"), std::string::npos);
+    // The shape field contains a comma only when the spec does; "3x4"
+    // must appear unquoted.
+    EXPECT_NE(csv.find("3x4"), std::string::npos);
+}
+
+TEST(Sweep, TopologyShapeGridIsDeterministicAcrossThreads)
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::BV};
+    grid.qubit_counts = {12};
+    grid.shapes = {"3x4", "1x6,2x3"};
+    grid.topologies = {hw::Topology::AllToAll, hw::Topology::Ring,
+                       hw::Topology::Star};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 2u * 2u * 3u);
+
+    SweepOptions serial;
+    serial.num_threads = 1;
+    SweepOptions parallel;
+    parallel.num_threads = 4;
+    const std::string csv1 =
+        driver::sweep_csv(driver::run_sweep(cells, serial)).to_string();
+    const std::string csv4 =
+        driver::sweep_csv(driver::run_sweep(cells, parallel)).to_string();
+    EXPECT_EQ(csv1, csv4);
+}
+
+TEST(Sweep, GptpBaselineFactorsPopulateOnRequest)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 12, 2};
+    cell.with_gptp = true;
+    const SweepRow r = driver::run_cell(cell);
+    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(r.gptp_factors.has_value());
+    EXPECT_GT(r.gptp_factors->improv_factor, 0.0);
+    EXPECT_GT(r.gptp_factors->lat_dec_factor, 0.0);
+    SweepCell plain = cell;
+    plain.with_gptp = false;
+    EXPECT_FALSE(driver::run_cell(plain).gptp_factors.has_value());
+}
+
 } // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for link topologies: hand-computed hop-distance tables for
+ * ring/grid/star, the all-to-all fallback, routing-table symmetry, the
+ * hop-scaled EPR latency, and the machine-shape spec parser.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "hw/topology.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm::hw;
+using autocomm::NodeId;
+using autocomm::support::UserError;
+
+TEST(Topology, NamesRoundTripThroughParse)
+{
+    for (Topology t : all_topologies()) {
+        auto parsed = parse_topology(topology_name(t));
+        ASSERT_TRUE(parsed.has_value()) << topology_name(t);
+        EXPECT_EQ(*parsed, t);
+    }
+    EXPECT_EQ(parse_topology("RING"), Topology::Ring); // case-insensitive
+    EXPECT_EQ(parse_topology("mesh"), Topology::Grid);
+    EXPECT_EQ(parse_topology("all-to-all"), Topology::AllToAll);
+    EXPECT_FALSE(parse_topology("torus").has_value());
+}
+
+TEST(Topology, AllToAllIsEverywhereHopOne)
+{
+    const RoutingTable t = RoutingTable::build(Topology::AllToAll, 6);
+    for (NodeId a = 0; a < 6; ++a)
+        for (NodeId b = 0; b < 6; ++b)
+            EXPECT_EQ(t.hops(a, b), a == b ? 0 : 1);
+    EXPECT_EQ(t.max_hops(), 1);
+}
+
+TEST(Topology, EmptyTableIsTheAllToAllFallback)
+{
+    const RoutingTable empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.hops(0, 0), 0);
+    EXPECT_EQ(empty.hops(3, 7), 1);
+    EXPECT_EQ(empty.max_hops(), 1);
+}
+
+TEST(Topology, RingMatchesHandComputedDistances)
+{
+    // 0-1-2-3-4-0: distance is min(|a-b|, 5-|a-b|).
+    const RoutingTable t = RoutingTable::build(Topology::Ring, 5);
+    EXPECT_EQ(t.hops(0, 1), 1);
+    EXPECT_EQ(t.hops(0, 2), 2);
+    EXPECT_EQ(t.hops(0, 3), 2);
+    EXPECT_EQ(t.hops(0, 4), 1);
+    EXPECT_EQ(t.hops(1, 4), 2);
+    EXPECT_EQ(t.max_hops(), 2);
+
+    const RoutingTable t6 = RoutingTable::build(Topology::Ring, 6);
+    EXPECT_EQ(t6.hops(0, 3), 3); // antipodal
+    EXPECT_EQ(t6.max_hops(), 3);
+
+    // Two nodes: one link, not a double edge.
+    const RoutingTable t2 = RoutingTable::build(Topology::Ring, 2);
+    EXPECT_EQ(t2.hops(0, 1), 1);
+}
+
+TEST(Topology, GridMatchesHandComputedDistances)
+{
+    // 6 nodes -> 2 rows x 3 cols, row-major:
+    //   0 1 2
+    //   3 4 5
+    ASSERT_EQ(grid_rows_for(6), 2);
+    const RoutingTable t = RoutingTable::build(Topology::Grid, 6);
+    EXPECT_EQ(t.hops(0, 1), 1);
+    EXPECT_EQ(t.hops(0, 3), 1);
+    EXPECT_EQ(t.hops(0, 4), 2);
+    EXPECT_EQ(t.hops(0, 5), 3); // manhattan (0,0) -> (1,2)
+    EXPECT_EQ(t.hops(2, 3), 3);
+    EXPECT_EQ(t.max_hops(), 3);
+}
+
+TEST(Topology, RaggedGridLastRowStaysConnected)
+{
+    // 5 nodes -> 2 rows x 3 cols with a ragged last row:
+    //   0 1 2
+    //   3 4
+    const RoutingTable t = RoutingTable::build(Topology::Grid, 5);
+    EXPECT_EQ(t.hops(2, 4), 2); // 2 -> 1 -> 4
+    EXPECT_EQ(t.hops(2, 3), 3);
+    EXPECT_EQ(t.max_hops(), 3);
+}
+
+TEST(Topology, ExplicitGridRowsOverride)
+{
+    // 6 nodes forced into 1 row: a line 0-1-2-3-4-5.
+    const RoutingTable line = RoutingTable::build(Topology::Grid, 6, 1);
+    EXPECT_EQ(line.hops(0, 5), 5);
+    EXPECT_EQ(line.max_hops(), 5);
+}
+
+TEST(Topology, StarMatchesHandComputedDistances)
+{
+    const RoutingTable t = RoutingTable::build(Topology::Star, 5);
+    for (NodeId leaf = 1; leaf < 5; ++leaf)
+        EXPECT_EQ(t.hops(0, leaf), 1);
+    for (NodeId a = 1; a < 5; ++a)
+        for (NodeId b = 1; b < 5; ++b)
+            EXPECT_EQ(t.hops(a, b), a == b ? 0 : 2);
+    EXPECT_EQ(t.max_hops(), 2);
+}
+
+TEST(Topology, TablesAreSymmetricWithZeroDiagonal)
+{
+    for (Topology topo : all_topologies()) {
+        for (int n : {1, 2, 3, 5, 8, 9}) {
+            const RoutingTable t = RoutingTable::build(topo, n);
+            for (NodeId a = 0; a < n; ++a) {
+                EXPECT_EQ(t.hops(a, a), 0);
+                for (NodeId b = 0; b < n; ++b) {
+                    EXPECT_EQ(t.hops(a, b), t.hops(b, a))
+                        << topology_name(topo) << " n=" << n;
+                    if (a != b) {
+                        EXPECT_GE(t.hops(a, b), 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Topology, EprLatencyIsExactAtOneHopAndStrictlyMonotone)
+{
+    const LatencyModel lat;
+    EXPECT_DOUBLE_EQ(lat.t_epr_hops(1), lat.t_epr);
+    EXPECT_DOUBLE_EQ(lat.t_epr_hops(0), lat.t_epr); // degenerate floor
+    for (int k = 1; k < 8; ++k)
+        EXPECT_GT(lat.t_epr_hops(k + 1), lat.t_epr_hops(k));
+    // k hops = k preparations + k-1 swap corrections.
+    EXPECT_DOUBLE_EQ(lat.t_epr_hops(3),
+                     3 * lat.t_epr + 2 * lat.t_swap_correct());
+}
+
+TEST(Topology, UnbuiltRoutingForDeclaredTopologyIsRejected)
+{
+    // Aggregate-initializing `topology` without build_routing() would
+    // silently fall back to all-to-all hop counts; validate_routing (run
+    // by pass::compile and the GP-TP baseline) must reject it instead.
+    Machine m;
+    m.num_nodes = 4;
+    m.qubits_per_node = 4;
+    m.topology = Topology::Ring;
+    EXPECT_THROW(m.validate_routing(), UserError);
+    m.build_routing();
+    EXPECT_NO_THROW(m.validate_routing());
+
+    Machine flat;
+    flat.num_nodes = 4;
+    EXPECT_NO_THROW(flat.validate_routing()); // all-to-all fallback exact
+}
+
+TEST(Topology, BuildRoutingRebuildsAfterResize)
+{
+    Machine m = Machine::homogeneous(4, 4, Topology::Ring);
+    m.num_nodes = 8;
+    m.build_routing(); // must drop the stale 4-node table, not throw
+    EXPECT_EQ(m.hops(0, 4), 4);
+    EXPECT_NO_THROW(m.validate_routing());
+}
+
+TEST(Topology, MachineHopsDefaultToAllToAll)
+{
+    Machine m;
+    m.num_nodes = 4;
+    m.qubits_per_node = 5;
+    EXPECT_EQ(m.hops(0, 3), 1);
+    EXPECT_DOUBLE_EQ(m.epr_latency(0, 3), m.latency.t_epr);
+
+    m.topology = Topology::Ring;
+    m.build_routing();
+    EXPECT_EQ(m.hops(0, 2), 2);
+    EXPECT_GT(m.epr_latency(0, 2), m.latency.t_epr);
+}
+
+TEST(Shape, ParseExpandsGroups)
+{
+    const std::vector<int> caps = parse_shape("4x10,2x30");
+    ASSERT_EQ(caps.size(), 6u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(caps[static_cast<std::size_t>(i)], 10);
+    EXPECT_EQ(caps[4], 30);
+    EXPECT_EQ(caps[5], 30);
+}
+
+TEST(Shape, ParseAcceptsBareCapacities)
+{
+    const std::vector<int> caps = parse_shape("10,30,5");
+    EXPECT_EQ(caps, (std::vector<int>{10, 30, 5}));
+}
+
+TEST(Shape, LabelRecompressesRuns)
+{
+    EXPECT_EQ(shape_label({10, 10, 10, 10, 30, 30}), "4x10,2x30");
+    EXPECT_EQ(shape_label({7}), "1x7");
+    EXPECT_EQ(shape_label(parse_shape("4x10,2x30")), "4x10,2x30");
+}
+
+TEST(Shape, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(parse_shape(""), UserError);
+    EXPECT_THROW(parse_shape("0x5"), UserError);
+    EXPECT_THROW(parse_shape("4x0"), UserError);
+    EXPECT_THROW(parse_shape("axb"), UserError);
+    EXPECT_THROW(parse_shape("4x"), UserError);
+    EXPECT_THROW(parse_shape("x10"), UserError);
+    EXPECT_THROW(parse_shape("4x10,,2x30"), UserError);
+    EXPECT_THROW(parse_shape("-2x5"), UserError);
+}
+
+TEST(Shape, MachineFactories)
+{
+    const Machine hom = Machine::homogeneous(4, 10, Topology::Ring);
+    EXPECT_EQ(hom.num_nodes, 4);
+    EXPECT_EQ(hom.capacity(), 40);
+    EXPECT_EQ(hom.capacity_of(3), 10);
+    EXPECT_EQ(hom.hops(0, 2), 2); // routing built by the factory
+
+    const Machine het = Machine::from_capacities({8, 8, 30});
+    EXPECT_EQ(het.num_nodes, 3);
+    EXPECT_EQ(het.capacity(), 46);
+    EXPECT_EQ(het.capacity_of(0), 8);
+    EXPECT_EQ(het.capacity_of(2), 30);
+    EXPECT_EQ(het.capacities(), (std::vector<int>{8, 8, 30}));
+    EXPECT_EQ(het.hops(0, 2), 1); // all-to-all default
+
+    EXPECT_THROW(Machine::from_capacities({}), UserError);
+    EXPECT_THROW(Machine::from_capacities({5, 0}), UserError);
+    EXPECT_THROW(Machine::homogeneous(0, 5), UserError);
+}
+
+} // namespace
