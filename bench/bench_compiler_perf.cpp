@@ -1,111 +1,230 @@
 /**
  * @file
- * Compiler throughput microbenchmarks (google-benchmark): how fast the
- * AutoComm passes themselves run. Not a paper table — this measures the
- * compiler, not the compiled programs — but it documents that the passes
- * scale to the paper's largest inputs.
+ * Compiler self-profiling: per-pass wall-time breakdown of one AutoComm
+ * compilation — circuit generation+decompose, interaction-graph build,
+ * OEE partition, aggregation, scheme assignment, block reorder+metrics,
+ * and the latency-simulating scheduler. Not a paper table — this measures
+ * the compiler, not the compiled programs. It is the profiling substrate
+ * for parallelizing within one compilation (see ROADMAP): the partition
+ * and aggregate columns are the single-threaded hot paths.
+ *
+ *   bench_compiler_perf                             # default grid
+ *   bench_compiler_perf --families QFT,UCCSD --qubits 100,200 --reps 5
+ *   bench_compiler_perf --csv perf.csv              # machine-readable
+ *
+ * Each phase is timed over --reps repetitions and the minimum is
+ * reported (the usual denoising for wall-clock microbenchmarks).
  */
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "autocomm/pipeline.hpp"
-#include "baseline/gptp.hpp"
 #include "circuits/library.hpp"
-#include "circuits/mctr.hpp"
-#include "circuits/qft.hpp"
+#include "common.hpp"
+#include "driver/sweep.hpp"
+#include "partition/interaction_graph.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
+#include "support/csv.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
 
 namespace {
 
 using namespace autocomm;
+using clock_type = std::chrono::steady_clock;
 
-struct Prepared
+/** The per-pass timings of one compilation, in milliseconds. */
+struct Breakdown
 {
-    qir::Circuit circuit;
-    hw::Machine machine;
-    hw::QubitMapping mapping;
+    double decompose = 0.0;
+    double graph = 0.0;
+    double partition = 0.0;
+    double aggregate = 0.0;
+    double assign = 0.0;
+    double reorder = 0.0;
+    double schedule = 0.0;
+
+    double
+    total() const
+    {
+        return decompose + graph + partition + aggregate + assign +
+               reorder + schedule;
+    }
+
+    void
+    take_min(const Breakdown& o)
+    {
+        decompose = std::min(decompose, o.decompose);
+        graph = std::min(graph, o.graph);
+        partition = std::min(partition, o.partition);
+        aggregate = std::min(aggregate, o.aggregate);
+        assign = std::min(assign, o.assign);
+        reorder = std::min(reorder, o.reorder);
+        schedule = std::min(schedule, o.schedule);
+    }
 };
 
-Prepared
-prepare_qft(int n, int nodes)
+double
+ms_since(clock_type::time_point t0)
 {
-    Prepared p;
-    p.circuit = qir::decompose(circuits::make_qft(n));
-    p.machine.num_nodes = nodes;
-    p.machine.qubits_per_node = (n + nodes - 1) / nodes;
-    p.mapping = hw::QubitMapping::contiguous(n, nodes);
-    return p;
+    return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+        .count();
 }
 
-void
-BM_AggregateQft(benchmark::State& state)
+/** One full pipeline run with a stopwatch between passes. */
+Breakdown
+profile_once(const circuits::BenchmarkSpec& spec, std::size_t* gates)
 {
-    const auto p =
-        prepare_qft(static_cast<int>(state.range(0)),
-                    static_cast<int>(state.range(0)) / 10);
-    for (auto _ : state) {
-        auto blocks = pass::aggregate(p.circuit, p.mapping);
-        benchmark::DoNotOptimize(blocks);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(p.circuit.size()));
-}
-BENCHMARK(BM_AggregateQft)->Arg(50)->Arg(100)->Arg(200);
-
-void
-BM_FullPipelineQft(benchmark::State& state)
-{
-    const auto p =
-        prepare_qft(static_cast<int>(state.range(0)),
-                    static_cast<int>(state.range(0)) / 10);
-    for (auto _ : state) {
-        auto r = pass::compile(p.circuit, p.mapping, p.machine);
-        benchmark::DoNotOptimize(r);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(p.circuit.size()));
-}
-BENCHMARK(BM_FullPipelineQft)->Arg(50)->Arg(100);
-
-void
-BM_OeePartitionQft(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    const qir::Circuit c = qir::decompose(circuits::make_qft(n));
-    for (auto _ : state) {
-        auto map = partition::oee_map(c, n / 10);
-        benchmark::DoNotOptimize(map);
-    }
-}
-BENCHMARK(BM_OeePartitionQft)->Arg(100)->Arg(200);
-
-void
-BM_GptpQft(benchmark::State& state)
-{
-    const auto p =
-        prepare_qft(static_cast<int>(state.range(0)),
-                    static_cast<int>(state.range(0)) / 10);
-    for (auto _ : state) {
-        auto r = baseline::compile_gptp(p.circuit, p.mapping, p.machine);
-        benchmark::DoNotOptimize(r);
-    }
-}
-BENCHMARK(BM_GptpQft)->Arg(50)->Arg(100);
-
-void
-BM_DecomposeMctr(benchmark::State& state)
-{
+    Breakdown b;
+    auto t0 = clock_type::now();
     const qir::Circuit c =
-        circuits::make_mctr(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto d = qir::decompose(c);
-        benchmark::DoNotOptimize(d);
-    }
+        qir::decompose(circuits::make_benchmark(spec, 2022));
+    b.decompose = ms_since(t0);
+    *gates = c.size();
+
+    t0 = clock_type::now();
+    const partition::InteractionGraph g =
+        partition::InteractionGraph::from_circuit(c);
+    b.graph = ms_since(t0);
+
+    t0 = clock_type::now();
+    const hw::Machine m = hw::Machine::homogeneous(
+        spec.num_nodes,
+        (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes);
+    const hw::QubitMapping map = partition::oee_map(g, m);
+    b.partition = ms_since(t0);
+
+    t0 = clock_type::now();
+    std::vector<pass::CommBlock> blocks = pass::aggregate(c, map);
+    b.aggregate = ms_since(t0);
+
+    t0 = clock_type::now();
+    pass::assign_schemes(c, blocks);
+    b.assign = ms_since(t0);
+
+    t0 = clock_type::now();
+    const pass::Metrics metrics = pass::compute_metrics(c, blocks);
+    std::vector<std::size_t> block_start;
+    const qir::Circuit reordered =
+        pass::reorder_with_blocks(c, blocks, &block_start);
+    b.reorder = ms_since(t0);
+    (void)metrics;
+
+    t0 = clock_type::now();
+    const pass::ScheduleResult sched =
+        pass::schedule_program(reordered, blocks, block_start, map, m);
+    b.schedule = ms_since(t0);
+    (void)sched;
+    return b;
 }
-BENCHMARK(BM_DecomposeMctr)->Arg(100)->Arg(300);
+
+int
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --families LIST  comma list of MCTR,RCA,QFT,BV,QAOA,UCCSD "
+        "(default QFT,MCTR)\n"
+        "  --qubits LIST    circuit widths (default 50,100,200)\n"
+        "  --reps N         repetitions per cell, min reported "
+        "(default 3)\n"
+        "  --csv PATH       write the breakdown as CSV\n",
+        argv0);
+    return 2;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    std::vector<circuits::Family> families = {circuits::Family::QFT,
+                                              circuits::Family::MCTR};
+    std::vector<int> qubits = {50, 100, 200};
+    int reps = 3;
+    std::string csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                support::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        try {
+            if (arg == "--families") {
+                families = driver::parse_family_list(value(), "--families");
+            } else if (arg == "--qubits") {
+                qubits = driver::parse_int_list(value(), "--qubits");
+            } else if (arg == "--reps") {
+                reps = driver::parse_int_list(value(), "--reps", 1, 1000)
+                           .at(0);
+            } else if (arg == "--csv") {
+                csv_path = value();
+            } else {
+                return usage(argv[0]);
+            }
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    support::Table t({"Circuit", "#gate", "decomp (ms)", "graph (ms)",
+                      "partition (ms)", "aggregate (ms)", "assign (ms)",
+                      "reorder (ms)", "schedule (ms)", "total (ms)"});
+    support::CsvWriter csv({"name", "qubits", "nodes", "gates",
+                            "decompose_ms", "graph_ms", "partition_ms",
+                            "aggregate_ms", "assign_ms", "reorder_ms",
+                            "schedule_ms", "total_ms"});
+
+    for (circuits::Family f : families) {
+        for (int q : qubits) {
+            const circuits::BenchmarkSpec spec{f, q, std::max(2, q / 10)};
+            std::size_t gates = 0;
+            Breakdown best = profile_once(spec, &gates);
+            for (int r = 1; r < reps; ++r) {
+                std::size_t g2 = 0;
+                best.take_min(profile_once(spec, &g2));
+            }
+
+            t.start_row();
+            t.add(spec.label());
+            t.add(gates);
+            t.add(best.decompose, 2);
+            t.add(best.graph, 2);
+            t.add(best.partition, 2);
+            t.add(best.aggregate, 2);
+            t.add(best.assign, 2);
+            t.add(best.reorder, 2);
+            t.add(best.schedule, 2);
+            t.add(best.total(), 2);
+
+            csv.start_row();
+            csv.add(spec.label());
+            csv.add(static_cast<long long>(q));
+            csv.add(static_cast<long long>(spec.num_nodes));
+            csv.add(static_cast<long long>(gates));
+            csv.add(best.decompose);
+            csv.add(best.graph);
+            csv.add(best.partition);
+            csv.add(best.aggregate);
+            csv.add(best.assign);
+            csv.add(best.reorder);
+            csv.add(best.schedule);
+            csv.add(best.total());
+        }
+    }
+    t.print();
+
+    if (!csv_path.empty()) {
+        csv.write_file(csv_path);
+    } else if (auto dir = bench::csv_dir()) {
+        csv.write_file(*dir + "/compiler_perf.csv");
+    }
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fidelity/latency trade-off sweep: makespan, raw-EPR cost, and program
+ * fidelity vs. the purification target, across link topologies — the
+ * scenario axis the paper's perfect-link machine model could not explore.
+ *
+ *   bench_fidelity                                  # defaults below
+ *   bench_fidelity --family QAOA --qubits 32 --nodes 4 \
+ *       --link-fidelity 0.97 --targets 0,0.9,0.99 --topology ring,star \
+ *       --link-bandwidth 2 --csv fidelity.csv
+ *
+ * A target of 0 is the "consume raw pairs" reference point; rising
+ * targets buy program fidelity with 2^rounds raw pairs (and purification
+ * latency) per consumed pair.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "driver/sweep.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/threadpool.hpp"
+
+namespace {
+
+using namespace autocomm;
+
+int
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --family F          MCTR,RCA,QFT,BV,QAOA,UCCSD (default QFT)\n"
+        "  --qubits N          circuit width (default 32)\n"
+        "  --nodes N           node count (default 4)\n"
+        "  --link-fidelity F   raw per-link EPR fidelity (default 0.96)\n"
+        "  --targets LIST      purification targets, 0 = off\n"
+        "                      (default 0,0.9,0.95,0.99,0.995)\n"
+        "  --topology LIST     link topologies (default all four)\n"
+        "  --link-bandwidth N  concurrent preps per link, 0 = unlimited\n"
+        "  --threads N         worker threads\n"
+        "  --csv PATH          write the rows as CSV\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {32};
+    grid.node_counts = {4};
+    grid.topologies = hw::all_topologies();
+    grid.link_fidelities = {0.96};
+    grid.target_fidelities = {0.0, 0.9, 0.95, 0.99, 0.995};
+
+    driver::SweepOptions sweep_opts;
+    sweep_opts.num_threads = support::default_thread_count();
+    std::string csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                support::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        try {
+            if (arg == "--family") {
+                const std::string tok = value();
+                const auto f = circuits::parse_family(tok);
+                if (!f)
+                    support::fatal("--family: unknown family \"%s\"",
+                                   tok.c_str());
+                grid.families = {*f};
+            } else if (arg == "--qubits") {
+                grid.qubit_counts = {
+                    driver::parse_int_list(value(), "--qubits").at(0)};
+            } else if (arg == "--nodes") {
+                grid.node_counts = {
+                    driver::parse_int_list(value(), "--nodes").at(0)};
+            } else if (arg == "--link-fidelity") {
+                grid.link_fidelities = {driver::parse_fidelity_list(
+                    value(), "--link-fidelity").at(0)};
+            } else if (arg == "--targets") {
+                grid.target_fidelities = driver::parse_fidelity_list(
+                    value(), "--targets", /*zero_disables=*/true);
+            } else if (arg == "--topology") {
+                grid.topologies =
+                    driver::parse_topology_list(value(), "--topology");
+            } else if (arg == "--link-bandwidth") {
+                grid.link_bandwidths = {driver::parse_int_list(
+                    value(), "--link-bandwidth", /*min_value=*/0).at(0)};
+            } else if (arg == "--threads") {
+                sweep_opts.num_threads = static_cast<std::size_t>(
+                    driver::parse_int_list(value(), "--threads").at(0));
+            } else if (arg == "--csv") {
+                csv_path = value();
+            } else {
+                return usage(argv[0]);
+            }
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    const std::vector<driver::SweepCell> cells = grid.cells();
+    std::printf("== Fidelity/latency trade-off: %zu cells "
+                "(link fidelity %g) ==\n",
+                cells.size(), grid.link_fidelities.at(0));
+
+    const std::vector<driver::SweepRow> rows =
+        driver::run_sweep(cells, sweep_opts);
+
+    support::Table t({"Topology", "Target", "Rounds", "EPR", "Raw EPR",
+                      "Cost x", "Makespan", "Fidelity"});
+    std::size_t failures = 0;
+    for (const driver::SweepRow& r : rows) {
+        t.start_row();
+        t.add(hw::topology_name(r.cell.topology));
+        t.add(r.cell.target_fidelity, 3);
+        if (!r.ok) {
+            ++failures;
+            std::fprintf(stderr, "error: %s: %s\n", r.cell.label().c_str(),
+                         r.error.c_str());
+            continue;
+        }
+        t.add(r.schedule.purify_rounds);
+        t.add(r.schedule.epr_pairs);
+        t.add(r.schedule.epr_raw_pairs);
+        t.add(r.schedule.epr_pairs
+                  ? static_cast<double>(r.schedule.epr_raw_pairs) /
+                        static_cast<double>(r.schedule.epr_pairs)
+                  : 0.0,
+              2);
+        t.add(r.schedule.makespan, 1);
+        t.add(r.schedule.program_fidelity(), 6);
+    }
+    t.print();
+
+    if (!csv_path.empty()) {
+        driver::sweep_csv(rows).write_file(csv_path);
+    } else if (auto dir = bench::csv_dir()) {
+        driver::sweep_csv(rows).write_file(*dir + "/fidelity.csv");
+    }
+    return failures == 0 ? 0 : 1;
+}

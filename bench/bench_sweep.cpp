@@ -9,6 +9,7 @@
  *   bench_sweep --opts default,sparse --baseline --csv sweep.csv
  *   bench_sweep --verify                       # assert 1-thread == N-thread
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,21 +43,6 @@ split_commas(const std::string& s)
     return out;
 }
 
-std::vector<int>
-parse_int_list(const std::string& arg, const char* flag)
-{
-    std::vector<int> out;
-    for (const std::string& tok : split_commas(arg)) {
-        char* end = nullptr;
-        const long v = std::strtol(tok.c_str(), &end, 10);
-        if (end == tok.c_str() || *end != '\0' || v <= 0 || v > 1'000'000)
-            support::fatal("%s: \"%s\" is not a positive integer",
-                           flag, tok.c_str());
-        out.push_back(static_cast<int>(v));
-    }
-    return out;
-}
-
 int
 usage(const char* argv0)
 {
@@ -72,6 +58,17 @@ usage(const char* argv0)
         "count)\n"
         "  --topology LIST  link topologies: all_to_all,ring,grid,star "
         "(default all_to_all)\n"
+        "  --link-fidelity LIST\n"
+        "                   raw EPR fidelity per link, in (0.25,1] "
+        "(default 1.0 = perfect)\n"
+        "  --target-fidelity LIST\n"
+        "                   purification targets, in (0,1) or 0 = off "
+        "(default 0;\n"
+        "                   0.99 is assumed when --link-fidelity < 1 "
+        "and no target given)\n"
+        "  --link-bandwidth LIST\n"
+        "                   concurrent EPR preparations per link, 0 = "
+        "unlimited (default 0)\n"
         "  --opts LIST      option sets (default \"default\"; see "
         "--list-opts)\n"
         "  --threads N      worker threads (default AUTOCOMM_THREADS or "
@@ -100,6 +97,7 @@ main(int argc, char** argv)
     sweep_opts.num_threads = support::default_thread_count();
     std::string csv_path;
     bool verify = false;
+    bool target_given = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -110,47 +108,29 @@ main(int argc, char** argv)
         };
         try {
             if (arg == "--families") {
-                grid.families.clear();
-                for (const std::string& tok : split_commas(value())) {
-                    auto f = circuits::parse_family(tok);
-                    if (!f)
-                        support::fatal("unknown family \"%s\"", tok.c_str());
-                    grid.families.push_back(*f);
-                }
+                grid.families =
+                    driver::parse_family_list(value(), "--families");
             } else if (arg == "--qubits") {
-                grid.qubit_counts = parse_int_list(value(), "--qubits");
+                grid.qubit_counts =
+                    driver::parse_int_list(value(), "--qubits");
             } else if (arg == "--nodes") {
-                grid.node_counts = parse_int_list(value(), "--nodes");
+                grid.node_counts =
+                    driver::parse_int_list(value(), "--nodes");
             } else if (arg == "--shape") {
-                grid.shapes.clear();
-                const std::string list = value();
-                std::size_t start = 0;
-                while (start <= list.size()) {
-                    const std::size_t semi = list.find(';', start);
-                    const std::size_t end =
-                        semi == std::string::npos ? list.size() : semi;
-                    if (end > start) {
-                        const std::string spec =
-                            list.substr(start, end - start);
-                        hw::parse_shape(spec); // validate eagerly
-                        grid.shapes.push_back(spec);
-                    }
-                    if (semi == std::string::npos)
-                        break;
-                    start = semi + 1;
-                }
-                if (grid.shapes.empty())
-                    support::fatal("--shape: empty shape list");
+                grid.shapes = driver::parse_shape_list(value(), "--shape");
             } else if (arg == "--topology") {
-                grid.topologies.clear();
-                for (const std::string& tok : split_commas(value())) {
-                    auto t = hw::parse_topology(tok);
-                    if (!t)
-                        support::fatal("unknown topology \"%s\" (expected "
-                                       "all_to_all, ring, grid, or star)",
-                                       tok.c_str());
-                    grid.topologies.push_back(*t);
-                }
+                grid.topologies =
+                    driver::parse_topology_list(value(), "--topology");
+            } else if (arg == "--link-fidelity") {
+                grid.link_fidelities = driver::parse_fidelity_list(
+                    value(), "--link-fidelity");
+            } else if (arg == "--target-fidelity") {
+                grid.target_fidelities = driver::parse_fidelity_list(
+                    value(), "--target-fidelity", /*zero_disables=*/true);
+                target_given = true;
+            } else if (arg == "--link-bandwidth") {
+                grid.link_bandwidths = driver::parse_int_list(
+                    value(), "--link-bandwidth", /*min_value=*/0);
             } else if (arg == "--opts") {
                 grid.option_sets.clear();
                 for (const std::string& tok : split_commas(value())) {
@@ -162,7 +142,7 @@ main(int argc, char** argv)
                 }
             } else if (arg == "--threads") {
                 sweep_opts.num_threads = static_cast<std::size_t>(
-                    parse_int_list(value(), "--threads").at(0));
+                    driver::parse_int_list(value(), "--threads").at(0));
             } else if (arg == "--seed") {
                 const std::string s = value();
                 char* end = nullptr;
@@ -190,6 +170,18 @@ main(int argc, char** argv)
         }
     }
 
+    // Noisy links without a purification target would only lower the
+    // fidelity estimate; assume the conventional 0.99 target so the
+    // latency/EPR-cost consequences show up too.
+    const bool any_noisy = std::any_of(
+        grid.link_fidelities.begin(), grid.link_fidelities.end(),
+        [](double f) { return f < 1.0; });
+    if (any_noisy && !target_given) {
+        grid.target_fidelities = {0.99};
+        support::inform("--link-fidelity < 1 with no --target-fidelity; "
+                        "assuming a 0.99 purification target");
+    }
+
     const std::vector<driver::SweepCell> cells = grid.cells();
     std::printf("== Compilation sweep: %zu cells on %zu threads ==\n",
                 cells.size(), sweep_opts.num_threads);
@@ -215,10 +207,11 @@ main(int argc, char** argv)
 
     support::Table t(grid.with_baseline
         ? std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",
-            "TP-Comm", "Peak #REM CX", "Makespan", "Hops", "Improv.",
-            "LAT-DEC", "Time (s)"}
+            "TP-Comm", "Peak #REM CX", "Makespan", "Hops", "Raw EPR",
+            "Fidelity", "Improv.", "LAT-DEC", "Time (s)"}
         : std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",
-            "TP-Comm", "Peak #REM CX", "Makespan", "Hops", "Time (s)"});
+            "TP-Comm", "Peak #REM CX", "Makespan", "Hops", "Raw EPR",
+            "Fidelity", "Time (s)"});
     double total_seconds = 0;
     std::size_t failures = 0;
     for (const driver::SweepRow& r : rows) {
@@ -237,6 +230,8 @@ main(int argc, char** argv)
         t.add(r.metrics.peak_rem_cx, 1);
         t.add(r.schedule.makespan, 1);
         t.add(r.schedule.hops_total);
+        t.add(r.schedule.epr_raw_pairs);
+        t.add(r.schedule.program_fidelity(), 4);
         if (r.factors) {
             t.add(r.factors->improv_factor, 2);
             t.add(r.factors->lat_dec_factor, 2);

@@ -13,6 +13,7 @@ compile(const qir::Circuit& c, const hw::QubitMapping& map,
                        c.num_qubits(), map.num_qubits());
     m.validate_shape();
     m.validate_routing();
+    m.validate_noise();
     map.validate(m);
 
     CompileResult r;

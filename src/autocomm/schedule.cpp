@@ -4,6 +4,7 @@
 #include <cassert>
 #include <functional>
 #include <tuple>
+#include <utility>
 
 #include "autocomm/slots.hpp"
 #include "support/log.hpp"
@@ -190,11 +191,15 @@ schedule_program(const qir::Circuit& reordered,
 
     // ---- Resource state ----
     SlotPool slots(m.num_nodes, m.comm_qubits_per_node);
+    LinkPool links(m.link.bandwidth);
     std::vector<double> qready(
         static_cast<std::size_t>(reordered.num_qubits()), 0.0);
     ScheduleResult res;
     double makespan = 0.0;
     auto bump = [&makespan](double t) { makespan = std::max(makespan, t); };
+
+    // Per-pair preparation plans, computed on first use.
+    EprPlanCache plans(m);
 
     struct Vessel
     {
@@ -211,16 +216,26 @@ schedule_program(const qir::Circuit& reordered,
 
     auto prepare_epr = [&](NodeId a, NodeId b, double ready_floor)
         -> std::tuple<double, int, int> {
+        const EprPairPlan& pl = plans.plan(a, b);
         const double t_min = opts.epr_prefetch ? 0.0 : ready_floor;
-        const double start =
-            std::max({slots.earliest(a), slots.earliest(b), t_min});
-        auto [sa, ta] = slots.acquire(a, start);
-        auto [sb, tb] = slots.acquire(b, start);
-        const double begin = std::max(ta, tb);
-        const int hops = m.hops(a, b);
+
+        // Note: plans are keyed (min, max), so a request in the other
+        // direction reserves its endpoint slots in route order; the
+        // returned slot ids are mapped back to the caller's (a, b).
+        const EprReservation rsv = reserve_epr_route(
+            slots, links, pl.route, pl.chan, pl.duration, t_min);
+        const int sa = a == pl.route.front() ? rsv.slot_a : rsv.slot_b;
+        const int sb = a == pl.route.front() ? rsv.slot_b : rsv.slot_a;
+
         ++res.epr_pairs;
-        res.hops_total += static_cast<std::size_t>(hops);
-        return {begin + lat.t_epr_hops(hops), sa, sb};
+        res.hops_total += static_cast<std::size_t>(pl.hops);
+        res.epr_raw_pairs += pl.raw * static_cast<std::size_t>(pl.hops);
+        res.purify_rounds += static_cast<std::size_t>(pl.rounds);
+        res.ledger.consume(a, b);
+        for (std::size_t i = 0; i + 1 < pl.route.size(); ++i)
+            res.ledger.consume_raw(pl.route[i], pl.route[i + 1], pl.raw);
+        res.ledger.record_fidelity(pl.fidelity);
+        return {rsv.done, sa, sb};
     };
 
     auto run_gate_local = [&](const Gate& g) {

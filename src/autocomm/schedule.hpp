@@ -8,7 +8,14 @@
  * The simulator is a resource-constrained list scheduler over the
  * reordered circuit:
  *  - every node owns two communication qubits (slots); an EPR pair
- *    occupies one slot on each end from preparation start;
+ *    occupies one slot on each end from preparation start, and — on
+ *    multi-hop routes — two slots at every intermediate swap router for
+ *    the duration of the entanglement swapping;
+ *  - every physical link runs at most `Machine::link.bandwidth`
+ *    elementary EPR preparations concurrently (0 = unlimited), and each
+ *    purified pair costs 2^rounds raw preparations on every link of its
+ *    route (see noise::PurificationPolicy), so noisy cells contend for
+ *    link bandwidth where perfect cells do not;
  *  - EPR preparation (t_epr) is prefetched: it may start as soon as slots
  *    are free, hiding its latency behind computation (disable via
  *    options for the "greedy" ablation of Fig. 17c);
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "autocomm/burst.hpp"
+#include "comm/epr.hpp"
 #include "hw/machine.hpp"
 #include "qir/circuit.hpp"
 
@@ -44,13 +52,28 @@ struct ScheduleOptions
 struct ScheduleResult
 {
     double makespan = 0.0;       ///< Program latency in CX units.
-    std::size_t epr_pairs = 0;   ///< EPR pairs actually consumed.
+    std::size_t epr_pairs = 0;   ///< Purified EPR pairs actually consumed.
     std::size_t teleports = 0;   ///< Qubit teleportations performed.
     std::size_t fused_links = 0; ///< TP chain links that skipped a return.
     /** Total link hops crossed by the consumed EPR pairs (equals
      * epr_pairs on an all-to-all machine; larger under ring/grid/star
      * where pairs are routed by entanglement swapping). */
     std::size_t hops_total = 0;
+    /** Raw elementary EPR pairs generated: 2^rounds per consumed pair on
+     * every link of its route. Equals hops_total (and epr_pairs on
+     * all-to-all) when purification is off. */
+    std::size_t epr_raw_pairs = 0;
+    /** Total BBPSSW purification rounds across consumed pairs (0 when
+     * noise is off or the raw fidelity already meets the target). */
+    std::size_t purify_rounds = 0;
+    /** Per-link EPR accounting, raw-vs-purified, and the end-to-end
+     * program fidelity estimate (ledger.fidelity_product(): the product
+     * of consumed pairs' post-purification fidelities; exactly 1.0 on
+     * perfect links). */
+    comm::EprLedger ledger;
+
+    /** Program fidelity estimate shorthand. */
+    double program_fidelity() const { return ledger.fidelity_product(); }
 };
 
 /**

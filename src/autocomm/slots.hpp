@@ -1,17 +1,24 @@
 /**
  * @file
- * Communication-qubit slot pool shared by the AutoComm scheduler and the
- * baseline latency simulators: each node owns a fixed number of
- * communication qubits; an EPR pair reserves one slot on each end until
- * the consuming protocol releases it.
+ * Schedulable communication resources shared by the AutoComm scheduler
+ * and the baseline latency simulators:
+ *
+ *  - SlotPool: each node owns a fixed number of communication qubits; an
+ *    EPR pair reserves one slot on each end (and, on multi-hop routes,
+ *    two slots at every intermediate swap router) until released;
+ *  - LinkPool: each physical link runs at most `bandwidth` elementary
+ *    EPR preparations concurrently; a preparation batch reserves
+ *    min(2^rounds, bandwidth) channels on every link of its route.
  */
 #pragma once
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <utility>
 #include <vector>
 
+#include "hw/machine.hpp"
 #include "qir/types.hpp"
 
 namespace autocomm::pass {
@@ -33,6 +40,20 @@ class SlotPool
     {
         const auto& v = free_[static_cast<std::size_t>(node)];
         return *std::min_element(v.begin(), v.end());
+    }
+
+    /** Earliest time @p k slots on @p node are simultaneously free (the
+     * k-th smallest free time; k is clamped to the pool size). */
+    double
+    earliest_k(NodeId node, int k) const
+    {
+        std::vector<double> v = free_[static_cast<std::size_t>(node)];
+        const auto kth =
+            v.begin() + (std::min<std::size_t>(
+                             static_cast<std::size_t>(k), v.size()) -
+                         1);
+        std::nth_element(v.begin(), kth, v.end());
+        return *kth;
     }
 
     /**
@@ -61,5 +82,203 @@ class SlotPool
   private:
     std::vector<std::vector<double>> free_;
 };
+
+/**
+ * Per-physical-link EPR-preparation channel pool. Each link owns
+ * `bandwidth` channels (lazily materialized per link); an elementary
+ * preparation occupies one channel for its duration. A bandwidth of 0
+ * means unlimited — every query returns "free now" and acquisition is a
+ * no-op, reproducing the paper's contention-free links exactly.
+ */
+class LinkPool
+{
+  public:
+    explicit LinkPool(int bandwidth) : bandwidth_(bandwidth) {}
+
+    bool unlimited() const { return bandwidth_ <= 0; }
+
+    /** Earliest time @p k channels of link (a, b) are simultaneously
+     * free; 0 when unlimited. @p k is clamped to the bandwidth. */
+    double
+    earliest_k(NodeId a, NodeId b, int k)
+    {
+        if (unlimited())
+            return 0.0;
+        std::vector<double>& v = chans(a, b);
+        std::vector<double> copy = v;
+        const auto kth = copy.begin() + (std::min(k, bandwidth_) - 1);
+        std::nth_element(copy.begin(), kth, copy.end());
+        return *kth;
+    }
+
+    /**
+     * Reserve @p k channels (clamped to the bandwidth) on link (a, b)
+     * until the matching release(). No-op when unlimited.
+     */
+    void
+    acquire(NodeId a, NodeId b, int k)
+    {
+        if (unlimited())
+            return;
+        std::vector<double>& v = chans(a, b);
+        for (int i = 0; i < std::min(k, bandwidth_); ++i) {
+            const auto it = std::min_element(v.begin(), v.end());
+            *it = std::numeric_limits<double>::infinity();
+        }
+    }
+
+    /** End a reservation of @p k channels: they free up at @p until. */
+    void
+    release(NodeId a, NodeId b, int k, double until)
+    {
+        if (unlimited())
+            return;
+        std::vector<double>& v = chans(a, b);
+        int remaining = std::min(k, bandwidth_);
+        for (double& t : v) {
+            if (remaining == 0)
+                break;
+            if (t == std::numeric_limits<double>::infinity()) {
+                t = until;
+                --remaining;
+            }
+        }
+    }
+
+  private:
+    std::vector<double>&
+    chans(NodeId a, NodeId b)
+    {
+        const auto k = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+        const auto it = chans_.find(k);
+        if (it != chans_.end())
+            return it->second;
+        return chans_
+            .emplace(k, std::vector<double>(
+                            static_cast<std::size_t>(bandwidth_), 0.0))
+            .first->second;
+    }
+
+    int bandwidth_;
+    std::map<std::pair<NodeId, NodeId>, std::vector<double>> chans_;
+};
+
+/**
+ * Everything a latency simulator needs to know about preparing one
+ * purified EPR pair between a node pair, precomputed from the machine:
+ * the swap route, purification depth, raw-pair cost, channel demand per
+ * link segment, total preparation latency, and the delivered fidelity.
+ */
+struct EprPairPlan
+{
+    std::vector<NodeId> route; ///< a .. b inclusive (normalized a < b)
+    int hops = 1;
+    int rounds = 0;
+    std::size_t raw = 1; ///< elementary pairs per link segment (2^rounds)
+    int chan = 1;        ///< LinkPool channel demand (raw, int-clamped)
+    double duration = 0.0;
+    double fidelity = 1.0; ///< post-purification end-to-end fidelity
+};
+
+/**
+ * Per-machine memoization of EprPairPlan, keyed on the normalized node
+ * pair — both directions share one route and its resources. Shared by
+ * the AutoComm scheduler and the GP-TP baseline so the two simulators
+ * can never diverge in how they cost a pair.
+ */
+class EprPlanCache
+{
+  public:
+    explicit EprPlanCache(const hw::Machine& m) : m_(&m) {}
+
+    const EprPairPlan&
+    plan(NodeId a, NodeId b)
+    {
+        const auto key =
+            a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+        const auto it = plans_.find(key);
+        if (it != plans_.end())
+            return it->second;
+        EprPairPlan p;
+        p.route = m_->path(key.first, key.second);
+        p.hops = static_cast<int>(p.route.size()) - 1;
+        p.rounds = m_->purification_rounds(key.first, key.second);
+        p.raw = noise::PurificationPolicy::cost_multiplier(p.rounds);
+        p.chan =
+            static_cast<int>(std::min<std::size_t>(p.raw, 1u << 30));
+        p.duration = m_->epr_latency(key.first, key.second);
+        p.fidelity = m_->purified_pair_fidelity(key.first, key.second);
+        return plans_.emplace(key, std::move(p)).first->second;
+    }
+
+  private:
+    const hw::Machine* m_;
+    std::map<std::pair<NodeId, NodeId>, EprPairPlan> plans_;
+};
+
+/** Outcome of reserving the resources of one EPR preparation. */
+struct EprReservation
+{
+    int slot_a = -1;   ///< Endpoint slot on route.front() (caller frees).
+    int slot_b = -1;   ///< Endpoint slot on route.back() (caller frees).
+    double done = 0.0; ///< Preparation completion time.
+};
+
+/**
+ * Reserve everything one (purified) EPR preparation along @p route
+ * needs, starting no sooner than @p t_min: one comm slot on each
+ * endpoint, two comm slots at every intermediate swap router, and
+ * @p chan preparation channels on every link segment. Router slots and
+ * link channels are released when the preparation completes (after
+ * @p duration); the endpoint slots stay reserved for the consuming
+ * protocol, which must release them.
+ *
+ * This is the single resource model shared by the AutoComm scheduler
+ * and the GP-TP baseline, so their makespans stay comparable on noisy,
+ * bandwidth-capped, multi-hop machines.
+ */
+inline EprReservation
+reserve_epr_route(SlotPool& slots, LinkPool& links,
+                  const std::vector<NodeId>& route, int chan,
+                  double duration, double t_min)
+{
+    const NodeId a = route.front();
+    const NodeId b = route.back();
+
+    // Find the earliest instant every resource is available.
+    double start = std::max({slots.earliest(a), slots.earliest(b), t_min});
+    for (std::size_t i = 1; i + 1 < route.size(); ++i)
+        start = std::max(start, slots.earliest_k(route[i], 2));
+    if (!links.unlimited())
+        for (std::size_t i = 0; i + 1 < route.size(); ++i)
+            start = std::max(
+                start, links.earliest_k(route[i], route[i + 1], chan));
+
+    EprReservation res;
+    auto [sa, ta] = slots.acquire(a, start);
+    auto [sb, tb] = slots.acquire(b, start);
+    res.slot_a = sa;
+    res.slot_b = sb;
+    double begin = std::max(ta, tb);
+    std::vector<std::pair<NodeId, std::pair<int, int>>> routers;
+    for (std::size_t i = 1; i + 1 < route.size(); ++i) {
+        const NodeId r = route[i];
+        auto [r1, u1] = slots.acquire(r, start);
+        auto [r2, u2] = slots.acquire(r, start);
+        begin = std::max({begin, u1, u2});
+        routers.push_back({r, {r1, r2}});
+    }
+    for (std::size_t i = 0; i + 1 < route.size(); ++i)
+        links.acquire(route[i], route[i + 1], chan);
+
+    res.done = begin + duration;
+    for (const auto& [r, ss] : routers) {
+        slots.release(r, ss.first, res.done);
+        slots.release(r, ss.second, res.done);
+    }
+    for (std::size_t i = 0; i + 1 < route.size(); ++i)
+        links.release(route[i], route[i + 1], chan, res.done);
+    return res;
+}
 
 } // namespace autocomm::pass

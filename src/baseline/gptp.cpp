@@ -21,6 +21,7 @@ compile_gptp(const qir::Circuit& c, const hw::QubitMapping& initial,
 {
     m.validate_shape();
     m.validate_routing();
+    m.validate_noise();
     initial.validate(m);
     const hw::LatencyModel& lat = m.latency;
     const double t_tele = lat.t_teleport();
@@ -38,6 +39,7 @@ compile_gptp(const qir::Circuit& c, const hw::QubitMapping& initial,
     std::vector<double> qready(nq, 0.0);
     std::vector<double> last_use(nq, -1.0);
     pass::SlotPool slots(m.num_nodes, m.comm_qubits_per_node);
+    pass::LinkPool links(m.link.bandwidth);
 
     GptpResult res;
     double makespan = 0.0;
@@ -64,6 +66,10 @@ compile_gptp(const qir::Circuit& c, const hw::QubitMapping& initial,
         bump(end);
     };
 
+    // Per-pair preparation plans, computed once per node pair — remote
+    // swaps repeat pairs thousands of times on big circuits.
+    pass::EprPlanCache plans(m);
+
     // Remote SWAP: teleport `mover` into `dest`, teleport an LRU victim
     // out to mover's old node. Two EPR pairs; the two teleports overlap
     // when slots allow (each node has two comm qubits).
@@ -78,24 +84,25 @@ compile_gptp(const qir::Circuit& c, const hw::QubitMapping& initial,
                 last_use[static_cast<std::size_t>(victim)])
                 victim = q;
 
-        // Two EPR pairs between src and dest.
+        // Two EPR pairs between src and dest, each reserving the shared
+        // resource model (endpoint slots, swap-router slots, bandwidth
+        // channels) so the baseline stays comparable to AutoComm on
+        // noisy, capped, multi-hop machines.
         const double floor = std::max(
             qready[static_cast<std::size_t>(mover)],
             qready[static_cast<std::size_t>(victim)]);
-        const double prep_start = std::max(
-            {slots.earliest(src), slots.earliest(dest)});
-        auto [s1, t1] = slots.acquire(src, prep_start);
-        auto [s2, t2] = slots.acquire(dest, prep_start);
-        auto [s3, t3] = slots.acquire(src, prep_start);
-        auto [s4, t4] = slots.acquire(dest, prep_start);
-        const double epr_done =
-            std::max({t1, t2, t3, t4}) + lat.t_epr_hops(m.hops(src, dest));
+        const pass::EprPairPlan& pl = plans.plan(src, dest);
+        const pass::EprReservation p1 = pass::reserve_epr_route(
+            slots, links, pl.route, pl.chan, pl.duration, 0.0);
+        const pass::EprReservation p2 = pass::reserve_epr_route(
+            slots, links, pl.route, pl.chan, pl.duration, 0.0);
+        const double epr_done = std::max(p1.done, p2.done);
         const double go = std::max(epr_done, floor);
         const double done = go + t_tele; // the two teleports overlap
-        slots.release(src, s1, done);
-        slots.release(dest, s2, done);
-        slots.release(src, s3, done);
-        slots.release(dest, s4, done);
+        slots.release(pl.route.front(), p1.slot_a, done);
+        slots.release(pl.route.back(), p1.slot_b, done);
+        slots.release(pl.route.front(), p2.slot_a, done);
+        slots.release(pl.route.back(), p2.slot_b, done);
         res.total_comms += 2;
         res.remote_swaps += 1;
 

@@ -1,5 +1,7 @@
 #include "comm/epr.hpp"
 
+#include <cmath>
+
 #include "support/log.hpp"
 
 namespace autocomm::comm {
@@ -13,11 +15,43 @@ EprLedger::consume(NodeId a, NodeId b, std::size_t count)
     total_ += count;
 }
 
+void
+EprLedger::consume_raw(NodeId a, NodeId b, std::size_t count)
+{
+    if (a == b)
+        support::fatal("EprLedger: EPR pair within a single node");
+    raw_per_link_[key(a, b)] += count;
+    raw_total_ += count;
+}
+
+void
+EprLedger::record_fidelity(double f)
+{
+    if (f <= 0.0 || f > 1.0)
+        support::fatal("EprLedger: pair fidelity %.6g outside (0, 1]", f);
+    // f == 1.0 contributes exactly 0, keeping the perfect-link estimate
+    // bit-identical to 1.0 regardless of pair count.
+    log_fidelity_ += std::log(f);
+}
+
+double
+EprLedger::fidelity_product() const
+{
+    return std::exp(log_fidelity_);
+}
+
 std::size_t
 EprLedger::on_link(NodeId a, NodeId b) const
 {
     const auto it = per_link_.find(key(a, b));
     return it == per_link_.end() ? 0 : it->second;
+}
+
+std::size_t
+EprLedger::raw_on_link(NodeId a, NodeId b) const
+{
+    const auto it = raw_per_link_.find(key(a, b));
+    return it == raw_per_link_.end() ? 0 : it->second;
 }
 
 std::pair<std::pair<NodeId, NodeId>, std::size_t>

@@ -4,6 +4,14 @@
  * Every Cat-Comm or TP-Comm invocation consumes exactly one remote EPR
  * pair (paper §2.2), so the ledger doubles as the communication-count
  * metric broken down by link.
+ *
+ * Under the noisy-link model the ledger distinguishes *purified* pairs
+ * (what a protocol consumes, one per communication) from *raw* elementary
+ * pairs (what the hardware generated: 2^rounds per purification tree, on
+ * every link of the entanglement-swapping route), and accumulates an
+ * end-to-end program fidelity estimate — the product of the consumed
+ * pairs' post-purification fidelities, kept in log space so thousands of
+ * pairs do not underflow.
  */
 #pragma once
 
@@ -19,20 +27,43 @@ namespace autocomm::comm {
 class EprLedger
 {
   public:
-    /** Record the consumption of one EPR pair between @p a and @p b. */
+    /** Record the consumption of one (purified) EPR pair between @p a
+     * and @p b. */
     void consume(NodeId a, NodeId b, std::size_t count = 1);
 
-    /** Total EPR pairs consumed. */
+    /** Record @p count raw elementary pairs generated on the physical
+     * (a, b) link (purification inputs and swapping segments). */
+    void consume_raw(NodeId a, NodeId b, std::size_t count = 1);
+
+    /** Fold the fidelity of one consumed pair into the program-fidelity
+     * estimate. @p f must lie in (0, 1]. */
+    void record_fidelity(double f);
+
+    /** Total purified EPR pairs consumed. */
     std::size_t total() const { return total_; }
 
-    /** EPR pairs consumed on the (a, b) link (order-insensitive). */
+    /** Total raw elementary pairs generated; equals total() on perfect
+     * single-hop links where raw and purified pairs coincide. */
+    std::size_t raw_total() const { return raw_total_; }
+
+    /** Purified pairs consumed on the (a, b) link (order-insensitive). */
     std::size_t on_link(NodeId a, NodeId b) const;
+
+    /** Raw pairs generated on the physical (a, b) link. */
+    std::size_t raw_on_link(NodeId a, NodeId b) const;
 
     /** Number of distinct links used. */
     std::size_t links_used() const { return per_link_.size(); }
 
-    /** The busiest link and its count ({-1,-1},0 when empty). */
+    /** The busiest link and its purified count ({-1,-1},0 when empty). */
     std::pair<std::pair<NodeId, NodeId>, std::size_t> busiest() const;
+
+    /** Sum of ln(fidelity) over consumed pairs (0 when all perfect). */
+    double log_fidelity() const { return log_fidelity_; }
+
+    /** Product of consumed-pair fidelities: the program's end-to-end
+     * entanglement fidelity estimate (1.0 when noise is off). */
+    double fidelity_product() const;
 
   private:
     static std::pair<NodeId, NodeId>
@@ -42,7 +73,10 @@ class EprLedger
     }
 
     std::map<std::pair<NodeId, NodeId>, std::size_t> per_link_;
+    std::map<std::pair<NodeId, NodeId>, std::size_t> raw_per_link_;
     std::size_t total_ = 0;
+    std::size_t raw_total_ = 0;
+    double log_fidelity_ = 0.0;
 };
 
 } // namespace autocomm::comm

@@ -1,9 +1,14 @@
 #include "driver/sweep.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <map>
+#include <optional>
+#include <utility>
 
 #include "baseline/gptp.hpp"
+#include "partition/interaction_graph.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
 #include "support/log.hpp"
@@ -52,6 +57,12 @@ SweepCell::label() const
         out += "@" + shape;
     if (topology != hw::Topology::AllToAll)
         out += std::string("+") + hw::topology_name(topology);
+    if (link_fidelity != 1.0)
+        out += support::strprintf("~f%g", link_fidelity);
+    if (target_fidelity > 0.0)
+        out += support::strprintf("~t%g", target_fidelity);
+    if (link_bandwidth > 0)
+        out += support::strprintf("~b%d", link_bandwidth);
     return out + "/" + options.name;
 }
 
@@ -72,21 +83,29 @@ SweepGrid::cells() const
 
     std::vector<SweepCell> out;
     out.reserve(families.size() * qubit_counts.size() * machines.size() *
-                topologies.size() * option_sets.size());
+                topologies.size() * link_fidelities.size() *
+                target_fidelities.size() * link_bandwidths.size() *
+                option_sets.size());
     for (circuits::Family f : families)
         for (int q : qubit_counts)
             for (const auto& [n, shape] : machines)
                 for (hw::Topology t : topologies)
-                    for (const OptionSet& o : option_sets) {
-                        SweepCell cell;
-                        cell.spec = {f, q, n};
-                        cell.options = o;
-                        cell.seed = seed;
-                        cell.shape = shape;
-                        cell.topology = t;
-                        cell.with_baseline = with_baseline;
-                        out.push_back(std::move(cell));
-                    }
+                    for (double lf : link_fidelities)
+                        for (double tf : target_fidelities)
+                            for (int bw : link_bandwidths)
+                                for (const OptionSet& o : option_sets) {
+                                    SweepCell cell;
+                                    cell.spec = {f, q, n};
+                                    cell.options = o;
+                                    cell.seed = seed;
+                                    cell.shape = shape;
+                                    cell.topology = t;
+                                    cell.link_fidelity = lf;
+                                    cell.target_fidelity = tf;
+                                    cell.link_bandwidth = bw;
+                                    cell.with_baseline = with_baseline;
+                                    out.push_back(std::move(cell));
+                                }
     return out;
 }
 
@@ -110,36 +129,53 @@ cells_from_specs(const std::vector<circuits::BenchmarkSpec>& specs,
     return out;
 }
 
-PreparedCell
-prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
-             const std::string& shape, hw::Topology topology)
+namespace {
+
+/** Throw the same UserErrors prepare_cell would for a malformed cell
+ * geometry (non-positive counts, shape/node-count mismatch). */
+void
+validate_cell_geometry(const circuits::BenchmarkSpec& spec,
+                       const std::string& shape)
 {
     if (spec.num_qubits <= 0 || spec.num_nodes <= 0)
         support::fatal("sweep cell %s: qubit and node counts must be "
                        "positive", spec.label().c_str());
-
-    PreparedCell p;
-    p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
-    if (shape.empty()) {
-        p.machine = hw::Machine::homogeneous(
-            spec.num_nodes,
-            (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes,
-            topology);
-    } else {
-        std::vector<int> caps = hw::parse_shape(shape);
+    if (!shape.empty()) {
+        const std::vector<int> caps = hw::parse_shape(shape);
         if (static_cast<int>(caps.size()) != spec.num_nodes)
             support::fatal("sweep cell %s: shape \"%s\" has %zu nodes, "
                            "spec says %d", spec.label().c_str(),
                            shape.c_str(), caps.size(), spec.num_nodes);
-        p.machine = hw::Machine::from_capacities(std::move(caps), topology);
     }
-    p.mapping = partition::oee_map(p.circuit, p.machine);
-    p.mapping.validate(p.machine);
-    return p;
 }
 
+/** Derive the machine for a cell: shape, topology, and link noise. */
+hw::Machine
+machine_for(const circuits::BenchmarkSpec& spec, const std::string& shape,
+            hw::Topology topology, double link_fidelity,
+            double target_fidelity, int link_bandwidth)
+{
+    hw::Machine m;
+    if (shape.empty()) {
+        m = hw::Machine::homogeneous(
+            spec.num_nodes,
+            (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes,
+            topology);
+    } else {
+        m = hw::Machine::from_capacities(hw::parse_shape(shape), topology);
+    }
+    m.link.fidelity = link_fidelity;
+    m.link.bandwidth = link_bandwidth;
+    m.purify.target_fidelity = target_fidelity;
+    // Uniform link fidelities never change the routing already built by
+    // the factory, so no rebuild is needed here.
+    return m;
+}
+
+/** The compile half of run_cell, over prepared inputs. */
 SweepRow
-run_cell(const SweepCell& cell)
+run_cell_prepared(const SweepCell& cell, const qir::Circuit& circuit,
+                  const hw::QubitMapping& mapping)
 {
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
@@ -148,11 +184,14 @@ run_cell(const SweepCell& cell)
     row.cell = cell;
 
     support::inform("compiling %s...", cell.label().c_str());
-    const PreparedCell p =
-        prepare_cell(cell.spec, cell.seed, cell.shape, cell.topology);
+    const hw::Machine machine =
+        machine_for(cell.spec, cell.shape, cell.topology,
+                    cell.link_fidelity, cell.target_fidelity,
+                    cell.link_bandwidth);
+    mapping.validate(machine);
 
-    row.stats = p.circuit.stats();
-    row.remote_cx = p.mapping.count_remote(p.circuit);
+    row.stats = circuit.stats();
+    row.remote_cx = mapping.count_remote(circuit);
 
     if (cell.stats_only) {
         row.ok = true;
@@ -162,19 +201,19 @@ run_cell(const SweepCell& cell)
     }
 
     const pass::CompileResult compiled =
-        pass::compile(p.circuit, p.mapping, p.machine, cell.options.opts);
+        pass::compile(circuit, mapping, machine, cell.options.opts);
     row.metrics = compiled.metrics;
     row.schedule = compiled.schedule;
 
     if (cell.with_baseline) {
         const pass::CompileResult ferrari =
-            baseline::compile_ferrari(p.circuit, p.mapping, p.machine);
+            baseline::compile_ferrari(circuit, mapping, machine);
         row.factors = baseline::relative_factors(ferrari, compiled);
     }
 
     if (cell.with_gptp) {
         const baseline::GptpResult gp =
-            baseline::compile_gptp(p.circuit, p.mapping, p.machine);
+            baseline::compile_gptp(circuit, mapping, machine);
         row.gptp_factors = baseline::relative_factors(
             gp.total_comms, gp.makespan, compiled);
     }
@@ -185,6 +224,35 @@ run_cell(const SweepCell& cell)
     return row;
 }
 
+} // namespace
+
+PreparedCell
+prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
+             const std::string& shape, hw::Topology topology,
+             double link_fidelity, double target_fidelity,
+             int link_bandwidth)
+{
+    validate_cell_geometry(spec, shape);
+
+    PreparedCell p;
+    p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
+    p.machine = machine_for(spec, shape, topology, link_fidelity,
+                            target_fidelity, link_bandwidth);
+    p.mapping = partition::oee_map(p.circuit, p.machine);
+    p.mapping.validate(p.machine);
+    return p;
+}
+
+SweepRow
+run_cell(const SweepCell& cell)
+{
+    const PreparedCell p =
+        prepare_cell(cell.spec, cell.seed, cell.shape, cell.topology,
+                     cell.link_fidelity, cell.target_fidelity,
+                     cell.link_bandwidth);
+    return run_cell_prepared(cell, p.circuit, p.mapping);
+}
+
 std::vector<SweepRow>
 run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
 {
@@ -192,12 +260,128 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     if (cells.empty())
         return rows;
 
+    // ---- Group cells by shared preparation work ----
+    // Cells differing only in topology, noise, or option set share the
+    // generated circuit, its interaction graph, AND the OEE mapping
+    // (partitioning sees only the circuit and the node capacities);
+    // cells differing only in machine shape still share the circuit and
+    // graph. Memoizing both levels turns an A-axis ablation grid's
+    // preparation cost from O(cells) into O(distinct machines).
+    struct Program
+    {
+        qir::Circuit circuit;
+        std::optional<partition::InteractionGraph> graph;
+        std::string error;
+    };
+    struct Mapping
+    {
+        std::size_t program = 0;
+        std::vector<int> capacities;
+        std::optional<hw::QubitMapping> map;
+        std::string error;
+    };
+
+    std::map<std::string, std::size_t> program_index;
+    std::map<std::string, std::size_t> mapping_index;
+    std::vector<Program> programs;
+    std::vector<Mapping> mappings;
+    std::vector<const SweepCell*> program_cell; // exemplar per program
+    // Cell -> mapping group; SIZE_MAX marks rows already failed
+    // geometry validation.
+    std::vector<std::size_t> cell_mapping(cells.size(), SIZE_MAX);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell& cell = cells[i];
+        try {
+            validate_cell_geometry(cell.spec, cell.shape);
+        } catch (const std::exception& e) {
+            if (opts.rethrow_errors)
+                throw;
+            rows[i].cell = cell;
+            rows[i].ok = false;
+            rows[i].error = e.what();
+            continue;
+        }
+        // num_nodes is part of the program key even though no current
+        // family reads it from the spec — if one ever becomes
+        // node-aware, sharing a circuit across node counts would
+        // silently diverge from run_cell(). The axes this cache is for
+        // (option set, topology, noise) never vary the key.
+        const std::string pkey = support::strprintf(
+            "%s|%d|%d|%llu", circuits::family_name(cell.spec.family),
+            cell.spec.num_qubits, cell.spec.num_nodes,
+            static_cast<unsigned long long>(cell.seed));
+        auto [pit, pnew] = program_index.emplace(pkey, programs.size());
+        if (pnew) {
+            programs.emplace_back();
+            program_cell.push_back(&cell);
+        }
+
+        const std::string mkey = support::strprintf(
+            "%s|%s", pkey.c_str(), cell.shape.c_str());
+        auto [mit, mnew] = mapping_index.emplace(mkey, mappings.size());
+        if (mnew) {
+            Mapping mp;
+            mp.program = pit->second;
+            mp.capacities =
+                cell.shape.empty()
+                    ? std::vector<int>(
+                          static_cast<std::size_t>(cell.spec.num_nodes),
+                          (cell.spec.num_qubits + cell.spec.num_nodes - 1) /
+                              cell.spec.num_nodes)
+                    : hw::parse_shape(cell.shape);
+            mappings.push_back(std::move(mp));
+        }
+        cell_mapping[i] = mit->second;
+    }
+
     support::ThreadPool pool(opts.num_threads);
+
+    // Phase 1: generate + decompose each distinct program, build its
+    // interaction graph.
+    support::parallel_for(pool, programs.size(), [&](std::size_t i) {
+        try {
+            programs[i].circuit = qir::decompose(circuits::make_benchmark(
+                program_cell[i]->spec, program_cell[i]->seed));
+            programs[i].graph = partition::InteractionGraph::from_circuit(
+                programs[i].circuit);
+        } catch (const std::exception& e) {
+            if (opts.rethrow_errors)
+                throw;
+            programs[i].error = e.what();
+        }
+    });
+
+    // Phase 2: OEE-partition each distinct (program, capacities) pair.
+    support::parallel_for(pool, mappings.size(), [&](std::size_t i) {
+        Mapping& mp = mappings[i];
+        const Program& prog = programs[mp.program];
+        if (!prog.error.empty()) {
+            mp.error = prog.error;
+            return;
+        }
+        try {
+            mp.map = hw::QubitMapping(partition::oee_partition(
+                *prog.graph, mp.capacities));
+        } catch (const std::exception& e) {
+            if (opts.rethrow_errors)
+                throw;
+            mp.error = e.what();
+        }
+    });
+
+    // Phase 3: compile every cell against its memoized preparation.
     // Rows are written by index, so the output order is the cell order no
     // matter which worker finishes first.
     support::parallel_for(pool, cells.size(), [&](std::size_t i) {
+        if (cell_mapping[i] == SIZE_MAX)
+            return; // geometry error already recorded
+        const Mapping& mp = mappings[cell_mapping[i]];
         try {
-            rows[i] = run_cell(cells[i]);
+            if (!mp.error.empty())
+                throw support::UserError(mp.error);
+            rows[i] = run_cell_prepared(
+                cells[i], programs[mp.program].circuit, *mp.map);
         } catch (const std::exception& e) {
             if (opts.rethrow_errors)
                 throw;
@@ -213,10 +397,12 @@ support::CsvWriter
 sweep_csv(const std::vector<SweepRow>& rows)
 {
     support::CsvWriter csv(
-        {"name", "options", "qubits", "nodes", "topology", "shape", "ok",
+        {"name", "options", "qubits", "nodes", "topology", "shape",
+         "link_fidelity", "target_fidelity", "link_bandwidth", "ok",
          "error", "gates", "cx", "rem_cx", "blocks", "tot_comm", "tp_comm",
          "cat_comm", "peak_rem_cx", "makespan", "epr_pairs", "hops_total",
-         "improv_factor", "lat_dec_factor"});
+         "epr_raw", "purify_rounds", "program_fidelity", "improv_factor",
+         "lat_dec_factor"});
     for (const SweepRow& r : rows) {
         csv.start_row();
         csv.add(r.cell.spec.label());
@@ -225,6 +411,9 @@ sweep_csv(const std::vector<SweepRow>& rows)
         csv.add(static_cast<long long>(r.cell.spec.num_nodes));
         csv.add(std::string(hw::topology_name(r.cell.topology)));
         csv.add(r.cell.shape);
+        csv.add(r.cell.link_fidelity);
+        csv.add(r.cell.target_fidelity);
+        csv.add(static_cast<long long>(r.cell.link_bandwidth));
         csv.add(static_cast<long long>(r.ok ? 1 : 0));
         csv.add(r.error);
         csv.add(static_cast<long long>(r.stats.total_gates));
@@ -238,10 +427,134 @@ sweep_csv(const std::vector<SweepRow>& rows)
         csv.add(r.schedule.makespan);
         csv.add(static_cast<long long>(r.schedule.epr_pairs));
         csv.add(static_cast<long long>(r.schedule.hops_total));
+        csv.add(static_cast<long long>(r.schedule.epr_raw_pairs));
+        csv.add(static_cast<long long>(r.schedule.purify_rounds));
+        csv.add(r.schedule.program_fidelity());
         csv.add(r.factors ? r.factors->improv_factor : 0.0);
         csv.add(r.factors ? r.factors->lat_dec_factor : 0.0);
     }
     return csv;
+}
+
+namespace {
+
+std::vector<std::string>
+split_list(const std::string& s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t sep_at = s.find(sep, start);
+        const std::size_t end =
+            sep_at == std::string::npos ? s.size() : sep_at;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (sep_at == std::string::npos)
+            break;
+        start = sep_at + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<int>
+parse_int_list(const std::string& list, const char* flag, long min_value,
+               long max_value)
+{
+    std::vector<int> out;
+    for (const std::string& tok : split_list(list, ',')) {
+        char* end = nullptr;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || v < min_value ||
+            v > max_value)
+            support::fatal("%s: \"%s\" is not an integer in [%ld, %ld]",
+                           flag, tok.c_str(), min_value, max_value);
+        out.push_back(static_cast<int>(v));
+    }
+    if (out.empty())
+        support::fatal("%s: empty list", flag);
+    return out;
+}
+
+std::vector<double>
+parse_fidelity_list(const std::string& list, const char* flag,
+                    bool zero_disables)
+{
+    std::vector<double> out;
+    for (const std::string& tok : split_list(list, ',')) {
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        // Raw link fidelities live in (0.25, 1] — above the maximally
+        // mixed Werner floor (see noise::LinkModel::validate).
+        // Purification targets (zero_disables) live in (0, 1) — the
+        // recurrence reaches 1 only asymptotically — with 0 meaning
+        // "purification off".
+        const bool in_range = zero_disables
+                                  ? ((v > 0.0 && v < 1.0) || v == 0.0)
+                                  : (v > 0.25 && v <= 1.0);
+        if (end == tok.c_str() || *end != '\0' || !in_range)
+            support::fatal("%s: \"%s\" is not a fidelity in %s", flag,
+                           tok.c_str(),
+                           zero_disables ? "(0, 1) (or 0 to disable)"
+                                         : "(0.25, 1]");
+        out.push_back(v);
+    }
+    if (out.empty())
+        support::fatal("%s: empty list", flag);
+    return out;
+}
+
+std::vector<hw::Topology>
+parse_topology_list(const std::string& list, const char* flag)
+{
+    std::vector<hw::Topology> out;
+    for (const std::string& tok : split_list(list, ',')) {
+        const auto t = hw::parse_topology(tok);
+        if (!t)
+            support::fatal("%s: unknown topology \"%s\" (expected "
+                           "all_to_all, ring, grid, or star)",
+                           flag, tok.c_str());
+        out.push_back(*t);
+    }
+    if (out.empty())
+        support::fatal("%s: empty list", flag);
+    return out;
+}
+
+std::vector<circuits::Family>
+parse_family_list(const std::string& list, const char* flag)
+{
+    std::vector<circuits::Family> out;
+    for (const std::string& tok : split_list(list, ',')) {
+        const auto f = circuits::parse_family(tok);
+        if (!f)
+            support::fatal("%s: unknown family \"%s\" (expected MCTR, "
+                           "RCA, QFT, BV, QAOA, or UCCSD)",
+                           flag, tok.c_str());
+        out.push_back(*f);
+    }
+    if (out.empty())
+        support::fatal("%s: empty list", flag);
+    return out;
+}
+
+std::vector<std::string>
+parse_shape_list(const std::string& list, const char* flag)
+{
+    std::vector<std::string> out;
+    for (const std::string& tok : split_list(list, ';')) {
+        try {
+            hw::parse_shape(tok); // validate eagerly
+        } catch (const support::UserError& e) {
+            support::fatal("%s: bad shape \"%s\": %s", flag, tok.c_str(),
+                           e.what());
+        }
+        out.push_back(tok);
+    }
+    if (out.empty())
+        support::fatal("%s: empty shape list", flag);
+    return out;
 }
 
 } // namespace autocomm::driver

@@ -53,6 +53,14 @@ struct SweepCell
     std::string shape;
     /** Quantum-link topology of the machine. */
     hw::Topology topology = hw::Topology::AllToAll;
+    /** Raw EPR fidelity of every physical link (1.0 = perfect). */
+    double link_fidelity = 1.0;
+    /** Required post-purification end-to-end fidelity; 0 disables
+     * purification (see noise::PurificationPolicy). */
+    double target_fidelity = 0.0;
+    /** Max concurrent elementary EPR preparations per link; 0 means
+     * unlimited (the paper's contention-free links). */
+    int link_bandwidth = 0;
     /** Also run the Ferrari per-CX baseline and record relative factors. */
     bool with_baseline = false;
     /** Also run the GP-TP baseline (Fig. 16) and record its factors. */
@@ -60,8 +68,9 @@ struct SweepCell
     /** Only prepare and count (Table 2 columns); skip pass::compile. */
     bool stats_only = false;
 
-    /** "QFT-100-10/default"-style row label; non-default shapes and
-     * topologies append "@shape" / "+topology". */
+    /** "QFT-100-10/default"-style row label; non-default shapes,
+     * topologies, and noise settings append "@shape" / "+topology" /
+     * "~f.../~t.../~b...". */
     std::string label() const;
 };
 
@@ -79,6 +88,12 @@ struct SweepGrid
     std::vector<std::string> shapes;
     /** Link-topology axis (between the machine and option-set axes). */
     std::vector<hw::Topology> topologies{hw::Topology::AllToAll};
+    /** Raw link-fidelity axis (noise off at 1.0). */
+    std::vector<double> link_fidelities{1.0};
+    /** Purification-target axis (purification off at 0.0). */
+    std::vector<double> target_fidelities{0.0};
+    /** Link-bandwidth axis (unlimited at 0). */
+    std::vector<int> link_bandwidths{0};
     std::vector<OptionSet> option_sets{OptionSet{}};
     std::uint64_t seed = 2022;
     bool with_baseline = false;
@@ -106,14 +121,17 @@ struct PreparedCell
 /**
  * The shared preparation recipe (also used by the bench harness):
  * generate + decompose the circuit, derive the machine (ceil-divided
- * qubits per node, or the explicit @p shape with per-node capacities),
- * build the topology's routing table, map with capacity-aware OEE,
- * validate.
+ * qubits per node, or the explicit @p shape with per-node capacities,
+ * plus the link noise model), build the topology's routing table, map
+ * with capacity-aware OEE, validate.
  */
 PreparedCell prepare_cell(const circuits::BenchmarkSpec& spec,
                           std::uint64_t seed = 2022,
                           const std::string& shape = {},
-                          hw::Topology topology = hw::Topology::AllToAll);
+                          hw::Topology topology = hw::Topology::AllToAll,
+                          double link_fidelity = 1.0,
+                          double target_fidelity = 0.0,
+                          int link_bandwidth = 0);
 
 /** Metrics row for one compiled cell (Table 2 + Table 3 columns). */
 struct SweepRow
@@ -156,11 +174,48 @@ SweepRow run_cell(const SweepCell& cell);
  * and are independent of opts.num_threads. A cell whose compilation
  * throws yields a row with ok == false and the exception text in
  * `error` (unless opts.rethrow_errors).
+ *
+ * Circuit generation, interaction-graph construction, and the OEE
+ * mapping are memoized across cells that share them (option-set,
+ * topology, and noise axes re-partition nothing), so wide ablation
+ * grids prepare each (family, qubits, seed, shape) once.
  */
 std::vector<SweepRow> run_sweep(const std::vector<SweepCell>& cells,
                                 const SweepOptions& opts = {});
 
 /** Serialize rows as a CSV document (deterministic columns only). */
 support::CsvWriter sweep_csv(const std::vector<SweepRow>& rows);
+
+// ---- CLI axis-list parsing (shared by bench_sweep / bench_fidelity) ----
+// Every parser throws support::UserError with the offending token echoed
+// and the flag named, so CLI errors read like
+//   --topology: unknown topology "torus" (expected all_to_all, ring,
+//   grid, or star)
+
+/** Parse a comma list of integers in [min_value, max_value]. */
+std::vector<int> parse_int_list(const std::string& list, const char* flag,
+                                long min_value = 1,
+                                long max_value = 1'000'000);
+
+/**
+ * Parse a comma list of fidelities in (0, 1]. When @p zero_disables, a
+ * literal 0 is additionally allowed (the "noise/purification off" axis
+ * point).
+ */
+std::vector<double> parse_fidelity_list(const std::string& list,
+                                        const char* flag,
+                                        bool zero_disables = false);
+
+/** Parse a comma list of topology names. */
+std::vector<hw::Topology> parse_topology_list(const std::string& list,
+                                              const char* flag);
+
+/** Parse a comma list of circuit-family names. */
+std::vector<circuits::Family> parse_family_list(const std::string& list,
+                                                const char* flag);
+
+/** Parse a ';'-separated list of machine-shape specs (validated). */
+std::vector<std::string> parse_shape_list(const std::string& list,
+                                          const char* flag);
 
 } // namespace autocomm::driver

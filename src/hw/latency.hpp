@@ -65,6 +65,17 @@ struct LatencyModel
     }
 
     /**
+     * One BBPSSW purification round: bilateral CX onto the sacrificial
+     * pair, measurement on both ends (concurrent), and a round-trip of
+     * classical communication to compare outcomes.
+     */
+    double
+    t_purify_round() const
+    {
+        return t_2q + t_meas + 2 * t_cbit;
+    }
+
+    /**
      * EPR preparation between nodes @p hops links apart, via entanglement
      * swapping: k elementary pair preparations plus a swap correction at
      * each of the k-1 intermediate nodes. Exactly t_epr at one hop, so

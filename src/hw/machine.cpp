@@ -58,10 +58,16 @@ Machine::build_routing(int grid_rows)
     // not a leftover from a previous node count.
     routing = RoutingTable{};
     validate_shape();
-    if (topology != Topology::AllToAll)
+    if (!link.uniform()) {
+        // Per-link fidelity overrides make min-hop routes suboptimal —
+        // even on all-to-all, detouring around a degraded fiber can win.
+        routing = RoutingTable::build_max_fidelity(topology, num_nodes,
+                                                   link, grid_rows);
+    } else if (topology != Topology::AllToAll) {
         routing = RoutingTable::build(topology, num_nodes, grid_rows);
-    // All-to-all keeps the empty table: the fallback is exact and keeps
-    // default-shaped machines cheap to copy.
+    }
+    // Uniform all-to-all keeps the empty table: the fallback is exact and
+    // keeps default-shaped machines cheap to copy.
 }
 
 void
@@ -85,17 +91,72 @@ Machine::validate_shape() const
                        "has %d", routing.num_nodes(), num_nodes);
 }
 
+double
+Machine::pair_fidelity(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 1.0;
+    if (link.perfect())
+        return 1.0;
+    const std::vector<NodeId> route = path(a, b);
+    double f = link.link_fidelity(route[0], route[1]);
+    for (std::size_t i = 2; i < route.size(); ++i)
+        f = noise::swap_fidelity(f, link.link_fidelity(route[i - 1],
+                                                       route[i]));
+    return f;
+}
+
+double
+Machine::epr_latency(NodeId a, NodeId b) const
+{
+    const double base = latency.t_epr_hops(hops(a, b));
+    if (link.perfect() && !purify.enabled())
+        return base; // fast path: the paper's model, bit-identical
+    const int rounds = purification_rounds(a, b);
+    const auto raw = noise::PurificationPolicy::cost_multiplier(rounds);
+    const std::size_t waves =
+        link.bandwidth > 0
+            ? (raw + static_cast<std::size_t>(link.bandwidth) - 1) /
+                  static_cast<std::size_t>(link.bandwidth)
+            : 1;
+    return static_cast<double>(waves) * base +
+           rounds * latency.t_purify_round();
+}
+
+void
+Machine::validate_noise() const
+{
+    link.validate();
+    if (!purify.enabled())
+        return;
+    if (purify.target_fidelity >= 1.0)
+        support::fatal("Machine: target fidelity %.6g is unreachable "
+                       "(purification approaches 1 only asymptotically)",
+                       purify.target_fidelity);
+    // Every node pair must be purifiable; the worst pair is whichever
+    // routed pair composes to the lowest raw fidelity.
+    for (NodeId a = 0; a < num_nodes; ++a)
+        for (NodeId b = a + 1; b < num_nodes; ++b)
+            (void)purification_rounds(a, b); // throws when unreachable
+}
+
 void
 Machine::validate_routing() const
 {
-    if (topology == Topology::AllToAll)
-        return; // the empty-table fallback is exact here
-    if (routing.empty() || routing.num_nodes() != num_nodes)
+    if (topology != Topology::AllToAll &&
+        (routing.empty() || routing.num_nodes() != num_nodes))
         support::fatal("Machine: topology %s declared but its routing "
                        "table was not built for %d nodes; use "
                        "Machine::homogeneous/from_capacities or call "
                        "build_routing()",
                        topology_name(topology), num_nodes);
+    // Multi-hop routes swap through intermediate routers, each of which
+    // pins one comm qubit toward each side of the swap.
+    if (routing.max_hops() > 1 && comm_qubits_per_node < 2)
+        support::fatal("Machine: routes of up to %d hops need two comm "
+                       "qubits at every intermediate swap router, but "
+                       "comm_qubits_per_node is %d",
+                       routing.max_hops(), comm_qubits_per_node);
 }
 
 QubitMapping::QubitMapping(std::vector<NodeId> qubit_node)

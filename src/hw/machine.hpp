@@ -18,10 +18,13 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "hw/latency.hpp"
 #include "hw/topology.hpp"
+#include "noise/link_model.hpp"
+#include "noise/purification.hpp"
 #include "qir/circuit.hpp"
 #include "qir/types.hpp"
 
@@ -53,6 +56,14 @@ struct Machine
      */
     RoutingTable routing;
 
+    /** EPR-link quality/capacity; defaults are perfect unlimited links.
+     * After setting per-link fidelity overrides, call build_routing() to
+     * re-route around degraded links. */
+    noise::LinkModel link;
+
+    /** End-to-end purification requirement; default off. */
+    noise::PurificationPolicy purify;
+
     /** Homogeneous machine of @p nodes x @p per data qubits. */
     static Machine homogeneous(int nodes, int per,
                                Topology t = Topology::AllToAll);
@@ -79,11 +90,50 @@ struct Machine
      * the all-to-all fallback). */
     int hops(NodeId a, NodeId b) const { return routing.hops(a, b); }
 
-    /** EPR-preparation latency between two nodes, hop-scaled. */
-    double epr_latency(NodeId a, NodeId b) const
+    /** Routed node sequence from @p a to @p b (see RoutingTable::path). */
+    std::vector<NodeId> path(NodeId a, NodeId b) const
     {
-        return latency.t_epr_hops(hops(a, b));
+        return routing.path(a, b);
     }
+
+    /**
+     * End-to-end raw fidelity of an EPR pair routed from @p a to @p b:
+     * the per-link raw fidelities along the route, composed with
+     * noise::swap_fidelity at each intermediate router. 1.0 on perfect
+     * links and on the diagonal.
+     */
+    double pair_fidelity(NodeId a, NodeId b) const;
+
+    /** BBPSSW rounds needed to purify the (a, b) pair to the policy's
+     * target; 0 when purification is off or the raw pair suffices.
+     * Throws support::UserError when the target is unreachable. */
+    int purification_rounds(NodeId a, NodeId b) const
+    {
+        return purify.rounds_for(pair_fidelity(a, b));
+    }
+
+    /** Fidelity of the (a, b) pair actually consumed, post-purification. */
+    double purified_pair_fidelity(NodeId a, NodeId b) const
+    {
+        return noise::purified_fidelity(pair_fidelity(a, b),
+                                        purification_rounds(a, b));
+    }
+
+    /** Raw EPR pairs consumed per purified (a, b) pair: 2^rounds. */
+    std::size_t epr_cost_multiplier(NodeId a, NodeId b) const
+    {
+        return noise::PurificationPolicy::cost_multiplier(
+            purification_rounds(a, b));
+    }
+
+    /**
+     * EPR-preparation latency between two nodes: hop-scaled elementary
+     * preparation, serialized into ceil(2^rounds / bandwidth) waves when
+     * the link bandwidth caps concurrent preparations, plus one
+     * t_purify_round per purification round. Exactly t_epr_hops(hops) on
+     * perfect unlimited links (the paper's Table 1 model).
+     */
+    double epr_latency(NodeId a, NodeId b) const;
 
     /**
      * (Re)build the routing table from `topology` and `num_nodes`. The
@@ -103,6 +153,14 @@ struct Machine
      * aggregate-initializing `topology`.
      */
     void validate_routing() const;
+
+    /**
+     * Throw support::UserError unless the link model is well-formed and,
+     * when purification is enabled, the target fidelity is reachable for
+     * every node pair (a long route over noisy links can drop below the
+     * 0.5 purification floor).
+     */
+    void validate_noise() const;
 };
 
 /** Assignment of logical qubits to machine nodes. */

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <limits>
 
+#include "noise/purification.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::hw {
@@ -94,6 +96,27 @@ adjacency(Topology t, int n, int grid_rows)
     return adj;
 }
 
+/**
+ * Convert one source's BFS/Dijkstra parent array into the next-hop row:
+ * next(src, dst) is the first node after src on the chosen src -> dst
+ * route (found by walking dst's parent chain back to src).
+ */
+void
+fill_next_row(NodeId src, int n, const std::vector<NodeId>& parent,
+              std::vector<NodeId>& next)
+{
+    const auto stride = static_cast<std::size_t>(n);
+    for (NodeId dst = 0; dst < n; ++dst) {
+        if (dst == src)
+            continue;
+        NodeId cur = dst;
+        while (parent[static_cast<std::size_t>(cur)] != src)
+            cur = parent[static_cast<std::size_t>(cur)];
+        next[static_cast<std::size_t>(src) * stride +
+             static_cast<std::size_t>(dst)] = cur;
+    }
+}
+
 } // namespace
 
 RoutingTable
@@ -107,6 +130,7 @@ RoutingTable::build(Topology t, int num_nodes, int grid_rows)
     table.hops_.assign(static_cast<std::size_t>(num_nodes) *
                            static_cast<std::size_t>(num_nodes),
                        -1);
+    table.next_.assign(table.hops_.size(), kInvalidId);
 
     const auto adj = adjacency(t, num_nodes, grid_rows);
     const auto at = [&](NodeId a, NodeId b) -> int& {
@@ -117,8 +141,10 @@ RoutingTable::build(Topology t, int num_nodes, int grid_rows)
 
     // BFS from every source: node counts are machine sizes (tens), so the
     // O(n * (n + edges)) all-pairs sweep is negligible.
+    std::vector<NodeId> parent(static_cast<std::size_t>(num_nodes));
     for (NodeId src = 0; src < num_nodes; ++src) {
         at(src, src) = 0;
+        parent.assign(static_cast<std::size_t>(num_nodes), kInvalidId);
         std::deque<NodeId> frontier{src};
         while (!frontier.empty()) {
             const NodeId u = frontier.front();
@@ -127,6 +153,7 @@ RoutingTable::build(Topology t, int num_nodes, int grid_rows)
                 if (at(src, v) >= 0)
                     continue;
                 at(src, v) = at(src, u) + 1;
+                parent[static_cast<std::size_t>(v)] = u;
                 frontier.push_back(v);
             }
         }
@@ -135,8 +162,112 @@ RoutingTable::build(Topology t, int num_nodes, int grid_rows)
                 support::fatal("RoutingTable: %s over %d nodes is "
                                "disconnected (node %d unreachable from %d)",
                                topology_name(t), num_nodes, dst, src);
+        fill_next_row(src, num_nodes, parent, table.next_);
     }
     return table;
+}
+
+RoutingTable
+RoutingTable::build_max_fidelity(Topology t, int num_nodes,
+                                 const noise::LinkModel& link, int grid_rows)
+{
+    if (num_nodes <= 0)
+        support::fatal("RoutingTable: num_nodes must be positive");
+    link.validate();
+
+    RoutingTable table;
+    table.num_nodes_ = num_nodes;
+    table.hops_.assign(static_cast<std::size_t>(num_nodes) *
+                           static_cast<std::size_t>(num_nodes),
+                       -1);
+    table.next_.assign(table.hops_.size(), kInvalidId);
+
+    const auto adj = adjacency(t, num_nodes, grid_rows);
+    const auto at = [&](NodeId a, NodeId b) -> int& {
+        return table.hops_[static_cast<std::size_t>(a) *
+                               static_cast<std::size_t>(num_nodes) +
+                           static_cast<std::size_t>(b)];
+    };
+
+    // Dijkstra-style selection maximizing the swap-composed end-to-end
+    // fidelity. Extending a route never raises its fidelity (fidelities
+    // lie in (0, 1]), so the greedy settle order is sound for any link
+    // fidelity above the 1/4 depolarized floor.
+    const auto n = static_cast<std::size_t>(num_nodes);
+    std::vector<double> best(n);
+    std::vector<int> dist(n);
+    std::vector<NodeId> parent(n);
+    std::vector<char> done(n);
+    for (NodeId src = 0; src < num_nodes; ++src) {
+        best.assign(n, -1.0);
+        dist.assign(n, 0);
+        parent.assign(n, kInvalidId);
+        done.assign(n, 0);
+        best[static_cast<std::size_t>(src)] = 2.0; // sentinel: no pair yet
+
+        for (int settled = 0; settled < num_nodes; ++settled) {
+            NodeId u = kInvalidId;
+            for (NodeId v = 0; v < num_nodes; ++v) {
+                const auto vi = static_cast<std::size_t>(v);
+                if (done[vi] || best[vi] < 0.0)
+                    continue;
+                const auto ui = static_cast<std::size_t>(u);
+                if (u == kInvalidId || best[vi] > best[ui] ||
+                    (best[vi] == best[ui] && dist[vi] < dist[ui]))
+                    u = v;
+            }
+            if (u == kInvalidId)
+                support::fatal("RoutingTable: %s over %d nodes is "
+                               "disconnected (unreachable from %d)",
+                               topology_name(t), num_nodes, src);
+            const auto ui = static_cast<std::size_t>(u);
+            done[ui] = 1;
+            for (NodeId v : adj[ui]) {
+                const auto vi = static_cast<std::size_t>(v);
+                if (done[vi])
+                    continue;
+                const double w = link.link_fidelity(u, v);
+                const double cand =
+                    u == src ? w : noise::swap_fidelity(best[ui], w);
+                const bool better =
+                    cand > best[vi] ||
+                    (cand == best[vi] && (dist[ui] + 1 < dist[vi] ||
+                                          (dist[ui] + 1 == dist[vi] &&
+                                           u < parent[vi])));
+                if (better) {
+                    best[vi] = cand;
+                    dist[vi] = dist[ui] + 1;
+                    parent[vi] = u;
+                }
+            }
+        }
+        for (NodeId dst = 0; dst < num_nodes; ++dst)
+            at(src, dst) = dist[static_cast<std::size_t>(dst)];
+        fill_next_row(src, num_nodes, parent, table.next_);
+    }
+    return table;
+}
+
+std::vector<NodeId>
+RoutingTable::path(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return {a};
+    if (empty())
+        return {a, b};
+    std::vector<NodeId> out{a};
+    NodeId cur = a;
+    while (cur != b) {
+        cur = next_[static_cast<std::size_t>(cur) *
+                        static_cast<std::size_t>(num_nodes_) +
+                    static_cast<std::size_t>(b)];
+        if (cur == kInvalidId ||
+            static_cast<int>(out.size()) > num_nodes_)
+            support::fatal("RoutingTable: corrupt next-hop chain %d -> %d",
+                           a, b);
+        out.push_back(cur);
+    }
+    return out;
 }
 
 int

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "noise/link_model.hpp"
 #include "qir/types.hpp"
 
 namespace autocomm::hw {
@@ -50,11 +51,13 @@ std::vector<Topology> all_topologies();
 int grid_rows_for(int num_nodes);
 
 /**
- * Precomputed all-pairs hop-distance table over a link topology.
+ * Precomputed all-pairs hop-distance and next-hop table over a link
+ * topology.
  *
  * A default-constructed (empty) table is the all-to-all fallback: hop 0
- * on the diagonal, hop 1 everywhere else, for any node count. This keeps
- * `hw::Machine` aggregate-initializable with unchanged semantics.
+ * on the diagonal, hop 1 everywhere else, direct paths, for any node
+ * count. This keeps `hw::Machine` aggregate-initializable with unchanged
+ * semantics.
  */
 class RoutingTable
 {
@@ -63,15 +66,30 @@ class RoutingTable
 
     /**
      * Build the table for @p t over @p num_nodes nodes via BFS on the
-     * link graph. @p grid_rows overrides the grid row count (0 selects
-     * grid_rows_for); ignored by the other topologies.
+     * link graph (min-hop routes). @p grid_rows overrides the grid row
+     * count (0 selects grid_rows_for); ignored by the other topologies.
      */
     static RoutingTable build(Topology t, int num_nodes, int grid_rows = 0);
+
+    /**
+     * Build the table choosing, per node pair, the route maximizing the
+     * end-to-end EPR fidelity under @p link (raw link fidelities composed
+     * with noise::swap_fidelity at each intermediate router) instead of
+     * the min-hop route. Deterministic tie-breaking: among equal-fidelity
+     * routes prefer fewer hops, then the smaller predecessor id. With
+     * uniform link fidelities this coincides with BFS min-hop routing.
+     * hops() reports the chosen route's length, which may exceed the
+     * BFS distance when a degraded link is worth detouring around.
+     */
+    static RoutingTable build_max_fidelity(Topology t, int num_nodes,
+                                           const noise::LinkModel& link,
+                                           int grid_rows = 0);
 
     bool empty() const { return num_nodes_ == 0; }
     int num_nodes() const { return num_nodes_; }
 
-    /** Shortest-path hop count between @p a and @p b (symmetric). */
+    /** Routed hop count between @p a and @p b (symmetric for BFS builds;
+     * min-hop unless built with build_max_fidelity). */
     int hops(NodeId a, NodeId b) const
     {
         if (empty())
@@ -81,12 +99,21 @@ class RoutingTable
                      static_cast<std::size_t>(b)];
     }
 
+    /**
+     * The routed node sequence from @p a to @p b, inclusive of both
+     * endpoints ({a} when a == b; {a, b} on the empty all-to-all
+     * fallback). Its interior nodes are the entanglement-swap routers.
+     */
+    std::vector<NodeId> path(NodeId a, NodeId b) const;
+
     /** Largest entry of the table (diameter); 1 when empty. */
     int max_hops() const;
 
   private:
     int num_nodes_ = 0;
     std::vector<int> hops_;
+    /** Next hop from a toward b; kInvalidId on the diagonal. */
+    std::vector<NodeId> next_;
 };
 
 /**

@@ -1,0 +1,58 @@
+#include "noise/link_model.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::noise {
+
+void
+LinkModel::set_link_fidelity(NodeId a, NodeId b, double f)
+{
+    if (a == b)
+        support::fatal("LinkModel: a link connects two distinct nodes "
+                       "(got %d-%d)", a, b);
+    if (f <= 0.25 || f > 1.0)
+        support::fatal("LinkModel: link %d-%d fidelity %.6g is outside "
+                       "(0.25, 1] (0.25 is the maximally mixed floor)",
+                       a, b, f);
+    overrides_[key(a, b)] = f;
+}
+
+double
+LinkModel::link_fidelity(NodeId a, NodeId b) const
+{
+    const auto it = overrides_.find(key(a, b));
+    return it == overrides_.end() ? fidelity : it->second;
+}
+
+bool
+LinkModel::perfect() const
+{
+    if (fidelity != 1.0)
+        return false;
+    for (const auto& [link, f] : overrides_)
+        if (f != 1.0)
+            return false;
+    return true;
+}
+
+void
+LinkModel::validate() const
+{
+    // Below fidelity 1/4 (the maximally mixed Werner floor) the swap
+    // and purification algebra invert: composing such links can *raise*
+    // fidelity, which would also break the max-fidelity router's greedy
+    // assumption. Such links are physically useless, so reject them.
+    if (fidelity <= 0.25 || fidelity > 1.0)
+        support::fatal("LinkModel: link fidelity %.6g is outside "
+                       "(0.25, 1] (0.25 is the maximally mixed floor)",
+                       fidelity);
+    if (bandwidth < 0)
+        support::fatal("LinkModel: link bandwidth %d is negative "
+                       "(use 0 for unlimited)", bandwidth);
+    for (const auto& [link, f] : overrides_)
+        if (f <= 0.25 || f > 1.0)
+            support::fatal("LinkModel: link %d-%d fidelity %.6g is outside "
+                           "(0.25, 1]", link.first, link.second, f);
+}
+
+} // namespace autocomm::noise

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-link EPR quality and capacity model of the quantum interconnect.
+ *
+ * Every physical link of the machine's topology prepares raw EPR pairs at
+ * some fidelity and can run at most `bandwidth` elementary preparations
+ * concurrently. The defaults (fidelity 1.0, unlimited bandwidth) are the
+ * paper's perfect contention-free links and are provably metric-neutral:
+ * they add zero purification rounds, zero extra latency, and no
+ * scheduling constraints.
+ *
+ * Individual links may override the uniform fidelity (a "degraded fiber"),
+ * which makes min-hop routing suboptimal — see
+ * hw::RoutingTable::build_max_fidelity.
+ */
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "qir/types.hpp"
+
+namespace autocomm::noise {
+
+/** Quality and capacity of the machine's physical EPR links. */
+struct LinkModel
+{
+    /** Raw fidelity of every elementary EPR preparation (1.0 = perfect).
+     * Valid fidelities lie in (0.25, 1] — see validate(). */
+    double fidelity = 1.0;
+
+    /**
+     * Maximum concurrent elementary EPR preparations per link; 0 means
+     * unlimited (the paper's model — only comm-qubit slots constrain
+     * concurrency).
+     */
+    int bandwidth = 0;
+
+    /** Override the raw fidelity of the (a, b) link only. */
+    void set_link_fidelity(NodeId a, NodeId b, double f);
+
+    /** Raw fidelity of the (a, b) link (order-insensitive). */
+    double link_fidelity(NodeId a, NodeId b) const;
+
+    /** True when no per-link override exists (all links identical). */
+    bool uniform() const { return overrides_.empty(); }
+
+    /** True when every link is noiseless (fidelity exactly 1). */
+    bool perfect() const;
+
+    /** Throw support::UserError unless all fidelities lie in (0.25, 1]
+     * (above the maximally mixed Werner floor, where the swap and
+     * purification algebra is monotone) and the bandwidth is
+     * non-negative. */
+    void validate() const;
+
+  private:
+    static std::pair<NodeId, NodeId>
+    key(NodeId a, NodeId b)
+    {
+        return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    }
+
+    std::map<std::pair<NodeId, NodeId>, double> overrides_;
+};
+
+} // namespace autocomm::noise

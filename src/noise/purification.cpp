@@ -1,0 +1,58 @@
+#include "noise/purification.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::noise {
+
+double
+bbpssw_round(double f)
+{
+    const double e = (1.0 - f) / 3.0; // weight of each non-target Bell term
+    const double num = f * f + e * e;
+    const double den = f * f + 2.0 / 3.0 * f * (1.0 - f) + 5.0 * e * e;
+    return num / den;
+}
+
+double
+purified_fidelity(double f, int rounds)
+{
+    for (int r = 0; r < rounds; ++r)
+        f = bbpssw_round(f);
+    return f;
+}
+
+double
+swap_fidelity(double f1, double f2)
+{
+    return f1 * f2 + (1.0 - f1) * (1.0 - f2) / 3.0;
+}
+
+int
+PurificationPolicy::rounds_for(double pair_fidelity) const
+{
+    if (!enabled() || pair_fidelity >= target_fidelity)
+        return 0;
+    if (target_fidelity >= 1.0)
+        support::fatal("purification: target fidelity %.6g is unreachable "
+                       "(the BBPSSW recurrence approaches 1 only "
+                       "asymptotically; choose a target below 1)",
+                       target_fidelity);
+    if (pair_fidelity <= 0.5)
+        support::fatal("purification: pair fidelity %.6g is at or below "
+                       "0.5, where BBPSSW purification cannot improve it; "
+                       "raise the raw link fidelity or shorten the route",
+                       pair_fidelity);
+    double f = pair_fidelity;
+    for (int r = 1; r <= max_rounds; ++r) {
+        f = bbpssw_round(f);
+        if (f >= target_fidelity)
+            return r;
+    }
+    support::fatal("purification: reaching target fidelity %.6g from pair "
+                   "fidelity %.6g needs more than %d rounds "
+                   "(2^%d raw pairs each); relax the target or improve the "
+                   "links",
+                   target_fidelity, pair_fidelity, max_rounds, max_rounds);
+}
+
+} // namespace autocomm::noise

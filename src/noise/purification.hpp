@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Entanglement purification model: the BBPSSW-style recurrence
+ * (Bennett et al. / Deutsch et al.) over Werner-state EPR pairs, and the
+ * fidelity algebra of entanglement swapping.
+ *
+ * The paper's machine model assumes perfect EPR links; this module is the
+ * analytic core of the noisy-link generalization. One purification round
+ * consumes two pairs of fidelity F and one round-trip of classical
+ * communication, and succeeds into a single pair of fidelity
+ *
+ *   F' = (F^2 + ((1-F)/3)^2)
+ *        / (F^2 + 2/3 F (1-F) + 5 ((1-F)/3)^2),
+ *
+ * which is strictly increasing for F in (0.5, 1) with fixed points at
+ * 0.25, 0.5 and 1. Producing one pair purified through r rounds therefore
+ * consumes 2^r raw pairs (the success probability is folded out, as in
+ * the usual compiler-level cost model).
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace autocomm::noise {
+
+/** Fidelity after one BBPSSW purification round on two pairs at @p f. */
+double bbpssw_round(double f);
+
+/** Fidelity after @p rounds BBPSSW rounds starting from @p f. */
+double purified_fidelity(double f, int rounds);
+
+/**
+ * Fidelity of the pair produced by entanglement-swapping two Werner pairs
+ * of fidelities @p f1 and @p f2 (Bell measurement at the shared router):
+ * F = f1 f2 + (1 - f1)(1 - f2) / 3. Commutative, 1 at perfect inputs,
+ * and monotone in each argument above fidelity 1/4.
+ */
+double swap_fidelity(double f1, double f2);
+
+/**
+ * Purification policy: the target end-to-end EPR fidelity the compiler
+ * must deliver before a pair may be consumed, plus the recurrence bound.
+ *
+ * target_fidelity <= 0 disables purification entirely (the perfect-link
+ * default): every pair is consumed raw and rounds_for() is always 0.
+ */
+struct PurificationPolicy
+{
+    /** Required post-purification fidelity; <= 0 turns purification off. */
+    double target_fidelity = 0.0;
+
+    /** Recurrence-depth safety bound (2^16 raw pairs per purified pair is
+     * already far beyond any useful operating point). */
+    int max_rounds = 16;
+
+    bool enabled() const { return target_fidelity > 0.0; }
+
+    /**
+     * Rounds needed to lift a pair of fidelity @p pair_fidelity to the
+     * target: 0 when disabled or already at target; throws
+     * support::UserError when the target is unreachable (pair fidelity
+     * <= 0.5, target >= 1, or more than max_rounds rounds needed).
+     */
+    int rounds_for(double pair_fidelity) const;
+
+    /** Raw EPR pairs consumed per purified pair: 2^rounds. */
+    static std::size_t cost_multiplier(int rounds)
+    {
+        return static_cast<std::size_t>(1) << rounds;
+    }
+};
+
+} // namespace autocomm::noise

@@ -202,4 +202,11 @@ oee_map(const qir::Circuit& c, const hw::Machine& m, const OeeOptions& opts)
     return hw::QubitMapping(oee_partition(g, m.capacities(), opts));
 }
 
+hw::QubitMapping
+oee_map(const InteractionGraph& g, const hw::Machine& m,
+        const OeeOptions& opts)
+{
+    return hw::QubitMapping(oee_partition(g, m.capacities(), opts));
+}
+
 } // namespace autocomm::partition

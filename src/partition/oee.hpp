@@ -63,4 +63,12 @@ hw::QubitMapping oee_map(const qir::Circuit& c, int num_nodes,
 hw::QubitMapping oee_map(const qir::Circuit& c, const hw::Machine& m,
                          const OeeOptions& opts = {});
 
+/**
+ * Same, over a prebuilt interaction graph — lets callers that partition
+ * one circuit against many machine shapes (e.g. driver::run_sweep)
+ * construct the graph once instead of per configuration.
+ */
+hw::QubitMapping oee_map(const InteractionGraph& g, const hw::Machine& m,
+                         const OeeOptions& opts = {});
+
 } // namespace autocomm::partition

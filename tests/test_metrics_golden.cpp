@@ -94,7 +94,39 @@ TEST(MetricsGolden, PaperSuiteGridPointsAreMetricIdentical)
 
         // All-to-all invariant: every EPR pair crosses exactly one hop.
         EXPECT_EQ(r.schedule.hops_total, r.schedule.epr_pairs);
+
+        // Perfect-link invariants (the noisy-link subsystem defaults):
+        // raw and purified pair counts coincide, no purification runs,
+        // and the program fidelity estimate is exactly 1.
+        EXPECT_EQ(r.schedule.epr_raw_pairs, r.schedule.epr_pairs);
+        EXPECT_EQ(r.schedule.purify_rounds, 0u);
+        EXPECT_DOUBLE_EQ(r.schedule.program_fidelity(), 1.0);
+        EXPECT_EQ(r.schedule.ledger.total(), r.schedule.epr_pairs);
     }
+}
+
+TEST(MetricsGolden, ExplicitPerfectNoiseSettingsAreMetricIdentical)
+{
+    // Spelling out the perfect-link defaults (fidelity 1, bandwidth
+    // "wide", purification satisfied by fidelity-1 pairs) must be
+    // byte-for-byte identical to the implicit default row.
+    driver::SweepCell implicit_cell;
+    implicit_cell.spec = {Family::QFT, 100, 10};
+    driver::SweepCell spelled = implicit_cell;
+    spelled.link_fidelity = 1.0;
+    spelled.target_fidelity = 0.99; // trivially met at fidelity 1
+    spelled.link_bandwidth = 16;    // never binding: 1 raw pair per prep
+
+    const driver::SweepRow a = driver::run_cell(implicit_cell);
+    const driver::SweepRow b = driver::run_cell(spelled);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.metrics.total_comms, b.metrics.total_comms);
+    EXPECT_EQ(a.schedule.epr_pairs, b.schedule.epr_pairs);
+    EXPECT_EQ(a.schedule.epr_raw_pairs, b.schedule.epr_raw_pairs);
+    EXPECT_EQ(b.schedule.purify_rounds, 0u);
+    EXPECT_DOUBLE_EQ(a.schedule.makespan, b.schedule.makespan);
+    EXPECT_DOUBLE_EQ(b.schedule.program_fidelity(), 1.0);
 }
 
 TEST(MetricsGolden, ExplicitHomogeneousShapeIsMetricIdentical)

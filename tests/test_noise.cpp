@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit and property tests for the noisy-link subsystem: hand-computed
+ * BBPSSW recurrence values, randomized monotonicity/cost properties,
+ * swap-fidelity composition, the purification policy's round computation,
+ * the link model, and the machine-level fidelity plumbing (pair fidelity
+ * along routes, cost/latency multipliers, fidelity-aware routing).
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hw/machine.hpp"
+#include "noise/link_model.hpp"
+#include "noise/purification.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm;
+using autocomm::support::UserError;
+using noise::bbpssw_round;
+using noise::purified_fidelity;
+using noise::PurificationPolicy;
+using noise::swap_fidelity;
+
+// ---------------------------------------------------------------- BBPSSW
+
+TEST(Purification, HandComputedRecurrenceValues)
+{
+    // F = 4/5: numerator 145/225, denominator 173/225 (exact fractions).
+    EXPECT_NEAR(bbpssw_round(0.8), 145.0 / 173.0, 1e-12);
+    // F = 9/10: numerator 730/900, denominator 788/900.
+    EXPECT_NEAR(bbpssw_round(0.9), 730.0 / 788.0, 1e-12);
+}
+
+TEST(Purification, FixedPointsOfTheRecurrence)
+{
+    EXPECT_DOUBLE_EQ(bbpssw_round(1.0), 1.0);
+    EXPECT_NEAR(bbpssw_round(0.5), 0.5, 1e-12);
+    EXPECT_NEAR(bbpssw_round(0.25), 0.25, 1e-12);
+}
+
+TEST(Purification, RandomizedMonotoneAboveOneHalf)
+{
+    std::mt19937_64 rng(2022);
+    std::uniform_real_distribution<double> dist(0.5001, 0.9999);
+    for (int i = 0; i < 1000; ++i) {
+        const double f = dist(rng);
+        const double f1 = bbpssw_round(f);
+        EXPECT_GT(f1, f) << "f = " << f;
+        EXPECT_LE(f1, 1.0);
+        // More rounds never hurt.
+        EXPECT_GE(purified_fidelity(f, 3), purified_fidelity(f, 2));
+        EXPECT_GE(purified_fidelity(f, 2), purified_fidelity(f, 1));
+    }
+}
+
+TEST(Purification, SwapFidelityComposition)
+{
+    EXPECT_DOUBLE_EQ(swap_fidelity(1.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(swap_fidelity(0.9, 1.0), 0.9);
+    EXPECT_DOUBLE_EQ(swap_fidelity(1.0, 0.9), 0.9);
+    // 0.9 * 0.8 + 0.1 * 0.2 / 3 = 109/150.
+    EXPECT_NEAR(swap_fidelity(0.9, 0.8), 109.0 / 150.0, 1e-12);
+    // Commutative; swapping degrades below either input at high fidelity.
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> dist(0.6, 1.0);
+    for (int i = 0; i < 200; ++i) {
+        const double a = dist(rng), b = dist(rng);
+        EXPECT_DOUBLE_EQ(swap_fidelity(a, b), swap_fidelity(b, a));
+        EXPECT_LE(swap_fidelity(a, b), std::min(a, b) + 1e-12);
+    }
+}
+
+// --------------------------------------------------------------- policy
+
+TEST(PurificationPolicy, DisabledOrSatisfiedNeedsZeroRounds)
+{
+    const PurificationPolicy off{};
+    EXPECT_FALSE(off.enabled());
+    EXPECT_EQ(off.rounds_for(0.6), 0);
+
+    PurificationPolicy p;
+    p.target_fidelity = 0.9;
+    EXPECT_EQ(p.rounds_for(0.95), 0); // already above target
+    EXPECT_EQ(p.rounds_for(0.9), 0);  // exactly at target
+    EXPECT_EQ(p.rounds_for(1.0), 0);  // perfect links purify nothing
+}
+
+TEST(PurificationPolicy, RoundsMatchTheRecurrence)
+{
+    PurificationPolicy p;
+    p.target_fidelity = 0.99;
+    for (double raw : {0.8, 0.9, 0.95, 0.98}) {
+        const int r = p.rounds_for(raw);
+        ASSERT_GT(r, 0);
+        EXPECT_LT(purified_fidelity(raw, r - 1), p.target_fidelity);
+        EXPECT_GE(purified_fidelity(raw, r), p.target_fidelity);
+    }
+    // Hand-checked operating point: 0.95 raw needs 5 rounds to 0.99.
+    EXPECT_EQ(p.rounds_for(0.95), 5);
+}
+
+TEST(PurificationPolicy, CostMultiplierIsTwoToTheRounds)
+{
+    std::mt19937_64 rng(99);
+    std::uniform_int_distribution<int> rounds(0, 16);
+    for (int i = 0; i < 100; ++i) {
+        const int r = rounds(rng);
+        EXPECT_EQ(PurificationPolicy::cost_multiplier(r),
+                  static_cast<std::size_t>(1) << r);
+    }
+}
+
+TEST(PurificationPolicy, UnreachableTargetsThrow)
+{
+    PurificationPolicy p;
+    p.target_fidelity = 0.99;
+    EXPECT_THROW(p.rounds_for(0.5), UserError);  // at the BBPSSW floor
+    EXPECT_THROW(p.rounds_for(0.3), UserError);  // below the floor
+    p.target_fidelity = 1.0;
+    EXPECT_THROW(p.rounds_for(0.9), UserError);  // asymptote
+    p.target_fidelity = 0.999999999;
+    p.max_rounds = 2;
+    EXPECT_THROW(p.rounds_for(0.6), UserError);  // round bound
+}
+
+// ------------------------------------------------------------ link model
+
+TEST(LinkModel, DefaultsArePerfectAndUniform)
+{
+    const noise::LinkModel link{};
+    EXPECT_TRUE(link.perfect());
+    EXPECT_TRUE(link.uniform());
+    EXPECT_DOUBLE_EQ(link.link_fidelity(0, 5), 1.0);
+    EXPECT_NO_THROW(link.validate());
+}
+
+TEST(LinkModel, OverridesAreOrderInsensitive)
+{
+    noise::LinkModel link;
+    link.fidelity = 0.95;
+    link.set_link_fidelity(2, 0, 0.7);
+    EXPECT_FALSE(link.perfect());
+    EXPECT_FALSE(link.uniform());
+    EXPECT_DOUBLE_EQ(link.link_fidelity(0, 2), 0.7);
+    EXPECT_DOUBLE_EQ(link.link_fidelity(2, 0), 0.7);
+    EXPECT_DOUBLE_EQ(link.link_fidelity(0, 1), 0.95);
+}
+
+TEST(LinkModel, ValidationRejectsBadValues)
+{
+    noise::LinkModel link;
+    link.fidelity = 0.0;
+    EXPECT_THROW(link.validate(), UserError);
+    link.fidelity = 1.2;
+    EXPECT_THROW(link.validate(), UserError);
+    // At or below the maximally mixed floor 1/4, swap composition is no
+    // longer monotone (the max-fidelity router relies on it): rejected.
+    link.fidelity = 0.2;
+    EXPECT_THROW(link.validate(), UserError);
+    link.fidelity = 0.9;
+    link.bandwidth = -1;
+    EXPECT_THROW(link.validate(), UserError);
+    EXPECT_THROW(link.set_link_fidelity(0, 0, 0.9), UserError);
+    EXPECT_THROW(link.set_link_fidelity(0, 1, 0.0), UserError);
+    EXPECT_THROW(link.set_link_fidelity(0, 1, 0.25), UserError);
+}
+
+// ---------------------------------------------------------- machine glue
+
+TEST(MachineNoise, PairFidelityComposesAlongTheRoute)
+{
+    hw::Machine m = hw::Machine::homogeneous(4, 2, hw::Topology::Ring);
+    m.link.fidelity = 0.9;
+    // Adjacent nodes: one raw link. Opposite corners: two swapped links.
+    EXPECT_DOUBLE_EQ(m.pair_fidelity(0, 1), 0.9);
+    EXPECT_NEAR(m.pair_fidelity(0, 2), swap_fidelity(0.9, 0.9), 1e-12);
+    EXPECT_DOUBLE_EQ(m.pair_fidelity(2, 2), 1.0);
+}
+
+TEST(MachineNoise, PerfectDefaultsLeaveLatencyUntouched)
+{
+    const hw::Machine m = hw::Machine::homogeneous(4, 2);
+    EXPECT_DOUBLE_EQ(m.epr_latency(0, 1), m.latency.t_epr);
+    EXPECT_EQ(m.epr_cost_multiplier(0, 1), 1u);
+    EXPECT_EQ(m.purification_rounds(0, 1), 0);
+    EXPECT_DOUBLE_EQ(m.purified_pair_fidelity(0, 1), 1.0);
+    EXPECT_NO_THROW(m.validate_noise());
+}
+
+TEST(MachineNoise, PurificationChargesLatencyAndRawPairs)
+{
+    hw::Machine m = hw::Machine::homogeneous(2, 4);
+    m.link.fidelity = 0.9;
+    m.purify.target_fidelity = 0.92; // one round suffices (0.9 -> 0.926)
+    EXPECT_EQ(m.purification_rounds(0, 1), 1);
+    EXPECT_EQ(m.epr_cost_multiplier(0, 1), 2u);
+    EXPECT_DOUBLE_EQ(m.epr_latency(0, 1),
+                     m.latency.t_epr + m.latency.t_purify_round());
+    EXPECT_NEAR(m.purified_pair_fidelity(0, 1), 730.0 / 788.0, 1e-12);
+}
+
+TEST(MachineNoise, BandwidthSerializesPreparationWaves)
+{
+    hw::Machine m = hw::Machine::homogeneous(2, 4);
+    m.link.fidelity = 0.9;
+    m.purify.target_fidelity = 0.99;
+    const int rounds = m.purification_rounds(0, 1);
+    ASSERT_GT(rounds, 0);
+    const auto raw = static_cast<std::size_t>(1) << rounds;
+
+    EXPECT_DOUBLE_EQ(m.epr_latency(0, 1),
+                     m.latency.t_epr +
+                         rounds * m.latency.t_purify_round());
+
+    hw::Machine capped = m;
+    capped.link.bandwidth = 2; // raw pairs prepared two at a time
+    const auto waves = (raw + 1) / 2;
+    EXPECT_DOUBLE_EQ(capped.epr_latency(0, 1),
+                     static_cast<double>(waves) * m.latency.t_epr +
+                         rounds * m.latency.t_purify_round());
+
+    hw::Machine roomy = m;
+    roomy.link.bandwidth = static_cast<int>(raw); // one wave: unlimited
+    EXPECT_DOUBLE_EQ(roomy.epr_latency(0, 1), m.epr_latency(0, 1));
+}
+
+TEST(MachineNoise, MultiHopRoutingNeedsTwoRouterCommQubits)
+{
+    // Intermediate swap routers pin two comm qubits; a 1-comm-qubit
+    // machine on a multi-hop topology must be rejected up front rather
+    // than deadlock the scheduler.
+    hw::Machine m = hw::Machine::homogeneous(4, 2, hw::Topology::Star);
+    m.comm_qubits_per_node = 1;
+    EXPECT_THROW(m.validate_routing(), UserError);
+
+    // All-to-all single-hop machines never swap, so one comm qubit
+    // remains legal there.
+    hw::Machine flat = hw::Machine::homogeneous(4, 2);
+    flat.comm_qubits_per_node = 1;
+    EXPECT_NO_THROW(flat.validate_routing());
+}
+
+TEST(MachineNoise, ValidateNoiseRejectsUnreachableTargets)
+{
+    // A 10-node ring's worst pair is 5 swapped hops of 0.8: far below
+    // the 0.5 purification floor.
+    hw::Machine m = hw::Machine::homogeneous(10, 2, hw::Topology::Ring);
+    m.link.fidelity = 0.8;
+    m.purify.target_fidelity = 0.99;
+    EXPECT_THROW(m.validate_noise(), UserError);
+
+    m.link.fidelity = 0.99;
+    EXPECT_NO_THROW(m.validate_noise());
+}
+
+TEST(MachineNoise, FidelityAwareRoutingDetoursAroundDegradedLinks)
+{
+    // Ring of 4 with a badly degraded 0-1 fiber: the fidelity-aware
+    // router sends 0 -> 1 the long way around (0-3-2-1, three good
+    // links swap-composed to ~0.97) instead of the direct 0.6 hop.
+    hw::Machine m = hw::Machine::homogeneous(4, 2, hw::Topology::Ring);
+    m.link.fidelity = 0.99;
+    m.link.set_link_fidelity(0, 1, 0.6);
+    m.build_routing();
+
+    EXPECT_EQ(m.hops(0, 1), 3);
+    EXPECT_EQ(m.path(0, 1), (std::vector<NodeId>{0, 3, 2, 1}));
+    const double direct = 0.6;
+    EXPECT_GT(m.pair_fidelity(0, 1), direct);
+    // Unaffected pairs keep their min-hop routes.
+    EXPECT_EQ(m.hops(1, 2), 1);
+    EXPECT_EQ(m.hops(0, 3), 1);
+}
+
+TEST(MachineNoise, UniformFidelityKeepsMinHopRoutes)
+{
+    // With uniform (noisy but equal) links, fidelity-aware and min-hop
+    // routing coincide: more hops always compose to lower fidelity.
+    hw::Machine uniform = hw::Machine::homogeneous(6, 2,
+                                                   hw::Topology::Ring);
+    uniform.link.fidelity = 0.9;
+    const hw::Machine reference = hw::Machine::homogeneous(
+        6, 2, hw::Topology::Ring);
+    for (NodeId a = 0; a < 6; ++a)
+        for (NodeId b = 0; b < 6; ++b)
+            EXPECT_EQ(uniform.hops(a, b), reference.hops(a, b));
+}
+
+} // namespace

@@ -287,6 +287,208 @@ TEST(Sweep, TopologyShapeGridIsDeterministicAcrossThreads)
     EXPECT_EQ(csv1, csv4);
 }
 
+TEST(SweepGrid, NoiseAxesExpandBetweenTopologyAndOptions)
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {8};
+    grid.node_counts = {2};
+    grid.link_fidelities = {1.0, 0.95};
+    grid.target_fidelities = {0.0, 0.99};
+    grid.link_bandwidths = {0, 2};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 8u);
+    EXPECT_EQ(cells[0].label(), "QFT-8-2/default");
+    EXPECT_EQ(cells[1].label(), "QFT-8-2~b2/default");
+    EXPECT_EQ(cells[2].label(), "QFT-8-2~t0.99/default");
+    EXPECT_EQ(cells[4].label(), "QFT-8-2~f0.95/default");
+    EXPECT_EQ(cells.back().label(), "QFT-8-2~f0.95~t0.99~b2/default");
+}
+
+TEST(Sweep, NoisyCellIsStrictlySlowerAndReportsPurification)
+{
+    SweepCell clean;
+    clean.spec = {circuits::Family::QFT, 16, 4};
+    SweepCell noisy = clean;
+    noisy.link_fidelity = 0.95;
+    noisy.target_fidelity = 0.99;
+
+    const SweepRow base = driver::run_cell(clean);
+    const SweepRow r = driver::run_cell(noisy);
+    ASSERT_TRUE(base.ok);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    // Same compilation (aggregation is noise-blind)...
+    EXPECT_EQ(r.metrics.total_comms, base.metrics.total_comms);
+    EXPECT_EQ(r.schedule.epr_pairs, base.schedule.epr_pairs);
+    // ...but purification multiplies raw pairs and strictly lengthens
+    // the schedule, and the fidelity estimate drops below 1.
+    EXPECT_GT(r.schedule.purify_rounds, 0u);
+    EXPECT_GT(r.schedule.epr_raw_pairs, r.schedule.epr_pairs);
+    EXPECT_GT(r.schedule.makespan, base.schedule.makespan);
+    EXPECT_LT(r.schedule.program_fidelity(), 1.0);
+    EXPECT_GT(r.schedule.program_fidelity(), 0.0);
+
+    EXPECT_EQ(base.schedule.purify_rounds, 0u);
+    EXPECT_EQ(base.schedule.epr_raw_pairs, base.schedule.epr_pairs);
+    EXPECT_DOUBLE_EQ(base.schedule.program_fidelity(), 1.0);
+}
+
+TEST(Sweep, LinkBandwidthContentionShowsUpInTheSweep)
+{
+    SweepCell noisy;
+    noisy.spec = {circuits::Family::QFT, 16, 4};
+    noisy.link_fidelity = 0.95;
+    noisy.target_fidelity = 0.99;
+    SweepCell capped = noisy;
+    capped.link_bandwidth = 1;
+
+    const SweepRow fast = driver::run_cell(noisy);
+    const SweepRow slow = driver::run_cell(capped);
+    ASSERT_TRUE(fast.ok);
+    ASSERT_TRUE(slow.ok) << slow.error;
+    EXPECT_EQ(slow.schedule.epr_raw_pairs, fast.schedule.epr_raw_pairs);
+    EXPECT_GT(slow.schedule.makespan, fast.schedule.makespan);
+}
+
+TEST(Sweep, UnreachableTargetIsRecordedAsFriendlyErrorRow)
+{
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, 16, 4};
+    bad.link_fidelity = 0.6;
+    bad.target_fidelity = 0.99;
+    bad.topology = hw::Topology::Ring; // 2-hop pairs fall below 0.5
+    const std::vector<SweepRow> rows = driver::run_sweep({bad}, {});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].ok);
+    EXPECT_NE(rows[0].error.find("purification"), std::string::npos)
+        << rows[0].error;
+}
+
+TEST(Sweep, CsvReportsNoiseColumnsAndValues)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 12, 3};
+    cell.link_fidelity = 0.95;
+    cell.target_fidelity = 0.99;
+    cell.link_bandwidth = 4;
+    const std::string csv =
+        driver::sweep_csv(driver::run_sweep({cell}, {})).to_string();
+    for (const char* col :
+         {"link_fidelity", "target_fidelity", "link_bandwidth",
+          "epr_raw", "purify_rounds", "program_fidelity"})
+        EXPECT_NE(csv.find(col), std::string::npos) << col;
+    EXPECT_NE(csv.find("0.95"), std::string::npos);
+    EXPECT_NE(csv.find("0.99"), std::string::npos);
+}
+
+TEST(Sweep, MemoizedSweepMatchesDirectRunCell)
+{
+    // run_sweep memoizes circuits, interaction graphs, and OEE mappings
+    // across cells; every row must still equal an uncached run_cell.
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::BV};
+    grid.qubit_counts = {12};
+    grid.node_counts = {3};
+    grid.topologies = {hw::Topology::AllToAll, hw::Topology::Ring};
+    grid.link_fidelities = {1.0, 0.95};
+    grid.target_fidelities = {0.97};
+    grid.option_sets = {driver::OptionSet{},
+                        *driver::find_option_set("sparse")};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 16u);
+
+    const std::vector<SweepRow> rows = driver::run_sweep(cells, {});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepRow direct = driver::run_cell(cells[i]);
+        SCOPED_TRACE(cells[i].label());
+        ASSERT_EQ(rows[i].ok, direct.ok);
+        EXPECT_EQ(rows[i].metrics.total_comms, direct.metrics.total_comms);
+        EXPECT_EQ(rows[i].remote_cx, direct.remote_cx);
+        EXPECT_DOUBLE_EQ(rows[i].schedule.makespan,
+                         direct.schedule.makespan);
+        EXPECT_EQ(rows[i].schedule.epr_raw_pairs,
+                  direct.schedule.epr_raw_pairs);
+    }
+}
+
+// ------------------------------------------------- CLI axis-list parsing
+
+TEST(SweepParse, IntListEchoesTheOffendingToken)
+{
+    EXPECT_EQ(driver::parse_int_list("2,4,8", "--nodes"),
+              (std::vector<int>{2, 4, 8}));
+    try {
+        driver::parse_int_list("2,banana", "--nodes");
+        FAIL() << "expected UserError";
+    } catch (const support::UserError& e) {
+        EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--nodes"), std::string::npos);
+    }
+    EXPECT_THROW(driver::parse_int_list("0", "--nodes"),
+                 support::UserError); // below default minimum
+    EXPECT_EQ(driver::parse_int_list("0,3", "--link-bandwidth", 0),
+              (std::vector<int>{0, 3}));
+    EXPECT_THROW(driver::parse_int_list("", "--nodes"),
+                 support::UserError);
+}
+
+TEST(SweepParse, FidelityListValidatesTheRange)
+{
+    EXPECT_EQ(driver::parse_fidelity_list("0.9,1", "--link-fidelity"),
+              (std::vector<double>{0.9, 1.0}));
+    try {
+        driver::parse_fidelity_list("1.5", "--link-fidelity");
+        FAIL() << "expected UserError";
+    } catch (const support::UserError& e) {
+        EXPECT_NE(std::string(e.what()).find("1.5"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--link-fidelity"),
+                  std::string::npos);
+    }
+    // 0 is rejected unless it means "disabled" (purification targets).
+    EXPECT_THROW(driver::parse_fidelity_list("0", "--link-fidelity"),
+                 support::UserError);
+    EXPECT_EQ(driver::parse_fidelity_list("0,0.99", "--target-fidelity",
+                                          /*zero_disables=*/true),
+              (std::vector<double>{0.0, 0.99}));
+    // Purification targets live in (0, 1): exactly 1 is asymptotically
+    // unreachable and must fail at parse time, not per cell.
+    EXPECT_THROW(driver::parse_fidelity_list("1", "--target-fidelity",
+                                             /*zero_disables=*/true),
+                 support::UserError);
+}
+
+TEST(SweepParse, TopologyListEchoesTheOffendingToken)
+{
+    EXPECT_EQ(driver::parse_topology_list("ring,star", "--topology"),
+              (std::vector<hw::Topology>{hw::Topology::Ring,
+                                         hw::Topology::Star}));
+    try {
+        driver::parse_topology_list("ring,torus", "--topology");
+        FAIL() << "expected UserError";
+    } catch (const support::UserError& e) {
+        EXPECT_NE(std::string(e.what()).find("torus"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("all_to_all"),
+                  std::string::npos); // lists the valid names
+    }
+}
+
+TEST(SweepParse, ShapeListEchoesTheOffendingSpec)
+{
+    EXPECT_EQ(driver::parse_shape_list("4x10,2x30;8x10", "--shape"),
+              (std::vector<std::string>{"4x10,2x30", "8x10"}));
+    try {
+        driver::parse_shape_list("4x10;2y30", "--shape");
+        FAIL() << "expected UserError";
+    } catch (const support::UserError& e) {
+        EXPECT_NE(std::string(e.what()).find("2y30"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--shape"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(driver::parse_shape_list("", "--shape"),
+                 support::UserError);
+}
+
 TEST(Sweep, GptpBaselineFactorsPopulateOnRequest)
 {
     SweepCell cell;

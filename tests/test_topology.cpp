@@ -240,4 +240,73 @@ TEST(Shape, MachineFactories)
     EXPECT_THROW(Machine::homogeneous(0, 5), UserError);
 }
 
+TEST(Topology, PathsFollowTheRoutedNextHops)
+{
+    // Ring 0-1-2-3-4-5-0: the route to an antipode walks one side.
+    const RoutingTable ring = RoutingTable::build(Topology::Ring, 6);
+    const std::vector<NodeId> p = ring.path(0, 3);
+    ASSERT_EQ(p.size(), 4u); // 3 hops inclusive of both ends
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        EXPECT_EQ(ring.hops(p[i], p[i + 1]), 1);
+
+    // Star: every leaf-leaf route swaps through hub 0.
+    const RoutingTable star = RoutingTable::build(Topology::Star, 5);
+    EXPECT_EQ(star.path(2, 4), (std::vector<NodeId>{2, 0, 4}));
+    EXPECT_EQ(star.path(0, 3), (std::vector<NodeId>{0, 3}));
+
+    // Trivial paths.
+    EXPECT_EQ(star.path(2, 2), (std::vector<NodeId>{2}));
+    const RoutingTable empty;
+    EXPECT_EQ(empty.path(1, 7), (std::vector<NodeId>{1, 7}));
+    EXPECT_EQ(empty.path(4, 4), (std::vector<NodeId>{4}));
+}
+
+TEST(Topology, PathLengthMatchesHopsEverywhere)
+{
+    for (Topology t : all_topologies()) {
+        const RoutingTable table = RoutingTable::build(t, 9);
+        for (NodeId a = 0; a < 9; ++a)
+            for (NodeId b = 0; b < 9; ++b) {
+                const std::vector<NodeId> p = table.path(a, b);
+                EXPECT_EQ(static_cast<int>(p.size()) - 1,
+                          table.hops(a, b))
+                    << topology_name(t) << " " << a << "->" << b;
+                EXPECT_EQ(p.front(), a);
+                EXPECT_EQ(p.back(), b);
+            }
+    }
+}
+
+TEST(Topology, MaxFidelityBuildMatchesBfsOnUniformLinks)
+{
+    autocomm::noise::LinkModel uniform;
+    uniform.fidelity = 0.93;
+    for (Topology t : all_topologies()) {
+        const RoutingTable bfs = RoutingTable::build(t, 8);
+        const RoutingTable weighted =
+            RoutingTable::build_max_fidelity(t, 8, uniform);
+        for (NodeId a = 0; a < 8; ++a)
+            for (NodeId b = 0; b < 8; ++b)
+                EXPECT_EQ(weighted.hops(a, b), bfs.hops(a, b))
+                    << topology_name(t) << " " << a << "->" << b;
+    }
+}
+
+TEST(Topology, MaxFidelityBuildDetoursAroundADegradedLink)
+{
+    // Grid 2x2 (0-1 / 2-3): degrade the 0-1 edge; the best 0 -> 1 route
+    // becomes 0-2-3-1.
+    autocomm::noise::LinkModel link;
+    link.fidelity = 0.99;
+    link.set_link_fidelity(0, 1, 0.55);
+    const RoutingTable t =
+        RoutingTable::build_max_fidelity(Topology::Grid, 4, link, 2);
+    EXPECT_EQ(t.hops(0, 1), 3);
+    EXPECT_EQ(t.path(0, 1), (std::vector<NodeId>{0, 2, 3, 1}));
+    EXPECT_EQ(t.hops(0, 2), 1);
+    EXPECT_EQ(t.hops(2, 3), 1);
+}
+
 } // namespace
