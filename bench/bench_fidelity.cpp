@@ -14,9 +14,11 @@
  * latency) per consumed pair.
  */
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "common.hpp"
 #include "driver/sweep.hpp"
 #include "support/log.hpp"
@@ -40,8 +42,15 @@ usage(const char* argv0)
         "                      (default 0,0.9,0.95,0.99,0.995)\n"
         "  --topology LIST     link topologies (default all four)\n"
         "  --link-bandwidth N  concurrent preps per link, 0 = unlimited\n"
+        "  --link-fidelity-override LIST\n"
+        "                      per-link fidelity overrides "
+        "(\"0-1:0.92,2-3:0.85\")\n"
+        "  --link-bandwidth-override LIST\n"
+        "                      per-link bandwidth overrides (\"0-1:2\")\n"
         "  --threads N         worker threads\n"
-        "  --csv PATH          write the rows as CSV\n",
+        "  --csv PATH          write the rows as CSV\n"
+        "  --cache-dir DIR     persistent result cache (see bench_sweep)\n"
+        "  --cache-stats       print cache hit/miss/stale counters\n",
         argv0);
     return 2;
 }
@@ -62,6 +71,8 @@ main(int argc, char** argv)
     driver::SweepOptions sweep_opts;
     sweep_opts.num_threads = support::default_thread_count();
     std::string csv_path;
+    std::string cache_dir;
+    bool cache_stats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -96,11 +107,23 @@ main(int argc, char** argv)
             } else if (arg == "--link-bandwidth") {
                 grid.link_bandwidths = {driver::parse_int_list(
                     value(), "--link-bandwidth", /*min_value=*/0).at(0)};
+            } else if (arg == "--link-fidelity-override") {
+                grid.link_fidelity_overrides = driver::parse_override_list(
+                    value(), "--link-fidelity-override",
+                    /*integer_value=*/false);
+            } else if (arg == "--link-bandwidth-override") {
+                grid.link_bandwidth_overrides = driver::parse_override_list(
+                    value(), "--link-bandwidth-override",
+                    /*integer_value=*/true);
             } else if (arg == "--threads") {
                 sweep_opts.num_threads = static_cast<std::size_t>(
                     driver::parse_int_list(value(), "--threads").at(0));
             } else if (arg == "--csv") {
                 csv_path = value();
+            } else if (arg == "--cache-dir") {
+                cache_dir = value();
+            } else if (arg == "--cache-stats") {
+                cache_stats = true;
             } else {
                 return usage(argv[0]);
             }
@@ -110,13 +133,33 @@ main(int argc, char** argv)
         }
     }
 
+    if (cache_stats && cache_dir.empty()) {
+        std::fprintf(stderr, "error: --cache-stats needs --cache-dir\n");
+        return 2;
+    }
+
     const std::vector<driver::SweepCell> cells = grid.cells();
     std::printf("== Fidelity/latency trade-off: %zu cells "
                 "(link fidelity %g) ==\n",
                 cells.size(), grid.link_fidelities.at(0));
 
+    std::optional<cache::ResultStore> store;
+    if (!cache_dir.empty()) {
+        try {
+            store.emplace(cache_dir);
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+        sweep_opts.store = &*store;
+    }
     const std::vector<driver::SweepRow> rows =
         driver::run_sweep(cells, sweep_opts);
+    if (store) {
+        store->flush();
+        if (cache_stats)
+            std::printf("cache-stats: %s\n", store->stats_line().c_str());
+    }
 
     support::Table t({"Topology", "Target", "Rounds", "EPR", "Raw EPR",
                       "Cost x", "Makespan", "Fidelity"});

@@ -8,7 +8,9 @@
  *
  * Rows are compiled through the driver::run_sweep thread pool (thread
  * count from AUTOCOMM_THREADS), sharing the grid machinery with
- * bench_sweep.
+ * bench_sweep, and served from the persistent result store when
+ * AUTOCOMM_CACHE_DIR is set — regenerating the figure from a warm cache
+ * compiles nothing.
  */
 #include <cstdio>
 
@@ -68,9 +70,9 @@ main()
     };
 
     const std::vector<driver::SweepRow> block_rows =
-        driver::run_sweep(driver::cells_from_specs(blocks), {});
+        bench::run_sweep_cached(driver::cells_from_specs(blocks), {});
     const std::vector<driver::SweepRow> app_rows =
-        driver::run_sweep(driver::cells_from_specs(apps), {});
+        bench::run_sweep_cached(driver::cells_from_specs(apps), {});
     std::size_t failures = 0;
     for (const auto* rows : {&block_rows, &app_rows})
         for (const driver::SweepRow& r : *rows)

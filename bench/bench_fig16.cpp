@@ -9,7 +9,8 @@
  *
  * Rows are compiled through the driver::run_sweep thread pool (thread
  * count from AUTOCOMM_THREADS) with the GP-TP baseline enabled per cell,
- * sharing the grid machinery with bench_sweep.
+ * sharing the grid machinery with bench_sweep, and served from the
+ * persistent result store when AUTOCOMM_CACHE_DIR is set.
  */
 #include <cstdio>
 #include <map>
@@ -33,7 +34,7 @@ main()
     };
     std::map<std::string, Acc> acc;
 
-    const std::vector<driver::SweepRow> rows = driver::run_sweep(
+    const std::vector<driver::SweepRow> rows = bench::run_sweep_cached(
         driver::cells_from_specs(bench::suite(), {}, 2022,
                                  /*with_baseline=*/false,
                                  /*stats_only=*/false, /*with_gptp=*/true),

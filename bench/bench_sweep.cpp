@@ -8,14 +8,26 @@
  *   bench_sweep --families QFT,BV --qubits 16,32 --nodes 2,4 --threads 8
  *   bench_sweep --opts default,sparse --baseline --csv sweep.csv
  *   bench_sweep --verify                       # assert 1-thread == N-thread
+ *
+ * With --cache-dir, rows come from / go to the persistent content-hashed
+ * result store, and a grid can be split deterministically across
+ * machines and reassembled:
+ *
+ *   bench_sweep ... --cache-dir cache --cache-stats   # cold, then warm
+ *   bench_sweep ... --cache-dir cache --shard 0/2     # machine A
+ *   bench_sweep ... --cache-dir cache2 --shard 1/2    # machine B
+ *   bench_sweep ... --cache-dir cache --merge-from cache2 --merge \
+ *       --csv full.csv                                # == unsharded CSV
  */
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "common.hpp"
 #include "driver/sweep.hpp"
 #include "support/log.hpp"
@@ -69,6 +81,14 @@ usage(const char* argv0)
         "  --link-bandwidth LIST\n"
         "                   concurrent EPR preparations per link, 0 = "
         "unlimited (default 0)\n"
+        "  --link-fidelity-override LIST\n"
+        "                   per-link fidelity overrides "
+        "(\"0-1:0.92,2-3:0.85\"),\n"
+        "                   applied to every cell; routing detours "
+        "around degraded links\n"
+        "  --link-bandwidth-override LIST\n"
+        "                   per-link bandwidth overrides (\"0-1:2\"; 0 = "
+        "unlimited link)\n"
         "  --opts LIST      option sets (default \"default\"; see "
         "--list-opts)\n"
         "  --threads N      worker threads (default AUTOCOMM_THREADS or "
@@ -78,6 +98,22 @@ usage(const char* argv0)
         "  --csv PATH       write the sweep rows as CSV\n"
         "  --verify         run single- and multi-threaded, require "
         "identical CSV\n"
+        "  --cache-dir DIR  persistent result cache: serve cells from "
+        "the store,\n"
+        "                   record newly compiled ones\n"
+        "  --shard I/N      compile only the cells whose content hash "
+        "lands in\n"
+        "                   shard I of N (deterministic; shards "
+        "partition the grid)\n"
+        "  --merge          assemble every grid cell from the cache "
+        "(compiling\n"
+        "                   nothing) and compact the store; fails on "
+        "missing cells\n"
+        "  --merge-from LIST\n"
+        "                   comma list of other cache dirs (e.g. shard "
+        "stores) to\n"
+        "                   import into --cache-dir first\n"
+        "  --cache-stats    print cache hit/miss/stale counters\n"
         "  --list-opts      print the built-in option sets and exit\n",
         argv0);
     return 2;
@@ -98,6 +134,11 @@ main(int argc, char** argv)
     std::string csv_path;
     bool verify = false;
     bool target_given = false;
+    std::string cache_dir;
+    std::optional<driver::ShardSpec> shard;
+    bool merge = false;
+    std::vector<std::string> merge_from;
+    bool cache_stats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -131,6 +172,14 @@ main(int argc, char** argv)
             } else if (arg == "--link-bandwidth") {
                 grid.link_bandwidths = driver::parse_int_list(
                     value(), "--link-bandwidth", /*min_value=*/0);
+            } else if (arg == "--link-fidelity-override") {
+                grid.link_fidelity_overrides = driver::parse_override_list(
+                    value(), "--link-fidelity-override",
+                    /*integer_value=*/false);
+            } else if (arg == "--link-bandwidth-override") {
+                grid.link_bandwidth_overrides = driver::parse_override_list(
+                    value(), "--link-bandwidth-override",
+                    /*integer_value=*/true);
             } else if (arg == "--opts") {
                 grid.option_sets.clear();
                 for (const std::string& tok : split_commas(value())) {
@@ -156,6 +205,17 @@ main(int argc, char** argv)
                 csv_path = value();
             } else if (arg == "--verify") {
                 verify = true;
+            } else if (arg == "--cache-dir") {
+                cache_dir = value();
+            } else if (arg == "--shard") {
+                shard = driver::parse_shard(value(), "--shard");
+            } else if (arg == "--merge") {
+                merge = true;
+            } else if (arg == "--merge-from") {
+                for (const std::string& dir : split_commas(value()))
+                    merge_from.push_back(dir);
+            } else if (arg == "--cache-stats") {
+                cache_stats = true;
             } else if (arg == "--list-opts") {
                 for (const driver::OptionSet& o :
                      driver::builtin_option_sets())
@@ -172,38 +232,103 @@ main(int argc, char** argv)
 
     // Noisy links without a purification target would only lower the
     // fidelity estimate; assume the conventional 0.99 target so the
-    // latency/EPR-cost consequences show up too.
-    const bool any_noisy = std::any_of(
-        grid.link_fidelities.begin(), grid.link_fidelities.end(),
-        [](double f) { return f < 1.0; });
+    // latency/EPR-cost consequences show up too. A degraded fiber
+    // declared via --link-fidelity-override is just as noisy as the
+    // uniform axis saying so.
+    const bool any_noisy =
+        std::any_of(grid.link_fidelities.begin(),
+                    grid.link_fidelities.end(),
+                    [](double f) { return f < 1.0; }) ||
+        std::any_of(grid.link_fidelity_overrides.begin(),
+                    grid.link_fidelity_overrides.end(),
+                    [](const driver::LinkValue& o) {
+                        return o.value < 1.0;
+                    });
     if (any_noisy && !target_given) {
         grid.target_fidelities = {0.99};
         support::inform("--link-fidelity < 1 with no --target-fidelity; "
                         "assuming a 0.99 purification target");
     }
 
-    const std::vector<driver::SweepCell> cells = grid.cells();
-    std::printf("== Compilation sweep: %zu cells on %zu threads ==\n",
-                cells.size(), sweep_opts.num_threads);
-
-    const std::vector<driver::SweepRow> rows =
-        driver::run_sweep(cells, sweep_opts);
-
-    if (verify) {
-        driver::SweepOptions single = sweep_opts;
-        single.num_threads = 1;
-        const std::vector<driver::SweepRow> serial =
-            driver::run_sweep(cells, single);
-        if (driver::sweep_csv(rows).to_string() !=
-            driver::sweep_csv(serial).to_string()) {
-            std::fprintf(stderr, "error: --verify FAILED: %zu-thread and "
-                         "1-thread sweeps disagree\n",
-                         sweep_opts.num_threads);
-            return 1;
-        }
-        std::printf("--verify OK: %zu-thread CSV identical to "
-                    "1-thread CSV\n", sweep_opts.num_threads);
+    if ((merge || !merge_from.empty() || cache_stats) &&
+        cache_dir.empty()) {
+        std::fprintf(stderr, "error: --merge/--merge-from/--cache-stats "
+                     "need --cache-dir\n");
+        return 2;
     }
+    if (merge && shard) {
+        std::fprintf(stderr, "error: --merge assembles the full grid; it "
+                     "cannot be combined with --shard\n");
+        return 2;
+    }
+    if (merge && verify) {
+        std::fprintf(stderr, "error: --merge compiles nothing, so there "
+                     "is no thread-count behavior for --verify to "
+                     "check\n");
+        return 2;
+    }
+
+    std::optional<cache::ResultStore> store;
+    std::vector<driver::SweepCell> cells = grid.cells();
+    std::vector<driver::SweepRow> rows;
+    try {
+        if (!cache_dir.empty())
+            store.emplace(cache_dir);
+        for (const std::string& src : merge_from) {
+            const std::size_t n = store->merge_from(src);
+            support::inform("imported %zu entries from %s", n,
+                            src.c_str());
+        }
+
+        if (merge) {
+            std::printf("== Compilation sweep: assembling %zu cells from "
+                        "the cache at %s ==\n", cells.size(),
+                        store->dir().c_str());
+            rows = cache::assemble(cells, *store);
+            store->compact();
+        } else {
+            if (shard) {
+                const std::size_t full = cells.size();
+                cells = cache::shard_filter(cells, *shard);
+                std::printf("== Shard %d/%d: %zu of %zu cells ==\n",
+                            shard->index, shard->count, cells.size(),
+                            full);
+            }
+            std::printf("== Compilation sweep: %zu cells on %zu threads "
+                        "==\n", cells.size(), sweep_opts.num_threads);
+            if (store)
+                sweep_opts.store = &*store;
+            rows = driver::run_sweep(cells, sweep_opts);
+
+            if (verify) {
+                driver::SweepOptions single = sweep_opts;
+                single.num_threads = 1;
+                // The verification run must actually recompile: serving
+                // it from the store the first run just filled would make
+                // the comparison vacuous.
+                single.store = nullptr;
+                const std::vector<driver::SweepRow> serial =
+                    driver::run_sweep(cells, single);
+                if (driver::sweep_csv(rows).to_string() !=
+                    driver::sweep_csv(serial).to_string()) {
+                    std::fprintf(stderr, "error: --verify FAILED: "
+                                 "%zu-thread and 1-thread sweeps "
+                                 "disagree\n", sweep_opts.num_threads);
+                    return 1;
+                }
+                std::printf("--verify OK: %zu-thread CSV identical to "
+                            "1-thread CSV\n", sweep_opts.num_threads);
+            }
+            if (store)
+                store->flush();
+        }
+    } catch (const support::UserError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    if (cache_stats)
+        std::printf("cache-stats: %s\n", store->stats_line().c_str());
 
     support::Table t(grid.with_baseline
         ? std::vector<std::string>{"Cell", "#gate", "#REM CX", "Tot Comm",

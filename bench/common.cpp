@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "cache/store.hpp"
 #include "driver/sweep.hpp"
 #include "support/log.hpp"
 
@@ -49,6 +50,36 @@ csv_dir()
     if (v == nullptr || v[0] == '\0')
         return std::nullopt;
     return std::string(v);
+}
+
+std::vector<driver::SweepRow>
+run_sweep_cached(const std::vector<driver::SweepCell>& cells,
+                 driver::SweepOptions opts)
+{
+    static std::optional<cache::ResultStore> store = [] {
+        std::optional<cache::ResultStore> s;
+        const char* dir = std::getenv("AUTOCOMM_CACHE_DIR");
+        if (dir != nullptr && dir[0] != '\0') {
+            try {
+                s.emplace(dir);
+            } catch (const support::UserError& e) {
+                // An unusable cache dir should not take the figure run
+                // down with it; compile uncached instead.
+                support::warn("%s; continuing without the result cache",
+                              e.what());
+            }
+        }
+        return s;
+    }();
+    if (store)
+        opts.store = &*store;
+    std::vector<driver::SweepRow> rows = driver::run_sweep(cells, opts);
+    if (store) {
+        store->flush();
+        support::inform("cache %s: %s", store->dir().c_str(),
+                        store->stats_line().c_str());
+    }
+    return rows;
 }
 
 } // namespace autocomm::bench

@@ -16,6 +16,7 @@
 #include "baseline/ferrari.hpp"
 #include "baseline/gptp.hpp"
 #include "circuits/library.hpp"
+#include "driver/sweep.hpp"
 #include "hw/machine.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
@@ -58,5 +59,17 @@ std::vector<circuits::BenchmarkSpec> suite();
 
 /** CSV output directory from AUTOCOMM_CSV_DIR, if set. */
 std::optional<std::string> csv_dir();
+
+/**
+ * driver::run_sweep through the persistent result store named by the
+ * AUTOCOMM_CACHE_DIR environment variable — the cached path shared by
+ * the figure/table binaries that take no CLI flags. Without the
+ * variable this is exactly run_sweep. The store is opened once per
+ * process, flushed after every call, and its hit/miss counters are
+ * reported via inform().
+ */
+std::vector<driver::SweepRow>
+run_sweep_cached(const std::vector<driver::SweepCell>& cells,
+                 driver::SweepOptions opts = {});
 
 } // namespace autocomm::bench

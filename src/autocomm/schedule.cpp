@@ -191,7 +191,7 @@ schedule_program(const qir::Circuit& reordered,
 
     // ---- Resource state ----
     SlotPool slots(m.num_nodes, m.comm_qubits_per_node);
-    LinkPool links(m.link.bandwidth);
+    LinkPool links(m.link);
     std::vector<double> qready(
         static_cast<std::size_t>(reordered.num_qubits()), 0.0);
     ScheduleResult res;

@@ -11,8 +11,10 @@
  *    occupies one slot on each end from preparation start, and — on
  *    multi-hop routes — two slots at every intermediate swap router for
  *    the duration of the entanglement swapping;
- *  - every physical link runs at most `Machine::link.bandwidth`
- *    elementary EPR preparations concurrently (0 = unlimited), and each
+ *  - every physical link runs at most its bandwidth's worth of
+ *    elementary EPR preparations concurrently (the uniform
+ *    `Machine::link.bandwidth` unless the link carries a per-link
+ *    override; 0 = unlimited), and each
  *    purified pair costs 2^rounds raw preparations on every link of its
  *    route (see noise::PurificationPolicy), so noisy cells contend for
  *    link bandwidth where perfect cells do not;

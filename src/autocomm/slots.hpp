@@ -84,44 +84,58 @@ class SlotPool
 };
 
 /**
- * Per-physical-link EPR-preparation channel pool. Each link owns
- * `bandwidth` channels (lazily materialized per link); an elementary
- * preparation occupies one channel for its duration. A bandwidth of 0
- * means unlimited — every query returns "free now" and acquisition is a
- * no-op, reproducing the paper's contention-free links exactly.
+ * Per-physical-link EPR-preparation channel pool. Each link owns as many
+ * channels as its bandwidth (the machine's uniform `LinkModel::bandwidth`
+ * unless the link carries an override; lazily materialized per link); an
+ * elementary preparation occupies one channel for its duration. A
+ * bandwidth of 0 means unlimited — every query on that link returns
+ * "free now" and acquisition is a no-op, reproducing the paper's
+ * contention-free links exactly.
  */
 class LinkPool
 {
   public:
-    explicit LinkPool(int bandwidth) : bandwidth_(bandwidth) {}
+    /** @p link must outlive the pool (both simulators pass the machine's
+     * own model). */
+    explicit LinkPool(const noise::LinkModel& link) : link_(&link) {}
 
-    bool unlimited() const { return bandwidth_ <= 0; }
+    /** True when no link constrains preparations at all. */
+    bool unlimited() const { return link_->unlimited_bandwidth(); }
+
+    /** Channel count of link (a, b); 0 = unlimited. */
+    int
+    bandwidth_of(NodeId a, NodeId b) const
+    {
+        return link_->link_bandwidth(a, b);
+    }
 
     /** Earliest time @p k channels of link (a, b) are simultaneously
-     * free; 0 when unlimited. @p k is clamped to the bandwidth. */
+     * free; 0 when the link is unlimited. @p k is clamped to the link's
+     * bandwidth. */
     double
     earliest_k(NodeId a, NodeId b, int k)
     {
-        if (unlimited())
+        const int bw = bandwidth_of(a, b);
+        if (bw <= 0)
             return 0.0;
-        std::vector<double>& v = chans(a, b);
-        std::vector<double> copy = v;
-        const auto kth = copy.begin() + (std::min(k, bandwidth_) - 1);
+        std::vector<double> copy = chans(a, b, bw);
+        const auto kth = copy.begin() + (std::min(k, bw) - 1);
         std::nth_element(copy.begin(), kth, copy.end());
         return *kth;
     }
 
     /**
-     * Reserve @p k channels (clamped to the bandwidth) on link (a, b)
-     * until the matching release(). No-op when unlimited.
+     * Reserve @p k channels (clamped to the link's bandwidth) on link
+     * (a, b) until the matching release(). No-op on unlimited links.
      */
     void
     acquire(NodeId a, NodeId b, int k)
     {
-        if (unlimited())
+        const int bw = bandwidth_of(a, b);
+        if (bw <= 0)
             return;
-        std::vector<double>& v = chans(a, b);
-        for (int i = 0; i < std::min(k, bandwidth_); ++i) {
+        std::vector<double>& v = chans(a, b, bw);
+        for (int i = 0; i < std::min(k, bw); ++i) {
             const auto it = std::min_element(v.begin(), v.end());
             *it = std::numeric_limits<double>::infinity();
         }
@@ -131,10 +145,11 @@ class LinkPool
     void
     release(NodeId a, NodeId b, int k, double until)
     {
-        if (unlimited())
+        const int bw = bandwidth_of(a, b);
+        if (bw <= 0)
             return;
-        std::vector<double>& v = chans(a, b);
-        int remaining = std::min(k, bandwidth_);
+        std::vector<double>& v = chans(a, b, bw);
+        int remaining = std::min(k, bw);
         for (double& t : v) {
             if (remaining == 0)
                 break;
@@ -147,19 +162,19 @@ class LinkPool
 
   private:
     std::vector<double>&
-    chans(NodeId a, NodeId b)
+    chans(NodeId a, NodeId b, int bw)
     {
         const auto k = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
         const auto it = chans_.find(k);
         if (it != chans_.end())
             return it->second;
         return chans_
-            .emplace(k, std::vector<double>(
-                            static_cast<std::size_t>(bandwidth_), 0.0))
+            .emplace(k,
+                     std::vector<double>(static_cast<std::size_t>(bw), 0.0))
             .first->second;
     }
 
-    int bandwidth_;
+    const noise::LinkModel* link_;
     std::map<std::pair<NodeId, NodeId>, std::vector<double>> chans_;
 };
 

@@ -1,0 +1,56 @@
+#include "cache/hash.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::cache {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+/** Golden-ratio constant; makes the second lane's basis independent. */
+constexpr std::uint64_t kLaneSplit = 0x9E3779B97F4A7C15ULL;
+
+/** splitmix64 finalizer: avalanches the weak high bits of FNV-1a. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+Hash128
+hash128(const std::string& data)
+{
+    std::uint64_t a = kFnvBasis;
+    std::uint64_t b = kFnvBasis ^ kLaneSplit;
+    for (const char c : data) {
+        const auto byte = static_cast<std::uint64_t>(
+            static_cast<unsigned char>(c));
+        a = (a ^ byte) * kFnvPrime;
+        b = (b ^ byte) * kFnvPrime;
+        // Rotating lane b decorrelates it from lane a beyond the basis
+        // difference (otherwise a ^ b would be input-independent).
+        b = (b << 7) | (b >> 57);
+    }
+    Hash128 h;
+    h.lo = mix(a);
+    h.hi = mix(b ^ a);
+    return h;
+}
+
+std::string
+Hash128::hex() const
+{
+    return support::strprintf("%016llx%016llx",
+                              static_cast<unsigned long long>(hi),
+                              static_cast<unsigned long long>(lo));
+}
+
+} // namespace autocomm::cache

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Stable 128-bit content hashing for the sweep-result cache.
+ *
+ * The cache keys cells by the hash of their canonical serialization, so
+ * the hash must be stable across runs, platforms, compilers, and library
+ * versions — std::hash guarantees none of that. This is a dependency-free
+ * FNV-1a construction: two independent 64-bit FNV-1a lanes (distinct
+ * offset bases) finalized with a splitmix64-style avalanche mix. It is an
+ * identifier hash, not a cryptographic one; 128 bits make accidental
+ * collisions astronomically unlikely, and the store still verifies the
+ * full canonical string on every lookup, so even a collision degrades to
+ * a cache miss rather than a wrong result.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace autocomm::cache {
+
+/** A 128-bit stable hash value. */
+struct Hash128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    /** 32 lowercase hex chars, hi lane first. */
+    std::string hex() const;
+
+    friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/** Hash @p data (all bytes significant; embedded NULs allowed). */
+Hash128 hash128(const std::string& data);
+
+} // namespace autocomm::cache

@@ -1,0 +1,563 @@
+#include "cache/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/log.hpp"
+
+namespace autocomm::cache {
+
+// ---- constructors ------------------------------------------------------
+
+Json
+Json::null()
+{
+    return Json{};
+}
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.type_ = Type::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+Json
+Json::number_literal(std::string literal)
+{
+    Json j;
+    j.type_ = Type::Number;
+    j.scalar_ = std::move(literal);
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    // %.17g round-trips every finite double exactly. JSON has no
+    // inf/nan; none of the cached metrics can produce them, so reject
+    // loudly rather than emit an unparsable token.
+    if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308)
+        support::fatal("Json: non-finite number is not representable");
+    return number_literal(support::strprintf("%.17g", v));
+}
+
+Json
+Json::number(long long v)
+{
+    return number_literal(support::strprintf("%lld", v));
+}
+
+Json
+Json::number(unsigned long long v)
+{
+    return number_literal(support::strprintf("%llu", v));
+}
+
+Json
+Json::string(std::string v)
+{
+    Json j;
+    j.type_ = Type::String;
+    j.scalar_ = std::move(v);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+// ---- inspection --------------------------------------------------------
+
+bool
+Json::to_bool() const
+{
+    if (type_ != Type::Bool)
+        support::fatal("Json: expected a boolean");
+    return bool_;
+}
+
+// The conversions reject range overflow (ERANGE) rather than saturate:
+// an out-of-range literal in a store line is corruption and must take
+// the corrupt-entry path, not silently become ULLONG_MAX or inf.
+
+double
+Json::to_double() const
+{
+    if (type_ != Type::Number)
+        support::fatal("Json: expected a number");
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(scalar_.c_str(), &end);
+    if (end == scalar_.c_str() || *end != '\0' || errno == ERANGE)
+        support::fatal("Json: bad number literal \"%s\"", scalar_.c_str());
+    return v;
+}
+
+long long
+Json::to_int() const
+{
+    if (type_ != Type::Number)
+        support::fatal("Json: expected a number");
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+    if (end == scalar_.c_str() || *end != '\0' || errno == ERANGE)
+        support::fatal("Json: bad integer literal \"%s\"", scalar_.c_str());
+    return v;
+}
+
+unsigned long long
+Json::to_uint() const
+{
+    if (type_ != Type::Number)
+        support::fatal("Json: expected a number");
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+    if (end == scalar_.c_str() || *end != '\0' || errno == ERANGE ||
+        scalar_.front() == '-')
+        support::fatal("Json: bad unsigned literal \"%s\"",
+                       scalar_.c_str());
+    return v;
+}
+
+const std::string&
+Json::to_string() const
+{
+    if (type_ != Type::String)
+        support::fatal("Json: expected a string");
+    return scalar_;
+}
+
+const std::vector<Json>&
+Json::items() const
+{
+    if (type_ != Type::Array)
+        support::fatal("Json: expected an array");
+    return items_;
+}
+
+void
+Json::push_back(Json v)
+{
+    if (type_ != Type::Array)
+        support::fatal("Json: push_back on a non-array");
+    items_.push_back(std::move(v));
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (type_ != Type::Object)
+        support::fatal("Json: expected an object");
+    for (const auto& [k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Json&
+Json::at(const std::string& key) const
+{
+    const Json* v = find(key);
+    if (!v)
+        support::fatal("Json: missing member \"%s\"", key.c_str());
+    return *v;
+}
+
+void
+Json::set(std::string key, Json v)
+{
+    if (type_ != Type::Object)
+        support::fatal("Json: set on a non-object");
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+// ---- dump --------------------------------------------------------------
+
+namespace {
+
+void
+dump_string(const std::string& s, std::string& out)
+{
+    out += '"';
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (u < 0x20)
+                out += support::strprintf("\\u%04x", u);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Json::dump_to(std::string& out) const
+{
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        return;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+    case Type::Number:
+        out += scalar_;
+        return;
+    case Type::String:
+        dump_string(scalar_, out);
+        return;
+    case Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            items_[i].dump_to(out);
+        }
+        out += ']';
+        return;
+    case Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            dump_string(members_[i].first, out);
+            out += ':';
+            members_[i].second.dump_to(out);
+        }
+        out += '}';
+        return;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dump_to(out);
+    return out;
+}
+
+// ---- parse -------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent JSON parser over a borrowed string. */
+struct Parser
+{
+    /** Nesting bound: our documents are ~4 deep; a corrupt segment line
+     * of repeated '[' must fail as malformed input, not blow the
+     * stack. */
+    static constexpr int kMaxDepth = 128;
+
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+    int depth = 0;
+
+    bool
+    fail(const std::string& what)
+    {
+        if (error.empty())
+            error = support::strprintf("%s at offset %zu", what.c_str(),
+                                       pos);
+        return false;
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        for (const char* p = word; *p; ++p, ++pos)
+            if (pos >= text.size() || text[pos] != *p)
+                return fail(support::strprintf("expected \"%s\"", word));
+        return true;
+    }
+
+    /** Append code point @p cp as UTF-8. */
+    void
+    utf8(unsigned cp, std::string& out)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    hex4(unsigned& out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i, ++pos) {
+            if (pos >= text.size())
+                return fail("truncated \\u escape");
+            const char c = text[pos];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parse_string(std::string& out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected '\"'");
+        ++pos;
+        while (true) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            ++pos;
+            if (pos >= text.size())
+                return fail("truncated escape");
+            const char e = text[pos];
+            ++pos;
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = 0;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xD800 && cp < 0xDC00) {
+                    // High surrogate: require the paired low surrogate.
+                    if (pos + 1 >= text.size() || text[pos] != '\\' ||
+                        text[pos + 1] != 'u')
+                        return fail("lone high surrogate");
+                    pos += 2;
+                    unsigned lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp < 0xE000) {
+                    return fail("lone low surrogate");
+                }
+                utf8(cp, out);
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parse_number(Json& out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a number");
+        const std::string literal = text.substr(start, pos - start);
+        // Validate eagerly so number-shaped garbage fails at parse time.
+        char* end = nullptr;
+        (void)std::strtod(literal.c_str(), &end);
+        if (end == literal.c_str() || *end != '\0') {
+            pos = start;
+            return fail("bad number literal");
+        }
+        out = Json::number_literal(literal);
+        return true;
+    }
+
+    bool
+    parse_value(Json& out)
+    {
+        if (++depth > kMaxDepth)
+            return fail("nesting too deep");
+        const bool ok = parse_value_inner(out);
+        --depth;
+        return ok;
+    }
+
+    bool
+    parse_value_inner(Json& out)
+    {
+        skip_ws();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == 'n') {
+            out = Json::null();
+            return literal("null");
+        }
+        if (c == 't') {
+            out = Json::boolean(true);
+            return literal("true");
+        }
+        if (c == 'f') {
+            out = Json::boolean(false);
+            return literal("false");
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parse_string(s))
+                return false;
+            out = Json::string(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skip_ws();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Json item;
+                if (!parse_value(item))
+                    return false;
+                out.push_back(std::move(item));
+                skip_ws();
+                if (pos >= text.size())
+                    return fail("unterminated array");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skip_ws();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skip_ws();
+                std::string key;
+                if (!parse_string(key))
+                    return false;
+                skip_ws();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                Json value;
+                if (!parse_value(value))
+                    return false;
+                out.set(std::move(key), std::move(value));
+                skip_ws();
+                if (pos >= text.size())
+                    return fail("unterminated object");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        return parse_number(out);
+    }
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(const std::string& text, std::string* error)
+{
+    Parser p{text, 0, {}, 0};
+    Json out;
+    if (!p.parse_value(out)) {
+        if (error)
+            *error = p.error;
+        return std::nullopt;
+    }
+    p.skip_ws();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = support::strprintf("trailing garbage at offset %zu",
+                                        p.pos);
+        return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace autocomm::cache

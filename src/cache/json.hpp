@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal JSON document model for the sweep-result cache's JSONL store.
+ *
+ * Deliberately tiny and dependency-free; two properties matter more than
+ * generality:
+ *
+ *  - **Exact numbers.** Values are kept as their literal text
+ *    (Json::number_literal), so a `%.17g` double or a full-range uint64
+ *    survives dump -> parse -> dump byte-identically — the warm-run CSV
+ *    must equal the cold-run CSV to the byte.
+ *  - **Deterministic output.** Object members keep insertion order and
+ *    dump() is canonical (no whitespace), so equal documents serialize
+ *    equally and store segments diff/merge cleanly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autocomm::cache {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+
+    // ---- constructors --------------------------------------------------
+    static Json null();
+    static Json boolean(bool v);
+    /** A number from its literal text (validated lazily by consumers). */
+    static Json number_literal(std::string literal);
+    static Json number(double v);             ///< %.17g (exact round trip)
+    static Json number(long long v);
+    static Json number(unsigned long long v);
+    static Json string(std::string v);
+    static Json array();
+    static Json object();
+
+    // ---- inspection ----------------------------------------------------
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::Null; }
+    bool is_object() const { return type_ == Type::Object; }
+    bool is_array() const { return type_ == Type::Array; }
+
+    /** Throw support::UserError unless the value has the given shape. */
+    bool to_bool() const;
+    double to_double() const;
+    long long to_int() const;
+    unsigned long long to_uint() const;
+    const std::string& to_string() const;
+
+    /** Array elements (throws unless array). */
+    const std::vector<Json>& items() const;
+    void push_back(Json v);
+
+    /** Object member by key; null when absent (throws unless object). */
+    const Json* find(const std::string& key) const;
+    /** Object member by key; throws support::UserError when absent. */
+    const Json& at(const std::string& key) const;
+    /** Append a member (insertion order is preserved on dump). */
+    void set(std::string key, Json v);
+
+    // ---- serialization -------------------------------------------------
+    /** Compact canonical serialization. */
+    std::string dump() const;
+
+    /** Parse one document; nullopt (with *error set) on malformed input.
+     * Trailing garbage after the document is an error. */
+    static std::optional<Json> parse(const std::string& text,
+                                     std::string* error = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    /** Number literal or string payload, by type_. */
+    std::string scalar_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+
+    void dump_to(std::string& out) const;
+};
+
+} // namespace autocomm::cache

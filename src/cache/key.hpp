@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Content-addressed cache keys for sweep cells.
+ *
+ * A CellKey is the canonical, versioned serialization of everything that
+ * determines a SweepCell's metrics row — circuit family/size/seed,
+ * machine shape/topology, every noise axis including per-link overrides,
+ * the full option-set contents (not just its name), the baseline flags —
+ * plus the compiler salt, hashed to a stable 128-bit identifier.
+ *
+ * **The salt** (kCompilerSalt) names the current metrics semantics of the
+ * compiler. Bump it whenever a change legitimately alters any cached
+ * number (new pass behavior, latency-model change, CSV metric
+ * redefinition): old store entries then count as stale and every cell
+ * recompiles once. Do NOT bump it for pure refactors — the golden-metric
+ * suite (test_metrics_golden) is the arbiter of whether semantics moved.
+ *
+ * Sharding rides on the same hash: shard i of N owns every cell whose
+ * key hash lands in residue class i (see shard_filter), so a grid splits
+ * deterministically across machines with no coordination and the merged
+ * result is independent of the split.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/hash.hpp"
+#include "driver/sweep.hpp"
+
+namespace autocomm::cache {
+
+/**
+ * Compiler-salt constant of this source tree. Part of every CellKey and
+ * recorded per store entry; see the file comment for when to bump it.
+ */
+inline constexpr const char kCompilerSalt[] = "s1";
+
+/** Content-addressed identity of one sweep cell. */
+struct CellKey
+{
+    /** The full canonical serialization (collision-proofs lookups and
+     * makes store entries self-describing). */
+    std::string canonical;
+    /** hash128(canonical); the store's index key. */
+    Hash128 hash;
+
+    /** 32-hex-char store key. */
+    std::string hex() const { return hash.hex(); }
+};
+
+/** Build the key of @p cell under @p salt (default: this tree's salt). */
+CellKey cell_key(const driver::SweepCell& cell,
+                 const std::string& salt = kCompilerSalt);
+
+/** True when @p key belongs to the given shard (hash residue class). */
+bool in_shard(const CellKey& key, const driver::ShardSpec& shard);
+
+/**
+ * The deterministic subset of @p cells owned by @p shard, in original
+ * order. Over i = 0..N-1 the shards partition the cell list exactly;
+ * which shard owns a cell depends only on its key (so on the salt, not
+ * on the grid it came from or the machine doing the work).
+ */
+std::vector<driver::SweepCell>
+shard_filter(const std::vector<driver::SweepCell>& cells,
+             const driver::ShardSpec& shard,
+             const std::string& salt = kCompilerSalt);
+
+} // namespace autocomm::cache

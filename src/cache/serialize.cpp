@@ -1,0 +1,249 @@
+#include "cache/serialize.hpp"
+
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace autocomm::cache {
+
+namespace {
+
+using ull = unsigned long long;
+
+Json
+size_array(const std::vector<std::size_t>& v)
+{
+    Json arr = Json::array();
+    for (const std::size_t x : v)
+        arr.push_back(Json::number(static_cast<ull>(x)));
+    return arr;
+}
+
+Json
+double_array(const std::vector<double>& v)
+{
+    Json arr = Json::array();
+    for (const double x : v)
+        arr.push_back(Json::number(x));
+    return arr;
+}
+
+/** [[a, b, count], ...] for a per-link ledger map. */
+Json
+link_map(const std::map<std::pair<NodeId, NodeId>, std::size_t>& m)
+{
+    Json arr = Json::array();
+    for (const auto& [link, n] : m) {
+        Json entry = Json::array();
+        entry.push_back(Json::number(static_cast<long long>(link.first)));
+        entry.push_back(Json::number(static_cast<long long>(link.second)));
+        entry.push_back(Json::number(static_cast<ull>(n)));
+        arr.push_back(std::move(entry));
+    }
+    return arr;
+}
+
+std::vector<std::size_t>
+size_vector(const Json& arr)
+{
+    std::vector<std::size_t> out;
+    out.reserve(arr.items().size());
+    for (const Json& x : arr.items())
+        out.push_back(static_cast<std::size_t>(x.to_uint()));
+    return out;
+}
+
+std::vector<double>
+double_vector(const Json& arr)
+{
+    std::vector<double> out;
+    out.reserve(arr.items().size());
+    for (const Json& x : arr.items())
+        out.push_back(x.to_double());
+    return out;
+}
+
+std::map<std::pair<NodeId, NodeId>, std::size_t>
+link_map_from(const Json& arr)
+{
+    std::map<std::pair<NodeId, NodeId>, std::size_t> out;
+    for (const Json& entry : arr.items()) {
+        if (entry.items().size() != 3)
+            support::fatal("cache: malformed ledger link entry");
+        out[{static_cast<NodeId>(entry.items()[0].to_int()),
+             static_cast<NodeId>(entry.items()[1].to_int())}] =
+            static_cast<std::size_t>(entry.items()[2].to_uint());
+    }
+    return out;
+}
+
+Json
+factors_to_json(const std::optional<baseline::RelativeFactors>& f)
+{
+    if (!f)
+        return Json::null();
+    Json obj = Json::object();
+    obj.set("improv", Json::number(f->improv_factor));
+    obj.set("lat_dec", Json::number(f->lat_dec_factor));
+    return obj;
+}
+
+std::optional<baseline::RelativeFactors>
+factors_from_json(const Json& doc)
+{
+    if (doc.is_null())
+        return std::nullopt;
+    baseline::RelativeFactors f;
+    f.improv_factor = doc.at("improv").to_double();
+    f.lat_dec_factor = doc.at("lat_dec").to_double();
+    return f;
+}
+
+} // namespace
+
+Json
+row_to_json(const driver::SweepRow& row)
+{
+    Json doc = Json::object();
+    doc.set("ok", Json::boolean(row.ok));
+    doc.set("error", Json::string(row.error));
+
+    Json stats = Json::object();
+    stats.set("total_gates", Json::number(static_cast<ull>(
+                                 row.stats.total_gates)));
+    stats.set("single_qubit_gates",
+              Json::number(static_cast<ull>(row.stats.single_qubit_gates)));
+    stats.set("two_qubit_gates",
+              Json::number(static_cast<ull>(row.stats.two_qubit_gates)));
+    stats.set("cx_gates",
+              Json::number(static_cast<ull>(row.stats.cx_gates)));
+    stats.set("three_qubit_gates",
+              Json::number(static_cast<ull>(row.stats.three_qubit_gates)));
+    stats.set("measurements",
+              Json::number(static_cast<ull>(row.stats.measurements)));
+    stats.set("depth", Json::number(static_cast<ull>(row.stats.depth)));
+    doc.set("stats", std::move(stats));
+
+    doc.set("remote_cx", Json::number(static_cast<ull>(row.remote_cx)));
+
+    Json metrics = Json::object();
+    metrics.set("remote_gates",
+                Json::number(static_cast<ull>(row.metrics.remote_gates)));
+    metrics.set("num_blocks",
+                Json::number(static_cast<ull>(row.metrics.num_blocks)));
+    metrics.set("total_comms",
+                Json::number(static_cast<ull>(row.metrics.total_comms)));
+    metrics.set("tp_comms",
+                Json::number(static_cast<ull>(row.metrics.tp_comms)));
+    metrics.set("cat_comms",
+                Json::number(static_cast<ull>(row.metrics.cat_comms)));
+    metrics.set("peak_rem_cx", Json::number(row.metrics.peak_rem_cx));
+    metrics.set("per_comm_cx", double_array(row.metrics.per_comm_cx));
+    metrics.set("block_sizes", size_array(row.metrics.block_sizes));
+    doc.set("metrics", std::move(metrics));
+
+    Json sched = Json::object();
+    sched.set("makespan", Json::number(row.schedule.makespan));
+    sched.set("epr_pairs",
+              Json::number(static_cast<ull>(row.schedule.epr_pairs)));
+    sched.set("teleports",
+              Json::number(static_cast<ull>(row.schedule.teleports)));
+    sched.set("fused_links",
+              Json::number(static_cast<ull>(row.schedule.fused_links)));
+    sched.set("hops_total",
+              Json::number(static_cast<ull>(row.schedule.hops_total)));
+    sched.set("epr_raw_pairs",
+              Json::number(static_cast<ull>(row.schedule.epr_raw_pairs)));
+    sched.set("purify_rounds",
+              Json::number(static_cast<ull>(row.schedule.purify_rounds)));
+
+    Json ledger = Json::object();
+    ledger.set("per_link", link_map(row.schedule.ledger.per_link()));
+    ledger.set("raw_per_link",
+               link_map(row.schedule.ledger.raw_per_link()));
+    ledger.set("total",
+               Json::number(static_cast<ull>(row.schedule.ledger.total())));
+    ledger.set("raw_total", Json::number(static_cast<ull>(
+                                row.schedule.ledger.raw_total())));
+    ledger.set("log_fidelity",
+               Json::number(row.schedule.ledger.log_fidelity()));
+    sched.set("ledger", std::move(ledger));
+    doc.set("schedule", std::move(sched));
+
+    doc.set("factors", factors_to_json(row.factors));
+    doc.set("gptp_factors", factors_to_json(row.gptp_factors));
+    return doc;
+}
+
+driver::SweepRow
+row_from_json(const Json& doc, const driver::SweepCell& cell)
+{
+    driver::SweepRow row;
+    row.cell = cell;
+    row.ok = doc.at("ok").to_bool();
+    row.error = doc.at("error").to_string();
+
+    const Json& stats = doc.at("stats");
+    row.stats.total_gates =
+        static_cast<std::size_t>(stats.at("total_gates").to_uint());
+    row.stats.single_qubit_gates = static_cast<std::size_t>(
+        stats.at("single_qubit_gates").to_uint());
+    row.stats.two_qubit_gates =
+        static_cast<std::size_t>(stats.at("two_qubit_gates").to_uint());
+    row.stats.cx_gates =
+        static_cast<std::size_t>(stats.at("cx_gates").to_uint());
+    row.stats.three_qubit_gates =
+        static_cast<std::size_t>(stats.at("three_qubit_gates").to_uint());
+    row.stats.measurements =
+        static_cast<std::size_t>(stats.at("measurements").to_uint());
+    row.stats.depth = static_cast<std::size_t>(stats.at("depth").to_uint());
+
+    row.remote_cx = static_cast<std::size_t>(doc.at("remote_cx").to_uint());
+
+    const Json& metrics = doc.at("metrics");
+    row.metrics.remote_gates =
+        static_cast<std::size_t>(metrics.at("remote_gates").to_uint());
+    row.metrics.num_blocks =
+        static_cast<std::size_t>(metrics.at("num_blocks").to_uint());
+    row.metrics.total_comms =
+        static_cast<std::size_t>(metrics.at("total_comms").to_uint());
+    row.metrics.tp_comms =
+        static_cast<std::size_t>(metrics.at("tp_comms").to_uint());
+    row.metrics.cat_comms =
+        static_cast<std::size_t>(metrics.at("cat_comms").to_uint());
+    row.metrics.peak_rem_cx = metrics.at("peak_rem_cx").to_double();
+    row.metrics.per_comm_cx = double_vector(metrics.at("per_comm_cx"));
+    row.metrics.block_sizes = size_vector(metrics.at("block_sizes"));
+
+    const Json& sched = doc.at("schedule");
+    row.schedule.makespan = sched.at("makespan").to_double();
+    row.schedule.epr_pairs =
+        static_cast<std::size_t>(sched.at("epr_pairs").to_uint());
+    row.schedule.teleports =
+        static_cast<std::size_t>(sched.at("teleports").to_uint());
+    row.schedule.fused_links =
+        static_cast<std::size_t>(sched.at("fused_links").to_uint());
+    row.schedule.hops_total =
+        static_cast<std::size_t>(sched.at("hops_total").to_uint());
+    row.schedule.epr_raw_pairs =
+        static_cast<std::size_t>(sched.at("epr_raw_pairs").to_uint());
+    row.schedule.purify_rounds =
+        static_cast<std::size_t>(sched.at("purify_rounds").to_uint());
+
+    const Json& ledger = sched.at("ledger");
+    row.schedule.ledger = comm::EprLedger::restore(
+        link_map_from(ledger.at("per_link")),
+        link_map_from(ledger.at("raw_per_link")),
+        static_cast<std::size_t>(ledger.at("total").to_uint()),
+        static_cast<std::size_t>(ledger.at("raw_total").to_uint()),
+        ledger.at("log_fidelity").to_double());
+
+    row.factors = factors_from_json(doc.at("factors"));
+    row.gptp_factors = factors_from_json(doc.at("gptp_factors"));
+
+    // compile_seconds is wall-clock and deliberately not cached.
+    row.compile_seconds = 0.0;
+    return row;
+}
+
+} // namespace autocomm::cache

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Exact JSON round-tripping of driver::SweepRow for the result store.
+ *
+ * Everything a bench binary reads off a row after run_sweep returns is
+ * serialized — including the per-communication CX vector behind Fig. 15
+ * and the EPR ledger behind the program-fidelity estimate — so a warm
+ * (cache-hit) row is indistinguishable from the cold row it replays:
+ * sweep_csv() output is byte-identical. The one deliberate exception is
+ * `compile_seconds` (wall-clock, non-deterministic, excluded from the
+ * CSV): cached rows restore it as 0.
+ */
+#pragma once
+
+#include "cache/json.hpp"
+#include "driver/sweep.hpp"
+
+namespace autocomm::cache {
+
+/** Serialize the result fields of @p row (the cell is keyed, not stored). */
+Json row_to_json(const driver::SweepRow& row);
+
+/**
+ * Rebuild a row from row_to_json output, attaching the live @p cell
+ * (whose key must have matched the entry). Throws support::UserError on
+ * malformed or field-incomplete documents — the store treats that as a
+ * stale entry, not a crash.
+ */
+driver::SweepRow row_from_json(const Json& doc,
+                               const driver::SweepCell& cell);
+
+} // namespace autocomm::cache

@@ -1,0 +1,317 @@
+#include "cache/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+#include <utility>
+
+#include "cache/serialize.hpp"
+#include "support/log.hpp"
+
+namespace fs = std::filesystem;
+
+namespace autocomm::cache {
+
+ResultStore::ResultStore(std::string dir, std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        support::fatal("cache: cannot create store directory \"%s\": %s",
+                       dir_.c_str(), ec.message().c_str());
+    load();
+}
+
+void
+ResultStore::load()
+{
+    // Deterministic load order: segment file names sorted. Within the
+    // store a key appears at most once per segment; across segments the
+    // last one wins (identical salts imply identical rows anyway — the
+    // compiler is deterministic — so this only matters for resilience).
+    std::vector<fs::path> segments;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".jsonl")
+            segments.push_back(entry.path());
+    }
+    std::sort(segments.begin(), segments.end());
+
+    for (const fs::path& seg : segments) {
+        std::ifstream in(seg);
+        if (!in) {
+            // Deliberately NOT added to seen_segments_: its rows never
+            // made it into memory, so no rewrite covers them and a
+            // corrupt-triggered retirement must leave the file alone.
+            support::warn("cache: cannot read segment %s; skipping",
+                          seg.string().c_str());
+            continue;
+        }
+        seen_segments_.push_back(seg);
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            std::string err;
+            const std::optional<Json> doc = Json::parse(line, &err);
+            if (!doc || !doc->is_object()) {
+                support::warn("cache: %s:%zu: malformed entry (%s); "
+                              "dropped", seg.string().c_str(), lineno,
+                              err.c_str());
+                ++stats_.stale;
+                continue;
+            }
+            try {
+                const std::string& key = doc->at("key").to_string();
+                if (doc->at("salt").to_string() != salt_) {
+                    // A different compiler salt: metrics semantics moved
+                    // under this entry, so it must not be served.
+                    ++stats_.stale;
+                    continue;
+                }
+                Entry e;
+                e.canonical = doc->at("canonical").to_string();
+                e.label = doc->at("label").to_string();
+                e.row = doc->at("row");
+                entries_[key] = std::move(e);
+            } catch (const support::UserError& ex) {
+                support::warn("cache: %s:%zu: %s; dropped",
+                              seg.string().c_str(), lineno, ex.what());
+                ++stats_.stale;
+            }
+        }
+    }
+    stats_.loaded = entries_.size();
+}
+
+std::optional<driver::SweepRow>
+ResultStore::lookup(const CellKey& key, const driver::SweepCell& cell)
+{
+    const auto it = entries_.find(key.hex());
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    if (it->second.canonical != key.canonical) {
+        // 128-bit hash collision (or a tampered store): never serve a
+        // row for a different cell — recompiling is always safe.
+        support::warn("cache: key %s collides (\"%s\" vs \"%s\"); "
+                      "treating as a miss", key.hex().c_str(),
+                      it->second.canonical.c_str(), key.canonical.c_str());
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    try {
+        driver::SweepRow row = row_from_json(it->second.row, cell);
+        ++stats_.hits;
+        return row;
+    } catch (const support::UserError& ex) {
+        support::warn("cache: entry %s is corrupt (%s); recompiling",
+                      key.hex().c_str(), ex.what());
+        entries_.erase(it);
+        saw_corrupt_ = true;
+        ++stats_.stale;
+        ++stats_.misses;
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::insert(const CellKey& key, const driver::SweepRow& row)
+{
+    Entry e;
+    e.canonical = key.canonical;
+    e.label = row.cell.label();
+    e.row = row_to_json(row);
+    e.pending = true;
+    entries_[key.hex()] = std::move(e);
+    ++stats_.inserted;
+}
+
+std::string
+ResultStore::entry_line(const std::string& hex, const Entry& e) const
+{
+    Json doc = Json::object();
+    doc.set("key", Json::string(hex));
+    doc.set("salt", Json::string(salt_));
+    doc.set("label", Json::string(e.label));
+    doc.set("canonical", Json::string(e.canonical));
+    doc.set("row", e.row);
+    return doc.dump();
+}
+
+void
+ResultStore::write_atomic(const std::string& filename,
+                          const std::string& contents) const
+{
+    const fs::path target = fs::path(dir_) / filename;
+    // Process-unique temp name: segment names are content-hashed and so
+    // never contended, but compact()'s fixed "store.jsonl" is — two
+    // coordinators must at worst last-writer-win the rename, never
+    // interleave writes into one temp file.
+    const fs::path tmp = target.string() + ".tmp." +
+                         std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << contents;
+        out.flush();
+        if (!out)
+            support::fatal("cache: failed writing %s",
+                           tmp.string().c_str());
+    }
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec)
+        support::fatal("cache: failed renaming %s into place: %s",
+                       tmp.string().c_str(), ec.message().c_str());
+}
+
+void
+ResultStore::flush()
+{
+    std::string contents;
+    for (auto& [hex, e] : entries_) {
+        // After a corrupt entry was dropped, appending only the pending
+        // rows would not shadow it reliably: load order is segment-name
+        // order, which is arbitrary for content-hashed names. Rewrite
+        // this process's whole view instead and retire the segments it
+        // was read from, so the corrupt line is gone for good — but
+        // never touch segments that appeared after our load (concurrent
+        // shard runs own those).
+        if (!saw_corrupt_ && !e.pending)
+            continue;
+        contents += entry_line(hex, e);
+        contents += '\n';
+    }
+    if (contents.empty()) {
+        if (saw_corrupt_) {
+            // Nothing left to rewrite (e.g. the store's only entry was
+            // the corrupt one and its recompile failed transiently) —
+            // still retire the read segments, or the corrupt line would
+            // be reloaded and re-dropped on every run.
+            std::error_code ec;
+            for (const fs::path& seg : seen_segments_) {
+                fs::remove(seg, ec);
+                if (ec)
+                    support::warn("cache: could not retire segment "
+                                  "%s: %s", seg.string().c_str(),
+                                  ec.message().c_str());
+            }
+            seen_segments_.clear();
+            saw_corrupt_ = false;
+        }
+        return;
+    }
+    // Content-hashed segment names: deterministic (no clocks or RNG —
+    // identical reruns rewrite the identical segment, which is
+    // idempotent) and collision-free across concurrent shard processes
+    // writing different rows into one directory.
+    const std::string name =
+        "seg-" + hash128(contents).hex().substr(0, 16) + ".jsonl";
+    write_atomic(name, contents);
+    const fs::path written = fs::path(dir_) / name;
+    if (saw_corrupt_) {
+        std::error_code ec;
+        for (const fs::path& seg : seen_segments_) {
+            if (seg == written)
+                continue;
+            fs::remove(seg, ec);
+            if (ec)
+                support::warn("cache: could not retire segment %s: %s",
+                              seg.string().c_str(),
+                              ec.message().c_str());
+        }
+        saw_corrupt_ = false;
+        seen_segments_.assign(1, written);
+    } else {
+        // Keep the loaded segments on the retire list: a corrupt entry
+        // from one of them may only be detected by a later lookup.
+        seen_segments_.push_back(written);
+    }
+    for (auto& [hex, e] : entries_)
+        e.pending = false;
+}
+
+void
+ResultStore::compact()
+{
+    std::string contents;
+    for (auto& [hex, e] : entries_) {
+        contents += entry_line(hex, e);
+        contents += '\n';
+        e.pending = false;
+    }
+    const fs::path canonical = fs::path(dir_) / "store.jsonl";
+    write_atomic("store.jsonl", contents);
+    // Retire only the segments this process loaded or wrote. A segment
+    // another process flushed after our load holds rows we never saw —
+    // deleting it would destroy them; leaving it is always safe (it
+    // simply loads alongside store.jsonl next open).
+    std::error_code ec;
+    for (const fs::path& seg : seen_segments_) {
+        if (seg == canonical)
+            continue;
+        fs::remove(seg, ec);
+        if (ec)
+            support::warn("cache: could not remove old segment %s: %s",
+                          seg.string().c_str(), ec.message().c_str());
+    }
+    saw_corrupt_ = false;
+    seen_segments_.assign(1, canonical);
+}
+
+std::size_t
+ResultStore::merge_from(const std::string& src_dir)
+{
+    if (!fs::is_directory(src_dir))
+        support::fatal("cache: merge source \"%s\" is not a directory",
+                       src_dir.c_str());
+    // Opening loads with this store's salt, so stale source entries are
+    // filtered by the same rule as local ones.
+    ResultStore src(src_dir, salt_);
+    std::size_t imported = 0;
+    for (const auto& [hex, e] : src.entries_) {
+        if (entries_.count(hex))
+            continue;
+        Entry copy = e;
+        copy.pending = true;
+        entries_[hex] = std::move(copy);
+        ++imported;
+    }
+    stats_.inserted += imported;
+    return imported;
+}
+
+std::string
+ResultStore::stats_line() const
+{
+    return support::strprintf(
+        "hits=%zu misses=%zu stale=%zu loaded=%zu inserted=%zu entries=%zu",
+        stats_.hits, stats_.misses, stats_.stale, stats_.loaded,
+        stats_.inserted, entries_.size());
+}
+
+std::vector<driver::SweepRow>
+assemble(const std::vector<driver::SweepCell>& cells, ResultStore& store)
+{
+    std::vector<driver::SweepRow> rows;
+    rows.reserve(cells.size());
+    for (const driver::SweepCell& cell : cells) {
+        const CellKey key = cell_key(cell, store.salt());
+        std::optional<driver::SweepRow> row = store.lookup(key, cell);
+        if (!row)
+            support::fatal("cache: cell %s is not in the store at \"%s\" "
+                           "(did every shard run with the same grid, "
+                           "cache dir, and compiler salt?)",
+                           cell.label().c_str(), store.dir().c_str());
+        rows.push_back(std::move(*row));
+    }
+    return rows;
+}
+
+} // namespace autocomm::cache

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The persistent, content-addressed sweep-result store.
+ *
+ * On disk a store is a directory of append-only JSONL segments: every
+ * flush() writes the rows added since the last one as a new
+ * `seg-<contenthash>.jsonl` file via temp-file + atomic rename, so
+ *
+ *  - a crash mid-write never corrupts existing data (the half-written
+ *    temp file is simply ignored on the next open);
+ *  - concurrent shard runs can share one directory — each process only
+ *    ever creates its own segments;
+ *  - merging shard stores produced on different machines is file copy
+ *    (or merge_from()) followed by compact(), which rewrites the union
+ *    as one canonical key-sorted `store.jsonl`. Compaction/merge is a
+ *    single-coordinator operation: run it from one process after the
+ *    shard runs finish (concurrent compactors cannot corrupt the store
+ *    — temp files are process-unique — but the canonical file is
+ *    last-writer-wins).
+ *
+ * Each line records the entry's 128-bit key, the compiler salt it was
+ * produced under, the human-readable cell label, the full canonical key
+ * string (verified on lookup, so even a hash collision degrades to a
+ * miss), and the serialized row. Entries whose salt differs from the
+ * opener's are dropped at load time and counted stale.
+ *
+ * The class is NOT thread-safe; run_sweep consults it only from the
+ * coordinating thread (lookups before the pool starts, inserts after it
+ * drains).
+ */
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/json.hpp"
+#include "cache/key.hpp"
+#include "driver/sweep.hpp"
+
+namespace autocomm::cache {
+
+/** Hit/miss bookkeeping of one store session. */
+struct StoreStats
+{
+    std::size_t hits = 0;     ///< lookups served from the store
+    std::size_t misses = 0;   ///< lookups that must compile
+    std::size_t stale = 0;    ///< entries dropped (salt mismatch/corrupt)
+    std::size_t loaded = 0;   ///< live entries read at open
+    std::size_t inserted = 0; ///< rows added this session
+};
+
+/** A persistent map from CellKey to compiled SweepRow. */
+class ResultStore
+{
+  public:
+    /**
+     * Open @p dir (created, parents included, when absent) and load
+     * every `*.jsonl` segment. @p salt is the compiler salt entries must
+     * carry to count as live (tests inject synthetic salts to prove a
+     * bump invalidates; everything else uses kCompilerSalt).
+     */
+    explicit ResultStore(std::string dir,
+                         std::string salt = kCompilerSalt);
+
+    /** The row cached for @p key, rebuilt against the live @p cell;
+     * nullopt (a miss) when absent, salt-stale, or corrupt. */
+    std::optional<driver::SweepRow> lookup(const CellKey& key,
+                                           const driver::SweepCell& cell);
+
+    /** Record a freshly compiled row (persisted on the next flush()). */
+    void insert(const CellKey& key, const driver::SweepRow& row);
+
+    /**
+     * Persist rows inserted since the last flush as one new segment
+     * (temp file + atomic rename; no-op when nothing is pending). When
+     * a corrupt entry was dropped this session, the full in-memory view
+     * is rewritten instead and the segments this process loaded are
+     * retired — segments created by concurrent processes after our load
+     * are never touched — so the corrupt line is gone for good.
+     */
+    void flush();
+
+    /**
+     * Rewrite this process's view of the store as one canonical
+     * key-sorted `store.jsonl` segment and retire the segments it was
+     * loaded from — the deterministic on-disk form shard merges
+     * produce. Implies flush of pending rows. Segments created by
+     * concurrent processes after our load are left in place (their rows
+     * are not in our view; they load alongside `store.jsonl` next
+     * open).
+     */
+    void compact();
+
+    /**
+     * Import every live entry of the store at @p src_dir (which must
+     * exist) that this store does not already hold; imported entries are
+     * pending until the next flush()/compact(). Returns the number
+     * imported.
+     */
+    std::size_t merge_from(const std::string& src_dir);
+
+    /** Live entries currently held. */
+    std::size_t size() const { return entries_.size(); }
+
+    const StoreStats& stats() const { return stats_; }
+    const std::string& dir() const { return dir_; }
+    const std::string& salt() const { return salt_; }
+
+    /** One-line human summary ("hits=12 misses=4 ..."). */
+    std::string stats_line() const;
+
+  private:
+    struct Entry
+    {
+        std::string canonical;
+        std::string label;
+        Json row;
+        bool pending = false; ///< not yet persisted by flush()
+    };
+
+    void load();
+    std::string entry_line(const std::string& hex, const Entry& e) const;
+    void write_atomic(const std::string& filename,
+                      const std::string& contents) const;
+
+    std::string dir_;
+    std::string salt_;
+    /** hex key -> entry; std::map so compaction is key-sorted for free. */
+    std::map<std::string, Entry> entries_;
+    StoreStats stats_;
+    /** Segments this process loaded or wrote — the only files a
+     * corrupt-triggered rewrite may retire (see flush). */
+    std::vector<std::filesystem::path> seen_segments_;
+    /** A corrupt row was dropped; the next flush rewrites (see flush). */
+    bool saw_corrupt_ = false;
+};
+
+/**
+ * Assemble the rows of @p cells entirely from @p store — the `--merge`
+ * endgame: after shard runs (or a cold run) populated the store, this
+ * reproduces the full sweep's rows, in cell order, without compiling
+ * anything. Throws support::UserError naming the first missing cell.
+ */
+std::vector<driver::SweepRow>
+assemble(const std::vector<driver::SweepCell>& cells, ResultStore& store);
+
+} // namespace autocomm::cache

@@ -64,4 +64,19 @@ EprLedger::busiest() const
     return best;
 }
 
+EprLedger
+EprLedger::restore(
+    std::map<std::pair<NodeId, NodeId>, std::size_t> per_link,
+    std::map<std::pair<NodeId, NodeId>, std::size_t> raw_per_link,
+    std::size_t total, std::size_t raw_total, double log_fidelity)
+{
+    EprLedger l;
+    l.per_link_ = std::move(per_link);
+    l.raw_per_link_ = std::move(raw_per_link);
+    l.total_ = total;
+    l.raw_total_ = raw_total;
+    l.log_fidelity_ = log_fidelity;
+    return l;
+}
+
 } // namespace autocomm::comm

@@ -65,6 +65,31 @@ class EprLedger
      * entanglement fidelity estimate (1.0 when noise is off). */
     double fidelity_product() const;
 
+    /** Purified per-link counts, keyed (min, max) — serialization. */
+    const std::map<std::pair<NodeId, NodeId>, std::size_t>&
+    per_link() const
+    {
+        return per_link_;
+    }
+
+    /** Raw per-link counts, keyed (min, max) — serialization. */
+    const std::map<std::pair<NodeId, NodeId>, std::size_t>&
+    raw_per_link() const
+    {
+        return raw_per_link_;
+    }
+
+    /**
+     * Rebuild a ledger from serialized state (see cache::ResultStore).
+     * @p log_fidelity is restored exactly — replaying record_fidelity()
+     * calls would accumulate rounding and break the byte-identical
+     * warm-run guarantee of the sweep-result cache.
+     */
+    static EprLedger
+    restore(std::map<std::pair<NodeId, NodeId>, std::size_t> per_link,
+            std::map<std::pair<NodeId, NodeId>, std::size_t> raw_per_link,
+            std::size_t total, std::size_t raw_total, double log_fidelity);
+
   private:
     static std::pair<NodeId, NodeId>
     key(NodeId a, NodeId b)

@@ -1,5 +1,6 @@
 #include "driver/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -8,6 +9,8 @@
 #include <utility>
 
 #include "baseline/gptp.hpp"
+#include "cache/key.hpp"
+#include "cache/store.hpp"
 #include "partition/interaction_graph.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
@@ -63,7 +66,23 @@ SweepCell::label() const
         out += support::strprintf("~t%g", target_fidelity);
     if (link_bandwidth > 0)
         out += support::strprintf("~b%d", link_bandwidth);
+    if (!link_fidelity_overrides.empty())
+        out += "~F(" + override_spec(link_fidelity_overrides) + ")";
+    if (!link_bandwidth_overrides.empty())
+        out += "~B(" + override_spec(link_bandwidth_overrides) + ")";
     return out + "/" + options.name;
+}
+
+std::string
+override_spec(const std::vector<LinkValue>& overrides)
+{
+    std::string out;
+    for (const LinkValue& o : overrides) {
+        if (!out.empty())
+            out += ",";
+        out += support::strprintf("%d-%d:%g", o.a, o.b, o.value);
+    }
+    return out;
 }
 
 std::vector<SweepCell>
@@ -103,6 +122,10 @@ SweepGrid::cells() const
                                     cell.link_fidelity = lf;
                                     cell.target_fidelity = tf;
                                     cell.link_bandwidth = bw;
+                                    cell.link_fidelity_overrides =
+                                        link_fidelity_overrides;
+                                    cell.link_bandwidth_overrides =
+                                        link_bandwidth_overrides;
                                     cell.with_baseline = with_baseline;
                                     out.push_back(std::move(cell));
                                 }
@@ -131,6 +154,14 @@ cells_from_specs(const std::vector<circuits::BenchmarkSpec>& specs,
 
 namespace {
 
+/** A failure that may not reproduce (anything but a deterministic
+ * UserError) — such error rows must never enter the result cache. */
+bool
+is_transient(const std::exception& e)
+{
+    return dynamic_cast<const support::UserError*>(&e) == nullptr;
+}
+
 /** Throw the same UserErrors prepare_cell would for a malformed cell
  * geometry (non-positive counts, shape/node-count mismatch). */
 void
@@ -153,7 +184,9 @@ validate_cell_geometry(const circuits::BenchmarkSpec& spec,
 hw::Machine
 machine_for(const circuits::BenchmarkSpec& spec, const std::string& shape,
             hw::Topology topology, double link_fidelity,
-            double target_fidelity, int link_bandwidth)
+            double target_fidelity, int link_bandwidth,
+            const std::vector<LinkValue>& link_fidelity_overrides,
+            const std::vector<LinkValue>& link_bandwidth_overrides)
 {
     hw::Machine m;
     if (shape.empty()) {
@@ -167,8 +200,41 @@ machine_for(const circuits::BenchmarkSpec& spec, const std::string& shape,
     m.link.fidelity = link_fidelity;
     m.link.bandwidth = link_bandwidth;
     m.purify.target_fidelity = target_fidelity;
+    // Overrides must name physical links of this topology — a spec like
+    // 0-2 on a ring would otherwise be silently inert (nothing routes
+    // over a non-edge) while still coloring the label, CSV, and cache
+    // key. The factory's routing is still min-hop here (overrides are
+    // not applied yet), so hops == 1 identifies exactly the edges; the
+    // range check must come first because the all-to-all fallback
+    // answers 1 for any pair.
+    auto check_link = [&m](const LinkValue& o, const char* kind) {
+        if (o.a >= m.num_nodes || o.b >= m.num_nodes)
+            support::fatal("link %s override %d-%d names a node outside "
+                           "this %d-node machine", kind, o.a, o.b,
+                           m.num_nodes);
+        if (m.hops(o.a, o.b) != 1)
+            support::fatal("link %s override %d-%d: %d-%d is not a "
+                           "physical link of the %s topology", kind, o.a,
+                           o.b, o.a, o.b, hw::topology_name(m.topology));
+    };
+    for (const LinkValue& o : link_fidelity_overrides) {
+        check_link(o, "fidelity");
+        m.link.set_link_fidelity(o.a, o.b, o.value);
+    }
+    for (const LinkValue& o : link_bandwidth_overrides) {
+        check_link(o, "bandwidth");
+        m.link.set_link_bandwidth(o.a, o.b, static_cast<int>(o.value));
+    }
+    if (!link_fidelity_overrides.empty()) {
+        // Per-link fidelity overrides make min-hop routes suboptimal;
+        // rebuild so the router can detour around the degraded fibers.
+        m.build_routing();
+    }
+    // Catch overrides naming nodes this machine does not have here, with
+    // the cell's geometry in hand, rather than deep inside the pipeline.
+    m.validate_noise();
     // Uniform link fidelities never change the routing already built by
-    // the factory, so no rebuild is needed here.
+    // the factory, so no rebuild is needed for the plain axes.
     return m;
 }
 
@@ -187,7 +253,8 @@ run_cell_prepared(const SweepCell& cell, const qir::Circuit& circuit,
     const hw::Machine machine =
         machine_for(cell.spec, cell.shape, cell.topology,
                     cell.link_fidelity, cell.target_fidelity,
-                    cell.link_bandwidth);
+                    cell.link_bandwidth, cell.link_fidelity_overrides,
+                    cell.link_bandwidth_overrides);
     mapping.validate(machine);
 
     row.stats = circuit.stats();
@@ -230,14 +297,18 @@ PreparedCell
 prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
              const std::string& shape, hw::Topology topology,
              double link_fidelity, double target_fidelity,
-             int link_bandwidth)
+             int link_bandwidth,
+             const std::vector<LinkValue>& link_fidelity_overrides,
+             const std::vector<LinkValue>& link_bandwidth_overrides)
 {
     validate_cell_geometry(spec, shape);
 
     PreparedCell p;
     p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
     p.machine = machine_for(spec, shape, topology, link_fidelity,
-                            target_fidelity, link_bandwidth);
+                            target_fidelity, link_bandwidth,
+                            link_fidelity_overrides,
+                            link_bandwidth_overrides);
     p.mapping = partition::oee_map(p.circuit, p.machine);
     p.mapping.validate(p.machine);
     return p;
@@ -249,7 +320,8 @@ run_cell(const SweepCell& cell)
     const PreparedCell p =
         prepare_cell(cell.spec, cell.seed, cell.shape, cell.topology,
                      cell.link_fidelity, cell.target_fidelity,
-                     cell.link_bandwidth);
+                     cell.link_bandwidth, cell.link_fidelity_overrides,
+                     cell.link_bandwidth_overrides);
     return run_cell_prepared(cell, p.circuit, p.mapping);
 }
 
@@ -259,6 +331,36 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     std::vector<SweepRow> rows(cells.size());
     if (cells.empty())
         return rows;
+
+    // ---- Consult the persistent result store ----
+    // Cache-hit cells skip grouping below entirely, so an option-set
+    // whose cells all hit never even prepares its circuit or mapping —
+    // a fully warm sweep performs zero compilation work.
+    std::vector<char> cached(cells.size(), 0);
+    std::vector<cache::CellKey> keys;
+    if (opts.store) {
+        keys.reserve(cells.size());
+        for (const SweepCell& cell : cells)
+            keys.push_back(cache::cell_key(cell, opts.store->salt()));
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (std::optional<SweepRow> hit =
+                    opts.store->lookup(keys[i], cells[i])) {
+                // A cached error row honors the same contract a fresh
+                // one would: rethrow_errors callers get the exception,
+                // not an in-row failure.
+                if (!hit->ok && opts.rethrow_errors)
+                    throw support::UserError(hit->error);
+                rows[i] = std::move(*hit);
+                cached[i] = 1;
+            }
+        }
+    }
+
+    // Error rows are cacheable only when the failure is deterministic
+    // (a UserError: bad geometry, unreachable target, ...). A transient
+    // failure — bad_alloc under memory pressure, say — must not be
+    // served as a permanent error on every later run.
+    std::vector<char> transient(cells.size(), 0);
 
     // ---- Group cells by shared preparation work ----
     // Cells differing only in topology, noise, or option set share the
@@ -272,6 +374,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
         qir::Circuit circuit;
         std::optional<partition::InteractionGraph> graph;
         std::string error;
+        bool transient_error = false;
     };
     struct Mapping
     {
@@ -279,6 +382,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
         std::vector<int> capacities;
         std::optional<hw::QubitMapping> map;
         std::string error;
+        bool transient_error = false;
     };
 
     std::map<std::string, std::size_t> program_index;
@@ -292,6 +396,8 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
 
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const SweepCell& cell = cells[i];
+        if (cached[i])
+            continue;
         try {
             validate_cell_geometry(cell.spec, cell.shape);
         } catch (const std::exception& e) {
@@ -300,6 +406,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             rows[i].cell = cell;
             rows[i].ok = false;
             rows[i].error = e.what();
+            transient[i] = is_transient(e);
             continue;
         }
         // num_nodes is part of the program key even though no current
@@ -349,6 +456,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             if (opts.rethrow_errors)
                 throw;
             programs[i].error = e.what();
+            programs[i].transient_error = is_transient(e);
         }
     });
 
@@ -358,6 +466,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
         const Program& prog = programs[mp.program];
         if (!prog.error.empty()) {
             mp.error = prog.error;
+            mp.transient_error = prog.transient_error;
             return;
         }
         try {
@@ -367,6 +476,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             if (opts.rethrow_errors)
                 throw;
             mp.error = e.what();
+            mp.transient_error = is_transient(e);
         }
     });
 
@@ -375,11 +485,13 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     // matter which worker finishes first.
     support::parallel_for(pool, cells.size(), [&](std::size_t i) {
         if (cell_mapping[i] == SIZE_MAX)
-            return; // geometry error already recorded
+            return; // cache hit or geometry error already recorded
         const Mapping& mp = mappings[cell_mapping[i]];
         try {
-            if (!mp.error.empty())
+            if (!mp.error.empty()) {
+                transient[i] = mp.transient_error;
                 throw support::UserError(mp.error);
+            }
             rows[i] = run_cell_prepared(
                 cells[i], programs[mp.program].circuit, *mp.map);
         } catch (const std::exception& e) {
@@ -388,8 +500,19 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             rows[i].cell = cells[i];
             rows[i].ok = false;
             rows[i].error = e.what();
+            if (is_transient(e))
+                transient[i] = 1;
         }
     });
+
+    // ---- Record freshly compiled rows ----
+    // Deterministic error rows are recorded too: a capacity mismatch or
+    // unreachable purification target re-fails identically every run.
+    // Persisting (flush) is the caller's call.
+    if (opts.store)
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (!cached[i] && !transient[i])
+                opts.store->insert(keys[i], rows[i]);
     return rows;
 }
 
@@ -398,7 +521,8 @@ sweep_csv(const std::vector<SweepRow>& rows)
 {
     support::CsvWriter csv(
         {"name", "options", "qubits", "nodes", "topology", "shape",
-         "link_fidelity", "target_fidelity", "link_bandwidth", "ok",
+         "link_fidelity", "target_fidelity", "link_bandwidth",
+         "fidelity_overrides", "bandwidth_overrides", "ok",
          "error", "gates", "cx", "rem_cx", "blocks", "tot_comm", "tp_comm",
          "cat_comm", "peak_rem_cx", "makespan", "epr_pairs", "hops_total",
          "epr_raw", "purify_rounds", "program_fidelity", "improv_factor",
@@ -414,6 +538,8 @@ sweep_csv(const std::vector<SweepRow>& rows)
         csv.add(r.cell.link_fidelity);
         csv.add(r.cell.target_fidelity);
         csv.add(static_cast<long long>(r.cell.link_bandwidth));
+        csv.add(override_spec(r.cell.link_fidelity_overrides));
+        csv.add(override_spec(r.cell.link_bandwidth_overrides));
         csv.add(static_cast<long long>(r.ok ? 1 : 0));
         csv.add(r.error);
         csv.add(static_cast<long long>(r.stats.total_gates));
@@ -537,6 +663,86 @@ parse_family_list(const std::string& list, const char* flag)
     if (out.empty())
         support::fatal("%s: empty list", flag);
     return out;
+}
+
+std::vector<LinkValue>
+parse_override_list(const std::string& list, const char* flag,
+                    bool integer_value)
+{
+    std::vector<LinkValue> out;
+    for (const std::string& tok : split_list(list, ',')) {
+        const std::size_t dash = tok.find('-');
+        const std::size_t colon = tok.find(':', dash + 1);
+        if (dash == std::string::npos || colon == std::string::npos)
+            support::fatal("%s: \"%s\" is not an \"a-b:value\" override",
+                           flag, tok.c_str());
+
+        const std::string a_tok = tok.substr(0, dash);
+        const std::string b_tok = tok.substr(dash + 1, colon - dash - 1);
+        const std::string v_tok = tok.substr(colon + 1);
+        char* end = nullptr;
+        const long a = std::strtol(a_tok.c_str(), &end, 10);
+        if (a_tok.empty() || *end != '\0' || a < 0)
+            support::fatal("%s: \"%s\": node \"%s\" is not a non-negative "
+                           "integer", flag, tok.c_str(), a_tok.c_str());
+        const long b = std::strtol(b_tok.c_str(), &end, 10);
+        if (b_tok.empty() || *end != '\0' || b < 0)
+            support::fatal("%s: \"%s\": node \"%s\" is not a non-negative "
+                           "integer", flag, tok.c_str(), b_tok.c_str());
+        if (a == b)
+            support::fatal("%s: \"%s\": a link connects two distinct "
+                           "nodes", flag, tok.c_str());
+
+        LinkValue o;
+        o.a = static_cast<int>(std::min(a, b));
+        o.b = static_cast<int>(std::max(a, b));
+        if (integer_value) {
+            const long v = std::strtol(v_tok.c_str(), &end, 10);
+            if (v_tok.empty() || *end != '\0' || v < 0 || v > 1'000'000)
+                support::fatal("%s: \"%s\": bandwidth \"%s\" is not an "
+                               "integer in [0, 1000000] (0 = unlimited)",
+                               flag, tok.c_str(), v_tok.c_str());
+            o.value = static_cast<double>(v);
+        } else {
+            const double v = std::strtod(v_tok.c_str(), &end);
+            if (v_tok.empty() || *end != '\0' || v <= 0.25 || v > 1.0)
+                support::fatal("%s: \"%s\": fidelity \"%s\" is not in "
+                               "(0.25, 1]", flag, tok.c_str(),
+                               v_tok.c_str());
+            o.value = v;
+        }
+        for (const LinkValue& seen : out)
+            if (seen.a == o.a && seen.b == o.b)
+                support::fatal("%s: link %d-%d overridden twice", flag,
+                               o.a, o.b);
+        out.push_back(o);
+    }
+    if (out.empty())
+        support::fatal("%s: empty override list", flag);
+    std::sort(out.begin(), out.end(), [](const LinkValue& x,
+                                         const LinkValue& y) {
+        return std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+    });
+    return out;
+}
+
+ShardSpec
+parse_shard(const std::string& spec, const char* flag)
+{
+    const std::size_t slash = spec.find('/');
+    const std::string i_tok =
+        slash == std::string::npos ? std::string{} : spec.substr(0, slash);
+    const std::string n_tok =
+        slash == std::string::npos ? std::string{} : spec.substr(slash + 1);
+    char* end = nullptr;
+    const long i = std::strtol(i_tok.c_str(), &end, 10);
+    const bool i_ok = !i_tok.empty() && *end == '\0';
+    const long n = std::strtol(n_tok.c_str(), &end, 10);
+    const bool n_ok = !n_tok.empty() && *end == '\0';
+    if (!i_ok || !n_ok || i < 0 || n < 1 || i >= n)
+        support::fatal("%s: \"%s\" is not an \"i/N\" shard spec with "
+                       "0 <= i < N", flag, spec.c_str());
+    return ShardSpec{static_cast<int>(i), static_cast<int>(n)};
 }
 
 std::vector<std::string>

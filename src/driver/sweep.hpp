@@ -20,7 +20,31 @@
 #include "circuits/library.hpp"
 #include "support/csv.hpp"
 
+namespace autocomm::cache {
+class ResultStore;
+} // namespace autocomm::cache
+
 namespace autocomm::driver {
+
+/**
+ * One per-link value override, nodes normalized a < b (the "0-1:0.92"
+ * spec element). Bandwidth overrides store a non-negative integer in
+ * `value`.
+ */
+struct LinkValue
+{
+    int a = 0;
+    int b = 0;
+    double value = 0.0;
+
+    friend bool operator==(const LinkValue&, const LinkValue&) = default;
+};
+
+/** Canonical "0-1:0.92,1-2:2" form of an override list ("" when empty).
+ * Overrides are kept sorted by (a, b), so the spec — and everything
+ * derived from it (cell labels, CSV columns, cache keys) — is
+ * independent of the order the user wrote them in. */
+std::string override_spec(const std::vector<LinkValue>& overrides);
 
 /** A named pass::CompileOptions configuration (one ablation arm). */
 struct OptionSet
@@ -61,6 +85,11 @@ struct SweepCell
     /** Max concurrent elementary EPR preparations per link; 0 means
      * unlimited (the paper's contention-free links). */
     int link_bandwidth = 0;
+    /** Per-link raw-fidelity overrides (degraded fibers), sorted (a, b);
+     * non-empty overrides switch routing to fidelity-aware Dijkstra. */
+    std::vector<LinkValue> link_fidelity_overrides;
+    /** Per-link bandwidth overrides (0 = unlimited), sorted (a, b). */
+    std::vector<LinkValue> link_bandwidth_overrides;
     /** Also run the Ferrari per-CX baseline and record relative factors. */
     bool with_baseline = false;
     /** Also run the GP-TP baseline (Fig. 16) and record its factors. */
@@ -70,7 +99,7 @@ struct SweepCell
 
     /** "QFT-100-10/default"-style row label; non-default shapes,
      * topologies, and noise settings append "@shape" / "+topology" /
-     * "~f.../~t.../~b...". */
+     * "~f.../~t.../~b...", and per-link overrides "~F(...)"/"~B(...)". */
     std::string label() const;
 };
 
@@ -94,6 +123,10 @@ struct SweepGrid
     std::vector<double> target_fidelities{0.0};
     /** Link-bandwidth axis (unlimited at 0). */
     std::vector<int> link_bandwidths{0};
+    /** Per-link fidelity overrides applied to every cell (not an axis). */
+    std::vector<LinkValue> link_fidelity_overrides;
+    /** Per-link bandwidth overrides applied to every cell (not an axis). */
+    std::vector<LinkValue> link_bandwidth_overrides;
     std::vector<OptionSet> option_sets{OptionSet{}};
     std::uint64_t seed = 2022;
     bool with_baseline = false;
@@ -125,13 +158,14 @@ struct PreparedCell
  * plus the link noise model), build the topology's routing table, map
  * with capacity-aware OEE, validate.
  */
-PreparedCell prepare_cell(const circuits::BenchmarkSpec& spec,
-                          std::uint64_t seed = 2022,
-                          const std::string& shape = {},
-                          hw::Topology topology = hw::Topology::AllToAll,
-                          double link_fidelity = 1.0,
-                          double target_fidelity = 0.0,
-                          int link_bandwidth = 0);
+PreparedCell prepare_cell(
+    const circuits::BenchmarkSpec& spec, std::uint64_t seed = 2022,
+    const std::string& shape = {},
+    hw::Topology topology = hw::Topology::AllToAll,
+    double link_fidelity = 1.0, double target_fidelity = 0.0,
+    int link_bandwidth = 0,
+    const std::vector<LinkValue>& link_fidelity_overrides = {},
+    const std::vector<LinkValue>& link_bandwidth_overrides = {});
 
 /** Metrics row for one compiled cell (Table 2 + Table 3 columns). */
 struct SweepRow
@@ -161,6 +195,13 @@ struct SweepOptions
     std::size_t num_threads = 0;
     /** Rethrow the first cell failure instead of recording it in-row. */
     bool rethrow_errors = false;
+    /**
+     * Persistent sweep-result cache (see cache::ResultStore): consulted
+     * before compiling each cell — full hits skip preparation and
+     * compilation entirely — and updated with every newly compiled row.
+     * The caller owns the store (and its flush()); may be null.
+     */
+    cache::ResultStore* store = nullptr;
 };
 
 /**
@@ -217,5 +258,28 @@ std::vector<circuits::Family> parse_family_list(const std::string& list,
 /** Parse a ';'-separated list of machine-shape specs (validated). */
 std::vector<std::string> parse_shape_list(const std::string& list,
                                           const char* flag);
+
+/**
+ * Parse a comma list of per-link override specs "a-b:value" (e.g.
+ * "0-1:0.92,2-3:0.85"). Nodes are non-negative and distinct; duplicate
+ * links (in either order) are rejected; the result is sorted by
+ * normalized (a, b). When @p integer_value, values must be integers in
+ * [0, 1e6] (bandwidths, 0 = unlimited); otherwise fidelities in
+ * (0.25, 1].
+ */
+std::vector<LinkValue> parse_override_list(const std::string& list,
+                                           const char* flag,
+                                           bool integer_value);
+
+/** A deterministic 1-of-N selection of a sweep grid ("0/2"). */
+struct ShardSpec
+{
+    int index = 0;
+    int count = 1;
+};
+
+/** Parse an "i/N" shard spec with 0 <= i < N (so "0/0" and "3/2" are
+ * rejected with the offending spec echoed). */
+ShardSpec parse_shard(const std::string& spec, const char* flag);
 
 } // namespace autocomm::driver

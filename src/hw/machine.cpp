@@ -106,6 +106,23 @@ Machine::pair_fidelity(NodeId a, NodeId b) const
     return f;
 }
 
+int
+Machine::route_bandwidth(NodeId a, NodeId b) const
+{
+    if (link.uniform_bandwidth())
+        return link.bandwidth;
+    // Per-link overrides: the route's effective bandwidth is its
+    // bottleneck — the smallest capped segment (0 = unlimited).
+    const std::vector<NodeId> route = path(a, b);
+    int bottleneck = 0;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+        const int bw = link.link_bandwidth(route[i], route[i + 1]);
+        if (bw > 0 && (bottleneck == 0 || bw < bottleneck))
+            bottleneck = bw;
+    }
+    return bottleneck;
+}
+
 double
 Machine::epr_latency(NodeId a, NodeId b) const
 {
@@ -114,11 +131,11 @@ Machine::epr_latency(NodeId a, NodeId b) const
         return base; // fast path: the paper's model, bit-identical
     const int rounds = purification_rounds(a, b);
     const auto raw = noise::PurificationPolicy::cost_multiplier(rounds);
+    const int bw = route_bandwidth(a, b);
     const std::size_t waves =
-        link.bandwidth > 0
-            ? (raw + static_cast<std::size_t>(link.bandwidth) - 1) /
-                  static_cast<std::size_t>(link.bandwidth)
-            : 1;
+        bw > 0 ? (raw + static_cast<std::size_t>(bw) - 1) /
+                     static_cast<std::size_t>(bw)
+               : 1;
     return static_cast<double>(waves) * base +
            rounds * latency.t_purify_round();
 }
@@ -127,6 +144,16 @@ void
 Machine::validate_noise() const
 {
     link.validate();
+    for (const auto& [l, f] : link.fidelity_overrides())
+        if (l.second >= num_nodes)
+            support::fatal("Machine: link fidelity override %d-%d names a "
+                           "node outside this %d-node machine",
+                           l.first, l.second, num_nodes);
+    for (const auto& [l, bw] : link.bandwidth_overrides())
+        if (l.second >= num_nodes)
+            support::fatal("Machine: link bandwidth override %d-%d names a "
+                           "node outside this %d-node machine",
+                           l.first, l.second, num_nodes);
     if (!purify.enabled())
         return;
     if (purify.target_fidelity >= 1.0)

@@ -127,6 +127,14 @@ struct Machine
     }
 
     /**
+     * Effective concurrent-preparation bandwidth of the routed (a, b)
+     * pair: the uniform link bandwidth, or — under per-link overrides —
+     * the bottleneck (smallest capped) segment along the route. 0 means
+     * unlimited.
+     */
+    int route_bandwidth(NodeId a, NodeId b) const;
+
+    /**
      * EPR-preparation latency between two nodes: hop-scaled elementary
      * preparation, serialized into ceil(2^rounds / bandwidth) waves when
      * the link bandwidth caps concurrent preparations, plus one

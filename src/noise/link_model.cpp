@@ -7,21 +7,51 @@ namespace autocomm::noise {
 void
 LinkModel::set_link_fidelity(NodeId a, NodeId b, double f)
 {
-    if (a == b)
+    if (a < 0 || b < 0 || a == b)
         support::fatal("LinkModel: a link connects two distinct nodes "
                        "(got %d-%d)", a, b);
     if (f <= 0.25 || f > 1.0)
         support::fatal("LinkModel: link %d-%d fidelity %.6g is outside "
                        "(0.25, 1] (0.25 is the maximally mixed floor)",
                        a, b, f);
-    overrides_[key(a, b)] = f;
+    fidelity_overrides_[key(a, b)] = f;
 }
 
 double
 LinkModel::link_fidelity(NodeId a, NodeId b) const
 {
-    const auto it = overrides_.find(key(a, b));
-    return it == overrides_.end() ? fidelity : it->second;
+    const auto it = fidelity_overrides_.find(key(a, b));
+    return it == fidelity_overrides_.end() ? fidelity : it->second;
+}
+
+void
+LinkModel::set_link_bandwidth(NodeId a, NodeId b, int bw)
+{
+    if (a < 0 || b < 0 || a == b)
+        support::fatal("LinkModel: a link connects two distinct nodes "
+                       "(got %d-%d)", a, b);
+    if (bw < 0)
+        support::fatal("LinkModel: link %d-%d bandwidth %d is negative "
+                       "(use 0 for unlimited)", a, b, bw);
+    bandwidth_overrides_[key(a, b)] = bw;
+}
+
+int
+LinkModel::link_bandwidth(NodeId a, NodeId b) const
+{
+    const auto it = bandwidth_overrides_.find(key(a, b));
+    return it == bandwidth_overrides_.end() ? bandwidth : it->second;
+}
+
+bool
+LinkModel::unlimited_bandwidth() const
+{
+    if (bandwidth > 0)
+        return false;
+    for (const auto& [link, bw] : bandwidth_overrides_)
+        if (bw > 0)
+            return false;
+    return true;
 }
 
 bool
@@ -29,7 +59,7 @@ LinkModel::perfect() const
 {
     if (fidelity != 1.0)
         return false;
-    for (const auto& [link, f] : overrides_)
+    for (const auto& [link, f] : fidelity_overrides_)
         if (f != 1.0)
             return false;
     return true;
@@ -49,10 +79,15 @@ LinkModel::validate() const
     if (bandwidth < 0)
         support::fatal("LinkModel: link bandwidth %d is negative "
                        "(use 0 for unlimited)", bandwidth);
-    for (const auto& [link, f] : overrides_)
+    for (const auto& [link, f] : fidelity_overrides_)
         if (f <= 0.25 || f > 1.0)
             support::fatal("LinkModel: link %d-%d fidelity %.6g is outside "
                            "(0.25, 1]", link.first, link.second, f);
+    for (const auto& [link, bw] : bandwidth_overrides_)
+        if (bw < 0)
+            support::fatal("LinkModel: link %d-%d bandwidth %d is negative "
+                           "(use 0 for unlimited)",
+                           link.first, link.second, bw);
 }
 
 } // namespace autocomm::noise

@@ -42,15 +42,44 @@ struct LinkModel
     /** Raw fidelity of the (a, b) link (order-insensitive). */
     double link_fidelity(NodeId a, NodeId b) const;
 
-    /** True when no per-link override exists (all links identical). */
-    bool uniform() const { return overrides_.empty(); }
+    /** Override the bandwidth of the (a, b) link only (0 = unlimited,
+     * even when the uniform bandwidth is capped). */
+    void set_link_bandwidth(NodeId a, NodeId b, int bw);
+
+    /** Bandwidth of the (a, b) link (order-insensitive; 0 = unlimited). */
+    int link_bandwidth(NodeId a, NodeId b) const;
+
+    /** True when no per-link fidelity override exists (all links prepare
+     * at the uniform fidelity; min-hop routing stays optimal). */
+    bool uniform() const { return fidelity_overrides_.empty(); }
+
+    /** True when no per-link bandwidth override exists. */
+    bool uniform_bandwidth() const { return bandwidth_overrides_.empty(); }
+
+    /** True when no link constrains concurrent preparations at all. */
+    bool unlimited_bandwidth() const;
 
     /** True when every link is noiseless (fidelity exactly 1). */
     bool perfect() const;
 
+    /** Per-link fidelity overrides, keyed (min, max) — serialization and
+     * machine-level range validation. */
+    const std::map<std::pair<NodeId, NodeId>, double>&
+    fidelity_overrides() const
+    {
+        return fidelity_overrides_;
+    }
+
+    /** Per-link bandwidth overrides, keyed (min, max). */
+    const std::map<std::pair<NodeId, NodeId>, int>&
+    bandwidth_overrides() const
+    {
+        return bandwidth_overrides_;
+    }
+
     /** Throw support::UserError unless all fidelities lie in (0.25, 1]
      * (above the maximally mixed Werner floor, where the swap and
-     * purification algebra is monotone) and the bandwidth is
+     * purification algebra is monotone) and all bandwidths are
      * non-negative. */
     void validate() const;
 
@@ -61,7 +90,8 @@ struct LinkModel
         return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
     }
 
-    std::map<std::pair<NodeId, NodeId>, double> overrides_;
+    std::map<std::pair<NodeId, NodeId>, double> fidelity_overrides_;
+    std::map<std::pair<NodeId, NodeId>, int> bandwidth_overrides_;
 };
 
 } // namespace autocomm::noise

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Tests for the persistent sweep-result cache (src/cache): stable
+ * hashing, cell-key sensitivity to every field, JSON round trips, store
+ * persistence/staleness, warm-run byte-identity with cold runs, and
+ * shard-then-merge reproducing the unsharded sweep exactly.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/hash.hpp"
+#include "cache/json.hpp"
+#include "cache/key.hpp"
+#include "cache/serialize.hpp"
+#include "cache/store.hpp"
+#include "driver/sweep.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace autocomm;
+using cache::CellKey;
+using cache::Json;
+using cache::ResultStore;
+using driver::SweepCell;
+using driver::SweepGrid;
+using driver::SweepOptions;
+using driver::SweepRow;
+
+/** A unique empty temp directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    explicit TempDir(const std::string& tag)
+    {
+        path = fs::temp_directory_path() /
+               ("autocomm-test-" + tag + "-" +
+                std::to_string(::getpid()));
+        fs::remove_all(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+// ------------------------------------------------------------- hashing
+
+TEST(CacheHash, IsStableAndSensitive)
+{
+    const cache::Hash128 a = cache::hash128("hello");
+    EXPECT_EQ(a, cache::hash128("hello"));
+    EXPECT_NE(a, cache::hash128("hellp"));
+    EXPECT_NE(a, cache::hash128("hell"));
+    EXPECT_NE(cache::hash128(""), cache::hash128(std::string(1, '\0')));
+    EXPECT_EQ(a.hex().size(), 32u);
+    EXPECT_EQ(cache::hash128("").hex().size(), 32u);
+}
+
+TEST(CacheHash, PermutedInputsDiffer)
+{
+    // The two lanes must not collapse on reordered bytes.
+    EXPECT_NE(cache::hash128("ab"), cache::hash128("ba"));
+    EXPECT_NE(cache::hash128("abc"), cache::hash128("cba"));
+}
+
+// ------------------------------------------------------------ cell keys
+
+TEST(CacheKey, EveryCellFieldChangesTheKey)
+{
+    SweepCell base;
+    base.spec = {circuits::Family::QFT, 16, 4};
+
+    const std::string h0 = cache::cell_key(base).hex();
+    EXPECT_EQ(h0, cache::cell_key(base).hex()); // deterministic
+
+    std::vector<SweepCell> mutants;
+    auto mutate = [&](auto&& f) {
+        SweepCell c = base;
+        f(c);
+        mutants.push_back(c);
+    };
+    mutate([](SweepCell& c) { c.spec.family = circuits::Family::BV; });
+    mutate([](SweepCell& c) { c.spec.num_qubits = 17; });
+    mutate([](SweepCell& c) { c.spec.num_nodes = 2; });
+    mutate([](SweepCell& c) { c.seed = 2023; });
+    mutate([](SweepCell& c) { c.shape = "4x4"; });
+    mutate([](SweepCell& c) { c.topology = hw::Topology::Ring; });
+    mutate([](SweepCell& c) { c.link_fidelity = 0.95; });
+    mutate([](SweepCell& c) { c.target_fidelity = 0.99; });
+    mutate([](SweepCell& c) { c.link_bandwidth = 2; });
+    mutate([](SweepCell& c) {
+        c.link_fidelity_overrides = {{0, 1, 0.9}};
+    });
+    mutate([](SweepCell& c) {
+        c.link_bandwidth_overrides = {{0, 1, 2.0}};
+    });
+    mutate([](SweepCell& c) { c.options.name = "renamed"; });
+    mutate([](SweepCell& c) {
+        c.options.opts.aggregate.use_commutation = false;
+    });
+    mutate([](SweepCell& c) { c.options.opts.assign.allow_tp = false; });
+    mutate([](SweepCell& c) {
+        c.options.opts.schedule.epr_prefetch = false;
+    });
+    mutate([](SweepCell& c) { c.with_baseline = true; });
+    mutate([](SweepCell& c) { c.with_gptp = true; });
+    mutate([](SweepCell& c) { c.stats_only = true; });
+
+    std::set<std::string> seen{h0};
+    for (const SweepCell& m : mutants) {
+        const std::string h = cache::cell_key(m).hex();
+        EXPECT_TRUE(seen.insert(h).second)
+            << "key not sensitive to a mutation near "
+            << cache::cell_key(m).canonical;
+    }
+}
+
+TEST(CacheKey, SaltChangesTheKey)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 16, 4};
+    EXPECT_NE(cache::cell_key(cell, "s1").hex(),
+              cache::cell_key(cell, "s2").hex());
+}
+
+TEST(CacheKey, NearbyFidelityDoublesKeyDifferently)
+{
+    SweepCell a;
+    a.spec = {circuits::Family::QFT, 16, 4};
+    a.link_fidelity = 0.92;
+    SweepCell b = a;
+    b.link_fidelity = std::nextafter(0.92, 1.0); // 1 ulp; %g would merge
+    EXPECT_NE(cache::cell_key(a).hex(), cache::cell_key(b).hex());
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(CacheJson, DumpParseIsAFixedPoint)
+{
+    Json doc = Json::object();
+    doc.set("s", Json::string("line\nwith \"quotes\" and \\ and \x01"));
+    doc.set("d", Json::number(0.1));
+    doc.set("big", Json::number(18446744073709551615ULL));
+    doc.set("neg", Json::number(-123456789LL));
+    doc.set("t", Json::boolean(true));
+    doc.set("n", Json::null());
+    Json arr = Json::array();
+    arr.push_back(Json::number(1.5e-300));
+    arr.push_back(Json::string(""));
+    doc.set("a", std::move(arr));
+
+    const std::string once = doc.dump();
+    const auto parsed = Json::parse(once);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->dump(), once);
+    // Exact scalar recovery.
+    EXPECT_EQ(parsed->at("big").to_uint(), 18446744073709551615ULL);
+    EXPECT_DOUBLE_EQ(parsed->at("d").to_double(), 0.1);
+    EXPECT_EQ(parsed->at("s").to_string(),
+              "line\nwith \"quotes\" and \\ and \x01");
+}
+
+TEST(CacheJson, RejectsMalformedInput)
+{
+    std::string err;
+    EXPECT_FALSE(Json::parse("{", &err).has_value());
+    EXPECT_FALSE(Json::parse("{}garbage", &err).has_value());
+    EXPECT_FALSE(Json::parse("[1,,2]", &err).has_value());
+    EXPECT_FALSE(Json::parse("\"\\u12\"", &err).has_value());
+    EXPECT_FALSE(Json::parse("nul", &err).has_value());
+    EXPECT_FALSE(Json::parse("", &err).has_value());
+    EXPECT_TRUE(Json::parse("  42 ").has_value());
+}
+
+// ------------------------------------------------------- row round trip
+
+TEST(CacheSerialize, NoisyBaselineRowRoundTripsByteIdentically)
+{
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 16, 4};
+    cell.topology = hw::Topology::Ring;
+    cell.link_fidelity = 0.95;
+    cell.target_fidelity = 0.99;
+    cell.link_bandwidth = 2;
+    cell.with_baseline = true;
+    const SweepRow row = driver::run_cell(cell);
+    ASSERT_TRUE(row.ok) << row.error;
+
+    const std::string dumped = cache::row_to_json(row).dump();
+    const auto parsed = Json::parse(dumped);
+    ASSERT_TRUE(parsed.has_value());
+    const SweepRow back = cache::row_from_json(*parsed, cell);
+
+    EXPECT_EQ(driver::sweep_csv({row}).to_string(),
+              driver::sweep_csv({back}).to_string());
+    // Beyond the CSV: the Fig. 15 distribution and the ledger survive.
+    EXPECT_EQ(back.metrics.per_comm_cx, row.metrics.per_comm_cx);
+    EXPECT_EQ(back.metrics.block_sizes, row.metrics.block_sizes);
+    EXPECT_EQ(back.schedule.ledger.raw_total(),
+              row.schedule.ledger.raw_total());
+    EXPECT_EQ(back.schedule.ledger.busiest(),
+              row.schedule.ledger.busiest());
+    EXPECT_DOUBLE_EQ(back.schedule.program_fidelity(),
+                     row.schedule.program_fidelity());
+    ASSERT_TRUE(back.factors.has_value());
+    EXPECT_DOUBLE_EQ(back.factors->improv_factor,
+                     row.factors->improv_factor);
+}
+
+TEST(CacheSerialize, ErrorRowRoundTrips)
+{
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, 16, 2};
+    bad.shape = "2x4"; // insufficient capacity
+    const std::vector<SweepRow> rows = driver::run_sweep({bad}, {});
+    ASSERT_FALSE(rows[0].ok);
+
+    const auto parsed = Json::parse(cache::row_to_json(rows[0]).dump());
+    ASSERT_TRUE(parsed.has_value());
+    const SweepRow back = cache::row_from_json(*parsed, bad);
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, rows[0].error);
+}
+
+// ---------------------------------------------------------------- store
+
+SweepGrid
+small_grid()
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::BV};
+    grid.qubit_counts = {10, 12};
+    grid.node_counts = {2};
+    grid.link_fidelities = {1.0, 0.95};
+    grid.option_sets = {driver::OptionSet{},
+                        *driver::find_option_set("sparse")};
+    return grid;
+}
+
+TEST(CacheStore, WarmRunHitsEverythingAndMatchesColdRunByteIdentically)
+{
+    TempDir dir("warm");
+    const std::vector<SweepCell> cells = small_grid().cells();
+
+    std::string cold_csv;
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.num_threads = 4;
+        opts.store = &store;
+        cold_csv = driver::sweep_csv(driver::run_sweep(cells, opts))
+                       .to_string();
+        EXPECT_EQ(store.stats().hits, 0u);
+        EXPECT_EQ(store.stats().misses, cells.size());
+        EXPECT_EQ(store.stats().inserted, cells.size());
+        store.flush();
+    }
+    {
+        // Warm, different thread count: every cell must hit and the CSV
+        // must be byte-identical to the cold run.
+        ResultStore store(dir.str());
+        EXPECT_EQ(store.stats().loaded, cells.size());
+        SweepOptions opts;
+        opts.num_threads = 1;
+        opts.store = &store;
+        const std::string warm_csv =
+            driver::sweep_csv(driver::run_sweep(cells, opts)).to_string();
+        EXPECT_EQ(store.stats().hits, cells.size());
+        EXPECT_EQ(store.stats().misses, 0u);
+        EXPECT_EQ(warm_csv, cold_csv);
+    }
+}
+
+TEST(CacheStore, SaltBumpInvalidatesEveryEntry)
+{
+    TempDir dir("salt");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str(), "salt-A");
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.flush();
+    }
+    {
+        // New salt: nothing loads, everything misses and recompiles.
+        ResultStore store(dir.str(), "salt-B");
+        EXPECT_EQ(store.stats().loaded, 0u);
+        EXPECT_EQ(store.stats().stale, cells.size());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        EXPECT_EQ(store.stats().hits, 0u);
+        EXPECT_EQ(store.stats().misses, cells.size());
+        store.flush();
+    }
+    {
+        // The original salt still sees its own entries.
+        ResultStore store(dir.str(), "salt-A");
+        EXPECT_EQ(store.stats().loaded, cells.size());
+    }
+}
+
+TEST(CacheStore, ShardsPartitionTheGridAndMergeReproducesUnsharded)
+{
+    const std::vector<SweepCell> cells = small_grid().cells();
+    const std::string unsharded =
+        driver::sweep_csv(driver::run_sweep(cells, {})).to_string();
+
+    const driver::ShardSpec s0{0, 2};
+    const driver::ShardSpec s1{1, 2};
+    const std::vector<SweepCell> part0 = cache::shard_filter(cells, s0);
+    const std::vector<SweepCell> part1 = cache::shard_filter(cells, s1);
+    EXPECT_EQ(part0.size() + part1.size(), cells.size());
+    EXPECT_FALSE(part0.empty());
+    EXPECT_FALSE(part1.empty());
+
+    TempDir dir0("shard0");
+    TempDir dir1("shard1");
+    for (const auto& [part, dir] :
+         {std::make_pair(&part0, &dir0), std::make_pair(&part1, &dir1)}) {
+        ResultStore store(dir->str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(*part, opts);
+        store.flush();
+    }
+
+    // Merge shard 1 into shard 0's store and assemble the full grid.
+    ResultStore merged(dir0.str());
+    EXPECT_EQ(merged.merge_from(dir1.str()), part1.size());
+    merged.compact();
+    const std::vector<SweepRow> rows = cache::assemble(cells, merged);
+    EXPECT_EQ(driver::sweep_csv(rows).to_string(), unsharded);
+
+    // Compaction leaves exactly one canonical segment; reopening it
+    // still serves the full grid.
+    std::size_t segments = 0;
+    for (const auto& e : fs::directory_iterator(dir0.path))
+        segments += e.path().extension() == ".jsonl" ? 1 : 0;
+    EXPECT_EQ(segments, 1u);
+    ResultStore reopened(dir0.str());
+    EXPECT_EQ(reopened.stats().loaded, cells.size());
+}
+
+TEST(CacheStore, AssembleThrowsOnMissingCells)
+{
+    TempDir dir("missing");
+    ResultStore store(dir.str());
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 10, 2};
+    EXPECT_THROW(cache::assemble({cell}, store), support::UserError);
+}
+
+TEST(CacheStore, CorruptLinesAreDroppedNotFatal)
+{
+    TempDir dir("corrupt");
+    {
+        ResultStore store(dir.str());
+        SweepCell cell;
+        cell.spec = {circuits::Family::QFT, 10, 2};
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep({cell}, opts);
+        store.flush();
+    }
+    {
+        std::ofstream out(dir.path / "seg-garbage.jsonl",
+                          std::ios::app);
+        out << "{not json at all\n";
+        out << "{\"key\":\"zz\",\"salt\":\"mismatch\"}\n";
+    }
+    ResultStore store(dir.str());
+    EXPECT_EQ(store.stats().loaded, 1u);
+    EXPECT_EQ(store.stats().stale, 2u);
+}
+
+TEST(CacheStore, CorruptEntrySelfHealConvergesOnDisk)
+{
+    TempDir dir("heal");
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 10, 2};
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep({cell}, opts);
+        store.flush();
+    }
+    // Corrupt the stored row in place, keeping the line valid JSON so
+    // the damage is only detected at lookup (row_from_json) time.
+    for (const auto& seg : fs::directory_iterator(dir.path)) {
+        std::ifstream in(seg.path());
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        const std::size_t at = text.find("\"ok\":true");
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, 9, "\"ok\":1234");
+        std::ofstream(seg.path(), std::ios::trunc) << text;
+    }
+    {
+        // The corrupt entry is dropped at lookup, recompiled, and the
+        // flush retires the corrupt segment for good.
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        support::set_log_level(support::LogLevel::Quiet);
+        driver::run_sweep({cell}, opts);
+        support::set_log_level(support::LogLevel::Warn);
+        EXPECT_EQ(store.stats().misses, 1u);
+        store.flush();
+    }
+    {
+        // Converged: one clean segment, a plain hit, no staleness.
+        std::size_t segments = 0;
+        for (const auto& e : fs::directory_iterator(dir.path))
+            segments += e.path().extension() == ".jsonl" ? 1 : 0;
+        EXPECT_EQ(segments, 1u);
+        ResultStore store(dir.str());
+        EXPECT_EQ(store.stats().loaded, 1u);
+        const auto row = store.lookup(cache::cell_key(cell), cell);
+        ASSERT_TRUE(row.has_value());
+        EXPECT_TRUE(row->ok);
+        EXPECT_EQ(store.stats().stale, 0u);
+    }
+}
+
+TEST(CacheStore, HashCollisionIsServedAsAMiss)
+{
+    TempDir dir("collide");
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 10, 2};
+    const CellKey key = cache::cell_key(cell);
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep({cell}, opts);
+        store.flush();
+    }
+    // Forge an entry whose key hash matches but whose canonical string
+    // does not (as a real 128-bit collision would look).
+    CellKey forged = key;
+    forged.canonical += ";forged=1";
+    ResultStore store(dir.str());
+    support::set_log_level(support::LogLevel::Quiet);
+    const auto row = store.lookup(forged, cell);
+    support::set_log_level(support::LogLevel::Warn);
+    EXPECT_FALSE(row.has_value());
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+// ---------------------------------------------- shard spec / overrides
+
+TEST(CacheShard, FilterIsDeterministicAndSaltDependent)
+{
+    const std::vector<SweepCell> cells = small_grid().cells();
+    const driver::ShardSpec s0{0, 3};
+    EXPECT_EQ(cache::shard_filter(cells, s0).size(),
+              cache::shard_filter(cells, s0).size());
+    // Shards over all residues cover every cell exactly once.
+    std::size_t covered = 0;
+    for (int i = 0; i < 3; ++i)
+        covered +=
+            cache::shard_filter(cells, driver::ShardSpec{i, 3}).size();
+    EXPECT_EQ(covered, cells.size());
+    // One shard of one is the identity.
+    EXPECT_EQ(cache::shard_filter(cells, driver::ShardSpec{0, 1}).size(),
+              cells.size());
+    // Bad specs fail as UserError at the membership test, never as a
+    // division crash.
+    const CellKey key = cache::cell_key(cells.front());
+    EXPECT_THROW(cache::in_shard(key, driver::ShardSpec{0, 0}),
+                 support::UserError);
+    EXPECT_THROW(cache::in_shard(key, driver::ShardSpec{3, 2}),
+                 support::UserError);
+}
+
+} // namespace

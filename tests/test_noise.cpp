@@ -168,6 +168,51 @@ TEST(LinkModel, ValidationRejectsBadValues)
     EXPECT_THROW(link.set_link_fidelity(0, 1, 0.25), UserError);
 }
 
+TEST(LinkModel, BandwidthOverridesAreOrderInsensitive)
+{
+    noise::LinkModel link;
+    EXPECT_TRUE(link.uniform_bandwidth());
+    EXPECT_TRUE(link.unlimited_bandwidth());
+    link.bandwidth = 4;
+    EXPECT_FALSE(link.unlimited_bandwidth());
+    link.set_link_bandwidth(2, 0, 1);
+    EXPECT_FALSE(link.uniform_bandwidth());
+    EXPECT_EQ(link.link_bandwidth(0, 2), 1);
+    EXPECT_EQ(link.link_bandwidth(2, 0), 1);
+    EXPECT_EQ(link.link_bandwidth(0, 1), 4);
+    // An explicit 0 un-caps one link even under a uniform cap.
+    link.set_link_bandwidth(1, 2, 0);
+    EXPECT_EQ(link.link_bandwidth(1, 2), 0);
+    EXPECT_NO_THROW(link.validate());
+    EXPECT_THROW(link.set_link_bandwidth(1, 1, 2), UserError);
+    EXPECT_THROW(link.set_link_bandwidth(0, 1, -2), UserError);
+}
+
+TEST(LinkModel, UnlimitedBandwidthSurvivesZeroOverridesOnly)
+{
+    noise::LinkModel link;
+    link.set_link_bandwidth(0, 1, 0);
+    EXPECT_TRUE(link.unlimited_bandwidth());
+    link.set_link_bandwidth(0, 2, 3);
+    EXPECT_FALSE(link.unlimited_bandwidth());
+}
+
+TEST(MachineNoise, RouteBandwidthIsTheBottleneckSegment)
+{
+    // Star: leaves route through hub 0, so 1-2 is exactly 1-0-2.
+    hw::Machine m = hw::Machine::homogeneous(4, 2, hw::Topology::Star);
+    EXPECT_EQ(m.route_bandwidth(1, 2), 0); // all unlimited by default
+    m.link.set_link_bandwidth(0, 1, 4);
+    m.link.set_link_bandwidth(0, 2, 2);
+    EXPECT_EQ(m.route_bandwidth(1, 2), 2); // min(4, 2)
+    EXPECT_EQ(m.route_bandwidth(1, 3), 4); // 1-0-3: only 0-1 capped
+    EXPECT_EQ(m.route_bandwidth(0, 3), 0); // direct, uncapped
+    EXPECT_NO_THROW(m.validate_noise());
+    // Overrides naming nodes the machine lacks are caught machine-side.
+    m.link.set_link_bandwidth(0, 9, 2);
+    EXPECT_THROW(m.validate_noise(), UserError);
+}
+
 // ---------------------------------------------------------- machine glue
 
 TEST(MachineNoise, PairFidelityComposesAlongTheRoute)

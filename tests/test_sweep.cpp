@@ -489,6 +489,164 @@ TEST(SweepParse, ShapeListEchoesTheOffendingSpec)
                  support::UserError);
 }
 
+TEST(SweepParse, OverrideListParsesSortsAndCanonicalizes)
+{
+    const std::vector<driver::LinkValue> got = driver::parse_override_list(
+        "2-3:0.85,1-0:0.92", "--link-fidelity-override",
+        /*integer_value=*/false);
+    ASSERT_EQ(got.size(), 2u);
+    // "1-0" normalizes to (0, 1) and sorts first.
+    EXPECT_EQ(got[0].a, 0);
+    EXPECT_EQ(got[0].b, 1);
+    EXPECT_DOUBLE_EQ(got[0].value, 0.92);
+    EXPECT_EQ(got[1].a, 2);
+    EXPECT_EQ(got[1].b, 3);
+    EXPECT_EQ(driver::override_spec(got), "0-1:0.92,2-3:0.85");
+
+    const std::vector<driver::LinkValue> bw = driver::parse_override_list(
+        "0-1:2,1-2:0", "--link-bandwidth-override", /*integer_value=*/true);
+    ASSERT_EQ(bw.size(), 2u);
+    EXPECT_DOUBLE_EQ(bw[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(bw[1].value, 0.0); // 0 = unlimited link
+}
+
+TEST(SweepParse, MalformedOverrideSpecsEchoTheToken)
+{
+    auto expect_error = [](const std::string& list, bool integer_value,
+                           const std::string& needle) {
+        try {
+            driver::parse_override_list(list, "--flag", integer_value);
+            FAIL() << "expected UserError for \"" << list << "\"";
+        } catch (const support::UserError& e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << list << " -> " << e.what();
+            EXPECT_NE(std::string(e.what()).find("--flag"),
+                      std::string::npos);
+        }
+    };
+    expect_error("a-b:", false, "a-b:");        // missing value, bad nodes
+    expect_error("x-y:1.5", false, "x-y:1.5");  // non-integer nodes
+    expect_error("0-1:", false, "0-1:");        // missing value
+    expect_error("0-1:1.5", false, "1.5");      // fidelity out of range
+    expect_error("0-1:0.1", false, "0.1");      // below the Werner floor
+    expect_error("0-0:0.9", false, "distinct"); // self link
+    expect_error("0-1:0.9,1-0:0.8", false, "twice"); // duplicate link
+    expect_error("0-1:2.5", true, "2.5");       // non-integer bandwidth
+    expect_error("0-1:-1", true, "-1");         // negative bandwidth
+    expect_error("", false, "empty");
+}
+
+TEST(SweepParse, ShardSpecValidatesIndexAndCount)
+{
+    const driver::ShardSpec s = driver::parse_shard("1/4", "--shard");
+    EXPECT_EQ(s.index, 1);
+    EXPECT_EQ(s.count, 4);
+    EXPECT_EQ(driver::parse_shard("0/1", "--shard").count, 1);
+
+    for (const char* bad :
+         {"0/0", "3/2", "2/2", "-1/2", "banana", "1", "1/", "/2", "1/b"}) {
+        try {
+            driver::parse_shard(bad, "--shard");
+            FAIL() << "expected UserError for \"" << bad << "\"";
+        } catch (const support::UserError& e) {
+            EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+                << bad << " -> " << e.what();
+        }
+    }
+}
+
+TEST(Sweep, FidelityOverrideDetoursAndShowsUpInLabelAndCsv)
+{
+    // Ring of 4: route 0-1 directly, or detour 0-3-2-1. Degrading the
+    // 0-1 fiber hard makes every axis visible: label, CSV, and metrics.
+    SweepCell cell;
+    cell.spec = {circuits::Family::QFT, 16, 4};
+    cell.topology = hw::Topology::Ring;
+    cell.link_fidelity = 0.97;
+    cell.target_fidelity = 0.9;
+    cell.link_fidelity_overrides = {{0, 1, 0.5}};
+    EXPECT_EQ(cell.label(), "QFT-16-4+ring~f0.97~t0.9~F(0-1:0.5)/default");
+
+    const SweepRow r = driver::run_cell(cell);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    SweepCell uniform = cell;
+    uniform.link_fidelity_overrides.clear();
+    const SweepRow u = driver::run_cell(uniform);
+    ASSERT_TRUE(u.ok) << u.error;
+    // The degraded fiber forces detours (more hops) somewhere.
+    EXPECT_GT(r.schedule.hops_total, u.schedule.hops_total);
+
+    const std::string csv =
+        driver::sweep_csv({r}).to_string();
+    EXPECT_NE(csv.find("fidelity_overrides"), std::string::npos);
+    EXPECT_NE(csv.find("0-1:0.5"), std::string::npos);
+}
+
+TEST(Sweep, BandwidthOverrideCongestsOnlyTheNamedLink)
+{
+    SweepCell noisy;
+    noisy.spec = {circuits::Family::QFT, 16, 4};
+    noisy.link_fidelity = 0.95;
+    noisy.target_fidelity = 0.99;
+
+    SweepCell capped = noisy;
+    capped.link_bandwidth_overrides = {{0, 1, 1.0}};
+
+    const SweepRow fast = driver::run_cell(noisy);
+    const SweepRow slow = driver::run_cell(capped);
+    ASSERT_TRUE(fast.ok);
+    ASSERT_TRUE(slow.ok) << slow.error;
+    // Same compilation and EPR demand, longer schedule: the capped link
+    // serializes its purification waves.
+    EXPECT_EQ(slow.schedule.epr_raw_pairs, fast.schedule.epr_raw_pairs);
+    EXPECT_GT(slow.schedule.makespan, fast.schedule.makespan);
+}
+
+TEST(Sweep, OverrideNamingAMissingNodeIsAFriendlyErrorRow)
+{
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, 16, 4};
+    bad.link_fidelity_overrides = {{0, 7, 0.9}}; // node 7 of a 4-node box
+    const std::vector<SweepRow> rows = driver::run_sweep({bad}, {});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].ok);
+    EXPECT_NE(rows[0].error.find("outside"), std::string::npos)
+        << rows[0].error;
+}
+
+TEST(Sweep, OverrideOnANonEdgeIsRejectedNotSilentlyInert)
+{
+    // 0-2 is not an edge of a 4-node ring; an inert override would
+    // still color the label/CSV/cache key while changing nothing.
+    SweepCell bad;
+    bad.spec = {circuits::Family::QFT, 16, 4};
+    bad.topology = hw::Topology::Ring;
+    bad.link_bandwidth_overrides = {{0, 2, 2.0}};
+    const std::vector<SweepRow> rows = driver::run_sweep({bad}, {});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].ok);
+    EXPECT_NE(rows[0].error.find("not a physical link"),
+              std::string::npos)
+        << rows[0].error;
+}
+
+TEST(SweepGrid, OverridesApplyToEveryCell)
+{
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {8};
+    grid.node_counts = {2};
+    grid.link_fidelities = {0.95, 0.9};
+    grid.link_fidelity_overrides = {{0, 1, 0.93}};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    for (const SweepCell& c : cells)
+        EXPECT_EQ(c.link_fidelity_overrides,
+                  grid.link_fidelity_overrides);
+}
+
 TEST(Sweep, GptpBaselineFactorsPopulateOnRequest)
 {
     SweepCell cell;
