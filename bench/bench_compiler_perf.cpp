@@ -2,14 +2,17 @@
  * @file
  * Compiler self-profiling: per-pass wall-time breakdown of one AutoComm
  * compilation — circuit generation+decompose, interaction-graph build,
- * OEE partition, aggregation, scheme assignment, block reorder+metrics,
- * and the latency-simulating scheduler. Not a paper table — this measures
- * the compiler, not the compiled programs. It is the profiling substrate
- * for parallelizing within one compilation (see ROADMAP): the partition
- * and aggregate columns are the single-threaded hot paths.
+ * partitioning (OEE, or the multilevel pipeline with its
+ * coarsen/initial/refine phases broken out), aggregation, scheme
+ * assignment, block reorder+metrics, and the latency-simulating
+ * scheduler. Not a paper table — this measures the compiler, not the
+ * compiled programs. It is the profiling substrate for parallelizing
+ * within one compilation (see ROADMAP): the aggregate column is the
+ * remaining single-threaded hot path.
  *
  *   bench_compiler_perf                             # default grid
  *   bench_compiler_perf --families QFT,UCCSD --qubits 100,200 --reps 5
+ *   bench_compiler_perf --partitioner multilevel    # phase-split rows
  *   bench_compiler_perf --csv perf.csv              # machine-readable
  *
  * Each phase is timed over --reps repetitions and the minimum is
@@ -25,7 +28,9 @@
 #include "circuits/library.hpp"
 #include "common.hpp"
 #include "driver/sweep.hpp"
+#include "multilevel/partitioner.hpp"
 #include "partition/interaction_graph.hpp"
+#include "partition/mapper.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
 #include "support/csv.hpp"
@@ -37,12 +42,17 @@ namespace {
 using namespace autocomm;
 using clock_type = std::chrono::steady_clock;
 
-/** The per-pass timings of one compilation, in milliseconds. */
+/** The per-pass timings of one compilation, in milliseconds. The
+ * partition bucket is additionally split into the multilevel phases
+ * (coarsen/initial/refine; all zero under OEE, which has no phases). */
 struct Breakdown
 {
     double decompose = 0.0;
     double graph = 0.0;
     double partition = 0.0;
+    double coarsen = 0.0;
+    double initial = 0.0;
+    double refine = 0.0;
     double aggregate = 0.0;
     double assign = 0.0;
     double reorder = 0.0;
@@ -61,6 +71,9 @@ struct Breakdown
         decompose = std::min(decompose, o.decompose);
         graph = std::min(graph, o.graph);
         partition = std::min(partition, o.partition);
+        coarsen = std::min(coarsen, o.coarsen);
+        initial = std::min(initial, o.initial);
+        refine = std::min(refine, o.refine);
         aggregate = std::min(aggregate, o.aggregate);
         assign = std::min(assign, o.assign);
         reorder = std::min(reorder, o.reorder);
@@ -77,7 +90,8 @@ ms_since(clock_type::time_point t0)
 
 /** One full pipeline run with a stopwatch between passes. */
 Breakdown
-profile_once(const circuits::BenchmarkSpec& spec, std::size_t* gates)
+profile_once(const circuits::BenchmarkSpec& spec,
+             partition::Mapper mapper, std::size_t* gates)
 {
     Breakdown b;
     auto t0 = clock_type::now();
@@ -91,11 +105,30 @@ profile_once(const circuits::BenchmarkSpec& spec, std::size_t* gates)
         partition::InteractionGraph::from_circuit(c);
     b.graph = ms_since(t0);
 
-    t0 = clock_type::now();
     const hw::Machine m = hw::Machine::homogeneous(
         spec.num_nodes,
         (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes);
-    const hw::QubitMapping map = partition::oee_map(g, m);
+    t0 = clock_type::now();
+    hw::QubitMapping map;
+    if (mapper == partition::Mapper::Oee) {
+        map = hw::QubitMapping(partition::oee_partition(g, m.capacities()));
+    } else {
+        // The multilevel path reports its own per-phase stopwatch, so
+        // the partition bucket splits into coarsen/initial/refine rows
+        // (the +oee polish, when selected, is the remainder).
+        partition::MapperOptions mopts;
+        multilevel::MultilevelStats st;
+        mopts.multilevel.pool = nullptr; // single compilation, one thread
+        std::vector<NodeId> part = multilevel::multilevel_partition(
+            g, m, mopts.multilevel, &st);
+        if (mapper == partition::Mapper::MultilevelOee)
+            part = partition::oee_polish(g, std::move(part), m.num_nodes,
+                                         mopts.polish);
+        map = hw::QubitMapping(std::move(part));
+        b.coarsen = st.coarsen_ms;
+        b.initial = st.initial_ms;
+        b.refine = st.refine_ms;
+    }
     b.partition = ms_since(t0);
 
     t0 = clock_type::now();
@@ -130,6 +163,10 @@ usage(const char* argv0)
         "  --families LIST  comma list of MCTR,RCA,QFT,BV,QAOA,UCCSD "
         "(default QFT,MCTR)\n"
         "  --qubits LIST    circuit widths (default 50,100,200)\n"
+        "  --partitioner P  oee, multilevel, or multilevel+oee "
+        "(default oee);\n"
+        "                   multilevel splits the partition bucket into\n"
+        "                   coarsen/initial/refine columns\n"
         "  --reps N         repetitions per cell, min reported "
         "(default 3)\n"
         "  --csv PATH       write the breakdown as CSV\n",
@@ -145,6 +182,7 @@ main(int argc, char** argv)
     std::vector<circuits::Family> families = {circuits::Family::QFT,
                                               circuits::Family::MCTR};
     std::vector<int> qubits = {50, 100, 200};
+    partition::Mapper mapper = partition::Mapper::Oee;
     int reps = 3;
     std::string csv_path;
 
@@ -160,6 +198,16 @@ main(int argc, char** argv)
                 families = driver::parse_family_list(value(), "--families");
             } else if (arg == "--qubits") {
                 qubits = driver::parse_int_list(value(), "--qubits");
+            } else if (arg == "--partitioner") {
+                const std::vector<partition::Mapper> list =
+                    driver::parse_mapper_list(value(), "--partitioner");
+                // Unlike bench_sweep/bench_partition this flag is not an
+                // axis: one breakdown table per run.
+                if (list.size() != 1)
+                    support::fatal("--partitioner: expected exactly one "
+                                   "partitioner (got %zu); run once per "
+                                   "mode", list.size());
+                mapper = list.front();
             } else if (arg == "--reps") {
                 reps = driver::parse_int_list(value(), "--reps", 1, 1000)
                            .at(0);
@@ -175,21 +223,23 @@ main(int argc, char** argv)
     }
 
     support::Table t({"Circuit", "#gate", "decomp (ms)", "graph (ms)",
-                      "partition (ms)", "aggregate (ms)", "assign (ms)",
+                      "partition (ms)", "coarsen (ms)", "initial (ms)",
+                      "refine (ms)", "aggregate (ms)", "assign (ms)",
                       "reorder (ms)", "schedule (ms)", "total (ms)"});
-    support::CsvWriter csv({"name", "qubits", "nodes", "gates",
-                            "decompose_ms", "graph_ms", "partition_ms",
-                            "aggregate_ms", "assign_ms", "reorder_ms",
-                            "schedule_ms", "total_ms"});
+    support::CsvWriter csv({"name", "qubits", "nodes", "partitioner",
+                            "gates", "decompose_ms", "graph_ms",
+                            "partition_ms", "coarsen_ms", "initial_ms",
+                            "refine_ms", "aggregate_ms", "assign_ms",
+                            "reorder_ms", "schedule_ms", "total_ms"});
 
     for (circuits::Family f : families) {
         for (int q : qubits) {
             const circuits::BenchmarkSpec spec{f, q, std::max(2, q / 10)};
             std::size_t gates = 0;
-            Breakdown best = profile_once(spec, &gates);
+            Breakdown best = profile_once(spec, mapper, &gates);
             for (int r = 1; r < reps; ++r) {
                 std::size_t g2 = 0;
-                best.take_min(profile_once(spec, &g2));
+                best.take_min(profile_once(spec, mapper, &g2));
             }
 
             t.start_row();
@@ -198,6 +248,9 @@ main(int argc, char** argv)
             t.add(best.decompose, 2);
             t.add(best.graph, 2);
             t.add(best.partition, 2);
+            t.add(best.coarsen, 2);
+            t.add(best.initial, 2);
+            t.add(best.refine, 2);
             t.add(best.aggregate, 2);
             t.add(best.assign, 2);
             t.add(best.reorder, 2);
@@ -208,10 +261,14 @@ main(int argc, char** argv)
             csv.add(spec.label());
             csv.add(static_cast<long long>(q));
             csv.add(static_cast<long long>(spec.num_nodes));
+            csv.add(std::string(partition::mapper_name(mapper)));
             csv.add(static_cast<long long>(gates));
             csv.add(best.decompose);
             csv.add(best.graph);
             csv.add(best.partition);
+            csv.add(best.coarsen);
+            csv.add(best.initial);
+            csv.add(best.refine);
             csv.add(best.aggregate);
             csv.add(best.assign);
             csv.add(best.reorder);

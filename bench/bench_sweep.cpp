@@ -89,6 +89,10 @@ usage(const char* argv0)
         "  --link-bandwidth-override LIST\n"
         "                   per-link bandwidth overrides (\"0-1:2\"; 0 = "
         "unlimited link)\n"
+        "  --partitioner LIST\n"
+        "                   qubit partitioners: oee,multilevel,"
+        "multilevel+oee\n"
+        "                   (default oee, the paper's mapper)\n"
         "  --opts LIST      option sets (default \"default\"; see "
         "--list-opts)\n"
         "  --threads N      worker threads (default AUTOCOMM_THREADS or "
@@ -113,6 +117,9 @@ usage(const char* argv0)
         "                   comma list of other cache dirs (e.g. shard "
         "stores) to\n"
         "                   import into --cache-dir first\n"
+        "  --cache-gc DAYS  after the run, drop cache entries older than "
+        "DAYS days\n"
+        "                   (0 drops everything) and compact the store\n"
         "  --cache-stats    print cache hit/miss/stale counters\n"
         "  --list-opts      print the built-in option sets and exit\n",
         argv0);
@@ -139,6 +146,7 @@ main(int argc, char** argv)
     bool merge = false;
     std::vector<std::string> merge_from;
     bool cache_stats = false;
+    std::optional<double> cache_gc_days;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -180,6 +188,9 @@ main(int argc, char** argv)
                 grid.link_bandwidth_overrides = driver::parse_override_list(
                     value(), "--link-bandwidth-override",
                     /*integer_value=*/true);
+            } else if (arg == "--partitioner") {
+                grid.partitioners =
+                    driver::parse_mapper_list(value(), "--partitioner");
             } else if (arg == "--opts") {
                 grid.option_sets.clear();
                 for (const std::string& tok : split_commas(value())) {
@@ -216,6 +227,14 @@ main(int argc, char** argv)
                     merge_from.push_back(dir);
             } else if (arg == "--cache-stats") {
                 cache_stats = true;
+            } else if (arg == "--cache-gc") {
+                const std::string s = value();
+                char* end = nullptr;
+                const double days = std::strtod(s.c_str(), &end);
+                if (end == s.c_str() || *end != '\0' || days < 0.0)
+                    support::fatal("--cache-gc: \"%s\" is not a "
+                                   "non-negative day count", s.c_str());
+                cache_gc_days = days;
             } else if (arg == "--list-opts") {
                 for (const driver::OptionSet& o :
                      driver::builtin_option_sets())
@@ -250,10 +269,11 @@ main(int argc, char** argv)
                         "assuming a 0.99 purification target");
     }
 
-    if ((merge || !merge_from.empty() || cache_stats) &&
+    if ((merge || !merge_from.empty() || cache_stats ||
+         cache_gc_days.has_value()) &&
         cache_dir.empty()) {
-        std::fprintf(stderr, "error: --merge/--merge-from/--cache-stats "
-                     "need --cache-dir\n");
+        std::fprintf(stderr, "error: --merge/--merge-from/--cache-stats/"
+                     "--cache-gc need --cache-dir\n");
         return 2;
     }
     if (merge && shard) {
@@ -321,6 +341,13 @@ main(int argc, char** argv)
             }
             if (store)
                 store->flush();
+        }
+        if (cache_gc_days) {
+            const std::size_t before = store->size();
+            const std::size_t dropped = store->gc(*cache_gc_days);
+            std::printf("cache-gc: dropped %zu of %zu entries older "
+                        "than %g days; store compacted\n", dropped,
+                        before, *cache_gc_days);
         }
     } catch (const support::UserError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

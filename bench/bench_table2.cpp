@@ -21,21 +21,36 @@
 #include "support/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace autocomm;
     using support::Table;
+
+    bench::CacheCli cache;
+    for (int i = 1; i < argc; ++i) {
+        try {
+            if (!bench::parse_cache_flag(cache, argc, argv, i)) {
+                std::printf("usage: %s [--cache-dir DIR] "
+                            "[--cache-stats]\n", argv[0]);
+                return 2;
+            }
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
 
     std::puts("== Table 2: benchmark programs (OEE qubit mapping) ==");
     Table t({"Name", "#qubit", "#node", "#gate", "#CX", "#REM CX"});
     support::CsvWriter csv(
         {"name", "qubits", "nodes", "gates", "cx", "rem_cx"});
 
-    const std::vector<driver::SweepRow> rows = driver::run_sweep(
+    std::string stats_line;
+    const std::vector<driver::SweepRow> rows = bench::run_sweep_cached(
         driver::cells_from_specs(bench::suite(), {}, 2022,
                                  /*with_baseline=*/false,
                                  /*stats_only=*/true),
-        {});
+        {}, cache.dir, &stats_line);
 
     std::size_t failures = 0;
     for (const driver::SweepRow& r : rows) {
@@ -62,6 +77,8 @@ main()
         csv.add(static_cast<long long>(r.remote_cx));
     }
     t.print();
+    if (cache.stats)
+        std::printf("cache-stats: %s\n", stats_line.c_str());
     if (auto dir = bench::csv_dir())
         csv.write_file(*dir + "/table2.csv");
     return failures == 0 ? 0 : 1;

@@ -21,10 +21,24 @@
 #include "support/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace autocomm;
     using support::Table;
+
+    bench::CacheCli cache;
+    for (int i = 1; i < argc; ++i) {
+        try {
+            if (!bench::parse_cache_flag(cache, argc, argv, i)) {
+                std::printf("usage: %s [--cache-dir DIR] "
+                            "[--cache-stats]\n", argv[0]);
+                return 2;
+            }
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
 
     std::puts("== Table 3: AutoComm vs per-CX Cat-Comm baseline ==");
     Table t({"Name", "Tot Comm", "TP-Comm", "Peak #REM CX",
@@ -36,10 +50,11 @@ main()
     double comm_reduction_sum = 0, lat_reduction_sum = 0;
     int nrows = 0;
 
-    const std::vector<driver::SweepRow> rows = driver::run_sweep(
+    std::string stats_line;
+    const std::vector<driver::SweepRow> rows = bench::run_sweep_cached(
         driver::cells_from_specs(bench::suite(), {}, 2022,
                                  /*with_baseline=*/true),
-        {});
+        {}, cache.dir, &stats_line);
 
     std::size_t failures = 0;
     for (const driver::SweepRow& r : rows) {
@@ -72,6 +87,8 @@ main()
         ++nrows;
     }
     t.print();
+    if (cache.stats)
+        std::printf("cache-stats: %s\n", stats_line.c_str());
 
     if (nrows == 0) {
         std::fprintf(stderr, "error: no rows compiled\n");

@@ -1,6 +1,8 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <utility>
 
 #include "cache/store.hpp"
@@ -54,14 +56,30 @@ csv_dir()
 
 std::vector<driver::SweepRow>
 run_sweep_cached(const std::vector<driver::SweepCell>& cells,
-                 driver::SweepOptions opts)
+                 driver::SweepOptions opts, const std::string& cache_dir,
+                 std::string* stats_line)
 {
-    static std::optional<cache::ResultStore> store = [] {
-        std::optional<cache::ResultStore> s;
-        const char* dir = std::getenv("AUTOCOMM_CACHE_DIR");
-        if (dir != nullptr && dir[0] != '\0') {
+    // One store per (process, directory): figure binaries issue several
+    // sweeps against one store, and an explicit --cache-dir may name a
+    // different directory than AUTOCOMM_CACHE_DIR does. A directory
+    // that failed to open is remembered too, so the figure binaries
+    // attempt (and warn about) an unusable dir once, not per sweep.
+    static std::map<std::string, std::optional<cache::ResultStore>>
+        stores;
+
+    std::string dir = cache_dir;
+    if (dir.empty()) {
+        const char* env = std::getenv("AUTOCOMM_CACHE_DIR");
+        if (env != nullptr && env[0] != '\0')
+            dir = env;
+    }
+    cache::ResultStore* store = nullptr;
+    if (!dir.empty()) {
+        auto it = stores.find(dir);
+        if (it == stores.end()) {
+            it = stores.emplace(dir, std::nullopt).first;
             try {
-                s.emplace(dir);
+                it->second.emplace(dir);
             } catch (const support::UserError& e) {
                 // An unusable cache dir should not take the figure run
                 // down with it; compile uncached instead.
@@ -69,17 +87,37 @@ run_sweep_cached(const std::vector<driver::SweepCell>& cells,
                               e.what());
             }
         }
-        return s;
-    }();
-    if (store)
-        opts.store = &*store;
+        if (it->second.has_value())
+            store = &*it->second;
+    }
+
+    if (store != nullptr)
+        opts.store = store;
     std::vector<driver::SweepRow> rows = driver::run_sweep(cells, opts);
-    if (store) {
+    if (store != nullptr) {
         store->flush();
         support::inform("cache %s: %s", store->dir().c_str(),
                         store->stats_line().c_str());
     }
+    if (stats_line != nullptr)
+        *stats_line = store != nullptr ? store->stats_line() : "";
     return rows;
+}
+
+bool
+parse_cache_flag(CacheCli& cli, int argc, char** argv, int& i)
+{
+    if (std::strcmp(argv[i], "--cache-dir") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--cache-dir requires a value");
+        cli.dir = argv[++i];
+        return true;
+    }
+    if (std::strcmp(argv[i], "--cache-stats") == 0) {
+        cli.stats = true;
+        return true;
+    }
+    return false;
 }
 
 } // namespace autocomm::bench

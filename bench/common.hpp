@@ -61,15 +61,32 @@ std::vector<circuits::BenchmarkSpec> suite();
 std::optional<std::string> csv_dir();
 
 /**
- * driver::run_sweep through the persistent result store named by the
- * AUTOCOMM_CACHE_DIR environment variable — the cached path shared by
- * the figure/table binaries that take no CLI flags. Without the
- * variable this is exactly run_sweep. The store is opened once per
- * process, flushed after every call, and its hit/miss counters are
- * reported via inform().
+ * driver::run_sweep through a persistent result store: @p cache_dir
+ * when non-empty (the table binaries' --cache-dir flag), else the
+ * directory named by the AUTOCOMM_CACHE_DIR environment variable — the
+ * cached path shared by the figure/table binaries. With neither this is
+ * exactly run_sweep. Stores are opened once per process and directory,
+ * flushed after every call, and the hit/miss counters are reported via
+ * inform(); when @p stats_line is non-null it additionally receives the
+ * stats_line() text ("" when no store is in use) for --cache-stats
+ * style reporting.
  */
 std::vector<driver::SweepRow>
 run_sweep_cached(const std::vector<driver::SweepCell>& cells,
-                 driver::SweepOptions opts = {});
+                 driver::SweepOptions opts = {},
+                 const std::string& cache_dir = {},
+                 std::string* stats_line = nullptr);
+
+/**
+ * Shared --cache-dir/--cache-stats CLI handling for the table/figure
+ * binaries: recognizes the two flags (mutating @p i past any value) and
+ * returns true; false means the argument is not a cache flag.
+ */
+struct CacheCli
+{
+    std::string dir;
+    bool stats = false;
+};
+bool parse_cache_flag(CacheCli& cli, int argc, char** argv, int& i);
 
 } // namespace autocomm::bench

@@ -91,6 +91,7 @@ cell_key(const driver::SweepCell& cell, const std::string& salt)
         double link_fidelity, target_fidelity;
         int link_bandwidth;
         std::vector<driver::LinkValue> fo, bo;
+        partition::Mapper partitioner;
         bool with_baseline, with_gptp, stats_only;
     };
     static_assert(sizeof(driver::SweepCell) == sizeof(CellMirror),
@@ -98,11 +99,11 @@ cell_key(const driver::SweepCell& cell, const std::string& salt)
 
     CellKey key;
     key.canonical = support::strprintf(
-        "autocomm-cell-v1;salt=%s;family=%s;qubits=%d;nodes=%d;"
+        "autocomm-cell-v2;salt=%s;family=%s;qubits=%d;nodes=%d;"
         "seed=%llu;shape=%s;topology=%s;link_fidelity=%s;"
         "target_fidelity=%s;link_bandwidth=%d;fidelity_overrides=%s;"
-        "bandwidth_overrides=%s;options=%s{%s};baseline=%d;gptp=%d;"
-        "stats_only=%d",
+        "bandwidth_overrides=%s;partitioner=%s;options=%s{%s};"
+        "baseline=%d;gptp=%d;stats_only=%d",
         salt.c_str(), circuits::family_name(cell.spec.family),
         cell.spec.num_qubits, cell.spec.num_nodes,
         static_cast<unsigned long long>(cell.seed), cell.shape.c_str(),
@@ -110,6 +111,7 @@ cell_key(const driver::SweepCell& cell, const std::string& salt)
         num(cell.target_fidelity).c_str(), cell.link_bandwidth,
         overrides(cell.link_fidelity_overrides).c_str(),
         overrides(cell.link_bandwidth_overrides).c_str(),
+        partition::mapper_name(cell.partitioner),
         cell.options.name.c_str(), option_fields(cell.options.opts).c_str(),
         cell.with_baseline ? 1 : 0, cell.with_gptp ? 1 : 0,
         cell.stats_only ? 1 : 0);

@@ -33,8 +33,11 @@ namespace autocomm::cache {
 /**
  * Compiler-salt constant of this source tree. Part of every CellKey and
  * recorded per store entry; see the file comment for when to bump it.
+ *
+ * s2: the cell schema gained the partitioner field (multilevel
+ * subsystem); s1 entries predate it and must recompile once.
  */
-inline constexpr const char kCompilerSalt[] = "s1";
+inline constexpr const char kCompilerSalt[] = "s2";
 
 /** Content-addressed identity of one sweep cell. */
 struct CellKey

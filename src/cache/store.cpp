@@ -1,6 +1,7 @@
 #include "cache/store.hpp"
 
 #include <algorithm>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -77,6 +78,10 @@ ResultStore::load()
                 Entry e;
                 e.canonical = doc->at("canonical").to_string();
                 e.label = doc->at("label").to_string();
+                // Optional for backward compatibility: pre-gc stores
+                // have no timestamps (created_at stays 0 = "ancient").
+                if (const Json* ts = doc->find("ts"); ts != nullptr)
+                    e.created_at = ts->to_int();
                 e.row = doc->at("row");
                 entries_[key] = std::move(e);
             } catch (const support::UserError& ex) {
@@ -127,6 +132,7 @@ ResultStore::insert(const CellKey& key, const driver::SweepRow& row)
     Entry e;
     e.canonical = key.canonical;
     e.label = row.cell.label();
+    e.created_at = static_cast<long long>(std::time(nullptr));
     e.row = row_to_json(row);
     e.pending = true;
     entries_[key.hex()] = std::move(e);
@@ -141,6 +147,7 @@ ResultStore::entry_line(const std::string& hex, const Entry& e) const
     doc.set("salt", Json::string(salt_));
     doc.set("label", Json::string(e.label));
     doc.set("canonical", Json::string(e.canonical));
+    doc.set("ts", Json::number(e.created_at));
     doc.set("row", e.row);
     return doc.dump();
 }
@@ -263,6 +270,36 @@ ResultStore::compact()
     }
     saw_corrupt_ = false;
     seen_segments_.assign(1, canonical);
+}
+
+std::size_t
+ResultStore::gc(double max_age_days)
+{
+    if (max_age_days < 0.0)
+        support::fatal("cache: gc age must be non-negative (got %g days)",
+                       max_age_days);
+    const long long now = static_cast<long long>(std::time(nullptr));
+    // Clamp in double space before the cast: an allowance reaching past
+    // the epoch must not go negative (or, for absurd day counts,
+    // overflow the cast), and timestamp-less legacy entries
+    // (created_at == 0) are expired by ANY gc regardless of allowance.
+    const double cutoff_d = std::max(
+        0.0, static_cast<double>(now) - max_age_days * 86400.0);
+    const long long cutoff = static_cast<long long>(cutoff_d);
+    std::size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.created_at == 0 || it->second.created_at < cutoff) {
+            it = entries_.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    // Compaction rewrites the survivors and retires this process's
+    // segments, so expired entries AND stale-salt lines (dropped at
+    // load, but still on disk) are gone for good.
+    compact();
+    return dropped;
 }
 
 std::size_t

@@ -21,8 +21,11 @@
  * Each line records the entry's 128-bit key, the compiler salt it was
  * produced under, the human-readable cell label, the full canonical key
  * string (verified on lookup, so even a hash collision degrades to a
- * miss), and the serialized row. Entries whose salt differs from the
- * opener's are dropped at load time and counted stale.
+ * miss), the unix time the row was first compiled (the gc() age basis,
+ * preserved across flush/compact/merge), and the serialized row.
+ * Entries whose salt differs from the opener's are dropped at load time
+ * and counted stale; on disk they linger until gc() or a rewrite-
+ * triggering compaction drops their segments.
  *
  * The class is NOT thread-safe; run_sweep consults it only from the
  * coordinating thread (lookups before the pool starts, inserts after it
@@ -103,6 +106,17 @@ class ResultStore
      */
     std::size_t merge_from(const std::string& src_dir);
 
+    /**
+     * Garbage-collect the store: drop every live entry first compiled
+     * more than @p max_age_days days ago (entries written before
+     * timestamps existed count as infinitely old), then compact() — so
+     * expired rows, stale-salt lines, and retired segments all leave the
+     * disk in one pass. The long-lived farm-store maintenance entry
+     * point (`bench_sweep --cache-gc`). Returns the number of entries
+     * dropped for age.
+     */
+    std::size_t gc(double max_age_days);
+
     /** Live entries currently held. */
     std::size_t size() const { return entries_.size(); }
 
@@ -118,6 +132,10 @@ class ResultStore
     {
         std::string canonical;
         std::string label;
+        /** Unix seconds the row was first compiled; 0 for entries
+         * written before timestamps existed (treated as expired by any
+         * gc()). */
+        long long created_at = 0;
         Json row;
         bool pending = false; ///< not yet persisted by flush()
     };

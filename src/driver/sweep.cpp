@@ -70,7 +70,15 @@ SweepCell::label() const
         out += "~F(" + override_spec(link_fidelity_overrides) + ")";
     if (!link_bandwidth_overrides.empty())
         out += "~B(" + override_spec(link_bandwidth_overrides) + ")";
-    return out + "/" + options.name;
+    return out + "/" + options_label();
+}
+
+std::string
+SweepCell::options_label() const
+{
+    if (partitioner == partition::Mapper::Oee)
+        return options.name;
+    return options.name + "!" + partition::mapper_name(partitioner);
 }
 
 std::string
@@ -104,7 +112,7 @@ SweepGrid::cells() const
     out.reserve(families.size() * qubit_counts.size() * machines.size() *
                 topologies.size() * link_fidelities.size() *
                 target_fidelities.size() * link_bandwidths.size() *
-                option_sets.size());
+                partitioners.size() * option_sets.size());
     for (circuits::Family f : families)
         for (int q : qubit_counts)
             for (const auto& [n, shape] : machines)
@@ -112,23 +120,27 @@ SweepGrid::cells() const
                     for (double lf : link_fidelities)
                         for (double tf : target_fidelities)
                             for (int bw : link_bandwidths)
-                                for (const OptionSet& o : option_sets) {
-                                    SweepCell cell;
-                                    cell.spec = {f, q, n};
-                                    cell.options = o;
-                                    cell.seed = seed;
-                                    cell.shape = shape;
-                                    cell.topology = t;
-                                    cell.link_fidelity = lf;
-                                    cell.target_fidelity = tf;
-                                    cell.link_bandwidth = bw;
-                                    cell.link_fidelity_overrides =
-                                        link_fidelity_overrides;
-                                    cell.link_bandwidth_overrides =
-                                        link_bandwidth_overrides;
-                                    cell.with_baseline = with_baseline;
-                                    out.push_back(std::move(cell));
-                                }
+                                for (partition::Mapper pm : partitioners)
+                                    for (const OptionSet& o :
+                                         option_sets) {
+                                        SweepCell cell;
+                                        cell.spec = {f, q, n};
+                                        cell.options = o;
+                                        cell.seed = seed;
+                                        cell.shape = shape;
+                                        cell.topology = t;
+                                        cell.link_fidelity = lf;
+                                        cell.target_fidelity = tf;
+                                        cell.link_bandwidth = bw;
+                                        cell.link_fidelity_overrides =
+                                            link_fidelity_overrides;
+                                        cell.link_bandwidth_overrides =
+                                            link_bandwidth_overrides;
+                                        cell.partitioner = pm;
+                                        cell.with_baseline =
+                                            with_baseline;
+                                        out.push_back(std::move(cell));
+                                    }
     return out;
 }
 
@@ -299,7 +311,8 @@ prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
              double link_fidelity, double target_fidelity,
              int link_bandwidth,
              const std::vector<LinkValue>& link_fidelity_overrides,
-             const std::vector<LinkValue>& link_bandwidth_overrides)
+             const std::vector<LinkValue>& link_bandwidth_overrides,
+             partition::Mapper partitioner)
 {
     validate_cell_geometry(spec, shape);
 
@@ -309,7 +322,9 @@ prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
                             target_fidelity, link_bandwidth,
                             link_fidelity_overrides,
                             link_bandwidth_overrides);
-    p.mapping = partition::oee_map(p.circuit, p.machine);
+    const partition::InteractionGraph g =
+        partition::InteractionGraph::from_circuit(p.circuit);
+    p.mapping = partition::map_with(partitioner, g, p.machine);
     p.mapping.validate(p.machine);
     return p;
 }
@@ -321,7 +336,7 @@ run_cell(const SweepCell& cell)
         prepare_cell(cell.spec, cell.seed, cell.shape, cell.topology,
                      cell.link_fidelity, cell.target_fidelity,
                      cell.link_bandwidth, cell.link_fidelity_overrides,
-                     cell.link_bandwidth_overrides);
+                     cell.link_bandwidth_overrides, cell.partitioner);
     return run_cell_prepared(cell, p.circuit, p.mapping);
 }
 
@@ -364,11 +379,14 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
 
     // ---- Group cells by shared preparation work ----
     // Cells differing only in topology, noise, or option set share the
-    // generated circuit, its interaction graph, AND the OEE mapping
-    // (partitioning sees only the circuit and the node capacities);
+    // generated circuit, its interaction graph, AND — under OEE, which
+    // sees only the circuit and the node capacities — the qubit mapping;
     // cells differing only in machine shape still share the circuit and
-    // graph. Memoizing both levels turns an A-axis ablation grid's
-    // preparation cost from O(cells) into O(distinct machines).
+    // graph. A topology/fidelity-aware partitioner reads the machine's
+    // routing table and link model, so its mapping groups additionally
+    // split on the topology and noise axes (see mapping_key below).
+    // Memoizing both levels turns an A-axis ablation grid's preparation
+    // cost from O(cells) into O(distinct machines).
     struct Program
     {
         qir::Circuit circuit;
@@ -380,6 +398,10 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     {
         std::size_t program = 0;
         std::vector<int> capacities;
+        /** Exemplar cell of the group (machine recipe for non-OEE
+         * partitioners; every cell in the group derives the identical
+         * machine by construction of the key). */
+        const SweepCell* cell = nullptr;
         std::optional<hw::QubitMapping> map;
         std::string error;
         bool transient_error = false;
@@ -424,12 +446,35 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             program_cell.push_back(&cell);
         }
 
-        const std::string mkey = support::strprintf(
-            "%s|%s", pkey.c_str(), cell.shape.c_str());
+        // OEE reads only the capacities, so its groups deliberately span
+        // the topology and noise axes (exactly the PR-4 behavior). The
+        // multilevel partitioners read the machine's routing table and
+        // link fidelities, so their groups must split on everything the
+        // derived machine depends on; values are serialized exactly
+        // (%.17g) — the display form %g is not injective.
+        std::string mkey = support::strprintf(
+            "%s|%s|%s", pkey.c_str(), cell.shape.c_str(),
+            partition::mapper_name(cell.partitioner));
+        if (cell.partitioner != partition::Mapper::Oee) {
+            auto exact_overrides = [](const std::vector<LinkValue>& list) {
+                std::string out;
+                for (const LinkValue& o : list)
+                    out += support::strprintf("%d-%d:%.17g,", o.a, o.b,
+                                              o.value);
+                return out;
+            };
+            mkey += support::strprintf(
+                "|%s|%.17g|%.17g|%d|%s|%s",
+                hw::topology_name(cell.topology), cell.link_fidelity,
+                cell.target_fidelity, cell.link_bandwidth,
+                exact_overrides(cell.link_fidelity_overrides).c_str(),
+                exact_overrides(cell.link_bandwidth_overrides).c_str());
+        }
         auto [mit, mnew] = mapping_index.emplace(mkey, mappings.size());
         if (mnew) {
             Mapping mp;
             mp.program = pit->second;
+            mp.cell = &cell;
             mp.capacities =
                 cell.shape.empty()
                     ? std::vector<int>(
@@ -460,7 +505,9 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
         }
     });
 
-    // Phase 2: OEE-partition each distinct (program, capacities) pair.
+    // Phase 2: partition each distinct mapping group. OEE sees only the
+    // capacities; the multilevel partitioners derive the group's machine
+    // (routing table + link model) from its exemplar cell.
     support::parallel_for(pool, mappings.size(), [&](std::size_t i) {
         Mapping& mp = mappings[i];
         const Program& prog = programs[mp.program];
@@ -470,8 +517,19 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             return;
         }
         try {
-            mp.map = hw::QubitMapping(partition::oee_partition(
-                *prog.graph, mp.capacities));
+            if (mp.cell->partitioner == partition::Mapper::Oee) {
+                mp.map = hw::QubitMapping(partition::oee_partition(
+                    *prog.graph, mp.capacities));
+            } else {
+                const hw::Machine machine = machine_for(
+                    mp.cell->spec, mp.cell->shape, mp.cell->topology,
+                    mp.cell->link_fidelity, mp.cell->target_fidelity,
+                    mp.cell->link_bandwidth,
+                    mp.cell->link_fidelity_overrides,
+                    mp.cell->link_bandwidth_overrides);
+                mp.map = partition::map_with(mp.cell->partitioner,
+                                             *prog.graph, machine);
+            }
         } catch (const std::exception& e) {
             if (opts.rethrow_errors)
                 throw;
@@ -530,7 +588,7 @@ sweep_csv(const std::vector<SweepRow>& rows)
     for (const SweepRow& r : rows) {
         csv.start_row();
         csv.add(r.cell.spec.label());
-        csv.add(r.cell.options.name);
+        csv.add(r.cell.options_label());
         csv.add(static_cast<long long>(r.cell.spec.num_qubits));
         csv.add(static_cast<long long>(r.cell.spec.num_nodes));
         csv.add(std::string(hw::topology_name(r.cell.topology)));
@@ -659,6 +717,23 @@ parse_family_list(const std::string& list, const char* flag)
                            "RCA, QFT, BV, QAOA, or UCCSD)",
                            flag, tok.c_str());
         out.push_back(*f);
+    }
+    if (out.empty())
+        support::fatal("%s: empty list", flag);
+    return out;
+}
+
+std::vector<partition::Mapper>
+parse_mapper_list(const std::string& list, const char* flag)
+{
+    std::vector<partition::Mapper> out;
+    for (const std::string& tok : split_list(list, ',')) {
+        const auto m = partition::parse_mapper(tok);
+        if (!m)
+            support::fatal("%s: unknown partitioner \"%s\" (expected "
+                           "oee, multilevel, or multilevel+oee)",
+                           flag, tok.c_str());
+        out.push_back(*m);
     }
     if (out.empty())
         support::fatal("%s: empty list", flag);

@@ -18,6 +18,7 @@
 #include "autocomm/pipeline.hpp"
 #include "baseline/ferrari.hpp"
 #include "circuits/library.hpp"
+#include "partition/mapper.hpp"
 #include "support/csv.hpp"
 
 namespace autocomm::cache {
@@ -90,6 +91,9 @@ struct SweepCell
     std::vector<LinkValue> link_fidelity_overrides;
     /** Per-link bandwidth overrides (0 = unlimited), sorted (a, b). */
     std::vector<LinkValue> link_bandwidth_overrides;
+    /** Qubit-partitioning strategy (see partition::Mapper); OEE is the
+     * paper default and the strategy behind every pre-existing CSV. */
+    partition::Mapper partitioner = partition::Mapper::Oee;
     /** Also run the Ferrari per-CX baseline and record relative factors. */
     bool with_baseline = false;
     /** Also run the GP-TP baseline (Fig. 16) and record its factors. */
@@ -99,8 +103,15 @@ struct SweepCell
 
     /** "QFT-100-10/default"-style row label; non-default shapes,
      * topologies, and noise settings append "@shape" / "+topology" /
-     * "~f.../~t.../~b...", and per-link overrides "~F(...)"/"~B(...)". */
+     * "~f.../~t.../~b...", per-link overrides "~F(...)"/"~B(...)", and
+     * non-OEE partitioners "!multilevel" after the option-set name. */
     std::string label() const;
+
+    /** The CSV "options" column: the option-set name, with
+     * "!<partitioner>" appended for non-OEE partitioners — so
+     * `--partitioner oee` rows stay byte-identical to pre-partitioner
+     * CSVs while multilevel rows remain distinguishable. */
+    std::string options_label() const;
 };
 
 /** Declarative cartesian sweep grid. */
@@ -127,6 +138,8 @@ struct SweepGrid
     std::vector<LinkValue> link_fidelity_overrides;
     /** Per-link bandwidth overrides applied to every cell (not an axis). */
     std::vector<LinkValue> link_bandwidth_overrides;
+    /** Partitioner axis (between the noise and option-set axes). */
+    std::vector<partition::Mapper> partitioners{partition::Mapper::Oee};
     std::vector<OptionSet> option_sets{OptionSet{}};
     std::uint64_t seed = 2022;
     bool with_baseline = false;
@@ -156,7 +169,8 @@ struct PreparedCell
  * generate + decompose the circuit, derive the machine (ceil-divided
  * qubits per node, or the explicit @p shape with per-node capacities,
  * plus the link noise model), build the topology's routing table, map
- * with capacity-aware OEE, validate.
+ * with the selected capacity-aware partitioner (OEE by default),
+ * validate.
  */
 PreparedCell prepare_cell(
     const circuits::BenchmarkSpec& spec, std::uint64_t seed = 2022,
@@ -165,7 +179,8 @@ PreparedCell prepare_cell(
     double link_fidelity = 1.0, double target_fidelity = 0.0,
     int link_bandwidth = 0,
     const std::vector<LinkValue>& link_fidelity_overrides = {},
-    const std::vector<LinkValue>& link_bandwidth_overrides = {});
+    const std::vector<LinkValue>& link_bandwidth_overrides = {},
+    partition::Mapper partitioner = partition::Mapper::Oee);
 
 /** Metrics row for one compiled cell (Table 2 + Table 3 columns). */
 struct SweepRow
@@ -254,6 +269,10 @@ std::vector<hw::Topology> parse_topology_list(const std::string& list,
 /** Parse a comma list of circuit-family names. */
 std::vector<circuits::Family> parse_family_list(const std::string& list,
                                                 const char* flag);
+
+/** Parse a comma list of partitioner names (see partition::Mapper). */
+std::vector<partition::Mapper> parse_mapper_list(const std::string& list,
+                                                 const char* flag);
 
 /** Parse a ';'-separated list of machine-shape specs (validated). */
 std::vector<std::string> parse_shape_list(const std::string& list,

@@ -1,0 +1,123 @@
+#include "multilevel/coarsen.hpp"
+
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace autocomm::multilevel {
+
+namespace {
+
+/**
+ * One heavy-edge-matching contraction of @p g with vertex weights @p vw.
+ * Returns the coarse level; its fine_to_coarse maps g's vertices.
+ */
+CoarseLevel
+contract_once(const partition::InteractionGraph& g,
+              const std::vector<int>& vw, int max_vertex_weight)
+{
+    const int n = g.num_qubits();
+    std::vector<QubitId> match(static_cast<std::size_t>(n), kInvalidId);
+
+    // Visit in index order; match each unmatched vertex with its
+    // heaviest-edge unmatched neighbor whose combined weight still fits
+    // a machine node. Ties prefer the lighter partner (keeps coarse
+    // weights level), then the smaller id (determinism).
+    for (QubitId v = 0; v < n; ++v) {
+        if (match[static_cast<std::size_t>(v)] != kInvalidId)
+            continue;
+        QubitId best = kInvalidId;
+        long best_w = 0;
+        for (const auto& [u, w] : g.neighbors(v)) {
+            if (match[static_cast<std::size_t>(u)] != kInvalidId)
+                continue;
+            if (vw[static_cast<std::size_t>(v)] +
+                    vw[static_cast<std::size_t>(u)] >
+                max_vertex_weight)
+                continue;
+            const bool better =
+                w > best_w ||
+                (w == best_w && best != kInvalidId &&
+                 (vw[static_cast<std::size_t>(u)] <
+                      vw[static_cast<std::size_t>(best)] ||
+                  (vw[static_cast<std::size_t>(u)] ==
+                       vw[static_cast<std::size_t>(best)] &&
+                   u < best)));
+            if (better) {
+                best = u;
+                best_w = w;
+            }
+        }
+        if (best != kInvalidId) {
+            match[static_cast<std::size_t>(v)] = best;
+            match[static_cast<std::size_t>(best)] = v;
+        } else {
+            match[static_cast<std::size_t>(v)] = v; // stays singleton
+        }
+    }
+
+    // Number coarse vertices in order of their smaller fine endpoint.
+    std::vector<QubitId> map(static_cast<std::size_t>(n), kInvalidId);
+    int coarse_n = 0;
+    for (QubitId v = 0; v < n; ++v) {
+        if (map[static_cast<std::size_t>(v)] != kInvalidId)
+            continue;
+        const QubitId partner = match[static_cast<std::size_t>(v)];
+        map[static_cast<std::size_t>(v)] = coarse_n;
+        map[static_cast<std::size_t>(partner)] = coarse_n;
+        ++coarse_n;
+    }
+
+    CoarseLevel level{partition::InteractionGraph(coarse_n),
+                      std::vector<int>(static_cast<std::size_t>(coarse_n),
+                                       0),
+                      std::move(map)};
+    for (QubitId v = 0; v < n; ++v)
+        level.vertex_weight[static_cast<std::size_t>(
+            level.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+            vw[static_cast<std::size_t>(v)];
+    for (QubitId v = 0; v < n; ++v) {
+        const QubitId cv =
+            level.fine_to_coarse[static_cast<std::size_t>(v)];
+        for (const auto& [u, w] : g.neighbors(v)) {
+            if (v >= u)
+                continue; // each fine edge once
+            const QubitId cu =
+                level.fine_to_coarse[static_cast<std::size_t>(u)];
+            if (cv != cu)
+                level.graph.add_edge(cv, cu, w); // accumulates
+        }
+    }
+    return level;
+}
+
+} // namespace
+
+std::vector<CoarseLevel>
+coarsen(const partition::InteractionGraph& g, const CoarsenOptions& opts)
+{
+    if (opts.max_vertex_weight < 1)
+        support::fatal("coarsen: max_vertex_weight must be positive");
+
+    std::vector<CoarseLevel> levels;
+    const partition::InteractionGraph* cur = &g;
+    std::vector<int> cur_vw(static_cast<std::size_t>(g.num_qubits()), 1);
+
+    for (int depth = 0; depth < opts.max_levels; ++depth) {
+        if (cur->num_qubits() <= opts.target_vertices)
+            break;
+        CoarseLevel next =
+            contract_once(*cur, cur_vw, opts.max_vertex_weight);
+        // A matching that retires <10% of the vertices is stalling
+        // (edgeless remnant or weight caps everywhere): stop rather
+        // than spin to max_levels.
+        if (next.graph.num_qubits() * 10 > cur->num_qubits() * 9)
+            break;
+        levels.push_back(std::move(next));
+        cur = &levels.back().graph;
+        cur_vw = levels.back().vertex_weight;
+    }
+    return levels;
+}
+
+} // namespace autocomm::multilevel

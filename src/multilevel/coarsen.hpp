@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Heavy-edge-matching coarsening of the qubit interaction graph — the
+ * first leg of the METIS-style multilevel partitioner.
+ *
+ * Each coarsening level computes a matching that pairs every vertex with
+ * the unmatched neighbor it interacts with most (its heaviest incident
+ * edge), then contracts matched pairs into single coarse vertices whose
+ * weight is the number of original qubits they stand for. Heavy edges
+ * disappear *inside* coarse vertices, so whatever cut the coarsest graph
+ * admits is made of light edges — exactly the edges a partitioner wants
+ * to cut. Contraction is deterministic (vertices are visited in index
+ * order with id tie-breaking), so the whole partitioner is reproducible
+ * across runs and thread counts.
+ */
+#pragma once
+
+#include <vector>
+
+#include "partition/interaction_graph.hpp"
+
+namespace autocomm::multilevel {
+
+/** One coarsening level: the contracted graph plus its provenance. */
+struct CoarseLevel
+{
+    partition::InteractionGraph graph;
+    /** Original-qubit count merged into each coarse vertex. */
+    std::vector<int> vertex_weight;
+    /** Vertex of the *previous* (finer) level -> vertex of this graph. */
+    std::vector<QubitId> fine_to_coarse;
+};
+
+/** Knobs for coarsen(). */
+struct CoarsenOptions
+{
+    /** Stop once a level has at most this many vertices. */
+    int target_vertices = 96;
+    /** Never merge beyond this many original qubits per coarse vertex
+     * (keeps the coarsest graph partitionable under node capacities). */
+    int max_vertex_weight = 1;
+    /** Hard cap on levels (safety valve; matching halves the graph, so
+     * ~log2(n) levels is the organic depth). */
+    int max_levels = 24;
+};
+
+/**
+ * Contract @p g level by level until target_vertices is reached, a level
+ * fails to shrink the graph by at least ~10% (maximal matchings stall on
+ * edgeless or star-like remnants), or max_levels is hit. The fine
+ * vertices of level 0's fine_to_coarse are the original qubits. The
+ * result may be empty (graph already at or below target_vertices).
+ */
+std::vector<CoarseLevel> coarsen(const partition::InteractionGraph& g,
+                                 const CoarsenOptions& opts);
+
+} // namespace autocomm::multilevel

@@ -1,0 +1,85 @@
+#include "multilevel/cost.hpp"
+
+#include "support/log.hpp"
+
+namespace autocomm::multilevel {
+
+CostModel::CostModel(int num_nodes)
+    : num_nodes_(num_nodes),
+      cost_(static_cast<std::size_t>(num_nodes) *
+                static_cast<std::size_t>(num_nodes),
+            0.0)
+{
+    if (num_nodes <= 0)
+        support::fatal("CostModel: num_nodes must be positive");
+}
+
+CostModel
+CostModel::flat(int num_nodes)
+{
+    CostModel m(num_nodes);
+    for (NodeId p = 0; p < num_nodes; ++p)
+        for (NodeId q = 0; q < num_nodes; ++q)
+            if (p != q)
+                m.cost_[static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(num_nodes) +
+                        static_cast<std::size_t>(q)] = 1.0;
+    return m;
+}
+
+CostModel
+CostModel::hops(const hw::Machine& m)
+{
+    CostModel c(m.num_nodes);
+    for (NodeId p = 0; p < m.num_nodes; ++p)
+        for (NodeId q = 0; q < m.num_nodes; ++q)
+            if (p != q)
+                c.cost_[static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(m.num_nodes) +
+                        static_cast<std::size_t>(q)] = m.hops(p, q);
+    return c;
+}
+
+CostModel
+CostModel::from_machine(const hw::Machine& m)
+{
+    CostModel c(m.num_nodes);
+    for (NodeId p = 0; p < m.num_nodes; ++p)
+        for (NodeId q = 0; q < m.num_nodes; ++q)
+            if (p != q)
+                c.cost_[static_cast<std::size_t>(p) *
+                            static_cast<std::size_t>(m.num_nodes) +
+                        static_cast<std::size_t>(q)] =
+                    m.hops(p, q) * (2.0 - m.pair_fidelity(p, q));
+    return c;
+}
+
+bool
+CostModel::is_flat() const
+{
+    for (NodeId p = 0; p < num_nodes_; ++p)
+        for (NodeId q = 0; q < num_nodes_; ++q)
+            if (p != q && cost(p, q) != 1.0)
+                return false;
+    return true;
+}
+
+double
+weighted_cut(const partition::InteractionGraph& g,
+             const std::vector<NodeId>& part, const CostModel& cost)
+{
+    double total = 0.0;
+    for (QubitId u = 0; u < g.num_qubits(); ++u) {
+        const NodeId pu = part[static_cast<std::size_t>(u)];
+        for (const auto& [v, w] : g.neighbors(u)) {
+            if (u >= v)
+                continue;
+            const NodeId pv = part[static_cast<std::size_t>(v)];
+            if (pu != pv)
+                total += static_cast<double>(w) * cost.cost(pu, pv);
+        }
+    }
+    return total;
+}
+
+} // namespace autocomm::multilevel

@@ -1,0 +1,99 @@
+#include "multilevel/initial.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/log.hpp"
+
+namespace autocomm::multilevel {
+
+std::vector<NodeId>
+initial_partition(const partition::InteractionGraph& g,
+                  const std::vector<int>& vertex_weight,
+                  const std::vector<int>& capacities,
+                  const CostModel& cost)
+{
+    const int n = g.num_qubits();
+    const int k = static_cast<int>(capacities.size());
+    if (k <= 0)
+        support::fatal("initial_partition: no node capacities");
+
+    long total_weight = 0;
+    for (int v = 0; v < n; ++v)
+        total_weight += vertex_weight[static_cast<std::size_t>(v)];
+    const long total_cap =
+        std::accumulate(capacities.begin(), capacities.end(), 0L);
+    if (total_cap < total_weight)
+        support::fatal("initial_partition: %ld qubits exceed the "
+                       "machine's total capacity %ld",
+                       total_weight, total_cap);
+
+    // Heaviest vertices first: they are the hardest to place and anchor
+    // the regions the rest grow around. Ties by id keep this
+    // deterministic.
+    std::vector<QubitId> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](QubitId a, QubitId b) {
+                         return vertex_weight[static_cast<std::size_t>(a)] >
+                                vertex_weight[static_cast<std::size_t>(b)];
+                     });
+
+    std::vector<NodeId> part(static_cast<std::size_t>(n), kInvalidId);
+    std::vector<long> load(static_cast<std::size_t>(k), 0);
+
+    for (const QubitId v : order) {
+        const int wv = vertex_weight[static_cast<std::size_t>(v)];
+        // Attachment cost of each candidate node: what v's placed
+        // neighbors would pay if v lands there.
+        std::vector<double> attach(static_cast<std::size_t>(k), 0.0);
+        for (const auto& [u, w] : g.neighbors(v)) {
+            const NodeId pu = part[static_cast<std::size_t>(u)];
+            if (pu == kInvalidId)
+                continue;
+            for (NodeId p = 0; p < k; ++p)
+                attach[static_cast<std::size_t>(p)] +=
+                    static_cast<double>(w) * cost.cost(p, pu);
+        }
+
+        auto better = [&](NodeId a, NodeId b) {
+            // b == kInvalidId means "no candidate yet".
+            if (b == kInvalidId)
+                return true;
+            const double ca = attach[static_cast<std::size_t>(a)];
+            const double cb = attach[static_cast<std::size_t>(b)];
+            if (ca != cb)
+                return ca < cb;
+            const long sa = capacities[static_cast<std::size_t>(a)] -
+                            load[static_cast<std::size_t>(a)];
+            const long sb = capacities[static_cast<std::size_t>(b)] -
+                            load[static_cast<std::size_t>(b)];
+            if (sa != sb)
+                return sa > sb; // spread seeds over the roomiest nodes
+            return a < b;
+        };
+
+        NodeId pick = kInvalidId;
+        for (NodeId p = 0; p < k; ++p)
+            if (load[static_cast<std::size_t>(p)] + wv <=
+                    capacities[static_cast<std::size_t>(p)] &&
+                better(p, pick))
+                pick = p;
+        if (pick == kInvalidId) {
+            // Bin-packing dead end: overload the slackest node; a finer
+            // level's rebalance() repairs it (see file comment).
+            for (NodeId p = 0; p < k; ++p)
+                if (pick == kInvalidId ||
+                    capacities[static_cast<std::size_t>(p)] -
+                            load[static_cast<std::size_t>(p)] >
+                        capacities[static_cast<std::size_t>(pick)] -
+                            load[static_cast<std::size_t>(pick)])
+                    pick = p;
+        }
+        part[static_cast<std::size_t>(v)] = pick;
+        load[static_cast<std::size_t>(pick)] += wv;
+    }
+    return part;
+}
+
+} // namespace autocomm::multilevel

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Greedy region-growing initial partition of the coarsest graph — the
+ * second leg of the multilevel partitioner.
+ *
+ * Vertices are placed one at a time, heaviest first, each onto the
+ * machine node where its already-placed neighbors make it cheapest under
+ * the CostModel (so regions grow around the heavy interaction clusters,
+ * and on a ring/grid the growth prefers adjacent nodes). Ties go to the
+ * node with the most remaining capacity, which spreads the cluster seeds
+ * across the machine.
+ *
+ * Capacities are honored whenever possible; when no node can take a
+ * vertex (coarse vertex weights make this a bin-packing problem) the
+ * vertex is placed on the node with the most slack anyway and the
+ * overload is repaired later by refine.hpp's rebalance() on a finer
+ * level, where vertices are smaller (always succeeding at level 0 where
+ * every weight is 1).
+ */
+#pragma once
+
+#include <vector>
+
+#include "multilevel/cost.hpp"
+#include "partition/interaction_graph.hpp"
+
+namespace autocomm::multilevel {
+
+/**
+ * Assign the vertices of @p g (weights @p vertex_weight) to
+ * capacities.size() nodes. Throws support::UserError when the total
+ * capacity cannot hold the total vertex weight.
+ */
+std::vector<NodeId>
+initial_partition(const partition::InteractionGraph& g,
+                  const std::vector<int>& vertex_weight,
+                  const std::vector<int>& capacities,
+                  const CostModel& cost);
+
+} // namespace autocomm::multilevel

@@ -106,6 +106,13 @@ oee_partition(const InteractionGraph& g, const std::vector<int>& capacities,
                       static_cast<int>(capacities.size()), opts);
 }
 
+std::vector<NodeId>
+oee_polish(const InteractionGraph& g, std::vector<NodeId> initial,
+           int num_nodes, const OeeOptions& opts)
+{
+    return oee_refine(g, std::move(initial), num_nodes, opts);
+}
+
 namespace {
 
 std::vector<NodeId>

@@ -55,6 +55,17 @@ std::vector<NodeId> oee_partition(const InteractionGraph& g,
                                   const std::vector<int>& capacities,
                                   const OeeOptions& opts = {});
 
+/**
+ * Run OEE's exchange passes from an explicit initial assignment instead
+ * of the contiguous fill — the "polish" mode the multilevel partitioner
+ * uses to seed a short flat-cut refinement (Mapper::MultilevelOee).
+ * Exchanges preserve per-node loads, so whatever capacities @p initial
+ * respects stay respected; the flat cut never increases.
+ */
+std::vector<NodeId> oee_polish(const InteractionGraph& g,
+                               std::vector<NodeId> initial, int num_nodes,
+                               const OeeOptions& opts = {});
+
 /** Convenience: run OEE on a circuit's interaction graph. */
 hw::QubitMapping oee_map(const qir::Circuit& c, int num_nodes,
                          const OeeOptions& opts = {});

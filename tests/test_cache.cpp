@@ -7,12 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <unistd.h>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -112,6 +114,12 @@ TEST(CacheKey, EveryCellFieldChangesTheKey)
     mutate([](SweepCell& c) { c.options.opts.assign.allow_tp = false; });
     mutate([](SweepCell& c) {
         c.options.opts.schedule.epr_prefetch = false;
+    });
+    mutate([](SweepCell& c) {
+        c.partitioner = partition::Mapper::Multilevel;
+    });
+    mutate([](SweepCell& c) {
+        c.partitioner = partition::Mapper::MultilevelOee;
     });
     mutate([](SweepCell& c) { c.with_baseline = true; });
     mutate([](SweepCell& c) { c.with_gptp = true; });
@@ -463,6 +471,110 @@ TEST(CacheStore, HashCollisionIsServedAsAMiss)
 }
 
 // ---------------------------------------------- shard spec / overrides
+
+// ------------------------------------------------------------------- gc
+
+/** All *.jsonl files in @p dir, sorted by name. */
+std::vector<std::string>
+segment_names(const std::string& dir)
+{
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".jsonl")
+            names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+TEST(CacheGc, FreshEntriesSurviveAndTheStoreCompacts)
+{
+    TempDir dir("gc-fresh");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.flush();
+        // Just-compiled rows are far younger than a day: nothing drops,
+        // and gc leaves the store compacted to the canonical segment.
+        EXPECT_EQ(store.gc(1.0), 0u);
+        EXPECT_EQ(store.size(), cells.size());
+    }
+    EXPECT_EQ(segment_names(dir.str()),
+              std::vector<std::string>{"store.jsonl"});
+    ResultStore reopened(dir.str());
+    EXPECT_EQ(reopened.stats().loaded, cells.size());
+}
+
+TEST(CacheGc, PreTimestampEntriesCountAsExpired)
+{
+    TempDir dir("gc-legacy");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.flush();
+        store.compact();
+    }
+    // Strip the "ts" fields, simulating a store written before
+    // timestamps existed.
+    const fs::path canonical = dir.path / "store.jsonl";
+    std::string text;
+    {
+        std::ifstream in(canonical);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    for (std::size_t at; (at = text.find("\"ts\":")) != std::string::npos;)
+        text.erase(at, text.find(',', at) + 1 - at);
+    {
+        std::ofstream out(canonical, std::ios::trunc);
+        out << text;
+    }
+    ResultStore store(dir.str());
+    ASSERT_EQ(store.stats().loaded, cells.size()); // still readable
+    // Even an allowance reaching past the epoch expires timestamp-less
+    // entries: their age is unknown, so a GC pass retires them.
+    EXPECT_EQ(store.gc(50000.0), cells.size());
+    EXPECT_EQ(store.size(), 0u);
+    ResultStore reopened(dir.str());
+    EXPECT_EQ(reopened.stats().loaded, 0u);
+}
+
+TEST(CacheGc, StaleSaltLinesLeaveTheDiskOnGc)
+{
+    TempDir dir("gc-stale");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str(), "salt-A");
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.flush();
+    }
+    {
+        // Opened under a bumped salt every salt-A line is stale; gc
+        // compacts the (empty) live view, so the old segments — and the
+        // stale lines in them — are deleted, not just skipped.
+        ResultStore store(dir.str(), "salt-B");
+        EXPECT_EQ(store.stats().stale, cells.size());
+        EXPECT_EQ(store.gc(10000.0), 0u); // nothing live to expire
+    }
+    ResultStore old_salt(dir.str(), "salt-A");
+    EXPECT_EQ(old_salt.stats().loaded, 0u);
+    EXPECT_EQ(old_salt.stats().stale, 0u);
+}
+
+TEST(CacheGc, NegativeAgeIsRejected)
+{
+    TempDir dir("gc-neg");
+    ResultStore store(dir.str());
+    EXPECT_THROW(store.gc(-1.0), support::UserError);
+}
 
 TEST(CacheShard, FilterIsDeterministicAndSaltDependent)
 {
