@@ -179,8 +179,8 @@ usage(const char* argv0)
 int
 main(int argc, char** argv)
 {
-    std::vector<circuits::Family> families = {circuits::Family::QFT,
-                                              circuits::Family::MCTR};
+    std::vector<circuits::FamilySpec> families = {circuits::Family::QFT,
+                                                  circuits::Family::MCTR};
     std::vector<int> qubits = {50, 100, 200};
     partition::Mapper mapper = partition::Mapper::Oee;
     int reps = 3;
@@ -232,9 +232,14 @@ main(int argc, char** argv)
                             "refine_ms", "aggregate_ms", "assign_ms",
                             "reorder_ms", "schedule_ms", "total_ms"});
 
-    for (circuits::Family f : families) {
-        for (int q : qubits) {
-            const circuits::BenchmarkSpec spec{f, q, std::max(2, q / 10)};
+    for (const circuits::FamilySpec& f : families) {
+        const std::vector<int> fam_qubits =
+            f.family == circuits::Family::QASM
+                ? std::vector<int>{f.qasm_qubits}
+                : qubits;
+        for (int q : fam_qubits) {
+            const circuits::BenchmarkSpec spec =
+                circuits::spec_for(f, q, std::max(2, q / 10));
             std::size_t gates = 0;
             Breakdown best = profile_once(spec, mapper, &gates);
             for (int r = 1; r < reps; ++r) {

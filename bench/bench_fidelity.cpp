@@ -83,12 +83,8 @@ main(int argc, char** argv)
         };
         try {
             if (arg == "--family") {
-                const std::string tok = value();
-                const auto f = circuits::parse_family(tok);
-                if (!f)
-                    support::fatal("--family: unknown family \"%s\"",
-                                   tok.c_str());
-                grid.families = {*f};
+                grid.families =
+                    driver::parse_family_list(value(), "--family");
             } else if (arg == "--qubits") {
                 grid.qubit_counts = {
                     driver::parse_int_list(value(), "--qubits").at(0)};

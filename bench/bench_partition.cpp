@@ -74,8 +74,8 @@ usage(const char* argv0)
 int
 main(int argc, char** argv)
 {
-    std::vector<circuits::Family> families = {circuits::Family::QFT,
-                                              circuits::Family::QAOA};
+    std::vector<circuits::FamilySpec> families = {circuits::Family::QFT,
+                                                  circuits::Family::QAOA};
     std::vector<int> qubits = {100, 300};
     std::vector<int> nodes = {10};
     std::vector<std::string> shapes;
@@ -157,14 +157,21 @@ main(int argc, char** argv)
                             "hops_cut", "weighted_cut", "speedup"});
 
     int failures = 0;
-    for (circuits::Family f : families) {
-        for (int q : qubits) {
+    for (const circuits::FamilySpec& f : families) {
+        // A QASM file pins its own qubit count; the --qubits axis only
+        // applies to generator families.
+        const std::vector<int> fam_qubits =
+            f.family == circuits::Family::QASM
+                ? std::vector<int>{f.qasm_qubits}
+                : qubits;
+        for (int q : fam_qubits) {
             // The interaction graph is machine-independent: build it
             // once per (family, qubits).
             std::unique_ptr<partition::InteractionGraph> graph;
             for (const MachineSpec& ms : machines) {
                 for (hw::Topology topo : topologies) {
-                    circuits::BenchmarkSpec spec{f, q, ms.num_nodes};
+                    const circuits::BenchmarkSpec spec =
+                        circuits::spec_for(f, q, ms.num_nodes);
                     hw::Machine machine;
                     try {
                         machine =

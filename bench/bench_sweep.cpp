@@ -60,8 +60,10 @@ usage(const char* argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --families LIST  comma list of MCTR,RCA,QFT,BV,QAOA,UCCSD "
-        "(default QFT,BV)\n"
+        "  --families LIST  comma list of MCTR,RCA,QFT,BV,QAOA,UCCSD,\n"
+        "                   qasm:<file>, qasmdir:<dir> (default QFT,BV);\n"
+        "                   external QASM entries pin their own qubit "
+        "count\n"
         "  --qubits LIST    qubit counts (default 16,24,32,40)\n"
         "  --nodes LIST     node counts (default 2,4)\n"
         "  --shape LIST     machine shapes, ';'-separated (e.g. "

@@ -486,8 +486,13 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                                      out[y].window_begin();
                           });
                 for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+                    // An earlier merge this round may have emptied a
+                    // block or absorbed it as a nested child; the group
+                    // lists are a round-start snapshot, so re-check.
                     if (out[list[i]].members.empty() ||
-                        out[list[i + 1]].members.empty())
+                        out[list[i + 1]].members.empty() ||
+                        out[list[i]].parent != -1 ||
+                        out[list[i + 1]].parent != -1)
                         continue;
                     if (try_merge(list[i], list[i + 1]))
                         changed = true;
@@ -509,8 +514,12 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
             if (blk.parent != -1)
                 blk.parent =
                     new_index[static_cast<std::size_t>(blk.parent)];
-            for (std::size_t& ch : blk.children)
-                ch = static_cast<std::size_t>(new_index[ch]);
+            std::size_t w = 0;
+            for (std::size_t ch : blk.children)
+                if (new_index[ch] != -1)
+                    blk.children[w++] =
+                        static_cast<std::size_t>(new_index[ch]);
+            blk.children.resize(w);
         }
         out = std::move(compact);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <functional>
 #include <tuple>
 #include <utility>
@@ -54,7 +55,6 @@ schedule_program(const qir::Circuit& reordered,
                  const hw::QubitMapping& map, const hw::Machine& m,
                  const ScheduleOptions& opts)
 {
-    (void)map;
     const hw::LatencyModel& lat = m.latency;
     const double t_tele = lat.t_teleport();
     const double t_ent = lat.t_cat_entangle();
@@ -206,36 +206,172 @@ schedule_program(const qir::Circuit& reordered,
         bool away = false;
         NodeId node = kInvalidId;
         int slot = -1;
+        /** The parked slot was left open by TP fusion (counted in
+         * res.fused_links); an eviction un-saves that return. */
+        bool fused_pending = false;
     };
     std::vector<Vessel> vessel(
         static_cast<std::size_t>(reordered.num_qubits()));
+    // A hub is pinned while its chain must not be evicted: mid-close,
+    // or while its own block is actively scheduling (a nested child's
+    // preparation must not teleport away the channel it rides on).
+    std::vector<char> pinned(
+        static_cast<std::size_t>(reordered.num_qubits()), 0);
 
     auto hub_ready = [&](QubitId h) {
         return qready[static_cast<std::size_t>(h)];
     };
 
-    auto prepare_epr = [&](NodeId a, NodeId b, double ready_floor)
+    // A parked vessel keeps its comm slot reserved with a release time
+    // the sequential scheduler learns only when the chain closes. A
+    // later preparation whose route needs that slot — one per endpoint,
+    // two per intermediate swap router — would read an unresolved
+    // (infinite) free time and poison the whole timeline. The fusion
+    // pre-pass cannot see this: routes are machine-dependent. Evict at
+    // reservation time instead: teleport the offending vessel home
+    // (spending the return pair fusion had hoped to save), then reserve.
+    std::function<std::tuple<double, int, int>(NodeId, NodeId, double,
+                                               QubitId)>
+        prepare_epr_from;
+    std::function<void(QubitId)> close_vessel;
+
+    // First node of @p route whose comm slots are parked at an
+    // unresolved (infinite) free time — endpoints need one slot, swap
+    // routers two — or kInvalidId when the route can be reserved.
+    auto blocked_node = [&](const std::vector<NodeId>& route) -> NodeId {
+        if (std::isinf(slots.earliest(route.front())))
+            return route.front();
+        if (std::isinf(slots.earliest(route.back())))
+            return route.back();
+        for (std::size_t i = 1; i + 1 < route.size(); ++i)
+            if (std::isinf(slots.earliest_k(route[i], 2)))
+                return route[i];
+        return kInvalidId;
+    };
+
+    auto evict_conflicts = [&](const std::vector<NodeId>& route,
+                               QubitId exempt_hub) {
+        for (;;) {
+            const NodeId blocked = blocked_node(route);
+            if (blocked == kInvalidId)
+                return;
+            QubitId victim = kInvalidId;
+            for (std::size_t q = 0; q < vessel.size(); ++q)
+                if (vessel[q].away && vessel[q].node == blocked &&
+                    !pinned[q] && static_cast<QubitId>(q) != exempt_hub) {
+                    victim = static_cast<QubitId>(q);
+                    break;
+                }
+            if (victim == kInvalidId)
+                return; // nothing evictable; caller may try a detour
+            close_vessel(victim);
+        }
+    };
+
+    // Shortest alternative route lo -> hi whose swap routers all have
+    // two resolvable comm slots, found by BFS over the physical
+    // adjacency in ascending node order (deterministic). Used when the
+    // minimal route crosses a node whose slots are parked by a *pinned*
+    // vessel — e.g. a nested child's preparation routed through the node
+    // its own parent block is teleporting to — which eviction must not
+    // touch. Returns empty when no such route exists (or the blockage is
+    // at an endpoint, which no detour can avoid); the reservation then
+    // surfaces the unresolved time and the makespan goes infinite, which
+    // the verifier flags.
+    auto find_detour = [&](NodeId lo, NodeId hi) -> std::vector<NodeId> {
+        const auto nn = static_cast<std::size_t>(m.num_nodes);
+        std::vector<NodeId> prev(nn, kInvalidId);
+        std::vector<char> seen(nn, 0);
+        std::vector<NodeId> queue;
+        seen[static_cast<std::size_t>(lo)] = 1;
+        queue.push_back(lo);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const NodeId u = queue[head];
+            for (NodeId v = 0; v < m.num_nodes; ++v) {
+                if (seen[static_cast<std::size_t>(v)] || m.hops(u, v) != 1)
+                    continue;
+                if (v != hi && std::isinf(slots.earliest_k(v, 2)))
+                    continue; // would have to swap through a parked node
+                seen[static_cast<std::size_t>(v)] = 1;
+                prev[static_cast<std::size_t>(v)] = u;
+                if (v == hi) {
+                    std::vector<NodeId> route;
+                    for (NodeId n = hi; n != kInvalidId;
+                         n = prev[static_cast<std::size_t>(n)])
+                        route.push_back(n);
+                    std::reverse(route.begin(), route.end());
+                    return route;
+                }
+                queue.push_back(v);
+            }
+        }
+        return {};
+    };
+
+    prepare_epr_from = [&](NodeId a, NodeId b, double ready_floor,
+                           QubitId exempt_hub)
         -> std::tuple<double, int, int> {
-        const EprPairPlan& pl = plans.plan(a, b);
+        const EprPairPlan& base = plans.plan(a, b);
         const double t_min = opts.epr_prefetch ? 0.0 : ready_floor;
+
+        evict_conflicts(base.route, exempt_hub);
+
+        const EprPairPlan* pl = &base;
+        EprPairPlan detour;
+        const NodeId blocked = blocked_node(base.route);
+        if (blocked != kInvalidId && blocked != base.route.front() &&
+            blocked != base.route.back()) {
+            std::vector<NodeId> alt =
+                find_detour(base.route.front(), base.route.back());
+            if (!alt.empty()) {
+                detour = plans.plan_for_route(std::move(alt));
+                pl = &detour;
+                ++res.detours;
+            }
+        }
 
         // Note: plans are keyed (min, max), so a request in the other
         // direction reserves its endpoint slots in route order; the
         // returned slot ids are mapped back to the caller's (a, b).
         const EprReservation rsv = reserve_epr_route(
-            slots, links, pl.route, pl.chan, pl.duration, t_min);
-        const int sa = a == pl.route.front() ? rsv.slot_a : rsv.slot_b;
-        const int sb = a == pl.route.front() ? rsv.slot_b : rsv.slot_a;
+            slots, links, pl->route, pl->chan, pl->duration, t_min);
+        const int sa = a == pl->route.front() ? rsv.slot_a : rsv.slot_b;
+        const int sb = a == pl->route.front() ? rsv.slot_b : rsv.slot_a;
 
         ++res.epr_pairs;
-        res.hops_total += static_cast<std::size_t>(pl.hops);
-        res.epr_raw_pairs += pl.raw * static_cast<std::size_t>(pl.hops);
-        res.purify_rounds += static_cast<std::size_t>(pl.rounds);
+        res.hops_total += static_cast<std::size_t>(pl->hops);
+        res.epr_raw_pairs += pl->raw * static_cast<std::size_t>(pl->hops);
+        res.purify_rounds += static_cast<std::size_t>(pl->rounds);
         res.ledger.consume(a, b);
-        for (std::size_t i = 0; i + 1 < pl.route.size(); ++i)
-            res.ledger.consume_raw(pl.route[i], pl.route[i + 1], pl.raw);
-        res.ledger.record_fidelity(pl.fidelity);
+        for (std::size_t i = 0; i + 1 < pl->route.size(); ++i)
+            res.ledger.consume_raw(pl->route[i], pl->route[i + 1],
+                                   pl->raw);
+        res.ledger.record_fidelity(pl->fidelity);
         return {rsv.done, sa, sb};
+    };
+
+    auto prepare_epr = [&](NodeId a, NodeId b, double ready_floor) {
+        return prepare_epr_from(a, b, ready_floor, kInvalidId);
+    };
+
+    close_vessel = [&](QubitId hub) {
+        Vessel& v = vessel[static_cast<std::size_t>(hub)];
+        pinned[static_cast<std::size_t>(hub)] = 1;
+        const NodeId home_node = map.node_of(hub);
+        auto [epr_done, s_from, s_home] =
+            prepare_epr_from(v.node, home_node, hub_ready(hub), hub);
+        const double t_start = std::max(epr_done, hub_ready(hub));
+        const double home = t_start + t_tele;
+        ++res.teleports;
+        slots.release(v.node, s_from, home);
+        slots.release(v.node, v.slot, home);
+        slots.release(home_node, s_home, home);
+        qready[static_cast<std::size_t>(hub)] = home;
+        if (v.fused_pending && res.fused_links > 0)
+            --res.fused_links;
+        v = Vessel{};
+        pinned[static_cast<std::size_t>(hub)] = 0;
+        bump(home);
     };
 
     auto run_gate_local = [&](const Gate& g) {
@@ -295,6 +431,20 @@ schedule_program(const qir::Circuit& reordered,
         const CommBlock& blk = blocks[b];
         Vessel& ves = vessel[static_cast<std::size_t>(blk.hub)];
 
+        // A block with nested children holds a comm slot at its remote
+        // node across the children's scheduling (the Cat remote copy, or
+        // the TP vessel). If a foreign parked vessel sits in the node's
+        // other slot, a child's preparation there — and the eviction
+        // teleport that could clear it, which needs a pair endpoint slot
+        // of its own — would both find the node full. Evict now, while a
+        // free slot still exists for the eviction's EPR pair.
+        if (!blk.children.empty())
+            for (std::size_t q = 0; q < vessel.size(); ++q)
+                if (vessel[q].away && !pinned[q] &&
+                    static_cast<QubitId>(q) != blk.hub &&
+                    vessel[q].node == blk.remote_node)
+                    close_vessel(static_cast<QubitId>(q));
+
         if (blk.scheme == Scheme::Cat) {
             assert(!ves.away && "cat block scheduled while hub is away");
             std::vector<std::size_t> segments = blk.cat_segments;
@@ -342,7 +492,10 @@ schedule_program(const qir::Circuit& reordered,
         }
 
         // ---- TP block ----
+        pinned[static_cast<std::size_t>(blk.hub)] = 1;
         const NodeId from = ves.away ? ves.node : blk.hub_node;
+        // Using the vessel realizes the previous link's saved return.
+        ves.fused_pending = false;
         double arrive;
         int vessel_slot;
         if (from == blk.remote_node) {
@@ -350,8 +503,8 @@ schedule_program(const qir::Circuit& reordered,
             arrive = hub_ready(blk.hub);
             vessel_slot = ves.slot;
         } else {
-            auto [epr_done, s_from, s_to] = prepare_epr(
-                from, blk.remote_node, hub_ready(blk.hub));
+            auto [epr_done, s_from, s_to] = prepare_epr_from(
+                from, blk.remote_node, hub_ready(blk.hub), blk.hub);
             const double t_start = std::max(epr_done, hub_ready(blk.hub));
             arrive = t_start + t_tele;
             ++res.teleports;
@@ -372,13 +525,17 @@ schedule_program(const qir::Circuit& reordered,
         if (fuse_next[b]) {
             ++res.fused_links;
             // Vessel stays put (its comm slot remains reserved); the
-            // hub's next TP block teleports it onward.
+            // hub's next TP block teleports it onward — unless a
+            // conflicting route evicts it first (see close_vessel).
+            ves.fused_pending = true;
+            pinned[static_cast<std::size_t>(blk.hub)] = 0;
             return;
         }
 
         // Teleport home (releases the dirty side-effect, 2nd EPR pair).
         auto [epr_done, s_from, s_home] =
-            prepare_epr(blk.remote_node, blk.hub_node, channel);
+            prepare_epr_from(blk.remote_node, blk.hub_node, channel,
+                             blk.hub);
         const double t_start = std::max(epr_done, channel);
         const double home = t_start + t_tele;
         ++res.teleports;
@@ -387,6 +544,7 @@ schedule_program(const qir::Circuit& reordered,
         slots.release(blk.hub_node, s_home, home);
         qready[static_cast<std::size_t>(blk.hub)] = home;
         ves = Vessel{};
+        pinned[static_cast<std::size_t>(blk.hub)] = 0;
         bump(home);
     };
 

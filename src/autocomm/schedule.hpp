@@ -68,6 +68,13 @@ struct ScheduleResult
     /** Total BBPSSW purification rounds across consumed pairs (0 when
      * noise is off or the raw fidelity already meets the target). */
     std::size_t purify_rounds = 0;
+    /** Pair preparations that took a detour route around a pinned parked
+     * vessel (the minimal route's swap-router slots were held at
+     * unresolved times and eviction was impossible). When zero — the
+     * overwhelmingly common case — every consumed pair followed the
+     * machine's routing table, and verify::check_schedule re-derives the
+     * routed quantities exactly. */
+    std::size_t detours = 0;
     /** Per-link EPR accounting, raw-vs-purified, and the end-to-end
      * program fidelity estimate (ledger.fidelity_product(): the product
      * of consumed pairs' post-purification fidelities; exactly 1.0 on

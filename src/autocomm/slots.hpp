@@ -226,6 +226,28 @@ class EprPlanCache
         return plans_.emplace(key, std::move(p)).first->second;
     }
 
+    /**
+     * Cost an explicit (detour) route instead of the routing table's
+     * choice — used when the minimal route is blocked by a parked
+     * teleport vessel that cannot be evicted. Not memoized: detours
+     * depend on transient slot state, not just the endpoint pair.
+     */
+    EprPairPlan
+    plan_for_route(std::vector<NodeId> route) const
+    {
+        EprPairPlan p;
+        p.hops = static_cast<int>(route.size()) - 1;
+        const double f = m_->route_fidelity(route);
+        p.rounds = m_->purify.rounds_for(f);
+        p.raw = noise::PurificationPolicy::cost_multiplier(p.rounds);
+        p.chan =
+            static_cast<int>(std::min<std::size_t>(p.raw, 1u << 30));
+        p.duration = m_->route_epr_latency(route);
+        p.fidelity = noise::purified_fidelity(f, p.rounds);
+        p.route = std::move(route);
+        return p;
+    }
+
   private:
     const hw::Machine* m_;
     std::map<std::pair<NodeId, NodeId>, EprPairPlan> plans_;

@@ -1,5 +1,6 @@
 #include "cache/key.hpp"
 
+#include "circuits/qasm_source.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::cache {
@@ -80,7 +81,18 @@ cell_key(const driver::SweepCell& cell, const std::string& salt)
     // mirrors above): a new sweep axis that is not serialized below
     // would let cells differing only in that axis share a key — warm
     // runs would then serve wrong rows. Grow this mirror together with
-    // the canonical string.
+    // the canonical string. BenchmarkSpec gets its own pin because the
+    // CellMirror embeds the real type and would absorb its growth
+    // silently.
+    struct SpecMirror
+    {
+        circuits::Family family;
+        int num_qubits, num_nodes;
+        std::string qasm_path;
+    };
+    static_assert(sizeof(circuits::BenchmarkSpec) == sizeof(SpecMirror),
+                  "BenchmarkSpec gained a field: serialize it in "
+                  "cell_key");
     struct CellMirror
     {
         circuits::BenchmarkSpec spec;
@@ -115,6 +127,18 @@ cell_key(const driver::SweepCell& cell, const std::string& salt)
         cell.options.name.c_str(), option_fields(cell.options.opts).c_str(),
         cell.with_baseline ? 1 : 0, cell.with_gptp ? 1 : 0,
         cell.stats_only ? 1 : 0);
+    if (cell.spec.family == circuits::Family::QASM) {
+        // File-backed cells key on the file's *content* (not its path):
+        // editing the file invalidates its cached rows, while the same
+        // circuit at two paths — or a renamed file — still hits.
+        // Non-QASM canonical strings are unchanged, so this needs no
+        // salt bump. I/O errors propagate as UserError: a missing file
+        // must not silently key as "empty".
+        key.canonical += support::strprintf(
+            ";qasm=%s",
+            hash128(circuits::read_text_file(cell.spec.qasm_path)).hex()
+                .c_str());
+    }
     key.hash = hash128(key.canonical);
     return key;
 }

@@ -36,8 +36,13 @@ namespace autocomm::cache {
  *
  * s2: the cell schema gained the partitioner field (multilevel
  * subsystem); s1 entries predate it and must recompile once.
+ *
+ * s3: the scheduler resolves parked-vessel route conflicts (eviction +
+ * detour routing), turning formerly infinite multi-hop TP-fusion
+ * makespans finite, and ScheduleResult gained the detours counter; s2
+ * entries may hold the old numbers and must recompile once.
  */
-inline constexpr const char kCompilerSalt[] = "s2";
+inline constexpr const char kCompilerSalt[] = "s3";
 
 /** Content-addressed identity of one sweep cell. */
 struct CellKey

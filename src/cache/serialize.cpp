@@ -156,6 +156,8 @@ row_to_json(const driver::SweepRow& row)
               Json::number(static_cast<ull>(row.schedule.epr_raw_pairs)));
     sched.set("purify_rounds",
               Json::number(static_cast<ull>(row.schedule.purify_rounds)));
+    sched.set("detours",
+              Json::number(static_cast<ull>(row.schedule.detours)));
 
     Json ledger = Json::object();
     ledger.set("per_link", link_map(row.schedule.ledger.per_link()));
@@ -229,6 +231,8 @@ row_from_json(const Json& doc, const driver::SweepCell& cell)
         static_cast<std::size_t>(sched.at("epr_raw_pairs").to_uint());
     row.schedule.purify_rounds =
         static_cast<std::size_t>(sched.at("purify_rounds").to_uint());
+    row.schedule.detours =
+        static_cast<std::size_t>(sched.at("detours").to_uint());
 
     const Json& ledger = sched.at("ledger");
     row.schedule.ledger = comm::EprLedger::restore(

@@ -3,6 +3,7 @@
 #include "circuits/bv.hpp"
 #include "circuits/mctr.hpp"
 #include "circuits/qaoa.hpp"
+#include "circuits/qasm_source.hpp"
 #include "circuits/qft.hpp"
 #include "circuits/rca.hpp"
 #include "circuits/uccsd.hpp"
@@ -20,6 +21,7 @@ family_name(Family f)
       case Family::BV: return "BV";
       case Family::QAOA: return "QAOA";
       case Family::UCCSD: return "UCCSD";
+      case Family::QASM: return "QASM";
     }
     return "?";
 }
@@ -44,8 +46,23 @@ all_families()
 std::string
 BenchmarkSpec::label() const
 {
+    if (family == Family::QASM)
+        return support::strprintf("QASM:%s-%d-%d",
+                                  qasm_stem(qasm_path).c_str(), num_qubits,
+                                  num_nodes);
     return support::strprintf("%s-%d-%d", family_name(family), num_qubits,
                               num_nodes);
+}
+
+BenchmarkSpec
+spec_for(const FamilySpec& f, int qubits, int nodes)
+{
+    BenchmarkSpec spec;
+    spec.family = f.family;
+    spec.num_qubits = f.family == Family::QASM ? f.qasm_qubits : qubits;
+    spec.num_nodes = nodes;
+    spec.qasm_path = f.qasm_path;
+    return spec;
 }
 
 qir::Circuit
@@ -66,6 +83,18 @@ make_benchmark(const BenchmarkSpec& spec, std::uint64_t seed)
         UccsdOptions opts;
         opts.seed = seed;
         return make_uccsd(spec.num_qubits, opts);
+      }
+      case Family::QASM: {
+        if (spec.qasm_path.empty())
+            support::fatal("make_benchmark: QASM spec without a file "
+                           "path (build it via parse_family_spec)");
+        qir::Circuit c = load_qasm_file(spec.qasm_path);
+        if (c.num_qubits() != spec.num_qubits)
+            support::fatal("%s: file now declares %d qubits, spec says "
+                           "%d (file changed since the sweep was set "
+                           "up?)", spec.qasm_path.c_str(), c.num_qubits(),
+                           spec.num_qubits);
+        return c;
       }
     }
     support::fatal("make_benchmark: unknown family");

@@ -15,33 +15,67 @@
 
 namespace autocomm::circuits {
 
-/** Table 2 benchmark families. */
-enum class Family { MCTR, RCA, QFT, BV, QAOA, UCCSD };
+/** Table 2 benchmark families, plus QASM for external circuit files. */
+enum class Family { MCTR, RCA, QFT, BV, QAOA, UCCSD, QASM };
 
 /** Short uppercase family mnemonic ("QFT", ...). */
 const char* family_name(Family f);
 
-/** Inverse of family_name (case-insensitive); nullopt for unknown names. */
+/** Inverse of family_name (case-insensitive); nullopt for unknown names.
+ * Never returns Family::QASM — a QASM benchmark needs a file path, so it
+ * is spelled "qasm:<path>" and resolved by circuits::parse_family_spec. */
 std::optional<Family> parse_family(const std::string& name);
 
-/** All families, in Table 2 order. */
+/** All generator families, in Table 2 order (excludes Family::QASM). */
 std::vector<Family> all_families();
+
+/**
+ * One family axis entry of a sweep grid: a generator family, or an
+ * external OpenQASM file (Family::QASM) whose qubit count is fixed by
+ * the file rather than by the grid's qubit axis. Implicitly
+ * constructible from a bare Family so `families = {Family::QFT}`
+ * initializers keep working.
+ */
+struct FamilySpec
+{
+    Family family = Family::QFT;
+    /** Source file, Family::QASM only. */
+    std::string qasm_path;
+    /** Qubit count read from the file at resolution time. */
+    int qasm_qubits = 0;
+
+    FamilySpec() = default;
+    FamilySpec(Family f) : family(f) {}
+};
 
 /** One benchmark configuration row of Table 2. */
 struct BenchmarkSpec
 {
-    Family family;
-    int num_qubits;
-    int num_nodes;
+    Family family = Family::QFT;
+    int num_qubits = 0;
+    int num_nodes = 0;
+    /** Source file for Family::QASM benchmarks; empty otherwise. */
+    std::string qasm_path{};
 
-    /** "QFT-100-10"-style label used in Table 3. */
+    /** "QFT-100-10"-style label used in Table 3 ("QASM:<stem>-20-4" for
+     * file-backed benchmarks). */
     std::string label() const;
 };
 
 /**
+ * Materialize one grid point from a family axis entry: generator
+ * families take the grid's qubit count; Family::QASM entries pin their
+ * own (the file's), ignoring @p qubits.
+ */
+BenchmarkSpec spec_for(const FamilySpec& f, int qubits, int nodes);
+
+/**
  * Build the (undecomposed) circuit for a benchmark spec. Deterministic for
  * a fixed seed. Call qir::decompose() to reach the CX+1q basis the
- * communication passes analyse.
+ * communication passes analyse. Family::QASM specs load (and re-parse)
+ * their file; a file whose qubit count no longer matches spec.num_qubits
+ * raises support::UserError rather than silently compiling a different
+ * circuit than the one the spec was resolved against.
  */
 qir::Circuit make_benchmark(const BenchmarkSpec& spec,
                             std::uint64_t seed = 2022);

@@ -1,0 +1,102 @@
+#include "circuits/qasm_source.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "qir/qasm.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::circuits {
+
+namespace fs = std::filesystem;
+
+std::string
+read_text_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        support::fatal("cannot open \"%s\"", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        support::fatal("read error on \"%s\"", path.c_str());
+    return std::move(buf).str();
+}
+
+qir::Circuit
+load_qasm_file(const std::string& path)
+{
+    const std::string text = read_text_file(path);
+    try {
+        return qir::from_qasm(text);
+    } catch (const support::UserError& e) {
+        support::fatal("%s: %s", path.c_str(), e.what());
+    }
+}
+
+std::string
+qasm_stem(const std::string& path)
+{
+    return fs::path(path).stem().string();
+}
+
+FamilySpec
+qasm_family(const std::string& path)
+{
+    const qir::Circuit c = load_qasm_file(path);
+    if (c.num_qubits() <= 0)
+        support::fatal("%s: file declares no qubits (missing qreg?)",
+                       path.c_str());
+    FamilySpec f;
+    f.family = Family::QASM;
+    f.qasm_path = path;
+    f.qasm_qubits = c.num_qubits();
+    return f;
+}
+
+std::vector<FamilySpec>
+qasm_dir_families(const std::string& dir)
+{
+    std::error_code ec;
+    const fs::directory_iterator it(dir, ec);
+    if (ec)
+        support::fatal("cannot read directory \"%s\": %s", dir.c_str(),
+                       ec.message().c_str());
+    std::vector<std::string> paths;
+    for (const fs::directory_entry& e : it)
+        if (e.is_regular_file() && e.path().extension() == ".qasm")
+            paths.push_back(e.path().string());
+    if (paths.empty())
+        support::fatal("directory \"%s\" holds no .qasm files",
+                       dir.c_str());
+    std::sort(paths.begin(), paths.end());
+    std::vector<FamilySpec> out;
+    out.reserve(paths.size());
+    for (const std::string& p : paths)
+        out.push_back(qasm_family(p));
+    return out;
+}
+
+std::optional<std::vector<FamilySpec>>
+parse_family_spec(const std::string& token)
+{
+    if (token.rfind("qasm:", 0) == 0) {
+        const std::string path = token.substr(5);
+        if (path.empty())
+            support::fatal("\"qasm:\" needs a file path");
+        return std::vector<FamilySpec>{qasm_family(path)};
+    }
+    if (token.rfind("qasmdir:", 0) == 0) {
+        const std::string dir = token.substr(8);
+        if (dir.empty())
+            support::fatal("\"qasmdir:\" needs a directory path");
+        return qasm_dir_families(dir);
+    }
+    if (const std::optional<Family> f = parse_family(token))
+        return std::vector<FamilySpec>{FamilySpec{*f}};
+    return std::nullopt;
+}
+
+} // namespace autocomm::circuits

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * External OpenQASM benchmark sources: resolve "qasm:<path>" and
+ * "qasmdir:<dir>" family tokens into FamilySpec entries so circuit files
+ * flow through the sweep grid, result cache, partitioners, and noise
+ * machinery exactly like the built-in generator families.
+ *
+ * Resolution reads each file once (to validate it parses and to pin its
+ * qubit count); compilation re-reads it, and cache::cell_key hashes its
+ * content, so editing a file invalidates its cached rows.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuits/library.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::circuits {
+
+/** Read a whole file; throws support::UserError on I/O failure. */
+std::string read_text_file(const std::string& path);
+
+/** Load and parse one OpenQASM file (support::UserError on I/O or parse
+ * failure, with the path prefixed to parse diagnostics). */
+qir::Circuit load_qasm_file(const std::string& path);
+
+/** Filename without directory or .qasm extension ("bench/adder.qasm" ->
+ * "adder"); used in benchmark labels. */
+std::string qasm_stem(const std::string& path);
+
+/** Resolve one file into a Family::QASM spec: parse it, record its qubit
+ * count. */
+FamilySpec qasm_family(const std::string& path);
+
+/**
+ * Resolve every *.qasm file of a directory (sorted by name, so grids and
+ * CSVs are deterministic). Throws support::UserError when the directory
+ * cannot be read or holds no .qasm files.
+ */
+std::vector<FamilySpec> qasm_dir_families(const std::string& dir);
+
+/**
+ * Parse one family token: a generator family name ("qft"), a
+ * "qasm:<path>" file, or a "qasmdir:<dir>" directory (which may expand
+ * to several specs). Returns nullopt for an unrecognized token so
+ * callers can raise a flag-specific error.
+ */
+std::optional<std::vector<FamilySpec>>
+parse_family_spec(const std::string& token);
+
+} // namespace autocomm::circuits

@@ -10,6 +10,7 @@
 
 #include "baseline/gptp.hpp"
 #include "cache/key.hpp"
+#include "circuits/qasm_source.hpp"
 #include "cache/store.hpp"
 #include "partition/interaction_graph.hpp"
 #include "partition/oee.hpp"
@@ -113,8 +114,14 @@ SweepGrid::cells() const
                 topologies.size() * link_fidelities.size() *
                 target_fidelities.size() * link_bandwidths.size() *
                 partitioners.size() * option_sets.size());
-    for (circuits::Family f : families)
-        for (int q : qubit_counts)
+    // A QASM family entry pins its own qubit count, so the qubit axis
+    // collapses to a single point for it (expanding it per qubit value
+    // would emit identical duplicate cells).
+    for (const circuits::FamilySpec& f : families) {
+        std::vector<int> qubits = qubit_counts;
+        if (f.family == circuits::Family::QASM)
+            qubits = {f.qasm_qubits};
+        for (int q : qubits)
             for (const auto& [n, shape] : machines)
                 for (hw::Topology t : topologies)
                     for (double lf : link_fidelities)
@@ -124,7 +131,8 @@ SweepGrid::cells() const
                                     for (const OptionSet& o :
                                          option_sets) {
                                         SweepCell cell;
-                                        cell.spec = {f, q, n};
+                                        cell.spec =
+                                            circuits::spec_for(f, q, n);
                                         cell.options = o;
                                         cell.seed = seed;
                                         cell.shape = shape;
@@ -141,6 +149,7 @@ SweepGrid::cells() const
                                             with_baseline;
                                         out.push_back(std::move(cell));
                                     }
+    }
     return out;
 }
 
@@ -435,11 +444,14 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
         // family reads it from the spec — if one ever becomes
         // node-aware, sharing a circuit across node counts would
         // silently diverge from run_cell(). The axes this cache is for
-        // (option set, topology, noise) never vary the key.
+        // (option set, topology, noise) never vary the key. QASM specs
+        // key on their file path too: two files with equal qubit counts
+        // are different programs.
         const std::string pkey = support::strprintf(
-            "%s|%d|%d|%llu", circuits::family_name(cell.spec.family),
+            "%s|%d|%d|%llu|%s", circuits::family_name(cell.spec.family),
             cell.spec.num_qubits, cell.spec.num_nodes,
-            static_cast<unsigned long long>(cell.seed));
+            static_cast<unsigned long long>(cell.seed),
+            cell.spec.qasm_path.c_str());
         auto [pit, pnew] = program_index.emplace(pkey, programs.size());
         if (pnew) {
             programs.emplace_back();
@@ -706,17 +718,25 @@ parse_topology_list(const std::string& list, const char* flag)
     return out;
 }
 
-std::vector<circuits::Family>
+std::vector<circuits::FamilySpec>
 parse_family_list(const std::string& list, const char* flag)
 {
-    std::vector<circuits::Family> out;
+    std::vector<circuits::FamilySpec> out;
     for (const std::string& tok : split_list(list, ',')) {
-        const auto f = circuits::parse_family(tok);
-        if (!f)
+        std::optional<std::vector<circuits::FamilySpec>> specs;
+        try {
+            specs = circuits::parse_family_spec(tok);
+        } catch (const support::UserError& e) {
+            // A recognized qasm:/qasmdir: token with a bad payload —
+            // re-raise with the flag named.
+            support::fatal("%s: \"%s\": %s", flag, tok.c_str(), e.what());
+        }
+        if (!specs)
             support::fatal("%s: unknown family \"%s\" (expected MCTR, "
-                           "RCA, QFT, BV, QAOA, or UCCSD)",
+                           "RCA, QFT, BV, QAOA, UCCSD, qasm:<path>, or "
+                           "qasmdir:<dir>)",
                            flag, tok.c_str());
-        out.push_back(*f);
+        out.insert(out.end(), specs->begin(), specs->end());
     }
     if (out.empty())
         support::fatal("%s: empty list", flag);

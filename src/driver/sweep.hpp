@@ -117,7 +117,11 @@ struct SweepCell
 /** Declarative cartesian sweep grid. */
 struct SweepGrid
 {
-    std::vector<circuits::Family> families;
+    /** Family axis: generator families and/or external QASM files (see
+     * circuits::FamilySpec — QASM entries pin their own qubit count, so
+     * they expand once per machine point rather than once per
+     * qubit-axis value). */
+    std::vector<circuits::FamilySpec> families;
     std::vector<int> qubit_counts;
     std::vector<int> node_counts;
     /**
@@ -266,9 +270,11 @@ std::vector<double> parse_fidelity_list(const std::string& list,
 std::vector<hw::Topology> parse_topology_list(const std::string& list,
                                               const char* flag);
 
-/** Parse a comma list of circuit-family names. */
-std::vector<circuits::Family> parse_family_list(const std::string& list,
-                                                const char* flag);
+/** Parse a comma list of family tokens: generator family names plus
+ * "qasm:<path>" / "qasmdir:<dir>" external-circuit sources (the latter
+ * expands to one entry per .qasm file, sorted by name). */
+std::vector<circuits::FamilySpec>
+parse_family_list(const std::string& list, const char* flag);
 
 /** Parse a comma list of partitioner names (see partition::Mapper). */
 std::vector<partition::Mapper> parse_mapper_list(const std::string& list,

@@ -98,7 +98,14 @@ Machine::pair_fidelity(NodeId a, NodeId b) const
         return 1.0;
     if (link.perfect())
         return 1.0;
-    const std::vector<NodeId> route = path(a, b);
+    return route_fidelity(path(a, b));
+}
+
+double
+Machine::route_fidelity(const std::vector<NodeId>& route) const
+{
+    if (link.perfect())
+        return 1.0;
     double f = link.link_fidelity(route[0], route[1]);
     for (std::size_t i = 2; i < route.size(); ++i)
         f = noise::swap_fidelity(f, link.link_fidelity(route[i - 1],
@@ -111,9 +118,16 @@ Machine::route_bandwidth(NodeId a, NodeId b) const
 {
     if (link.uniform_bandwidth())
         return link.bandwidth;
+    return route_bandwidth_of(path(a, b));
+}
+
+int
+Machine::route_bandwidth_of(const std::vector<NodeId>& route) const
+{
+    if (link.uniform_bandwidth())
+        return link.bandwidth;
     // Per-link overrides: the route's effective bandwidth is its
     // bottleneck — the smallest capped segment (0 = unlimited).
-    const std::vector<NodeId> route = path(a, b);
     int bottleneck = 0;
     for (std::size_t i = 0; i + 1 < route.size(); ++i) {
         const int bw = link.link_bandwidth(route[i], route[i + 1]);
@@ -126,12 +140,22 @@ Machine::route_bandwidth(NodeId a, NodeId b) const
 double
 Machine::epr_latency(NodeId a, NodeId b) const
 {
-    const double base = latency.t_epr_hops(hops(a, b));
     if (link.perfect() && !purify.enabled())
-        return base; // fast path: the paper's model, bit-identical
-    const int rounds = purification_rounds(a, b);
+        // fast path: the paper's model, bit-identical
+        return latency.t_epr_hops(hops(a, b));
+    return route_epr_latency(path(a, b));
+}
+
+double
+Machine::route_epr_latency(const std::vector<NodeId>& route) const
+{
+    const double base =
+        latency.t_epr_hops(static_cast<int>(route.size()) - 1);
+    if (link.perfect() && !purify.enabled())
+        return base;
+    const int rounds = purify.rounds_for(route_fidelity(route));
     const auto raw = noise::PurificationPolicy::cost_multiplier(rounds);
-    const int bw = route_bandwidth(a, b);
+    const int bw = route_bandwidth_of(route);
     const std::size_t waves =
         bw > 0 ? (raw + static_cast<std::size_t>(bw) - 1) /
                      static_cast<std::size_t>(bw)

@@ -104,6 +104,15 @@ struct Machine
      */
     double pair_fidelity(NodeId a, NodeId b) const;
 
+    /**
+     * pair_fidelity generalized to an explicit node sequence (at least
+     * two nodes, consecutive entries physically adjacent). Lets the
+     * scheduler cost a detour route that is *not* the routing table's
+     * choice — e.g. when the minimal route is blocked by a parked
+     * teleport vessel that cannot be evicted.
+     */
+    double route_fidelity(const std::vector<NodeId>& route) const;
+
     /** BBPSSW rounds needed to purify the (a, b) pair to the policy's
      * target; 0 when purification is off or the raw pair suffices.
      * Throws support::UserError when the target is unreachable. */
@@ -134,6 +143,9 @@ struct Machine
      */
     int route_bandwidth(NodeId a, NodeId b) const;
 
+    /** route_bandwidth generalized to an explicit node sequence. */
+    int route_bandwidth_of(const std::vector<NodeId>& route) const;
+
     /**
      * EPR-preparation latency between two nodes: hop-scaled elementary
      * preparation, serialized into ceil(2^rounds / bandwidth) waves when
@@ -142,6 +154,9 @@ struct Machine
      * perfect unlimited links (the paper's Table 1 model).
      */
     double epr_latency(NodeId a, NodeId b) const;
+
+    /** epr_latency generalized to an explicit node sequence. */
+    double route_epr_latency(const std::vector<NodeId>& route) const;
 
     /**
      * (Re)build the routing table from `topology` and `num_nodes`. The

@@ -31,11 +31,32 @@ name_table()
     return table;
 }
 
+/** A declared register: its flattened base offset and its size. */
+struct RegInfo
+{
+    int offset = 0;
+    int size = 0;
+};
+
+/** Raise a UserError naming the 1-based source line and echoing the
+ * offending statement. */
+[[noreturn]] void
+parse_error(int line, const std::string& stmt, const std::string& msg)
+{
+    std::size_t b = stmt.find_first_not_of(" \t\r");
+    std::size_t e = stmt.find_last_not_of(" \t\r");
+    const std::string shown =
+        b == std::string::npos ? stmt : stmt.substr(b, e - b + 1);
+    support::fatal("qasm:%d: %s in '%s'", line, msg.c_str(),
+                   shown.c_str());
+}
+
 /** Minimal tokenizer state over one statement. */
 struct Cursor
 {
     const std::string& s;
     std::size_t pos = 0;
+    int line = 1;
 
     void
     skip_ws()
@@ -56,14 +77,41 @@ struct Cursor
         return false;
     }
 
+    /** Consume a keyword: like consume(), but the match must end at a
+     * word boundary so "iffy"/"qregs" are not mistaken for "if"/"qreg". */
+    bool
+    consume_kw(const std::string& tok)
+    {
+        skip_ws();
+        if (s.compare(pos, tok.size(), tok) != 0)
+            return false;
+        const std::size_t after = pos + tok.size();
+        if (after < s.size() &&
+            (std::isalnum(static_cast<unsigned char>(s[after])) ||
+             s[after] == '_'))
+            return false;
+        pos = after;
+        return true;
+    }
+
+    /** True when only whitespace remains. */
+    bool
+    at_end()
+    {
+        skip_ws();
+        return pos >= s.size();
+    }
+
     std::string
     ident()
     {
         skip_ws();
         std::size_t start = pos;
         while (pos < s.size() &&
-               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
-                s[pos] == '_'))
+               (std::isalpha(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '_' ||
+                (pos > start &&
+                 std::isdigit(static_cast<unsigned char>(s[pos])))))
             ++pos;
         return s.substr(start, pos - start);
     }
@@ -75,7 +123,7 @@ struct Cursor
         char* end = nullptr;
         const long v = std::strtol(s.c_str() + pos, &end, 10);
         if (end == s.c_str() + pos)
-            support::fatal("qasm: expected integer in '%s'", s.c_str());
+            parse_error(line, s, "expected integer");
         pos = static_cast<std::size_t>(end - s.c_str());
         return v;
     }
@@ -87,22 +135,74 @@ struct Cursor
         char* end = nullptr;
         const double v = std::strtod(s.c_str() + pos, &end);
         if (end == s.c_str() + pos)
-            support::fatal("qasm: expected number in '%s'", s.c_str());
+            parse_error(line, s, "expected number");
         pos = static_cast<std::size_t>(end - s.c_str());
         return v;
     }
 };
 
+/**
+ * Parse one "name[idx]" reference against the declared registers of the
+ * given kind, validating both the name and the index range. Returns the
+ * flattened (offset + idx) id.
+ */
 int
-parse_indexed(Cursor& cur, const char* reg)
+parse_reg_ref(Cursor& cur, const std::map<std::string, RegInfo>& regs,
+              const char* kind)
 {
-    if (!cur.consume(reg) || !cur.consume("["))
-        support::fatal("qasm: expected %s[...] in '%s'", reg,
-                       cur.s.c_str());
+    const std::string name = cur.ident();
+    if (name.empty())
+        parse_error(cur.line, cur.s,
+                    support::strprintf("expected a %s register operand",
+                                       kind));
+    const auto it = regs.find(name);
+    if (it == regs.end())
+        parse_error(cur.line, cur.s,
+                    support::strprintf("unknown %s register \"%s\"", kind,
+                                       name.c_str()));
+    if (!cur.consume("["))
+        parse_error(cur.line, cur.s,
+                    support::strprintf("expected %s[<index>] (whole-"
+                                       "register operands are not "
+                                       "supported)", name.c_str()));
     const long idx = cur.integer();
     if (!cur.consume("]"))
-        support::fatal("qasm: missing ']' in '%s'", cur.s.c_str());
-    return static_cast<int>(idx);
+        parse_error(cur.line, cur.s, "missing ']'");
+    if (idx < 0 || idx >= it->second.size)
+        parse_error(cur.line, cur.s,
+                    support::strprintf("index %ld out of range for %s "
+                                       "register \"%s[%d]\"", idx, kind,
+                                       name.c_str(), it->second.size));
+    return it->second.offset + static_cast<int>(idx);
+}
+
+/** Parse a "qreg q[n];" / "creg c[m];" declaration into @p regs. */
+int
+parse_reg_decl(Cursor& cur, std::map<std::string, RegInfo>& regs,
+               const char* decl, int total)
+{
+    const std::string name = cur.ident();
+    if (name.empty())
+        parse_error(cur.line, cur.s,
+                    support::strprintf("expected a register name after "
+                                       "%s", decl));
+    if (regs.count(name))
+        parse_error(cur.line, cur.s,
+                    support::strprintf("duplicate %s \"%s\"", decl,
+                                       name.c_str()));
+    if (!cur.consume("["))
+        parse_error(cur.line, cur.s, "expected '[' after register name");
+    const long n = cur.integer();
+    if (!cur.consume("]"))
+        parse_error(cur.line, cur.s, "missing ']'");
+    if (n <= 0)
+        parse_error(cur.line, cur.s,
+                    support::strprintf("register size %ld must be "
+                                       "positive", n));
+    if (!cur.at_end())
+        parse_error(cur.line, cur.s, "trailing input after declaration");
+    regs[name] = RegInfo{total, static_cast<int>(n)};
+    return total + static_cast<int>(n);
 }
 
 } // namespace
@@ -157,60 +257,103 @@ Circuit
 from_qasm(const std::string& text)
 {
     int num_qubits = 0, num_cbits = 0;
+    std::map<std::string, RegInfo> qregs, cregs;
     std::vector<Gate> pending;
 
     std::size_t start = 0;
+    int line = 1;
     while (start < text.size()) {
         std::size_t end = text.find_first_of(";\n", start);
         if (end == std::string::npos)
             end = text.size();
         std::string stmt = text.substr(start, end - start);
+        const int stmt_line = line;
+        if (end < text.size() && text[end] == '\n')
+            ++line;
         start = end + 1;
 
         // Strip comments and whitespace.
         const std::size_t comment = stmt.find("//");
         if (comment != std::string::npos)
             stmt = stmt.substr(0, comment);
-        Cursor cur{stmt};
-        cur.skip_ws();
-        if (cur.pos >= stmt.size())
+        Cursor cur{stmt, 0, stmt_line};
+        if (cur.at_end())
             continue;
 
-        if (cur.consume("OPENQASM") || cur.consume("include"))
+        if (cur.consume_kw("OPENQASM") || cur.consume_kw("include"))
             continue;
-        if (cur.consume("qreg")) {
-            num_qubits = parse_indexed(cur, "q");
+        if (cur.consume_kw("qreg")) {
+            num_qubits = parse_reg_decl(cur, qregs, "qreg", num_qubits);
             continue;
         }
-        if (cur.consume("creg")) {
-            num_cbits = parse_indexed(cur, "c");
+        if (cur.consume_kw("creg")) {
+            num_cbits = parse_reg_decl(cur, cregs, "creg", num_cbits);
             continue;
         }
 
         CbitId cond_bit = kInvalidId;
         std::uint8_t cond_value = 1;
-        if (cur.consume("if")) {
+        if (cur.consume_kw("if")) {
             if (!cur.consume("("))
-                support::fatal("qasm: malformed if in '%s'", stmt.c_str());
-            cond_bit = parse_indexed(cur, "c");
+                parse_error(stmt_line, stmt,
+                            "malformed if: expected '('");
+            cond_bit = parse_reg_ref(cur, cregs, "classical");
             if (!cur.consume("=="))
-                support::fatal("qasm: malformed if in '%s'", stmt.c_str());
+                parse_error(stmt_line, stmt,
+                            "malformed if: expected '==' after the "
+                            "condition bit");
             cond_value = static_cast<std::uint8_t>(cur.integer());
             if (!cur.consume(")"))
-                support::fatal("qasm: malformed if in '%s'", stmt.c_str());
-            cur.skip_ws();
+                parse_error(stmt_line, stmt,
+                            "malformed if: expected ')'");
+            if (cur.at_end())
+                parse_error(stmt_line, stmt,
+                            "truncated if: missing the conditioned gate");
         }
 
-        if (cur.consume("barrier")) {
+        if (cur.consume_kw("barrier")) {
+            if (cond_bit >= 0)
+                parse_error(stmt_line, stmt,
+                            "barrier cannot be classically conditioned");
+            // Operands name declared registers (whole or indexed); the
+            // IR barrier always fences the full circuit.
+            while (!cur.at_end()) {
+                const std::string name = cur.ident();
+                if (name.empty() || !qregs.count(name))
+                    parse_error(stmt_line, stmt,
+                                support::strprintf(
+                                    "unknown quantum register \"%s\" in "
+                                    "barrier", name.c_str()));
+                if (cur.consume("[")) {
+                    const long idx = cur.integer();
+                    if (!cur.consume("]"))
+                        parse_error(stmt_line, stmt, "missing ']'");
+                    if (idx < 0 || idx >= qregs[name].size)
+                        parse_error(stmt_line, stmt,
+                                    support::strprintf(
+                                        "index %ld out of range for "
+                                        "quantum register \"%s[%d]\"",
+                                        idx, name.c_str(),
+                                        qregs[name].size));
+                }
+                if (!cur.consume(","))
+                    break;
+            }
+            if (!cur.at_end())
+                parse_error(stmt_line, stmt,
+                            "trailing input after barrier");
             pending.push_back(Gate::barrier());
             continue;
         }
-        if (cur.consume("measure")) {
-            const int q = parse_indexed(cur, "q");
+        if (cur.consume_kw("measure")) {
+            const int q = parse_reg_ref(cur, qregs, "quantum");
             if (!cur.consume("->"))
-                support::fatal("qasm: malformed measure in '%s'",
-                               stmt.c_str());
-            const int b = parse_indexed(cur, "c");
+                parse_error(stmt_line, stmt,
+                            "malformed measure: expected '->'");
+            const int b = parse_reg_ref(cur, cregs, "classical");
+            if (!cur.at_end())
+                parse_error(stmt_line, stmt,
+                            "trailing input after measure");
             Gate g = Gate::measure(q, b);
             if (cond_bit >= 0)
                 g = g.conditioned_on(cond_bit, cond_value);
@@ -219,9 +362,13 @@ from_qasm(const std::string& text)
         }
 
         const std::string name = cur.ident();
+        if (name.empty())
+            parse_error(stmt_line, stmt, "expected a gate name");
         const auto it = name_table().find(name);
         if (it == name_table().end())
-            support::fatal("qasm: unsupported gate '%s'", name.c_str());
+            parse_error(stmt_line, stmt,
+                        support::strprintf("unsupported gate \"%s\"",
+                                           name.c_str()));
         const GateKind kind = it->second;
 
         Gate g;
@@ -230,23 +377,41 @@ from_qasm(const std::string& text)
         const int np = gate_param_count(kind);
         if (np > 0) {
             if (!cur.consume("("))
-                support::fatal("qasm: expected '(' after %s", name.c_str());
+                parse_error(stmt_line, stmt,
+                            support::strprintf("expected '(' after %s",
+                                               name.c_str()));
             for (int i = 0; i < np; ++i) {
                 if (i && !cur.consume(","))
-                    support::fatal("qasm: expected ',' in %s params",
-                                   name.c_str());
+                    parse_error(stmt_line, stmt,
+                                support::strprintf("expected ',' in %s "
+                                                   "params",
+                                                   name.c_str()));
                 g.params[static_cast<std::size_t>(i)] = cur.real();
             }
             if (!cur.consume(")"))
-                support::fatal("qasm: expected ')' after %s params",
-                               name.c_str());
+                parse_error(stmt_line, stmt,
+                            support::strprintf("expected ')' after %s "
+                                               "params", name.c_str()));
         }
         for (int i = 0; i < g.num_qubits; ++i) {
             if (i && !cur.consume(","))
-                support::fatal("qasm: expected ',' between operands of %s",
-                               name.c_str());
-            g.qs[static_cast<std::size_t>(i)] = parse_indexed(cur, "q");
+                parse_error(stmt_line, stmt,
+                            support::strprintf("expected ',' between "
+                                               "operands of %s",
+                                               name.c_str()));
+            g.qs[static_cast<std::size_t>(i)] =
+                parse_reg_ref(cur, qregs, "quantum");
         }
+        if (!cur.at_end())
+            parse_error(stmt_line, stmt, "trailing input after gate");
+        for (int i = 0; i < g.num_qubits; ++i)
+            for (int j = i + 1; j < g.num_qubits; ++j)
+                if (g.qs[static_cast<std::size_t>(i)] ==
+                    g.qs[static_cast<std::size_t>(j)])
+                    parse_error(stmt_line, stmt,
+                                support::strprintf("%s operands must be "
+                                                   "distinct qubits",
+                                                   name.c_str()));
         if (cond_bit >= 0)
             g = g.conditioned_on(cond_bit, cond_value);
         pending.push_back(g);

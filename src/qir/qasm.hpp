@@ -4,10 +4,14 @@
  * kind the IR knows, so circuits can be exported to other toolchains and
  * benchmark circuits can be loaded from files.
  *
- * Supported subset: a single `qreg q[n]` and single `creg c[m]`, the gate
- * set of GateKind, `measure q[i] -> c[j]`, `reset`, `barrier`, and
- * `if (c==v) <gate>` single-bit conditions (emitted as a comment-pragma
- * form `// cond c[i]==v` plus standard `if` where representable).
+ * Supported subset: any number of `qreg`/`creg` declarations (parsed
+ * into one flattened register each, in declaration order; the emitter
+ * always writes a single `q`/`c` pair), the gate set of GateKind,
+ * `measure q[i] -> c[j]`, `reset`, `barrier`, and `if (c[i]==v) <gate>`
+ * single-bit conditions. The parser rejects malformed input — duplicate
+ * register declarations, out-of-range or negative indices, truncated
+ * `if` conditions, trailing garbage — with a support::UserError naming
+ * the offending source line.
  */
 #pragma once
 

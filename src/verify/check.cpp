@@ -1,0 +1,457 @@
+#include "verify/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace autocomm::verify {
+
+namespace {
+
+using LinkKey = std::pair<NodeId, NodeId>;
+using LinkCounts = std::map<LinkKey, std::size_t>;
+
+// Occupancy lower bounds compare re-derived busy *areas* (count x
+// duration sums) against capacity x makespan; the scheduler works in
+// exact doubles but the areas accumulate in a different order here, so
+// allow a relative slack plus a tiny absolute floor.
+constexpr double kRelTol = 1e-9;
+constexpr double kAbsTol = 1e-6;
+
+std::string
+link_str(const LinkKey& k)
+{
+    return support::strprintf("(%d,%d)", k.first, k.second);
+}
+
+/** Validate that every key of @p counts names a real ordered node pair
+ * with a positive count. */
+void
+check_link_keys(CheckReport& rep, const LinkCounts& counts, int num_nodes,
+                const char* which)
+{
+    for (const auto& [key, n] : counts) {
+        if (!(key.first >= 0 && key.first < key.second &&
+              key.second < num_nodes))
+            rep.add(std::string(which) + "-key",
+                    support::strprintf(
+                        "ledger key %s is not an ordered pair of nodes "
+                        "in [0, %d)",
+                        link_str(key).c_str(), num_nodes));
+        if (n == 0)
+            rep.add(std::string(which) + "-zero",
+                    support::strprintf("ledger key %s holds a zero count",
+                                       link_str(key).c_str()));
+    }
+}
+
+std::size_t
+sum_counts(const LinkCounts& counts)
+{
+    std::size_t s = 0;
+    for (const auto& [key, n] : counts)
+        s += n;
+    return s;
+}
+
+} // namespace
+
+void
+CheckReport::add(std::string rule, std::string detail)
+{
+    violations.push_back({std::move(rule), std::move(detail)});
+}
+
+void
+CheckReport::merge(const CheckReport& other)
+{
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+}
+
+std::string
+CheckReport::to_string() const
+{
+    std::string out;
+    for (const Violation& v : violations) {
+        out += v.rule;
+        out += ": ";
+        out += v.detail;
+        out += '\n';
+    }
+    return out;
+}
+
+CheckReport
+check_schedule(const pass::ScheduleResult& r, const hw::Machine& m)
+{
+    CheckReport rep;
+
+    if (!std::isfinite(r.makespan) || r.makespan < 0.0)
+        rep.add("makespan-range",
+                support::strprintf("makespan %g is not a finite "
+                                   "non-negative latency",
+                                   r.makespan));
+
+    const comm::EprLedger& led = r.ledger;
+
+    // --- Counter / ledger conservation --------------------------------
+    if (r.epr_pairs != led.total())
+        rep.add("ledger-total",
+                support::strprintf("epr_pairs %zu != ledger total %zu",
+                                   r.epr_pairs, led.total()));
+    if (r.epr_raw_pairs != led.raw_total())
+        rep.add("ledger-raw-total",
+                support::strprintf(
+                    "epr_raw_pairs %zu != ledger raw total %zu",
+                    r.epr_raw_pairs, led.raw_total()));
+    if (sum_counts(led.per_link()) != led.total())
+        rep.add("ledger-per-link-sum",
+                support::strprintf(
+                    "per-link purified counts sum to %zu, total says %zu",
+                    sum_counts(led.per_link()), led.total()));
+    if (sum_counts(led.raw_per_link()) != led.raw_total())
+        rep.add("ledger-raw-per-link-sum",
+                support::strprintf(
+                    "per-link raw counts sum to %zu, raw total says %zu",
+                    sum_counts(led.raw_per_link()), led.raw_total()));
+    if (led.raw_total() < led.total())
+        rep.add("ledger-raw-floor",
+                support::strprintf(
+                    "raw total %zu < purified total %zu (every purified "
+                    "pair costs at least one raw pair)",
+                    led.raw_total(), led.total()));
+    if (r.teleports > r.epr_pairs)
+        rep.add("teleport-budget",
+                support::strprintf(
+                    "teleports %zu > epr_pairs %zu (each teleport "
+                    "consumes a pair)",
+                    r.teleports, r.epr_pairs));
+    if (r.detours > r.epr_pairs)
+        rep.add("detour-budget",
+                support::strprintf(
+                    "detours %zu > epr_pairs %zu (each detour is one "
+                    "pair preparation)",
+                    r.detours, r.epr_pairs));
+
+    check_link_keys(rep, led.per_link(), m.num_nodes, "purified-link");
+    check_link_keys(rep, led.raw_per_link(), m.num_nodes, "raw-link");
+
+    // Raw pairs live on physical links: every raw-ledger segment must be
+    // a single hop, whether it came from a routing-table route or a
+    // detour around a parked vessel.
+    for (const auto& [seg, n] : led.raw_per_link())
+        if (seg.first >= 0 && seg.first < seg.second &&
+            seg.second < m.num_nodes &&
+            m.hops(seg.first, seg.second) != 1)
+            rep.add("raw-segment-adjacent",
+                    support::strprintf(
+                        "segment %s carries %zu raw pairs but spans %d "
+                        "hops (raw pairs exist only on physical links)",
+                        link_str(seg).c_str(), n,
+                        m.hops(seg.first, seg.second)));
+
+    // log_fidelity is a sum of logs of per-pair fidelities in (0, 1] —
+    // it can never be positive, routed or detoured.
+    const double lf = led.log_fidelity();
+    if (!(lf <= kAbsTol) || !std::isfinite(lf))
+        rep.add("fidelity-log-sign",
+                support::strprintf(
+                    "log fidelity %g > 0 (fidelities above 1)", lf));
+
+    // --- Re-derive routed quantities from the machine model -----------
+    // The ledger's purified map is keyed by *endpoint* pair; everything
+    // route-dependent (hops, purification, raw pairs per physical
+    // segment, fidelity, occupancy) follows from the machine's routing
+    // table and purification policy — exactly when no pair was detoured
+    // (r.detours == 0), as a floor otherwise. A hand-built bad result can make
+    // the machine itself throw (e.g. an unreachable purification
+    // target); report that as a violation rather than propagating.
+    std::size_t hops_expected = 0;
+    std::size_t rounds_expected = 0;
+    std::size_t raw_expected = 0;
+    LinkCounts raw_by_segment;
+    double log_fid_expected = 0.0;
+    double max_pair_latency = 0.0;
+    std::map<NodeId, double> slot_busy;
+    std::map<LinkKey, double> band_busy;
+    bool derived_ok = true;
+    try {
+        for (const auto& [key, n] : led.per_link()) {
+            const auto [a, b] = key;
+            if (!(a >= 0 && a < b && b < m.num_nodes))
+                continue; // already reported by check_link_keys
+            const double nd = static_cast<double>(n);
+            const int hops = m.hops(a, b);
+            const int rounds = m.purification_rounds(a, b);
+            const std::size_t raw = m.epr_cost_multiplier(a, b);
+            const double dur = m.epr_latency(a, b);
+            const double pf = m.purified_pair_fidelity(a, b);
+
+            hops_expected += n * static_cast<std::size_t>(hops);
+            rounds_expected += n * static_cast<std::size_t>(rounds);
+            raw_expected += n * raw * static_cast<std::size_t>(hops);
+            log_fid_expected += nd * std::log(pf);
+            max_pair_latency = std::max(max_pair_latency, dur);
+
+            const std::vector<NodeId> route = m.path(a, b);
+            slot_busy[a] += nd * dur;
+            slot_busy[b] += nd * dur;
+            for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+                const NodeId u = route[i];
+                const NodeId v = route[i + 1];
+                const LinkKey seg =
+                    u < v ? LinkKey{u, v} : LinkKey{v, u};
+                raw_by_segment[seg] += n * raw;
+                if (i > 0) // intermediate swap router: two slots
+                    slot_busy[u] += 2.0 * nd * dur;
+                const int bw = m.link.link_bandwidth(u, v);
+                if (bw > 0) {
+                    const double chan = static_cast<double>(
+                        std::min<std::size_t>(
+                            raw, static_cast<std::size_t>(bw)));
+                    band_busy[seg] += nd * chan * dur;
+                }
+            }
+        }
+    } catch (const support::UserError& e) {
+        derived_ok = false;
+        rep.add("machine-query",
+                std::string("re-deriving routed quantities threw: ") +
+                    e.what());
+    }
+
+    if (derived_ok && r.detours > 0) {
+        // Detoured pairs left the routing table, so the exact
+        // re-derivations below do not apply; what survives any detour is
+        // a floor: a detour is never shorter than the minimal route.
+        if (r.hops_total < hops_expected)
+            rep.add("hops-floor",
+                    support::strprintf(
+                        "hops_total %zu < minimal-route floor %zu even "
+                        "though %zu pairs were detoured",
+                        r.hops_total, hops_expected, r.detours));
+    }
+
+    if (derived_ok && r.detours == 0) {
+        if (r.hops_total != hops_expected)
+            rep.add("hops-total",
+                    support::strprintf(
+                        "hops_total %zu, routing table says %zu",
+                        r.hops_total, hops_expected));
+        if (r.purify_rounds != rounds_expected)
+            rep.add("purify-rounds",
+                    support::strprintf(
+                        "purify_rounds %zu, policy says %zu",
+                        r.purify_rounds, rounds_expected));
+        if (r.epr_raw_pairs != raw_expected)
+            rep.add("raw-conservation",
+                    support::strprintf(
+                        "epr_raw_pairs %zu, but %zu purified pairs "
+                        "routed over their segments cost %zu raw pairs",
+                        r.epr_raw_pairs, led.total(), raw_expected));
+        // Per-physical-segment raw counts must match exactly: a leaked
+        // or misrouted pair shows up here even when totals cancel out.
+        for (const auto& [seg, n] : raw_by_segment) {
+            const std::size_t got = led.raw_on_link(seg.first, seg.second);
+            if (got != n)
+                rep.add("raw-segment",
+                        support::strprintf(
+                            "segment %s carries %zu raw pairs in the "
+                            "ledger, routing says %zu",
+                            link_str(seg).c_str(), got, n));
+        }
+        for (const auto& [seg, n] : led.raw_per_link())
+            if (raw_by_segment.find(seg) == raw_by_segment.end())
+                rep.add("raw-segment-orphan",
+                        support::strprintf(
+                            "segment %s carries %zu raw pairs but no "
+                            "consumed pair routes across it",
+                            link_str(seg).c_str(), n));
+
+        const double fid_tol =
+            1e-7 * std::abs(log_fid_expected) + 1e-9;
+        if (std::isfinite(lf) && std::abs(lf - log_fid_expected) > fid_tol)
+            rep.add("fidelity-consistency",
+                    support::strprintf(
+                        "log fidelity %.12g, per-pair purified "
+                        "fidelities say %.12g",
+                        lf, log_fid_expected));
+
+        // --- Makespan lower bounds ------------------------------------
+        if (led.total() > 0 &&
+            r.makespan < max_pair_latency * (1.0 - kRelTol))
+            rep.add("makespan-pair-latency",
+                    support::strprintf(
+                        "makespan %g < slowest consumed pair's "
+                        "preparation latency %g",
+                        r.makespan, max_pair_latency));
+        const double cap =
+            r.makespan * static_cast<double>(m.comm_qubits_per_node);
+        for (const auto& [node, busy] : slot_busy)
+            if (busy > cap * (1.0 + kRelTol) + kAbsTol)
+                rep.add("slot-capacity",
+                        support::strprintf(
+                            "node %d comm-qubit occupancy %g exceeds "
+                            "%d slots x makespan %g",
+                            node, busy, m.comm_qubits_per_node,
+                            r.makespan));
+        for (const auto& [seg, busy] : band_busy) {
+            const int bw = m.link.link_bandwidth(seg.first, seg.second);
+            const double link_cap = r.makespan * static_cast<double>(bw);
+            if (busy > link_cap * (1.0 + kRelTol) + kAbsTol)
+                rep.add("bandwidth-capacity",
+                        support::strprintf(
+                            "link %s channel occupancy %g exceeds "
+                            "bandwidth %d x makespan %g",
+                            link_str(seg).c_str(), busy, bw, r.makespan));
+        }
+    }
+
+    double pf = 1.0;
+    bool pf_ok = true;
+    try {
+        pf = r.program_fidelity();
+    } catch (const support::UserError& e) {
+        pf_ok = false;
+        rep.add("fidelity-query",
+                std::string("program_fidelity() threw: ") + e.what());
+    }
+    if (pf_ok && !(pf > 0.0 && pf <= 1.0 + 1e-12))
+        rep.add("fidelity-range",
+                support::strprintf(
+                    "program fidelity %g outside (0, 1]", pf));
+
+    return rep;
+}
+
+CheckReport
+check_metrics(const pass::Metrics& metrics, const qir::Circuit& decomposed,
+              const hw::QubitMapping& map)
+{
+    CheckReport rep;
+
+    if (metrics.total_comms != metrics.tp_comms + metrics.cat_comms)
+        rep.add("comm-split",
+                support::strprintf(
+                    "total_comms %zu != tp %zu + cat %zu",
+                    metrics.total_comms, metrics.tp_comms,
+                    metrics.cat_comms));
+    if (metrics.per_comm_cx.size() != metrics.total_comms)
+        rep.add("per-comm-size",
+                support::strprintf(
+                    "per_comm_cx has %zu entries for %zu communications",
+                    metrics.per_comm_cx.size(), metrics.total_comms));
+    double peak = 0.0;
+    for (std::size_t i = 0; i < metrics.per_comm_cx.size(); ++i) {
+        const double v = metrics.per_comm_cx[i];
+        peak = std::max(peak, v);
+        // Every communication carries at least one remote CX: Cat blocks
+        // carry their whole burst, TP blocks amortize >= 2 members over
+        // their two communications.
+        if (!(v >= 1.0 - 1e-12))
+            rep.add("per-comm-floor",
+                    support::strprintf(
+                        "communication %zu carries %g remote CX (< 1)",
+                        i, v));
+    }
+    if (std::abs(peak - metrics.peak_rem_cx) > 1e-9)
+        rep.add("peak-comm",
+                support::strprintf(
+                    "peak_rem_cx %g but per_comm_cx maxes at %g",
+                    metrics.peak_rem_cx, peak));
+    if (metrics.block_sizes.size() != metrics.num_blocks)
+        rep.add("block-count",
+                support::strprintf(
+                    "block_sizes has %zu entries for %zu blocks",
+                    metrics.block_sizes.size(), metrics.num_blocks));
+    std::size_t members = 0;
+    for (std::size_t s : metrics.block_sizes)
+        members += s;
+    if (members != metrics.remote_gates)
+        rep.add("block-membership",
+                support::strprintf(
+                    "block sizes sum to %zu, remote_gates says %zu "
+                    "(every remote gate belongs to exactly one block)",
+                    members, metrics.remote_gates));
+    const std::size_t remote = map.count_remote(decomposed);
+    if (metrics.remote_gates != remote)
+        rep.add("remote-count",
+                support::strprintf(
+                    "remote_gates %zu, independent count under the "
+                    "mapping says %zu",
+                    metrics.remote_gates, remote));
+    return rep;
+}
+
+CheckReport
+check_cross(const pass::CompileResult& autocomm_result,
+            const pass::CompileResult& baseline_result)
+{
+    CheckReport rep;
+    const pass::Metrics& a = autocomm_result.metrics;
+    const pass::Metrics& b = baseline_result.metrics;
+
+    if (a.remote_gates != b.remote_gates)
+        rep.add("cross-remote-gates",
+                support::strprintf(
+                    "autocomm sees %zu remote gates, baseline %zu — "
+                    "same circuit and mapping must agree",
+                    a.remote_gates, b.remote_gates));
+    if (a.total_comms > b.total_comms)
+        rep.add("cross-comms",
+                support::strprintf(
+                    "autocomm total_comms %zu > per-gate baseline %zu "
+                    "(aggregation can only merge communications)",
+                    a.total_comms, b.total_comms));
+    if (autocomm_result.schedule.epr_pairs >
+        baseline_result.schedule.epr_pairs)
+        rep.add("cross-epr",
+                support::strprintf(
+                    "autocomm consumed %zu EPR pairs > baseline %zu",
+                    autocomm_result.schedule.epr_pairs,
+                    baseline_result.schedule.epr_pairs));
+    if (b.total_comms != b.remote_gates)
+        rep.add("baseline-per-gate",
+                support::strprintf(
+                    "per-gate baseline issued %zu communications for "
+                    "%zu remote gates",
+                    b.total_comms, b.remote_gates));
+    if (baseline_result.schedule.epr_pairs != b.total_comms)
+        rep.add("baseline-epr",
+                support::strprintf(
+                    "baseline consumed %zu EPR pairs for %zu "
+                    "communications (Cat-Comm is one pair each)",
+                    baseline_result.schedule.epr_pairs, b.total_comms));
+    return rep;
+}
+
+CheckReport
+check_gptp(const baseline::GptpResult& gp)
+{
+    CheckReport rep;
+    if (gp.total_comms != 2 * gp.remote_swaps)
+        rep.add("gptp-pairs-per-swap",
+                support::strprintf(
+                    "GP-TP consumed %zu EPR pairs for %zu remote swaps "
+                    "(a teleported SWAP needs exactly 2)",
+                    gp.total_comms, gp.remote_swaps));
+    if (!std::isfinite(gp.makespan) || gp.makespan < 0.0)
+        rep.add("gptp-makespan-range",
+                support::strprintf(
+                    "GP-TP makespan %g is not a finite non-negative "
+                    "latency",
+                    gp.makespan));
+    else if (gp.remote_swaps > 0 && gp.makespan <= 0.0)
+        rep.add("gptp-makespan-work",
+                support::strprintf(
+                    "GP-TP makespan %g with %zu remote swaps performed",
+                    gp.makespan, gp.remote_swaps));
+    return rep;
+}
+
+} // namespace autocomm::verify

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Independent invariant checkers for compile results — the oracle side of
+ * the differential fuzzer (bench_fuzz) and of test_verify.
+ *
+ * Each checker re-derives what a correct result must satisfy from the
+ * public result structs and the machine model alone, without reusing the
+ * scheduler's internal bookkeeping: EPR-ledger conservation (purified vs
+ * raw totals, per-physical-segment raw counts recomputed from the routing
+ * table), fidelity-range and log-fidelity consistency, comm-qubit-slot
+ * and link-bandwidth occupancy lower bounds on the makespan, and the
+ * structural metric identities of the aggregation/assignment passes.
+ *
+ * Checkers never throw on a bad result — every violated rule becomes one
+ * Violation in the returned CheckReport, so a fuzzer failure prints the
+ * complete list, not just the first. (A malformed result can still make
+ * the *machine* throw, e.g. an unreachable purification target; that is
+ * caught and reported as a violation too.)
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/gptp.hpp"
+#include "hw/machine.hpp"
+#include "qir/circuit.hpp"
+
+namespace autocomm::verify {
+
+/** One violated invariant: a stable rule id plus a human diagnostic. */
+struct Violation
+{
+    std::string rule;   ///< e.g. "ledger-total", "slot-capacity"
+    std::string detail; ///< expected-vs-actual message
+};
+
+/** The outcome of one checker (or several, merged). */
+struct CheckReport
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** Append a violation (printf-style detail built by the caller). */
+    void add(std::string rule, std::string detail);
+
+    /** Merge another report's violations into this one. */
+    void merge(const CheckReport& other);
+
+    /** One line per violation: "rule: detail". Empty string when ok(). */
+    std::string to_string() const;
+};
+
+/**
+ * Check a schedule result against machine @p m:
+ *  - makespan/fidelity finite, makespan >= 0, program fidelity in (0, 1];
+ *  - counter/ledger conservation: epr_pairs == ledger.total(),
+ *    epr_raw_pairs == ledger.raw_total() == sum of per-segment raw counts,
+ *    raw_total >= total, teleports <= epr_pairs;
+ *  - per-link keys name real node pairs with positive counts;
+ *  - every raw-ledger segment spans exactly one physical hop;
+ *  - log_fidelity <= 0;
+ *  - when no pair was detoured (r.detours == 0, the overwhelmingly
+ *    common case): hops_total, purify_rounds, epr_raw_pairs and the
+ *    per-physical-segment raw ledger re-derived exactly from the
+ *    routing table and purification policy; log_fidelity consistent
+ *    with the per-pair purified fidelities; makespan lower bounds (no
+ *    consumed pair faster than its preparation latency, no node's
+ *    comm-qubit slots or capped link's bandwidth oversubscribed);
+ *  - with detours (pairs re-routed around pinned parked vessels), the
+ *    exact re-derivations no longer apply and only the floor
+ *    hops_total >= minimal-route hops is enforced.
+ */
+CheckReport check_schedule(const pass::ScheduleResult& r,
+                           const hw::Machine& m);
+
+/**
+ * Check aggregation/assignment metrics against the decomposed circuit and
+ * mapping they were computed from: total = tp + cat, per-comm CX list
+ * sized and positive, block sizes sum to the remote-gate count, and
+ * remote_gates matches an independent count under @p map.
+ */
+CheckReport check_metrics(const pass::Metrics& metrics,
+                          const qir::Circuit& decomposed,
+                          const hw::QubitMapping& map);
+
+/**
+ * Cross-compiler relations between AutoComm and the Ferrari baseline on
+ * the same circuit/mapping/machine: both see the same remote gates;
+ * aggregation can only reduce communications, so AutoComm's total_comms
+ * and consumed EPR pairs never exceed the baseline's; and the per-gate
+ * baseline consumes exactly one pair per communication.
+ */
+CheckReport check_cross(const pass::CompileResult& autocomm_result,
+                        const pass::CompileResult& baseline_result);
+
+/** GP-TP structural identities: 2 EPR pairs per remote SWAP, and a
+ * finite makespan that is positive whenever work was done. */
+CheckReport check_gptp(const baseline::GptpResult& gp);
+
+} // namespace autocomm::verify

@@ -1,0 +1,165 @@
+#include "verify/random_circuit.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace autocomm::verify {
+
+namespace {
+
+using qir::Gate;
+using qir::GateKind;
+
+const GateKind kFixed1q[] = {GateKind::H,   GateKind::X,  GateKind::Y,
+                             GateKind::Z,   GateKind::S,  GateKind::Sdg,
+                             GateKind::T,   GateKind::Tdg, GateKind::SX};
+const GateKind kParam1q[] = {GateKind::RX, GateKind::RY, GateKind::RZ,
+                             GateKind::P, GateKind::U3};
+const GateKind kFixed2q[] = {GateKind::CX, GateKind::CX, GateKind::CZ,
+                             GateKind::SWAP};
+const GateKind kParam2q[] = {GateKind::CP, GateKind::CRZ, GateKind::RZZ};
+
+double
+angle(support::Rng& rng)
+{
+    // Uniform in (-pi, pi); 12-digit emission (to_qasm) round-trips
+    // these to the exact same double, so the fixed-point property holds.
+    return (rng.next_double() * 2.0 - 1.0) * 3.14159265358979;
+}
+
+template <typename Pool>
+GateKind
+pick(support::Rng& rng, const Pool& pool)
+{
+    return pool[rng.next_below(std::size(pool))];
+}
+
+void
+check_fraction(double v, const char* name)
+{
+    if (!(v >= 0.0 && v <= 1.0))
+        support::fatal("random_circuit: %s = %g is not in [0, 1]", name,
+                       v);
+}
+
+} // namespace
+
+qir::Circuit
+random_circuit(const RandomCircuitOptions& opts)
+{
+    if (opts.num_qubits < 2)
+        support::fatal("random_circuit: num_qubits = %d must be >= 2",
+                       opts.num_qubits);
+    if (opts.depth < 1)
+        support::fatal("random_circuit: depth = %d must be >= 1",
+                       opts.depth);
+    check_fraction(opts.two_qubit_fraction, "two_qubit_fraction");
+    check_fraction(opts.long_range_fraction, "long_range_fraction");
+    check_fraction(opts.gate_density, "gate_density");
+    check_fraction(opts.param_fraction, "param_fraction");
+
+    support::Rng rng(opts.seed * 0x2545f4914f6cdd1dULL + 0x9e3779b9ULL);
+    qir::Circuit c(opts.num_qubits);
+
+    std::vector<QubitId> order(
+        static_cast<std::size_t>(opts.num_qubits));
+    for (int q = 0; q < opts.num_qubits; ++q)
+        order[static_cast<std::size_t>(q)] = q;
+
+    for (int layer = 0; layer < opts.depth; ++layer) {
+        rng.shuffle(order);
+        std::vector<char> used(static_cast<std::size_t>(opts.num_qubits),
+                               0);
+        auto take_partner = [&](QubitId q) -> QubitId {
+            std::vector<QubitId> free;
+            for (int p = 0; p < opts.num_qubits; ++p)
+                if (p != q && !used[static_cast<std::size_t>(p)])
+                    free.push_back(p);
+            if (free.empty())
+                return kInvalidId;
+            if (rng.next_bool(opts.long_range_fraction))
+                return free[rng.next_below(free.size())];
+            // Nearest free neighbor by index: under a contiguous
+            // qubit-to-node mapping this stays on-node (or one node
+            // over), keeping the gate local most of the time.
+            QubitId best = free.front();
+            for (QubitId p : free)
+                if (std::abs(p - q) < std::abs(best - q))
+                    best = p;
+            return best;
+        };
+
+        for (QubitId q : order) {
+            if (used[static_cast<std::size_t>(q)])
+                continue;
+            if (!rng.next_bool(opts.gate_density))
+                continue;
+            used[static_cast<std::size_t>(q)] = 1;
+
+            if (rng.next_bool(opts.two_qubit_fraction)) {
+                const QubitId p = take_partner(q);
+                if (p != kInvalidId) {
+                    used[static_cast<std::size_t>(p)] = 1;
+                    if (opts.allow_ccx && rng.next_bool(0.15)) {
+                        const QubitId r = take_partner(q);
+                        if (r != kInvalidId &&
+                            r != p) {
+                            used[static_cast<std::size_t>(r)] = 1;
+                            c.ccx(q, p, r);
+                            continue;
+                        }
+                    }
+                    if (rng.next_bool(opts.param_fraction)) {
+                        const GateKind k = pick(rng, kParam2q);
+                        Gate g;
+                        g.kind = k;
+                        g.num_qubits = 2;
+                        g.qs[0] = q;
+                        g.qs[1] = p;
+                        g.params[0] = angle(rng);
+                        c.add(g);
+                    } else {
+                        const GateKind k = pick(rng, kFixed2q);
+                        Gate g;
+                        g.kind = k;
+                        g.num_qubits = 2;
+                        g.qs[0] = q;
+                        g.qs[1] = p;
+                        c.add(g);
+                    }
+                    continue;
+                }
+                // No partner left in this layer; fall through to 1q.
+            }
+            if (rng.next_bool(opts.param_fraction)) {
+                const GateKind k = pick(rng, kParam1q);
+                Gate g;
+                g.kind = k;
+                g.num_qubits = 1;
+                g.qs[0] = q;
+                const int np = qir::gate_param_count(k);
+                for (int i = 0; i < np; ++i)
+                    g.params[static_cast<std::size_t>(i)] = angle(rng);
+                c.add(g);
+            } else {
+                Gate g;
+                g.kind = pick(rng, kFixed1q);
+                g.num_qubits = 1;
+                g.qs[0] = q;
+                c.add(g);
+            }
+        }
+    }
+
+    if (c.empty())
+        c.h(0); // degenerate densities still yield a valid circuit
+    return c;
+}
+
+} // namespace autocomm::verify

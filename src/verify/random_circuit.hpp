@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Seeded random circuit generator for the differential fuzzer: layered
+ * circuits with a configurable gate mix, two-qubit density, and
+ * remote-interaction reach, emitted as valid IR (and hence valid QASM —
+ * the bench_fuzz repro dumps round-trip through qir::to_qasm).
+ *
+ * Determinism: one support::Rng stream per circuit, seeded explicitly,
+ * so a failing fuzzer seed reproduces bit-identically on every platform.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "qir/circuit.hpp"
+
+namespace autocomm::verify {
+
+/** Knobs for random_circuit(). */
+struct RandomCircuitOptions
+{
+    int num_qubits = 8;
+    /** Layer count; the generated circuit's depth() is in [1, depth]
+     * (each qubit takes at most one gate per layer). */
+    int depth = 20;
+    /** Probability a scheduled qubit starts a two-qubit gate (subject to
+     * a free partner existing). */
+    double two_qubit_fraction = 0.45;
+    /** Probability a two-qubit partner is drawn uniformly from all free
+     * qubits rather than the nearest free neighbor by index — under a
+     * contiguous mapping, the knob for remote-gate density. */
+    double long_range_fraction = 0.5;
+    /** Probability a qubit receives any gate in a layer. */
+    double gate_density = 0.85;
+    /** Probability a gate is drawn from the parameterized pool
+     * (RX/RY/RZ/P/U3 or CP/CRZ/RZZ) instead of the fixed Clifford+T
+     * pool. */
+    double param_fraction = 0.35;
+    /** Allow three-qubit CCX gates (decomposed by qir::decompose). */
+    bool allow_ccx = false;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Generate one random circuit. Throws support::UserError on nonsensical
+ * options (num_qubits < 2, depth < 1, fractions outside [0, 1]). The
+ * result is never empty and has exactly opts.num_qubits qubits.
+ */
+qir::Circuit random_circuit(const RandomCircuitOptions& opts);
+
+} // namespace autocomm::verify

@@ -23,6 +23,7 @@
 #include "cache/key.hpp"
 #include "cache/serialize.hpp"
 #include "cache/store.hpp"
+#include "circuits/qasm_source.hpp"
 #include "driver/sweep.hpp"
 #include "support/log.hpp"
 
@@ -574,6 +575,125 @@ TEST(CacheGc, NegativeAgeIsRejected)
     TempDir dir("gc-neg");
     ResultStore store(dir.str());
     EXPECT_THROW(store.gc(-1.0), support::UserError);
+}
+
+// ------------------------------------------------- external QASM cells
+
+/** Two small distinct OpenQASM programs over one byte of difference in
+ * the first (h vs x on q[0]). */
+constexpr const char* kQasmA = "OPENQASM 2.0;\n"
+                               "qreg q[6];\n"
+                               "h q[0];\n"
+                               "cx q[0], q[1];\n"
+                               "cx q[2], q[3];\n"
+                               "cx q[4], q[5];\n";
+constexpr const char* kQasmB = "OPENQASM 2.0;\n"
+                               "qreg q[6];\n"
+                               "x q[0];\n"
+                               "cx q[0], q[1];\n"
+                               "cx q[2], q[3];\n"
+                               "cx q[4], q[5];\n";
+
+void
+write_file(const fs::path& p, const std::string& text)
+{
+    fs::create_directories(p.parent_path());
+    std::ofstream(p, std::ios::trunc) << text;
+}
+
+TEST(CacheQasm, SameFileHitsWarmAndAOneByteEditInvalidates)
+{
+    TempDir dir("qasm-edit");
+    const fs::path file = dir.path / "bench.qasm";
+    write_file(file, kQasmA);
+
+    SweepCell cell;
+    cell.spec =
+        circuits::spec_for(circuits::qasm_family(file.string()), 0, 2);
+    ASSERT_EQ(cell.spec.family, circuits::Family::QASM);
+    ASSERT_EQ(cell.spec.num_qubits, 6);
+    EXPECT_NE(cell.label().find("QASM:bench"), std::string::npos);
+
+    const CellKey key_a = cache::cell_key(cell);
+    const fs::path store_dir = dir.path / "store";
+
+    std::string cold_csv;
+    {
+        ResultStore store(store_dir.string());
+        SweepOptions opts;
+        opts.store = &store;
+        cold_csv =
+            driver::sweep_csv(driver::run_sweep({cell}, opts)).to_string();
+        EXPECT_EQ(store.stats().misses, 1u);
+        store.flush();
+    }
+    {
+        // Same file content: a warm run hits and reproduces the CSV
+        // byte-identically.
+        ResultStore store(store_dir.string());
+        SweepOptions opts;
+        opts.store = &store;
+        const std::string warm_csv =
+            driver::sweep_csv(driver::run_sweep({cell}, opts)).to_string();
+        EXPECT_EQ(store.stats().hits, 1u);
+        EXPECT_EQ(store.stats().misses, 0u);
+        EXPECT_EQ(warm_csv, cold_csv);
+    }
+
+    // One byte changes (h -> x): the content hash moves the key, so the
+    // unchanged cell spec now misses and recompiles.
+    write_file(file, kQasmB);
+    EXPECT_NE(cache::cell_key(cell).hex(), key_a.hex());
+    {
+        ResultStore store(store_dir.string());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep({cell}, opts);
+        EXPECT_EQ(store.stats().hits, 0u);
+        EXPECT_EQ(store.stats().misses, 1u);
+    }
+}
+
+TEST(CacheQasm, QasmDirShardsMergeToTheUnshardedCsv)
+{
+    TempDir dir("qasm-shard");
+    write_file(dir.path / "circuits" / "a.qasm", kQasmA);
+    write_file(dir.path / "circuits" / "b.qasm", kQasmB);
+
+    SweepGrid grid;
+    grid.families =
+        circuits::qasm_dir_families((dir.path / "circuits").string());
+    ASSERT_EQ(grid.families.size(), 2u);
+    grid.qubit_counts = {6};
+    grid.node_counts = {2};
+    grid.link_fidelities = {1.0, 0.95};
+    const std::vector<SweepCell> cells = grid.cells();
+    ASSERT_EQ(cells.size(), 4u);
+
+    const std::string unsharded =
+        driver::sweep_csv(driver::run_sweep(cells, {})).to_string();
+
+    const std::vector<SweepCell> part0 =
+        cache::shard_filter(cells, driver::ShardSpec{0, 2});
+    const std::vector<SweepCell> part1 =
+        cache::shard_filter(cells, driver::ShardSpec{1, 2});
+    EXPECT_EQ(part0.size() + part1.size(), cells.size());
+
+    TempDir dir0("qasm-shard0");
+    TempDir dir1("qasm-shard1");
+    for (const auto& [part, d] :
+         {std::make_pair(&part0, &dir0), std::make_pair(&part1, &dir1)}) {
+        ResultStore store(d->str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(*part, opts);
+        store.flush();
+    }
+
+    ResultStore merged(dir0.str());
+    EXPECT_EQ(merged.merge_from(dir1.str()), part1.size());
+    const std::vector<SweepRow> rows = cache::assemble(cells, merged);
+    EXPECT_EQ(driver::sweep_csv(rows).to_string(), unsharded);
 }
 
 TEST(CacheShard, FilterIsDeterministicAndSaltDependent)

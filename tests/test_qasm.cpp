@@ -99,6 +99,83 @@ TEST(Qasm, RejectsMalformedMeasure)
                  UserError);
 }
 
+/** The parser's message for @p text, or "" when it does not throw. */
+std::string
+error_of(const char* text)
+{
+    try {
+        from_qasm(text);
+    } catch (const UserError& e) {
+        return e.what();
+    }
+    return {};
+}
+
+TEST(Qasm, RejectsDuplicateRegister)
+{
+    const std::string msg = error_of("qreg q[2];\nqreg q[3];\n");
+    EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+    EXPECT_EQ(msg.rfind("qasm:2:", 0), 0u) << msg;
+}
+
+TEST(Qasm, RejectsZeroSizeRegister)
+{
+    EXPECT_NE(error_of("qreg q[0];\n").find("positive"),
+              std::string::npos);
+}
+
+TEST(Qasm, RejectsOutOfRangeQubitIndex)
+{
+    const std::string msg = error_of("qreg q[2];\nh q[2];\n");
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+    EXPECT_EQ(msg.rfind("qasm:2:", 0), 0u) << msg;
+    EXPECT_FALSE(error_of("qreg q[2];\nh q[-1];\n").empty());
+}
+
+TEST(Qasm, RejectsUnknownRegisterName)
+{
+    EXPECT_NE(error_of("qreg q[1];\nh r[0];\n").find("unknown"),
+              std::string::npos);
+}
+
+TEST(Qasm, RejectsTruncatedCondition)
+{
+    EXPECT_FALSE(
+        error_of("qreg q[1];\ncreg c[1];\nif (c[0]==1 x q[0];\n").empty());
+    EXPECT_FALSE(error_of("qreg q[1];\ncreg c[1];\nif (c[0]\n").empty());
+}
+
+TEST(Qasm, RejectsTrailingGarbageAfterGate)
+{
+    EXPECT_NE(error_of("qreg q[1];\nh q[0] junk;\n").find("trailing"),
+              std::string::npos);
+}
+
+TEST(Qasm, RejectsMissingParameterList)
+{
+    EXPECT_NE(error_of("qreg q[1];\nrx q[0];\n").find("expected '('"),
+              std::string::npos);
+}
+
+TEST(Qasm, RejectsRepeatedOperand)
+{
+    EXPECT_NE(
+        error_of("qreg q[2];\ncx q[0], q[0];\n").find("distinct"),
+        std::string::npos);
+}
+
+TEST(Qasm, ErrorsNameTheOffendingSourceLine)
+{
+    // Comments and blank lines still count toward the line number.
+    const std::string msg = error_of("OPENQASM 2.0;\n"
+                                     "// header comment\n"
+                                     "qreg q[2];\n"
+                                     "\n"
+                                     "bogus q[0];\n");
+    EXPECT_EQ(msg.rfind("qasm:5:", 0), 0u) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+}
+
 TEST(Qasm, ParsesNegativeAndScientificParams)
 {
     const Circuit c =

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the verification subsystem (src/verify): the seeded random
+ * circuit generator's structural properties, and the independent
+ * invariant checkers as oracles — hand-built corrupt schedule results
+ * must each be rejected with their specific rule, mutations of a real
+ * compile result must be caught, and the fuzzer-found scheduler
+ * deadlocks must stay fixed.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "autocomm/pipeline.hpp"
+#include "baseline/ferrari.hpp"
+#include "baseline/gptp.hpp"
+#include "partition/oee.hpp"
+#include "qir/decompose.hpp"
+#include "qir/qasm.hpp"
+#include "support/log.hpp"
+#include "verify/check.hpp"
+#include "verify/random_circuit.hpp"
+
+namespace {
+
+using namespace autocomm;
+using autocomm::support::UserError;
+using verify::CheckReport;
+using verify::RandomCircuitOptions;
+
+bool
+has_rule(const CheckReport& rep, const std::string& rule)
+{
+    for (const verify::Violation& v : rep.violations)
+        if (v.rule == rule)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------- random circuit generator
+
+TEST(RandomCircuit, QasmRoundTripIsAFixedPoint)
+{
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        RandomCircuitOptions opts;
+        opts.seed = seed;
+        const qir::Circuit c = verify::random_circuit(opts);
+        const std::string qasm = qir::to_qasm(c);
+        EXPECT_EQ(qir::to_qasm(qir::from_qasm(qasm)), qasm)
+            << "seed " << seed;
+    }
+}
+
+TEST(RandomCircuit, RespectsQubitAndDepthBounds)
+{
+    RandomCircuitOptions opts;
+    opts.num_qubits = 11;
+    opts.depth = 9;
+    opts.seed = 7;
+    const qir::Circuit c = verify::random_circuit(opts);
+    EXPECT_EQ(c.num_qubits(), 11);
+    EXPECT_FALSE(c.empty());
+    EXPECT_LE(c.depth(), 9u);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        for (int k = 0; k < c[i].num_qubits; ++k) {
+            EXPECT_GE(c[i].qs[static_cast<std::size_t>(k)], 0);
+            EXPECT_LT(c[i].qs[static_cast<std::size_t>(k)], 11);
+        }
+}
+
+TEST(RandomCircuit, SeedIsDeterministicAndDistinguishing)
+{
+    RandomCircuitOptions opts;
+    opts.seed = 42;
+    const std::string a = qir::to_qasm(verify::random_circuit(opts));
+    const std::string b = qir::to_qasm(verify::random_circuit(opts));
+    EXPECT_EQ(a, b);
+    opts.seed = 43;
+    EXPECT_NE(a, qir::to_qasm(verify::random_circuit(opts)));
+}
+
+TEST(RandomCircuit, GateMixKnobsAreRespected)
+{
+    RandomCircuitOptions opts;
+    opts.two_qubit_fraction = 0.0;
+    opts.seed = 3;
+    const qir::Circuit only1q = verify::random_circuit(opts);
+    for (std::size_t i = 0; i < only1q.size(); ++i)
+        EXPECT_EQ(only1q[i].num_qubits, 1);
+
+    opts.two_qubit_fraction = 1.0;
+    opts.gate_density = 1.0;
+    opts.allow_ccx = true;
+    opts.depth = 40;
+    const qir::Circuit wide = verify::random_circuit(opts);
+    bool saw2q = false, saw3q = false;
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+        saw2q |= wide[i].num_qubits == 2;
+        saw3q |= wide[i].num_qubits == 3;
+    }
+    EXPECT_TRUE(saw2q);
+    EXPECT_TRUE(saw3q);
+}
+
+TEST(RandomCircuit, RejectsInvalidOptions)
+{
+    RandomCircuitOptions opts;
+    opts.num_qubits = 1;
+    EXPECT_THROW(verify::random_circuit(opts), UserError);
+    opts.num_qubits = 4;
+    opts.depth = 0;
+    EXPECT_THROW(verify::random_circuit(opts), UserError);
+    opts.depth = 5;
+    opts.two_qubit_fraction = 1.5;
+    EXPECT_THROW(verify::random_circuit(opts), UserError);
+}
+
+// -------------------------------------------- check_schedule as an oracle
+
+using LinkMap = std::map<std::pair<NodeId, NodeId>, std::size_t>;
+
+/** A self-consistent hand-built result: @p n pairs between nodes 0 and 2
+ * of a 5-node ring (unique shortest route 0-1-2 through the swap router
+ * at node 1). */
+pass::ScheduleResult
+ring_pairs(std::size_t n, double makespan)
+{
+    pass::ScheduleResult r;
+    r.makespan = makespan;
+    r.epr_pairs = n;
+    r.hops_total = 2 * n;
+    r.epr_raw_pairs = 2 * n;
+    r.ledger = comm::EprLedger::restore(
+        LinkMap{{{0, 2}, n}}, LinkMap{{{0, 1}, n}, {{1, 2}, n}}, n, 2 * n,
+        0.0);
+    return r;
+}
+
+TEST(CheckSchedule, AcceptsAConsistentHandBuiltResult)
+{
+    const hw::Machine m =
+        hw::Machine::homogeneous(5, 4, hw::Topology::Ring);
+    const double dur = m.epr_latency(0, 2);
+    const CheckReport rep = verify::check_schedule(ring_pairs(1, dur), m);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(CheckSchedule, OversubscribedRouterSlotIsCaught)
+{
+    const hw::Machine m =
+        hw::Machine::homogeneous(5, 4, hw::Topology::Ring);
+    // Three pairs through router node 1 occupy 6 slot-durations there,
+    // but a makespan of one preparation offers only 2 slots x 1 duration.
+    const double dur = m.epr_latency(0, 2);
+    const CheckReport rep = verify::check_schedule(ring_pairs(3, dur), m);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_rule(rep, "slot-capacity")) << rep.to_string();
+}
+
+TEST(CheckSchedule, LeakedLedgerPairIsCaught)
+{
+    const hw::Machine m = hw::Machine::homogeneous(4, 4);
+    pass::ScheduleResult r;
+    r.makespan = 10.0;
+    r.epr_pairs = 2; // counter says 2, ledger says 1: one pair leaked
+    r.hops_total = 1;
+    r.epr_raw_pairs = 1;
+    r.ledger = comm::EprLedger::restore(LinkMap{{{0, 1}, 1}},
+                                        LinkMap{{{0, 1}, 1}}, 1, 1, 0.0);
+    const CheckReport rep = verify::check_schedule(r, m);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_rule(rep, "ledger-total")) << rep.to_string();
+}
+
+TEST(CheckSchedule, OrphanRawSegmentIsCaught)
+{
+    const hw::Machine m = hw::Machine::homogeneous(4, 4);
+    pass::ScheduleResult r;
+    r.makespan = 10.0;
+    r.epr_pairs = 1;
+    r.hops_total = 1;
+    r.epr_raw_pairs = 2;
+    // A raw pair on (2, 3) that no consumed pair's route explains.
+    r.ledger = comm::EprLedger::restore(
+        LinkMap{{{0, 1}, 1}}, LinkMap{{{0, 1}, 1}, {{2, 3}, 1}}, 1, 2,
+        0.0);
+    const CheckReport rep = verify::check_schedule(r, m);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_rule(rep, "raw-segment-orphan")) << rep.to_string();
+    EXPECT_TRUE(has_rule(rep, "raw-conservation")) << rep.to_string();
+}
+
+TEST(CheckSchedule, FidelityAboveOneIsCaught)
+{
+    const hw::Machine m = hw::Machine::homogeneous(4, 4);
+    pass::ScheduleResult r;
+    r.makespan = 10.0;
+    r.epr_pairs = 1;
+    r.hops_total = 1;
+    r.epr_raw_pairs = 1;
+    // log fidelity +0.25: a "pair" above fidelity 1.
+    r.ledger = comm::EprLedger::restore(LinkMap{{{0, 1}, 1}},
+                                        LinkMap{{{0, 1}, 1}}, 1, 1, 0.25);
+    const CheckReport rep = verify::check_schedule(r, m);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_rule(rep, "fidelity-log-sign")) << rep.to_string();
+    EXPECT_TRUE(has_rule(rep, "fidelity-range")) << rep.to_string();
+}
+
+TEST(CheckSchedule, TeleportBudgetIsCaught)
+{
+    const hw::Machine m = hw::Machine::homogeneous(4, 4);
+    pass::ScheduleResult r; // empty result, but 1 claimed teleport
+    r.teleports = 1;
+    const CheckReport rep = verify::check_schedule(r, m);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_rule(rep, "teleport-budget")) << rep.to_string();
+}
+
+// ------------------------------------- mutations of a real compile result
+
+struct Compiled
+{
+    qir::Circuit c;
+    hw::QubitMapping map;
+    hw::Machine m;
+    pass::CompileResult ac;
+};
+
+Compiled
+compile_random(std::uint64_t seed, hw::Topology topo)
+{
+    RandomCircuitOptions opts;
+    opts.seed = seed;
+    Compiled out;
+    out.c = qir::decompose(verify::random_circuit(opts));
+    out.m = hw::Machine::homogeneous(4, 2, topo);
+    out.map = partition::oee_map(out.c, hw::Machine::homogeneous(4, 2));
+    out.ac = pass::compile(out.c, out.map, out.m);
+    return out;
+}
+
+TEST(CheckSchedule, RealCompilePassesAndMutationsAreCaught)
+{
+    const Compiled r = compile_random(1, hw::Topology::Ring);
+    ASSERT_TRUE(verify::check_schedule(r.ac.schedule, r.m).ok())
+        << verify::check_schedule(r.ac.schedule, r.m).to_string();
+    ASSERT_GT(r.ac.schedule.epr_pairs, 0u);
+
+    pass::ScheduleResult mut = r.ac.schedule;
+    mut.makespan *= 0.01; // a latency the consumed pairs cannot fit in
+    EXPECT_FALSE(verify::check_schedule(mut, r.m).ok());
+
+    mut = r.ac.schedule;
+    mut.epr_pairs += 1;
+    EXPECT_TRUE(has_rule(verify::check_schedule(mut, r.m),
+                         "ledger-total"));
+
+    mut = r.ac.schedule;
+    mut.hops_total += 1;
+    EXPECT_TRUE(has_rule(verify::check_schedule(mut, r.m), "hops-total"));
+
+    mut = r.ac.schedule;
+    mut.epr_raw_pairs += 1;
+    EXPECT_TRUE(has_rule(verify::check_schedule(mut, r.m),
+                         "ledger-raw-total"));
+}
+
+TEST(CheckMetrics, RealCompilePassesAndMutationsAreCaught)
+{
+    const Compiled r = compile_random(2, hw::Topology::AllToAll);
+    ASSERT_TRUE(verify::check_metrics(r.ac.metrics, r.c, r.map).ok());
+
+    pass::Metrics mut = r.ac.metrics;
+    mut.remote_gates += 1;
+    const CheckReport rep = verify::check_metrics(mut, r.c, r.map);
+    EXPECT_TRUE(has_rule(rep, "remote-count")) << rep.to_string();
+
+    pass::Metrics mut2 = r.ac.metrics;
+    ASSERT_FALSE(mut2.per_comm_cx.empty());
+    mut2.per_comm_cx[0] = 0.5;
+    EXPECT_TRUE(has_rule(verify::check_metrics(mut2, r.c, r.map),
+                         "per-comm-floor"));
+}
+
+TEST(CheckCross, AggregationRegressionIsCaught)
+{
+    const Compiled r = compile_random(3, hw::Topology::AllToAll);
+    const pass::CompileResult fe =
+        baseline::compile_ferrari(r.c, r.map, r.m);
+    ASSERT_TRUE(verify::check_cross(r.ac, fe).ok())
+        << verify::check_cross(r.ac, fe).to_string();
+
+    pass::CompileResult worse = r.ac;
+    worse.metrics.total_comms = fe.metrics.total_comms + 1;
+    EXPECT_TRUE(has_rule(verify::check_cross(worse, fe), "cross-comms"));
+}
+
+TEST(CheckGptp, StructuralViolationsAreCaught)
+{
+    baseline::GptpResult gp;
+    gp.remote_swaps = 1;
+    gp.total_comms = 3; // a teleported SWAP consumes exactly 2
+    gp.makespan = 1.0;
+    EXPECT_TRUE(has_rule(verify::check_gptp(gp), "gptp-pairs-per-swap"));
+    gp.total_comms = 2;
+    gp.makespan = -1.0;
+    EXPECT_TRUE(has_rule(verify::check_gptp(gp), "gptp-makespan-range"));
+}
+
+// --------------------------------------- fuzzer-found regressions pinned
+
+/** TP-fusion chains used to park comm slots at unresolved (infinite)
+ * times; multi-hop routes crossing a parked node then poisoned the whole
+ * timeline. Eviction + detour routing keep these finite now. */
+TEST(ScheduleConflicts, FusedChainsOnMultiHopTopologiesStayFinite)
+{
+    for (std::uint64_t seed : {0ull, 86ull}) {
+        RandomCircuitOptions opts;
+        opts.num_qubits = 16;
+        opts.depth = 24;
+        opts.seed = seed;
+        const qir::Circuit c = qir::decompose(verify::random_circuit(opts));
+        const hw::QubitMapping map =
+            partition::oee_map(c, hw::Machine::homogeneous(4, 4));
+        for (hw::Topology topo :
+             {hw::Topology::Ring, hw::Topology::Grid}) {
+            const hw::Machine m = hw::Machine::homogeneous(4, 4, topo);
+            const pass::CompileResult ac = pass::compile(c, map, m);
+            EXPECT_TRUE(std::isfinite(ac.schedule.makespan))
+                << "seed " << seed << " topo "
+                << hw::topology_name(topo);
+            const CheckReport rep = verify::check_schedule(ac.schedule, m);
+            EXPECT_TRUE(rep.ok())
+                << "seed " << seed << ": " << rep.to_string();
+        }
+    }
+}
+
+/** Same-round merges could absorb a block as a nested child and then
+ * merge-and-empty it through a stale group list, leaving a dangling
+ * child index (heap overflow in the final remap). */
+TEST(ScheduleConflicts, DenseNestedMergeDoesNotCorruptBlockLinks)
+{
+    RandomCircuitOptions opts;
+    opts.num_qubits = 24;
+    opts.depth = 32;
+    opts.allow_ccx = true;
+    opts.seed = 315;
+    const qir::Circuit c = qir::decompose(verify::random_circuit(opts));
+    const hw::QubitMapping map =
+        partition::oee_map(c, hw::Machine::homogeneous(6, 4));
+    for (hw::Topology topo :
+         {hw::Topology::AllToAll, hw::Topology::Grid}) {
+        const hw::Machine m = hw::Machine::homogeneous(6, 4, topo);
+        const pass::CompileResult ac = pass::compile(c, map, m);
+        const CheckReport rep = verify::check_schedule(ac.schedule, m);
+        EXPECT_TRUE(rep.ok()) << rep.to_string();
+        EXPECT_TRUE(verify::check_metrics(ac.metrics, c, map).ok());
+    }
+}
+
+} // namespace
