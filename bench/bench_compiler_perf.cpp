@@ -21,6 +21,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@
 #include "support/csv.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
+#include "support/threadpool.hpp"
 
 namespace {
 
@@ -91,7 +94,8 @@ ms_since(clock_type::time_point t0)
 /** One full pipeline run with a stopwatch between passes. */
 Breakdown
 profile_once(const circuits::BenchmarkSpec& spec,
-             partition::Mapper mapper, std::size_t* gates)
+             partition::Mapper mapper, std::size_t* gates,
+             support::ThreadPool* pool)
 {
     Breakdown b;
     auto t0 = clock_type::now();
@@ -132,7 +136,7 @@ profile_once(const circuits::BenchmarkSpec& spec,
     b.partition = ms_since(t0);
 
     t0 = clock_type::now();
-    std::vector<pass::CommBlock> blocks = pass::aggregate(c, map);
+    std::vector<pass::CommBlock> blocks = pass::aggregate(c, map, {}, pool);
     b.aggregate = ms_since(t0);
 
     t0 = clock_type::now();
@@ -169,6 +173,11 @@ usage(const char* argv0)
         "                   coarsen/initial/refine columns\n"
         "  --reps N         repetitions per cell, min reported "
         "(default 3)\n"
+        "  --threads N      worker threads for the parallel passes "
+        "(default 1 = serial)\n"
+        "  --assert-speedup X  also profile serially and fail unless\n"
+        "                   serial/parallel (aggregate+schedule) >= X\n"
+        "                   for every cell (requires --threads > 1)\n"
         "  --csv PATH       write the breakdown as CSV\n",
         argv0);
     return 2;
@@ -184,6 +193,8 @@ main(int argc, char** argv)
     std::vector<int> qubits = {50, 100, 200};
     partition::Mapper mapper = partition::Mapper::Oee;
     int reps = 3;
+    int threads = 1;
+    double assert_speedup = 0.0;
     std::string csv_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -211,6 +222,15 @@ main(int argc, char** argv)
             } else if (arg == "--reps") {
                 reps = driver::parse_int_list(value(), "--reps", 1, 1000)
                            .at(0);
+            } else if (arg == "--threads") {
+                threads =
+                    driver::parse_int_list(value(), "--threads", 1, 1024)
+                        .at(0);
+            } else if (arg == "--assert-speedup") {
+                assert_speedup = std::atof(value().c_str());
+                if (assert_speedup <= 0.0)
+                    support::fatal("--assert-speedup: expected a positive "
+                                   "ratio");
             } else if (arg == "--csv") {
                 csv_path = value();
             } else {
@@ -227,10 +247,18 @@ main(int argc, char** argv)
                       "refine (ms)", "aggregate (ms)", "assign (ms)",
                       "reorder (ms)", "schedule (ms)", "total (ms)"});
     support::CsvWriter csv({"name", "qubits", "nodes", "partitioner",
-                            "gates", "decompose_ms", "graph_ms",
+                            "threads", "gates", "decompose_ms", "graph_ms",
                             "partition_ms", "coarsen_ms", "initial_ms",
                             "refine_ms", "aggregate_ms", "assign_ms",
                             "reorder_ms", "schedule_ms", "total_ms"});
+
+    if (assert_speedup > 0.0 && threads <= 1)
+        support::fatal("--assert-speedup requires --threads > 1");
+    std::unique_ptr<support::ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<support::ThreadPool>(
+            static_cast<std::size_t>(threads));
+    bool speedup_ok = true;
 
     for (const circuits::FamilySpec& f : families) {
         const std::vector<int> fam_qubits =
@@ -241,10 +269,34 @@ main(int argc, char** argv)
             const circuits::BenchmarkSpec spec =
                 circuits::spec_for(f, q, std::max(2, q / 10));
             std::size_t gates = 0;
-            Breakdown best = profile_once(spec, mapper, &gates);
+            Breakdown best = profile_once(spec, mapper, &gates, pool.get());
             for (int r = 1; r < reps; ++r) {
                 std::size_t g2 = 0;
-                best.take_min(profile_once(spec, mapper, &g2));
+                best.take_min(profile_once(spec, mapper, &g2, pool.get()));
+            }
+
+            if (assert_speedup > 0.0) {
+                std::size_t g2 = 0;
+                Breakdown serial = profile_once(spec, mapper, &g2, nullptr);
+                for (int r = 1; r < reps; ++r)
+                    serial.take_min(
+                        profile_once(spec, mapper, &g2, nullptr));
+                const double hot_serial = serial.aggregate + serial.schedule;
+                const double hot_par = best.aggregate + best.schedule;
+                const double ratio =
+                    hot_par > 0.0 ? hot_serial / hot_par : 0.0;
+                std::printf("%s: aggregate+schedule %.2f ms serial, "
+                            "%.2f ms at %d threads (%.2fx)\n",
+                            spec.label().c_str(), hot_serial, hot_par,
+                            threads, ratio);
+                if (ratio < assert_speedup) {
+                    std::fprintf(stderr,
+                                 "error: %s: speedup %.2fx below required "
+                                 "%.2fx\n",
+                                 spec.label().c_str(), ratio,
+                                 assert_speedup);
+                    speedup_ok = false;
+                }
             }
 
             t.start_row();
@@ -267,6 +319,7 @@ main(int argc, char** argv)
             csv.add(static_cast<long long>(q));
             csv.add(static_cast<long long>(spec.num_nodes));
             csv.add(std::string(partition::mapper_name(mapper)));
+            csv.add(static_cast<long long>(threads));
             csv.add(static_cast<long long>(gates));
             csv.add(best.decompose);
             csv.add(best.graph);
@@ -288,5 +341,5 @@ main(int argc, char** argv)
     } else if (auto dir = bench::csv_dir()) {
         csv.write_file(*dir + "/compiler_perf.csv");
     }
-    return 0;
+    return speedup_ok ? 0 : 1;
 }

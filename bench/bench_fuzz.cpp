@@ -9,9 +9,16 @@
  * makespan monotonicity (noisy links and longer routes never speed a
  * deterministically scheduled program up).
  *
+ * The matrix covers three topologies, each clean, uniformly noisy, and
+ * noisy with one degraded bandwidth-capped fiber (the per-link-override
+ * scheduling paths); `--shape` swaps the homogeneous machine for
+ * heterogeneous node capacities, with the shared OEE mapping derived
+ * from the same shape.
+ *
  *   bench_fuzz                         # default: seeds 0..50
  *   bench_fuzz --seeds 0..200 --qubits 20 --depth 30 --nodes 5
  *   bench_fuzz --seeds 137..138        # replay one failing seed
+ *   bench_fuzz --shape 2x4,2x12        # heterogeneous nodes
  *
  * On the first violation the offending circuit is dumped as QASM next
  * to a full diagnostic report, a replay command is printed, and the
@@ -44,12 +51,18 @@ struct Scenario
 {
     hw::Topology topo;
     bool noisy;
+    /** One fiber (node 0 <-> 1) degraded below the uniform fidelity and
+     * capped to a single concurrent preparation. Exercises the per-link
+     * override paths (bottleneck bandwidth, re-routing around the weak
+     * fiber); excluded from the monotonicity oracles, which compare
+     * uniform machines only. */
+    bool weak_link = false;
 
     std::string
     name() const
     {
         return std::string(hw::topology_name(topo)) +
-               (noisy ? "+noisy" : "");
+               (noisy ? "+noisy" : "") + (weak_link ? "+weaklink" : "");
     }
 };
 
@@ -63,14 +76,18 @@ struct ScenarioOutcome
 const double kMonoTol = 1e-9;
 
 hw::Machine
-make_machine(const Scenario& sc, int nodes, int qubits_per_node,
+make_machine(const Scenario& sc, const std::vector<int>& capacities,
              double link_fidelity, double target_fidelity)
 {
-    hw::Machine m =
-        hw::Machine::homogeneous(nodes, qubits_per_node, sc.topo);
+    hw::Machine m = hw::Machine::from_capacities(capacities, sc.topo);
     if (sc.noisy) {
         m.link.fidelity = link_fidelity;
         m.purify.target_fidelity = target_fidelity;
+    }
+    if (sc.weak_link) {
+        m.link.set_link_fidelity(0, 1, link_fidelity - 0.02);
+        m.link.set_link_bandwidth(0, 1, 1);
+        m.build_routing(); // re-route around the degraded fiber
     }
     m.validate_noise();
     return m;
@@ -85,6 +102,9 @@ usage(const char* argv0)
         "  --qubits N       random-circuit width (default 16)\n"
         "  --depth N        random-circuit layers (default 24)\n"
         "  --nodes N        machine node count (default 4)\n"
+        "  --shape SPEC     heterogeneous node capacities (\"2x4,2x12\" = "
+        "two 4-qubit\n"
+        "                   and two 12-qubit nodes); overrides --nodes\n"
         "  --link-fidelity F  raw fidelity of the noisy scenarios "
         "(default 0.95)\n"
         "  --target F       purification target of the noisy scenarios "
@@ -117,6 +137,7 @@ main(int argc, char** argv)
     std::size_t num_threads = support::default_thread_count();
     std::string dump_dir = ".";
     std::string emit_qasm;
+    std::string shape;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -147,6 +168,9 @@ main(int argc, char** argv)
             } else if (arg == "--nodes") {
                 nodes =
                     driver::parse_int_list(value(), "--nodes", 2).at(0);
+            } else if (arg == "--shape") {
+                shape = value();
+                hw::parse_shape(shape); // validate eagerly
             } else if (arg == "--link-fidelity") {
                 link_fidelity = driver::parse_fidelity_list(
                                     value(), "--link-fidelity")
@@ -194,19 +218,40 @@ main(int argc, char** argv)
     }
 
     const std::vector<Scenario> scenarios = {
-        {hw::Topology::AllToAll, false}, {hw::Topology::AllToAll, true},
-        {hw::Topology::Ring, false},     {hw::Topology::Ring, true},
-        {hw::Topology::Grid, false},     {hw::Topology::Grid, true},
+        {hw::Topology::AllToAll, false},
+        {hw::Topology::AllToAll, true},
+        {hw::Topology::AllToAll, true, true},
+        {hw::Topology::Ring, false},
+        {hw::Topology::Ring, true},
+        {hw::Topology::Ring, true, true},
+        {hw::Topology::Grid, false},
+        {hw::Topology::Grid, true},
+        {hw::Topology::Grid, true, true},
     };
-    const int per_node = (qubits + nodes - 1) / nodes;
+    std::vector<int> capacities;
+    if (shape.empty()) {
+        capacities.assign(static_cast<std::size_t>(nodes),
+                          (qubits + nodes - 1) / nodes);
+    } else {
+        capacities = hw::parse_shape(shape);
+        nodes = static_cast<int>(capacities.size());
+        int total = 0;
+        for (const int cap : capacities)
+            total += cap;
+        if (total < qubits)
+            support::fatal("--shape %s holds %d qubits but --qubits is "
+                           "%d", shape.c_str(), total, qubits);
+    }
     const std::size_t num_seeds =
         static_cast<std::size_t>(seed_hi - seed_lo);
 
     std::printf("== Differential fuzz: seeds [%llu, %llu) x %zu "
-                "scenarios, %d qubits x %d layers on %d nodes ==\n",
+                "scenarios, %d qubits x %d layers on %d nodes%s%s ==\n",
                 static_cast<unsigned long long>(seed_lo),
                 static_cast<unsigned long long>(seed_hi),
-                scenarios.size(), qubits, depth, nodes);
+                scenarios.size(), qubits, depth, nodes,
+                shape.empty() ? "" : " shaped ",
+                shape.empty() ? "" : shape.c_str());
 
     // First failing seed wins; later seeds may fail concurrently, but
     // the lowest one is the canonical repro (and the dumped QASM).
@@ -255,13 +300,15 @@ main(int argc, char** argv)
             // OEE is topology-independent: one mapping per seed, shared
             // by every scenario, which is what makes the cross-topology
             // makespan comparison an invariant rather than a heuristic.
+            // Shaped runs derive it from the same capacities every
+            // scenario's machine declares, so the mapping always fits.
             const hw::QubitMapping map = partition::oee_map(
-                c, hw::Machine::homogeneous(nodes, per_node));
+                c, hw::Machine::from_capacities(capacities));
 
             std::map<std::string, ScenarioOutcome> outcomes;
             for (const Scenario& sc : scenarios) {
                 const hw::Machine m = make_machine(
-                    sc, nodes, per_node, link_fidelity, target_fidelity);
+                    sc, capacities, link_fidelity, target_fidelity);
                 const pass::CompileResult ac = pass::compile(c, map, m);
                 const pass::CompileResult fe =
                     baseline::compile_ferrari(c, map, m);
@@ -279,8 +326,9 @@ main(int argc, char** argv)
                 fail(sc.name() + "/cross", verify::check_cross(ac, fe));
                 fail(sc.name() + "/gptp", verify::check_gptp(gp));
 
-                outcomes[sc.name()] = {ac.schedule.makespan,
-                                       fe.schedule.makespan};
+                if (!sc.weak_link)
+                    outcomes[sc.name()] = {ac.schedule.makespan,
+                                           fe.schedule.makespan};
             }
 
             // Monotonicity: the deterministic list scheduler never gets
@@ -310,7 +358,7 @@ main(int argc, char** argv)
                                  fast.c_str(), f.ferrari_makespan, why));
             };
             for (const Scenario& sc : scenarios)
-                if (sc.noisy)
+                if (sc.noisy && !sc.weak_link)
                     expect_ge(sc.name(),
                               Scenario{sc.topo, false}.name(),
                               "noise only slows preparations");
@@ -349,11 +397,13 @@ main(int argc, char** argv)
                  "FAIL: seed %llu violated invariants\n%s"
                  "repro circuit: %s.qasm (report: %s.txt)\n"
                  "replay: bench_fuzz --seeds %llu..%llu --qubits %d "
-                 "--depth %d --nodes %d%s\n",
+                 "--depth %d --nodes %d%s%s%s\n",
                  static_cast<unsigned long long>(*fail_seed),
                  fail_report.c_str(), stem.c_str(), stem.c_str(),
                  static_cast<unsigned long long>(*fail_seed),
                  static_cast<unsigned long long>(*fail_seed + 1), qubits,
-                 depth, nodes, ccx ? " --ccx" : "");
+                 depth, nodes, ccx ? " --ccx" : "",
+                 shape.empty() ? "" : " --shape ",
+                 shape.empty() ? "" : shape.c_str());
     return 1;
 }

@@ -1,11 +1,12 @@
 #include "autocomm/aggregate.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <array>
 #include <unordered_map>
 
 #include "qir/commute.hpp"
 #include "support/log.hpp"
+#include "support/threadpool.hpp"
 
 namespace autocomm::pass {
 
@@ -42,102 +43,181 @@ is_fence(const Gate& g)
     return !qir::is_unitary_gate(g.kind) || g.cond_bit >= 0;
 }
 
-} // namespace
-
-std::vector<CommBlock>
-aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
-          const AggregateOptions& opts)
+/**
+ * Fenwick tree over gate positions counting owner claims. Claims are
+ * monotone (a gate is claimed at most once), so an unchanged count over an
+ * interval proves no position in it changed ownership — which is how the
+ * speculative scans below validate their reads cheaply.
+ */
+class ClaimCounter
 {
-    const std::size_t n = c.size();
-    std::vector<char> remote(n, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-        const Gate& g = c[i];
-        if (g.num_qubits >= 2 && map.is_remote(g)) {
-            if (g.num_qubits > 2)
-                support::fatal("aggregate: remote %d-qubit gate at %zu; "
-                               "decompose first",
-                               g.num_qubits, i);
-            remote[i] = 1;
-        }
+  public:
+    explicit ClaimCounter(std::size_t n) : tree_(n + 1, 0) {}
+
+    void
+    add(std::size_t i)
+    {
+        for (++i; i < tree_.size(); i += i & (0 - i))
+            ++tree_[i];
     }
 
+    /** Claims in the closed interval [lo, hi]. */
+    std::size_t
+    count(std::size_t lo, std::size_t hi) const
+    {
+        return hi < lo ? 0 : prefix(hi + 1) - prefix(lo);
+    }
+
+  private:
+    std::size_t
+    prefix(std::size_t i) const
+    {
+        std::size_t s = 0;
+        for (; i > 0; i -= i & (0 - i))
+            s += tree_[i];
+        return s;
+    }
+
+    std::vector<std::size_t> tree_;
+};
+
+struct PairInfo
+{
+    QubitId hub;
+    NodeId rnode;
+    std::vector<std::size_t> gates;
+};
+
+/** Candidate block produced by a speculative (read-only) pair scan. */
+struct SpecBlock
+{
+    std::vector<std::size_t> members;
+    std::vector<std::size_t> absorbed;
+    std::vector<std::size_t> children;
+};
+
+/**
+ * Result of one speculative pair scan: the blocks it would emit plus
+ * everything mutable it read. The scan is a deterministic function of the
+ * circuit (immutable), the owner array restricted to `reads`, and the
+ * parent links of `tops` (finalized block content, windows, and the memo
+ * caches never change during the scan phase) — so if the recorded claim
+ * counts and parent links are unchanged at apply time, committing the
+ * candidate blocks is exactly what a serial rescan would do.
+ */
+struct ScanSpec
+{
+    std::vector<SpecBlock> blocks;
+    /** Closed intervals read, with the claim count seen at snapshot. */
+    std::vector<std::array<std::size_t, 3>> reads; ///< {lo, hi, count}
+    /** Referenced top-level blocks; parent must still be -1 at apply. */
+    std::vector<std::size_t> tops;
+};
+
+/** Scored refinement merge: what try_merge would fold into A. */
+struct MergePlan
+{
+    bool ok = false;
+    std::vector<std::size_t> pending;
+    std::vector<std::size_t> pending_children;
+};
+
+/**
+ * The aggregation pass state machine. Serial behavior is the reference;
+ * the parallel paths (scan_phase / refine_phase with a pool) speculate on
+ * a frozen snapshot and validate before applying in the serial order, so
+ * the output is bit-identical for every thread count.
+ */
+struct Aggregator
+{
+    const qir::Circuit& c;
+    const hw::QubitMapping& map;
+    const AggregateOptions& opts;
+    support::ThreadPool* pool;
+
+    std::size_t n;
+    long num_nodes;
+    std::vector<char> remote;
+    std::vector<int> owner;
+    /** Claim tracking feeds speculative-scan validation only; the serial
+     * path never reads it, so skip the Fenwick updates there. */
+    bool track_claims = false;
+    ClaimCounter claims;
     std::vector<CommBlock> out;
-    auto finalize = [&](Builder& b, QubitId hub, NodeId rnode,
-                        std::vector<int>& owner) {
-        if (b.empty())
+    std::vector<PairInfo> pairs;
+    std::vector<std::size_t> order;
+
+    // Memoized per finalized block: transitive qubit-touch set, per-node
+    // session load, and accumulated commutation context (blocks are
+    // frozen once finalized, except for acquiring a parent; refinement
+    // merges invalidate explicitly).
+    std::vector<std::vector<QubitId>> touch_cache;
+    std::vector<std::vector<std::pair<NodeId, int>>> load_cache;
+    std::vector<BlockContext> ctx_cache;
+
+    Aggregator(const qir::Circuit& c_, const hw::QubitMapping& map_,
+               const AggregateOptions& opts_, support::ThreadPool* pool_)
+        : c(c_), map(map_), opts(opts_), pool(pool_), n(c_.size()),
+          num_nodes(std::max(1, map_.num_nodes())), remote(n, 0),
+          owner(n, -1), claims(n)
+    {
+    }
+
+    bool
+    parallel() const
+    {
+        // From inside a pool worker parallel_for runs inline, so the
+        // speculation machinery would only add overhead — scan serially.
+        return pool && pool->size() > 1 &&
+               !support::ThreadPool::on_worker_thread();
+    }
+
+    // ---- Block emission ------------------------------------------------
+
+    void
+    emit_block(std::vector<std::size_t> members,
+               std::vector<std::size_t> absorbed,
+               std::vector<std::size_t> children, QubitId hub, NodeId rnode)
+    {
+        if (members.empty())
             return;
         CommBlock blk;
         blk.hub = hub;
         blk.hub_node = map.node_of(hub);
         blk.remote_node = rnode;
-        blk.members = b.members;
-        blk.absorbed = b.absorbed;
-        blk.children = b.children;
+        blk.members = std::move(members);
+        blk.absorbed = std::move(absorbed);
+        blk.children = std::move(children);
         std::sort(blk.absorbed.begin(), blk.absorbed.end());
         std::sort(blk.children.begin(), blk.children.end(),
                   [&](std::size_t x, std::size_t y) {
                       return out[x].window_begin() < out[y].window_begin();
                   });
         const int id = static_cast<int>(out.size());
-        for (std::size_t i : blk.members)
+        for (std::size_t i : blk.members) {
             owner[i] = id;
-        for (std::size_t i : blk.absorbed)
+            if (track_claims)
+                claims.add(i);
+        }
+        for (std::size_t i : blk.absorbed) {
             owner[i] = id;
+            if (track_claims)
+                claims.add(i);
+        }
         for (std::size_t ch : blk.children)
             out[ch].parent = id;
         out.push_back(std::move(blk));
-        b.reset();
-    };
-
-    std::vector<int> owner(n, -1);
-
-    if (!opts.use_commutation) {
-        // Sparse communication: one block per remote gate (the paper's
-        // "aggregation without gate commutation" arm, Fig. 17a).
-        for (std::size_t i = 0; i < n; ++i) {
-            if (!remote[i])
-                continue;
-            Builder b;
-            b.members.push_back(i);
-            finalize(b, c[i].qs[0], map.node_of(c[i].qs[1]), owner);
-        }
-        return out;
     }
 
-    // ---- Preprocessing: rank qubit-node pairs by remote gate count ----
-    struct PairInfo
+    void
+    finalize(Builder& b, QubitId hub, NodeId rnode)
     {
-        QubitId hub;
-        NodeId rnode;
-        std::vector<std::size_t> gates;
-    };
-    const long num_nodes = std::max(1, map.num_nodes());
-    std::unordered_map<long, std::size_t> pair_index;
-    std::vector<PairInfo> pairs;
-    auto note_pair = [&](QubitId hub, NodeId rnode, std::size_t gate) {
-        const long key = static_cast<long>(hub) * num_nodes + rnode;
-        auto [it, inserted] = pair_index.try_emplace(key, pairs.size());
-        if (inserted)
-            pairs.push_back({hub, rnode, {}});
-        pairs[it->second].gates.push_back(gate);
-    };
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!remote[i])
-            continue;
-        const Gate& g = c[i];
-        note_pair(g.qs[0], map.node_of(g.qs[1]), i);
-        note_pair(g.qs[1], map.node_of(g.qs[0]), i);
+        if (b.empty())
+            return;
+        emit_block(std::move(b.members), std::move(b.absorbed),
+                   std::move(b.children), hub, rnode);
+        b.reset();
     }
-    std::vector<std::size_t> order(pairs.size());
-    for (std::size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        if (pairs[a].gates.size() != pairs[b].gates.size())
-            return pairs[a].gates.size() > pairs[b].gates.size();
-        if (pairs[a].hub != pairs[b].hub)
-            return pairs[a].hub < pairs[b].hub;
-        return pairs[a].rnode < pairs[b].rnode;
-    });
 
     // ---- Nesting support ----------------------------------------------
     // A complete, already-claimed block whose whole window falls inside
@@ -146,36 +226,41 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
     // supports as long as no node needs more than comm_capacity sessions
     // at once (each session pins one comm qubit per endpoint).
 
-    auto top_ancestor = [&](std::size_t b) {
+    std::size_t
+    top_ancestor(std::size_t b) const
+    {
         while (out[b].parent != -1)
             b = static_cast<std::size_t>(out[b].parent);
         return b;
-    };
+    }
 
-    // Memoized per finalized block: transitive qubit-touch set and
-    // per-node session load (blocks are frozen once finalized, except for
-    // acquiring a parent).
-    std::vector<std::vector<QubitId>> touch_cache;
-    std::vector<std::vector<std::pair<NodeId, int>>> load_cache;
-    auto ensure_cached = [&](std::size_t b, auto&& self) -> void {
+    void
+    ensure_cached(std::size_t b)
+    {
         if (b < touch_cache.size() && !touch_cache[b].empty())
             return;
         if (touch_cache.size() < out.size()) {
             touch_cache.resize(out.size());
             load_cache.resize(out.size());
+            ctx_cache.resize(out.size());
         }
+        BlockContext ctx;
         std::vector<QubitId> touched;
         auto note = [&touched](QubitId q) {
             if (std::find(touched.begin(), touched.end(), q) ==
                 touched.end())
                 touched.push_back(q);
         };
-        for (std::size_t i : out[b].members)
+        for (std::size_t i : out[b].members) {
+            ctx.absorb(c[i]);
             for (int k = 0; k < c[i].num_qubits; ++k)
                 note(c[i].qs[static_cast<std::size_t>(k)]);
-        for (std::size_t i : out[b].absorbed)
+        }
+        for (std::size_t i : out[b].absorbed) {
+            ctx.absorb(c[i]);
             for (int k = 0; k < c[i].num_qubits; ++k)
                 note(c[i].qs[static_cast<std::size_t>(k)]);
+        }
 
         // Session load: one comm qubit on the hub side; two on the remote
         // side (a TP block's return teleport transiently needs both the
@@ -184,14 +269,14 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
         std::vector<std::pair<NodeId, int>> load = {
             {out[b].hub_node, 1}, {out[b].remote_node, 2}};
         for (std::size_t ch : out[b].children) {
-            self(ch, self);
+            ensure_cached(ch);
+            ctx.merge(ctx_cache[ch]);
             for (QubitId q : touch_cache[ch])
                 note(q);
             for (const auto& [node, l] : load_cache[ch]) {
                 bool found = false;
                 const int base =
-                    (node == out[b].hub_node ||
-                     node == out[b].remote_node)
+                    (node == out[b].hub_node || node == out[b].remote_node)
                         ? 1
                         : 0;
                 for (auto& [n2, cur] : load)
@@ -205,15 +290,113 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
         }
         touch_cache[b] = std::move(touched);
         load_cache[b] = std::move(load);
-    };
+        ctx_cache[b] = std::move(ctx);
+    }
 
-    // ---- Linear merge per pair, densest pair first ----
-    for (std::size_t pi : order) {
+    /**
+     * The touch set of block @p b. Live callers fill the memo on demand;
+     * speculative (parallel) callers run against read-only state, so the
+     * cache pre-pass must already have filled it.
+     */
+    const std::vector<QubitId>&
+    touches(std::size_t b, bool live)
+    {
+        if (live)
+            ensure_cached(b);
+        else if (b >= touch_cache.size() || touch_cache[b].empty())
+            support::fatal(
+                "aggregate: speculative scan hit uncached block %zu", b);
+        return touch_cache[b];
+    }
+
+    void
+    invalidate_cache(std::size_t b)
+    {
+        if (b < touch_cache.size()) {
+            touch_cache[b].clear();
+            load_cache[b].clear();
+            ctx_cache[b] = BlockContext();
+        }
+    }
+
+    // ---- Preprocessing -------------------------------------------------
+
+    void
+    flag_remote()
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Gate& g = c[i];
+            if (g.num_qubits >= 2 && map.is_remote(g)) {
+                if (g.num_qubits > 2)
+                    support::fatal("aggregate: remote %d-qubit gate at "
+                                   "%zu; decompose first",
+                                   g.num_qubits, i);
+                remote[i] = 1;
+            }
+        }
+    }
+
+    void
+    rank_pairs()
+    {
+        std::unordered_map<long, std::size_t> pair_index;
+        auto note_pair = [&](QubitId hub, NodeId rnode, std::size_t gate) {
+            const long key = static_cast<long>(hub) * num_nodes + rnode;
+            auto [it, inserted] = pair_index.try_emplace(key, pairs.size());
+            if (inserted)
+                pairs.push_back({hub, rnode, {}});
+            pairs[it->second].gates.push_back(gate);
+        };
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!remote[i])
+                continue;
+            const Gate& g = c[i];
+            note_pair(g.qs[0], map.node_of(g.qs[1]), i);
+            note_pair(g.qs[1], map.node_of(g.qs[0]), i);
+        }
+        order.resize(pairs.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (pairs[a].gates.size() != pairs[b].gates.size())
+                          return pairs[a].gates.size() >
+                                 pairs[b].gates.size();
+                      if (pairs[a].hub != pairs[b].hub)
+                          return pairs[a].hub < pairs[b].hub;
+                      return pairs[a].rnode < pairs[b].rnode;
+                  });
+    }
+
+    // ---- Linear merge per pair, densest pair first ---------------------
+    // With spec == nullptr the scan runs live: it finalizes blocks and
+    // claims gates. With a spec it is read-only against the frozen state
+    // and records candidate blocks plus its full read footprint instead.
+
+    void
+    scan_pair(std::size_t pi, ScanSpec* spec)
+    {
         const PairInfo& pair = pairs[pi];
+        const bool live = spec == nullptr;
         Builder cur;
-        std::size_t prev = 0; // index of last member (valid if !cur.empty())
+        std::size_t prev = 0; // last member index (valid if !cur.empty())
+
+        auto emit = [&]() {
+            if (cur.empty())
+                return;
+            if (live) {
+                finalize(cur, pair.hub, pair.rnode);
+            } else {
+                spec->blocks.push_back({std::move(cur.members),
+                                        std::move(cur.absorbed),
+                                        std::move(cur.children)});
+                cur.reset();
+            }
+        };
 
         for (std::size_t idx : pair.gates) {
+            if (spec)
+                spec->reads.push_back({idx, idx, claims.count(idx, idx)});
             if (owner[idx] != -1)
                 continue; // claimed by an earlier block
             if (cur.empty()) {
@@ -228,7 +411,9 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
             std::vector<std::size_t> pending;
             std::vector<std::size_t> pending_children;
             bool ok = true;
+            std::size_t j_hi = prev; // last gap position examined
             for (std::size_t j = prev + 1; j < idx && ok; ++j) {
+                j_hi = j;
                 const Gate& g = c[j];
                 if (g.kind == GateKind::Barrier || is_fence(g)) {
                     ok = false;
@@ -237,6 +422,8 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                 if (owner[j] != -1) {
                     const std::size_t top =
                         top_ancestor(static_cast<std::size_t>(owner[j]));
+                    if (spec)
+                        spec->tops.push_back(top);
                     const bool already_nested =
                         std::find(pending_children.begin(),
                                   pending_children.end(),
@@ -252,11 +439,10 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                     ok = false;
                     if (opts.absorb_local_gates &&
                         cb.window_begin() > prev && cb.window_end() < idx) {
-                        ensure_cached(top, ensure_cached);
+                        const std::vector<QubitId>& tt = touches(top, live);
                         const bool hits_hub =
-                            std::find(touch_cache[top].begin(),
-                                      touch_cache[top].end(),
-                                      pair.hub) != touch_cache[top].end();
+                            std::find(tt.begin(), tt.end(), pair.hub) !=
+                            tt.end();
                         bool window_clash = false;
                         auto overlaps = [&](std::size_t other) {
                             return out[other].window_begin() <=
@@ -284,19 +470,9 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                             pending_children.push_back(top);
                             // Later push-outs must commute past the
                             // nested child's gates too (descendants
-                            // included: the touch cache lists them all,
-                            // so absorb axis info gate by gate).
-                            std::function<void(std::size_t)> soak =
-                                [&](std::size_t nb) {
-                                    for (std::size_t i : out[nb].members)
-                                        ctx2.absorb(c[i]);
-                                    for (std::size_t i : out[nb].absorbed)
-                                        ctx2.absorb(c[i]);
-                                    for (std::size_t ch2 :
-                                         out[nb].children)
-                                        soak(ch2);
-                                };
-                            soak(top);
+                            // included — the memoized context carries
+                            // their axis masks).
+                            ctx2.merge(ctx_cache[top]);
                             ok = true;
                         }
                     }
@@ -308,14 +484,17 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                 if (g.is_single_qubit() && opts.absorb_local_gates) {
                     pending.push_back(j);
                     ctx2.absorb(g);
-                } else if (g.num_qubits >= 2 && !remote[j] && !touches_hub &&
-                           opts.absorb_local_gates) {
+                } else if (g.num_qubits >= 2 && !remote[j] &&
+                           !touches_hub && opts.absorb_local_gates) {
                     pending.push_back(j);
                     ctx2.absorb(g);
                 } else {
                     ok = false;
                 }
             }
+            if (spec && j_hi > prev)
+                spec->reads.push_back(
+                    {prev + 1, j_hi, claims.count(prev + 1, j_hi)});
 
             if (ok) {
                 cur.members.push_back(idx);
@@ -328,49 +507,117 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                                     pending_children.end());
                 prev = idx;
             } else {
-                finalize(cur, pair.hub, pair.rnode, owner);
+                emit();
                 cur.members.push_back(idx);
                 cur.ctx.absorb(c[idx]);
                 prev = idx;
             }
         }
-        finalize(cur, pair.hub, pair.rnode, owner);
+        emit();
     }
 
-    // ---- Iterative refinement (paper §4.2): block-level merging -------
+    bool
+    spec_valid(const ScanSpec& s) const
+    {
+        for (const auto& r : s.reads)
+            if (claims.count(r[0], r[1]) != r[2])
+                return false;
+        for (std::size_t t : s.tops)
+            if (out[t].parent != -1)
+                return false;
+        return true;
+    }
+
+    void
+    commit_spec(std::size_t pi, ScanSpec& s)
+    {
+        for (SpecBlock& sb : s.blocks)
+            emit_block(std::move(sb.members), std::move(sb.absorbed),
+                       std::move(sb.children), pairs[pi].hub,
+                       pairs[pi].rnode);
+    }
+
+    void
+    scan_phase()
+    {
+        if (!parallel()) {
+            for (std::size_t pi : order)
+                scan_pair(pi, nullptr);
+            return;
+        }
+        track_claims = true;
+
+        // Chunked speculation: scan a run of pairs in parallel against the
+        // frozen state, then validate-and-apply serially in ranked order.
+        // A pair whose reads were invalidated by an earlier apply in the
+        // same chunk is simply rescanned live — correctness never depends
+        // on the speculation succeeding. Chunk boundaries depend only on
+        // pair sizes, never on the thread count.
+        constexpr std::size_t kChunkGates = 4096;
+        constexpr std::size_t kChunkMaxPairs = 256;
+        std::size_t cached_upto = 0;
+        std::size_t start = 0;
+        while (start < order.size()) {
+            std::size_t end = start;
+            std::size_t gates = 0;
+            while (end < order.size() &&
+                   (end == start || (gates < kChunkGates &&
+                                     end - start < kChunkMaxPairs))) {
+                gates += pairs[order[end]].gates.size();
+                ++end;
+            }
+
+            // Speculative scans only read the memo caches, so everything
+            // referencable must be filled before the parallel section.
+            for (std::size_t b = cached_upto; b < out.size(); ++b)
+                ensure_cached(b);
+            cached_upto = out.size();
+
+            const std::size_t len = end - start;
+            std::vector<ScanSpec> specs(len);
+            const std::size_t ntasks = std::min(len, 4 * pool->size());
+            support::parallel_for(*pool, ntasks, [&](std::size_t t) {
+                for (std::size_t k = t; k < len; k += ntasks)
+                    scan_pair(order[start + k], &specs[k]);
+            });
+            for (std::size_t k = 0; k < len; ++k) {
+                if (spec_valid(specs[k]))
+                    commit_spec(order[start + k], specs[k]);
+                else
+                    scan_pair(order[start + k], nullptr);
+            }
+            start = end;
+        }
+    }
+
+    // ---- Iterative refinement (paper §4.2): block-level merging --------
     // The per-pair scans above fragment when a not-yet-formed block of
     // another pair interrupts an interval. Now that every remote gate is
     // claimed, repeatedly merge adjacent same-pair blocks, nesting the
     // complete blocks that lie between them, until a fixpoint.
-    auto rebuild_ctx = [&](std::size_t b, BlockContext& ctx,
-                           auto&& self) -> void {
-        for (std::size_t i : out[b].members)
-            ctx.absorb(c[i]);
-        for (std::size_t i : out[b].absorbed)
-            ctx.absorb(c[i]);
-        for (std::size_t ch : out[b].children)
-            self(ch, ctx, self);
-    };
 
-    auto invalidate_cache = [&](std::size_t b) {
-        if (b < touch_cache.size()) {
-            touch_cache[b].clear();
-            load_cache[b].clear();
-        }
-    };
-
-    auto try_merge = [&](std::size_t a, std::size_t b2) -> bool {
-        CommBlock& A = out[a];
-        CommBlock& B = out[b2];
+    /**
+     * Score the merge of adjacent same-pair blocks @p a and @p b2 without
+     * mutating anything. Every mutable datum this reads lies inside the
+     * candidate window [A.window_begin(), B.window_end()]: the gap gates
+     * and their owners, the referenced tops (their windows sit strictly
+     * inside the gap), and both blocks' own content — which is what makes
+     * the commit-window intersection test in refine_phase sound.
+     */
+    bool
+    evaluate_merge(std::size_t a, std::size_t b2, bool live,
+                   MergePlan& plan)
+    {
+        const CommBlock& A = out[a];
+        const CommBlock& B = out[b2];
         const std::size_t lo = A.members.back();
         const std::size_t hi = B.members.front();
 
-        BlockContext ctx;
-        rebuild_ctx(a, ctx, rebuild_ctx);
-        rebuild_ctx(b2, ctx, rebuild_ctx);
+        touches(a, live);
+        touches(b2, live);
+        BlockContext ctx = ctx_cache[a];
+        ctx.merge(ctx_cache[b2]);
 
-        std::vector<std::size_t> pending;
-        std::vector<std::size_t> pending_children;
         for (std::size_t j = lo + 1; j < hi; ++j) {
             const Gate& g = c[j];
             if (g.kind == GateKind::Barrier || is_fence(g))
@@ -381,9 +628,9 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                 if (top == a || top == b2)
                     continue; // absorbed gate of A inside the gap
                 const bool already =
-                    std::find(pending_children.begin(),
-                              pending_children.end(),
-                              top) != pending_children.end();
+                    std::find(plan.pending_children.begin(),
+                              plan.pending_children.end(),
+                              top) != plan.pending_children.end();
                 if (already)
                     continue;
                 if (ctx.commutes(g))
@@ -391,12 +638,10 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                 const CommBlock& cb = out[top];
                 if (!(cb.window_begin() > lo && cb.window_end() < hi))
                     return false;
-                ensure_cached(top, ensure_cached);
-                if (std::find(touch_cache[top].begin(),
-                              touch_cache[top].end(),
-                              A.hub) != touch_cache[top].end())
+                const std::vector<QubitId>& tt = touches(top, live);
+                if (std::find(tt.begin(), tt.end(), A.hub) != tt.end())
                     return false;
-                for (std::size_t sib : pending_children)
+                for (std::size_t sib : plan.pending_children)
                     if (out[sib].window_begin() <= cb.window_end() &&
                         cb.window_begin() <= out[sib].window_end())
                         return false;
@@ -411,46 +656,55 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                     if (l + parent_use > opts.comm_capacity)
                         return false;
                 }
-                pending_children.push_back(top);
+                plan.pending_children.push_back(top);
                 // Later push-outs must clear the nested child's gates
                 // (including its own descendants').
-                rebuild_ctx(top, ctx, rebuild_ctx);
+                ctx.merge(ctx_cache[top]);
                 continue;
             }
             if (ctx.commutes(g))
                 continue;
             const bool touches_hub = g.acts_on(A.hub);
             if (g.is_single_qubit() && opts.absorb_local_gates) {
-                pending.push_back(j);
+                plan.pending.push_back(j);
                 ctx.absorb(g);
             } else if (g.num_qubits >= 2 && !remote[j] && !touches_hub &&
                        opts.absorb_local_gates) {
-                pending.push_back(j);
+                plan.pending.push_back(j);
                 ctx.absorb(g);
             } else {
                 return false;
             }
         }
+        plan.ok = true;
+        return true;
+    }
 
-        // Commit: fold B and the gap into A.
+    /** Commit: fold B and the gap into A. */
+    void
+    commit_merge(std::size_t a, std::size_t b2, MergePlan& plan)
+    {
+        CommBlock& A = out[a];
+        CommBlock& B = out[b2];
         const int a_id = static_cast<int>(a);
         A.members.insert(A.members.end(), B.members.begin(),
                          B.members.end());
         A.absorbed.insert(A.absorbed.end(), B.absorbed.begin(),
                           B.absorbed.end());
-        A.absorbed.insert(A.absorbed.end(), pending.begin(), pending.end());
+        A.absorbed.insert(A.absorbed.end(), plan.pending.begin(),
+                          plan.pending.end());
         std::sort(A.absorbed.begin(), A.absorbed.end());
         for (std::size_t i : B.members)
             owner[i] = a_id;
         for (std::size_t i : B.absorbed)
             owner[i] = a_id;
-        for (std::size_t i : pending)
+        for (std::size_t i : plan.pending)
             owner[i] = a_id;
         for (std::size_t ch : B.children) {
             out[ch].parent = a_id;
             A.children.push_back(ch);
         }
-        for (std::size_t ch : pending_children) {
+        for (std::size_t ch : plan.pending_children) {
             out[ch].parent = a_id;
             A.children.push_back(ch);
         }
@@ -463,13 +717,39 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
         B.children.clear();
         invalidate_cache(a);
         invalidate_cache(b2);
-        return true;
-    };
+    }
 
-    if (opts.use_commutation && opts.absorb_local_gates) {
+    bool
+    try_merge(std::size_t a, std::size_t b2)
+    {
+        MergePlan plan;
+        if (!evaluate_merge(a, b2, /*live=*/true, plan))
+            return false;
+        commit_merge(a, b2, plan);
+        return true;
+    }
+
+    bool
+    alive_pair(std::size_t a, std::size_t b2) const
+    {
+        // An earlier merge this round may have emptied a block or
+        // absorbed it as a nested child; the group lists are a
+        // round-start snapshot, so re-check.
+        return !out[a].members.empty() && !out[b2].members.empty() &&
+               out[a].parent == -1 && out[b2].parent == -1;
+    }
+
+    void
+    refine_phase()
+    {
+        if (!(opts.use_commutation && opts.absorb_local_gates))
+            return;
+        const bool par = parallel();
         for (int round = 0; round < 8; ++round) {
             bool changed = false;
-            // Group alive top-level blocks by (hub, remote node).
+            // Group alive top-level blocks by (hub, remote node). The
+            // lists are extracted in map iteration order so serial and
+            // parallel rounds walk candidates identically.
             std::unordered_map<long, std::vector<std::size_t>> groups;
             for (std::size_t b = 0; b < out.size(); ++b) {
                 if (out[b].members.empty() || out[b].parent != -1)
@@ -478,29 +758,90 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
                        out[b].remote_node]
                     .push_back(b);
             }
+            std::vector<std::vector<std::size_t>> lists;
+            lists.reserve(groups.size());
             for (auto& [key, list] : groups) {
                 (void)key;
+                lists.push_back(std::move(list));
+            }
+            for (std::vector<std::size_t>& list : lists)
                 std::sort(list.begin(), list.end(),
                           [&](std::size_t x, std::size_t y) {
                               return out[x].window_begin() <
                                      out[y].window_begin();
                           });
-                for (std::size_t i = 0; i + 1 < list.size(); ++i) {
-                    // An earlier merge this round may have emptied a
-                    // block or absorbed it as a nested child; the group
-                    // lists are a round-start snapshot, so re-check.
-                    if (out[list[i]].members.empty() ||
-                        out[list[i + 1]].members.empty() ||
-                        out[list[i]].parent != -1 ||
-                        out[list[i + 1]].parent != -1)
-                        continue;
-                    if (try_merge(list[i], list[i + 1]))
-                        changed = true;
-                }
+
+            if (!par) {
+                for (const std::vector<std::size_t>& list : lists)
+                    for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+                        if (!alive_pair(list[i], list[i + 1]))
+                            continue;
+                        if (try_merge(list[i], list[i + 1]))
+                            changed = true;
+                    }
+            } else {
+                // Snapshot-score / serial-apply: every candidate merge is
+                // scored in parallel against the round-start state, then
+                // applied in the serial order. A candidate whose window
+                // intersects no committed merge's window saw exactly the
+                // state a live evaluation would see (all round mutations
+                // stay inside commit windows), so its plan commits as-is;
+                // otherwise it is re-scored live.
+                for (const std::vector<std::size_t>& list : lists)
+                    for (std::size_t b : list)
+                        ensure_cached(b);
+                std::vector<std::vector<MergePlan>> plans(lists.size());
+                for (std::size_t g = 0; g < lists.size(); ++g)
+                    if (lists[g].size() > 1)
+                        plans[g].resize(lists[g].size() - 1);
+                const std::size_t ntasks =
+                    std::min(lists.size(), 4 * pool->size());
+                support::parallel_for(
+                    *pool, ntasks, [&](std::size_t t) {
+                        for (std::size_t g = t; g < lists.size();
+                             g += ntasks)
+                            for (std::size_t i = 0;
+                                 i + 1 < lists[g].size(); ++i)
+                                evaluate_merge(lists[g][i],
+                                               lists[g][i + 1],
+                                               /*live=*/false,
+                                               plans[g][i]);
+                    });
+
+                std::vector<std::pair<std::size_t, std::size_t>> commits;
+                for (std::size_t g = 0; g < lists.size(); ++g)
+                    for (std::size_t i = 0; i + 1 < lists[g].size(); ++i) {
+                        const std::size_t a = lists[g][i];
+                        const std::size_t b2 = lists[g][i + 1];
+                        if (!alive_pair(a, b2))
+                            continue;
+                        const std::size_t wlo = out[a].window_begin();
+                        const std::size_t whi = out[b2].window_end();
+                        bool dirty = false;
+                        for (const auto& [clo, chi] : commits)
+                            if (clo <= whi && wlo <= chi) {
+                                dirty = true;
+                                break;
+                            }
+                        bool merged = false;
+                        if (!dirty) {
+                            if (plans[g][i].ok) {
+                                commit_merge(a, b2, plans[g][i]);
+                                merged = true;
+                            }
+                        } else if (try_merge(a, b2)) {
+                            merged = true;
+                        }
+                        if (merged) {
+                            changed = true;
+                            commits.emplace_back(wlo, whi);
+                        }
+                    }
             }
             if (!changed)
                 break;
         }
+
         // Drop emptied blocks, remapping indices.
         std::vector<long> new_index(out.size(), -1);
         std::vector<CommBlock> compact;
@@ -524,29 +865,70 @@ aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
         out = std::move(compact);
     }
 
-    // Deterministic block order: by window start (remapping the
-    // parent/children links through the permutation).
-    std::vector<std::size_t> perm(out.size());
-    for (std::size_t i = 0; i < perm.size(); ++i)
-        perm[i] = i;
-    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
-        return out[a].window_begin() < out[b].window_begin();
-    });
-    std::vector<std::size_t> inverse(out.size());
-    for (std::size_t i = 0; i < perm.size(); ++i)
-        inverse[perm[i]] = i;
-    std::vector<CommBlock> sorted;
-    sorted.reserve(out.size());
-    for (std::size_t i = 0; i < perm.size(); ++i)
-        sorted.push_back(std::move(out[perm[i]]));
-    for (CommBlock& blk : sorted) {
-        if (blk.parent != -1)
-            blk.parent = static_cast<long>(
-                inverse[static_cast<std::size_t>(blk.parent)]);
-        for (std::size_t& ch : blk.children)
-            ch = inverse[ch];
+    // ---- Final deterministic order -------------------------------------
+
+    std::vector<CommBlock>
+    sorted_output()
+    {
+        // Deterministic block order: by window start (remapping the
+        // parent/children links through the permutation).
+        std::vector<std::size_t> perm(out.size());
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            perm[i] = i;
+        std::sort(perm.begin(), perm.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return out[a].window_begin() < out[b].window_begin();
+                  });
+        std::vector<std::size_t> inverse(out.size());
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            inverse[perm[i]] = i;
+        std::vector<CommBlock> sorted;
+        sorted.reserve(out.size());
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            sorted.push_back(std::move(out[perm[i]]));
+        for (CommBlock& blk : sorted) {
+            if (blk.parent != -1)
+                blk.parent = static_cast<long>(
+                    inverse[static_cast<std::size_t>(blk.parent)]);
+            for (std::size_t& ch : blk.children)
+                ch = inverse[ch];
+        }
+        return sorted;
     }
-    return sorted;
+
+    std::vector<CommBlock>
+    run()
+    {
+        flag_remote();
+
+        if (!opts.use_commutation) {
+            // Sparse communication: one block per remote gate (the
+            // paper's "aggregation without gate commutation" arm,
+            // Fig. 17a).
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!remote[i])
+                    continue;
+                emit_block({i}, {}, {}, c[i].qs[0],
+                           map.node_of(c[i].qs[1]));
+            }
+            return std::move(out);
+        }
+
+        rank_pairs();
+        scan_phase();
+        refine_phase();
+        return sorted_output();
+    }
+};
+
+} // namespace
+
+std::vector<CommBlock>
+aggregate(const qir::Circuit& c, const hw::QubitMapping& map,
+          const AggregateOptions& opts, support::ThreadPool* pool)
+{
+    Aggregator agg(c, map, opts, pool);
+    return agg.run();
 }
 
 } // namespace autocomm::pass

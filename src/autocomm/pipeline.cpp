@@ -6,7 +6,8 @@ namespace autocomm::pass {
 
 CompileResult
 compile(const qir::Circuit& c, const hw::QubitMapping& map,
-        const hw::Machine& m, const CompileOptions& opts)
+        const hw::Machine& m, const CompileOptions& opts,
+        support::ThreadPool* pool)
 {
     if (c.num_qubits() != map.num_qubits())
         support::fatal("compile: circuit has %d qubits, mapping %d",
@@ -17,7 +18,7 @@ compile(const qir::Circuit& c, const hw::QubitMapping& map,
     map.validate(m);
 
     CompileResult r;
-    r.blocks = aggregate(c, map, opts.aggregate);
+    r.blocks = aggregate(c, map, opts.aggregate, pool);
     assign_schemes(c, r.blocks, opts.assign);
     r.metrics = compute_metrics(c, r.blocks);
     r.reordered = reorder_with_blocks(c, r.blocks, &r.block_start);

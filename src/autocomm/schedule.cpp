@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <functional>
 #include <tuple>
 #include <utility>
 
@@ -46,50 +45,155 @@ gate_duration(const Gate& g, const hw::LatencyModel& lat)
     }
 }
 
-} // namespace
-
-ScheduleResult
-schedule_program(const qir::Circuit& reordered,
-                 const std::vector<CommBlock>& blocks,
-                 const std::vector<std::size_t>& block_start,
-                 const hw::QubitMapping& map, const hw::Machine& m,
-                 const ScheduleOptions& opts)
+/**
+ * The list scheduler's working state, laid out flat: one arena of body
+ * items indexed by per-block (offset, length) spans instead of a
+ * vector-of-vectors, plain member functions instead of recursive
+ * std::functions, and per-pair ledger counts accumulated in a dense
+ * array that is folded into the EprLedger maps once at the end.
+ * record_fidelity() stays a per-preparation call in scheduling order —
+ * the log-fidelity sum is a double whose value depends on summation
+ * order, and the sweep cache guarantees byte-identical metrics.
+ */
+struct Scheduler
 {
+    const qir::Circuit& reordered;
+    const std::vector<CommBlock>& blocks;
+    const std::vector<std::size_t>& block_start;
+    const hw::QubitMapping& map;
+    const hw::Machine& m;
+    const ScheduleOptions& opts;
+
     const hw::LatencyModel& lat = m.latency;
     const double t_tele = lat.t_teleport();
     const double t_ent = lat.t_cat_entangle();
     const double t_dis = lat.t_cat_disentangle();
 
+    // Flat body arena: block b's items live at
+    // arena[body_off[b] .. body_off[b] + body_len[b]).
+    std::vector<SchedItem> arena;
+    std::vector<std::size_t> body_off;
+    std::vector<std::size_t> body_len;
+    std::vector<std::size_t> total_len;
+    std::vector<Unit> units;
+    std::vector<char> fuse_next;
+
+    SlotPool slots{m.num_nodes, m.comm_qubits_per_node};
+    LinkPool links{m.link};
+    EprPlanCache plans{m};
+    std::vector<double> qready;
+    ScheduleResult res;
+    double makespan = 0.0;
+
+    struct Vessel
+    {
+        bool away = false;
+        NodeId node = kInvalidId;
+        int slot = -1;
+        /** The parked slot was left open by TP fusion (counted in
+         * res.fused_links); an eviction un-saves that return. */
+        bool fused_pending = false;
+    };
+    std::vector<Vessel> vessel;
+    // A hub is pinned while its chain must not be evicted: mid-close,
+    // or while its own block is actively scheduling (a nested child's
+    // preparation must not teleport away the channel it rides on).
+    std::vector<char> pinned;
+    // Hubs whose vessel is currently away, kept sorted ascending so
+    // eviction scans visit candidates in the same (lowest-qubit-first)
+    // order a full vessel sweep would, without the O(num_qubits) walk.
+    std::vector<QubitId> away_hubs;
+
+    // Purified-pair counts per normalized node pair (min * n + max) for
+    // preparations that used the routing table's plan; folded into the
+    // ledger maps at the end. Detour preparations hit the ledger
+    // directly — they are rare and carry per-route state.
+    std::vector<std::size_t> pair_batch;
+
+    Scheduler(const qir::Circuit& reordered_,
+              const std::vector<CommBlock>& blocks_,
+              const std::vector<std::size_t>& block_start_,
+              const hw::QubitMapping& map_, const hw::Machine& m_,
+              const ScheduleOptions& opts_)
+        : reordered(reordered_), blocks(blocks_),
+          block_start(block_start_), map(map_), m(m_), opts(opts_),
+          qready(static_cast<std::size_t>(reordered_.num_qubits()), 0.0),
+          vessel(static_cast<std::size_t>(reordered_.num_qubits())),
+          pinned(static_cast<std::size_t>(reordered_.num_qubits()), 0),
+          pair_batch(static_cast<std::size_t>(m_.num_nodes) *
+                         static_cast<std::size_t>(m_.num_nodes),
+                     0)
+    {
+    }
+
+    void bump(double t) { makespan = std::max(makespan, t); }
+
+    double hub_ready(QubitId h) const
+    {
+        return qready[static_cast<std::size_t>(h)];
+    }
+
+    void
+    mark_away(QubitId h)
+    {
+        const auto it =
+            std::lower_bound(away_hubs.begin(), away_hubs.end(), h);
+        if (it == away_hubs.end() || *it != h)
+            away_hubs.insert(it, h);
+    }
+
+    void
+    mark_home(QubitId h)
+    {
+        const auto it =
+            std::lower_bound(away_hubs.begin(), away_hubs.end(), h);
+        if (it != away_hubs.end() && *it == h)
+            away_hubs.erase(it);
+    }
+
     // ---- Per-block body in reordered coordinates ----
     // reorder_with_blocks emits each top-level block's flattened body
     // starting at block_start[b]; nested children occupy contiguous
     // sub-ranges. Rebuild the item lists with reordered positions.
-    std::vector<std::vector<SchedItem>> body(blocks.size());
-    std::vector<std::size_t> total_len(blocks.size(), 0);
-    for (std::size_t b = 0; b < blocks.size(); ++b)
-        total_len[b] = block_total_gates(blocks, b);
-
-    std::function<std::size_t(std::size_t, std::size_t)> build_body =
-        [&](std::size_t b, std::size_t start) -> std::size_t {
+    std::size_t
+    build_body(std::size_t b, std::size_t start)
+    {
         std::size_t pos = start;
-        for (const BodyItem& item : block_body(reordered, blocks, b)) {
+        body_off[b] = arena.size();
+        // block_body allocates; materialize the child list first so the
+        // arena writes stay contiguous per block.
+        const std::vector<BodyItem> items =
+            block_body(reordered, blocks, b);
+        // Reserve this block's span before recursing into children.
+        for (const BodyItem& item : items)
+            arena.push_back({item.is_child, item.index, item.is_member});
+        body_len[b] = arena.size() - body_off[b];
+        std::size_t slot = body_off[b];
+        for (const BodyItem& item : items) {
             if (item.is_child) {
-                body[b].push_back({true, item.index, false});
                 pos = build_body(item.index, pos);
             } else {
-                body[b].push_back({false, pos, item.is_member});
+                arena[slot].index = pos;
                 ++pos;
             }
+            ++slot;
         }
         return pos;
-    };
-    for (std::size_t b = 0; b < blocks.size(); ++b)
-        if (blocks[b].parent == -1)
-            build_body(b, block_start[b]);
+    }
 
-    // ---- Build the top-level unit sequence ----
-    std::vector<Unit> units;
+    void
+    build_bodies_and_units()
     {
+        total_len.assign(blocks.size(), 0);
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            total_len[b] = block_total_gates(blocks, b);
+
+        body_off.assign(blocks.size(), 0);
+        body_len.assign(blocks.size(), 0);
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            if (blocks[b].parent == -1)
+                build_body(b, block_start[b]);
+
         std::vector<std::size_t> block_at(reordered.size(),
                                           static_cast<std::size_t>(-1));
         for (std::size_t b = 0; b < blocks.size(); ++b)
@@ -109,12 +213,16 @@ schedule_program(const qir::Circuit& reordered,
     }
 
     // ---- TP fusion pre-pass (top-level blocks only) ----
-    // A chain stays open for hub h while no unit between two TP blocks of
-    // h acts on h. A parked vessel occupies one of its node's comm
+    // A chain stays open for hub h while no unit between two TP blocks
+    // of h acts on h. A parked vessel occupies one of its node's comm
     // qubits, so a TP block targeting a node that hosts another hub's
     // parked vessel evicts that chain first.
-    std::vector<char> fuse_next(blocks.size(), 0);
-    if (opts.tp_fusion) {
+    void
+    plan_tp_fusion()
+    {
+        fuse_next.assign(blocks.size(), 0);
+        if (!opts.tp_fusion)
+            return;
         const auto nq = static_cast<std::size_t>(reordered.num_qubits());
         std::vector<long> open_tp(nq, -1);
         std::vector<NodeId> vessel_node(nq, kInvalidId);
@@ -166,7 +274,8 @@ schedule_program(const qir::Circuit& reordered,
             }
 
             const NodeId target = blk.remote_node;
-            const long foreign = parked_at[static_cast<std::size_t>(target)];
+            const long foreign =
+                parked_at[static_cast<std::size_t>(target)];
             if (foreign >= 0 &&
                 blocks[static_cast<std::size_t>(foreign)].hub != blk.hub) {
                 fuse_next[static_cast<std::size_t>(foreign)] = 0;
@@ -175,8 +284,8 @@ schedule_program(const qir::Circuit& reordered,
 
             if (prev >= 0) {
                 fuse_next[static_cast<std::size_t>(prev)] = 1;
-                const NodeId old = vessel_node[static_cast<std::size_t>(
-                    blk.hub)];
+                const NodeId old =
+                    vessel_node[static_cast<std::size_t>(blk.hub)];
                 if (old != kInvalidId &&
                     parked_at[static_cast<std::size_t>(old)] == prev)
                     parked_at[static_cast<std::size_t>(old)] = -1;
@@ -189,56 +298,12 @@ schedule_program(const qir::Circuit& reordered,
         }
     }
 
-    // ---- Resource state ----
-    SlotPool slots(m.num_nodes, m.comm_qubits_per_node);
-    LinkPool links(m.link);
-    std::vector<double> qready(
-        static_cast<std::size_t>(reordered.num_qubits()), 0.0);
-    ScheduleResult res;
-    double makespan = 0.0;
-    auto bump = [&makespan](double t) { makespan = std::max(makespan, t); };
-
-    // Per-pair preparation plans, computed on first use.
-    EprPlanCache plans(m);
-
-    struct Vessel
-    {
-        bool away = false;
-        NodeId node = kInvalidId;
-        int slot = -1;
-        /** The parked slot was left open by TP fusion (counted in
-         * res.fused_links); an eviction un-saves that return. */
-        bool fused_pending = false;
-    };
-    std::vector<Vessel> vessel(
-        static_cast<std::size_t>(reordered.num_qubits()));
-    // A hub is pinned while its chain must not be evicted: mid-close,
-    // or while its own block is actively scheduling (a nested child's
-    // preparation must not teleport away the channel it rides on).
-    std::vector<char> pinned(
-        static_cast<std::size_t>(reordered.num_qubits()), 0);
-
-    auto hub_ready = [&](QubitId h) {
-        return qready[static_cast<std::size_t>(h)];
-    };
-
-    // A parked vessel keeps its comm slot reserved with a release time
-    // the sequential scheduler learns only when the chain closes. A
-    // later preparation whose route needs that slot — one per endpoint,
-    // two per intermediate swap router — would read an unresolved
-    // (infinite) free time and poison the whole timeline. The fusion
-    // pre-pass cannot see this: routes are machine-dependent. Evict at
-    // reservation time instead: teleport the offending vessel home
-    // (spending the return pair fusion had hoped to save), then reserve.
-    std::function<std::tuple<double, int, int>(NodeId, NodeId, double,
-                                               QubitId)>
-        prepare_epr_from;
-    std::function<void(QubitId)> close_vessel;
-
     // First node of @p route whose comm slots are parked at an
     // unresolved (infinite) free time — endpoints need one slot, swap
     // routers two — or kInvalidId when the route can be reserved.
-    auto blocked_node = [&](const std::vector<NodeId>& route) -> NodeId {
+    NodeId
+    blocked_node(const std::vector<NodeId>& route) const
+    {
         if (std::isinf(slots.earliest(route.front())))
             return route.front();
         if (std::isinf(slots.earliest(route.back())))
@@ -247,26 +312,29 @@ schedule_program(const qir::Circuit& reordered,
             if (std::isinf(slots.earliest_k(route[i], 2)))
                 return route[i];
         return kInvalidId;
-    };
+    }
 
-    auto evict_conflicts = [&](const std::vector<NodeId>& route,
-                               QubitId exempt_hub) {
+    void
+    evict_conflicts(const std::vector<NodeId>& route, QubitId exempt_hub)
+    {
         for (;;) {
             const NodeId blocked = blocked_node(route);
             if (blocked == kInvalidId)
                 return;
             QubitId victim = kInvalidId;
-            for (std::size_t q = 0; q < vessel.size(); ++q)
-                if (vessel[q].away && vessel[q].node == blocked &&
-                    !pinned[q] && static_cast<QubitId>(q) != exempt_hub) {
-                    victim = static_cast<QubitId>(q);
+            for (const QubitId q : away_hubs)
+                if (vessel[static_cast<std::size_t>(q)].away &&
+                    vessel[static_cast<std::size_t>(q)].node == blocked &&
+                    !pinned[static_cast<std::size_t>(q)] &&
+                    q != exempt_hub) {
+                    victim = q;
                     break;
                 }
             if (victim == kInvalidId)
                 return; // nothing evictable; caller may try a detour
             close_vessel(victim);
         }
-    };
+    }
 
     // Shortest alternative route lo -> hi whose swap routers all have
     // two resolvable comm slots, found by BFS over the physical
@@ -278,7 +346,9 @@ schedule_program(const qir::Circuit& reordered,
     // at an endpoint, which no detour can avoid); the reservation then
     // surfaces the unresolved time and the makespan goes infinite, which
     // the verifier flags.
-    auto find_detour = [&](NodeId lo, NodeId hi) -> std::vector<NodeId> {
+    std::vector<NodeId>
+    find_detour(NodeId lo, NodeId hi) const
+    {
         const auto nn = static_cast<std::size_t>(m.num_nodes);
         std::vector<NodeId> prev(nn, kInvalidId);
         std::vector<char> seen(nn, 0);
@@ -306,11 +376,20 @@ schedule_program(const qir::Circuit& reordered,
             }
         }
         return {};
-    };
+    }
 
-    prepare_epr_from = [&](NodeId a, NodeId b, double ready_floor,
-                           QubitId exempt_hub)
-        -> std::tuple<double, int, int> {
+    // A parked vessel keeps its comm slot reserved with a release time
+    // the sequential scheduler learns only when the chain closes. A
+    // later preparation whose route needs that slot — one per endpoint,
+    // two per intermediate swap router — would read an unresolved
+    // (infinite) free time and poison the whole timeline. The fusion
+    // pre-pass cannot see this: routes are machine-dependent. Evict at
+    // reservation time instead: teleport the offending vessel home
+    // (spending the return pair fusion had hoped to save), then reserve.
+    std::tuple<double, int, int>
+    prepare_epr_from(NodeId a, NodeId b, double ready_floor,
+                     QubitId exempt_hub)
+    {
         const EprPairPlan& base = plans.plan(a, b);
         const double t_min = opts.epr_prefetch ? 0.0 : ready_floor;
 
@@ -318,6 +397,7 @@ schedule_program(const qir::Circuit& reordered,
 
         const EprPairPlan* pl = &base;
         EprPairPlan detour;
+        bool detoured = false;
         const NodeId blocked = blocked_node(base.route);
         if (blocked != kInvalidId && blocked != base.route.front() &&
             blocked != base.route.back()) {
@@ -326,6 +406,7 @@ schedule_program(const qir::Circuit& reordered,
             if (!alt.empty()) {
                 detour = plans.plan_for_route(std::move(alt));
                 pl = &detour;
+                detoured = true;
                 ++res.detours;
             }
         }
@@ -342,19 +423,53 @@ schedule_program(const qir::Circuit& reordered,
         res.hops_total += static_cast<std::size_t>(pl->hops);
         res.epr_raw_pairs += pl->raw * static_cast<std::size_t>(pl->hops);
         res.purify_rounds += static_cast<std::size_t>(pl->rounds);
-        res.ledger.consume(a, b);
-        for (std::size_t i = 0; i + 1 < pl->route.size(); ++i)
-            res.ledger.consume_raw(pl->route[i], pl->route[i + 1],
-                                   pl->raw);
+        if (detoured) {
+            res.ledger.consume(a, b);
+            res.ledger.consume_route(pl->route);
+            for (std::size_t i = 0; i + 1 < pl->route.size(); ++i)
+                res.ledger.consume_raw(pl->route[i], pl->route[i + 1],
+                                       pl->raw);
+        } else {
+            // Routing-table preparation: defer the map updates to one
+            // batched fold per pair at the end (flush_pair_batch).
+            const NodeId lo = a < b ? a : b;
+            const NodeId hi = a < b ? b : a;
+            ++pair_batch[static_cast<std::size_t>(lo) *
+                             static_cast<std::size_t>(m.num_nodes) +
+                         static_cast<std::size_t>(hi)];
+        }
         res.ledger.record_fidelity(pl->fidelity);
         return {rsv.done, sa, sb};
-    };
+    }
 
-    auto prepare_epr = [&](NodeId a, NodeId b, double ready_floor) {
+    std::tuple<double, int, int>
+    prepare_epr(NodeId a, NodeId b, double ready_floor)
+    {
         return prepare_epr_from(a, b, ready_floor, kInvalidId);
-    };
+    }
 
-    close_vessel = [&](QubitId hub) {
+    void
+    flush_pair_batch()
+    {
+        const auto n = static_cast<std::size_t>(m.num_nodes);
+        for (std::size_t idx = 0; idx < pair_batch.size(); ++idx) {
+            const std::size_t count = pair_batch[idx];
+            if (count == 0)
+                continue;
+            const NodeId a = static_cast<NodeId>(idx / n);
+            const NodeId b = static_cast<NodeId>(idx % n);
+            const EprPairPlan& pl = plans.plan(a, b);
+            res.ledger.consume(a, b, count);
+            res.ledger.consume_route(pl.route, count);
+            for (std::size_t i = 0; i + 1 < pl.route.size(); ++i)
+                res.ledger.consume_raw(pl.route[i], pl.route[i + 1],
+                                       pl.raw * count);
+        }
+    }
+
+    void
+    close_vessel(QubitId hub)
+    {
         Vessel& v = vessel[static_cast<std::size_t>(hub)];
         pinned[static_cast<std::size_t>(hub)] = 1;
         const NodeId home_node = map.node_of(hub);
@@ -370,64 +485,75 @@ schedule_program(const qir::Circuit& reordered,
         if (v.fused_pending && res.fused_links > 0)
             --res.fused_links;
         v = Vessel{};
+        mark_home(hub);
         pinned[static_cast<std::size_t>(hub)] = 0;
         bump(home);
-    };
+    }
 
-    auto run_gate_local = [&](const Gate& g) {
+    void
+    run_gate_local(const Gate& g)
+    {
         double start = 0.0;
         for (int k = 0; k < g.num_qubits; ++k)
-            start = std::max(start, qready[static_cast<std::size_t>(
-                                        g.qs[static_cast<std::size_t>(k)])]);
+            start = std::max(start,
+                             qready[static_cast<std::size_t>(
+                                 g.qs[static_cast<std::size_t>(k)])]);
         const double end = start + gate_duration(g, lat);
         for (int k = 0; k < g.num_qubits; ++k)
             qready[static_cast<std::size_t>(
                 g.qs[static_cast<std::size_t>(k)])] = end;
         bump(end);
-    };
+    }
 
-    // Forward declaration for recursion into nested children.
-    std::function<void(std::size_t)> schedule_block;
-
-    // Execute a slice of a block's body once the channel is up at time
-    // t0. Member gates (and anything touching the hub) serialize on the
-    // channel; other gates run on their own timelines; nested children
-    // schedule recursively. Returns channel completion time.
-    auto run_body_slice = [&](const CommBlock& blk,
-                              const std::vector<SchedItem>& slice,
-                              double t0) {
+    // Execute the arena items [begin, end) of a block's body once the
+    // channel is up at time t0, stopping after @p member_budget member
+    // gates have run. Member gates (and anything touching the hub)
+    // serialize on the channel; other gates run on their own timelines;
+    // nested children schedule recursively. Advances @p cursor past the
+    // items consumed and returns the channel completion time.
+    double
+    run_body_slice(const CommBlock& blk, std::size_t& cursor,
+                   std::size_t end, std::size_t member_budget, double t0)
+    {
         double channel = t0;
-        for (const SchedItem& it : slice) {
+        std::size_t members_run = 0;
+        while (cursor < end && members_run < member_budget) {
+            const SchedItem it = arena[cursor];
+            ++cursor;
             if (it.is_child) {
                 schedule_block(it.index);
                 continue;
             }
             const Gate& g = reordered[it.index];
+            if (it.is_member)
+                ++members_run;
             if (it.is_member || g.acts_on(blk.hub)) {
                 double start = channel;
                 for (int k = 0; k < g.num_qubits; ++k) {
                     const QubitId q = g.qs[static_cast<std::size_t>(k)];
                     if (q == blk.hub)
                         continue; // hub state rides the channel
-                    start = std::max(start,
-                                     qready[static_cast<std::size_t>(q)]);
+                    start = std::max(
+                        start, qready[static_cast<std::size_t>(q)]);
                 }
-                const double end = start + gate_duration(g, lat);
-                channel = end;
+                const double gend = start + gate_duration(g, lat);
+                channel = gend;
                 for (int k = 0; k < g.num_qubits; ++k) {
                     const QubitId q = g.qs[static_cast<std::size_t>(k)];
                     if (q != blk.hub)
-                        qready[static_cast<std::size_t>(q)] = end;
+                        qready[static_cast<std::size_t>(q)] = gend;
                 }
-                bump(end);
+                bump(gend);
             } else {
                 run_gate_local(g);
             }
         }
         return channel;
-    };
+    }
 
-    schedule_block = [&](std::size_t b) {
+    void
+    schedule_block(std::size_t b)
+    {
         const CommBlock& blk = blocks[b];
         Vessel& ves = vessel[static_cast<std::size_t>(blk.hub)];
 
@@ -438,21 +564,30 @@ schedule_program(const qir::Circuit& reordered,
         // teleport that could clear it, which needs a pair endpoint slot
         // of its own — would both find the node full. Evict now, while a
         // free slot still exists for the eviction's EPR pair.
-        if (!blk.children.empty())
-            for (std::size_t q = 0; q < vessel.size(); ++q)
-                if (vessel[q].away && !pinned[q] &&
-                    static_cast<QubitId>(q) != blk.hub &&
-                    vessel[q].node == blk.remote_node)
-                    close_vessel(static_cast<QubitId>(q));
+        if (!blk.children.empty()) {
+            const std::vector<QubitId> away_now = away_hubs;
+            for (const QubitId q : away_now)
+                if (vessel[static_cast<std::size_t>(q)].away &&
+                    !pinned[static_cast<std::size_t>(q)] &&
+                    q != blk.hub &&
+                    vessel[static_cast<std::size_t>(q)].node ==
+                        blk.remote_node)
+                    close_vessel(q);
+        }
 
         if (blk.scheme == Scheme::Cat) {
             assert(!ves.away && "cat block scheduled while hub is away");
-            std::vector<std::size_t> segments = blk.cat_segments;
-            if (segments.empty())
-                segments.push_back(blk.members.size());
+            const std::size_t whole = blk.members.size();
+            const std::size_t* seg_at = blk.cat_segments.data();
+            std::size_t seg_count = blk.cat_segments.size();
+            if (seg_count == 0) {
+                seg_at = &whole;
+                seg_count = 1;
+            }
 
-            std::size_t cursor = 0;
-            for (std::size_t seg : segments) {
+            std::size_t cursor = body_off[b];
+            const std::size_t end = body_off[b] + body_len[b];
+            for (std::size_t s = 0; s < seg_count; ++s) {
                 auto [epr_done, s_hub, s_rem] = prepare_epr(
                     blk.hub_node, blk.remote_node, hub_ready(blk.hub));
                 const double e_start =
@@ -461,16 +596,8 @@ schedule_program(const qir::Circuit& reordered,
                 // Hub-side comm qubit is measured during the entangle.
                 slots.release(blk.hub_node, s_hub, e_end);
 
-                std::vector<SchedItem> slice;
-                std::size_t members_run = 0;
-                while (cursor < body[b].size() && members_run < seg) {
-                    slice.push_back(body[b][cursor]);
-                    if (!body[b][cursor].is_child &&
-                        body[b][cursor].is_member)
-                        ++members_run;
-                    ++cursor;
-                }
-                const double channel = run_body_slice(blk, slice, e_end);
+                const double channel =
+                    run_body_slice(blk, cursor, end, seg_at[s], e_end);
 
                 const double d_start =
                     std::max(channel, hub_ready(blk.hub));
@@ -480,8 +607,8 @@ schedule_program(const qir::Circuit& reordered,
                 bump(d_end);
             }
             // Trailing items after the last member.
-            while (cursor < body[b].size()) {
-                const SchedItem& it = body[b][cursor];
+            while (cursor < end) {
+                const SchedItem it = arena[cursor];
                 if (it.is_child)
                     schedule_block(it.index);
                 else
@@ -516,9 +643,13 @@ schedule_program(const qir::Circuit& reordered,
         ves.away = true;
         ves.node = blk.remote_node;
         ves.slot = vessel_slot;
+        mark_away(blk.hub);
         qready[static_cast<std::size_t>(blk.hub)] = arrive;
 
-        const double channel = run_body_slice(blk, body[b], arrive);
+        std::size_t cursor = body_off[b];
+        const double channel =
+            run_body_slice(blk, cursor, body_off[b] + body_len[b],
+                           static_cast<std::size_t>(-1), arrive);
         qready[static_cast<std::size_t>(blk.hub)] = channel;
         bump(channel);
 
@@ -544,23 +675,43 @@ schedule_program(const qir::Circuit& reordered,
         slots.release(blk.hub_node, s_home, home);
         qready[static_cast<std::size_t>(blk.hub)] = home;
         ves = Vessel{};
+        mark_home(blk.hub);
         pinned[static_cast<std::size_t>(blk.hub)] = 0;
         bump(home);
-    };
-
-    for (const Unit& u : units) {
-        if (!u.is_block) {
-            const Gate& g = reordered[u.index];
-            if (g.kind == GateKind::Barrier)
-                continue;
-            run_gate_local(g);
-            continue;
-        }
-        schedule_block(u.index);
     }
 
-    res.makespan = makespan;
-    return res;
+    ScheduleResult
+    run()
+    {
+        build_bodies_and_units();
+        plan_tp_fusion();
+        for (const Unit& u : units) {
+            if (!u.is_block) {
+                const Gate& g = reordered[u.index];
+                if (g.kind == GateKind::Barrier)
+                    continue;
+                run_gate_local(g);
+                continue;
+            }
+            schedule_block(u.index);
+        }
+        flush_pair_batch();
+        res.makespan = makespan;
+        return std::move(res);
+    }
+};
+
+} // namespace
+
+ScheduleResult
+schedule_program(const qir::Circuit& reordered,
+                 const std::vector<CommBlock>& blocks,
+                 const std::vector<std::size_t>& block_start,
+                 const hw::QubitMapping& map, const hw::Machine& m,
+                 const ScheduleOptions& opts)
+{
+    Scheduler s(reordered, blocks, block_start, map, m, opts);
+    return s.run();
 }
 
 } // namespace autocomm::pass

@@ -70,10 +70,10 @@ struct ScheduleResult
     std::size_t purify_rounds = 0;
     /** Pair preparations that took a detour route around a pinned parked
      * vessel (the minimal route's swap-router slots were held at
-     * unresolved times and eviction was impossible). When zero — the
-     * overwhelmingly common case — every consumed pair followed the
-     * machine's routing table, and verify::check_schedule re-derives the
-     * routed quantities exactly. */
+     * unresolved times and eviction was impossible). The ledger records
+     * every pair's actual delivery route, so verify::check_schedule
+     * re-derives the routed quantities exactly whether or not anything
+     * detoured. */
     std::size_t detours = 0;
     /** Per-link EPR accounting, raw-vs-purified, and the end-to-end
      * program fidelity estimate (ledger.fidelity_product(): the product

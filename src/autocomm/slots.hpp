@@ -43,16 +43,34 @@ class SlotPool
     }
 
     /** Earliest time @p k slots on @p node are simultaneously free (the
-     * k-th smallest free time; k is clamped to the pool size). */
+     * k-th smallest free time; k is clamped to the pool size). The
+     * scheduler asks for k <= 2 on every pair preparation, so the common
+     * cases are allocation-free scans of the node's slot row. */
     double
     earliest_k(NodeId node, int k) const
     {
-        std::vector<double> v = free_[static_cast<std::size_t>(node)];
+        const auto& v = free_[static_cast<std::size_t>(node)];
+        if (k <= 1 || v.size() == 1)
+            return *std::min_element(v.begin(), v.end());
+        if (k == 2) {
+            double m1 = std::numeric_limits<double>::infinity();
+            double m2 = m1;
+            for (const double t : v) {
+                if (t < m1) {
+                    m2 = m1;
+                    m1 = t;
+                } else if (t < m2) {
+                    m2 = t;
+                }
+            }
+            return m2;
+        }
+        std::vector<double> copy = v;
         const auto kth =
-            v.begin() + (std::min<std::size_t>(
-                             static_cast<std::size_t>(k), v.size()) -
-                         1);
-        std::nth_element(v.begin(), kth, v.end());
+            copy.begin() + (std::min<std::size_t>(
+                                static_cast<std::size_t>(k), copy.size()) -
+                            1);
+        std::nth_element(copy.begin(), kth, copy.end());
         return *kth;
     }
 
@@ -204,26 +222,39 @@ struct EprPairPlan
 class EprPlanCache
 {
   public:
-    explicit EprPlanCache(const hw::Machine& m) : m_(&m) {}
+    explicit EprPlanCache(const hw::Machine& m) : m_(&m)
+    {
+        // Dense O(1) indexing for machines of practical size; huge node
+        // counts fall back to the sparse map so memory stays proportional
+        // to the pairs actually used.
+        if (m.num_nodes <= kDenseNodeLimit) {
+            const auto n = static_cast<std::size_t>(m.num_nodes);
+            dense_.resize(n * n);
+            dense_ready_.assign(n * n, 0);
+        }
+    }
 
     const EprPairPlan&
     plan(NodeId a, NodeId b)
     {
         const auto key =
             a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+        if (!dense_.empty()) {
+            const std::size_t idx =
+                static_cast<std::size_t>(key.first) *
+                    static_cast<std::size_t>(m_->num_nodes) +
+                static_cast<std::size_t>(key.second);
+            if (!dense_ready_[idx]) {
+                dense_[idx] = build(key.first, key.second);
+                dense_ready_[idx] = 1;
+            }
+            return dense_[idx];
+        }
         const auto it = plans_.find(key);
         if (it != plans_.end())
             return it->second;
-        EprPairPlan p;
-        p.route = m_->path(key.first, key.second);
-        p.hops = static_cast<int>(p.route.size()) - 1;
-        p.rounds = m_->purification_rounds(key.first, key.second);
-        p.raw = noise::PurificationPolicy::cost_multiplier(p.rounds);
-        p.chan =
-            static_cast<int>(std::min<std::size_t>(p.raw, 1u << 30));
-        p.duration = m_->epr_latency(key.first, key.second);
-        p.fidelity = m_->purified_pair_fidelity(key.first, key.second);
-        return plans_.emplace(key, std::move(p)).first->second;
+        return plans_.emplace(key, build(key.first, key.second))
+            .first->second;
     }
 
     /**
@@ -249,7 +280,26 @@ class EprPlanCache
     }
 
   private:
+    static constexpr int kDenseNodeLimit = 256;
+
+    EprPairPlan
+    build(NodeId a, NodeId b) const
+    {
+        EprPairPlan p;
+        p.route = m_->path(a, b);
+        p.hops = static_cast<int>(p.route.size()) - 1;
+        p.rounds = m_->purification_rounds(a, b);
+        p.raw = noise::PurificationPolicy::cost_multiplier(p.rounds);
+        p.chan =
+            static_cast<int>(std::min<std::size_t>(p.raw, 1u << 30));
+        p.duration = m_->epr_latency(a, b);
+        p.fidelity = m_->purified_pair_fidelity(a, b);
+        return p;
+    }
+
     const hw::Machine* m_;
+    std::vector<EprPairPlan> dense_;
+    std::vector<char> dense_ready_;
     std::map<std::pair<NodeId, NodeId>, EprPairPlan> plans_;
 };
 

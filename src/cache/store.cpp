@@ -79,9 +79,12 @@ ResultStore::load()
                 e.canonical = doc->at("canonical").to_string();
                 e.label = doc->at("label").to_string();
                 // Optional for backward compatibility: pre-gc stores
-                // have no timestamps (created_at stays 0 = "ancient").
+                // have no timestamps (created_at stays 0 = "ancient"),
+                // and pre-last-hit stores have no "hit" field.
                 if (const Json* ts = doc->find("ts"); ts != nullptr)
                     e.created_at = ts->to_int();
+                if (const Json* hit = doc->find("hit"); hit != nullptr)
+                    e.last_hit = hit->to_int();
                 e.row = doc->at("row");
                 entries_[key] = std::move(e);
             } catch (const support::UserError& ex) {
@@ -114,6 +117,7 @@ ResultStore::lookup(const CellKey& key, const driver::SweepCell& cell)
     try {
         driver::SweepRow row = row_from_json(it->second.row, cell);
         ++stats_.hits;
+        it->second.last_hit = static_cast<long long>(std::time(nullptr));
         return row;
     } catch (const support::UserError& ex) {
         support::warn("cache: entry %s is corrupt (%s); recompiling",
@@ -148,6 +152,11 @@ ResultStore::entry_line(const std::string& hex, const Entry& e) const
     doc.set("label", Json::string(e.label));
     doc.set("canonical", Json::string(e.canonical));
     doc.set("ts", Json::number(e.created_at));
+    // Omitted while zero so fresh-insert flush segments carry no session
+    // clock and identical reruns stay byte-identical (content-hashed
+    // segment names depend on it).
+    if (e.last_hit != 0)
+        doc.set("hit", Json::number(e.last_hit));
     doc.set("row", e.row);
     return doc.dump();
 }
@@ -288,7 +297,13 @@ ResultStore::gc(double max_age_days)
     const long long cutoff = static_cast<long long>(cutoff_d);
     std::size_t dropped = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
-        if (it->second.created_at == 0 || it->second.created_at < cutoff) {
+        // Age basis: the later of first-compile and last-hit, so entries
+        // a warm sweep keeps serving outlive idle ones compiled the same
+        // day. Legacy timestamp-less entries (both fields 0) expire on
+        // any pass.
+        const long long basis =
+            std::max(it->second.created_at, it->second.last_hit);
+        if (basis == 0 || basis < cutoff) {
             it = entries_.erase(it);
             ++dropped;
         } else {

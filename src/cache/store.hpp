@@ -21,8 +21,9 @@
  * Each line records the entry's 128-bit key, the compiler salt it was
  * produced under, the human-readable cell label, the full canonical key
  * string (verified on lookup, so even a hash collision degrades to a
- * miss), the unix time the row was first compiled (the gc() age basis,
- * preserved across flush/compact/merge), and the serialized row.
+ * miss), the unix time the row was first compiled, the unix time it was
+ * last served from the store (together the gc() age basis, preserved
+ * across flush/compact/merge), and the serialized row.
  * Entries whose salt differs from the opener's are dropped at load time
  * and counted stale; on disk they linger until gc() or a rewrite-
  * triggering compaction drops their segments.
@@ -70,7 +71,11 @@ class ResultStore
                          std::string salt = kCompilerSalt);
 
     /** The row cached for @p key, rebuilt against the live @p cell;
-     * nullopt (a miss) when absent, salt-stale, or corrupt. */
+     * nullopt (a miss) when absent, salt-stale, or corrupt. A hit
+     * refreshes the entry's last-hit time, which gc() honours; the
+     * refreshed time reaches disk on the next compact()/gc(), not on
+     * flush() (flush segments stay clock-free so identical reruns stay
+     * idempotent). */
     std::optional<driver::SweepRow> lookup(const CellKey& key,
                                            const driver::SweepCell& cell);
 
@@ -107,13 +112,15 @@ class ResultStore
     std::size_t merge_from(const std::string& src_dir);
 
     /**
-     * Garbage-collect the store: drop every live entry first compiled
-     * more than @p max_age_days days ago (entries written before
-     * timestamps existed count as infinitely old), then compact() — so
-     * expired rows, stale-salt lines, and retired segments all leave the
-     * disk in one pass. The long-lived farm-store maintenance entry
-     * point (`bench_sweep --cache-gc`). Returns the number of entries
-     * dropped for age.
+     * Garbage-collect the store: drop every live entry neither compiled
+     * nor served within the last @p max_age_days days — the age basis is
+     * max(created_at, last_hit), so a warm entry that keeps getting hit
+     * outlives an untouched entry of the same compile date (entries
+     * written before timestamps existed count as infinitely old) — then
+     * compact(), so expired rows, stale-salt lines, and retired segments
+     * all leave the disk in one pass. The long-lived farm-store
+     * maintenance entry point (`bench_sweep --cache-gc`). Returns the
+     * number of entries dropped for age.
      */
     std::size_t gc(double max_age_days);
 
@@ -136,6 +143,11 @@ class ResultStore
          * written before timestamps existed (treated as expired by any
          * gc()). */
         long long created_at = 0;
+        /** Unix seconds the row was last served by lookup(); 0 when it
+         * has never hit. gc() keys on max(created_at, last_hit), so hot
+         * entries survive passes that retire idle ones. Persisted by
+         * compact()/gc() only — flush() segments stay clock-free. */
+        long long last_hit = 0;
         Json row;
         bool pending = false; ///< not yet persisted by flush()
     };

@@ -25,6 +25,19 @@ EprLedger::consume_raw(NodeId a, NodeId b, std::size_t count)
 }
 
 void
+EprLedger::consume_route(const std::vector<NodeId>& route, std::size_t count)
+{
+    if (route.size() < 2)
+        support::fatal("EprLedger: route with %zu nodes", route.size());
+    if (route.front() <= route.back()) {
+        routes_[route] += count;
+    } else {
+        std::vector<NodeId> rev(route.rbegin(), route.rend());
+        routes_[rev] += count;
+    }
+}
+
+void
 EprLedger::record_fidelity(double f)
 {
     if (f <= 0.0 || f > 1.0)

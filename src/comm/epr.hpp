@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "qir/types.hpp"
 
@@ -34,6 +35,20 @@ class EprLedger
     /** Record @p count raw elementary pairs generated on the physical
      * (a, b) link (purification inputs and swapping segments). */
     void consume_raw(NodeId a, NodeId b, std::size_t count = 1);
+
+    /**
+     * Record that @p count purified pairs were delivered over exactly
+     * @p route (the node sequence actually traversed, which differs from
+     * the routing-table path when the scheduler detours around congested
+     * routers). Direction is normalized so front < back. Routes let the
+     * verification checkers re-derive per-segment raw-pair conservation
+     * exactly even for detoured pairs; they are in-memory diagnostics and
+     * are NOT serialized into the sweep-result cache — ledgers rebuilt by
+     * restore() report has_routes() == false and checkers fall back to
+     * routing-table derivation.
+     */
+    void consume_route(const std::vector<NodeId>& route,
+                       std::size_t count = 1);
 
     /** Fold the fidelity of one consumed pair into the program-fidelity
      * estimate. @p f must lie in (0, 1]. */
@@ -79,6 +94,17 @@ class EprLedger
         return raw_per_link_;
     }
 
+    /** Whether per-pair routes were recorded (false on restored ledgers
+     * and on ledgers built before scheduling). */
+    bool has_routes() const { return !routes_.empty(); }
+
+    /** Purified pair counts by exact delivery route (front < back). */
+    const std::map<std::vector<NodeId>, std::size_t>&
+    routes() const
+    {
+        return routes_;
+    }
+
     /**
      * Rebuild a ledger from serialized state (see cache::ResultStore).
      * @p log_fidelity is restored exactly — replaying record_fidelity()
@@ -99,6 +125,7 @@ class EprLedger
 
     std::map<std::pair<NodeId, NodeId>, std::size_t> per_link_;
     std::map<std::pair<NodeId, NodeId>, std::size_t> raw_per_link_;
+    std::map<std::vector<NodeId>, std::size_t> routes_;
     std::size_t total_ = 0;
     std::size_t raw_total_ = 0;
     double log_fidelity_ = 0.0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -501,61 +503,57 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
 
     support::ThreadPool pool(opts.num_threads);
 
-    // Phase 1: generate + decompose each distinct program, build its
-    // interaction graph.
-    support::parallel_for(pool, programs.size(), [&](std::size_t i) {
-        try {
-            programs[i].circuit = qir::decompose(circuits::make_benchmark(
-                program_cell[i]->spec, program_cell[i]->seed));
-            programs[i].graph = partition::InteractionGraph::from_circuit(
-                programs[i].circuit);
-        } catch (const std::exception& e) {
-            if (opts.rethrow_errors)
-                throw;
-            programs[i].error = e.what();
-            programs[i].transient_error = is_transient(e);
-        }
-    });
+    // ---- Stage pipeline over the preparation DAG ----
+    // program -> its mapping groups -> their cells, with no barrier
+    // between stages: a cell starts compiling the moment its own mapping
+    // is ready, while unrelated programs are still decomposing and other
+    // groups are still partitioning. Warm cache-hit cells never enter
+    // the pipeline at all (cell_mapping stays SIZE_MAX). Rows are
+    // written by index, so the output order is the cell order no matter
+    // which worker finishes first — the result is byte-identical for
+    // every thread count.
+    std::vector<std::vector<std::size_t>> mappings_of_program(
+        programs.size());
+    for (std::size_t m = 0; m < mappings.size(); ++m)
+        mappings_of_program[mappings[m].program].push_back(m);
+    std::vector<std::vector<std::size_t>> cells_of_mapping(mappings.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (cell_mapping[i] != SIZE_MAX)
+            cells_of_mapping[cell_mapping[i]].push_back(i);
 
-    // Phase 2: partition each distinct mapping group. OEE sees only the
-    // capacities; the multilevel partitioners derive the group's machine
-    // (routing table + link model) from its exemplar cell.
-    support::parallel_for(pool, mappings.size(), [&](std::size_t i) {
-        Mapping& mp = mappings[i];
-        const Program& prog = programs[mp.program];
-        if (!prog.error.empty()) {
-            mp.error = prog.error;
-            mp.transient_error = prog.transient_error;
-            return;
+    // Completion tracking for dynamically submitted continuations, plus
+    // per-slot exception capture so rethrow_errors callers get the same
+    // deterministic exception the barrier phases would have thrown: the
+    // lowest-index failure of the earliest failing stage.
+    std::mutex pipe_mu;
+    std::condition_variable pipe_done;
+    std::size_t outstanding = 0;
+    std::vector<std::exception_ptr> pexc(programs.size());
+    std::vector<std::exception_ptr> mexc(mappings.size());
+    std::vector<std::exception_ptr> cexc(cells.size());
+    std::exception_ptr stray; // escaped a stage's own handler: a bug
+
+    auto launch = [&](auto&& body) {
+        {
+            std::lock_guard<std::mutex> lock(pipe_mu);
+            ++outstanding;
         }
-        try {
-            if (mp.cell->partitioner == partition::Mapper::Oee) {
-                mp.map = hw::QubitMapping(partition::oee_partition(
-                    *prog.graph, mp.capacities));
-            } else {
-                const hw::Machine machine = machine_for(
-                    mp.cell->spec, mp.cell->shape, mp.cell->topology,
-                    mp.cell->link_fidelity, mp.cell->target_fidelity,
-                    mp.cell->link_bandwidth,
-                    mp.cell->link_fidelity_overrides,
-                    mp.cell->link_bandwidth_overrides);
-                mp.map = partition::map_with(mp.cell->partitioner,
-                                             *prog.graph, machine);
+        pool.submit([&, body = std::forward<decltype(body)>(body)]() {
+            try {
+                body();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(pipe_mu);
+                if (!stray)
+                    stray = std::current_exception();
             }
-        } catch (const std::exception& e) {
-            if (opts.rethrow_errors)
-                throw;
-            mp.error = e.what();
-            mp.transient_error = is_transient(e);
-        }
-    });
+            std::lock_guard<std::mutex> lock(pipe_mu);
+            if (--outstanding == 0)
+                pipe_done.notify_all();
+        });
+    };
 
-    // Phase 3: compile every cell against its memoized preparation.
-    // Rows are written by index, so the output order is the cell order no
-    // matter which worker finishes first.
-    support::parallel_for(pool, cells.size(), [&](std::size_t i) {
-        if (cell_mapping[i] == SIZE_MAX)
-            return; // cache hit or geometry error already recorded
+    // Stage 3: compile one cell against its memoized preparation.
+    auto cell_stage = [&](std::size_t i) {
         const Mapping& mp = mappings[cell_mapping[i]];
         try {
             if (!mp.error.empty()) {
@@ -565,15 +563,101 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             rows[i] = run_cell_prepared(
                 cells[i], programs[mp.program].circuit, *mp.map);
         } catch (const std::exception& e) {
-            if (opts.rethrow_errors)
-                throw;
+            if (opts.rethrow_errors) {
+                cexc[i] = std::current_exception();
+                return;
+            }
             rows[i].cell = cells[i];
             rows[i].ok = false;
             rows[i].error = e.what();
             if (is_transient(e))
                 transient[i] = 1;
         }
-    });
+    };
+
+    // Stage 2: partition one mapping group. OEE sees only the
+    // capacities; the multilevel partitioners derive the group's machine
+    // (routing table + link model) from its exemplar cell.
+    auto mapping_stage = [&](std::size_t m) {
+        Mapping& mp = mappings[m];
+        const Program& prog = programs[mp.program];
+        bool ready = false;
+        if (!prog.error.empty()) {
+            mp.error = prog.error;
+            mp.transient_error = prog.transient_error;
+            ready = true; // cells report the recorded error per row
+        } else {
+            try {
+                if (mp.cell->partitioner == partition::Mapper::Oee) {
+                    mp.map = hw::QubitMapping(partition::oee_partition(
+                        *prog.graph, mp.capacities));
+                } else {
+                    const hw::Machine machine = machine_for(
+                        mp.cell->spec, mp.cell->shape, mp.cell->topology,
+                        mp.cell->link_fidelity, mp.cell->target_fidelity,
+                        mp.cell->link_bandwidth,
+                        mp.cell->link_fidelity_overrides,
+                        mp.cell->link_bandwidth_overrides);
+                    mp.map = partition::map_with(mp.cell->partitioner,
+                                                 *prog.graph, machine);
+                }
+                ready = true;
+            } catch (const std::exception& e) {
+                if (opts.rethrow_errors) {
+                    mexc[m] = std::current_exception();
+                } else {
+                    mp.error = e.what();
+                    mp.transient_error = is_transient(e);
+                    ready = true;
+                }
+            }
+        }
+        if (ready)
+            for (std::size_t i : cells_of_mapping[m])
+                launch([&, i]() { cell_stage(i); });
+    };
+
+    // Stage 1: generate + decompose one distinct program, build its
+    // interaction graph.
+    auto program_stage = [&](std::size_t p) {
+        bool ready = false;
+        try {
+            programs[p].circuit = qir::decompose(circuits::make_benchmark(
+                program_cell[p]->spec, program_cell[p]->seed));
+            programs[p].graph = partition::InteractionGraph::from_circuit(
+                programs[p].circuit);
+            ready = true;
+        } catch (const std::exception& e) {
+            if (opts.rethrow_errors) {
+                pexc[p] = std::current_exception();
+            } else {
+                programs[p].error = e.what();
+                programs[p].transient_error = is_transient(e);
+                ready = true; // downstream stages record the error per row
+            }
+        }
+        if (ready)
+            for (std::size_t m : mappings_of_program[p])
+                launch([&, m]() { mapping_stage(m); });
+    };
+
+    for (std::size_t p = 0; p < programs.size(); ++p)
+        launch([&, p]() { program_stage(p); });
+    {
+        std::unique_lock<std::mutex> lock(pipe_mu);
+        pipe_done.wait(lock, [&]() { return outstanding == 0; });
+    }
+    if (stray)
+        std::rethrow_exception(stray);
+    for (std::exception_ptr& e : pexc)
+        if (e)
+            std::rethrow_exception(e);
+    for (std::exception_ptr& e : mexc)
+        if (e)
+            std::rethrow_exception(e);
+    for (std::exception_ptr& e : cexc)
+        if (e)
+            std::rethrow_exception(e);
 
     // ---- Record freshly compiled rows ----
     // Deterministic error rows are recorded too: a capacity mismatch or

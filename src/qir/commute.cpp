@@ -94,6 +94,33 @@ BlockContext::absorb(const Gate& g)
     }
 }
 
+void
+BlockContext::merge(const BlockContext& other)
+{
+    std::vector<std::pair<QubitId, AxisMask>> merged;
+    merged.reserve(entries_.size() + other.entries_.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < entries_.size() && j < other.entries_.size()) {
+        if (entries_[i].first < other.entries_[j].first) {
+            merged.push_back(entries_[i++]);
+        } else if (other.entries_[j].first < entries_[i].first) {
+            merged.push_back(other.entries_[j++]);
+        } else {
+            merged.emplace_back(entries_[i].first,
+                                entries_[i].second &
+                                    other.entries_[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < entries_.size(); ++i)
+        merged.push_back(entries_[i]);
+    for (; j < other.entries_.size(); ++j)
+        merged.push_back(other.entries_[j]);
+    entries_ = std::move(merged);
+}
+
 bool
 BlockContext::commutes(const Gate& g) const
 {

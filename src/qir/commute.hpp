@@ -56,6 +56,14 @@ class BlockContext
     /** Add a gate to the block, tightening per-qubit masks. */
     void absorb(const Gate& g);
 
+    /**
+     * Absorb another block's accumulated context. Because absorb only
+     * intersects per-qubit masks (commutative, associative, idempotent),
+     * this is exactly equivalent to replaying every absorb that built
+     * @p other — in O(touched qubits) instead of O(gates).
+     */
+    void merge(const BlockContext& other);
+
     /** True if @p g provably commutes with every gate in the block. */
     bool commutes(const Gate& g) const;
 

@@ -7,6 +7,16 @@
 
 namespace autocomm::support {
 
+namespace {
+thread_local bool tls_pool_worker = false;
+} // namespace
+
+bool
+ThreadPool::on_worker_thread()
+{
+    return tls_pool_worker;
+}
+
 std::size_t
 default_thread_count()
 {
@@ -78,6 +88,7 @@ ThreadPool::enqueue(std::function<void()> job)
 void
 ThreadPool::worker_loop()
 {
+    tls_pool_worker = true;
     for (;;) {
         std::function<void()> job;
         {
@@ -96,6 +107,17 @@ void
 parallel_for(ThreadPool& pool, std::size_t n,
              const std::function<void(std::size_t)>& fn)
 {
+    // Nested use (a pool task spawning a parallel section on its own
+    // pool) must not block a worker on futures only other workers can
+    // drain — with every worker waiting, the queue would never move.
+    // Run inline instead; iteration order then matches the rethrow
+    // contract trivially.
+    if (n <= 1 || pool.size() <= 1 || ThreadPool::on_worker_thread()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
     std::vector<std::future<void>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i)

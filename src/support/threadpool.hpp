@@ -45,6 +45,14 @@ class ThreadPool
     std::size_t size() const { return workers_.size(); }
 
     /**
+     * True when the calling thread is a worker of any ThreadPool. A
+     * worker that blocks on futures served by its own queue can deadlock
+     * the pool once every worker does it; parallel_for consults this and
+     * runs nested parallel sections inline instead.
+     */
+    static bool on_worker_thread();
+
+    /**
      * Enqueue @p f for execution. The returned future yields f's result;
      * an exception thrown by f is rethrown from future::get().
      */

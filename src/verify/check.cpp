@@ -164,13 +164,18 @@ check_schedule(const pass::ScheduleResult& r, const hw::Machine& m)
                     "log fidelity %g > 0 (fidelities above 1)", lf));
 
     // --- Re-derive routed quantities from the machine model -----------
-    // The ledger's purified map is keyed by *endpoint* pair; everything
-    // route-dependent (hops, purification, raw pairs per physical
-    // segment, fidelity, occupancy) follows from the machine's routing
-    // table and purification policy — exactly when no pair was detoured
-    // (r.detours == 0), as a floor otherwise. A hand-built bad result can make
-    // the machine itself throw (e.g. an unreachable purification
-    // target); report that as a violation rather than propagating.
+    // When the ledger carries per-pair delivery routes (always true for
+    // results produced by schedule_program), every route-dependent
+    // quantity — hops, purification depth, raw pairs per physical
+    // segment, fidelity, occupancy — is re-derived *exactly* from the
+    // recorded routes, costing each route the same way the scheduler's
+    // plan cache does, detoured or not. Ledgers without routes (rebuilt
+    // from the cache, or hand-assembled in tests) fall back to the
+    // routing table, which is exact only when nothing detoured; a
+    // detoured result without routes is itself a violation. A hand-built
+    // bad result can make the machine throw (e.g. an unreachable
+    // purification target); report that as a violation rather than
+    // propagating.
     std::size_t hops_expected = 0;
     std::size_t rounds_expected = 0;
     std::size_t raw_expected = 0;
@@ -180,42 +185,132 @@ check_schedule(const pass::ScheduleResult& r, const hw::Machine& m)
     std::map<NodeId, double> slot_busy;
     std::map<LinkKey, double> band_busy;
     bool derived_ok = true;
+
+    // Fold one delivery of n pairs over route into the expected totals.
+    auto fold_route = [&](const std::vector<NodeId>& route, std::size_t n,
+                          std::size_t raw, int rounds, double dur,
+                          double pf) {
+        const double nd = static_cast<double>(n);
+        const std::size_t hops = route.size() - 1;
+        hops_expected += n * hops;
+        rounds_expected += n * static_cast<std::size_t>(rounds);
+        raw_expected += n * raw * hops;
+        log_fid_expected += nd * std::log(pf);
+        max_pair_latency = std::max(max_pair_latency, dur);
+
+        slot_busy[route.front()] += nd * dur;
+        slot_busy[route.back()] += nd * dur;
+        for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+            const NodeId u = route[i];
+            const NodeId v = route[i + 1];
+            const LinkKey seg = u < v ? LinkKey{u, v} : LinkKey{v, u};
+            raw_by_segment[seg] += n * raw;
+            if (i > 0) // intermediate swap router: two slots
+                slot_busy[u] += 2.0 * nd * dur;
+            const int bw = m.link.link_bandwidth(u, v);
+            if (bw > 0) {
+                const double chan = static_cast<double>(
+                    std::min<std::size_t>(
+                        raw, static_cast<std::size_t>(bw)));
+                band_busy[seg] += nd * chan * dur;
+            }
+        }
+    };
+
     try {
-        for (const auto& [key, n] : led.per_link()) {
-            const auto [a, b] = key;
-            if (!(a >= 0 && a < b && b < m.num_nodes))
-                continue; // already reported by check_link_keys
-            const double nd = static_cast<double>(n);
-            const int hops = m.hops(a, b);
-            const int rounds = m.purification_rounds(a, b);
-            const std::size_t raw = m.epr_cost_multiplier(a, b);
-            const double dur = m.epr_latency(a, b);
-            const double pf = m.purified_pair_fidelity(a, b);
-
-            hops_expected += n * static_cast<std::size_t>(hops);
-            rounds_expected += n * static_cast<std::size_t>(rounds);
-            raw_expected += n * raw * static_cast<std::size_t>(hops);
-            log_fid_expected += nd * std::log(pf);
-            max_pair_latency = std::max(max_pair_latency, dur);
-
-            const std::vector<NodeId> route = m.path(a, b);
-            slot_busy[a] += nd * dur;
-            slot_busy[b] += nd * dur;
-            for (std::size_t i = 0; i + 1 < route.size(); ++i) {
-                const NodeId u = route[i];
-                const NodeId v = route[i + 1];
-                const LinkKey seg =
-                    u < v ? LinkKey{u, v} : LinkKey{v, u};
-                raw_by_segment[seg] += n * raw;
-                if (i > 0) // intermediate swap router: two slots
-                    slot_busy[u] += 2.0 * nd * dur;
-                const int bw = m.link.link_bandwidth(u, v);
-                if (bw > 0) {
-                    const double chan = static_cast<double>(
-                        std::min<std::size_t>(
-                            raw, static_cast<std::size_t>(bw)));
-                    band_busy[seg] += nd * chan * dur;
+        if (led.has_routes()) {
+            std::size_t route_total = 0;
+            std::size_t detours_derived = 0;
+            LinkCounts route_endpoints;
+            for (const auto& [route, n] : led.routes()) {
+                route_total += n;
+                const NodeId a = route.front();
+                const NodeId b = route.back();
+                if (!(a >= 0 && a < b && b < m.num_nodes)) {
+                    derived_ok = false;
+                    rep.add("route-key",
+                            support::strprintf(
+                                "recorded route endpoints %s are not an "
+                                "ordered pair of nodes in [0, %d)",
+                                link_str({a, b}).c_str(), m.num_nodes));
+                    continue;
                 }
+                route_endpoints[{a, b}] += n;
+                bool adjacent = true;
+                for (std::size_t i = 0; i + 1 < route.size(); ++i)
+                    if (m.hops(route[i], route[i + 1]) != 1) {
+                        adjacent = false;
+                        rep.add("route-adjacent",
+                                support::strprintf(
+                                    "recorded route hop (%d,%d) spans %d "
+                                    "physical hops",
+                                    route[i], route[i + 1],
+                                    m.hops(route[i], route[i + 1])));
+                    }
+                if (!adjacent) {
+                    derived_ok = false;
+                    continue;
+                }
+                // Cost the route exactly as EprPlanCache does: the
+                // routing table's choice uses the memoized per-pair
+                // queries, anything else is a detour costed from the
+                // route itself.
+                if (route == m.path(a, b)) {
+                    const int rounds = m.purification_rounds(a, b);
+                    fold_route(route, n, m.epr_cost_multiplier(a, b),
+                               rounds, m.epr_latency(a, b),
+                               m.purified_pair_fidelity(a, b));
+                } else {
+                    detours_derived += n;
+                    const double f = m.route_fidelity(route);
+                    const int rounds = m.purify.rounds_for(f);
+                    fold_route(
+                        route, n,
+                        noise::PurificationPolicy::cost_multiplier(rounds),
+                        rounds, m.route_epr_latency(route),
+                        noise::purified_fidelity(f, rounds));
+                }
+            }
+            if (route_total != led.total()) {
+                derived_ok = false;
+                rep.add("route-total",
+                        support::strprintf(
+                            "recorded routes deliver %zu pairs, ledger "
+                            "total says %zu",
+                            route_total, led.total()));
+            }
+            for (const auto& [key, n] : led.per_link()) {
+                const auto it = route_endpoints.find(key);
+                const std::size_t got =
+                    it == route_endpoints.end() ? 0 : it->second;
+                if (got != n)
+                    rep.add("route-endpoints",
+                            support::strprintf(
+                                "endpoint pair %s consumed %zu pairs but "
+                                "recorded routes deliver %zu",
+                                link_str(key).c_str(), n, got));
+            }
+            if (detours_derived != r.detours)
+                rep.add("detour-count",
+                        support::strprintf(
+                            "%zu consumed pairs took non-minimal routes, "
+                            "detours counter says %zu",
+                            detours_derived, r.detours));
+        } else {
+            if (r.detours > 0)
+                rep.add("route-coverage",
+                        support::strprintf(
+                            "%zu pairs were detoured but the ledger "
+                            "records no delivery routes; per-segment "
+                            "conservation cannot be re-derived",
+                            r.detours));
+            for (const auto& [key, n] : led.per_link()) {
+                const auto [a, b] = key;
+                if (!(a >= 0 && a < b && b < m.num_nodes))
+                    continue; // already reported by check_link_keys
+                fold_route(m.path(a, b), n, m.epr_cost_multiplier(a, b),
+                           m.purification_rounds(a, b), m.epr_latency(a, b),
+                           m.purified_pair_fidelity(a, b));
             }
         }
     } catch (const support::UserError& e) {
@@ -225,19 +320,7 @@ check_schedule(const pass::ScheduleResult& r, const hw::Machine& m)
                     e.what());
     }
 
-    if (derived_ok && r.detours > 0) {
-        // Detoured pairs left the routing table, so the exact
-        // re-derivations below do not apply; what survives any detour is
-        // a floor: a detour is never shorter than the minimal route.
-        if (r.hops_total < hops_expected)
-            rep.add("hops-floor",
-                    support::strprintf(
-                        "hops_total %zu < minimal-route floor %zu even "
-                        "though %zu pairs were detoured",
-                        r.hops_total, hops_expected, r.detours));
-    }
-
-    if (derived_ok && r.detours == 0) {
+    if (derived_ok && (led.has_routes() || r.detours == 0)) {
         if (r.hops_total != hops_expected)
             rep.add("hops-total",
                     support::strprintf(

@@ -16,6 +16,7 @@
 #include "partition/mappers.hpp"
 #include "qir/decompose.hpp"
 #include "qir/unitary.hpp"
+#include "support/threadpool.hpp"
 
 namespace {
 
@@ -312,6 +313,53 @@ TEST(Aggregate, DeterministicOutput)
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].members, b[i].members);
         EXPECT_EQ(a[i].hub, b[i].hub);
+    }
+}
+
+void
+expect_same_blocks(const std::vector<CommBlock>& a,
+                   const std::vector<CommBlock>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].members, b[i].members) << "block " << i;
+        EXPECT_EQ(a[i].absorbed, b[i].absorbed) << "block " << i;
+        EXPECT_EQ(a[i].children, b[i].children) << "block " << i;
+        EXPECT_EQ(a[i].parent, b[i].parent) << "block " << i;
+        EXPECT_EQ(a[i].hub, b[i].hub) << "block " << i;
+        EXPECT_EQ(a[i].hub_node, b[i].hub_node) << "block " << i;
+        EXPECT_EQ(a[i].remote_node, b[i].remote_node) << "block " << i;
+    }
+}
+
+// The parallel scan/refinement speculates against a frozen snapshot and
+// validates before applying in the serial order, so its output must be
+// bit-identical to the serial pass for every thread count — the
+// determinism gate for the whole parallelization.
+TEST(Aggregate, ParallelMatchesSerialExactly)
+{
+    struct Case
+    {
+        Circuit c;
+        hw::QubitMapping map;
+    };
+    std::vector<Case> cases;
+    // QFT: scan-dominated, dense gaps. MCTR: refinement-dominated, long
+    // merge chains and nesting.
+    cases.push_back({qir::decompose(circuits::make_qft(60)),
+                     hw::QubitMapping::contiguous(60, 6)});
+    const circuits::BenchmarkSpec mctr =
+        circuits::spec_for({circuits::Family::MCTR}, 80, 8);
+    cases.push_back({qir::decompose(circuits::make_benchmark(mctr, 2022)),
+                     hw::QubitMapping::contiguous(80, 8)});
+
+    for (const Case& cs : cases) {
+        const auto serial = aggregate(cs.c, cs.map);
+        for (std::size_t threads : {2u, 8u}) {
+            support::ThreadPool pool(threads);
+            const auto par = aggregate(cs.c, cs.map, {}, &pool);
+            expect_same_blocks(serial, par);
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
 #include <unistd.h>
 #include <fstream>
@@ -291,6 +292,37 @@ TEST(CacheStore, WarmRunHitsEverythingAndMatchesColdRunByteIdentically)
     }
 }
 
+TEST(CacheStore, PartiallyWarmSweepIsThreadCountInvariant)
+{
+    // Seed the store with only half of the grid, then run the full grid
+    // at several thread counts. Warm cells skip the stage pipeline
+    // entirely while cold cells flow through it concurrently; the CSV
+    // must be byte-identical to a fully cold serial run regardless.
+    const std::vector<SweepCell> cells = small_grid().cells();
+    ASSERT_GE(cells.size(), 4u);
+    const std::vector<SweepCell> half(cells.begin(),
+                                      cells.begin() +
+                                          static_cast<long>(cells.size() / 2));
+
+    SweepOptions cold;
+    cold.num_threads = 1;
+    const std::string cold_csv =
+        driver::sweep_csv(driver::run_sweep(cells, cold)).to_string();
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        TempDir dir("halfwarm-" + std::to_string(threads));
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.num_threads = threads;
+        opts.store = &store;
+        driver::run_sweep(half, opts);
+        const std::string csv =
+            driver::sweep_csv(driver::run_sweep(cells, opts)).to_string();
+        EXPECT_EQ(store.stats().hits, half.size());
+        EXPECT_EQ(csv, cold_csv) << threads << " threads";
+    }
+}
+
 TEST(CacheStore, SaltBumpInvalidatesEveryEntry)
 {
     TempDir dir("salt");
@@ -544,6 +576,56 @@ TEST(CacheGc, PreTimestampEntriesCountAsExpired)
     EXPECT_EQ(store.size(), 0u);
     ResultStore reopened(dir.str());
     EXPECT_EQ(reopened.stats().loaded, 0u);
+}
+
+TEST(CacheGc, WarmHitOutlivesUntouchedEntryOfTheSameAge)
+{
+    TempDir dir("gc-lasthit");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.compact();
+    }
+    // Backdate every entry's compile time by ten days; all of them are
+    // now past a five-day allowance.
+    const fs::path canonical = dir.path / "store.jsonl";
+    std::string text;
+    {
+        std::ifstream in(canonical);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    const long long old_ts =
+        static_cast<long long>(std::time(nullptr)) - 10ll * 86400ll;
+    for (std::size_t at = 0;
+         (at = text.find("\"ts\":", at)) != std::string::npos;) {
+        const std::size_t end = text.find(',', at);
+        text.replace(at, end - at, "\"ts\":" + std::to_string(old_ts));
+        at += 5;
+    }
+    {
+        std::ofstream out(canonical, std::ios::trunc);
+        out << text;
+    }
+
+    ResultStore store(dir.str());
+    ASSERT_EQ(store.stats().loaded, cells.size());
+    // Serve exactly one cell from the store: its last-hit time is now,
+    // so a five-day pass keeps it while retiring every same-age sibling.
+    const SweepCell& hot = cells.front();
+    ASSERT_TRUE(store.lookup(cache::cell_key(hot), hot).has_value());
+    EXPECT_EQ(store.gc(5.0), cells.size() - 1);
+    EXPECT_EQ(store.size(), 1u);
+
+    // The refreshed last-hit time reached disk with gc's compaction, so
+    // a fresh open still serves the hot cell.
+    ResultStore reopened(dir.str());
+    EXPECT_EQ(reopened.stats().loaded, 1u);
+    EXPECT_TRUE(reopened.lookup(cache::cell_key(hot), hot).has_value());
 }
 
 TEST(CacheGc, StaleSaltLinesLeaveTheDiskOnGc)

@@ -91,6 +91,41 @@ TEST(Sweep, MetricsAreIdenticalUnderOneVsManyThreads)
     EXPECT_EQ(csv1, csv4);
 }
 
+TEST(Sweep, PipelineCsvIsByteIdenticalAtOneTwoAndEightThreads)
+{
+    // The stage pipeline overlaps decompose -> partition -> compile
+    // across cells instead of running them as barrier phases. Mixing
+    // healthy cells with a geometry-reject cell and a bad-program cell
+    // exercises every stage's error path; the CSV must stay
+    // byte-identical no matter how many workers race through the DAG.
+    SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::BV};
+    grid.qubit_counts = {10, 12};
+    grid.node_counts = {2, 3};
+    grid.option_sets = {driver::OptionSet{},
+                        *driver::find_option_set("sparse")};
+    std::vector<SweepCell> cells = grid.cells();
+    SweepCell bad_geom;
+    bad_geom.spec = {circuits::Family::QFT, 16, 2};
+    bad_geom.shape = "2x4"; // 8 < 16 qubits
+    cells.push_back(bad_geom);
+    SweepCell bad_prog;
+    bad_prog.spec = {circuits::Family::QFT, -5, 2};
+    cells.push_back(bad_prog);
+
+    std::string baseline;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        SweepOptions opts;
+        opts.num_threads = threads;
+        const std::string csv =
+            driver::sweep_csv(driver::run_sweep(cells, opts)).to_string();
+        if (baseline.empty())
+            baseline = csv;
+        else
+            EXPECT_EQ(csv, baseline) << threads << " threads";
+    }
+}
+
 TEST(Sweep, RepeatedRunsAreDeterministic)
 {
     const std::vector<SweepCell> cells = small_grid().cells();

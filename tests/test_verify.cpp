@@ -339,6 +339,96 @@ TEST(ScheduleConflicts, FusedChainsOnMultiHopTopologiesStayFinite)
     }
 }
 
+/** check_schedule used to relax EPR conservation to a hops floor
+ * whenever a pair detoured; the ledger now records every pair's actual
+ * delivery route, so conservation is exact for detoured schedules too —
+ * a single leaked raw pair must be rejected even with detours > 0. */
+TEST(CheckSchedule, DetouredResultGetsExactConservation)
+{
+    // Seed 86 on a 4-node grid detours deterministically (the fused-chain
+    // scenario pinned in FusedChainsOnMultiHopTopologiesStayFinite).
+    RandomCircuitOptions opts;
+    opts.num_qubits = 16;
+    opts.depth = 24;
+    opts.seed = 86;
+    const qir::Circuit c = qir::decompose(verify::random_circuit(opts));
+    const hw::QubitMapping map =
+        partition::oee_map(c, hw::Machine::homogeneous(4, 4));
+    const hw::Machine m =
+        hw::Machine::homogeneous(4, 4, hw::Topology::Grid);
+    const pass::CompileResult ac = pass::compile(c, map, m);
+    ASSERT_GT(ac.schedule.detours, 0u);
+    ASSERT_TRUE(ac.schedule.ledger.has_routes());
+    ASSERT_TRUE(verify::check_schedule(ac.schedule, m).ok())
+        << verify::check_schedule(ac.schedule, m).to_string();
+
+    // Leak one raw pair on a physical link the schedule actually used:
+    // totals still reconcile against the bumped counter, but the exact
+    // per-segment re-derivation from the recorded routes catches it.
+    pass::ScheduleResult mut = ac.schedule;
+    const auto seg = mut.ledger.raw_per_link().begin()->first;
+    mut.ledger.consume_raw(seg.first, seg.second, 1);
+    mut.epr_raw_pairs += 1;
+    const CheckReport leaked = verify::check_schedule(mut, m);
+    EXPECT_TRUE(has_rule(leaked, "raw-segment")) << leaked.to_string();
+    EXPECT_TRUE(has_rule(leaked, "raw-conservation"))
+        << leaked.to_string();
+
+    // A miscounted detour counter is caught against the recorded routes.
+    mut = ac.schedule;
+    mut.detours += 1;
+    EXPECT_TRUE(has_rule(verify::check_schedule(mut, m), "detour-count"));
+
+    // A detoured result whose ledger lost its routes (e.g. hand-rebuilt
+    // via restore()) cannot be verified exactly; that is a violation now,
+    // not a silent fallback to the old hops floor.
+    mut = ac.schedule;
+    mut.ledger = comm::EprLedger::restore(
+        ac.schedule.ledger.per_link(), ac.schedule.ledger.raw_per_link(),
+        ac.schedule.ledger.total(), ac.schedule.ledger.raw_total(),
+        ac.schedule.ledger.log_fidelity());
+    EXPECT_TRUE(
+        has_rule(verify::check_schedule(mut, m), "route-coverage"));
+}
+
+TEST(CheckSchedule, ShapedWeakLinkMachinePassesAllCheckers)
+{
+    // The bench_fuzz shape/override axes pinned on one deterministic
+    // case: heterogeneous node capacities plus one degraded,
+    // bandwidth-capped fiber. The checkers must cost the bottleneck
+    // bandwidth and the re-routed paths exactly — no uniform-link
+    // shortcuts.
+    RandomCircuitOptions opts;
+    opts.num_qubits = 16;
+    opts.depth = 24;
+    opts.seed = 86;
+    const qir::Circuit c = qir::decompose(verify::random_circuit(opts));
+    const std::vector<int> caps = {4, 4, 12, 12};
+    const hw::QubitMapping map =
+        partition::oee_map(c, hw::Machine::from_capacities(caps));
+
+    hw::Machine m =
+        hw::Machine::from_capacities(caps, hw::Topology::Grid);
+    m.link.fidelity = 0.95;
+    m.purify.target_fidelity = 0.99;
+    m.link.set_link_fidelity(0, 1, 0.93);
+    m.link.set_link_bandwidth(0, 1, 1);
+    m.build_routing();
+    m.validate_noise();
+
+    const pass::CompileResult ac = pass::compile(c, map, m);
+    const CheckReport sched = verify::check_schedule(ac.schedule, m);
+    EXPECT_TRUE(sched.ok()) << sched.to_string();
+    const CheckReport metrics = verify::check_metrics(ac.metrics, c, map);
+    EXPECT_TRUE(metrics.ok()) << metrics.to_string();
+
+    const pass::CompileResult fe = baseline::compile_ferrari(c, map, m);
+    const CheckReport fsched = verify::check_schedule(fe.schedule, m);
+    EXPECT_TRUE(fsched.ok()) << fsched.to_string();
+    const CheckReport cross = verify::check_cross(ac, fe);
+    EXPECT_TRUE(cross.ok()) << cross.to_string();
+}
+
 /** Same-round merges could absorb a block as a nested child and then
  * merge-and-empty it through a stale group list, leaving a dangling
  * child index (heap overflow in the final remap). */
