@@ -17,12 +17,19 @@
  *
  * Each phase is timed over --reps repetitions and the minimum is
  * reported (the usual denoising for wall-clock microbenchmarks).
+ *
+ * Timing comes from the obs subsystem: every pass runs under an
+ * obs::Span, and a rep's per-pass time is the growth of the pass's
+ * registry histogram across that rep — one timing source of truth with
+ * the trace, and --trace-out of this binary shows the very spans being
+ * measured.
  */
 #include <algorithm>
-#include <chrono>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +38,8 @@
 #include "common.hpp"
 #include "driver/sweep.hpp"
 #include "multilevel/partitioner.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "partition/interaction_graph.hpp"
 #include "partition/mapper.hpp"
 #include "partition/oee.hpp"
@@ -43,7 +52,6 @@
 namespace {
 
 using namespace autocomm;
-using clock_type = std::chrono::steady_clock;
 
 /** The per-pass timings of one compilation, in milliseconds. The
  * partition bucket is additionally split into the multilevel phases
@@ -84,78 +92,112 @@ struct Breakdown
     }
 };
 
-double
-ms_since(clock_type::time_point t0)
+/** The span/histogram names of the ten profiled passes, in Breakdown
+ * field order. */
+constexpr std::array<const char*, 10> kPassNames = {
+    "decompose", "graph",     "partition", "coarsen", "initial",
+    "refine",    "aggregate", "assign",    "reorder", "schedule"};
+
+/** Current registry histogram sums (ns) of the ten passes; absent
+ * histograms (a pass that never ran) read as zero. */
+std::array<std::uint64_t, kPassNames.size()>
+pass_sums_ns()
 {
-    return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
-        .count();
+    std::array<std::uint64_t, kPassNames.size()> out{};
+    const obs::Registry& reg = obs::Registry::instance();
+    for (std::size_t i = 0; i < kPassNames.size(); ++i) {
+        const obs::Histogram* h = reg.find_histogram(kPassNames[i]);
+        out[i] = h != nullptr ? h->sum() : 0;
+    }
+    return out;
 }
 
-/** One full pipeline run with a stopwatch between passes. */
+/** One full pipeline run under obs spans; per-pass times are the growth
+ * of each pass's registry histogram over this rep. */
 Breakdown
 profile_once(const circuits::BenchmarkSpec& spec,
              partition::Mapper mapper, std::size_t* gates,
              support::ThreadPool* pool)
 {
-    Breakdown b;
-    auto t0 = clock_type::now();
-    const qir::Circuit c =
-        qir::decompose(circuits::make_benchmark(spec, 2022));
-    b.decompose = ms_since(t0);
+    const auto before = pass_sums_ns();
+
+    qir::Circuit c;
+    {
+        obs::Span span("decompose", spec.label());
+        c = qir::decompose(circuits::make_benchmark(spec, 2022));
+    }
     *gates = c.size();
 
-    t0 = clock_type::now();
-    const partition::InteractionGraph g =
-        partition::InteractionGraph::from_circuit(c);
-    b.graph = ms_since(t0);
+    std::optional<partition::InteractionGraph> g;
+    {
+        obs::Span span("graph", spec.label());
+        g = partition::InteractionGraph::from_circuit(c);
+    }
 
     const hw::Machine m = hw::Machine::homogeneous(
         spec.num_nodes,
         (spec.num_qubits + spec.num_nodes - 1) / spec.num_nodes);
-    t0 = clock_type::now();
     hw::QubitMapping map;
-    if (mapper == partition::Mapper::Oee) {
-        map = hw::QubitMapping(partition::oee_partition(g, m.capacities()));
-    } else {
-        // The multilevel path reports its own per-phase stopwatch, so
-        // the partition bucket splits into coarsen/initial/refine rows
-        // (the +oee polish, when selected, is the remainder).
-        partition::MapperOptions mopts;
-        multilevel::MultilevelStats st;
-        mopts.multilevel.pool = nullptr; // single compilation, one thread
-        std::vector<NodeId> part = multilevel::multilevel_partition(
-            g, m, mopts.multilevel, &st);
-        if (mapper == partition::Mapper::MultilevelOee)
-            part = partition::oee_polish(g, std::move(part), m.num_nodes,
-                                         mopts.polish);
-        map = hw::QubitMapping(std::move(part));
-        b.coarsen = st.coarsen_ms;
-        b.initial = st.initial_ms;
-        b.refine = st.refine_ms;
+    {
+        obs::Span span("partition", spec.label());
+        if (mapper == partition::Mapper::Oee) {
+            map = hw::QubitMapping(
+                partition::oee_partition(*g, m.capacities()));
+        } else {
+            // The multilevel pipeline records its own coarsen/initial/
+            // refine spans, so the partition bucket splits into phase
+            // rows (the +oee polish, when selected, is the remainder).
+            partition::MapperOptions mopts;
+            mopts.multilevel.pool = nullptr; // one compilation, one thread
+            std::vector<NodeId> part = multilevel::multilevel_partition(
+                *g, m, mopts.multilevel);
+            if (mapper == partition::Mapper::MultilevelOee)
+                part = partition::oee_polish(*g, std::move(part),
+                                             m.num_nodes, mopts.polish);
+            map = hw::QubitMapping(std::move(part));
+        }
     }
-    b.partition = ms_since(t0);
 
-    t0 = clock_type::now();
-    std::vector<pass::CommBlock> blocks = pass::aggregate(c, map, {}, pool);
-    b.aggregate = ms_since(t0);
-
-    t0 = clock_type::now();
-    pass::assign_schemes(c, blocks);
-    b.assign = ms_since(t0);
-
-    t0 = clock_type::now();
-    const pass::Metrics metrics = pass::compute_metrics(c, blocks);
+    std::vector<pass::CommBlock> blocks;
+    {
+        obs::Span span("aggregate", spec.label());
+        blocks = pass::aggregate(c, map, {}, pool);
+    }
+    {
+        obs::Span span("assign", spec.label());
+        pass::assign_schemes(c, blocks);
+    }
     std::vector<std::size_t> block_start;
-    const qir::Circuit reordered =
-        pass::reorder_with_blocks(c, blocks, &block_start);
-    b.reorder = ms_since(t0);
-    (void)metrics;
+    qir::Circuit reordered;
+    {
+        obs::Span span("reorder", spec.label());
+        const pass::Metrics metrics = pass::compute_metrics(c, blocks);
+        reordered = pass::reorder_with_blocks(c, blocks, &block_start);
+        (void)metrics;
+    }
+    {
+        obs::Span span("schedule", spec.label());
+        const pass::ScheduleResult sched = pass::schedule_program(
+            reordered, blocks, block_start, map, m);
+        (void)sched;
+    }
 
-    t0 = clock_type::now();
-    const pass::ScheduleResult sched =
-        pass::schedule_program(reordered, blocks, block_start, map, m);
-    b.schedule = ms_since(t0);
-    (void)sched;
+    const auto after = pass_sums_ns();
+    std::array<double, kPassNames.size()> ms;
+    for (std::size_t i = 0; i < kPassNames.size(); ++i)
+        ms[i] = static_cast<double>(after[i] - before[i]) / 1e6;
+
+    Breakdown b;
+    b.decompose = ms[0];
+    b.graph = ms[1];
+    b.partition = ms[2];
+    b.coarsen = ms[3];
+    b.initial = ms[4];
+    b.refine = ms[5];
+    b.aggregate = ms[6];
+    b.assign = ms[7];
+    b.reorder = ms[8];
+    b.schedule = ms[9];
     return b;
 }
 
@@ -178,7 +220,10 @@ usage(const char* argv0)
         "  --assert-speedup X  also profile serially and fail unless\n"
         "                   serial/parallel (aggregate+schedule) >= X\n"
         "                   for every cell (requires --threads > 1)\n"
-        "  --csv PATH       write the breakdown as CSV\n",
+        "  --csv PATH       write the breakdown as CSV\n"
+        "  --trace-out FILE write a Chrome trace-event JSON of the "
+        "profiled spans\n"
+        "  --stats-out FILE write per-pass latency percentiles as JSON\n",
         argv0);
     return 2;
 }
@@ -196,6 +241,7 @@ main(int argc, char** argv)
     int threads = 1;
     double assert_speedup = 0.0;
     std::string csv_path;
+    bench::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -233,6 +279,8 @@ main(int argc, char** argv)
                                    "ratio");
             } else if (arg == "--csv") {
                 csv_path = value();
+            } else if (bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                // handled
             } else {
                 return usage(argv[0]);
             }
@@ -254,6 +302,12 @@ main(int argc, char** argv)
 
     if (assert_speedup > 0.0 && threads <= 1)
         support::fatal("--assert-speedup requires --threads > 1");
+    // The breakdown IS the obs registry here, so recording is always on
+    // for this binary (apply_obs_cli still handles AUTOCOMM_TRACE and
+    // lane naming for the optional exports).
+    bench::apply_obs_cli(obs_cli);
+    obs::set_lane_name("main");
+    obs::set_enabled(true);
     std::unique_ptr<support::ThreadPool> pool;
     if (threads > 1)
         pool = std::make_unique<support::ThreadPool>(
@@ -341,5 +395,6 @@ main(int argc, char** argv)
     } else if (auto dir = bench::csv_dir()) {
         csv.write_file(*dir + "/compiler_perf.csv");
     }
+    bench::finish_obs_cli(obs_cli);
     return speedup_ok ? 0 : 1;
 }

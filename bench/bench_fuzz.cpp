@@ -116,7 +116,11 @@ usage(const char* argv0)
         "  --emit-qasm PATH write the first seed's circuit as OpenQASM "
         "and exit\n"
         "                   (feed it back via bench_sweep --families "
-        "qasm:PATH)\n",
+        "qasm:PATH)\n"
+        "  --trace-out FILE write a Chrome trace-event JSON of the "
+        "fuzz run\n"
+        "  --stats-out FILE write per-pass latency percentiles and "
+        "counters as JSON\n",
         argv0);
     return 2;
 }
@@ -138,6 +142,7 @@ main(int argc, char** argv)
     std::string dump_dir = ".";
     std::string emit_qasm;
     std::string shape;
+    bench::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -187,6 +192,8 @@ main(int argc, char** argv)
                 dump_dir = value();
             } else if (arg == "--emit-qasm") {
                 emit_qasm = value();
+            } else if (bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                // handled
             } else {
                 return usage(argv[0]);
             }
@@ -244,6 +251,8 @@ main(int argc, char** argv)
     }
     const std::size_t num_seeds =
         static_cast<std::size_t>(seed_hi - seed_lo);
+
+    bench::apply_obs_cli(obs_cli);
 
     std::printf("== Differential fuzz: seeds [%llu, %llu) x %zu "
                 "scenarios, %d qubits x %d layers on %d nodes%s%s ==\n",
@@ -378,6 +387,8 @@ main(int argc, char** argv)
         if (!report.empty())
             record_failure(seed, report, raw);
     });
+
+    bench::finish_obs_cli(obs_cli);
 
     if (!fail_seed) {
         std::printf("OK: %zu seeds x %zu scenarios clean\n", num_seeds,

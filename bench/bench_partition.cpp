@@ -26,6 +26,7 @@
 #include "common.hpp"
 #include "driver/sweep.hpp"
 #include "multilevel/cost.hpp"
+#include "obs/trace.hpp"
 #include "partition/interaction_graph.hpp"
 #include "partition/mapper.hpp"
 #include "support/csv.hpp"
@@ -64,7 +65,10 @@ usage(const char* argv0)
         "or hardware)\n"
         "  --seed S         circuit-generation seed (default 2022)\n"
         "  --reps N         timing repetitions, min reported (default 3)\n"
-        "  --csv PATH       write the comparison as CSV\n",
+        "  --csv PATH       write the comparison as CSV\n"
+        "  --trace-out FILE write a Chrome trace-event JSON of the "
+        "partition spans\n"
+        "  --stats-out FILE write partition latency percentiles as JSON\n",
         argv0);
     return 2;
 }
@@ -87,6 +91,7 @@ main(int argc, char** argv)
     std::uint64_t seed = 2022;
     int reps = 3;
     std::string csv_path;
+    bench::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -123,6 +128,8 @@ main(int argc, char** argv)
                            .at(0);
             } else if (arg == "--csv") {
                 csv_path = value();
+            } else if (bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                // handled
             } else {
                 return usage(argv[0]);
             }
@@ -148,6 +155,8 @@ main(int argc, char** argv)
             machines.push_back(
                 {static_cast<int>(hw::parse_shape(s).size()), s});
     }
+
+    bench::apply_obs_cli(obs_cli);
 
     support::ThreadPool pool(num_threads);
     support::Table t({"Scenario", "Partitioner", "Wall (ms)", "Flat cut",
@@ -228,6 +237,10 @@ main(int argc, char** argv)
                         try {
                             for (int r = 0; r < reps; ++r) {
                                 const auto t0 = clock_type::now();
+                                obs::Span span(
+                                    "partition",
+                                    scenario + "/" +
+                                        partition::mapper_name(m));
                                 run.part = partition::partition_with(
                                     m, *graph, machine, mopts);
                                 const double ms_r = ms_since(t0);
@@ -298,5 +311,6 @@ main(int argc, char** argv)
     } else if (auto dir = bench::csv_dir()) {
         csv.write_file(*dir + "/partition.csv");
     }
+    bench::finish_obs_cli(obs_cli);
     return failures == 0 ? 0 : 1;
 }

@@ -122,7 +122,18 @@ usage(const char* argv0)
         "  --cache-gc DAYS  after the run, drop cache entries older than "
         "DAYS days\n"
         "                   (0 drops everything) and compact the store\n"
+        "  --cache-max-mb MB\n"
+        "                   after the run, evict oldest cache entries "
+        "until the\n"
+        "                   store fits in MB megabytes, then compact\n"
         "  --cache-stats    print cache hit/miss/stale counters\n"
+        "  --trace-out FILE write a Chrome trace-event JSON of the run "
+        "(load in\n"
+        "                   chrome://tracing or Perfetto; also via "
+        "AUTOCOMM_TRACE)\n"
+        "  --stats-out FILE write per-pass latency percentiles and "
+        "pipeline\n"
+        "                   counters as JSON\n"
         "  --list-opts      print the built-in option sets and exit\n",
         argv0);
     return 2;
@@ -149,6 +160,8 @@ main(int argc, char** argv)
     std::vector<std::string> merge_from;
     bool cache_stats = false;
     std::optional<double> cache_gc_days;
+    std::optional<double> cache_max_mb;
+    bench::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -237,6 +250,17 @@ main(int argc, char** argv)
                     support::fatal("--cache-gc: \"%s\" is not a "
                                    "non-negative day count", s.c_str());
                 cache_gc_days = days;
+            } else if (arg == "--cache-max-mb") {
+                const std::string s = value();
+                char* end = nullptr;
+                const double mb = std::strtod(s.c_str(), &end);
+                if (end == s.c_str() || *end != '\0' || mb < 0.0)
+                    support::fatal("--cache-max-mb: \"%s\" is not a "
+                                   "non-negative megabyte count",
+                                   s.c_str());
+                cache_max_mb = mb;
+            } else if (bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                // handled
             } else if (arg == "--list-opts") {
                 for (const driver::OptionSet& o :
                      driver::builtin_option_sets())
@@ -272,10 +296,10 @@ main(int argc, char** argv)
     }
 
     if ((merge || !merge_from.empty() || cache_stats ||
-         cache_gc_days.has_value()) &&
+         cache_gc_days.has_value() || cache_max_mb.has_value()) &&
         cache_dir.empty()) {
         std::fprintf(stderr, "error: --merge/--merge-from/--cache-stats/"
-                     "--cache-gc need --cache-dir\n");
+                     "--cache-gc/--cache-max-mb need --cache-dir\n");
         return 2;
     }
     if (merge && shard) {
@@ -289,6 +313,8 @@ main(int argc, char** argv)
                      "check\n");
         return 2;
     }
+
+    bench::apply_obs_cli(obs_cli);
 
     std::optional<cache::ResultStore> store;
     std::vector<driver::SweepCell> cells = grid.cells();
@@ -351,6 +377,14 @@ main(int argc, char** argv)
                         "than %g days; store compacted\n", dropped,
                         before, *cache_gc_days);
         }
+        if (cache_max_mb) {
+            const std::size_t before = store->size();
+            const std::size_t dropped = store->gc_to_bytes(
+                static_cast<std::size_t>(*cache_max_mb * 1024.0 * 1024.0));
+            std::printf("cache-max-mb: evicted %zu of %zu entries to fit "
+                        "%g MB; store compacted\n", dropped, before,
+                        *cache_max_mb);
+        }
     } catch (const support::UserError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -406,5 +440,6 @@ main(int argc, char** argv)
     } else if (auto dir = bench::csv_dir()) {
         driver::sweep_csv(rows).write_file(*dir + "/sweep.csv");
     }
+    bench::finish_obs_cli(obs_cli);
     return failures == 0 ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 
 #include "cache/store.hpp"
 #include "driver/sweep.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::bench {
@@ -118,6 +120,49 @@ parse_cache_flag(CacheCli& cli, int argc, char** argv, int& i)
         return true;
     }
     return false;
+}
+
+bool
+parse_obs_flag(ObsCli& cli, int argc, char** argv, int& i)
+{
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--trace-out requires a value");
+        cli.trace_path = argv[++i];
+        return true;
+    }
+    if (std::strcmp(argv[i], "--stats-out") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--stats-out requires a value");
+        cli.stats_path = argv[++i];
+        return true;
+    }
+    return false;
+}
+
+void
+apply_obs_cli(ObsCli& cli)
+{
+    if (cli.trace_path.empty()) {
+        const char* env = std::getenv("AUTOCOMM_TRACE");
+        if (env != nullptr && env[0] != '\0')
+            cli.trace_path = env;
+    }
+    if (cli.trace_path.empty() && cli.stats_path.empty())
+        return;
+    obs::set_lane_name("main");
+    obs::set_enabled(true);
+}
+
+void
+finish_obs_cli(const ObsCli& cli)
+{
+    if (!cli.trace_path.empty() &&
+        obs::write_chrome_trace(cli.trace_path))
+        support::inform("wrote trace to %s", cli.trace_path.c_str());
+    if (!cli.stats_path.empty() &&
+        obs::write_stats_json(cli.stats_path))
+        support::inform("wrote stats to %s", cli.stats_path.c_str());
 }
 
 } // namespace autocomm::bench

@@ -89,4 +89,22 @@ struct CacheCli
 };
 bool parse_cache_flag(CacheCli& cli, int argc, char** argv, int& i);
 
+/**
+ * Shared --trace-out/--stats-out handling for the bench binaries.
+ * parse_obs_flag recognizes the two flags (mutating @p i past the
+ * value); apply_obs_cli — call it once after the argument loop — fills
+ * trace_path from the AUTOCOMM_TRACE environment variable when the flag
+ * did not set it, names the calling thread's trace lane "main", and
+ * enables recording iff either path is set; finish_obs_cli — call it
+ * after all pools have drained — writes the requested file(s).
+ */
+struct ObsCli
+{
+    std::string trace_path; ///< Chrome trace-event JSON destination
+    std::string stats_path; ///< counters + histogram summaries JSON
+};
+bool parse_obs_flag(ObsCli& cli, int argc, char** argv, int& i);
+void apply_obs_cli(ObsCli& cli);
+void finish_obs_cli(const ObsCli& cli);
+
 } // namespace autocomm::bench

@@ -1,5 +1,7 @@
 #include "autocomm/pipeline.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::pass {
@@ -18,12 +20,28 @@ compile(const qir::Circuit& c, const hw::QubitMapping& map,
     map.validate(m);
 
     CompileResult r;
-    r.blocks = aggregate(c, map, opts.aggregate, pool);
-    assign_schemes(c, r.blocks, opts.assign);
-    r.metrics = compute_metrics(c, r.blocks);
-    r.reordered = reorder_with_blocks(c, r.blocks, &r.block_start);
-    r.schedule = schedule_program(r.reordered, r.blocks, r.block_start, map,
-                                  m, opts.schedule);
+    {
+        obs::Span span("aggregate");
+        r.blocks = aggregate(c, map, opts.aggregate, pool);
+    }
+    {
+        obs::Span span("assign");
+        assign_schemes(c, r.blocks, opts.assign);
+    }
+    {
+        obs::Span span("reorder");
+        r.metrics = compute_metrics(c, r.blocks);
+        r.reordered = reorder_with_blocks(c, r.blocks, &r.block_start);
+    }
+    {
+        obs::Span span("schedule");
+        r.schedule = schedule_program(r.reordered, r.blocks, r.block_start,
+                                      map, m, opts.schedule);
+    }
+    obs::count("schedule.epr_pairs",
+               static_cast<std::uint64_t>(r.schedule.epr_pairs));
+    obs::count("schedule.detours",
+               static_cast<std::uint64_t>(r.schedule.detours));
     return r;
 }
 

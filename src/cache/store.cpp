@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "cache/serialize.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace fs = std::filesystem;
@@ -100,9 +102,11 @@ ResultStore::load()
 std::optional<driver::SweepRow>
 ResultStore::lookup(const CellKey& key, const driver::SweepCell& cell)
 {
+    obs::Span span("cache.lookup");
     const auto it = entries_.find(key.hex());
     if (it == entries_.end()) {
         ++stats_.misses;
+        obs::count("cache.misses");
         return std::nullopt;
     }
     if (it->second.canonical != key.canonical) {
@@ -112,11 +116,13 @@ ResultStore::lookup(const CellKey& key, const driver::SweepCell& cell)
                       "treating as a miss", key.hex().c_str(),
                       it->second.canonical.c_str(), key.canonical.c_str());
         ++stats_.misses;
+        obs::count("cache.misses");
         return std::nullopt;
     }
     try {
         driver::SweepRow row = row_from_json(it->second.row, cell);
         ++stats_.hits;
+        obs::count("cache.hits");
         it->second.last_hit = static_cast<long long>(std::time(nullptr));
         return row;
     } catch (const support::UserError& ex) {
@@ -126,6 +132,8 @@ ResultStore::lookup(const CellKey& key, const driver::SweepCell& cell)
         saw_corrupt_ = true;
         ++stats_.stale;
         ++stats_.misses;
+        obs::count("cache.stale");
+        obs::count("cache.misses");
         return std::nullopt;
     }
 }
@@ -141,6 +149,7 @@ ResultStore::insert(const CellKey& key, const driver::SweepRow& row)
     e.pending = true;
     entries_[key.hex()] = std::move(e);
     ++stats_.inserted;
+    obs::count("cache.inserted");
 }
 
 std::string
@@ -190,6 +199,7 @@ ResultStore::write_atomic(const std::string& filename,
 void
 ResultStore::flush()
 {
+    obs::Span span("cache.flush");
     std::string contents;
     for (auto& [hex, e] : entries_) {
         // After a corrupt entry was dropped, appending only the pending
@@ -314,6 +324,53 @@ ResultStore::gc(double max_age_days)
     // segments, so expired entries AND stale-salt lines (dropped at
     // load, but still on disk) are gone for good.
     compact();
+    obs::count("cache.evictions", dropped);
+    return dropped;
+}
+
+std::size_t
+ResultStore::gc_to_bytes(std::size_t max_bytes)
+{
+    // Size in the canonical compacted form — entry lines exactly as
+    // compact() writes them (dump + newline). The live segment files may
+    // transiently exceed this (duplicate shadowed lines, stale salts),
+    // but the compact() below collapses the disk to the measured size.
+    std::size_t total = 0;
+    std::vector<std::pair<const std::string*, std::size_t>> sizes;
+    sizes.reserve(entries_.size());
+    for (const auto& [hex, e] : entries_) {
+        const std::size_t n = entry_line(hex, e).size() + 1;
+        sizes.emplace_back(&hex, n);
+        total += n;
+    }
+
+    std::size_t dropped = 0;
+    if (total > max_bytes) {
+        // Evict on the same age basis as gc(): the later of first-compile
+        // and last-hit, oldest first, key order breaking ties so equal
+        // stores evict identically.
+        std::sort(sizes.begin(), sizes.end(),
+                  [this](const auto& a, const auto& b) {
+                      const Entry& ea = entries_.at(*a.first);
+                      const Entry& eb = entries_.at(*b.first);
+                      const long long ba =
+                          std::max(ea.created_at, ea.last_hit);
+                      const long long bb =
+                          std::max(eb.created_at, eb.last_hit);
+                      if (ba != bb)
+                          return ba < bb;
+                      return *a.first < *b.first;
+                  });
+        for (const auto& [hex, n] : sizes) {
+            if (total <= max_bytes)
+                break;
+            entries_.erase(*hex);
+            total -= n;
+            ++dropped;
+        }
+    }
+    compact();
+    obs::count("cache.evictions", dropped);
     return dropped;
 }
 

@@ -124,6 +124,18 @@ class ResultStore
      */
     std::size_t gc(double max_age_days);
 
+    /**
+     * Shrink the store's serialized size to at most @p max_bytes by
+     * evicting entries oldest-first on the gc() age basis
+     * (max(created_at, last_hit), ties broken by key, so two stores with
+     * equal content evict identically), then compact(). Size is measured
+     * as the canonical compacted form — the sum of entry lines as
+     * compact() would write them. The `bench_sweep --cache-max-mb`
+     * entry point for capping a farm store's disk budget. Returns the
+     * number of entries evicted.
+     */
+    std::size_t gc_to_bytes(std::size_t max_bytes);
+
     /** Live entries currently held. */
     std::size_t size() const { return entries_.size(); }
 

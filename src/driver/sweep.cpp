@@ -14,6 +14,8 @@
 #include "cache/key.hpp"
 #include "circuits/qasm_source.hpp"
 #include "cache/store.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "partition/interaction_graph.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
@@ -328,14 +330,23 @@ prepare_cell(const circuits::BenchmarkSpec& spec, std::uint64_t seed,
     validate_cell_geometry(spec, shape);
 
     PreparedCell p;
-    p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
+    {
+        obs::Span span("decompose", spec.label());
+        p.circuit = qir::decompose(circuits::make_benchmark(spec, seed));
+    }
     p.machine = machine_for(spec, shape, topology, link_fidelity,
                             target_fidelity, link_bandwidth,
                             link_fidelity_overrides,
                             link_bandwidth_overrides);
-    const partition::InteractionGraph g =
-        partition::InteractionGraph::from_circuit(p.circuit);
-    p.mapping = partition::map_with(partitioner, g, p.machine);
+    std::optional<partition::InteractionGraph> g;
+    {
+        obs::Span span("graph", spec.label());
+        g = partition::InteractionGraph::from_circuit(p.circuit);
+    }
+    {
+        obs::Span span("partition", spec.label());
+        p.mapping = partition::map_with(partitioner, *g, p.machine);
+    }
     p.mapping.validate(p.machine);
     return p;
 }
@@ -555,6 +566,8 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     // Stage 3: compile one cell against its memoized preparation.
     auto cell_stage = [&](std::size_t i) {
         const Mapping& mp = mappings[cell_mapping[i]];
+        obs::count("pipeline.cells_started");
+        obs::Span span("cell", cells[i].label());
         try {
             if (!mp.error.empty()) {
                 transient[i] = mp.transient_error;
@@ -562,6 +575,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             }
             rows[i] = run_cell_prepared(
                 cells[i], programs[mp.program].circuit, *mp.map);
+            obs::count("pipeline.cells_completed");
         } catch (const std::exception& e) {
             if (opts.rethrow_errors) {
                 cexc[i] = std::current_exception();
@@ -588,6 +602,7 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
             ready = true; // cells report the recorded error per row
         } else {
             try {
+                obs::Span span("partition", mp.cell->label());
                 if (mp.cell->partitioner == partition::Mapper::Oee) {
                     mp.map = hw::QubitMapping(partition::oee_partition(
                         *prog.graph, mp.capacities));
@@ -622,8 +637,13 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     auto program_stage = [&](std::size_t p) {
         bool ready = false;
         try {
-            programs[p].circuit = qir::decompose(circuits::make_benchmark(
-                program_cell[p]->spec, program_cell[p]->seed));
+            {
+                obs::Span span("decompose", program_cell[p]->spec.label());
+                programs[p].circuit = qir::decompose(
+                    circuits::make_benchmark(program_cell[p]->spec,
+                                             program_cell[p]->seed));
+            }
+            obs::Span span("graph", program_cell[p]->spec.label());
             programs[p].graph = partition::InteractionGraph::from_circuit(
                 programs[p].circuit);
             ready = true;

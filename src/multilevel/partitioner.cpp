@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "multilevel/initial.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::multilevel {
@@ -52,7 +53,10 @@ multilevel_partition(const partition::InteractionGraph& g,
     }
 
     // ---- Coarsen ----
+    // The MultilevelStats stopwatches stay: they are per-call results a
+    // caller owns, while the spans feed the process-wide trace/registry.
     auto t0 = clock_type::now();
+    obs::Span coarsen_span("coarsen");
     CoarsenOptions copts;
     copts.target_vertices = std::max(opts.coarsen_target, 4 * k);
     copts.max_levels = opts.max_levels;
@@ -65,6 +69,7 @@ multilevel_partition(const partition::InteractionGraph& g,
     const std::vector<CoarseLevel> levels = coarsen(g, copts);
     st.levels = static_cast<int>(levels.size());
     st.coarsen_ms = ms_since(t0);
+    coarsen_span.finish();
 
     const partition::InteractionGraph& coarsest =
         levels.empty() ? g : levels.back().graph;
@@ -76,12 +81,15 @@ multilevel_partition(const partition::InteractionGraph& g,
 
     // ---- Initial partition ----
     t0 = clock_type::now();
+    obs::Span initial_span("initial");
     std::vector<NodeId> part = initial_partition(
         coarsest, coarsest_weights, capacities, cost);
     st.initial_ms = ms_since(t0);
+    initial_span.finish();
 
     // ---- Uncoarsen + refine ----
     t0 = clock_type::now();
+    obs::Span refine_span("refine");
     RefineOptions ropts;
     ropts.max_rounds = opts.refine_rounds;
     ropts.pool = opts.pool;
@@ -103,6 +111,7 @@ multilevel_partition(const partition::InteractionGraph& g,
         part = std::move(finer);
     }
     st.refine_ms = ms_since(t0);
+    refine_span.finish();
 
     // Level-0 rebalance always succeeds when total capacity suffices
     // (checked above), so the result is feasible by construction; guard

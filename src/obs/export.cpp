@@ -1,0 +1,216 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "cache/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace autocomm::obs {
+
+namespace {
+
+using cache::Json;
+
+/** Counters every stats document carries even when zero, so the schema
+ * a consumer (the future autocommd health endpoint) sees is stable. */
+const char* const kWellKnownCounters[] = {
+    "cache.hits",           "cache.misses",
+    "cache.stale",          "cache.inserted",
+    "cache.evictions",      "pipeline.cells_started",
+    "pipeline.cells_completed", "schedule.epr_pairs",
+    "schedule.detours",
+};
+
+double
+ns_to_ms(double ns)
+{
+    return ns / 1e6;
+}
+
+bool
+write_text_file(const std::string& path, const std::string& contents,
+                const char* what)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.flush();
+    if (!out) {
+        support::warn("obs: failed writing %s to %s", what, path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+chrome_trace_json()
+{
+    std::vector<TraceEvent> events = collect_events();
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  if (a.start_ns != b.start_ns)
+                      return a.start_ns < b.start_ns;
+                  // Longer span first so nesting order is stable.
+                  return a.dur_ns > b.dur_ns;
+              });
+
+    Json trace_events = Json::array();
+
+    Json proc = Json::object();
+    proc.set("name", Json::string("process_name"));
+    proc.set("ph", Json::string("M"));
+    proc.set("pid", Json::number(1LL));
+    proc.set("tid", Json::number(0LL));
+    Json proc_args = Json::object();
+    proc_args.set("name", Json::string("autocomm"));
+    proc.set("args", std::move(proc_args));
+    trace_events.push_back(std::move(proc));
+
+    for (const auto& [lane, name] : lanes()) {
+        Json meta = Json::object();
+        meta.set("name", Json::string("thread_name"));
+        meta.set("ph", Json::string("M"));
+        meta.set("pid", Json::number(1LL));
+        meta.set("tid", Json::number(static_cast<long long>(lane)));
+        Json args = Json::object();
+        args.set("name", Json::string(name));
+        meta.set("args", std::move(args));
+        trace_events.push_back(std::move(meta));
+    }
+
+    for (const TraceEvent& ev : events) {
+        Json e = Json::object();
+        e.set("name", Json::string(ev.name));
+        e.set("cat", Json::string("obs"));
+        e.set("ph", Json::string(ev.instant ? "i" : "X"));
+        e.set("pid", Json::number(1LL));
+        e.set("tid", Json::number(static_cast<long long>(ev.lane)));
+        e.set("ts", Json::number(static_cast<double>(ev.start_ns) / 1e3));
+        if (!ev.instant)
+            e.set("dur",
+                  Json::number(static_cast<double>(ev.dur_ns) / 1e3));
+        else
+            e.set("s", Json::string("t")); // thread-scoped instant
+        if (!ev.label.empty()) {
+            Json args = Json::object();
+            args.set("label", Json::string(ev.label));
+            e.set("args", std::move(args));
+        }
+        trace_events.push_back(std::move(e));
+    }
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(trace_events));
+    doc.set("displayTimeUnit", Json::string("ms"));
+    return doc.dump();
+}
+
+bool
+write_chrome_trace(const std::string& path)
+{
+    return write_text_file(path, chrome_trace_json(), "chrome trace");
+}
+
+std::string
+stats_json()
+{
+    Registry& reg = Registry::instance();
+
+    Json counters = Json::object();
+    {
+        // Union of the well-known schema and whatever else registered,
+        // emitted in sorted-name order for deterministic output.
+        std::vector<std::string> names = reg.counter_names();
+        for (const char* wk : kWellKnownCounters)
+            if (std::find(names.begin(), names.end(), wk) == names.end())
+                names.push_back(wk);
+        std::sort(names.begin(), names.end());
+        for (const std::string& name : names) {
+            const Counter* c = reg.find_counter(name);
+            counters.set(name, Json::number(static_cast<unsigned long long>(
+                                   c != nullptr ? c->value() : 0)));
+        }
+    }
+
+    Json histograms = Json::object();
+    for (const std::string& name : reg.histogram_names()) {
+        const Histogram* h = reg.find_histogram(name);
+        if (h == nullptr)
+            continue;
+        Json stats = Json::object();
+        stats.set("count", Json::number(static_cast<unsigned long long>(
+                               h->count())));
+        stats.set("sum_ms",
+                  Json::number(ns_to_ms(static_cast<double>(h->sum()))));
+        stats.set("min_ms",
+                  Json::number(ns_to_ms(static_cast<double>(h->min()))));
+        stats.set("max_ms",
+                  Json::number(ns_to_ms(static_cast<double>(h->max()))));
+        stats.set("p50_ms", Json::number(ns_to_ms(h->percentile(50.0))));
+        stats.set("p95_ms", Json::number(ns_to_ms(h->percentile(95.0))));
+        stats.set("p99_ms", Json::number(ns_to_ms(h->percentile(99.0))));
+        histograms.set(name, std::move(stats));
+    }
+
+    Json doc = Json::object();
+    doc.set("counters", std::move(counters));
+    doc.set("histograms", std::move(histograms));
+    return doc.dump();
+}
+
+bool
+write_stats_json(const std::string& path)
+{
+    return write_text_file(path, stats_json(), "stats");
+}
+
+std::string
+stats_report()
+{
+    Registry& reg = Registry::instance();
+    std::string out;
+
+    support::Table spans({"Span", "Count", "p50 (ms)", "p95 (ms)",
+                          "p99 (ms)", "Total (ms)"});
+    for (const std::string& name : reg.histogram_names()) {
+        const Histogram* h = reg.find_histogram(name);
+        if (h == nullptr || h->count() == 0)
+            continue;
+        spans.start_row();
+        spans.add(name);
+        spans.add(static_cast<long long>(h->count()));
+        spans.add(ns_to_ms(h->percentile(50.0)), 3);
+        spans.add(ns_to_ms(h->percentile(95.0)), 3);
+        spans.add(ns_to_ms(h->percentile(99.0)), 3);
+        spans.add(ns_to_ms(static_cast<double>(h->sum())), 3);
+    }
+    if (spans.row_count() > 0) {
+        out += spans.to_string();
+        out += "\n";
+    }
+
+    support::Table counters({"Counter", "Value"});
+    std::vector<std::string> names = reg.counter_names();
+    for (const char* wk : kWellKnownCounters)
+        if (std::find(names.begin(), names.end(), wk) == names.end())
+            names.push_back(wk);
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+        const Counter* c = reg.find_counter(name);
+        counters.start_row();
+        counters.add(name);
+        counters.add(static_cast<long long>(c != nullptr ? c->value()
+                                                         : 0));
+    }
+    out += counters.to_string();
+    return out;
+}
+
+} // namespace autocomm::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace and metrics export: Chrome trace-event JSON (loadable in
+ * chrome://tracing and Perfetto), a machine-readable stats JSON document,
+ * and a human-readable stats table — the read side of obs/trace.hpp and
+ * obs/registry.hpp. Export requires recording quiescence (benches export
+ * after their pools drain).
+ */
+#pragma once
+
+#include <string>
+
+namespace autocomm::obs {
+
+/**
+ * The recorded events as one Chrome trace-event JSON document: every
+ * span is a complete ("X") event on its thread's lane, instants are "i"
+ * events, and each registered lane carries a thread_name metadata record
+ * ("main", "worker-3"), so pool workers render as named lanes. Events
+ * are sorted (lane, start time), so equal recordings serialize equally.
+ */
+std::string chrome_trace_json();
+
+/** Write chrome_trace_json() to @p path; warns and returns false on I/O
+ * failure. */
+bool write_chrome_trace(const std::string& path);
+
+/**
+ * Counters and histogram summaries as one JSON document:
+ *
+ *   {"counters": {"cache.hits": 12, ...},
+ *    "histograms": {"aggregate": {"count": 8, "sum_ms": ..., "min_ms":
+ *     ..., "max_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}}}
+ *
+ * The well-known pipeline counters (cache.hits/misses/stale/evictions,
+ * pipeline.cells_started/completed, schedule.epr_pairs/detours) are
+ * always present — zero when never incremented — so consumers get a
+ * stable schema.
+ */
+std::string stats_json();
+
+/** Write stats_json() to @p path; warns and returns false on failure. */
+bool write_stats_json(const std::string& path);
+
+/** Human-readable rendering of stats_json(): a per-histogram latency
+ * table (count, p50/p95/p99, total) followed by the counters. */
+std::string stats_report();
+
+} // namespace autocomm::obs

@@ -1,0 +1,188 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace autocomm::obs {
+
+int
+Histogram::bucket_of(std::uint64_t v)
+{
+    if (v < static_cast<std::uint64_t>(kSmallValues))
+        return static_cast<int>(v);
+    const int e = 63 - std::countl_zero(v); // v >= 8, so e >= 3
+    const int frac = static_cast<int>((v >> (e - 2)) & 3);
+    const int idx = kSmallValues + (e - 3) * kSubBuckets + frac;
+    return std::min(idx, kNumBuckets - 1);
+}
+
+double
+Histogram::bucket_lo(int b)
+{
+    if (b < kSmallValues)
+        return static_cast<double>(b);
+    const int e = 3 + (b - kSmallValues) / kSubBuckets;
+    const int frac = (b - kSmallValues) % kSubBuckets;
+    const double base = std::ldexp(1.0, e); // 2^e
+    return base + base * frac / kSubBuckets;
+}
+
+double
+Histogram::bucket_hi(int b)
+{
+    if (b < kSmallValues)
+        return static_cast<double>(b + 1);
+    const int e = 3 + (b - kSmallValues) / kSubBuckets;
+    return bucket_lo(b) + std::ldexp(1.0, e) / kSubBuckets;
+}
+
+void
+Histogram::observe(std::uint64_t v)
+{
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+std::uint64_t
+Histogram::max() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // The sample with (0-based) rank ceil(p/100 * n) - 1, i.e. the
+    // nearest-rank definition, located by cumulative bucket counts and
+    // interpolated linearly within its bucket.
+    const double target = std::max(1.0, p / 100.0 * static_cast<double>(n));
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+        const std::uint64_t in_bucket =
+            buckets_[b].load(std::memory_order_relaxed);
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(cum + in_bucket) >= target) {
+            const double pos = (target - static_cast<double>(cum)) /
+                               static_cast<double>(in_bucket);
+            const double v =
+                bucket_lo(b) + pos * (bucket_hi(b) - bucket_lo(b));
+            return std::clamp(v, static_cast<double>(min()),
+                              static_cast<double>(max()));
+        }
+        cum += in_bucket;
+    }
+    return static_cast<double>(max());
+}
+
+Registry&
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Counter>& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram&
+Registry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Histogram>& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<std::string>
+Registry::counter_names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+Registry::histogram_names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+        out.push_back(name);
+    return out;
+}
+
+const Counter*
+Registry::find_counter(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram*
+Registry::find_histogram(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    histograms_.clear();
+}
+
+void
+count(const char* name, std::uint64_t delta)
+{
+    if (!enabled())
+        return;
+    Registry::instance().counter(name).add(delta);
+}
+
+void
+observe_ns(const char* name, std::uint64_t ns)
+{
+    if (!enabled())
+        return;
+    Registry::instance().histogram(name).observe(ns);
+}
+
+} // namespace autocomm::obs

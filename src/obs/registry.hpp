@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Process-wide metrics: named monotonic counters and log-bucketed latency
+ * histograms with percentile extraction — the stats surface a compile
+ * service will later serve from its health endpoint.
+ *
+ * All mutation is lock-free (relaxed atomics); the registry mutex guards
+ * only name -> instance resolution. Counter and Histogram references
+ * returned by the registry stay valid until Registry::reset(). Like
+ * tracing, recording is gated on obs::enabled() via the count()/
+ * observe_ns() helpers, so the disabled path is one relaxed load.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace autocomm::obs {
+
+/** A monotonically increasing named counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * A log-bucketed histogram of non-negative integer samples (span
+ * durations in nanoseconds). Values 0..7 get exact buckets; above that,
+ * four sub-buckets per power of two, so any percentile estimate is
+ * within ~19% of the true sample (plus exact count/sum/min/max).
+ */
+class Histogram
+{
+  public:
+    static constexpr int kSmallValues = 8; ///< exact buckets for 0..7
+    static constexpr int kSubBuckets = 4;  ///< per power of two
+    static constexpr int kNumBuckets =
+        kSmallValues + (64 - 3) * kSubBuckets;
+
+    void observe(std::uint64_t v);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Smallest / largest sample observed; 0 when empty. */
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+
+    /**
+     * The @p p-th percentile (p in [0, 100]), linearly interpolated
+     * within its bucket and clamped to [min(), max()]; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Bucket index of @p v (exposed for the percentile tests). */
+    static int bucket_of(std::uint64_t v);
+    /** Inclusive lower / exclusive upper value bound of bucket @p b. */
+    static double bucket_lo(int b);
+    static double bucket_hi(int b);
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{UINT64_MAX};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/** The process-wide named-metric registry. */
+class Registry
+{
+  public:
+    static Registry& instance();
+
+    /** The counter / histogram named @p name, created on first use.
+     * References stay valid until reset(). */
+    Counter& counter(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Registered names, sorted (deterministic export order). */
+    std::vector<std::string> counter_names() const;
+    std::vector<std::string> histogram_names() const;
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter* find_counter(const std::string& name) const;
+    const Histogram* find_histogram(const std::string& name) const;
+
+    /**
+     * Drop every counter and histogram. Invalidates references handed
+     * out earlier; callers that cache them (none of the pipeline's
+     * count()/observe helpers do) must re-resolve.
+     */
+    void reset();
+
+  private:
+    Registry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Increment the named counter iff obs::enabled(). */
+void count(const char* name, std::uint64_t delta = 1);
+
+/** Record a nanosecond sample into the named histogram iff enabled(). */
+void observe_ns(const char* name, std::uint64_t ns);
+
+} // namespace autocomm::obs

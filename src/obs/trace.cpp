@@ -1,0 +1,176 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/registry.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+/** One thread's event sink. Owned jointly by the global lane table and
+ * the thread_local below, so events survive thread exit. */
+struct ThreadBuffer
+{
+    int lane = 0;
+    std::vector<TraceEvent> events;
+};
+
+struct LaneTable
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers; ///< index == lane
+    std::vector<std::string> names;
+};
+
+LaneTable&
+lane_table()
+{
+    static LaneTable t;
+    return t;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> tls_buffer;
+thread_local int tls_depth = 0;
+
+ThreadBuffer&
+local_buffer()
+{
+    if (!tls_buffer) {
+        auto buf = std::make_shared<ThreadBuffer>();
+        LaneTable& t = lane_table();
+        std::lock_guard<std::mutex> lock(t.mu);
+        buf->lane = static_cast<int>(t.buffers.size());
+        t.buffers.push_back(buf);
+        t.names.push_back(support::strprintf("thread-%d", buf->lane));
+        tls_buffer = buf;
+    }
+    return *tls_buffer;
+}
+
+} // namespace
+
+void
+set_enabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+now_ns()
+{
+    static const clock_type::time_point epoch = clock_type::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock_type::now() - epoch)
+            .count());
+}
+
+void
+Span::begin(const char* name, std::string label)
+{
+    name_ = name;
+    label_ = std::move(label);
+    depth_ = tls_depth++;
+    t0_ = now_ns();
+    active_ = true;
+}
+
+void
+Span::end()
+{
+    const std::uint64_t t1 = now_ns();
+    active_ = false;
+    --tls_depth;
+    TraceEvent ev;
+    ev.name = name_;
+    ev.label = std::move(label_);
+    ev.start_ns = t0_;
+    ev.dur_ns = t1 - t0_;
+    ev.depth = depth_;
+    ThreadBuffer& buf = local_buffer();
+    ev.lane = buf.lane;
+    buf.events.push_back(std::move(ev));
+    // One histogram per span name: the per-pass latency percentiles the
+    // stats report serves. Recorded even if tracing was flipped off
+    // mid-span — the span was live, its sample is real.
+    Registry::instance().histogram(name_).observe(t1 - t0_);
+}
+
+void
+instant(const char* name, std::string label)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.label = std::move(label);
+    ev.start_ns = now_ns();
+    ev.depth = tls_depth;
+    ev.instant = true;
+    ThreadBuffer& buf = local_buffer();
+    ev.lane = buf.lane;
+    buf.events.push_back(std::move(ev));
+}
+
+int
+current_lane()
+{
+    return local_buffer().lane;
+}
+
+void
+set_lane_name(const std::string& name)
+{
+    const int lane = local_buffer().lane;
+    LaneTable& t = lane_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.names[static_cast<std::size_t>(lane)] = name;
+}
+
+std::vector<TraceEvent>
+collect_events()
+{
+    LaneTable& t = lane_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    std::vector<TraceEvent> out;
+    std::size_t total = 0;
+    for (const auto& buf : t.buffers)
+        total += buf->events.size();
+    out.reserve(total);
+    for (const auto& buf : t.buffers)
+        out.insert(out.end(), buf->events.begin(), buf->events.end());
+    return out;
+}
+
+std::vector<std::pair<int, std::string>>
+lanes()
+{
+    LaneTable& t = lane_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    std::vector<std::pair<int, std::string>> out;
+    out.reserve(t.names.size());
+    for (std::size_t i = 0; i < t.names.size(); ++i)
+        out.emplace_back(static_cast<int>(i), t.names[i]);
+    return out;
+}
+
+void
+reset()
+{
+    LaneTable& t = lane_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (auto& buf : t.buffers)
+        buf->events.clear();
+}
+
+} // namespace autocomm::obs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Low-overhead compile-pipeline tracing: RAII spans recorded into
+ * per-thread buffers, exportable as Chrome trace-event JSON (see
+ * obs/export.hpp) and summarized into latency histograms (see
+ * obs/registry.hpp).
+ *
+ * Tracing is a pure observer. It is compiled in but DISABLED by default;
+ * every recording entry point starts with a single relaxed atomic load
+ * (enabled()), so the off path costs one branch and nothing else — no
+ * clock reads, no allocation, no locks. Nothing recorded here may ever
+ * influence compilation output: sweep CSVs are byte-identical with
+ * tracing on or off at any thread count, and no obs state reaches
+ * cache::CellKey.
+ *
+ * Threading model: each recording thread appends to its own buffer
+ * (no inter-thread synchronization on the hot path; a mutex guards only
+ * lane registration). collect_events()/reset() take a coarse lock and
+ * must only run while no other thread is recording — the benches export
+ * after their pools drain.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autocomm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** True when tracing + metrics recording is on (relaxed load). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on or off (benches flip it before any work starts). */
+void set_enabled(bool on);
+
+/**
+ * Monotonic nanoseconds since the process trace epoch (the first call).
+ * All event timestamps share this origin, so lanes line up in a viewer.
+ */
+std::uint64_t now_ns();
+
+/** One recorded span or instant event. */
+struct TraceEvent
+{
+    const char* name = nullptr; ///< static-storage pass/phase name
+    std::string label;          ///< optional dynamic detail (cell label)
+    std::uint64_t start_ns = 0; ///< since the trace epoch
+    std::uint64_t dur_ns = 0;   ///< 0 for instant events
+    int lane = 0;               ///< recording thread's lane id
+    int depth = 0;              ///< span nesting depth at begin (0 = top)
+    bool instant = false;
+};
+
+/**
+ * RAII span: construction stamps the start, destruction records the
+ * event into the thread's buffer and feeds the duration into the
+ * registry histogram of the same name (the per-pass p50/p95 surface).
+ * @p name must have static storage duration (a literal); @p label may
+ * carry per-instance detail and lands in the trace's args.
+ */
+class Span
+{
+  public:
+    explicit Span(const char* name)
+    {
+        if (enabled())
+            begin(name, std::string());
+    }
+
+    Span(const char* name, std::string label)
+    {
+        if (enabled())
+            begin(name, std::move(label));
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    ~Span()
+    {
+        if (active_)
+            end();
+    }
+
+    /** End the span before its scope does (for phases that do not map
+     * cleanly onto a block); later finish()/destruction is a no-op. */
+    void finish()
+    {
+        if (active_)
+            end();
+    }
+
+  private:
+    void begin(const char* name, std::string label);
+    void end();
+
+    const char* name_ = nullptr;
+    std::string label_;
+    std::uint64_t t0_ = 0;
+    int depth_ = 0;
+    bool active_ = false;
+};
+
+/** Record a zero-duration instant event on the calling thread's lane. */
+void instant(const char* name, std::string label = {});
+
+/**
+ * The calling thread's lane id (assigned on first use, stable for the
+ * thread's lifetime). Lane registration is the only locked operation.
+ */
+int current_lane();
+
+/**
+ * Name the calling thread's lane ("main", "worker-3"); shown as the
+ * Chrome-trace thread name. Registers the lane if needed, so worker
+ * lanes exist in the export even before they record a first span.
+ */
+void set_lane_name(const std::string& name);
+
+/** Snapshot of every lane's events. Requires recording quiescence. */
+std::vector<TraceEvent> collect_events();
+
+/** (lane id, lane name) for every registered lane, id-ascending. */
+std::vector<std::pair<int, std::string>> lanes();
+
+/**
+ * Drop all recorded events (lane ids and names survive). Requires
+ * recording quiescence — no live Span may span a reset.
+ */
+void reset();
+
+} // namespace autocomm::obs

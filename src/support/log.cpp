@@ -1,16 +1,24 @@
 #include "support/log.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace autocomm::support {
 
 namespace {
 
-LogLevel g_level = LogLevel::Info;
+// Relaxed atomic: pool workers read the threshold while the main thread
+// may still be applying a CLI override; any interleaving yields one of
+// the two valid levels, never a torn value.
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+/** Serializes level re-initialization from the environment. */
+std::mutex g_init_mutex;
 
 // Apply AUTOCOMM_LOG_LEVEL once at startup (after g_level's initializer,
 // which precedes it in this translation unit).
@@ -31,8 +39,13 @@ vformat(const char* fmt, std::va_list ap)
 void
 emit(const char* prefix, const char* fmt, std::va_list ap)
 {
-    const std::string msg = vformat(fmt, ap);
-    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    // Assemble the whole line first and issue ONE stdio call: pool
+    // workers log concurrently, and separate prefix/message/newline
+    // writes could shear mid-line into another worker's output.
+    std::string line(prefix);
+    line += vformat(fmt, ap);
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace
@@ -40,13 +53,13 @@ emit(const char* prefix, const char* fmt, std::va_list ap)
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -77,22 +90,23 @@ parse_log_level(const std::string& name)
 LogLevel
 init_log_level_from_env()
 {
+    std::lock_guard<std::mutex> lock(g_init_mutex);
     const char* v = std::getenv("AUTOCOMM_LOG_LEVEL");
     if (v != nullptr && v[0] != '\0') {
         if (std::optional<LogLevel> parsed = parse_log_level(v))
-            g_level = *parsed;
+            g_level.store(*parsed, std::memory_order_relaxed);
         else
             std::fprintf(stderr,
                          "warn: ignoring invalid AUTOCOMM_LOG_LEVEL=\"%s\" "
                          "(expected debug|info|warn|quiet)\n", v);
     }
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char* fmt, ...)
 {
-    if (g_level > LogLevel::Info)
+    if (log_level() > LogLevel::Info)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -103,7 +117,7 @@ inform(const char* fmt, ...)
 void
 warn(const char* fmt, ...)
 {
-    if (g_level > LogLevel::Warn)
+    if (log_level() > LogLevel::Warn)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -114,7 +128,7 @@ warn(const char* fmt, ...)
 void
 debug(const char* fmt, ...)
 {
-    if (g_level > LogLevel::Debug)
+    if (log_level() > LogLevel::Debug)
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -3,6 +3,11 @@
  * Minimal severity-based logging, modelled on gem5's inform()/warn()/fatal()
  * family. Benchmarks and examples use inform(); library code raises errors
  * via exceptions and uses warn() for recoverable oddities.
+ *
+ * Emission is thread-safe: each message is formatted into one buffer and
+ * issued as a single write, so concurrent pool workers never shear a
+ * line, and the level threshold is an atomic (workers may read it while
+ * the main thread applies a CLI override).
  */
 #pragma once
 

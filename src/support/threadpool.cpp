@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::support {
@@ -47,7 +48,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
     workers_.reserve(num_threads);
     try {
         for (std::size_t i = 0; i < num_threads; ++i)
-            workers_.emplace_back([this]() { worker_loop(); });
+            workers_.emplace_back([this, i]() { worker_loop(i); });
     } catch (...) {
         // Join the threads that did start; leaving them joinable would
         // make workers_'s destructor call std::terminate.
@@ -86,9 +87,12 @@ ThreadPool::enqueue(std::function<void()> job)
 }
 
 void
-ThreadPool::worker_loop()
+ThreadPool::worker_loop(std::size_t idx)
 {
     tls_pool_worker = true;
+    // Register the lane name up front (not lazily on first span) so the
+    // trace shows every pool worker, including ones that stayed idle.
+    obs::set_lane_name(strprintf("worker-%zu", idx));
     for (;;) {
         std::function<void()> job;
         {

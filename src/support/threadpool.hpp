@@ -69,7 +69,7 @@ class ThreadPool
 
   private:
     void enqueue(std::function<void()> job);
-    void worker_loop();
+    void worker_loop(std::size_t idx);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> jobs_;

@@ -659,6 +659,101 @@ TEST(CacheGc, NegativeAgeIsRejected)
     EXPECT_THROW(store.gc(-1.0), support::UserError);
 }
 
+TEST(CacheGc, GcToBytesGenerousBudgetKeepsAllAndCompacts)
+{
+    TempDir dir("gc-bytes-keep");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.flush();
+        // A budget far above the store's footprint evicts nothing, but
+        // the pass still compacts down to the canonical segment.
+        EXPECT_EQ(store.gc_to_bytes(std::size_t{1} << 30), 0u);
+        EXPECT_EQ(store.size(), cells.size());
+    }
+    EXPECT_EQ(segment_names(dir.str()),
+              std::vector<std::string>{"store.jsonl"});
+    ResultStore reopened(dir.str());
+    EXPECT_EQ(reopened.stats().loaded, cells.size());
+}
+
+TEST(CacheGc, GcToBytesZeroBudgetDropsEverything)
+{
+    TempDir dir("gc-bytes-zero");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.flush();
+        EXPECT_EQ(store.gc_to_bytes(0), cells.size());
+        EXPECT_EQ(store.size(), 0u);
+    }
+    ResultStore reopened(dir.str());
+    EXPECT_EQ(reopened.stats().loaded, 0u);
+}
+
+TEST(CacheGc, GcToBytesEvictsColdestEntriesFirst)
+{
+    TempDir dir("gc-bytes-cold");
+    const std::vector<SweepCell> cells = small_grid().cells();
+    {
+        ResultStore store(dir.str());
+        SweepOptions opts;
+        opts.store = &store;
+        driver::run_sweep(cells, opts);
+        store.compact();
+    }
+    // Backdate every compile timestamp by ten days so all entries share
+    // one old gc basis; a fresh lookup below separates the hot one.
+    const fs::path canonical = dir.path / "store.jsonl";
+    std::string text;
+    {
+        std::ifstream in(canonical);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    const long long old_ts =
+        static_cast<long long>(std::time(nullptr)) - 10ll * 86400ll;
+    for (std::size_t at = 0;
+         (at = text.find("\"ts\":", at)) != std::string::npos;) {
+        const std::size_t end = text.find(',', at);
+        text.replace(at, end - at, "\"ts\":" + std::to_string(old_ts));
+        at += 5;
+    }
+    {
+        std::ofstream out(canonical, std::ios::trunc);
+        out << text;
+    }
+
+    ResultStore store(dir.str());
+    ASSERT_EQ(store.stats().loaded, cells.size());
+    // Touching one cell refreshes its last-hit time: under a budget that
+    // forces a partial eviction, the untouched ten-day-old siblings go
+    // first and the hot entry is the last candidate standing.
+    const SweepCell& hot = cells.front();
+    ASSERT_TRUE(store.lookup(cache::cell_key(hot), hot).has_value());
+    const std::size_t budget =
+        static_cast<std::size_t>(fs::file_size(canonical)) / 2;
+    const std::size_t dropped = store.gc_to_bytes(budget);
+    EXPECT_GE(dropped, 1u);
+    EXPECT_LT(dropped, cells.size());
+    EXPECT_EQ(store.size(), cells.size() - dropped);
+    EXPECT_TRUE(store.lookup(cache::cell_key(hot), hot).has_value());
+
+    // The eviction compacted to disk, so a fresh open sees exactly the
+    // survivors — the hot cell among them — under the byte budget.
+    ResultStore reopened(dir.str());
+    EXPECT_EQ(reopened.stats().loaded, cells.size() - dropped);
+    EXPECT_TRUE(reopened.lookup(cache::cell_key(hot), hot).has_value());
+    EXPECT_LE(fs::file_size(canonical), budget);
+}
+
 // ------------------------------------------------- external QASM cells
 
 /** Two small distinct OpenQASM programs over one byte of difference in

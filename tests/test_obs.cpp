@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs): the disabled-by-
+ * default contract, span recording/nesting/thread attribution, counter
+ * and histogram correctness (percentiles on known distributions),
+ * Chrome-trace and stats JSON well-formedness (parsed back with the
+ * cache's own JSON parser), and the pure-observer guarantee — sweep
+ * CSVs are byte-identical with tracing on or off at any thread count.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/json.hpp"
+#include "circuits/library.hpp"
+#include "driver/sweep.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace autocomm;
+using cache::Json;
+
+/** Wipe all recorded obs state and set the enabled flag. Tests share
+ * one process-wide registry and trace buffer, so every test starts by
+ * declaring the world it wants. */
+void
+reset_obs(bool enable)
+{
+    obs::set_enabled(enable);
+    obs::reset();
+    obs::Registry::instance().reset();
+}
+
+// ---------------------------------------------------------------- gating
+
+// Must run before anything enables tracing: the subsystem is compiled
+// in but OFF until a bench or test opts in.
+TEST(ObsGating, DisabledByDefault)
+{
+    EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ObsGating, DisabledSpansRecordNothing)
+{
+    reset_obs(false);
+    for (int i = 0; i < 100'000; ++i) {
+        obs::Span span("noop");
+        obs::count("noop.counter");
+        obs::observe_ns("noop.hist", 1);
+    }
+    obs::instant("noop.instant");
+    EXPECT_TRUE(obs::collect_events().empty());
+    EXPECT_EQ(obs::Registry::instance().find_counter("noop.counter"),
+              nullptr);
+    EXPECT_EQ(obs::Registry::instance().find_histogram("noop.hist"),
+              nullptr);
+    // The span histogram is fed from Span::end, which never ran.
+    EXPECT_EQ(obs::Registry::instance().find_histogram("noop"), nullptr);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(ObsTrace, SpansRecordNestingAndLabels)
+{
+    reset_obs(true);
+    {
+        obs::Span outer("outer", "cell-label");
+        {
+            obs::Span inner("inner");
+        }
+        obs::instant("tick", "mark");
+    }
+    obs::set_enabled(false);
+
+    const std::vector<obs::TraceEvent> events = obs::collect_events();
+    ASSERT_EQ(events.size(), 3u);
+
+    auto find = [&](const std::string& name) {
+        const auto it =
+            std::find_if(events.begin(), events.end(),
+                         [&](const obs::TraceEvent& e) {
+                             return name == e.name;
+                         });
+        EXPECT_NE(it, events.end()) << name;
+        return *it;
+    };
+    const obs::TraceEvent outer = find("outer");
+    const obs::TraceEvent inner = find("inner");
+    const obs::TraceEvent tick = find("tick");
+
+    EXPECT_EQ(outer.depth, 0);
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_EQ(outer.label, "cell-label");
+    EXPECT_FALSE(outer.instant);
+    EXPECT_TRUE(tick.instant);
+    EXPECT_EQ(tick.dur_ns, 0u);
+    EXPECT_EQ(tick.label, "mark");
+    // The inner span is contained in the outer one.
+    EXPECT_GE(inner.start_ns, outer.start_ns);
+    EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+    // All three ran on this thread's lane.
+    EXPECT_EQ(outer.lane, inner.lane);
+    EXPECT_EQ(outer.lane, tick.lane);
+
+    // Span durations also landed in same-named registry histograms.
+    const obs::Histogram* h =
+        obs::Registry::instance().find_histogram("outer");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(ObsTrace, ThreadsGetDistinctNamedLanes)
+{
+    reset_obs(true);
+    const int main_lane = obs::current_lane();
+    obs::set_lane_name("main");
+
+    int other_lane = -1;
+    std::thread t([&]() {
+        obs::set_lane_name("helper");
+        obs::Span span("helper-span");
+        other_lane = obs::current_lane();
+    });
+    t.join();
+    obs::set_enabled(false);
+
+    EXPECT_NE(other_lane, -1);
+    EXPECT_NE(other_lane, main_lane);
+
+    const std::vector<obs::TraceEvent> events = obs::collect_events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].lane, other_lane);
+
+    // Lane names survive the recording thread's exit.
+    bool saw_main = false, saw_helper = false;
+    for (const auto& [lane, name] : obs::lanes()) {
+        if (lane == main_lane && name == "main")
+            saw_main = true;
+        if (lane == other_lane && name == "helper")
+            saw_helper = true;
+    }
+    EXPECT_TRUE(saw_main);
+    EXPECT_TRUE(saw_helper);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(ObsRegistry, CountersAccumulate)
+{
+    reset_obs(true);
+    obs::count("test.counter");
+    obs::count("test.counter", 41);
+    const obs::Counter* c =
+        obs::Registry::instance().find_counter("test.counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(ObsRegistry, HistogramExactStatsAndSmallValues)
+{
+    reset_obs(true);
+    obs::Histogram& h = obs::Registry::instance().histogram("small");
+    // Values 0..7 occupy exact single-value buckets, so even the
+    // percentiles are exact.
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.observe(v);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_EQ(h.sum(), 28u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 7u);
+    // Nearest rank of p50 over 8 samples is the 4th (value 3).
+    EXPECT_NEAR(h.percentile(50.0), 3.0, 1.0);
+    EXPECT_NEAR(h.percentile(100.0), 7.0, 0.5);
+}
+
+TEST(ObsRegistry, HistogramPercentilesOnUniformDistribution)
+{
+    reset_obs(true);
+    obs::Histogram& h = obs::Registry::instance().histogram("uniform");
+    // Uniform 1..1000: percentile(p) of the true distribution is ~10*p.
+    // Log-bucketing with 4 sub-buckets per octave bounds the relative
+    // error at ~19%, so assert a tolerant +-20% window.
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.observe(v);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.sum(), 500500u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.percentile(50.0), 500.0, 100.0);
+    EXPECT_NEAR(h.percentile(95.0), 950.0, 190.0);
+    EXPECT_NEAR(h.percentile(99.0), 990.0, 198.0);
+    // Percentiles are clamped into [min, max] regardless of bucket
+    // boundaries.
+    EXPECT_GE(h.percentile(0.0), 1.0);
+    EXPECT_LE(h.percentile(100.0), 1000.0);
+}
+
+TEST(ObsRegistry, HistogramEmptyIsAllZero)
+{
+    reset_obs(true);
+    const obs::Histogram& h =
+        obs::Registry::instance().histogram("empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+// -------------------------------------------------------------- exports
+
+TEST(ObsExport, ChromeTraceParsesBackWithLanesAndEvents)
+{
+    reset_obs(true);
+    obs::set_lane_name("main");
+    {
+        obs::Span span("traced-pass", "QFT-16");
+    }
+    obs::set_enabled(false);
+
+    const std::string doc_text = obs::chrome_trace_json();
+    std::string err;
+    const std::optional<Json> doc = Json::parse(doc_text, &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    ASSERT_TRUE(doc->is_object());
+    const Json& events = doc->at("traceEvents");
+    ASSERT_TRUE(events.is_array());
+
+    bool saw_thread_name = false, saw_span = false;
+    for (const Json& e : events.items()) {
+        const std::string& ph = e.at("ph").to_string();
+        if (ph == "M" && e.at("name").to_string() == "thread_name" &&
+            e.at("args").at("name").to_string() == "main")
+            saw_thread_name = true;
+        if (ph == "X" && e.at("name").to_string() == "traced-pass") {
+            saw_span = true;
+            EXPECT_GE(e.at("dur").to_double(), 0.0);
+            EXPECT_GE(e.at("ts").to_double(), 0.0);
+            EXPECT_EQ(e.at("pid").to_int(), 1);
+            EXPECT_EQ(e.at("args").at("label").to_string(), "QFT-16");
+        }
+    }
+    EXPECT_TRUE(saw_thread_name);
+    EXPECT_TRUE(saw_span);
+}
+
+TEST(ObsExport, StatsJsonCarriesWellKnownCountersAndPercentiles)
+{
+    reset_obs(true);
+    obs::count("cache.hits", 3);
+    obs::Registry::instance().histogram("aggregate").observe(1'000'000);
+    obs::set_enabled(false);
+
+    std::string err;
+    const std::optional<Json> doc = Json::parse(obs::stats_json(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const Json& counters = doc->at("counters");
+    EXPECT_EQ(counters.at("cache.hits").to_int(), 3);
+    // Never-incremented well-known counters are present as zeros — the
+    // stable schema a monitoring consumer relies on.
+    EXPECT_EQ(counters.at("cache.misses").to_int(), 0);
+    EXPECT_EQ(counters.at("pipeline.cells_completed").to_int(), 0);
+    EXPECT_EQ(counters.at("schedule.epr_pairs").to_int(), 0);
+
+    const Json& agg = doc->at("histograms").at("aggregate");
+    EXPECT_EQ(agg.at("count").to_int(), 1);
+    EXPECT_NEAR(agg.at("sum_ms").to_double(), 1.0, 1e-9);
+    EXPECT_GT(agg.at("p50_ms").to_double(), 0.0);
+    EXPECT_GT(agg.at("p99_ms").to_double(), 0.0);
+
+    const std::string report = obs::stats_report();
+    EXPECT_NE(report.find("aggregate"), std::string::npos);
+    EXPECT_NE(report.find("cache.hits"), std::string::npos);
+}
+
+// ------------------------------------------------------- pure observer
+
+TEST(ObsPureObserver, SweepCsvByteIdenticalTracingOnOrOff)
+{
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {12, 16};
+    grid.node_counts = {2};
+    const std::vector<driver::SweepCell> cells = grid.cells();
+
+    auto run = [&](bool traced, std::size_t threads) {
+        reset_obs(traced);
+        driver::SweepOptions opts;
+        opts.num_threads = threads;
+        const std::string csv =
+            driver::sweep_csv(driver::run_sweep(cells, opts)).to_string();
+        obs::set_enabled(false);
+        return csv;
+    };
+
+    const std::string off1 = run(false, 1);
+    const std::string on1 = run(true, 1);
+    const std::string off8 = run(false, 8);
+    const std::string on8 = run(true, 8);
+    EXPECT_EQ(off1, on1);
+    EXPECT_EQ(off1, off8);
+    EXPECT_EQ(off1, on8);
+
+    // And the traced parallel run actually recorded the pipeline: spans
+    // for every stage plus per-cell start/completion counters.
+    reset_obs(true);
+    driver::SweepOptions opts;
+    opts.num_threads = 8;
+    (void)driver::run_sweep(cells, opts);
+    obs::set_enabled(false);
+    const obs::Registry& reg = obs::Registry::instance();
+    for (const char* name : {"decompose", "graph", "partition", "cell",
+                             "aggregate", "assign", "reorder", "schedule"})
+    {
+        const obs::Histogram* h = reg.find_histogram(name);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_GT(h->count(), 0u) << name;
+    }
+    const obs::Counter* started =
+        reg.find_counter("pipeline.cells_started");
+    const obs::Counter* completed =
+        reg.find_counter("pipeline.cells_completed");
+    ASSERT_NE(started, nullptr);
+    ASSERT_NE(completed, nullptr);
+    EXPECT_EQ(started->value(), cells.size());
+    EXPECT_EQ(completed->value(), cells.size());
+}
+
+} // namespace
