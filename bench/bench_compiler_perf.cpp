@@ -223,7 +223,10 @@ usage(const char* argv0)
         "  --csv PATH       write the breakdown as CSV\n"
         "  --trace-out FILE write a Chrome trace-event JSON of the "
         "profiled spans\n"
-        "  --stats-out FILE write per-pass latency percentiles as JSON\n",
+        "  --stats-out FILE write per-pass latency percentiles as JSON\n"
+        "  --ring N         keep only the last N trace events per thread "
+        "(0 = all)\n"
+        "  --sample-ms N    sample RSS/pool/cache gauges every N ms\n",
         argv0);
     return 2;
 }

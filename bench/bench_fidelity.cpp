@@ -50,7 +50,12 @@ usage(const char* argv0)
         "  --threads N         worker threads\n"
         "  --csv PATH          write the rows as CSV\n"
         "  --cache-dir DIR     persistent result cache (see bench_sweep)\n"
-        "  --cache-stats       print cache hit/miss/stale counters\n",
+        "  --cache-stats       print cache hit/miss/stale counters\n"
+        "  --trace-out FILE    write a Chrome trace-event JSON\n"
+        "  --stats-out FILE    write counters/latency summaries as JSON\n"
+        "  --ring N            keep only the last N trace events per "
+        "thread\n"
+        "  --sample-ms N       sample RSS/pool/cache gauges every N ms\n",
         argv0);
     return 2;
 }
@@ -73,6 +78,7 @@ main(int argc, char** argv)
     std::string csv_path;
     std::string cache_dir;
     bool cache_stats = false;
+    bench::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -120,6 +126,8 @@ main(int argc, char** argv)
                 cache_dir = value();
             } else if (arg == "--cache-stats") {
                 cache_stats = true;
+            } else if (bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                // handled
             } else {
                 return usage(argv[0]);
             }
@@ -133,6 +141,8 @@ main(int argc, char** argv)
         std::fprintf(stderr, "error: --cache-stats needs --cache-dir\n");
         return 2;
     }
+
+    bench::apply_obs_cli(obs_cli);
 
     const std::vector<driver::SweepCell> cells = grid.cells();
     std::printf("== Fidelity/latency trade-off: %zu cells "
@@ -156,6 +166,7 @@ main(int argc, char** argv)
         if (cache_stats)
             std::printf("cache-stats: %s\n", store->stats_line().c_str());
     }
+    bench::finish_obs_cli(obs_cli);
 
     support::Table t({"Topology", "Target", "Rounds", "EPR", "Raw EPR",
                       "Cost x", "Makespan", "Fidelity"});

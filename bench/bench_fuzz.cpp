@@ -28,6 +28,8 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -36,6 +38,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "qir/qasm.hpp"
 #include "support/log.hpp"
 #include "support/threadpool.hpp"
@@ -120,7 +124,16 @@ usage(const char* argv0)
         "  --trace-out FILE write a Chrome trace-event JSON of the "
         "fuzz run\n"
         "  --stats-out FILE write per-pass latency percentiles and "
-        "counters as JSON\n",
+        "counters as JSON\n"
+        "  --ring N         keep only the last N trace events per "
+        "thread\n"
+        "                   (default 4096 unless --trace-out is given; "
+        "0 = unbounded)\n"
+        "  --sample-ms N    sample RSS/pool gauges every N ms\n"
+        "  --inject-failure report a synthetic violation on the first "
+        "seed\n"
+        "                   (exercises the repro + flight-recorder dump "
+        "path)\n",
         argv0);
     return 2;
 }
@@ -142,6 +155,7 @@ main(int argc, char** argv)
     std::string dump_dir = ".";
     std::string emit_qasm;
     std::string shape;
+    bool inject_failure = false;
     bench::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
@@ -192,6 +206,8 @@ main(int argc, char** argv)
                 dump_dir = value();
             } else if (arg == "--emit-qasm") {
                 emit_qasm = value();
+            } else if (arg == "--inject-failure") {
+                inject_failure = true;
             } else if (bench::parse_obs_flag(obs_cli, argc, argv, i)) {
                 // handled
             } else {
@@ -252,6 +268,13 @@ main(int argc, char** argv)
     const std::size_t num_seeds =
         static_cast<std::size_t>(seed_hi - seed_lo);
 
+    // Flight recorder: unless the user asked for a full trace (or set
+    // --ring explicitly), keep a bounded ring of recent events so a
+    // failing seed dumps its final moments at fixed memory cost.
+    const char* trace_env = std::getenv("AUTOCOMM_TRACE");
+    if (!obs_cli.ring.has_value() && obs_cli.trace_path.empty() &&
+        (trace_env == nullptr || trace_env[0] == '\0'))
+        obs_cli.ring = 4096;
     bench::apply_obs_cli(obs_cli);
 
     std::printf("== Differential fuzz: seeds [%llu, %llu) x %zu "
@@ -384,6 +407,10 @@ main(int argc, char** argv)
             report += std::string("[exception]\n") + e.what() + "\n";
         }
 
+        if (inject_failure && seed == seed_lo)
+            report += "[injected]\nsynthetic violation "
+                      "(--inject-failure)\n";
+
         if (!report.empty())
             record_failure(seed, report, raw);
     });
@@ -398,19 +425,29 @@ main(int argc, char** argv)
 
     const std::string stem = dump_dir + "/fuzz-fail-seed" +
                              std::to_string(*fail_seed);
+    std::error_code ec; // best effort; the ofstreams report real failures
+    std::filesystem::create_directories(dump_dir, ec);
     {
         std::ofstream qf(stem + ".qasm", std::ios::binary);
         qf << fail_qasm;
         std::ofstream rf(stem + ".txt", std::ios::binary);
         rf << fail_report;
     }
+    // The flight-recorder dump: the last events of every lane (bounded
+    // by --ring) as a Chrome trace next to the QASM repro. Pools have
+    // drained (parallel_for returned) and the sampler is stopped
+    // (finish_obs_cli above), so collection is quiescent here.
+    std::string trace_note;
+    if (obs::enabled() && obs::write_chrome_trace(stem + "-trace.json"))
+        trace_note = "flight recorder: " + stem + "-trace.json\n";
     std::fprintf(stderr,
                  "FAIL: seed %llu violated invariants\n%s"
-                 "repro circuit: %s.qasm (report: %s.txt)\n"
+                 "repro circuit: %s.qasm (report: %s.txt)\n%s"
                  "replay: bench_fuzz --seeds %llu..%llu --qubits %d "
                  "--depth %d --nodes %d%s%s%s\n",
                  static_cast<unsigned long long>(*fail_seed),
                  fail_report.c_str(), stem.c_str(), stem.c_str(),
+                 trace_note.c_str(),
                  static_cast<unsigned long long>(*fail_seed),
                  static_cast<unsigned long long>(*fail_seed + 1), qubits,
                  depth, nodes, ccx ? " --ccx" : "",

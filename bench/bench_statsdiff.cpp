@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Stats-diff regression gate: compare two obs stats JSON files (the
+ * --stats-out output of any bench) and exit nonzero when the current
+ * run regressed against the baseline. The CI perf gate:
+ *
+ *   bench_statsdiff baseline.json current.json
+ *   bench_statsdiff base.json cur.json --threshold-pct 50 \
+ *       --min-sum-ms 5 --allow "pipeline.*,cache.hits"
+ *
+ * Counters gate on relative delta (zero/nonzero flips always fail);
+ * histograms gate on p50/p95 increases; see obs/statsdiff.hpp for the
+ * exact rules. Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/statsdiff.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace autocomm;
+
+int
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s BASELINE.json CURRENT.json [options]\n"
+        "  --threshold-pct P  max relative change, percent (default 25)\n"
+        "  --min-sum-ms M     skip histograms below M total ms on both\n"
+        "                     sides (default 0)\n"
+        "  --allow LIST       comma list of metrics to ignore; exact\n"
+        "                     name or trailing-* prefix\n"
+        "exit status: 0 no regression, 1 regression, 2 bad usage/input\n",
+        argv0);
+    return 2;
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        support::fatal("cannot read %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string>
+split_commas(const std::string& list)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream ss(list);
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> paths;
+    obs::StatsDiffOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                support::fatal("%s requires a value", arg.c_str());
+            return argv[++i];
+        };
+        try {
+            if (arg == "--threshold-pct") {
+                opts.threshold_pct = std::stod(value());
+            } else if (arg == "--min-sum-ms") {
+                opts.min_sum_ms = std::stod(value());
+            } else if (arg == "--allow") {
+                for (std::string& name : split_commas(value()))
+                    opts.allow.push_back(std::move(name));
+            } else if (!arg.empty() && arg[0] == '-') {
+                return usage(argv[0]);
+            } else {
+                paths.push_back(arg);
+            }
+        } catch (const support::UserError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: bad value for %s: %s\n",
+                         arg.c_str(), e.what());
+            return 2;
+        }
+    }
+    if (paths.size() != 2)
+        return usage(argv[0]);
+
+    try {
+        const obs::StatsDiffResult result =
+            obs::diff_stats(read_file(paths[0]), read_file(paths[1]), opts);
+        std::fputs(result.report().c_str(), stdout);
+        return result.ok() ? 0 : 1;
+    } catch (const support::UserError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

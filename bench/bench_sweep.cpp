@@ -133,7 +133,10 @@ usage(const char* argv0)
         "AUTOCOMM_TRACE)\n"
         "  --stats-out FILE write per-pass latency percentiles and "
         "pipeline\n"
-        "                   counters as JSON\n"
+        "                   counters as JSON (per-cell under \"cells\")\n"
+        "  --ring N         keep only the last N trace events per thread "
+        "(0 = all)\n"
+        "  --sample-ms N    sample RSS/pool/cache gauges every N ms\n"
         "  --list-opts      print the built-in option sets and exit\n",
         argv0);
     return 2;

@@ -27,11 +27,14 @@ main(int argc, char** argv)
     using support::Table;
 
     bench::CacheCli cache;
+    bench::ObsCli obs_cli;
     for (int i = 1; i < argc; ++i) {
         try {
-            if (!bench::parse_cache_flag(cache, argc, argv, i)) {
-                std::printf("usage: %s [--cache-dir DIR] "
-                            "[--cache-stats]\n", argv[0]);
+            if (!bench::parse_cache_flag(cache, argc, argv, i) &&
+                !bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                std::printf("usage: %s [--cache-dir DIR] [--cache-stats] "
+                            "[--trace-out FILE] [--stats-out FILE] "
+                            "[--ring N] [--sample-ms N]\n", argv[0]);
                 return 2;
             }
         } catch (const support::UserError& e) {
@@ -39,6 +42,7 @@ main(int argc, char** argv)
             return 2;
         }
     }
+    bench::apply_obs_cli(obs_cli);
 
     std::puts("== Table 2: benchmark programs (OEE qubit mapping) ==");
     Table t({"Name", "#qubit", "#node", "#gate", "#CX", "#REM CX"});
@@ -81,5 +85,6 @@ main(int argc, char** argv)
         std::printf("cache-stats: %s\n", stats_line.c_str());
     if (auto dir = bench::csv_dir())
         csv.write_file(*dir + "/table2.csv");
+    bench::finish_obs_cli(obs_cli);
     return failures == 0 ? 0 : 1;
 }

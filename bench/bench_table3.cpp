@@ -27,11 +27,14 @@ main(int argc, char** argv)
     using support::Table;
 
     bench::CacheCli cache;
+    bench::ObsCli obs_cli;
     for (int i = 1; i < argc; ++i) {
         try {
-            if (!bench::parse_cache_flag(cache, argc, argv, i)) {
-                std::printf("usage: %s [--cache-dir DIR] "
-                            "[--cache-stats]\n", argv[0]);
+            if (!bench::parse_cache_flag(cache, argc, argv, i) &&
+                !bench::parse_obs_flag(obs_cli, argc, argv, i)) {
+                std::printf("usage: %s [--cache-dir DIR] [--cache-stats] "
+                            "[--trace-out FILE] [--stats-out FILE] "
+                            "[--ring N] [--sample-ms N]\n", argv[0]);
                 return 2;
             }
         } catch (const support::UserError& e) {
@@ -39,6 +42,7 @@ main(int argc, char** argv)
             return 2;
         }
     }
+    bench::apply_obs_cli(obs_cli);
 
     std::puts("== Table 3: AutoComm vs per-CX Cat-Comm baseline ==");
     Table t({"Name", "Tot Comm", "TP-Comm", "Peak #REM CX",
@@ -89,6 +93,7 @@ main(int argc, char** argv)
     t.print();
     if (cache.stats)
         std::printf("cache-stats: %s\n", stats_line.c_str());
+    bench::finish_obs_cli(obs_cli);
 
     if (nrows == 0) {
         std::fprintf(stderr, "error: no rows compiled\n");

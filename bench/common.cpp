@@ -137,6 +137,22 @@ parse_obs_flag(ObsCli& cli, int argc, char** argv, int& i)
         cli.stats_path = argv[++i];
         return true;
     }
+    if (std::strcmp(argv[i], "--ring") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--ring requires a value");
+        const std::vector<int> v =
+            driver::parse_int_list(argv[++i], "--ring", 0, 1 << 24);
+        cli.ring = static_cast<std::size_t>(v.at(0));
+        return true;
+    }
+    if (std::strcmp(argv[i], "--sample-ms") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--sample-ms requires a value");
+        cli.sample_ms =
+            driver::parse_int_list(argv[++i], "--sample-ms", 1, 60'000)
+                .at(0);
+        return true;
+    }
     return false;
 }
 
@@ -148,15 +164,23 @@ apply_obs_cli(ObsCli& cli)
         if (env != nullptr && env[0] != '\0')
             cli.trace_path = env;
     }
-    if (cli.trace_path.empty() && cli.stats_path.empty())
+    if (cli.ring.has_value())
+        obs::set_ring_capacity(*cli.ring);
+    if (cli.trace_path.empty() && cli.stats_path.empty() &&
+        !cli.ring.has_value() && cli.sample_ms == 0)
         return;
     obs::set_lane_name("main");
     obs::set_enabled(true);
+    if (cli.sample_ms > 0)
+        cli.sampler = std::make_unique<obs::ResourceSampler>(cli.sample_ms);
 }
 
 void
-finish_obs_cli(const ObsCli& cli)
+finish_obs_cli(ObsCli& cli)
 {
+    // The sampler thread records events; exports require quiescence.
+    if (cli.sampler != nullptr)
+        cli.sampler->stop();
     if (!cli.trace_path.empty() &&
         obs::write_chrome_trace(cli.trace_path))
         support::inform("wrote trace to %s", cli.trace_path.c_str());

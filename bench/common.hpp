@@ -9,6 +9,8 @@
  */
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -18,6 +20,7 @@
 #include "circuits/library.hpp"
 #include "driver/sweep.hpp"
 #include "hw/machine.hpp"
+#include "obs/sampler.hpp"
 #include "partition/oee.hpp"
 #include "qir/decompose.hpp"
 
@@ -90,21 +93,28 @@ struct CacheCli
 bool parse_cache_flag(CacheCli& cli, int argc, char** argv, int& i);
 
 /**
- * Shared --trace-out/--stats-out handling for the bench binaries.
- * parse_obs_flag recognizes the two flags (mutating @p i past the
- * value); apply_obs_cli — call it once after the argument loop — fills
- * trace_path from the AUTOCOMM_TRACE environment variable when the flag
- * did not set it, names the calling thread's trace lane "main", and
- * enables recording iff either path is set; finish_obs_cli — call it
- * after all pools have drained — writes the requested file(s).
+ * Shared --trace-out/--stats-out/--ring/--sample-ms handling for the
+ * bench binaries. parse_obs_flag recognizes the flags (mutating @p i
+ * past the value); apply_obs_cli — call it once after the argument
+ * loop — fills trace_path from the AUTOCOMM_TRACE environment variable
+ * when the flag did not set it, names the calling thread's trace lane
+ * "main", installs the ring capacity, enables recording iff any option
+ * is set, and starts the resource sampler when --sample-ms was given;
+ * finish_obs_cli — call it after all pools have drained — stops the
+ * sampler and writes the requested file(s).
  */
 struct ObsCli
 {
     std::string trace_path; ///< Chrome trace-event JSON destination
     std::string stats_path; ///< counters + histogram summaries JSON
+    /** Flight-recorder capacity (events kept per thread); unset keeps
+     * the current global setting (normally unbounded). */
+    std::optional<std::size_t> ring;
+    int sample_ms = 0; ///< resource-sampler interval; 0 = no sampler
+    std::unique_ptr<obs::ResourceSampler> sampler;
 };
 bool parse_obs_flag(ObsCli& cli, int argc, char** argv, int& i);
 void apply_obs_cli(ObsCli& cli);
-void finish_obs_cli(const ObsCli& cli);
+void finish_obs_cli(ObsCli& cli);
 
 } // namespace autocomm::bench

@@ -161,6 +161,14 @@ Json::push_back(Json v)
     items_.push_back(std::move(v));
 }
 
+const std::vector<std::pair<std::string, Json>>&
+Json::members() const
+{
+    if (type_ != Type::Object)
+        support::fatal("Json: expected an object");
+    return members_;
+}
+
 const Json*
 Json::find(const std::string& key) const
 {

@@ -60,6 +60,9 @@ class Json
     const std::vector<Json>& items() const;
     void push_back(Json v);
 
+    /** Object members in insertion order (throws unless object). */
+    const std::vector<std::pair<std::string, Json>>& members() const;
+
     /** Object member by key; null when absent (throws unless object). */
     const Json* find(const std::string& key) const;
     /** Object member by key; throws support::UserError when absent. */

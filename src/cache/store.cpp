@@ -1,6 +1,7 @@
 #include "cache/store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +18,36 @@ namespace fs = std::filesystem;
 
 namespace autocomm::cache {
 
+namespace {
+/** Sum of approx_bytes() over live stores (see total_approx_bytes). */
+std::atomic<long long> g_total_bytes{0};
+} // namespace
+
+std::size_t
+ResultStore::total_approx_bytes()
+{
+    const long long v = g_total_bytes.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+void
+ResultStore::adjust_bytes(long long delta)
+{
+    approx_bytes_ = static_cast<std::size_t>(
+        static_cast<long long>(approx_bytes_) + delta);
+    g_total_bytes.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+ResultStore::put_entry(const std::string& hex, Entry e)
+{
+    const auto it = entries_.find(hex);
+    if (it != entries_.end())
+        adjust_bytes(-static_cast<long long>(it->second.bytes));
+    adjust_bytes(static_cast<long long>(e.bytes));
+    entries_[hex] = std::move(e);
+}
+
 ResultStore::ResultStore(std::string dir, std::string salt)
     : dir_(std::move(dir)), salt_(std::move(salt))
 {
@@ -26,6 +57,12 @@ ResultStore::ResultStore(std::string dir, std::string salt)
         support::fatal("cache: cannot create store directory \"%s\": %s",
                        dir_.c_str(), ec.message().c_str());
     load();
+}
+
+ResultStore::~ResultStore()
+{
+    g_total_bytes.fetch_sub(static_cast<long long>(approx_bytes_),
+                            std::memory_order_relaxed);
 }
 
 void
@@ -88,7 +125,8 @@ ResultStore::load()
                 if (const Json* hit = doc->find("hit"); hit != nullptr)
                     e.last_hit = hit->to_int();
                 e.row = doc->at("row");
-                entries_[key] = std::move(e);
+                e.bytes = line.size() + 1;
+                put_entry(key, std::move(e));
             } catch (const support::UserError& ex) {
                 support::warn("cache: %s:%zu: %s; dropped",
                               seg.string().c_str(), lineno, ex.what());
@@ -128,6 +166,7 @@ ResultStore::lookup(const CellKey& key, const driver::SweepCell& cell)
     } catch (const support::UserError& ex) {
         support::warn("cache: entry %s is corrupt (%s); recompiling",
                       key.hex().c_str(), ex.what());
+        adjust_bytes(-static_cast<long long>(it->second.bytes));
         entries_.erase(it);
         saw_corrupt_ = true;
         ++stats_.stale;
@@ -147,7 +186,8 @@ ResultStore::insert(const CellKey& key, const driver::SweepRow& row)
     e.created_at = static_cast<long long>(std::time(nullptr));
     e.row = row_to_json(row);
     e.pending = true;
-    entries_[key.hex()] = std::move(e);
+    e.bytes = entry_line(key.hex(), e).size() + 1;
+    put_entry(key.hex(), std::move(e));
     ++stats_.inserted;
     obs::count("cache.inserted");
 }
@@ -268,8 +308,15 @@ ResultStore::compact()
 {
     std::string contents;
     for (auto& [hex, e] : entries_) {
-        contents += entry_line(hex, e);
+        const std::string line = entry_line(hex, e);
+        contents += line;
         contents += '\n';
+        // Re-measure against the canonical form just written: load-time
+        // sizes came from raw segment lines, and lookups may have
+        // refreshed last-hit since.
+        adjust_bytes(static_cast<long long>(line.size() + 1) -
+                     static_cast<long long>(e.bytes));
+        e.bytes = line.size() + 1;
         e.pending = false;
     }
     const fs::path canonical = fs::path(dir_) / "store.jsonl";
@@ -306,6 +353,7 @@ ResultStore::gc(double max_age_days)
         0.0, static_cast<double>(now) - max_age_days * 86400.0);
     const long long cutoff = static_cast<long long>(cutoff_d);
     std::size_t dropped = 0;
+    std::size_t dropped_bytes = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
         // Age basis: the later of first-compile and last-hit, so entries
         // a warm sweep keeps serving outlive idle ones compiled the same
@@ -314,6 +362,8 @@ ResultStore::gc(double max_age_days)
         const long long basis =
             std::max(it->second.created_at, it->second.last_hit);
         if (basis == 0 || basis < cutoff) {
+            dropped_bytes += it->second.bytes;
+            adjust_bytes(-static_cast<long long>(it->second.bytes));
             it = entries_.erase(it);
             ++dropped;
         } else {
@@ -325,6 +375,11 @@ ResultStore::gc(double max_age_days)
     // load, but still on disk) are gone for good.
     compact();
     obs::count("cache.evictions", dropped);
+    obs::count("cache.gc_evicted_entries", dropped);
+    obs::count("cache.gc_evicted_bytes", dropped_bytes);
+    obs::instant("cache.gc",
+                 support::strprintf("age dropped=%zu bytes=%zu", dropped,
+                                    dropped_bytes));
     return dropped;
 }
 
@@ -345,6 +400,7 @@ ResultStore::gc_to_bytes(std::size_t max_bytes)
     }
 
     std::size_t dropped = 0;
+    std::size_t dropped_bytes = 0;
     if (total > max_bytes) {
         // Evict on the same age basis as gc(): the later of first-compile
         // and last-hit, oldest first, key order breaking ties so equal
@@ -364,13 +420,21 @@ ResultStore::gc_to_bytes(std::size_t max_bytes)
         for (const auto& [hex, n] : sizes) {
             if (total <= max_bytes)
                 break;
-            entries_.erase(*hex);
+            const auto it = entries_.find(*hex);
+            adjust_bytes(-static_cast<long long>(it->second.bytes));
+            entries_.erase(it);
             total -= n;
+            dropped_bytes += n;
             ++dropped;
         }
     }
     compact();
     obs::count("cache.evictions", dropped);
+    obs::count("cache.gc_evicted_entries", dropped);
+    obs::count("cache.gc_evicted_bytes", dropped_bytes);
+    obs::instant("cache.gc",
+                 support::strprintf("size dropped=%zu bytes=%zu", dropped,
+                                    dropped_bytes));
     return dropped;
 }
 
@@ -389,7 +453,7 @@ ResultStore::merge_from(const std::string& src_dir)
             continue;
         Entry copy = e;
         copy.pending = true;
-        entries_[hex] = std::move(copy);
+        put_entry(hex, std::move(copy));
         ++imported;
     }
     stats_.inserted += imported;

@@ -69,6 +69,7 @@ class ResultStore
      */
     explicit ResultStore(std::string dir,
                          std::string salt = kCompilerSalt);
+    ~ResultStore();
 
     /** The row cached for @p key, rebuilt against the live @p cell;
      * nullopt (a miss) when absent, salt-stale, or corrupt. A hit
@@ -139,6 +140,19 @@ class ResultStore
     /** Live entries currently held. */
     std::size_t size() const { return entries_.size(); }
 
+    /** Approximate serialized size of the live entries (sum of entry
+     * lines as loaded/written; lookup-time last-hit refreshes are not
+     * re-measured). Maintained incrementally; an observability figure,
+     * not the gc_to_bytes() eviction measure. */
+    std::size_t approx_bytes() const { return approx_bytes_; }
+
+    /**
+     * approx_bytes() summed over every live store in the process — the
+     * obs::ResourceSampler's feed, readable from any thread without a
+     * reference to the (often call-scoped) store instances.
+     */
+    static std::size_t total_approx_bytes();
+
     const StoreStats& stats() const { return stats_; }
     const std::string& dir() const { return dir_; }
     const std::string& salt() const { return salt_; }
@@ -161,6 +175,9 @@ class ResultStore
          * compact()/gc() only — flush() segments stay clock-free. */
         long long last_hit = 0;
         Json row;
+        /** Serialized line size (incl. newline) this entry contributes
+         * to approx_bytes(); re-measured on compact(). */
+        std::size_t bytes = 0;
         bool pending = false; ///< not yet persisted by flush()
     };
 
@@ -168,11 +185,17 @@ class ResultStore
     std::string entry_line(const std::string& hex, const Entry& e) const;
     void write_atomic(const std::string& filename,
                       const std::string& contents) const;
+    /** Install @p e under @p hex, keeping the byte accounting straight
+     * when the key replaces an existing entry. */
+    void put_entry(const std::string& hex, Entry e);
+    /** Track an approx_bytes() change on this store and process-wide. */
+    void adjust_bytes(long long delta);
 
     std::string dir_;
     std::string salt_;
     /** hex key -> entry; std::map so compaction is key-sorted for free. */
     std::map<std::string, Entry> entries_;
+    std::size_t approx_bytes_ = 0;
     StoreStats stats_;
     /** Segments this process loaded or wrote — the only files a
      * corrupt-triggered rewrite may retire (see flush). */

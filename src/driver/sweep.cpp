@@ -380,6 +380,9 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
         for (const SweepCell& cell : cells)
             keys.push_back(cache::cell_key(cell, opts.store->salt()));
         for (std::size_t i = 0; i < cells.size(); ++i) {
+            // Scope the lookup so its cache.hits/cache.misses land in
+            // the cell's own stats bucket.
+            obs::CellScope scope(cells[i].label());
             if (std::optional<SweepRow> hit =
                     opts.store->lookup(keys[i], cells[i])) {
                 // A cached error row honors the same contract a fresh
@@ -566,6 +569,11 @@ run_sweep(const std::vector<SweepCell>& cells, const SweepOptions& opts)
     // Stage 3: compile one cell against its memoized preparation.
     auto cell_stage = [&](std::size_t i) {
         const Mapping& mp = mappings[cell_mapping[i]];
+        // Everything this cell records — pass spans, EPR counters,
+        // cache traffic — attributes to its label in the stats JSON's
+        // `cells` section. The memoized prepare stages above stay
+        // unscoped on purpose: their work is shared across cells.
+        obs::CellScope scope(cells[i].label());
         obs::count("pipeline.cells_started");
         obs::Span span("cell", cells[i].label());
         try {

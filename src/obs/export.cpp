@@ -20,9 +20,18 @@ using cache::Json;
 const char* const kWellKnownCounters[] = {
     "cache.hits",           "cache.misses",
     "cache.stale",          "cache.inserted",
-    "cache.evictions",      "pipeline.cells_started",
+    "cache.evictions",      "cache.gc_evicted_entries",
+    "cache.gc_evicted_bytes",   "pipeline.cells_started",
     "pipeline.cells_completed", "schedule.epr_pairs",
     "schedule.detours",
+};
+
+/** Gauges the ResourceSampler feeds; zero-filled when it never ran so
+ * consumers see the same schema either way. */
+const char* const kWellKnownGauges[] = {
+    "proc.rss_bytes",        "pool.queue_depth",
+    "pool.active_workers",   "pool.utilization",
+    "cache.store_bytes",
 };
 
 double
@@ -89,10 +98,19 @@ chrome_trace_json()
         Json e = Json::object();
         e.set("name", Json::string(ev.name));
         e.set("cat", Json::string("obs"));
-        e.set("ph", Json::string(ev.instant ? "i" : "X"));
+        e.set("ph",
+              Json::string(ev.counter ? "C" : ev.instant ? "i" : "X"));
         e.set("pid", Json::number(1LL));
         e.set("tid", Json::number(static_cast<long long>(ev.lane)));
         e.set("ts", Json::number(static_cast<double>(ev.start_ns) / 1e3));
+        if (ev.counter) {
+            // Counter series: the viewer draws args values over time.
+            Json args = Json::object();
+            args.set("value", Json::number(ev.value));
+            e.set("args", std::move(args));
+            trace_events.push_back(std::move(e));
+            continue;
+        }
         if (!ev.instant)
             e.set("dur",
                   Json::number(static_cast<double>(ev.dur_ns) / 1e3));
@@ -159,9 +177,68 @@ stats_json()
         histograms.set(name, std::move(stats));
     }
 
+    Json gauges = Json::object();
+    {
+        std::vector<std::string> names = reg.gauge_names();
+        for (const char* wk : kWellKnownGauges)
+            if (std::find(names.begin(), names.end(), wk) == names.end())
+                names.push_back(wk);
+        std::sort(names.begin(), names.end());
+        for (const std::string& name : names) {
+            const Gauge* g = reg.find_gauge(name);
+            Json stats = Json::object();
+            stats.set("last",
+                      Json::number(g != nullptr ? g->last() : 0.0));
+            stats.set("min", Json::number(g != nullptr ? g->min() : 0.0));
+            stats.set("max", Json::number(g != nullptr ? g->max() : 0.0));
+            stats.set("samples",
+                      Json::number(static_cast<unsigned long long>(
+                          g != nullptr ? g->samples() : 0)));
+            gauges.set(name, std::move(stats));
+        }
+    }
+
+    // Per-cell attribution: one entry per CellScope that recorded, with
+    // the counters it incremented and a compact per-pass latency summary
+    // (count/sum/p50/p95). Scope keys are sweep-cell labels, sorted.
+    Json cells = Json::object();
+    for (const std::string& scope : reg.scope_names()) {
+        Json cell_counters = Json::object();
+        for (const std::string& name : reg.scoped_counter_names(scope)) {
+            const Counter* c = reg.find_scoped_counter(scope, name);
+            cell_counters.set(
+                name, Json::number(static_cast<unsigned long long>(
+                          c != nullptr ? c->value() : 0)));
+        }
+        Json cell_hists = Json::object();
+        for (const std::string& name :
+             reg.scoped_histogram_names(scope)) {
+            const Histogram* h = reg.find_scoped_histogram(scope, name);
+            if (h == nullptr)
+                continue;
+            Json stats = Json::object();
+            stats.set("count",
+                      Json::number(static_cast<unsigned long long>(
+                          h->count())));
+            stats.set("sum_ms", Json::number(ns_to_ms(
+                                    static_cast<double>(h->sum()))));
+            stats.set("p50_ms",
+                      Json::number(ns_to_ms(h->percentile(50.0))));
+            stats.set("p95_ms",
+                      Json::number(ns_to_ms(h->percentile(95.0))));
+            cell_hists.set(name, std::move(stats));
+        }
+        Json cell = Json::object();
+        cell.set("counters", std::move(cell_counters));
+        cell.set("histograms", std::move(cell_hists));
+        cells.set(scope, std::move(cell));
+    }
+
     Json doc = Json::object();
     doc.set("counters", std::move(counters));
+    doc.set("gauges", std::move(gauges));
     doc.set("histograms", std::move(histograms));
+    doc.set("cells", std::move(cells));
     return doc.dump();
 }
 
@@ -193,6 +270,23 @@ stats_report()
     }
     if (spans.row_count() > 0) {
         out += spans.to_string();
+        out += "\n";
+    }
+
+    support::Table gauges({"Gauge", "Last", "Min", "Max", "Samples"});
+    for (const std::string& name : reg.gauge_names()) {
+        const Gauge* g = reg.find_gauge(name);
+        if (g == nullptr || g->samples() == 0)
+            continue;
+        gauges.start_row();
+        gauges.add(name);
+        gauges.add(g->last(), 1);
+        gauges.add(g->min(), 1);
+        gauges.add(g->max(), 1);
+        gauges.add(static_cast<long long>(g->samples()));
+    }
+    if (gauges.row_count() > 0) {
+        out += gauges.to_string();
         out += "\n";
     }
 

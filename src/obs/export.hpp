@@ -15,9 +15,11 @@ namespace autocomm::obs {
 /**
  * The recorded events as one Chrome trace-event JSON document: every
  * span is a complete ("X") event on its thread's lane, instants are "i"
- * events, and each registered lane carries a thread_name metadata record
- * ("main", "worker-3"), so pool workers render as named lanes. Events
- * are sorted (lane, start time), so equal recordings serialize equally.
+ * events, gauge samples are counter ("C") series the viewer draws as
+ * value-over-time curves, and each registered lane carries a thread_name
+ * metadata record ("main", "worker-3"), so pool workers render as named
+ * lanes. Events are sorted (lane, start time), so equal recordings
+ * serialize equally.
  */
 std::string chrome_trace_json();
 
@@ -26,16 +28,25 @@ std::string chrome_trace_json();
 bool write_chrome_trace(const std::string& path);
 
 /**
- * Counters and histogram summaries as one JSON document:
+ * Counters, gauges, histogram summaries, and per-cell attribution as
+ * one JSON document:
  *
  *   {"counters": {"cache.hits": 12, ...},
+ *    "gauges": {"proc.rss_bytes": {"last": ..., "min": ..., "max": ...,
+ *     "samples": ...}, ...},
  *    "histograms": {"aggregate": {"count": 8, "sum_ms": ..., "min_ms":
- *     ..., "max_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}}}
+ *     ..., "max_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}},
+ *    "cells": {"QFT-16-2/topology=star": {"counters": {...},
+ *     "histograms": {"aggregate": {"count": 1, "sum_ms": ...,
+ *      "p50_ms": ..., "p95_ms": ...}, ...}}, ...}}
  *
  * The well-known pipeline counters (cache.hits/misses/stale/evictions,
- * pipeline.cells_started/completed, schedule.epr_pairs/detours) are
- * always present — zero when never incremented — so consumers get a
- * stable schema.
+ * cache.gc_evicted_entries/bytes, pipeline.cells_started/completed,
+ * schedule.epr_pairs/detours) and the ResourceSampler gauges are always
+ * present — zero when never recorded — so consumers get a stable
+ * schema. The "cells" section holds one entry per CellScope that
+ * recorded (per-pass count/sum/p50/p95 plus the cell's cache and EPR
+ * counters), keyed by sweep-cell label.
  */
 std::string stats_json();
 

@@ -96,6 +96,88 @@ Histogram::percentile(double p) const
     return static_cast<double>(max());
 }
 
+namespace {
+
+/** The calling thread's innermost CellScope label (see CellScope). */
+thread_local const std::string* tls_scope = nullptr;
+
+void
+fold_extrema(std::atomic<double>& min_slot, std::atomic<double>& max_slot,
+             double v)
+{
+    double cur = min_slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_slot.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed))
+        ;
+    cur = max_slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_slot.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+void
+Gauge::set(double v)
+{
+    last_.store(v, std::memory_order_relaxed);
+    fold_extrema(min_, max_, v);
+    samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Gauge::add(double delta)
+{
+    double cur = last_.load(std::memory_order_relaxed);
+    while (!last_.compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed))
+        ;
+    fold_extrema(min_, max_, cur + delta);
+    samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Gauge::last() const
+{
+    return last_.load(std::memory_order_relaxed);
+}
+
+double
+Gauge::min() const
+{
+    return samples() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double
+Gauge::max() const
+{
+    return samples() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+CellScope::CellScope(std::string label)
+{
+    if (!enabled())
+        return;
+    label_ = std::move(label);
+    prev_ = tls_scope;
+    tls_scope = &label_;
+    active_ = true;
+}
+
+CellScope::~CellScope()
+{
+    if (active_)
+        tls_scope = prev_;
+}
+
+const std::string*
+current_scope()
+{
+    return tls_scope;
+}
+
 Registry&
 Registry::instance()
 {
@@ -123,6 +205,37 @@ Registry::histogram(const std::string& name)
     return *slot;
 }
 
+Gauge&
+Registry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Gauge>& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Counter&
+Registry::scoped_counter(const std::string& scope, const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Counter>& slot = scopes_[scope].counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram&
+Registry::scoped_histogram(const std::string& scope,
+                           const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Histogram>& slot = scopes_[scope].histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
 std::vector<std::string>
 Registry::counter_names() const
 {
@@ -145,6 +258,56 @@ Registry::histogram_names() const
     return out;
 }
 
+std::vector<std::string>
+Registry::gauge_names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+Registry::scope_names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(scopes_.size());
+    for (const auto& [name, s] : scopes_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+Registry::scoped_counter_names(const std::string& scope) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    const auto it = scopes_.find(scope);
+    if (it == scopes_.end())
+        return out;
+    out.reserve(it->second.counters.size());
+    for (const auto& [name, c] : it->second.counters)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+Registry::scoped_histogram_names(const std::string& scope) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    const auto it = scopes_.find(scope);
+    if (it == scopes_.end())
+        return out;
+    out.reserve(it->second.histograms.size());
+    for (const auto& [name, h] : it->second.histograms)
+        out.push_back(name);
+    return out;
+}
+
 const Counter*
 Registry::find_counter(const std::string& name) const
 {
@@ -161,12 +324,47 @@ Registry::find_histogram(const std::string& name) const
     return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+const Gauge*
+Registry::find_gauge(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Counter*
+Registry::find_scoped_counter(const std::string& scope,
+                              const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto sit = scopes_.find(scope);
+    if (sit == scopes_.end())
+        return nullptr;
+    const auto it = sit->second.counters.find(name);
+    return it == sit->second.counters.end() ? nullptr : it->second.get();
+}
+
+const Histogram*
+Registry::find_scoped_histogram(const std::string& scope,
+                                const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto sit = scopes_.find(scope);
+    if (sit == scopes_.end())
+        return nullptr;
+    const auto it = sit->second.histograms.find(name);
+    return it == sit->second.histograms.end() ? nullptr
+                                              : it->second.get();
+}
+
 void
 Registry::reset()
 {
     std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     histograms_.clear();
+    gauges_.clear();
+    scopes_.clear();
 }
 
 void
@@ -174,7 +372,10 @@ count(const char* name, std::uint64_t delta)
 {
     if (!enabled())
         return;
-    Registry::instance().counter(name).add(delta);
+    Registry& reg = Registry::instance();
+    reg.counter(name).add(delta);
+    if (const std::string* scope = tls_scope)
+        reg.scoped_counter(*scope, name).add(delta);
 }
 
 void
@@ -182,7 +383,24 @@ observe_ns(const char* name, std::uint64_t ns)
 {
     if (!enabled())
         return;
-    Registry::instance().histogram(name).observe(ns);
+    observe_span_ns(name, ns);
+}
+
+void
+gauge_set(const char* name, double v)
+{
+    if (!enabled())
+        return;
+    Registry::instance().gauge(name).set(v);
+}
+
+void
+observe_span_ns(const char* name, std::uint64_t ns)
+{
+    Registry& reg = Registry::instance();
+    reg.histogram(name).observe(ns);
+    if (const std::string* scope = tls_scope)
+        reg.scoped_histogram(*scope, name).observe(ns);
 }
 
 } // namespace autocomm::obs

@@ -1,19 +1,31 @@
 /**
  * @file
- * Process-wide metrics: named monotonic counters and log-bucketed latency
- * histograms with percentile extraction — the stats surface a compile
- * service will later serve from its health endpoint.
+ * Process-wide metrics: named monotonic counters, log-bucketed latency
+ * histograms with percentile extraction, and last/min/max resource
+ * gauges — the stats surface a compile service will later serve from its
+ * health endpoint.
  *
  * All mutation is lock-free (relaxed atomics); the registry mutex guards
- * only name -> instance resolution. Counter and Histogram references
- * returned by the registry stay valid until Registry::reset(). Like
- * tracing, recording is gated on obs::enabled() via the count()/
- * observe_ns() helpers, so the disabled path is one relaxed load.
+ * only name -> instance resolution. Counter, Histogram, and Gauge
+ * references returned by the registry stay valid until Registry::reset().
+ * Like tracing, recording is gated on obs::enabled() via the count()/
+ * observe_ns()/gauge_set() helpers, so the disabled path is one relaxed
+ * load.
+ *
+ * Per-cell attribution: a CellScope names the sweep cell the calling
+ * thread is currently working on (thread-local, RAII). While a scope is
+ * active, every count()/observe_ns()/Span sample lands in a per-scope
+ * shadow registry in addition to the process-wide metric, so the stats
+ * export can break counters and pass latencies down per cell — the
+ * per-request attribution the autocommd service direction needs. Scoped
+ * metrics are values-only bookkeeping: nothing here feeds back into
+ * compilation or cache::CellKey.
  */
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -92,44 +104,152 @@ class Histogram
     std::atomic<std::uint64_t> max_{0};
 };
 
+/**
+ * A point-in-time measurement (RSS, queue depth, store size): set()
+ * replaces the value, add() adjusts it, and the gauge keeps the last
+ * value plus the min/max envelope and the sample count. All relaxed
+ * atomics; safe to feed from a sampler thread while workers record.
+ */
+class Gauge
+{
+  public:
+    /** Record @p v as the current value. */
+    void set(double v);
+
+    /** Adjust the current value by @p delta (atomically) and fold the
+     * result into the min/max envelope. */
+    void add(double delta);
+
+    /** Most recently recorded value; 0 before the first sample. */
+    double last() const;
+
+    /** Smallest / largest value seen; 0 before the first sample. */
+    double min() const;
+    double max() const;
+
+    /** Number of set()/add() calls recorded. */
+    std::uint64_t samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> last_{0.0};
+    /** +/-inf sentinels until the first sample (accessors report 0). */
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+    std::atomic<std::uint64_t> samples_{0};
+};
+
 /** The process-wide named-metric registry. */
 class Registry
 {
   public:
     static Registry& instance();
 
-    /** The counter / histogram named @p name, created on first use.
-     * References stay valid until reset(). */
+    /** The counter / histogram / gauge named @p name, created on first
+     * use. References stay valid until reset(). */
     Counter& counter(const std::string& name);
     Histogram& histogram(const std::string& name);
+    Gauge& gauge(const std::string& name);
 
     /** Registered names, sorted (deterministic export order). */
     std::vector<std::string> counter_names() const;
     std::vector<std::string> histogram_names() const;
+    std::vector<std::string> gauge_names() const;
 
     /** Lookup without creating; nullptr when absent. */
     const Counter* find_counter(const std::string& name) const;
     const Histogram* find_histogram(const std::string& name) const;
+    const Gauge* find_gauge(const std::string& name) const;
+
+    /** The scoped (per-cell) counter / histogram, created on first use.
+     * @p scope is a sweep-cell label; references stay valid until
+     * reset(). */
+    Counter& scoped_counter(const std::string& scope,
+                            const std::string& name);
+    Histogram& scoped_histogram(const std::string& scope,
+                                const std::string& name);
+
+    /** Every scope (cell label) that recorded at least one metric,
+     * sorted. */
+    std::vector<std::string> scope_names() const;
+
+    /** Metric names registered under @p scope, sorted; empty when the
+     * scope is unknown. */
+    std::vector<std::string>
+    scoped_counter_names(const std::string& scope) const;
+    std::vector<std::string>
+    scoped_histogram_names(const std::string& scope) const;
+
+    /** Scoped lookup without creating; nullptr when absent. */
+    const Counter* find_scoped_counter(const std::string& scope,
+                                       const std::string& name) const;
+    const Histogram* find_scoped_histogram(const std::string& scope,
+                                           const std::string& name) const;
 
     /**
-     * Drop every counter and histogram. Invalidates references handed
-     * out earlier; callers that cache them (none of the pipeline's
-     * count()/observe helpers do) must re-resolve.
+     * Drop every counter, histogram, gauge, and per-cell scope.
+     * Invalidates references handed out earlier; callers that cache
+     * them (none of the pipeline's count()/observe helpers do) must
+     * re-resolve.
      */
     void reset();
 
   private:
     Registry() = default;
 
+    struct Scope
+    {
+        std::map<std::string, std::unique_ptr<Counter>> counters;
+        std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    };
+
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, Scope> scopes_;
 };
+
+/**
+ * RAII per-cell attribution scope: while alive, the calling thread's
+ * count()/observe_ns()/Span samples are additionally recorded under
+ * @p label in the registry's per-scope shadow maps. Scopes nest
+ * (innermost wins) and are strictly thread-local — a pool worker's
+ * scope never leaks to another thread. Constructing one while recording
+ * is disabled is a no-op beyond the single enabled() load.
+ */
+class CellScope
+{
+  public:
+    explicit CellScope(std::string label);
+    ~CellScope();
+
+    CellScope(const CellScope&) = delete;
+    CellScope& operator=(const CellScope&) = delete;
+
+  private:
+    std::string label_;
+    const std::string* prev_ = nullptr;
+    bool active_ = false;
+};
+
+/** The calling thread's active CellScope label; nullptr when none. */
+const std::string* current_scope();
 
 /** Increment the named counter iff obs::enabled(). */
 void count(const char* name, std::uint64_t delta = 1);
 
 /** Record a nanosecond sample into the named histogram iff enabled(). */
 void observe_ns(const char* name, std::uint64_t ns);
+
+/** Record @p v into the named gauge iff enabled(). */
+void gauge_set(const char* name, double v);
+
+/** Span::end's histogram feed: records into the named histogram (and
+ * the active cell scope's) WITHOUT the enabled() gate — a live span's
+ * sample is real even if tracing was flipped off mid-span. */
+void observe_span_ns(const char* name, std::uint64_t ns);
 
 } // namespace autocomm::obs

@@ -1,0 +1,103 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "cache/store.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/threadpool.hpp"
+
+namespace autocomm::obs {
+
+namespace {
+
+/** Resident set size in bytes from /proc/self/statm (field 2, pages);
+ * -1 where procfs is unavailable. */
+long long
+read_rss_bytes()
+{
+    std::ifstream in("/proc/self/statm");
+    long long size_pages = 0, resident_pages = 0;
+    if (!(in >> size_pages >> resident_pages))
+        return -1;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return resident_pages * (page > 0 ? page : 4096);
+}
+
+void
+record(const char* name, double v)
+{
+    gauge_set(name, v);
+    counter_event(name, v);
+}
+
+} // namespace
+
+void
+ResourceSampler::sample_once()
+{
+    if (!enabled())
+        return;
+    if (const long long rss = read_rss_bytes(); rss >= 0)
+        record("proc.rss_bytes", static_cast<double>(rss));
+    const std::size_t depth = support::ThreadPool::total_queue_depth();
+    const std::size_t active = support::ThreadPool::total_active_workers();
+    const std::size_t workers = support::ThreadPool::total_workers();
+    record("pool.queue_depth", static_cast<double>(depth));
+    record("pool.active_workers", static_cast<double>(active));
+    record("pool.utilization",
+           workers == 0 ? 0.0
+                        : static_cast<double>(active) /
+                              static_cast<double>(workers));
+    record("cache.store_bytes",
+           static_cast<double>(cache::ResultStore::total_approx_bytes()));
+}
+
+ResourceSampler::ResourceSampler(int interval_ms)
+    : interval_ms_(std::max(1, interval_ms)),
+      thread_([this]() { loop(); })
+{
+}
+
+ResourceSampler::~ResourceSampler()
+{
+    stop();
+}
+
+void
+ResourceSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_)
+            return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    // The closing sample: short runs (and tests) get at least one data
+    // point per gauge, and the trace's counter curves end at the stop.
+    sample_once();
+}
+
+void
+ResourceSampler::loop()
+{
+    set_lane_name("sampler");
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        lock.unlock();
+        sample_once();
+        lock.lock();
+        if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                         [this]() { return stop_; }))
+            return;
+    }
+}
+
+} // namespace autocomm::obs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Opt-in background resource sampler: a thread that periodically feeds
+ * process RSS, ThreadPool queue depth / worker utilization, and
+ * ResultStore byte size into registry gauges and Chrome-trace counter
+ * ("C") events, so a trace shows memory and queue curves alongside the
+ * span lanes and the stats JSON carries a min/max/last envelope per
+ * resource.
+ *
+ * The sampler is a pure observer like the rest of obs: it reads
+ * process-wide snapshots (ThreadPool::total_*, ResultStore::
+ * total_approx_bytes, /proc/self/statm) and records them iff
+ * obs::enabled(); it never touches compilation state, so sweep CSVs are
+ * byte-identical with the sampler on or off. Stop it (or destroy it)
+ * before collect_events()/reset()/export — its thread records events,
+ * and those require recording quiescence. bench::finish_obs_cli does
+ * this ordering for the bench CLIs.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace autocomm::obs {
+
+/** Gauge/counter-event names the sampler records (also the well-known
+ * zero-filled gauge schema in stats_json()):
+ *  - proc.rss_bytes: resident set size (/proc/self/statm; max = peak);
+ *    skipped on systems without procfs
+ *  - pool.queue_depth: jobs queued across live ThreadPools
+ *  - pool.active_workers: workers currently inside a job
+ *  - pool.utilization: active / total workers, in [0, 1] (0 when no
+ *    pool is live)
+ *  - cache.store_bytes: approx serialized size of live ResultStores */
+class ResourceSampler
+{
+  public:
+    /** Start the sampler thread; one sample lands immediately, then one
+     * every @p interval_ms (clamped to >= 1). */
+    explicit ResourceSampler(int interval_ms = 50);
+
+    /** Stops and joins. */
+    ~ResourceSampler();
+
+    ResourceSampler(const ResourceSampler&) = delete;
+    ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+    /** Stop sampling and join the thread; idempotent. A final sample is
+     * taken first, so even an immediately stopped sampler leaves one
+     * data point per gauge. */
+    void stop();
+
+    /** Take one sample on the calling thread (the sampler loop's body;
+     * public so tests can sample deterministically without a thread). */
+    static void sample_once();
+
+  private:
+    void loop();
+
+    int interval_ms_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace autocomm::obs

@@ -1,0 +1,238 @@
+#include "obs/statsdiff.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "cache/json.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::obs {
+
+namespace {
+
+using cache::Json;
+
+/** Parse one stats document or throw naming which side is broken. */
+Json
+parse_doc(const std::string& text, const char* which)
+{
+    std::string error;
+    std::optional<Json> doc = Json::parse(text, &error);
+    if (!doc.has_value())
+        throw support::UserError(support::strprintf(
+            "bench_statsdiff: %s stats JSON is malformed: %s", which,
+            error.c_str()));
+    if (!doc->is_object())
+        throw support::UserError(support::strprintf(
+            "bench_statsdiff: %s stats JSON is not an object", which));
+    return std::move(*doc);
+}
+
+/** The named object section, or an empty object when absent — old
+ * stats files (pre-gauges, pre-cells) diff cleanly. */
+Json
+section(const Json& doc, const std::string& name, const char* which)
+{
+    const Json* s = doc.find(name);
+    if (s == nullptr)
+        return Json::object();
+    if (!s->is_object())
+        throw support::UserError(support::strprintf(
+            "bench_statsdiff: %s \"%s\" section is not an object", which,
+            name.c_str()));
+    return *s;
+}
+
+bool
+allowed(const std::string& name, const std::vector<std::string>& allow)
+{
+    for (const std::string& pat : allow) {
+        if (!pat.empty() && pat.back() == '*') {
+            if (name.compare(0, pat.size() - 1, pat, 0, pat.size() - 1) ==
+                0)
+                return true;
+        } else if (name == pat) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Relative change current vs baseline, percent; baseline must be
+ * nonzero. */
+double
+rel_pct(double baseline, double current)
+{
+    return (current - baseline) / std::fabs(baseline) * 100.0;
+}
+
+std::string
+fmt(double v)
+{
+    return support::strprintf("%.3g", v);
+}
+
+void
+diff_counters(const Json& base, const Json& cur,
+              const StatsDiffOptions& opts, StatsDiffResult& out)
+{
+    std::set<std::string> names;
+    for (const auto& [name, value] : base.members())
+        names.insert(name);
+    for (const auto& [name, value] : cur.members())
+        names.insert(name);
+    for (const std::string& name : names) {
+        if (allowed(name, opts.allow))
+            continue;
+        const std::string metric = "counter " + name;
+        const Json* b = base.find(name);
+        const Json* c = cur.find(name);
+        // A counter only one side knows is a schema difference, not a
+        // regression (stats_json zero-fills the well-known set, so a
+        // behavioural absence shows as 0, handled below).
+        if (b == nullptr || c == nullptr) {
+            out.findings.push_back(
+                {metric,
+                 support::strprintf("only in %s",
+                                    b == nullptr ? "current" : "baseline"),
+                 false});
+            continue;
+        }
+        const double bv = b->to_double();
+        const double cv = c->to_double();
+        if (bv == cv)
+            continue;
+        if (bv == 0.0 || cv == 0.0) {
+            out.findings.push_back(
+                {metric,
+                 support::strprintf("%s -> %s (zero/nonzero flip)",
+                                    fmt(bv).c_str(), fmt(cv).c_str()),
+                 true});
+            continue;
+        }
+        const double pct = rel_pct(bv, cv);
+        const bool bad = std::fabs(pct) > opts.threshold_pct;
+        out.findings.push_back(
+            {metric,
+             support::strprintf("%s -> %s (%+.1f%%, threshold %.1f%%)",
+                                fmt(bv).c_str(), fmt(cv).c_str(), pct,
+                                opts.threshold_pct),
+             bad});
+    }
+}
+
+/** Histogram field by name; 0 when the member is absent. */
+double
+hist_field(const Json& h, const char* key)
+{
+    const Json* v = h.find(key);
+    return v == nullptr ? 0.0 : v->to_double();
+}
+
+void
+diff_histograms(const Json& base, const Json& cur,
+                const StatsDiffOptions& opts, StatsDiffResult& out)
+{
+    std::set<std::string> names;
+    for (const auto& [name, value] : base.members())
+        names.insert(name);
+    for (const auto& [name, value] : cur.members())
+        names.insert(name);
+    for (const std::string& name : names) {
+        if (allowed(name, opts.allow))
+            continue;
+        const std::string metric = "histogram " + name;
+        const Json* b = base.find(name);
+        const Json* c = cur.find(name);
+        if (c == nullptr) {
+            out.findings.push_back(
+                {metric, "present in baseline, missing from current",
+                 true});
+            continue;
+        }
+        if (b == nullptr) {
+            out.findings.push_back({metric, "new in current", false});
+            continue;
+        }
+        const double b_sum = hist_field(*b, "sum_ms");
+        const double c_sum = hist_field(*c, "sum_ms");
+        if (b_sum < opts.min_sum_ms && c_sum < opts.min_sum_ms)
+            continue; // micro-latency noise
+        for (const char* key : {"p50_ms", "p95_ms"}) {
+            const double bv = hist_field(*b, key);
+            const double cv = hist_field(*c, key);
+            if (bv == cv)
+                continue;
+            if (bv == 0.0) {
+                out.findings.push_back(
+                    {metric, support::strprintf("%s: 0 -> %s ms", key,
+                                                fmt(cv).c_str()),
+                     false});
+                continue;
+            }
+            const double pct = rel_pct(bv, cv);
+            if (pct <= 0.0) {
+                out.findings.push_back(
+                    {metric,
+                     support::strprintf("%s: %s -> %s ms (%+.1f%%)", key,
+                                        fmt(bv).c_str(), fmt(cv).c_str(),
+                                        pct),
+                     false});
+                continue;
+            }
+            out.findings.push_back(
+                {metric,
+                 support::strprintf(
+                     "%s: %s -> %s ms (%+.1f%%, threshold %.1f%%)", key,
+                     fmt(bv).c_str(), fmt(cv).c_str(), pct,
+                     opts.threshold_pct),
+                 pct > opts.threshold_pct});
+        }
+    }
+}
+
+} // namespace
+
+bool
+StatsDiffResult::ok() const
+{
+    for (const StatsDiffFinding& f : findings)
+        if (f.regression)
+            return false;
+    return true;
+}
+
+std::string
+StatsDiffResult::report() const
+{
+    std::string out;
+    std::size_t regressions = 0;
+    for (const StatsDiffFinding& f : findings) {
+        if (f.regression)
+            ++regressions;
+        out += support::strprintf("%s %s: %s\n",
+                                  f.regression ? "REGRESSION" : "note",
+                                  f.metric.c_str(), f.detail.c_str());
+    }
+    out += support::strprintf("statsdiff: %zu finding%s, %zu regression%s\n",
+                              findings.size(),
+                              findings.size() == 1 ? "" : "s", regressions,
+                              regressions == 1 ? "" : "s");
+    return out;
+}
+
+StatsDiffResult
+diff_stats(const std::string& baseline_json,
+           const std::string& current_json, const StatsDiffOptions& opts)
+{
+    const Json base = parse_doc(baseline_json, "baseline");
+    const Json cur = parse_doc(current_json, "current");
+    StatsDiffResult out;
+    diff_counters(section(base, "counters", "baseline"),
+                  section(cur, "counters", "current"), opts, out);
+    diff_histograms(section(base, "histograms", "baseline"),
+                    section(cur, "histograms", "current"), opts, out);
+    return out;
+}
+
+} // namespace autocomm::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stats-diff: compare two obs stats JSON documents (export.hpp's
+ * stats_json schema) and flag regressions — the library behind the
+ * `bench_statsdiff` CLI and the CI perf gate.
+ *
+ * The comparison is intentionally simple and deterministic:
+ *
+ *  - **Counters** are compared by relative delta. Equal values pass; a
+ *    0 <-> nonzero flip is always a regression (a behavioural change,
+ *    e.g. cache hits vanishing); otherwise the relative change must
+ *    stay within threshold_pct in either direction (counters measure
+ *    work done, so a large *drop* is as suspicious as a large rise).
+ *  - **Histograms** gate on latency: p50/p95 may rise by at most
+ *    threshold_pct relative to baseline. Decreases are reported as
+ *    notes, never failures. Histograms whose total time is tiny on
+ *    both sides (sum_ms below min_sum_ms) are skipped — micro-latency
+ *    metrics drown in scheduler noise. A histogram present in the
+ *    baseline but missing from the current run is a regression (a
+ *    pass stopped executing); new histograms are notes.
+ *  - The per-cell `cells` section is not gated — cell sets differ
+ *    across sweep configs — but a counter/histogram can be allowlisted
+ *    by exact name or trailing-`*` prefix to mute known-noisy metrics.
+ *
+ * Malformed input throws support::UserError; missing sections are
+ * treated as empty, so old stats files diff cleanly against new ones.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autocomm::obs {
+
+/** Tunables for diff_stats(). */
+struct StatsDiffOptions
+{
+    /** Max allowed relative change, percent (counters: either
+     * direction; histogram p50/p95: increases only). */
+    double threshold_pct = 25.0;
+    /** Histograms with sum_ms below this on both sides are skipped. */
+    double min_sum_ms = 0.0;
+    /** Metric names to ignore; exact match or trailing-`*` prefix
+     * (e.g. "pipeline.*"). */
+    std::vector<std::string> allow;
+};
+
+/** One compared metric worth mentioning. */
+struct StatsDiffFinding
+{
+    std::string metric; ///< e.g. "counter pipeline.cells_compiled"
+    std::string detail; ///< human-readable delta description
+    bool regression = false;
+};
+
+/** Everything diff_stats() found. */
+struct StatsDiffResult
+{
+    std::vector<StatsDiffFinding> findings;
+
+    /** True when no finding is a regression. */
+    bool ok() const;
+    /** Multi-line human report (one line per finding + verdict). */
+    std::string report() const;
+};
+
+/**
+ * Compare @p current_json against @p baseline_json (both stats_json()
+ * documents, as text). Throws support::UserError when either document
+ * fails to parse or is not a JSON object.
+ */
+StatsDiffResult diff_stats(const std::string& baseline_json,
+                           const std::string& current_json,
+                           const StatsDiffOptions& opts = {});
+
+} // namespace autocomm::obs

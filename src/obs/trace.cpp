@@ -17,13 +17,32 @@ namespace {
 
 using clock_type = std::chrono::steady_clock;
 
+std::atomic<std::size_t> g_ring_capacity{0};
+
 /** One thread's event sink. Owned jointly by the global lane table and
- * the thread_local below, so events survive thread exit. */
+ * the thread_local below, so events survive thread exit. In ring mode
+ * (g_ring_capacity > 0) the vector is bounded: once full, next_slot
+ * walks it circularly and new events overwrite the oldest. */
 struct ThreadBuffer
 {
     int lane = 0;
     std::vector<TraceEvent> events;
+    std::size_t next_slot = 0; ///< ring overwrite cursor (oldest event)
 };
+
+void
+push_event(ThreadBuffer& buf, TraceEvent ev)
+{
+    const std::size_t cap =
+        g_ring_capacity.load(std::memory_order_relaxed);
+    if (cap == 0 || buf.events.size() < cap) {
+        buf.events.push_back(std::move(ev));
+        return;
+    }
+    // Full (or the capacity shrank mid-run): overwrite the oldest slot.
+    buf.next_slot %= buf.events.size();
+    buf.events[buf.next_slot++] = std::move(ev);
+}
 
 struct LaneTable
 {
@@ -99,11 +118,12 @@ Span::end()
     ev.depth = depth_;
     ThreadBuffer& buf = local_buffer();
     ev.lane = buf.lane;
-    buf.events.push_back(std::move(ev));
-    // One histogram per span name: the per-pass latency percentiles the
-    // stats report serves. Recorded even if tracing was flipped off
-    // mid-span — the span was live, its sample is real.
-    Registry::instance().histogram(name_).observe(t1 - t0_);
+    push_event(buf, std::move(ev));
+    // One histogram per span name (plus the active cell scope's shadow
+    // copy): the per-pass latency percentiles the stats report serves.
+    // Recorded even if tracing was flipped off mid-span — the span was
+    // live, its sample is real.
+    observe_span_ns(name_, t1 - t0_);
 }
 
 void
@@ -119,7 +139,34 @@ instant(const char* name, std::string label)
     ev.instant = true;
     ThreadBuffer& buf = local_buffer();
     ev.lane = buf.lane;
-    buf.events.push_back(std::move(ev));
+    push_event(buf, std::move(ev));
+}
+
+void
+counter_event(const char* name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.start_ns = now_ns();
+    ev.value = value;
+    ev.counter = true;
+    ThreadBuffer& buf = local_buffer();
+    ev.lane = buf.lane;
+    push_event(buf, std::move(ev));
+}
+
+void
+set_ring_capacity(std::size_t capacity)
+{
+    g_ring_capacity.store(capacity, std::memory_order_relaxed);
+}
+
+std::size_t
+ring_capacity()
+{
+    return g_ring_capacity.load(std::memory_order_relaxed);
 }
 
 int
@@ -147,8 +194,14 @@ collect_events()
     for (const auto& buf : t.buffers)
         total += buf->events.size();
     out.reserve(total);
-    for (const auto& buf : t.buffers)
-        out.insert(out.end(), buf->events.begin(), buf->events.end());
+    for (const auto& buf : t.buffers) {
+        // A wrapped ring lane reads oldest-first from the overwrite
+        // cursor; an unwrapped one (next_slot == 0) is already in order.
+        const std::size_t n = buf->events.size();
+        const std::size_t first = n == 0 ? 0 : buf->next_slot % n;
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(buf->events[(first + i) % n]);
+    }
     return out;
 }
 
@@ -169,8 +222,10 @@ reset()
 {
     LaneTable& t = lane_table();
     std::lock_guard<std::mutex> lock(t.mu);
-    for (auto& buf : t.buffers)
+    for (auto& buf : t.buffers) {
         buf->events.clear();
+        buf->next_slot = 0;
+    }
 }
 
 } // namespace autocomm::obs

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -49,16 +50,18 @@ void set_enabled(bool on);
  */
 std::uint64_t now_ns();
 
-/** One recorded span or instant event. */
+/** One recorded span, instant, or counter-sample event. */
 struct TraceEvent
 {
     const char* name = nullptr; ///< static-storage pass/phase name
     std::string label;          ///< optional dynamic detail (cell label)
     std::uint64_t start_ns = 0; ///< since the trace epoch
     std::uint64_t dur_ns = 0;   ///< 0 for instant events
+    double value = 0.0;         ///< counter events: the sampled value
     int lane = 0;               ///< recording thread's lane id
     int depth = 0;              ///< span nesting depth at begin (0 = top)
     bool instant = false;
+    bool counter = false; ///< a gauge sample (Chrome-trace "C" event)
 };
 
 /**
@@ -113,6 +116,27 @@ class Span
 
 /** Record a zero-duration instant event on the calling thread's lane. */
 void instant(const char* name, std::string label = {});
+
+/**
+ * Record a counter sample (exported as a Chrome-trace "C" event, drawn
+ * as a value-over-time curve) on the calling thread's lane. The
+ * ResourceSampler feeds these; iff enabled().
+ */
+void counter_event(const char* name, double value);
+
+/**
+ * Flight-recorder mode: bound every per-thread event buffer to the
+ * newest @p capacity events (0 — the default — keeps everything).
+ * Once a buffer is full, each new event overwrites the oldest, so
+ * recording cost and memory stay flat no matter how long the run —
+ * cheap enough to leave on for a whole fuzz campaign and still hold
+ * the events leading up to a failure. Set it before recording starts;
+ * collect_events() returns ring lanes oldest-first.
+ */
+void set_ring_capacity(std::size_t capacity);
+
+/** The active flight-recorder bound; 0 when unbounded. */
+std::size_t ring_capacity();
 
 /**
  * The calling thread's lane id (assigned on first use, stable for the

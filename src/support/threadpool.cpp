@@ -10,12 +10,50 @@ namespace autocomm::support {
 
 namespace {
 thread_local bool tls_pool_worker = false;
+
+/** Live pools, for the process-wide total_* snapshots. Lock order:
+ * registry mutex before any pool's own mutex (total_queue_depth);
+ * nothing ever takes them the other way around. */
+std::mutex g_pools_mu;
+std::vector<ThreadPool*> g_pools;
 } // namespace
 
 bool
 ThreadPool::on_worker_thread()
 {
     return tls_pool_worker;
+}
+
+std::size_t
+ThreadPool::total_queue_depth()
+{
+    std::size_t total = 0;
+    std::lock_guard<std::mutex> pools_lock(g_pools_mu);
+    for (ThreadPool* pool : g_pools) {
+        std::lock_guard<std::mutex> lock(pool->mutex_);
+        total += pool->jobs_.size();
+    }
+    return total;
+}
+
+std::size_t
+ThreadPool::total_active_workers()
+{
+    std::size_t total = 0;
+    std::lock_guard<std::mutex> pools_lock(g_pools_mu);
+    for (const ThreadPool* pool : g_pools)
+        total += pool->active_.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::size_t
+ThreadPool::total_workers()
+{
+    std::size_t total = 0;
+    std::lock_guard<std::mutex> pools_lock(g_pools_mu);
+    for (const ThreadPool* pool : g_pools)
+        total += pool->workers_.size();
+    return total;
 }
 
 std::size_t
@@ -61,10 +99,18 @@ ThreadPool::ThreadPool(std::size_t num_threads)
             w.join();
         throw;
     }
+    std::lock_guard<std::mutex> pools_lock(g_pools_mu);
+    g_pools.push_back(this);
 }
 
 ThreadPool::~ThreadPool()
 {
+    {
+        // Deregister first so a concurrent total_* snapshot never walks
+        // a pool that is tearing down.
+        std::lock_guard<std::mutex> pools_lock(g_pools_mu);
+        std::erase(g_pools, this);
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -103,7 +149,9 @@ ThreadPool::worker_loop(std::size_t idx)
             job = std::move(jobs_.front());
             jobs_.pop();
         }
+        active_.fetch_add(1, std::memory_order_relaxed);
         job(); // packaged_task: exceptions land in the job's future
+        active_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 

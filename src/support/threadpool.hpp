@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -53,6 +54,17 @@ class ThreadPool
     static bool on_worker_thread();
 
     /**
+     * Process-wide utilization figures summed over every live pool —
+     * the obs::ResourceSampler's feed, decoupled from pool lifetime
+     * (run_sweep's pool lives only for the call). Each is a snapshot:
+     * queued jobs not yet picked up, workers currently inside a job,
+     * and total worker threads. Safe from any thread; pure observers.
+     */
+    static std::size_t total_queue_depth();
+    static std::size_t total_active_workers();
+    static std::size_t total_workers();
+
+    /**
      * Enqueue @p f for execution. The returned future yields f's result;
      * an exception thrown by f is rethrown from future::get().
      */
@@ -76,6 +88,8 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    /** Workers currently executing a job (total_active_workers). */
+    std::atomic<std::size_t> active_{0};
 };
 
 /**

@@ -3,25 +3,34 @@
  * Tests for the observability subsystem (src/obs): the disabled-by-
  * default contract, span recording/nesting/thread attribution, counter
  * and histogram correctness (percentiles on known distributions),
+ * per-cell metric scopes, gauges and the resource sampler, the
+ * flight-recorder ring, the stats-diff regression harness,
  * Chrome-trace and stats JSON well-formedness (parsed back with the
  * cache's own JSON parser), and the pure-observer guarantee — sweep
- * CSVs are byte-identical with tracing on or off at any thread count.
+ * CSVs are byte-identical with everything enabled at any thread count.
  */
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "cache/json.hpp"
+#include "cache/store.hpp"
 #include "circuits/library.hpp"
 #include "driver/sweep.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/statsdiff.hpp"
 #include "obs/trace.hpp"
+#include "support/log.hpp"
 
 namespace {
 
@@ -331,6 +340,511 @@ TEST(ObsPureObserver, SweepCsvByteIdenticalTracingOnOrOff)
     ASSERT_NE(completed, nullptr);
     EXPECT_EQ(started->value(), cells.size());
     EXPECT_EQ(completed->value(), cells.size());
+}
+
+// --------------------------------------------------------------- gauges
+
+TEST(ObsGauge, SetAddExtremaAndLast)
+{
+    reset_obs(true);
+    obs::Gauge& g = obs::Registry::instance().gauge("test.gauge");
+    g.set(10.0);
+    g.set(-2.5);
+    g.add(5.0);
+    EXPECT_EQ(g.samples(), 3u);
+    EXPECT_DOUBLE_EQ(g.last(), 2.5);
+    EXPECT_DOUBLE_EQ(g.min(), -2.5);
+    EXPECT_DOUBLE_EQ(g.max(), 10.0);
+}
+
+TEST(ObsGauge, EmptyGaugeReadsZero)
+{
+    reset_obs(true);
+    const obs::Gauge& g = obs::Registry::instance().gauge("untouched");
+    EXPECT_EQ(g.samples(), 0u);
+    EXPECT_DOUBLE_EQ(g.last(), 0.0);
+    EXPECT_DOUBLE_EQ(g.min(), 0.0);
+    EXPECT_DOUBLE_EQ(g.max(), 0.0);
+}
+
+TEST(ObsGauge, GaugeSetIsGatedOnEnabled)
+{
+    reset_obs(false);
+    obs::gauge_set("gated.gauge", 7.0);
+    EXPECT_EQ(obs::Registry::instance().find_gauge("gated.gauge"),
+              nullptr);
+
+    reset_obs(true);
+    obs::gauge_set("gated.gauge", 7.0);
+    const obs::Gauge* g =
+        obs::Registry::instance().find_gauge("gated.gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->last(), 7.0);
+    obs::set_enabled(false);
+}
+
+TEST(ObsGauge, SampleOncePopulatesResourceGauges)
+{
+    reset_obs(true);
+    obs::ResourceSampler::sample_once();
+    obs::set_enabled(false);
+
+    const obs::Registry& reg = obs::Registry::instance();
+    for (const char* name : {"pool.queue_depth", "pool.active_workers",
+                             "pool.utilization", "cache.store_bytes"}) {
+        const obs::Gauge* g = reg.find_gauge(name);
+        ASSERT_NE(g, nullptr) << name;
+        EXPECT_EQ(g->samples(), 1u) << name;
+    }
+    // RSS comes from procfs; where it exists the peak is nonzero.
+    if (const obs::Gauge* rss = reg.find_gauge("proc.rss_bytes")) {
+        EXPECT_GT(rss->max(), 0.0);
+    }
+    // Each sample also lands as a Chrome counter ("C") event.
+    const std::vector<obs::TraceEvent> events = obs::collect_events();
+    EXPECT_FALSE(events.empty());
+    for (const obs::TraceEvent& e : events)
+        EXPECT_TRUE(e.counter);
+}
+
+// -------------------------------------------------------- per-cell scopes
+
+TEST(ObsScope, CountsAndSpansAttributeToTheActiveScope)
+{
+    reset_obs(true);
+    obs::count("work.units", 1); // unscoped: no CellScope active
+    {
+        obs::CellScope scope("cell-A");
+        obs::count("work.units", 2);
+        obs::observe_ns("work.latency", 1000);
+        {
+            // Nesting: the innermost scope wins, and the outer one is
+            // restored on exit.
+            obs::CellScope inner("cell-B");
+            obs::count("work.units", 5);
+        }
+        obs::count("work.units", 3);
+    }
+    obs::count("work.units", 10);
+    obs::set_enabled(false);
+
+    const obs::Registry& reg = obs::Registry::instance();
+    // The global counter sees everything.
+    EXPECT_EQ(reg.find_counter("work.units")->value(), 21u);
+    // Scoped counters see exactly their own slice.
+    ASSERT_NE(reg.find_scoped_counter("cell-A", "work.units"), nullptr);
+    EXPECT_EQ(reg.find_scoped_counter("cell-A", "work.units")->value(),
+              5u);
+    EXPECT_EQ(reg.find_scoped_counter("cell-B", "work.units")->value(),
+              5u);
+    const obs::Histogram* h =
+        reg.find_scoped_histogram("cell-A", "work.latency");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+    const std::vector<std::string> scopes = reg.scope_names();
+    EXPECT_EQ(scopes, (std::vector<std::string>{"cell-A", "cell-B"}));
+}
+
+TEST(ObsScope, DisabledCellScopeRecordsNothing)
+{
+    reset_obs(false);
+    {
+        obs::CellScope scope("ghost");
+        obs::count("ghost.counter");
+    }
+    EXPECT_TRUE(obs::Registry::instance().scope_names().empty());
+}
+
+TEST(ObsScope, SweepAttributionIsDeterministicAcrossThreadCounts)
+{
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT, circuits::Family::QAOA};
+    grid.qubit_counts = {12};
+    grid.node_counts = {2};
+    const std::vector<driver::SweepCell> cells = grid.cells();
+
+    struct CellStats
+    {
+        std::uint64_t started = 0, completed = 0, epr = 0;
+        std::uint64_t cell_spans = 0;
+    };
+    auto run = [&](std::size_t threads) {
+        reset_obs(true);
+        driver::SweepOptions opts;
+        opts.num_threads = threads;
+        (void)driver::run_sweep(cells, opts);
+        obs::set_enabled(false);
+        const obs::Registry& reg = obs::Registry::instance();
+        std::vector<std::pair<std::string, CellStats>> out;
+        for (const std::string& scope : reg.scope_names()) {
+            CellStats s;
+            if (const obs::Counter* c = reg.find_scoped_counter(
+                    scope, "pipeline.cells_started"))
+                s.started = c->value();
+            if (const obs::Counter* c = reg.find_scoped_counter(
+                    scope, "pipeline.cells_completed"))
+                s.completed = c->value();
+            if (const obs::Counter* c =
+                    reg.find_scoped_counter(scope, "schedule.epr_pairs"))
+                s.epr = c->value();
+            if (const obs::Histogram* h =
+                    reg.find_scoped_histogram(scope, "cell"))
+                s.cell_spans = h->count();
+            out.emplace_back(scope, s);
+        }
+        return out;
+    };
+
+    const auto serial = run(1);
+    const auto parallel = run(8);
+
+    // One scope per cell, and per-cell numbers identical at any thread
+    // count — attribution does not depend on which worker ran the cell.
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), serial.size());
+    std::vector<std::string> labels;
+    for (const driver::SweepCell& c : cells)
+        labels.push_back(c.label());
+    std::sort(labels.begin(), labels.end());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].first, labels[i]);
+        EXPECT_EQ(serial[i].first, parallel[i].first);
+        EXPECT_EQ(serial[i].second.started, 1u) << serial[i].first;
+        EXPECT_EQ(serial[i].second.completed, 1u) << serial[i].first;
+        EXPECT_EQ(serial[i].second.cell_spans, 1u) << serial[i].first;
+        EXPECT_EQ(serial[i].second.epr, parallel[i].second.epr)
+            << serial[i].first;
+    }
+
+    // Scoped EPR counts partition the global one exactly.
+    reset_obs(true);
+    driver::SweepOptions opts;
+    opts.num_threads = 8;
+    (void)driver::run_sweep(cells, opts);
+    obs::set_enabled(false);
+    const obs::Registry& reg = obs::Registry::instance();
+    std::uint64_t scoped_epr = 0;
+    for (const std::string& scope : reg.scope_names())
+        if (const obs::Counter* c =
+                reg.find_scoped_counter(scope, "schedule.epr_pairs"))
+            scoped_epr += c->value();
+    ASSERT_NE(reg.find_counter("schedule.epr_pairs"), nullptr);
+    EXPECT_EQ(scoped_epr, reg.find_counter("schedule.epr_pairs")->value());
+}
+
+TEST(ObsScope, WarmStoreLookupsAttributePerCell)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("autocomm-test-obsscope-" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {12, 16};
+    grid.node_counts = {2};
+    const std::vector<driver::SweepCell> cells = grid.cells();
+
+    {
+        // Cold run fills the store.
+        cache::ResultStore store(dir.string());
+        driver::SweepOptions opts;
+        opts.store = &store;
+        (void)driver::run_sweep(cells, opts);
+        store.flush();
+    }
+    reset_obs(true);
+    {
+        cache::ResultStore store(dir.string());
+        driver::SweepOptions opts;
+        opts.store = &store;
+        (void)driver::run_sweep(cells, opts);
+    }
+    obs::set_enabled(false);
+    fs::remove_all(dir);
+
+    const obs::Registry& reg = obs::Registry::instance();
+    for (const driver::SweepCell& cell : cells) {
+        const obs::Counter* hits =
+            reg.find_scoped_counter(cell.label(), "cache.hits");
+        ASSERT_NE(hits, nullptr) << cell.label();
+        EXPECT_EQ(hits->value(), 1u) << cell.label();
+    }
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST(ObsRing, KeepsTheLastEventsInOrder)
+{
+    reset_obs(true);
+    obs::set_ring_capacity(4);
+    for (int i = 0; i < 10; ++i)
+        obs::instant("tick", std::to_string(i));
+    obs::set_enabled(false);
+
+    const std::vector<obs::TraceEvent> events = obs::collect_events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first rotation: the last four instants in emission order.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(events[i].name, "tick");
+        EXPECT_EQ(events[i].label, std::to_string(6 + i));
+    }
+    obs::set_ring_capacity(0);
+    EXPECT_EQ(obs::ring_capacity(), 0u);
+}
+
+TEST(ObsRing, UnboundedBelowCapacity)
+{
+    reset_obs(true);
+    obs::set_ring_capacity(16);
+    for (int i = 0; i < 5; ++i)
+        obs::instant("tick", std::to_string(i));
+    obs::set_enabled(false);
+    const std::vector<obs::TraceEvent> events = obs::collect_events();
+    ASSERT_EQ(events.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(events[i].label, std::to_string(i));
+    obs::set_ring_capacity(0);
+}
+
+// ------------------------------------------------------------- statsdiff
+
+/** A minimal stats doc: one counter and one histogram. */
+std::string
+stats_doc(double counter, double p50, double p95, double sum_ms)
+{
+    Json hist = Json::object();
+    hist.set("count", Json::number(10LL));
+    hist.set("sum_ms", Json::number(sum_ms));
+    hist.set("p50_ms", Json::number(p50));
+    hist.set("p95_ms", Json::number(p95));
+    Json hists = Json::object();
+    hists.set("cell", std::move(hist));
+    Json counters = Json::object();
+    counters.set("cache.hits", Json::number(counter));
+    Json doc = Json::object();
+    doc.set("counters", std::move(counters));
+    doc.set("histograms", std::move(hists));
+    return doc.dump();
+}
+
+TEST(ObsStatsDiff, SelfCompareIsClean)
+{
+    const std::string doc = stats_doc(5, 10.0, 20.0, 150.0);
+    const obs::StatsDiffResult r = obs::diff_stats(doc, doc);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(ObsStatsDiff, LatencyRegressionBeyondThresholdFails)
+{
+    const std::string base = stats_doc(5, 10.0, 20.0, 150.0);
+    const std::string slow = stats_doc(5, 10.0, 30.0, 160.0);
+    obs::StatsDiffOptions opts;
+    opts.threshold_pct = 25.0;
+    const obs::StatsDiffResult r = obs::diff_stats(base, slow, opts);
+    EXPECT_FALSE(r.ok()); // p95 +50% > 25%
+    EXPECT_NE(r.report().find("REGRESSION"), std::string::npos);
+
+    // A generous threshold lets the same delta through.
+    opts.threshold_pct = 75.0;
+    EXPECT_TRUE(obs::diff_stats(base, slow, opts).ok());
+}
+
+TEST(ObsStatsDiff, LatencyImprovementIsANoteNotAFailure)
+{
+    const std::string base = stats_doc(5, 10.0, 20.0, 150.0);
+    const std::string fast = stats_doc(5, 2.0, 4.0, 30.0);
+    const obs::StatsDiffResult r = obs::diff_stats(base, fast);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.findings.empty()); // still reported
+}
+
+TEST(ObsStatsDiff, CounterDriftRules)
+{
+    const std::string base = stats_doc(100, 10.0, 20.0, 150.0);
+    // Within threshold: note only.
+    EXPECT_TRUE(
+        obs::diff_stats(base, stats_doc(110, 10.0, 20.0, 150.0)).ok());
+    // Beyond threshold, either direction: regression.
+    EXPECT_FALSE(
+        obs::diff_stats(base, stats_doc(200, 10.0, 20.0, 150.0)).ok());
+    EXPECT_FALSE(
+        obs::diff_stats(base, stats_doc(10, 10.0, 20.0, 150.0)).ok());
+    // Zero/nonzero flips always fail, regardless of threshold.
+    obs::StatsDiffOptions loose;
+    loose.threshold_pct = 1e9;
+    EXPECT_FALSE(
+        obs::diff_stats(base, stats_doc(0, 10.0, 20.0, 150.0), loose)
+            .ok());
+}
+
+TEST(ObsStatsDiff, AllowlistMutesExactAndPrefixMatches)
+{
+    const std::string base = stats_doc(100, 10.0, 20.0, 150.0);
+    const std::string bad = stats_doc(0, 10.0, 40.0, 300.0);
+    obs::StatsDiffOptions opts;
+    opts.allow = {"cache.hits", "cell"};
+    EXPECT_TRUE(obs::diff_stats(base, bad, opts).ok());
+    opts.allow = {"cache.*", "cel*"};
+    EXPECT_TRUE(obs::diff_stats(base, bad, opts).ok());
+    opts.allow = {"cache.*"}; // histogram still gated
+    EXPECT_FALSE(obs::diff_stats(base, bad, opts).ok());
+}
+
+TEST(ObsStatsDiff, MissingHistogramIsARegressionNewOneIsNot)
+{
+    const std::string with = stats_doc(5, 10.0, 20.0, 150.0);
+    Json doc = Json::object();
+    Json counters = Json::object();
+    counters.set("cache.hits", Json::number(5.0));
+    doc.set("counters", std::move(counters));
+    doc.set("histograms", Json::object());
+    const std::string without = doc.dump();
+
+    EXPECT_FALSE(obs::diff_stats(with, without).ok());
+    EXPECT_TRUE(obs::diff_stats(without, with).ok());
+}
+
+TEST(ObsStatsDiff, MinSumSkipsMicroLatencyNoise)
+{
+    const std::string base = stats_doc(5, 0.010, 0.020, 0.5);
+    const std::string jitter = stats_doc(5, 0.020, 0.040, 0.9);
+    EXPECT_FALSE(obs::diff_stats(base, jitter).ok());
+    obs::StatsDiffOptions opts;
+    opts.min_sum_ms = 5.0;
+    EXPECT_TRUE(obs::diff_stats(base, jitter, opts).ok());
+}
+
+TEST(ObsStatsDiff, MalformedInputThrows)
+{
+    EXPECT_THROW(obs::diff_stats("{", "{}"), support::UserError);
+    EXPECT_THROW(obs::diff_stats("{}", "[1,2]"), support::UserError);
+}
+
+// ---------------------------------------------- gc + stats JSON schema
+
+TEST(ObsExport, StatsJsonCarriesGaugesAndCells)
+{
+    reset_obs(true);
+    obs::gauge_set("proc.rss_bytes", 1234.0);
+    {
+        obs::CellScope scope("QFT-12-2/default");
+        obs::count("schedule.epr_pairs", 7);
+        obs::observe_ns("cell", 2'000'000);
+    }
+    obs::set_enabled(false);
+
+    std::string err;
+    const std::optional<Json> doc = Json::parse(obs::stats_json(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+
+    const Json& gauges = doc->at("gauges");
+    EXPECT_DOUBLE_EQ(gauges.at("proc.rss_bytes").at("last").to_double(),
+                     1234.0);
+    EXPECT_EQ(gauges.at("proc.rss_bytes").at("samples").to_int(), 1);
+    // Untouched well-known gauges are zero-filled schema entries.
+    for (const char* name : {"pool.queue_depth", "pool.active_workers",
+                             "pool.utilization", "cache.store_bytes"}) {
+        EXPECT_EQ(gauges.at(name).at("samples").to_int(), 0) << name;
+        EXPECT_DOUBLE_EQ(gauges.at(name).at("last").to_double(), 0.0)
+            << name;
+    }
+
+    const Json& cell = doc->at("cells").at("QFT-12-2/default");
+    EXPECT_EQ(cell.at("counters").at("schedule.epr_pairs").to_int(), 7);
+    const Json& h = cell.at("histograms").at("cell");
+    EXPECT_EQ(h.at("count").to_int(), 1);
+    EXPECT_NEAR(h.at("sum_ms").to_double(), 2.0, 1e-9);
+    EXPECT_GT(h.at("p95_ms").to_double(), 0.0);
+}
+
+TEST(ObsExport, StoreGcEmitsEvictionCountersAndMark)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("autocomm-test-obsgc-" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {12};
+    grid.node_counts = {2};
+    const std::vector<driver::SweepCell> cells = grid.cells();
+
+    reset_obs(true);
+    {
+        cache::ResultStore store(dir.string());
+        driver::SweepOptions opts;
+        opts.store = &store;
+        (void)driver::run_sweep(cells, opts);
+        EXPECT_GT(store.approx_bytes(), 0u);
+        // Evict everything: a zero-byte budget drops every entry.
+        EXPECT_EQ(store.gc_to_bytes(0), cells.size());
+        EXPECT_EQ(store.approx_bytes(), 0u);
+    }
+    obs::set_enabled(false);
+    fs::remove_all(dir);
+
+    const obs::Registry& reg = obs::Registry::instance();
+    ASSERT_NE(reg.find_counter("cache.gc_evicted_entries"), nullptr);
+    EXPECT_EQ(reg.find_counter("cache.gc_evicted_entries")->value(),
+              cells.size());
+    ASSERT_NE(reg.find_counter("cache.gc_evicted_bytes"), nullptr);
+    EXPECT_GT(reg.find_counter("cache.gc_evicted_bytes")->value(), 0u);
+
+    // The gc pass left an instant mark in the trace.
+    bool saw_mark = false;
+    for (const obs::TraceEvent& e : obs::collect_events())
+        if (e.instant && std::string(e.name) == "cache.gc")
+            saw_mark = true;
+    EXPECT_TRUE(saw_mark);
+
+    // And the eviction counters are part of the zero-filled well-known
+    // schema even on a fresh registry.
+    reset_obs(false);
+    std::string err;
+    const std::optional<Json> doc = Json::parse(obs::stats_json(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_EQ(doc->at("counters").at("cache.gc_evicted_entries").to_int(),
+              0);
+    EXPECT_EQ(doc->at("counters").at("cache.gc_evicted_bytes").to_int(),
+              0);
+}
+
+// The strongest pure-observer check: sampler thread + ring mode + scopes
+// all on, and the sweep CSV is still byte-identical to the all-off run.
+TEST(ObsPureObserver, SweepCsvByteIdenticalWithSamplerAndRing)
+{
+    driver::SweepGrid grid;
+    grid.families = {circuits::Family::QFT};
+    grid.qubit_counts = {12, 16};
+    grid.node_counts = {2};
+    const std::vector<driver::SweepCell> cells = grid.cells();
+
+    auto run = [&](bool instrumented, std::size_t threads) {
+        reset_obs(instrumented);
+        std::optional<obs::ResourceSampler> sampler;
+        if (instrumented) {
+            obs::set_ring_capacity(512);
+            sampler.emplace(/*interval_ms=*/1);
+        }
+        driver::SweepOptions opts;
+        opts.num_threads = threads;
+        const std::string csv =
+            driver::sweep_csv(driver::run_sweep(cells, opts)).to_string();
+        if (sampler)
+            sampler->stop();
+        obs::set_ring_capacity(0);
+        obs::set_enabled(false);
+        return csv;
+    };
+
+    const std::string off1 = run(false, 1);
+    EXPECT_EQ(off1, run(true, 1));
+    EXPECT_EQ(off1, run(true, 8));
 }
 
 } // namespace
