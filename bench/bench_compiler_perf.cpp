@@ -224,6 +224,9 @@ usage(const char* argv0)
         "  --trace-out FILE write a Chrome trace-event JSON of the "
         "profiled spans\n"
         "  --stats-out FILE write per-pass latency percentiles as JSON\n"
+        "  --explain-out FILE write the decision explain report as "
+        "JSON\n"
+        "  --explain-top N  payload samples kept per decision bucket\n"
         "  --ring N         keep only the last N trace events per thread "
         "(0 = all)\n"
         "  --sample-ms N    sample RSS/pool/cache gauges every N ms\n",

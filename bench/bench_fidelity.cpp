@@ -53,6 +53,8 @@ usage(const char* argv0)
         "  --cache-stats       print cache hit/miss/stale counters\n"
         "  --trace-out FILE    write a Chrome trace-event JSON\n"
         "  --stats-out FILE    write counters/latency summaries as JSON\n"
+        "  --explain-out FILE  write the decision explain report as JSON\n"
+        "  --explain-top N     payload samples kept per decision bucket\n"
         "  --ring N            keep only the last N trace events per "
         "thread\n"
         "  --sample-ms N       sample RSS/pool/cache gauges every N ms\n",

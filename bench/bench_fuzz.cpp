@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/decision.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "qir/qasm.hpp"
@@ -125,6 +126,9 @@ usage(const char* argv0)
         "fuzz run\n"
         "  --stats-out FILE write per-pass latency percentiles and "
         "counters as JSON\n"
+        "  --explain-out FILE write the decision explain report as "
+        "JSON\n"
+        "  --explain-top N  payload samples kept per decision bucket\n"
         "  --ring N         keep only the last N trace events per "
         "thread\n"
         "                   (default 4096 unless --trace-out is given; "
@@ -440,6 +444,11 @@ main(int argc, char** argv)
     std::string trace_note;
     if (obs::enabled() && obs::write_chrome_trace(stem + "-trace.json"))
         trace_note = "flight recorder: " + stem + "-trace.json\n";
+    // The decision explain report: why the compiler chose what it chose
+    // in the failing run (counts from counters, payloads from the ring).
+    if (obs::enabled() &&
+        obs::write_explain_json(stem + "-explain.json"))
+        trace_note += "explain report: " + stem + "-explain.json\n";
     std::fprintf(stderr,
                  "FAIL: seed %llu violated invariants\n%s"
                  "repro circuit: %s.qasm (report: %s.txt)\n%s"

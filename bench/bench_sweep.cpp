@@ -134,6 +134,11 @@ usage(const char* argv0)
         "  --stats-out FILE write per-pass latency percentiles and "
         "pipeline\n"
         "                   counters as JSON (per-cell under \"cells\")\n"
+        "  --explain-out FILE write the decision explain report as JSON "
+        "(per-cell\n"
+        "                   accept/reject counts with payload samples)\n"
+        "  --explain-top N  payload samples kept per decision bucket "
+        "(default 5)\n"
         "  --ring N         keep only the last N trace events per thread "
         "(0 = all)\n"
         "  --sample-ms N    sample RSS/pool/cache gauges every N ms\n"

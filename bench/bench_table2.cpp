@@ -34,6 +34,7 @@ main(int argc, char** argv)
                 !bench::parse_obs_flag(obs_cli, argc, argv, i)) {
                 std::printf("usage: %s [--cache-dir DIR] [--cache-stats] "
                             "[--trace-out FILE] [--stats-out FILE] "
+                            "[--explain-out FILE] [--explain-top N] "
                             "[--ring N] [--sample-ms N]\n", argv[0]);
                 return 2;
             }

@@ -7,6 +7,7 @@
 
 #include "cache/store.hpp"
 #include "driver/sweep.hpp"
+#include "obs/decision.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -137,6 +138,20 @@ parse_obs_flag(ObsCli& cli, int argc, char** argv, int& i)
         cli.stats_path = argv[++i];
         return true;
     }
+    if (std::strcmp(argv[i], "--explain-out") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--explain-out requires a value");
+        cli.explain_path = argv[++i];
+        return true;
+    }
+    if (std::strcmp(argv[i], "--explain-top") == 0) {
+        if (i + 1 >= argc)
+            support::fatal("--explain-top requires a value");
+        cli.explain_top =
+            driver::parse_int_list(argv[++i], "--explain-top", 0, 1000)
+                .at(0);
+        return true;
+    }
     if (std::strcmp(argv[i], "--ring") == 0) {
         if (i + 1 >= argc)
             support::fatal("--ring requires a value");
@@ -167,7 +182,8 @@ apply_obs_cli(ObsCli& cli)
     if (cli.ring.has_value())
         obs::set_ring_capacity(*cli.ring);
     if (cli.trace_path.empty() && cli.stats_path.empty() &&
-        !cli.ring.has_value() && cli.sample_ms == 0)
+        cli.explain_path.empty() && !cli.ring.has_value() &&
+        cli.sample_ms == 0)
         return;
     obs::set_lane_name("main");
     obs::set_enabled(true);
@@ -187,6 +203,11 @@ finish_obs_cli(ObsCli& cli)
     if (!cli.stats_path.empty() &&
         obs::write_stats_json(cli.stats_path))
         support::inform("wrote stats to %s", cli.stats_path.c_str());
+    if (!cli.explain_path.empty() &&
+        obs::write_explain_json(cli.explain_path,
+                                static_cast<std::size_t>(cli.explain_top)))
+        support::inform("wrote explain report to %s",
+                        cli.explain_path.c_str());
 }
 
 } // namespace autocomm::bench

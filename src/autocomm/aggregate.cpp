@@ -4,6 +4,7 @@
 #include <array>
 #include <unordered_map>
 
+#include "obs/decision.hpp"
 #include "qir/commute.hpp"
 #include "support/log.hpp"
 #include "support/threadpool.hpp"
@@ -181,6 +182,19 @@ struct Aggregator
     {
         if (members.empty())
             return;
+        // Burst-pair outcome: a multi-gate block is an aggregation win
+        // ("accept"); a single lone gate means the scan found nothing to
+        // merge and communication stays per-gate ("reject"). Emission
+        // happens on the scanning thread at commit time (speculative
+        // scans defer to commit_spec), so counts are deterministic at
+        // any thread count.
+        obs::decision("aggregate.burst",
+                      members.size() + absorbed.size() >= 2 ? "accept"
+                                                            : "reject",
+                      obs::arg("hub", hub), obs::arg("rnode", rnode),
+                      obs::arg("members", members.size()),
+                      obs::arg("absorbed", absorbed.size()),
+                      obs::arg("children", children.size()));
         CommBlock blk;
         blk.hub = hub;
         blk.hub_node = map.node_of(hub);
@@ -581,10 +595,20 @@ struct Aggregator
                     scan_pair(order[start + k], &specs[k]);
             });
             for (std::size_t k = 0; k < len; ++k) {
-                if (spec_valid(specs[k]))
+                // Speculation outcome (thread-dependent by nature:
+                // serial runs never speculate, so this category is
+                // excluded from the count-determinism contract).
+                if (spec_valid(specs[k])) {
+                    obs::decision("aggregate.spec", "commit",
+                                  obs::arg("pair", order[start + k]),
+                                  obs::arg("blocks",
+                                           specs[k].blocks.size()));
                     commit_spec(order[start + k], specs[k]);
-                else
+                } else {
+                    obs::decision("aggregate.spec", "invalidate",
+                                  obs::arg("pair", order[start + k]));
                     scan_pair(order[start + k], nullptr);
+                }
             }
             start = end;
         }
@@ -719,12 +743,39 @@ struct Aggregator
         invalidate_cache(b2);
     }
 
+    /** Record the outcome of one refinement merge candidate. Called
+     * before commit_merge mutates the blocks, so the gain (gates folded
+     * from B plus the gap gates the plan claims) is still readable.
+     * Recorded identically by the serial and parallel apply paths —
+     * per-pair outcomes are byte-identical across thread counts (the
+     * PR 7 determinism gate), so commit/reject counts are too. */
+    void
+    note_merge(std::size_t a, std::size_t b2, const MergePlan& plan,
+               bool merged)
+    {
+        if (!obs::enabled())
+            return;
+        const CommBlock& A = out[a];
+        const CommBlock& B = out[b2];
+        obs::decision(
+            "aggregate.merge", merged ? "commit" : "reject",
+            obs::arg("hub", A.hub), obs::arg("rnode", A.remote_node),
+            obs::arg("left", a), obs::arg("right", b2),
+            obs::arg("gain_gates",
+                     merged ? B.members.size() + B.absorbed.size() +
+                                  plan.pending.size()
+                            : std::size_t{0}));
+    }
+
     bool
     try_merge(std::size_t a, std::size_t b2)
     {
         MergePlan plan;
-        if (!evaluate_merge(a, b2, /*live=*/true, plan))
+        if (!evaluate_merge(a, b2, /*live=*/true, plan)) {
+            note_merge(a, b2, plan, false);
             return false;
+        }
+        note_merge(a, b2, plan, true);
         commit_merge(a, b2, plan);
         return true;
     }
@@ -825,12 +876,25 @@ struct Aggregator
                             }
                         bool merged = false;
                         if (!dirty) {
+                            note_merge(a, b2, plans[g][i],
+                                       plans[g][i].ok);
                             if (plans[g][i].ok) {
                                 commit_merge(a, b2, plans[g][i]);
                                 merged = true;
                             }
-                        } else if (try_merge(a, b2)) {
-                            merged = true;
+                        } else {
+                            // A committed merge dirtied this window:
+                            // the snapshot score is stale, re-evaluate
+                            // live. The "rescore" verdict only exists
+                            // in parallel runs (serial apply is never
+                            // dirty) and is excluded from the
+                            // count-determinism contract; the
+                            // commit/reject it leads to is not.
+                            obs::decision("aggregate.merge", "rescore",
+                                          obs::arg("left", a),
+                                          obs::arg("right", b2));
+                            if (try_merge(a, b2))
+                                merged = true;
                         }
                         if (merged) {
                             changed = true;

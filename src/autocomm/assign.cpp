@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/decision.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::pass {
@@ -130,6 +131,21 @@ assign_schemes(const qir::Circuit& c, std::vector<CommBlock>& blocks,
             blk.scheme = Scheme::TP;
             blk.num_comms = kTpCost;
             blk.cat_segments.clear();
+        }
+        if (obs::enabled()) {
+            const char* pattern =
+                blk.pattern == Pattern::Single       ? "single"
+                : blk.pattern == Pattern::UniControl ? "uni-control"
+                : blk.pattern == Pattern::UniTarget  ? "uni-target"
+                                                     : "bidirectional";
+            obs::decision("schedule.scheme",
+                          blk.scheme == Scheme::Cat ? "cat" : "tp",
+                          obs::arg("hub", blk.hub),
+                          obs::arg("rnode", blk.remote_node),
+                          obs::arg("pattern", pattern),
+                          obs::arg("members", blk.members.size()),
+                          obs::arg("cat_cost", cat_cost),
+                          obs::arg("tp_cost", kTpCost));
         }
     }
 }

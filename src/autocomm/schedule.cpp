@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 #include <tuple>
 #include <utility>
 
 #include "autocomm/slots.hpp"
+#include "obs/decision.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::pass {
@@ -30,6 +32,19 @@ struct SchedItem
     std::size_t index = 0;  ///< reordered gate position, or block id
     bool is_member = false; ///< for gates: member vs absorbed
 };
+
+/** "0-3-2" rendering of a route for decision payloads. */
+std::string
+route_string(const std::vector<NodeId>& route)
+{
+    std::string s;
+    for (std::size_t i = 0; i < route.size(); ++i) {
+        if (i != 0)
+            s += '-';
+        s += std::to_string(route[i]);
+    }
+    return s;
+}
 
 double
 gate_duration(const Gate& g, const hw::LatencyModel& lat)
@@ -80,7 +95,7 @@ struct Scheduler
 
     SlotPool slots{m.num_nodes, m.comm_qubits_per_node};
     LinkPool links{m.link};
-    EprPlanCache plans{m};
+    EprPlanCache plans{m, /*note_decisions=*/true};
     std::vector<double> qready;
     ScheduleResult res;
     double makespan = 0.0;
@@ -332,6 +347,14 @@ struct Scheduler
                 }
             if (victim == kInvalidId)
                 return; // nothing evictable; caller may try a detour
+            obs::decision(
+                "schedule.evict", "route-conflict",
+                obs::arg("victim", victim), obs::arg("node", blocked),
+                obs::arg("fused_pending",
+                         vessel[static_cast<std::size_t>(victim)]
+                                 .fused_pending
+                             ? 1
+                             : 0));
             close_vessel(victim);
         }
     }
@@ -408,6 +431,15 @@ struct Scheduler
                 pl = &detour;
                 detoured = true;
                 ++res.detours;
+                if (obs::enabled())
+                    obs::decision(
+                        "schedule.detour", "taken", obs::arg("a", a),
+                        obs::arg("b", b),
+                        obs::arg("blocked_node", blocked),
+                        obs::arg("original", route_string(base.route)),
+                        obs::arg("chosen", route_string(detour.route)),
+                        obs::arg("extra_hops",
+                                 detour.hops - base.hops));
             }
         }
 
@@ -571,8 +603,13 @@ struct Scheduler
                     !pinned[static_cast<std::size_t>(q)] &&
                     q != blk.hub &&
                     vessel[static_cast<std::size_t>(q)].node ==
-                        blk.remote_node)
+                        blk.remote_node) {
+                    obs::decision("schedule.evict", "block-entry",
+                                  obs::arg("victim", q),
+                                  obs::arg("node", blk.remote_node),
+                                  obs::arg("hub", blk.hub));
                     close_vessel(q);
+                }
         }
 
         if (blk.scheme == Scheme::Cat) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "obs/decision.hpp"
 #include "qir/types.hpp"
 
 namespace autocomm::pass {
@@ -222,7 +223,15 @@ struct EprPairPlan
 class EprPlanCache
 {
   public:
-    explicit EprPlanCache(const hw::Machine& m) : m_(&m)
+    /** With @p note_decisions, every newly built plan records a
+     * `schedule.purify` decision (rounds chosen vs the machine's
+     * target) — once per distinct pair thanks to the memo, so event
+     * volume stays proportional to node pairs, not EPR count. The
+     * scheduler opts in; the GP-TP baseline shares the plan math but
+     * keeps the default and stays silent (no double counting). */
+    explicit EprPlanCache(const hw::Machine& m,
+                          bool note_decisions = false)
+        : note_(note_decisions), m_(&m)
     {
         // Dense O(1) indexing for machines of practical size; huge node
         // counts fall back to the sparse map so memory stays proportional
@@ -247,14 +256,18 @@ class EprPlanCache
             if (!dense_ready_[idx]) {
                 dense_[idx] = build(key.first, key.second);
                 dense_ready_[idx] = 1;
+                note_purify(dense_[idx]);
             }
             return dense_[idx];
         }
         const auto it = plans_.find(key);
         if (it != plans_.end())
             return it->second;
-        return plans_.emplace(key, build(key.first, key.second))
-            .first->second;
+        const EprPairPlan& built =
+            plans_.emplace(key, build(key.first, key.second))
+                .first->second;
+        note_purify(built);
+        return built;
     }
 
     /**
@@ -276,11 +289,33 @@ class EprPlanCache
         p.duration = m_->route_epr_latency(route);
         p.fidelity = noise::purified_fidelity(f, p.rounds);
         p.route = std::move(route);
+        note_purify(p);
         return p;
     }
 
   private:
     static constexpr int kDenseNodeLimit = 256;
+
+    /** Purification-depth decision for a freshly built plan: how many
+     * rounds the policy chose for this pair/route, and the fidelity it
+     * delivers against the machine's target. */
+    void
+    note_purify(const EprPairPlan& p) const
+    {
+        if (!note_ || !obs::enabled() || p.route.empty())
+            return;
+        obs::decision("schedule.purify",
+                      p.rounds > 0 ? "purified" : "raw",
+                      obs::arg("a", p.route.front()),
+                      obs::arg("b", p.route.back()),
+                      obs::arg("hops", p.hops),
+                      obs::arg("rounds", p.rounds),
+                      obs::arg("raw_pairs", p.raw),
+                      obs::arg("fidelity", p.fidelity),
+                      obs::arg("target", m_->purify.target_fidelity));
+    }
+
+    bool note_ = false;
 
     EprPairPlan
     build(NodeId a, NodeId b) const

@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
+#include "obs/decision.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::hw {
+
+namespace {
+
+/** "0-3-2" rendering of a route for decision payloads. */
+std::string
+route_string(const std::vector<NodeId>& route)
+{
+    std::string s;
+    for (std::size_t i = 0; i < route.size(); ++i) {
+        if (i != 0)
+            s += '-';
+        s += std::to_string(route[i]);
+    }
+    return s;
+}
+
+} // namespace
 
 Machine
 Machine::homogeneous(int nodes, int per, Topology t)
@@ -63,6 +82,30 @@ Machine::build_routing(int grid_rows)
         // even on all-to-all, detouring around a degraded fiber can win.
         routing = RoutingTable::build_max_fidelity(topology, num_nodes,
                                                    link, grid_rows);
+        if (obs::enabled()) {
+            // Decision trail: which pairs the max-fidelity table routes
+            // away from the BFS min-hop path, and which it leaves alone.
+            const RoutingTable bfs =
+                RoutingTable::build(topology, num_nodes, grid_rows);
+            for (NodeId a = 0; a < num_nodes; ++a)
+                for (NodeId b = a + 1; b < num_nodes; ++b) {
+                    const std::vector<NodeId> chosen = routing.path(a, b);
+                    const std::vector<NodeId> minimal = bfs.path(a, b);
+                    if (chosen == minimal) {
+                        obs::decision("route.path", "minimal",
+                                      obs::arg("a", a), obs::arg("b", b));
+                        continue;
+                    }
+                    obs::decision(
+                        "route.path", "detour", obs::arg("a", a),
+                        obs::arg("b", b),
+                        obs::arg("bfs", route_string(minimal)),
+                        obs::arg("chosen", route_string(chosen)),
+                        obs::arg("extra_hops",
+                                 static_cast<int>(chosen.size()) -
+                                     static_cast<int>(minimal.size())));
+                }
+        }
     } else if (topology != Topology::AllToAll) {
         routing = RoutingTable::build(topology, num_nodes, grid_rows);
     }

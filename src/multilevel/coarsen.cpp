@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/decision.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::multilevel {
@@ -111,8 +112,13 @@ coarsen(const partition::InteractionGraph& g, const CoarsenOptions& opts)
         // A matching that retires <10% of the vertices is stalling
         // (edgeless remnant or weight caps everywhere): stop rather
         // than spin to max_levels.
-        if (next.graph.num_qubits() * 10 > cur->num_qubits() * 9)
+        if (next.graph.num_qubits() * 10 > cur->num_qubits() * 9) {
+            obs::decision("multilevel.coarsen", "stall",
+                          obs::arg("depth", depth),
+                          obs::arg("coarse", next.graph.num_qubits()),
+                          obs::arg("fine", cur->num_qubits()));
             break;
+        }
         levels.push_back(std::move(next));
         cur = &levels.back().graph;
         cur_vw = levels.back().vertex_weight;

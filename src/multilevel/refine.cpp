@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/decision.hpp"
 #include "support/log.hpp"
 
 namespace autocomm::multilevel {
@@ -183,20 +184,38 @@ refine(const partition::InteractionGraph& g,
         // only still-profitable, still-fitting candidates commit — the
         // weighted cut strictly decreases with every commit, which is
         // the never-worse guarantee the property tests pin.
+        // Decision per candidate: verdict names the outcome (apply, or
+        // the reject cause). The apply loop is serial and the candidate
+        // order is a total order, so these counts are thread-invariant.
+        const auto note_fm = [round](const char* verdict,
+                                     const Move& m) {
+            obs::decision("multilevel.fm", verdict,
+                          obs::arg("vertex", m.vertex),
+                          obs::arg("target", m.target),
+                          obs::arg("partner", m.partner),
+                          obs::arg("gain", m.gain),
+                          obs::arg("round", round));
+        };
         std::size_t applied = 0;
         for (const Move& m : candidates) {
             const std::size_t v = static_cast<std::size_t>(m.vertex);
             const int wv = vertex_weight[v];
             if (m.partner == kInvalidId) {
                 const NodeId from = part[v];
-                if (from == m.target)
+                if (from == m.target) {
+                    note_fm("same-part", m);
                     continue;
+                }
                 if (load[static_cast<std::size_t>(m.target)] + wv >
-                    capacities[static_cast<std::size_t>(m.target)])
+                    capacities[static_cast<std::size_t>(m.target)]) {
+                    note_fm("capacity", m);
                     continue;
+                }
                 if (move_gain(g, part, cost, m.vertex, m.target) <=
-                    kGainEps)
+                    kGainEps) {
+                    note_fm("stale", m);
                     continue;
+                }
                 part[v] = m.target;
                 load[static_cast<std::size_t>(from)] -= wv;
                 load[static_cast<std::size_t>(m.target)] += wv;
@@ -204,22 +223,29 @@ refine(const partition::InteractionGraph& g,
                 const std::size_t u = static_cast<std::size_t>(m.partner);
                 const NodeId pv = part[v];
                 const NodeId pu = part[u];
-                if (pv == pu)
+                if (pv == pu) {
+                    note_fm("same-part", m);
                     continue;
+                }
                 const int wu = vertex_weight[u];
                 if (load[static_cast<std::size_t>(pv)] - wv + wu >
                         capacities[static_cast<std::size_t>(pv)] ||
                     load[static_cast<std::size_t>(pu)] - wu + wv >
-                        capacities[static_cast<std::size_t>(pu)])
+                        capacities[static_cast<std::size_t>(pu)]) {
+                    note_fm("capacity", m);
                     continue;
+                }
                 if (swap_gain(g, part, cost, m.vertex, m.partner) <=
-                    kGainEps)
+                    kGainEps) {
+                    note_fm("stale", m);
                     continue;
+                }
                 part[v] = pu;
                 part[u] = pv;
                 load[static_cast<std::size_t>(pv)] += wu - wv;
                 load[static_cast<std::size_t>(pu)] += wv - wu;
             }
+            note_fm("apply", m);
             ++applied;
         }
         ++stats.rounds;
@@ -286,8 +312,18 @@ rebalance(const partition::InteractionGraph& g,
             // Every resident vertex outweighs every other node's slack:
             // only possible above level 0 (unit weights always fit a
             // 1-slack node). The caller retries on a finer level.
+            obs::decision("multilevel.rebalance", "stuck",
+                          obs::arg("over", over),
+                          obs::arg("excess", worst),
+                          obs::arg("moved", moved));
             return moved;
         }
+        obs::decision("multilevel.rebalance", "evict",
+                      obs::arg("vertex", pick.vertex),
+                      obs::arg("from", over),
+                      obs::arg("target", pick.target),
+                      obs::arg("gain", pick.gain),
+                      obs::arg("excess", worst));
         const int wv =
             vertex_weight[static_cast<std::size_t>(pick.vertex)];
         part[static_cast<std::size_t>(pick.vertex)] = pick.target;

@@ -1,0 +1,225 @@
+#include "obs/decision.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "cache/json.hpp"
+#include "obs/registry.hpp"
+#include "support/log.hpp"
+
+namespace autocomm::obs {
+
+namespace {
+
+using cache::Json;
+
+const char kCounterPrefix[] = "decision.";
+
+/** "<category>.<verdict>" -> its parts. Verdicts must not contain '.',
+ * so the split is at the last dot; categories may contain dots. */
+std::pair<std::string, std::string>
+split_counter(const std::string& tail)
+{
+    const std::size_t dot = tail.rfind('.');
+    if (dot == std::string::npos)
+        return {tail, std::string()};
+    return {tail.substr(0, dot), tail.substr(dot + 1)};
+}
+
+bool
+is_decision_counter(const std::string& name)
+{
+    return name.rfind(kCounterPrefix, 0) == 0;
+}
+
+Json
+sample_json(const TraceEvent& ev)
+{
+    Json s = Json::object();
+    s.set("verdict", Json::string(ev.verdict != nullptr ? ev.verdict
+                                                        : ""));
+    s.set("t_ms", Json::number(static_cast<double>(ev.start_ns) / 1e6));
+    for (const DecisionArg& a : ev.args) {
+        switch (a.kind) {
+        case DecisionArg::Kind::Int:
+            s.set(a.key, Json::number(a.i));
+            break;
+        case DecisionArg::Kind::Double:
+            s.set(a.key, Json::number(a.d));
+            break;
+        case DecisionArg::Kind::Str:
+            s.set(a.key, Json::string(a.s));
+            break;
+        }
+    }
+    return s;
+}
+
+/** category -> verdict -> count. */
+using VerdictCounts =
+    std::map<std::string, std::map<std::string, unsigned long long>>;
+
+/** (category, verdict) -> newest-last payload samples. */
+using SampleMap =
+    std::map<std::pair<std::string, std::string>, std::vector<Json>>;
+
+/** One bucket (a cell, or the unscoped "global" remainder) as JSON. */
+Json
+bucket_json(const VerdictCounts& counts, const SampleMap& samples,
+            std::size_t top_n)
+{
+    Json bucket = Json::object();
+    for (const auto& [category, verdicts] : counts) {
+        Json cat = Json::object();
+        for (const auto& [verdict, n] : verdicts) {
+            if (n == 0)
+                continue;
+            Json v = Json::object();
+            v.set("count", Json::number(n));
+            Json arr = Json::array();
+            const auto it = samples.find({category, verdict});
+            if (it != samples.end()) {
+                const std::vector<Json>& all = it->second;
+                const std::size_t take = std::min(top_n, all.size());
+                for (std::size_t i = all.size() - take; i < all.size();
+                     ++i)
+                    arr.push_back(all[i]);
+            }
+            v.set("samples", std::move(arr));
+            cat.set(verdict, std::move(v));
+        }
+        if (!cat.members().empty())
+            bucket.set(category, std::move(cat));
+    }
+    return bucket;
+}
+
+} // namespace
+
+void
+decision_event(const char* category, const char* verdict,
+               std::vector<DecisionArg> args)
+{
+    if (!enabled())
+        return;
+    // Counters first: they survive flight-recorder rotation, so the
+    // explain report's counts stay exact no matter how small the ring.
+    Registry& reg = Registry::instance();
+    std::string counter_name = kCounterPrefix;
+    counter_name += category;
+    counter_name += '.';
+    counter_name += verdict;
+    reg.counter(counter_name).add(1);
+    const std::string* scope = current_scope();
+    if (scope != nullptr)
+        reg.scoped_counter(*scope, counter_name).add(1);
+
+    TraceEvent ev;
+    ev.name = category;
+    ev.verdict = verdict;
+    ev.args = std::move(args);
+    if (scope != nullptr)
+        ev.scope = *scope;
+    ev.start_ns = now_ns();
+    ev.instant = true;
+    ev.decision = true;
+    detail::push_thread_event(std::move(ev));
+}
+
+std::string
+explain_json(std::size_t top_n)
+{
+    Registry& reg = Registry::instance();
+
+    // Exact counts from the registry: totals, then the per-scope view;
+    // whatever the scoped counters do not account for was recorded
+    // outside any CellScope and lands in the "global" bucket.
+    VerdictCounts totals;
+    unsigned long long grand = 0;
+    for (const std::string& name : reg.counter_names()) {
+        if (!is_decision_counter(name))
+            continue;
+        const Counter* c = reg.find_counter(name);
+        const auto [category, verdict] =
+            split_counter(name.substr(sizeof(kCounterPrefix) - 1));
+        const unsigned long long n = c != nullptr ? c->value() : 0;
+        totals[category][verdict] += n;
+        grand += n;
+    }
+
+    std::map<std::string, VerdictCounts> cells;
+    VerdictCounts unscoped = totals;
+    for (const std::string& scope : reg.scope_names()) {
+        for (const std::string& name : reg.scoped_counter_names(scope)) {
+            if (!is_decision_counter(name))
+                continue;
+            const Counter* c = reg.find_scoped_counter(scope, name);
+            const auto [category, verdict] =
+                split_counter(name.substr(sizeof(kCounterPrefix) - 1));
+            const unsigned long long n = c != nullptr ? c->value() : 0;
+            if (n == 0)
+                continue;
+            cells[scope][category][verdict] += n;
+            // Every scoped add paired with a global add, so this never
+            // underflows.
+            unscoped[category][verdict] -= n;
+        }
+    }
+
+    // Payload samples from whatever events the (possibly rotated)
+    // buffers still hold, newest-last per (scope, category, verdict).
+    std::vector<TraceEvent> events = collect_events();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.start_ns < b.start_ns;
+                     });
+    std::map<std::string, SampleMap> scoped_samples;
+    SampleMap unscoped_samples;
+    for (const TraceEvent& ev : events) {
+        if (!ev.decision)
+            continue;
+        const std::pair<std::string, std::string> key{
+            ev.name, ev.verdict != nullptr ? ev.verdict : ""};
+        SampleMap& dst = ev.scope.empty() ? unscoped_samples
+                                          : scoped_samples[ev.scope];
+        dst[key].push_back(sample_json(ev));
+    }
+
+    Json totals_json = Json::object();
+    for (const auto& [category, verdicts] : totals) {
+        Json cat = Json::object();
+        for (const auto& [verdict, n] : verdicts)
+            cat.set(verdict, Json::number(n));
+        totals_json.set(category, std::move(cat));
+    }
+
+    Json cells_json = Json::object();
+    for (const auto& [scope, counts] : cells)
+        cells_json.set(scope, bucket_json(counts, scoped_samples[scope],
+                                          top_n));
+
+    Json doc = Json::object();
+    doc.set("decisions", Json::number(grand));
+    doc.set("totals", std::move(totals_json));
+    doc.set("cells", std::move(cells_json));
+    doc.set("global", bucket_json(unscoped, unscoped_samples, top_n));
+    return doc.dump();
+}
+
+bool
+write_explain_json(const std::string& path, std::size_t top_n)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << explain_json(top_n);
+    out.flush();
+    if (!out) {
+        support::warn("obs: failed writing explain report to %s",
+                      path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace autocomm::obs

@@ -111,6 +111,33 @@ chrome_trace_json()
             trace_events.push_back(std::move(e));
             continue;
         }
+        if (ev.decision) {
+            // Decision: an instant whose args carry the verdict and the
+            // typed payload, so "why" renders inline in the timeline.
+            e.set("s", Json::string("t"));
+            Json args = Json::object();
+            args.set("verdict", Json::string(
+                                    ev.verdict != nullptr ? ev.verdict
+                                                          : ""));
+            if (!ev.scope.empty())
+                args.set("cell", Json::string(ev.scope));
+            for (const DecisionArg& a : ev.args) {
+                switch (a.kind) {
+                case DecisionArg::Kind::Int:
+                    args.set(a.key, Json::number(a.i));
+                    break;
+                case DecisionArg::Kind::Double:
+                    args.set(a.key, Json::number(a.d));
+                    break;
+                case DecisionArg::Kind::Str:
+                    args.set(a.key, Json::string(a.s));
+                    break;
+                }
+            }
+            e.set("args", std::move(args));
+            trace_events.push_back(std::move(e));
+            continue;
+        }
         if (!ev.instant)
             e.set("dur",
                   Json::number(static_cast<double>(ev.dur_ns) / 1e3));
@@ -200,7 +227,7 @@ stats_json()
 
     // Per-cell attribution: one entry per CellScope that recorded, with
     // the counters it incremented and a compact per-pass latency summary
-    // (count/sum/p50/p95). Scope keys are sweep-cell labels, sorted.
+    // (count/sum/p50/p95/p99). Scope keys are sweep-cell labels, sorted.
     Json cells = Json::object();
     for (const std::string& scope : reg.scope_names()) {
         Json cell_counters = Json::object();
@@ -226,6 +253,8 @@ stats_json()
                       Json::number(ns_to_ms(h->percentile(50.0))));
             stats.set("p95_ms",
                       Json::number(ns_to_ms(h->percentile(95.0))));
+            stats.set("p99_ms",
+                      Json::number(ns_to_ms(h->percentile(99.0))));
             cell_hists.set(name, std::move(stats));
         }
         Json cell = Json::object();

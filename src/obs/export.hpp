@@ -15,11 +15,12 @@ namespace autocomm::obs {
 /**
  * The recorded events as one Chrome trace-event JSON document: every
  * span is a complete ("X") event on its thread's lane, instants are "i"
- * events, gauge samples are counter ("C") series the viewer draws as
- * value-over-time curves, and each registered lane carries a thread_name
- * metadata record ("main", "worker-3"), so pool workers render as named
- * lanes. Events are sorted (lane, start time), so equal recordings
- * serialize equally.
+ * events, decisions (obs/decision.hpp) are "i" events whose args carry
+ * the verdict and typed payload, gauge samples are counter ("C") series
+ * the viewer draws as value-over-time curves, and each registered lane
+ * carries a thread_name metadata record ("main", "worker-3"), so pool
+ * workers render as named lanes. Events are sorted (lane, start time),
+ * so equal recordings serialize equally.
  */
 std::string chrome_trace_json();
 
@@ -38,7 +39,7 @@ bool write_chrome_trace(const std::string& path);
  *     ..., "max_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}},
  *    "cells": {"QFT-16-2/topology=star": {"counters": {...},
  *     "histograms": {"aggregate": {"count": 1, "sum_ms": ...,
- *      "p50_ms": ..., "p95_ms": ...}, ...}}, ...}}
+ *      "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}, ...}}, ...}}
  *
  * The well-known pipeline counters (cache.hits/misses/stale/evictions,
  * cache.gc_evicted_entries/bytes, pipeline.cells_started/completed,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 
 #include <unistd.h>
@@ -15,8 +16,22 @@ namespace autocomm::obs {
 
 namespace {
 
+/** True when /proc/self/statm exists, checked once per process: on
+ * non-procfs platforms the RSS gauge stays cleanly absent (no samples)
+ * instead of recording zero-noise, and the sampler skips the open()
+ * attempt on every tick. */
+bool
+procfs_available()
+{
+    static const bool ok = []() {
+        std::error_code ec;
+        return std::filesystem::exists("/proc/self/statm", ec);
+    }();
+    return ok;
+}
+
 /** Resident set size in bytes from /proc/self/statm (field 2, pages);
- * -1 where procfs is unavailable. */
+ * -1 where procfs is unavailable or unreadable. */
 long long
 read_rss_bytes()
 {
@@ -42,8 +57,9 @@ ResourceSampler::sample_once()
 {
     if (!enabled())
         return;
-    if (const long long rss = read_rss_bytes(); rss >= 0)
-        record("proc.rss_bytes", static_cast<double>(rss));
+    if (procfs_available())
+        if (const long long rss = read_rss_bytes(); rss >= 0)
+            record("proc.rss_bytes", static_cast<double>(rss));
     const std::size_t depth = support::ThreadPool::total_queue_depth();
     const std::size_t active = support::ThreadPool::total_active_workers();
     const std::size_t workers = support::ThreadPool::total_workers();

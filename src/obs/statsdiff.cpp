@@ -158,7 +158,7 @@ diff_histograms(const Json& base, const Json& cur,
         const double c_sum = hist_field(*c, "sum_ms");
         if (b_sum < opts.min_sum_ms && c_sum < opts.min_sum_ms)
             continue; // micro-latency noise
-        for (const char* key : {"p50_ms", "p95_ms"}) {
+        for (const char* key : {"p50_ms", "p95_ms", "p99_ms"}) {
             const double bv = hist_field(*b, key);
             const double cv = hist_field(*c, key);
             if (bv == cv)

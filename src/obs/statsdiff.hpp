@@ -11,7 +11,7 @@
  *    e.g. cache hits vanishing); otherwise the relative change must
  *    stay within threshold_pct in either direction (counters measure
  *    work done, so a large *drop* is as suspicious as a large rise).
- *  - **Histograms** gate on latency: p50/p95 may rise by at most
+ *  - **Histograms** gate on latency: p50/p95/p99 may rise by at most
  *    threshold_pct relative to baseline. Decreases are reported as
  *    notes, never failures. Histograms whose total time is tiny on
  *    both sides (sum_ms below min_sum_ms) are skipped — micro-latency
@@ -36,7 +36,7 @@ namespace autocomm::obs {
 struct StatsDiffOptions
 {
     /** Max allowed relative change, percent (counters: either
-     * direction; histogram p50/p95: increases only). */
+     * direction; histogram p50/p95/p99: increases only). */
     double threshold_pct = 25.0;
     /** Histograms with sum_ms below this on both sides are skipped. */
     double min_sum_ms = 0.0;

@@ -228,4 +228,12 @@ reset()
     }
 }
 
+void
+detail::push_thread_event(TraceEvent ev)
+{
+    ThreadBuffer& buf = local_buffer();
+    ev.lane = buf.lane;
+    push_event(buf, std::move(ev));
+}
+
 } // namespace autocomm::obs

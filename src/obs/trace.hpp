@@ -50,7 +50,24 @@ void set_enabled(bool on);
  */
 std::uint64_t now_ns();
 
-/** One recorded span, instant, or counter-sample event. */
+/**
+ * One typed key/value payload entry of a decision event (see
+ * obs/decision.hpp). Keys must have static storage duration; only the
+ * member matching `kind` is meaningful. Integer/double args never touch
+ * the heap, so building them on the disabled path costs nothing.
+ */
+struct DecisionArg
+{
+    enum class Kind { Int, Double, Str };
+
+    const char* key = nullptr;
+    Kind kind = Kind::Int;
+    long long i = 0;
+    double d = 0.0;
+    std::string s;
+};
+
+/** One recorded span, instant, counter-sample, or decision event. */
 struct TraceEvent
 {
     const char* name = nullptr; ///< static-storage pass/phase name
@@ -62,6 +79,10 @@ struct TraceEvent
     int depth = 0;              ///< span nesting depth at begin (0 = top)
     bool instant = false;
     bool counter = false; ///< a gauge sample (Chrome-trace "C" event)
+    bool decision = false; ///< a structured decision (obs/decision.hpp)
+    const char* verdict = nullptr; ///< decisions: static verdict name
+    std::vector<DecisionArg> args; ///< decisions: typed payload
+    std::string scope; ///< decisions: CellScope label at record time
 };
 
 /**
@@ -162,5 +183,12 @@ std::vector<std::pair<int, std::string>> lanes();
  * recording quiescence — no live Span may span a reset.
  */
 void reset();
+
+namespace detail {
+/** Append a fully formed event to the calling thread's buffer, stamping
+ * its lane (ring-bounded like every other event). Internal: the
+ * decision API (obs/decision.cpp) records through this. */
+void push_thread_event(TraceEvent ev);
+} // namespace detail
 
 } // namespace autocomm::obs
